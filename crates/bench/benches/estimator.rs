@@ -1,0 +1,52 @@
+//! Criterion benchmarks for the sampling-based selectivity estimator
+//! (Algorithm 1): the one-pass sample execution with provenance and the
+//! `ρ_n`/`S_n²` computation, across sampling ratios — the efficiency story
+//! of §3.2.2 / Figure 9.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use uaq_datagen::GenConfig;
+use uaq_engine::{execute_full, execute_on_samples, plan_query, JoinStep, Pred, QuerySpec, TableRef};
+use uaq_selest::estimate_selectivities;
+use uaq_stats::Rng;
+use uaq_storage::Value;
+
+fn bench_sample_pass(c: &mut Criterion) {
+    let catalog = GenConfig::new(0.002, 0.0, 42).build();
+    let plan = plan_query(
+        &QuerySpec::scan("j", TableRef::new("orders", Pred::lt("o_orderdate", Value::Int(1500))))
+            .with_joins(vec![JoinStep::new(
+                TableRef::plain("lineitem"),
+                "o_orderkey",
+                "l_orderkey",
+            )]),
+        &catalog,
+    );
+
+    let mut group = c.benchmark_group("estimator");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+
+    for sr in [0.01, 0.05, 0.1] {
+        let mut rng = Rng::new(5);
+        let samples = catalog.draw_samples(sr, 2, &mut rng);
+        group.bench_with_input(BenchmarkId::new("sample_pass", sr), &sr, |b, _| {
+            b.iter(|| execute_on_samples(&plan, &samples))
+        });
+        let outcome = execute_on_samples(&plan, &samples);
+        group.bench_with_input(BenchmarkId::new("rho_and_s2", sr), &sr, |b, _| {
+            b.iter(|| estimate_selectivities(&plan, &outcome, &samples, &catalog))
+        });
+    }
+
+    // The denominator of the relative-overhead metric.
+    group.bench_function("full_execution", |b| {
+        b.iter(|| execute_full(&plan, &catalog))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_pass);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Criterion benchmarks for the prediction pipeline: what does
+//! uncertainty-aware prediction cost? (The paper's efficiency claim is that
+//! the overhead over the point predictor of [48] is negligible — here we
+//! measure the absolute costs of each stage.)
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use uaq_core::{Predictor, PredictorConfig};
+use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
+use uaq_datagen::GenConfig;
+use uaq_engine::{plan_query, JoinStep, Pred, QuerySpec, TableRef};
+use uaq_stats::Rng;
+use uaq_storage::Value;
+
+fn bench_predict(c: &mut Criterion) {
+    let catalog = GenConfig::new(0.002, 0.0, 42).build();
+    let mut rng = Rng::new(7);
+    let units = calibrate(&HardwareProfile::pc1(), &CalibrationConfig::default(), &mut rng);
+    let samples = catalog.draw_samples(0.05, 2, &mut rng);
+    let predictor = Predictor::new(units, PredictorConfig::default());
+
+    let scan = plan_query(
+        &QuerySpec::scan(
+            "scan",
+            TableRef::new("lineitem", Pred::le("l_shipdate", Value::Int(1500))),
+        ),
+        &catalog,
+    );
+    let join3 = plan_query(
+        &QuerySpec::scan(
+            "join3",
+            TableRef::new("customer", Pred::eq("c_mktsegment", Value::str("BUILDING"))),
+        )
+        .with_joins(vec![
+            JoinStep::new(
+                TableRef::new("orders", Pred::lt("o_orderdate", Value::Int(1200))),
+                "c_custkey",
+                "o_custkey",
+            ),
+            JoinStep::new(
+                TableRef::new("lineitem", Pred::gt("l_shipdate", Value::Int(1200))),
+                "o_orderkey",
+                "l_orderkey",
+            ),
+        ]),
+        &catalog,
+    );
+    let tpch_q5 = plan_query(&uaq_workloads::tpch::q5(&mut rng), &catalog);
+
+    let mut group = c.benchmark_group("predict");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    group.bench_function("scan", |b| {
+        b.iter(|| predictor.predict(&scan, &catalog, &samples))
+    });
+    group.bench_function("three_way_join", |b| {
+        b.iter(|| predictor.predict(&join3, &catalog, &samples))
+    });
+    group.bench_function("tpch_q5", |b| {
+        b.iter(|| predictor.predict(&tpch_q5, &catalog, &samples))
+    });
+    group.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let profile = HardwareProfile::pc2();
+    let mut group = c.benchmark_group("calibration");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    group.bench_function("five_units", |b| {
+        b.iter_batched(
+            || Rng::new(99),
+            |mut rng| calibrate(&profile, &CalibrationConfig::default(), &mut rng),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_calibration);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Diagnostic: D_n and the Pr_n vs Pr direction for one cheap cell.
+
+use uaq_experiments::{metrics, CellConfig, Machine};
+use uaq_datagen::DbPreset;
+use uaq_workloads::Benchmark;
+
+fn main() {
+    let mut lab = uaq_bench::lab_from_env();
+    for bench in [Benchmark::Micro, Benchmark::SelJoin] {
+        let cell = CellConfig::new(DbPreset::Uniform1G, Machine::Pc1, bench, 0.05);
+        let o = lab.run_cell(&cell);
+        let dn = metrics::distribution_distance(&o);
+        let (rs, rp) = metrics::correlation(&o);
+        println!("{}: D_n={dn:.4} r_s={rs:.4} r_p={rp:.4}", bench.label());
+        for a in [0.5, 1.0, 2.0] {
+            println!("  alpha={a}: Pr_n={:.3} Pr={:.3}", metrics::empirical_pr(&o, a), uaq_stats::model_pr(a));
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Diagnostic dump: per-query predicted mean/σ, actual, error, and the
+//! variance breakdown — for tuning the substrate, not part of the paper.
+
+use uaq_core::{Predictor, PredictorConfig};
+use uaq_cost::{calibrate, simulate_actual_time, CalibrationConfig, CostUnit, NodeCostContext, SimConfig};
+use uaq_datagen::DbPreset;
+use uaq_engine::{execute_full, plan_query};
+use uaq_experiments::Machine;
+use uaq_stats::Rng;
+use uaq_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = match args.get(1).map(String::as_str) {
+        Some("seljoin") => Benchmark::SelJoin,
+        Some("tpch") => Benchmark::Tpch,
+        _ => Benchmark::Micro,
+    };
+    let sr: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+
+    let seed = 20140827u64;
+    let catalog = DbPreset::Uniform1G.build(seed ^ 0xD8);
+    let machine = Machine::Pc1;
+    let profile = machine.profile();
+    let mut crng = Rng::new(seed ^ 0x9E37);
+    let units = calibrate(&profile, &CalibrationConfig::default(), &mut crng);
+    println!("calibrated vs true units:");
+    for u in CostUnit::ALL {
+        println!(
+            "  {u}: cal mean {:.6} (true {:.6}), cal sd {:.6} (true {:.6})",
+            units[u].mean(),
+            profile.true_units()[u].mean(),
+            units[u].std_dev(),
+            profile.true_units()[u].std_dev()
+        );
+    }
+
+    let mut rng = Rng::new(seed ^ 0xABC);
+    let queries = bench.queries(&catalog, 4, &mut rng);
+    let samples = catalog.draw_samples(sr, 2, &mut rng);
+    let predictor = Predictor::new(units, PredictorConfig::default());
+
+    println!(
+        "\n{:<24} {:>10} {:>10} {:>10} {:>8} | {:>10} {:>10} {:>10} {:>10}",
+        "query", "pred", "actual", "err", "sigma", "unitVar", "selExact", "covBnd", "interact"
+    );
+    for q in &queries {
+        let plan = plan_query(q, &catalog);
+        let out = execute_full(&plan, &catalog);
+        let ctxs = NodeCostContext::build_all(&plan, &catalog);
+        let p = predictor.predict(&plan, &catalog, &samples);
+        let actual = simulate_actual_time(&plan, &ctxs, &out.traces, &profile, &SimConfig::default(), &mut rng);
+        println!(
+            "{:<24} {:>10.2} {:>10.2} {:>10.2} {:>8.2} | {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            q.name,
+            p.mean_ms(),
+            actual.mean_ms,
+            (p.mean_ms() - actual.mean_ms).abs(),
+            p.std_dev_ms(),
+            p.breakdown.unit_variance.sqrt(),
+            p.breakdown.selectivity_exact.max(0.0).sqrt(),
+            p.breakdown.covariance_bounds.max(0.0).sqrt(),
+            p.breakdown.interaction.max(0.0).sqrt()
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates every table and figure of the paper's evaluation in one run
+//! (a full Lab is shared, so databases / calibrations / full executions are
+//! computed once).
+
+use uaq_experiments::report;
+
+fn main() {
+    let mut lab = uaq_bench::lab_from_env();
+    for (name, f) in [
+        ("fig2", report::fig2 as fn(&mut uaq_experiments::Lab) -> String),
+        ("fig3", report::fig3),
+        ("fig4", report::fig4),
+        ("fig5", report::fig5),
+        ("fig6", report::fig6),
+        ("fig8", report::fig8),
+        ("fig9", report::fig9),
+        ("fig10", report::fig10),
+        ("fig11", report::fig11),
+        ("fig12", report::fig12),
+        ("tab4", report::table4),
+        ("tab5", report::table5),
+        ("tab6", report::table6),
+        ("tab7", report::table7),
+        ("tab8", report::table8),
+        ("tab9", report::table9),
+    ] {
+        println!("==================== {name} ====================");
+        println!("{}", f(&mut lab));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig4 (see DESIGN.md experiment index).
+
+fn main() {
+    let mut lab = uaq_bench::lab_from_env();
+    print!("{}", uaq_experiments::report::fig4(&mut lab));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Table 8 (see DESIGN.md experiment index).
+
+fn main() {
+    let mut lab = uaq_bench::lab_from_env();
+    print!("{}", uaq_experiments::report::table8(&mut lab));
+}

@@ -1,0 +1,20 @@
+//! # uaq-bench
+//!
+//! Reproduction binaries (one per paper table/figure; run with
+//! `cargo run -p uaq-bench --release --bin repro-<name>`) and Criterion
+//! micro-benchmarks for the predictor pipeline.
+
+use uaq_experiments::Lab;
+
+/// Default experiment seed; override with the `UAQ_SEED` environment
+/// variable to check robustness of the shapes across randomness.
+pub const DEFAULT_SEED: u64 = 20140827; // the paper's arXiv date
+
+/// Builds the experiment lab honoring `UAQ_SEED`.
+pub fn lab_from_env() -> Lab {
+    let seed = std::env::var("UAQ_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_SEED);
+    Lab::new(seed)
+}

@@ -1,0 +1,34 @@
+//! # uaq-core
+//!
+//! The paper's primary contribution: an uncertainty-aware query execution
+//! time predictor. Instead of a point estimate it reports a *distribution*
+//! of likely running times, `t_q ~ N(E[t_q], Var[t_q])`, by treating the
+//! cost units `c` and the operator selectivities `X` as random variables
+//! (Wu, Wu, Hacıgümüş, Naughton: "Uncertainty Aware Query Execution Time
+//! Prediction", 2014).
+//!
+//! ```no_run
+//! use uaq_core::{Predictor, PredictorConfig};
+//! use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
+//! use uaq_stats::Rng;
+//! # let catalog: uaq_storage::Catalog = unimplemented!();
+//! # let plan: uaq_engine::Plan = unimplemented!();
+//! let mut rng = Rng::new(42);
+//! let units = calibrate(&HardwareProfile::pc1(), &CalibrationConfig::default(), &mut rng);
+//! let samples = catalog.draw_samples(0.05, 2, &mut rng);
+//! let predictor = Predictor::new(units, PredictorConfig::default());
+//! let prediction = predictor.predict(&plan, &catalog, &samples);
+//! println!("expected {:.1} ms ± {:.1}", prediction.mean_ms(), prediction.std_dev_ms());
+//! let (lo, hi) = prediction.confidence_interval_ms(0.70);
+//! println!("with probability 70%, between {lo:.1} and {hi:.1} ms");
+//! ```
+
+pub mod montecarlo;
+pub mod predictor;
+pub mod terms;
+pub mod variant;
+
+pub use montecarlo::{monte_carlo_prediction, EmpiricalPrediction};
+pub use predictor::{Prediction, Predictor, PredictorConfig, VarianceBreakdown};
+pub use terms::{resolve_term, CovEnv, VarTerm};
+pub use variant::Variant;

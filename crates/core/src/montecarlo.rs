@@ -1,0 +1,196 @@
+//! The one-stage Monte-Carlo alternative (Appendix B of the paper).
+//!
+//! Instead of the analytic two-stage framework (estimate input
+//! distributions, then propagate them through the cost functions), one can
+//! "keep running the query plan over different sample tables and observe
+//! the joint distribution of the selectivities ... plug in each observed
+//! selectivity vector X to the cost formulas and compute the running
+//! times" — building the distribution of `t_q` empirically.
+//!
+//! The paper rejects this as the primary method because "we need the same
+//! number of sample runs as the observations we need to build the
+//! histogram" (prohibitive overhead) but calls it of theoretic interest; it
+//! is the natural cross-check for the analytic `N(E[t_q], Var[t_q])`, and
+//! it makes the §6.3.2 subtlety concrete: *each* sample set yields its own
+//! distribution (`D_1` vs `D_2` in Figure 7), so there is no single "true"
+//! predicted distribution to converge to.
+
+use crate::predictor::Predictor;
+use uaq_cost::{CostUnit, NodeCostContext};
+use uaq_engine::{execute_on_samples, Plan};
+use uaq_selest::estimate_selectivities;
+use uaq_stats::{mean, sample_variance, Normal, Rng};
+use uaq_storage::Catalog;
+
+/// An empirical distribution of predicted running times.
+#[derive(Debug, Clone)]
+pub struct EmpiricalPrediction {
+    /// One point estimate per sample-set draw (ms).
+    pub point_estimates_ms: Vec<f64>,
+}
+
+impl EmpiricalPrediction {
+    pub fn mean_ms(&self) -> f64 {
+        mean(&self.point_estimates_ms)
+    }
+
+    pub fn var(&self) -> f64 {
+        sample_variance(&self.point_estimates_ms)
+    }
+
+    pub fn std_dev_ms(&self) -> f64 {
+        self.var().sqrt()
+    }
+
+    /// Normal fitted to the empirical spread.
+    pub fn fitted_normal(&self) -> Normal {
+        Normal::new(self.mean_ms(), self.var())
+    }
+
+    /// Empirical quantile (linear in the order statistics).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p));
+        let mut xs = self.point_estimates_ms.clone();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let pos = p * (xs.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        xs[lo] * (1.0 - frac) + xs[hi] * frac
+    }
+}
+
+/// Runs the one-stage Monte-Carlo alternative: draws `runs` independent
+/// sample sets at `sampling_ratio`, computes the *point* running-time
+/// estimate for each (mean selectivities through the fitted cost functions
+/// at calibrated mean unit costs), and returns the empirical distribution
+/// of those point estimates.
+///
+/// This captures the selectivity-estimation component of the uncertainty —
+/// the part that varies with the sample — but not the cost-unit
+/// fluctuation, which is why the analytic variance is the larger of the
+/// two (the predictor adds `Var[c]` on top).
+pub fn monte_carlo_prediction(
+    predictor: &Predictor,
+    plan: &Plan,
+    catalog: &Catalog,
+    sampling_ratio: f64,
+    runs: usize,
+    rng: &mut Rng,
+) -> EmpiricalPrediction {
+    assert!(runs >= 2, "need at least two sample draws");
+    let contexts = NodeCostContext::build_all(plan, catalog);
+    let point_estimates_ms = (0..runs)
+        .map(|_| {
+            let samples = catalog.draw_samples(sampling_ratio, 2, rng);
+            let outcome = execute_on_samples(plan, &samples);
+            let estimates = estimate_selectivities(plan, &outcome, &samples, catalog);
+            // Point estimate: plug the observed selectivity vector into the
+            // oracle cost model at calibrated mean unit costs (Appendix B's
+            // "plug in each observed selectivity vector X").
+            plan.node_ids()
+                .map(|id| {
+                    let children = plan.op(id).children();
+                    let xl = children.first().map_or(0.0, |&c| estimates[c].rho);
+                    let xr = children.get(1).map_or(0.0, |&c| estimates[c].rho);
+                    let counts = contexts[id].counts(xl, xr, estimates[id].rho);
+                    CostUnit::ALL
+                        .iter()
+                        .map(|&u| counts[u] * predictor.units()[u].mean())
+                        .sum::<f64>()
+                })
+                .sum()
+        })
+        .collect();
+    EmpiricalPrediction { point_estimates_ms }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::PredictorConfig;
+    use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
+    use uaq_engine::{plan_query, JoinStep, Pred, QuerySpec, TableRef};
+    use uaq_storage::{Column, Schema, Table, Value};
+
+    fn setup() -> (Catalog, Plan, Predictor) {
+        let mut c = Catalog::new();
+        let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+        let rows = (0..4000)
+            .map(|i| vec![Value::Int((i % 40) as i64), Value::Int(i as i64)])
+            .collect();
+        c.add_table(Table::new("t", s, rows));
+        let s2 = Schema::new(vec![Column::int("x"), Column::int("y")]);
+        let rows2 = (0..2000)
+            .map(|i| vec![Value::Int((i % 40) as i64), Value::Int(i as i64)])
+            .collect();
+        c.add_table(Table::new("u", s2, rows2));
+        let spec = QuerySpec::scan("q", TableRef::new("t", Pred::lt("b", Value::Int(2000))))
+            .with_joins(vec![JoinStep::new(TableRef::plain("u"), "a", "x")]);
+        let plan = plan_query(&spec, &c);
+        let mut rng = Rng::new(5);
+        let units = calibrate(&HardwareProfile::pc1(), &CalibrationConfig::default(), &mut rng);
+        let predictor = Predictor::new(units, PredictorConfig::default());
+        (c, plan, predictor)
+    }
+
+    #[test]
+    fn empirical_mean_agrees_with_analytic_mean() {
+        let (c, plan, predictor) = setup();
+        let mut rng = Rng::new(6);
+        let mc = monte_carlo_prediction(&predictor, &plan, &c, 0.1, 40, &mut rng);
+        let samples = c.draw_samples(0.1, 2, &mut rng);
+        let analytic = predictor.predict(&plan, &c, &samples);
+        let rel = (mc.mean_ms() - analytic.mean_ms()).abs() / analytic.mean_ms();
+        assert!(rel < 0.1, "mc {} vs analytic {}", mc.mean_ms(), analytic.mean_ms());
+    }
+
+    #[test]
+    fn analytic_variance_dominates_empirical_selectivity_variance() {
+        // The Monte-Carlo spread covers only the selectivity component; the
+        // analytic Var[t_q] adds Var[c] on top and must be at least
+        // comparable (allow slack for the bound conservatism both ways).
+        let (c, plan, predictor) = setup();
+        let mut rng = Rng::new(7);
+        let mc = monte_carlo_prediction(&predictor, &plan, &c, 0.05, 60, &mut rng);
+        let samples = c.draw_samples(0.05, 2, &mut rng);
+        let analytic = predictor.predict(&plan, &c, &samples);
+        assert!(
+            analytic.var() > 0.3 * mc.var(),
+            "analytic {} vs empirical selectivity-only {}",
+            analytic.var(),
+            mc.var()
+        );
+        let sel_only = analytic.breakdown.selectivity_exact + analytic.breakdown.covariance_bounds;
+        // Same order of magnitude.
+        let ratio = (sel_only / mc.var()).max(mc.var() / sel_only);
+        assert!(ratio < 12.0, "sel-only {} vs empirical {}", sel_only, mc.var());
+    }
+
+    #[test]
+    fn different_sample_sets_give_different_distributions() {
+        // The §6.3.2 subtlety (Figure 7): the model's output distribution
+        // depends on the sample set, so two analytic predictions from
+        // different samples differ in both mean and variance.
+        let (c, plan, predictor) = setup();
+        let mut rng = Rng::new(8);
+        let s1 = c.draw_samples(0.05, 2, &mut rng);
+        let s2 = c.draw_samples(0.05, 2, &mut rng);
+        let p1 = predictor.predict(&plan, &c, &s1);
+        let p2 = predictor.predict(&plan, &c, &s2);
+        assert_ne!(p1.mean_ms(), p2.mean_ms());
+        assert_ne!(p1.var(), p2.var());
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let (c, plan, predictor) = setup();
+        let mut rng = Rng::new(9);
+        let mc = monte_carlo_prediction(&predictor, &plan, &c, 0.1, 30, &mut rng);
+        let q25 = mc.quantile(0.25);
+        let q50 = mc.quantile(0.5);
+        let q75 = mc.quantile(0.75);
+        assert!(q25 <= q50 && q50 <= q75);
+        assert!(mc.fitted_normal().var() >= 0.0);
+    }
+}

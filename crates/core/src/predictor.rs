@@ -1,0 +1,503 @@
+//! The uncertainty-aware predictor (Algorithms 2 and 3).
+//!
+//! `Predictor::predict` runs the full pipeline of the paper:
+//!
+//! 1. execute the plan once over the sample tables, collecting provenance
+//!    (§3.2.2);
+//! 2. derive every operator's selectivity distribution `X ~ N(ρ_n, σ_n²)`
+//!    (Algorithm 1);
+//! 3. fit the logical cost functions on the `[μ ± 3σ]` grid (§4.2);
+//! 4. combine with the calibrated cost-unit distributions into
+//!    `t_q ~ N(E[t_q], Var[t_q])` (§5), computing `Var[t_q]` from exact
+//!    same-operator moments plus root-to-leaf-path covariance bounds
+//!    (Algorithm 3).
+
+use crate::terms::{resolve_term, CovEnv, VarTerm};
+use crate::variant::Variant;
+use std::time::Instant;
+use uaq_cost::{fit_node, CostUnit, FitConfig, FittedCost, NodeCostContext, UnitDists};
+use uaq_engine::{execute_on_samples, NodeId, Plan};
+use uaq_selest::{estimate_selectivities_with, AggCardinalitySource, SelEstimate};
+use uaq_stats::Normal;
+use uaq_storage::{Catalog, SampleCatalog};
+
+/// Predictor configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PredictorConfig {
+    pub fit: FitConfig,
+    pub variant: Variant,
+    /// How aggregate output cardinalities are estimated (the paper uses the
+    /// optimizer's estimate; GEE is its named extension, §3.2.2).
+    pub agg_source: AggCardinalitySource,
+}
+
+/// Where the predicted variance came from (diagnostics; also the data behind
+/// the ablation discussion in §6.3.3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VarianceBreakdown {
+    /// `Σ_c σ_c² (Σ_i E[f_ic])²` — cost-unit fluctuation against the mean
+    /// workload (the dominant term; dropping it is "No Var[c]").
+    pub unit_variance: f64,
+    /// `Σ_{c,c'} μ_c μ_c' Σ_i Cov(f_ic, f_ic')` — same-operator selectivity
+    /// uncertainty (exact moment algebra).
+    pub selectivity_exact: f64,
+    /// `Σ_{c,c'} μ_c μ_c' Σ_{i≠j} Cov(f_ic, f_jc')` — cross-operator
+    /// covariance bounds along root-to-leaf paths (dropping it is "No Cov").
+    pub covariance_bounds: f64,
+    /// `Σ_c σ_c² Σ_{i,j} Cov(f_ic, f_jc)` — second-order interaction of unit
+    /// and selectivity noise.
+    pub interaction: f64,
+}
+
+impl VarianceBreakdown {
+    pub fn total(&self) -> f64 {
+        self.unit_variance + self.selectivity_exact + self.covariance_bounds + self.interaction
+    }
+}
+
+/// A complete prediction: the distribution of likely running times.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// `t_q ~ N(E[t_q], Var[t_q])`, in milliseconds.
+    distribution: Normal,
+    pub breakdown: VarianceBreakdown,
+    /// Per-operator selectivity estimates (inputs to Tables 6–9).
+    pub sel_estimates: Vec<SelEstimate>,
+    /// Wall-clock seconds spent executing the plan over the samples (the
+    /// numerator of the paper's relative-overhead metric, §6.4).
+    pub sample_pass_seconds: f64,
+    /// Wall-clock seconds spent on estimation + fitting + variance algebra.
+    pub inference_seconds: f64,
+}
+
+impl Prediction {
+    /// Point estimate `E[t_q]` in milliseconds (what [48] would report).
+    pub fn mean_ms(&self) -> f64 {
+        self.distribution.mean()
+    }
+
+    /// `Var[t_q]` in ms².
+    pub fn var(&self) -> f64 {
+        self.distribution.var()
+    }
+
+    /// Standard deviation in milliseconds — the paper's uncertainty signal.
+    pub fn std_dev_ms(&self) -> f64 {
+        self.distribution.std_dev()
+    }
+
+    /// The full normal distribution of likely running times.
+    pub fn distribution(&self) -> Normal {
+        self.distribution
+    }
+
+    /// Central interval containing probability `p`: the "with probability
+    /// 70%, the running time should be between 10s and 20s" statement of §1.
+    pub fn confidence_interval_ms(&self, p: f64) -> (f64, f64) {
+        self.distribution.confidence_interval(p)
+    }
+
+    /// `Pr(|T − E[t_q]| ≤ α·σ) = 2Φ(α) − 1` (§6.3).
+    pub fn prob_within_alpha(&self, alpha: f64) -> f64 {
+        Normal::prob_within_alpha_sigmas(alpha)
+    }
+}
+
+/// The uncertainty-aware query execution time predictor.
+#[derive(Debug, Clone)]
+pub struct Predictor {
+    units: UnitDists,
+    config: PredictorConfig,
+}
+
+impl Predictor {
+    /// Creates a predictor from calibrated cost-unit distributions (§3.1).
+    pub fn new(units: UnitDists, config: PredictorConfig) -> Self {
+        let units = match config.variant {
+            Variant::NoCostUnitVariance => units.without_variance(),
+            _ => units,
+        };
+        Self { units, config }
+    }
+
+    pub fn variant(&self) -> Variant {
+        self.config.variant
+    }
+
+    pub fn units(&self) -> &UnitDists {
+        &self.units
+    }
+
+    /// Predicts the running-time distribution of `plan` (Algorithm 2).
+    pub fn predict(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        samples: &SampleCatalog,
+    ) -> Prediction {
+        // 1. One pass over the sample tables with provenance.
+        let t0 = Instant::now();
+        let sample_outcome = execute_on_samples(plan, samples);
+        let sample_pass_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        // 2. Selectivity distributions per operator (Algorithm 1).
+        let mut estimates = estimate_selectivities_with(
+            plan,
+            &sample_outcome,
+            samples,
+            catalog,
+            self.config.agg_source,
+        );
+        if self.config.variant == Variant::NoSelectivityVariance {
+            for e in &mut estimates {
+                e.var = 0.0;
+                for v in &mut e.per_leaf_var {
+                    *v = 0.0;
+                }
+            }
+        }
+        let dists: Vec<Normal> = estimates.iter().map(|e| e.distribution()).collect();
+
+        // 3. Fit the logical cost functions per (operator, unit).
+        let contexts = NodeCostContext::build_all(plan, catalog);
+        let fits = self.fit_all(plan, &contexts, &dists);
+
+        // 4. Combine (Algorithm 3).
+        let env = CovEnv {
+            plan,
+            dists: &dists,
+            estimates: &estimates,
+            drop_cross_covariances: self.config.variant == Variant::NoCovariance,
+        };
+        let (mean, breakdown) = self.mean_and_variance(plan, &fits, &dists, &env);
+        let inference_seconds = t1.elapsed().as_secs_f64();
+
+        Prediction {
+            distribution: Normal::new(mean, breakdown.total().max(0.0)),
+            breakdown,
+            sel_estimates: estimates,
+            sample_pass_seconds,
+            inference_seconds,
+        }
+    }
+
+    /// Per-node input/own selectivity distributions.
+    fn node_vars(plan: &Plan, dists: &[Normal], id: NodeId) -> (Normal, Normal, Normal) {
+        let children = plan.op(id).children();
+        let xl = children.first().map_or(Normal::point(0.0), |&c| dists[c]);
+        let xr = children.get(1).map_or(Normal::point(0.0), |&c| dists[c]);
+        (xl, xr, dists[id])
+    }
+
+    fn fit_all(
+        &self,
+        plan: &Plan,
+        contexts: &[NodeCostContext],
+        dists: &[Normal],
+    ) -> Vec<[Option<FittedCost>; 5]> {
+        plan.node_ids()
+            .map(|id| {
+                let (xl, xr, own) = Self::node_vars(plan, dists, id);
+                fit_node(&contexts[id], &xl, &xr, &own, &self.config.fit)
+            })
+            .collect()
+    }
+
+    /// `E[t_q]` and the `Var[t_q]` breakdown.
+    ///
+    /// With `t_q = Σ_i Σ_c f_ic·c`, cost units independent of selectivities
+    /// and of each other (Assumption 1):
+    ///
+    /// `Var[t_q] = Σ_c σ_c²(Σ_i E[f_ic])²` (unit term)
+    /// `        + Σ_{c,c'} μ_c μ_c' Σ_{i,j} Cov(f_ic, f_jc')` (selectivity)
+    /// `        + Σ_c σ_c² Σ_{i,j} Cov(f_ic, f_jc)` (interaction),
+    ///
+    /// where same-operator covariances are exact and cross-operator ones are
+    /// the Theorem 7–10 upper bounds.
+    fn mean_and_variance(
+        &self,
+        plan: &Plan,
+        fits: &[[Option<FittedCost>; 5]],
+        dists: &[Normal],
+        env: &CovEnv<'_>,
+    ) -> (f64, VarianceBreakdown) {
+        // Flatten the active (node, unit) cost functions with their term
+        // decompositions and means.
+        struct Piece {
+            node: NodeId,
+            unit: CostUnit,
+            mean: f64,
+            terms: Vec<(VarTerm, f64)>,
+        }
+        let mut pieces: Vec<Piece> = Vec::new();
+        for id in plan.node_ids() {
+            let (xl, xr, own) = Self::node_vars(plan, dists, id);
+            for unit in CostUnit::ALL {
+                if let Some(f) = &fits[id][unit.idx()] {
+                    let (mean, _) = f.mean_var(&xl, &xr, &own);
+                    let terms = f
+                        .terms()
+                        .into_iter()
+                        .filter(|(_, coef)| *coef != 0.0)
+                        .map(|(t, coef)| (resolve_term(plan, id, t), coef))
+                        .collect();
+                    pieces.push(Piece {
+                        node: id,
+                        unit,
+                        mean,
+                        terms,
+                    });
+                }
+            }
+        }
+
+        // E[t_q] = Σ E[f_ic]·μ_c.
+        let mean_ms: f64 = pieces
+            .iter()
+            .map(|p| p.mean * self.units[p.unit].mean())
+            .sum();
+
+        // Unit-variance term: σ_c²·(Σ_i E[f_ic])².
+        let mut unit_totals = [0.0f64; CostUnit::COUNT];
+        for p in &pieces {
+            unit_totals[p.unit.idx()] += p.mean;
+        }
+        let unit_variance: f64 = CostUnit::ALL
+            .iter()
+            .map(|&u| self.units[u].var() * unit_totals[u.idx()] * unit_totals[u.idx()])
+            .sum();
+
+        // Selectivity and interaction terms over all piece pairs.
+        let mut selectivity_exact = 0.0;
+        let mut covariance_bounds = 0.0;
+        let mut interaction = 0.0;
+        for (a_idx, a) in pieces.iter().enumerate() {
+            for b in &pieces[a_idx..] {
+                // Σ over term pairs of Cov(Z, Z').
+                let mut cov_ff = 0.0;
+                for &(ta, ca) in &a.terms {
+                    if ta == VarTerm::Const {
+                        continue;
+                    }
+                    for &(tb, cb) in &b.terms {
+                        if tb == VarTerm::Const {
+                            continue;
+                        }
+                        cov_ff += ca * cb * env.cov(ta, tb);
+                    }
+                }
+                if cov_ff == 0.0 {
+                    continue;
+                }
+                // Count symmetric pairs twice; diagonal once.
+                let pair_weight = if std::ptr::eq(a, b) { 1.0 } else { 2.0 };
+                let mu_prod = self.units[a.unit].mean() * self.units[b.unit].mean();
+                let sel_contrib = pair_weight * mu_prod * cov_ff;
+                if a.node == b.node {
+                    selectivity_exact += sel_contrib;
+                } else {
+                    covariance_bounds += sel_contrib;
+                }
+                if a.unit == b.unit {
+                    interaction += pair_weight * self.units[a.unit].var() * cov_ff;
+                }
+            }
+        }
+
+        (
+            mean_ms,
+            VarianceBreakdown {
+                unit_variance,
+                selectivity_exact,
+                covariance_bounds,
+                interaction,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_cost::{simulate_actual_time, HardwareProfile, SimConfig};
+    use uaq_engine::{execute_full, Pred, PlanBuilder};
+    use uaq_stats::Rng;
+    use uaq_storage::{Column, Schema, Table, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+        let rows = (0..8000)
+            .map(|i| vec![Value::Int((i % 50) as i64), Value::Int(i as i64)])
+            .collect();
+        c.add_table(Table::new("t", s, rows));
+        let s2 = Schema::new(vec![Column::int("x"), Column::int("y")]);
+        let rows2 = (0..4000)
+            .map(|i| vec![Value::Int((i % 50) as i64), Value::Int(i as i64)])
+            .collect();
+        c.add_table(Table::new("u", s2, rows2));
+        c
+    }
+
+    fn join_plan() -> Plan {
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("b", Value::Int(4000)));
+        let u = b.seq_scan("u", Pred::True);
+        let j = b.hash_join(t, u, "a", "x");
+        b.build(j)
+    }
+
+    fn calibrated_units(profile: &HardwareProfile, seed: u64) -> UnitDists {
+        uaq_cost::calibrate(profile, &uaq_cost::CalibrationConfig::default(), &mut Rng::new(seed))
+    }
+
+    #[test]
+    fn prediction_mean_tracks_simulated_actual() {
+        let c = catalog();
+        let plan = join_plan();
+        let profile = HardwareProfile::pc1();
+        let units = calibrated_units(&profile, 50);
+        let predictor = Predictor::new(units, PredictorConfig::default());
+        let mut rng = Rng::new(51);
+        let samples = c.draw_samples(0.1, 1, &mut rng);
+        let prediction = predictor.predict(&plan, &c, &samples);
+
+        let out = execute_full(&plan, &c);
+        let ctxs = NodeCostContext::build_all(&plan, &c);
+        let actual = simulate_actual_time(
+            &plan,
+            &ctxs,
+            &out.traces,
+            &profile,
+            &SimConfig {
+                runs: 200,
+                model_error_sigma: 0.0,
+                per_operator_unit_draws: false,
+            },
+            &mut rng,
+        );
+        let rel = (prediction.mean_ms() - actual.mean_ms).abs() / actual.mean_ms;
+        assert!(
+            rel < 0.15,
+            "predicted {} vs actual {} (rel {rel})",
+            prediction.mean_ms(),
+            actual.mean_ms
+        );
+    }
+
+    #[test]
+    fn variance_is_positive_with_sensible_breakdown() {
+        let c = catalog();
+        let plan = join_plan();
+        let units = calibrated_units(&HardwareProfile::pc1(), 52);
+        let predictor = Predictor::new(units, PredictorConfig::default());
+        let mut rng = Rng::new(53);
+        let samples = c.draw_samples(0.05, 1, &mut rng);
+        let p = predictor.predict(&plan, &c, &samples);
+        assert!(p.var() > 0.0);
+        assert!(p.breakdown.unit_variance > 0.0);
+        assert!(p.breakdown.selectivity_exact >= 0.0);
+        assert!(p.breakdown.covariance_bounds >= 0.0);
+        assert!((p.breakdown.total() - p.var()).abs() < 1e-9);
+        assert!(p.std_dev_ms() > 0.0);
+    }
+
+    #[test]
+    fn smaller_samples_mean_more_uncertainty() {
+        let c = catalog();
+        let plan = join_plan();
+        let units = calibrated_units(&HardwareProfile::pc1(), 54);
+        let predictor = Predictor::new(units, PredictorConfig::default());
+        let mut rng = Rng::new(55);
+        let small = c.draw_samples(0.02, 1, &mut rng);
+        let large = c.draw_samples(0.4, 1, &mut rng);
+        let p_small = predictor.predict(&plan, &c, &small);
+        let p_large = predictor.predict(&plan, &c, &large);
+        // Selectivity-driven variance must shrink with more samples.
+        let sel_small = p_small.breakdown.selectivity_exact + p_small.breakdown.covariance_bounds;
+        let sel_large = p_large.breakdown.selectivity_exact + p_large.breakdown.covariance_bounds;
+        assert!(
+            sel_small > sel_large,
+            "sel var small-sample {sel_small} vs large-sample {sel_large}"
+        );
+    }
+
+    #[test]
+    fn variants_reduce_variance() {
+        let c = catalog();
+        let plan = join_plan();
+        let units = calibrated_units(&HardwareProfile::pc1(), 56);
+        let mut rng = Rng::new(57);
+        let samples = c.draw_samples(0.05, 1, &mut rng);
+        let var_of = |variant: Variant| {
+            let p = Predictor::new(
+                units,
+                PredictorConfig {
+                    variant,
+                    ..Default::default()
+                },
+            )
+            .predict(&plan, &c, &samples);
+            p.var()
+        };
+        let all = var_of(Variant::All);
+        let no_c = var_of(Variant::NoCostUnitVariance);
+        let no_x = var_of(Variant::NoSelectivityVariance);
+        let no_cov = var_of(Variant::NoCovariance);
+        assert!(no_c < all, "No Var[c] must reduce variance: {no_c} vs {all}");
+        assert!(no_x < all, "No Var[X] must reduce variance: {no_x} vs {all}");
+        assert!(no_cov <= all, "No Cov must not increase variance");
+        assert!(no_cov >= no_x, "No Cov keeps same-operator selectivity variance");
+    }
+
+    #[test]
+    fn no_var_x_keeps_unit_variance_only_for_sel_terms() {
+        let c = catalog();
+        let plan = join_plan();
+        let units = calibrated_units(&HardwareProfile::pc2(), 58);
+        let mut rng = Rng::new(59);
+        let samples = c.draw_samples(0.05, 1, &mut rng);
+        let p = Predictor::new(
+            units,
+            PredictorConfig {
+                variant: Variant::NoSelectivityVariance,
+                ..Default::default()
+            },
+        )
+        .predict(&plan, &c, &samples);
+        assert!(p.breakdown.unit_variance > 0.0);
+        assert!(p.breakdown.selectivity_exact.abs() < 1e-12);
+        assert!(p.breakdown.covariance_bounds.abs() < 1e-12);
+        assert!(p.breakdown.interaction.abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_interval_is_centered_and_ordered() {
+        let c = catalog();
+        let plan = join_plan();
+        let units = calibrated_units(&HardwareProfile::pc1(), 60);
+        let predictor = Predictor::new(units, PredictorConfig::default());
+        let mut rng = Rng::new(61);
+        let samples = c.draw_samples(0.1, 1, &mut rng);
+        let p = predictor.predict(&plan, &c, &samples);
+        let (lo70, hi70) = p.confidence_interval_ms(0.70);
+        let (lo95, hi95) = p.confidence_interval_ms(0.95);
+        assert!(lo95 < lo70 && lo70 < p.mean_ms() && p.mean_ms() < hi70 && hi70 < hi95);
+        assert!((p.prob_within_alpha(1.0) - 0.6827).abs() < 1e-3);
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let c = catalog();
+        let plan = join_plan();
+        let units = calibrated_units(&HardwareProfile::pc1(), 62);
+        let predictor = Predictor::new(units, PredictorConfig::default());
+        let mut rng = Rng::new(63);
+        let samples = c.draw_samples(0.05, 1, &mut rng);
+        let p = predictor.predict(&plan, &c, &samples);
+        assert!(p.sample_pass_seconds >= 0.0);
+        assert!(p.inference_seconds > 0.0);
+        assert_eq!(p.sel_estimates.len(), plan.len());
+    }
+}

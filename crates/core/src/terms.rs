@@ -1,0 +1,421 @@
+//! Covariance algebra over selectivity monomials (§5.3).
+//!
+//! A fitted cost function decomposes into monomials in node selectivities:
+//! `1`, `X_u`, `X_u²`, `X_u X_v`. The variance computation needs
+//! `Cov(Z, Z')` for every monomial pair across every operator pair. Three
+//! regimes (§5.3.1–5.3.2):
+//!
+//! * **same variable(s)** — exact, via normal moment algebra (Table 3);
+//! * **independent variables** — zero (Lemma 1–3: estimates are independent
+//!   unless one operator descends from the other);
+//! * **dependent, different variables** — upper bounds: B1 (Theorem 7) for
+//!   linear×linear, the Theorem 9/10 envelopes for squares, and a
+//!   Cauchy–Schwarz fallback with exactly computable variances for the
+//!   product terms the paper does not spell out.
+
+use uaq_cost::SelTerm;
+use uaq_engine::{NodeId, Op, Plan};
+use uaq_selest::{cov_bound_square_linear, cov_bound_squares, cov_bounds, shared_leaves, SelEstimate};
+use uaq_stats::normal::product;
+use uaq_stats::Normal;
+
+/// A selectivity monomial bound to concrete plan nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarTerm {
+    /// Constant 1.
+    Const,
+    /// `X_u`.
+    Lin(NodeId),
+    /// `X_u²`.
+    Sq(NodeId),
+    /// `X_u · X_v` with `u ≠ v` (children of one binary operator; assumed
+    /// independent by Lemma 2 + the multi-sample-table trick).
+    Prod(NodeId, NodeId),
+}
+
+/// Resolves a form-relative [`SelTerm`] of operator `id` into plan nodes.
+pub fn resolve_term(plan: &Plan, id: NodeId, term: SelTerm) -> VarTerm {
+    let children = plan.op(id).children();
+    match term {
+        SelTerm::One => VarTerm::Const,
+        SelTerm::Own => VarTerm::Lin(id),
+        SelTerm::Left => VarTerm::Lin(children[0]),
+        SelTerm::LeftSq => VarTerm::Sq(children[0]),
+        SelTerm::Right => VarTerm::Lin(children[1]),
+        SelTerm::LeftRight => VarTerm::Prod(children[0], children[1]),
+    }
+}
+
+/// Shared read-only context for the algebra.
+pub struct CovEnv<'a> {
+    pub plan: &'a Plan,
+    /// Per-node selectivity distributions `X ~ N(ρ_n, σ_n²)`.
+    pub dists: &'a [Normal],
+    /// Per-node raw estimates (variance components for the bounds).
+    pub estimates: &'a [SelEstimate],
+    /// When true, cross-variable covariance *bounds* are skipped (the
+    /// paper's "No Cov" ablation); exact same-variable moments are kept.
+    pub drop_cross_covariances: bool,
+}
+
+impl<'a> CovEnv<'a> {
+    fn dependent(&self, u: NodeId, w: NodeId) -> bool {
+        u == w || self.plan.is_descendant(u, w) || self.plan.is_descendant(w, u)
+    }
+
+    /// Exact variance of a monomial.
+    pub fn term_var(&self, t: VarTerm) -> f64 {
+        match t {
+            VarTerm::Const => 0.0,
+            VarTerm::Lin(u) => self.dists[u].var(),
+            VarTerm::Sq(u) => self.dists[u].var_of_square(),
+            VarTerm::Prod(u, v) => product::var(&self.dists[u], &self.dists[v]),
+        }
+    }
+
+    /// Exact mean of a monomial.
+    pub fn term_mean(&self, t: VarTerm) -> f64 {
+        match t {
+            VarTerm::Const => 1.0,
+            VarTerm::Lin(u) => self.dists[u].mean(),
+            VarTerm::Sq(u) => self.dists[u].raw_moment(2),
+            VarTerm::Prod(u, v) => self.dists[u].mean() * self.dists[v].mean(),
+        }
+    }
+
+    /// B1 bound (Theorem 7) for `|Cov(X_u, X_w)|`, `u ≠ w` dependent.
+    fn bound_lin_lin(&self, u: NodeId, w: NodeId) -> f64 {
+        let Some(shared) = shared_leaves(self.plan, u, w) else {
+            return 0.0;
+        };
+        // Orient: shared_leaves treats the first descendant argument.
+        let (desc, anc) = if self.plan.is_descendant(u, w) {
+            (u, w)
+        } else {
+            (w, u)
+        };
+        let b = cov_bounds(&self.estimates[desc], &self.estimates[anc], &shared);
+        b.tightest()
+    }
+
+    /// Theorem 10 bound for `|Cov(X_u², X_w)|`, dependent `u ≠ w`, capped by
+    /// Cauchy–Schwarz with exact variances.
+    fn bound_sq_lin(&self, u: NodeId, w: NodeId) -> f64 {
+        let Some(shared) = shared_leaves(self.plan, u, w) else {
+            return 0.0;
+        };
+        let n = min_n(&self.estimates[u], &self.estimates[w]);
+        let t10 = cov_bound_square_linear(&self.estimates[u], &self.estimates[w], shared.m, n);
+        let cs = (self.term_var(VarTerm::Sq(u)) * self.term_var(VarTerm::Lin(w))).sqrt();
+        t10.min(cs)
+    }
+
+    /// Theorem 9 bound for `|Cov(X_u², X_w²)|`, capped by Cauchy–Schwarz.
+    fn bound_sq_sq(&self, u: NodeId, w: NodeId) -> f64 {
+        let Some(shared) = shared_leaves(self.plan, u, w) else {
+            return 0.0;
+        };
+        let (desc, anc) = if self.plan.is_descendant(u, w) {
+            (u, w)
+        } else {
+            (w, u)
+        };
+        let t9 = cov_bound_squares(&self.estimates[desc], &self.estimates[anc], &shared);
+        let cs = (self.term_var(VarTerm::Sq(u)) * self.term_var(VarTerm::Sq(w))).sqrt();
+        t9.min(cs)
+    }
+
+    /// Cauchy–Schwarz fallback with exact term variances.
+    fn cauchy_schwarz(&self, a: VarTerm, b: VarTerm) -> f64 {
+        (self.term_var(a) * self.term_var(b)).sqrt()
+    }
+
+    /// `Cov(Z, Z')` for two bound monomials: exact where the variables
+    /// coincide, zero where independent, an upper bound otherwise (the
+    /// bound is returned as a non-negative value — shared-sample
+    /// correlations are non-negative, and Algorithm 3 adds the bounds).
+    pub fn cov(&self, a: VarTerm, b: VarTerm) -> f64 {
+        use VarTerm::*;
+        match (a, b) {
+            (Const, _) | (_, Const) => 0.0,
+
+            (Lin(u), Lin(w)) => {
+                if u == w {
+                    self.dists[u].var()
+                } else {
+                    self.cross(u, w, |e| e.bound_lin_lin(u, w))
+                }
+            }
+
+            (Lin(u), Sq(w)) | (Sq(w), Lin(u)) => {
+                if u == w {
+                    self.dists[u].cov_x_x2()
+                } else {
+                    self.cross(u, w, |e| e.bound_sq_lin(w, u))
+                }
+            }
+
+            (Sq(u), Sq(w)) => {
+                if u == w {
+                    self.dists[u].var_of_square()
+                } else {
+                    self.cross(u, w, |e| e.bound_sq_sq(u, w))
+                }
+            }
+
+            (Prod(u, v), Lin(w)) | (Lin(w), Prod(u, v)) => {
+                if w == u {
+                    product::cov_with_left(&self.dists[u], &self.dists[v])
+                } else if w == v {
+                    product::cov_with_right(&self.dists[u], &self.dists[v])
+                } else {
+                    match (self.dependent(u, w), self.dependent(v, w)) {
+                        (false, false) => 0.0,
+                        (true, false) => {
+                            self.dists[v].mean().abs() * self.cross(u, w, |e| e.bound_lin_lin(u, w))
+                        }
+                        (false, true) => {
+                            self.dists[u].mean().abs() * self.cross(v, w, |e| e.bound_lin_lin(v, w))
+                        }
+                        (true, true) => self.gated(self.cauchy_schwarz(Prod(u, v), Lin(w))),
+                    }
+                }
+            }
+
+            (Prod(u, v), Sq(w)) | (Sq(w), Prod(u, v)) => {
+                if w == u {
+                    // Cov(X²·? , X Y) with Y ⊥ X: μ_v · Cov(X², X).
+                    self.dists[v].mean() * self.dists[u].cov_x_x2()
+                } else if w == v {
+                    self.dists[u].mean() * self.dists[v].cov_x_x2()
+                } else {
+                    match (self.dependent(u, w), self.dependent(v, w)) {
+                        (false, false) => 0.0,
+                        (true, false) => {
+                            self.dists[v].mean().abs() * self.cross(u, w, |e| e.bound_sq_lin(w, u))
+                        }
+                        (false, true) => {
+                            self.dists[u].mean().abs() * self.cross(v, w, |e| e.bound_sq_lin(w, v))
+                        }
+                        (true, true) => self.gated(self.cauchy_schwarz(Prod(u, v), Sq(w))),
+                    }
+                }
+            }
+
+            (Prod(u, v), Prod(w, z)) => {
+                if (u == w && v == z) || (u == z && v == w) {
+                    product::var(&self.dists[u], &self.dists[v])
+                } else if u == w && !self.dependent(v, z) {
+                    // Cov(X A, X B) with A ⊥ B ⊥ X: μ_A μ_B σ_X².
+                    self.dists[v].mean() * self.dists[z].mean() * self.dists[u].var()
+                } else if u == z && !self.dependent(v, w) {
+                    self.dists[v].mean() * self.dists[w].mean() * self.dists[u].var()
+                } else if v == w && !self.dependent(u, z) {
+                    self.dists[u].mean() * self.dists[z].mean() * self.dists[v].var()
+                } else if v == z && !self.dependent(u, w) {
+                    self.dists[u].mean() * self.dists[w].mean() * self.dists[v].var()
+                } else {
+                    let any_dep = self.dependent(u, w)
+                        || self.dependent(u, z)
+                        || self.dependent(v, w)
+                        || self.dependent(v, z);
+                    if any_dep {
+                        self.gated(self.cauchy_schwarz(a, b))
+                    } else {
+                        0.0
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the "No Cov" ablation gate to a cross-variable bound.
+    fn cross(&self, _u: NodeId, _w: NodeId, f: impl Fn(&Self) -> f64) -> f64 {
+        if self.drop_cross_covariances {
+            0.0
+        } else {
+            f(self)
+        }
+    }
+
+    fn gated(&self, v: f64) -> f64 {
+        if self.drop_cross_covariances {
+            0.0
+        } else {
+            v
+        }
+    }
+}
+
+fn min_n(a: &SelEstimate, b: &SelEstimate) -> usize {
+    a.leaf_sample_sizes
+        .iter()
+        .chain(b.leaf_sample_sizes.iter())
+        .copied()
+        .min()
+        .unwrap_or(0)
+}
+
+/// Sanity helper: does a plan node have children (used in tests).
+pub fn is_leaf(plan: &Plan, id: NodeId) -> bool {
+    matches!(plan.op(id), Op::SeqScan { .. } | Op::IndexScan { .. })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_engine::{execute_on_samples, Pred, PlanBuilder};
+    use uaq_selest::estimate_selectivities;
+    use uaq_stats::Rng;
+    use uaq_storage::{Catalog, Column, Schema, Table, Value};
+
+    fn fixture() -> (Catalog, Plan, Vec<SelEstimate>, Vec<Normal>) {
+        let mut c = Catalog::new();
+        for (name, key, rows) in [("t", "a", 1500usize), ("u", "x", 900), ("v", "p", 600)] {
+            let s = Schema::new(vec![Column::int(key), Column::int(&format!("{name}_id"))]);
+            let data = (0..rows)
+                .map(|i| vec![Value::Int((i % 30) as i64), Value::Int(i as i64)])
+                .collect();
+            c.add_table(Table::new(name, s, data));
+        }
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("t_id", Value::Int(1000)));
+        let u = b.seq_scan("u", Pred::True);
+        let j1 = b.hash_join(t, u, "a", "x");
+        let v = b.seq_scan("v", Pred::True);
+        let j2 = b.hash_join(j1, v, "a", "p");
+        let plan = b.build(j2);
+        let mut rng = Rng::new(33);
+        let samples = c.draw_samples(0.1, 1, &mut rng);
+        let out = execute_on_samples(&plan, &samples);
+        let estimates = estimate_selectivities(&plan, &out, &samples, &c);
+        let dists: Vec<Normal> = estimates.iter().map(|e| e.distribution()).collect();
+        (c, plan, estimates, dists)
+    }
+
+    #[test]
+    fn resolve_terms_to_plan_nodes() {
+        let (_c, plan, _e, _d) = fixture();
+        // j2 = node 4, children j1 = 2 and v = 3.
+        assert_eq!(resolve_term(&plan, 4, SelTerm::Left), VarTerm::Lin(2));
+        assert_eq!(resolve_term(&plan, 4, SelTerm::Right), VarTerm::Lin(3));
+        assert_eq!(resolve_term(&plan, 4, SelTerm::LeftRight), VarTerm::Prod(2, 3));
+        assert_eq!(resolve_term(&plan, 0, SelTerm::Own), VarTerm::Lin(0));
+        assert_eq!(resolve_term(&plan, 4, SelTerm::One), VarTerm::Const);
+    }
+
+    #[test]
+    fn same_variable_moments_are_exact() {
+        let (_c, plan, estimates, dists) = fixture();
+        let env = CovEnv {
+            plan: &plan,
+            dists: &dists,
+            estimates: &estimates,
+            drop_cross_covariances: false,
+        };
+        let x = dists[0];
+        assert_eq!(env.cov(VarTerm::Lin(0), VarTerm::Lin(0)), x.var());
+        assert_eq!(env.cov(VarTerm::Lin(0), VarTerm::Sq(0)), x.cov_x_x2());
+        assert_eq!(env.cov(VarTerm::Sq(0), VarTerm::Sq(0)), x.var_of_square());
+    }
+
+    #[test]
+    fn independent_nodes_have_zero_cov() {
+        let (_c, plan, estimates, dists) = fixture();
+        let env = CovEnv {
+            plan: &plan,
+            dists: &dists,
+            estimates: &estimates,
+            drop_cross_covariances: false,
+        };
+        // Scans of t (0) and u (1): siblings, Lemma 2.
+        assert_eq!(env.cov(VarTerm::Lin(0), VarTerm::Lin(1)), 0.0);
+        // j1 (2) and v (3): Example 5's Cov(X4, X3) = 0.
+        assert_eq!(env.cov(VarTerm::Lin(2), VarTerm::Lin(3)), 0.0);
+        assert_eq!(env.cov(VarTerm::Sq(0), VarTerm::Lin(1)), 0.0);
+    }
+
+    #[test]
+    fn dependent_nodes_get_positive_bounds() {
+        let (_c, plan, estimates, dists) = fixture();
+        let env = CovEnv {
+            plan: &plan,
+            dists: &dists,
+            estimates: &estimates,
+            drop_cross_covariances: false,
+        };
+        // Scan t (0) is a descendant of j1 (2): Example 5's Cov(X1, X4).
+        let c01 = env.cov(VarTerm::Lin(0), VarTerm::Lin(2));
+        assert!(c01 > 0.0, "expected positive bound");
+        // Bounded by Cauchy–Schwarz.
+        assert!(c01 <= (dists[0].var() * dists[2].var()).sqrt() + 1e-15);
+        // Symmetric.
+        assert_eq!(c01, env.cov(VarTerm::Lin(2), VarTerm::Lin(0)));
+    }
+
+    #[test]
+    fn product_term_reductions() {
+        let (_c, plan, estimates, dists) = fixture();
+        let env = CovEnv {
+            plan: &plan,
+            dists: &dists,
+            estimates: &estimates,
+            drop_cross_covariances: false,
+        };
+        // Prod(2, 3) vs Lin(2): exact μ_3 σ_2².
+        let got = env.cov(VarTerm::Prod(2, 3), VarTerm::Lin(2));
+        let expect = dists[3].mean() * dists[2].var();
+        assert!((got - expect).abs() < 1e-15);
+        // Prod(2, 3) vs Lin(0): 0 descends from 2 only → μ_3·B1(0,2).
+        let got2 = env.cov(VarTerm::Prod(2, 3), VarTerm::Lin(0));
+        let b1 = env.cov(VarTerm::Lin(0), VarTerm::Lin(2));
+        assert!((got2 - dists[3].mean() * b1).abs() < 1e-12);
+        // Same product twice: exact normal-product variance.
+        let vp = env.cov(VarTerm::Prod(2, 3), VarTerm::Prod(2, 3));
+        assert!((vp - env.term_var(VarTerm::Prod(2, 3))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn no_cov_gate_zeroes_cross_bounds_only() {
+        let (_c, plan, estimates, dists) = fixture();
+        let env = CovEnv {
+            plan: &plan,
+            dists: &dists,
+            estimates: &estimates,
+            drop_cross_covariances: true,
+        };
+        assert_eq!(env.cov(VarTerm::Lin(0), VarTerm::Lin(2)), 0.0);
+        // Same-variable moments survive the gate.
+        assert!(env.cov(VarTerm::Lin(0), VarTerm::Lin(0)) > 0.0);
+        assert_eq!(
+            env.cov(VarTerm::Prod(2, 3), VarTerm::Lin(2)),
+            dists[3].mean() * dists[2].var()
+        );
+    }
+
+    #[test]
+    fn term_means_and_vars() {
+        let (_c, plan, estimates, dists) = fixture();
+        let env = CovEnv {
+            plan: &plan,
+            dists: &dists,
+            estimates: &estimates,
+            drop_cross_covariances: false,
+        };
+        assert_eq!(env.term_mean(VarTerm::Const), 1.0);
+        assert_eq!(env.term_var(VarTerm::Const), 0.0);
+        assert_eq!(env.term_mean(VarTerm::Lin(0)), dists[0].mean());
+        assert_eq!(env.term_mean(VarTerm::Sq(0)), dists[0].raw_moment(2));
+        assert_eq!(
+            env.term_mean(VarTerm::Prod(0, 1)),
+            dists[0].mean() * dists[1].mean()
+        );
+    }
+
+    #[test]
+    fn leaf_detection() {
+        let (_c, plan, _e, _d) = fixture();
+        assert!(is_leaf(&plan, 0));
+        assert!(!is_leaf(&plan, 2));
+    }
+}

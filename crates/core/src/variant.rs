@@ -1,0 +1,52 @@
+//! The four predictor variants compared in §6.3.3 of the paper.
+
+/// Which parts of the uncertainty model are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Variant {
+    /// (V1) `All`: the complete framework.
+    #[default]
+    All,
+    /// (V2) `No Var[c]`: cost-unit variances forced to zero.
+    NoCostUnitVariance,
+    /// (V3) `No Var[X]`: selectivity-estimate variances forced to zero.
+    NoSelectivityVariance,
+    /// (V4) `No Cov`: cross-operator selectivity covariances dropped.
+    NoCovariance,
+}
+
+impl Variant {
+    pub const ALL_VARIANTS: [Variant; 4] = [
+        Variant::All,
+        Variant::NoCostUnitVariance,
+        Variant::NoSelectivityVariance,
+        Variant::NoCovariance,
+    ];
+
+    /// Label as printed in the paper's Figure 8/10 legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::All => "All",
+            Variant::NoCostUnitVariance => "No Var[c]",
+            Variant::NoSelectivityVariance => "No Var[X]",
+            Variant::NoCovariance => "No Cov",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Variant::All.label(), "All");
+        assert_eq!(Variant::NoCostUnitVariance.label(), "No Var[c]");
+        assert_eq!(Variant::NoSelectivityVariance.label(), "No Var[X]");
+        assert_eq!(Variant::NoCovariance.label(), "No Cov");
+    }
+
+    #[test]
+    fn default_is_complete() {
+        assert_eq!(Variant::default(), Variant::All);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the predictor: invariants that must hold for
+//! arbitrary (small) databases, predicates, and sampling randomness.
+
+use proptest::prelude::*;
+use uaq_core::{Predictor, PredictorConfig, Variant};
+use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
+use uaq_engine::{plan_query, Pred, QuerySpec, TableRef, JoinStep};
+use uaq_stats::Rng;
+use uaq_storage::{Catalog, Column, Schema, Table, Value};
+
+fn catalog(t: &[(i64, i64)], u: &[(i64, i64)]) -> Catalog {
+    let mut c = Catalog::new();
+    let ts = Schema::new(vec![Column::int("a"), Column::int("b")]);
+    c.add_table(Table::new(
+        "t",
+        ts,
+        t.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]).collect(),
+    ));
+    let us = Schema::new(vec![Column::int("x"), Column::int("y")]);
+    c.add_table(Table::new(
+        "u",
+        us,
+        u.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]).collect(),
+    ));
+    c
+}
+
+fn rows_strategy(min: usize, max: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..6, 0i64..30), min..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn prediction_invariants_hold(
+        t in rows_strategy(20, 120),
+        u in rows_strategy(20, 80),
+        cut in 0i64..30,
+        seed in any::<u64>(),
+    ) {
+        let c = catalog(&t, &u);
+        let mut rng = Rng::new(seed);
+        let units = calibrate(&HardwareProfile::pc1(), &CalibrationConfig::default(), &mut rng);
+        let samples = c.draw_samples(0.3, 2, &mut rng);
+        let spec = QuerySpec::scan("q", TableRef::new("t", Pred::lt("b", Value::Int(cut))))
+            .with_joins(vec![JoinStep::new(TableRef::plain("u"), "a", "x")]);
+        let plan = plan_query(&spec, &c);
+        let predictor = Predictor::new(units, PredictorConfig::default());
+        let p = predictor.predict(&plan, &c, &samples);
+
+        // Mean positive (there is always constant scan cost), variance
+        // non-negative, breakdown consistent.
+        prop_assert!(p.mean_ms() > 0.0);
+        prop_assert!(p.var() >= 0.0);
+        prop_assert!((p.breakdown.total().max(0.0) - p.var()).abs() < 1e-9 * p.var().max(1.0));
+        prop_assert!(p.breakdown.unit_variance >= 0.0);
+        prop_assert!(p.breakdown.selectivity_exact >= -1e-9);
+        prop_assert!(p.breakdown.covariance_bounds >= -1e-9);
+        // Confidence intervals nest and are centered.
+        let (l50, h50) = p.confidence_interval_ms(0.5);
+        let (l95, h95) = p.confidence_interval_ms(0.95);
+        prop_assert!(l95 <= l50 && h50 <= h95);
+        prop_assert!(l50 <= p.mean_ms() && p.mean_ms() <= h50);
+        prop_assert_eq!(p.sel_estimates.len(), plan.len());
+    }
+
+    #[test]
+    fn ablations_never_increase_variance(
+        t in rows_strategy(20, 100),
+        u in rows_strategy(20, 60),
+        seed in any::<u64>(),
+    ) {
+        let c = catalog(&t, &u);
+        let mut rng = Rng::new(seed);
+        let units = calibrate(&HardwareProfile::pc2(), &CalibrationConfig::default(), &mut rng);
+        let samples = c.draw_samples(0.3, 2, &mut rng);
+        let spec = QuerySpec::scan("q", TableRef::plain("t"))
+            .with_joins(vec![JoinStep::new(TableRef::plain("u"), "a", "x")]);
+        let plan = plan_query(&spec, &c);
+        let var_of = |variant: Variant| {
+            Predictor::new(units, PredictorConfig { variant, ..Default::default() })
+                .predict(&plan, &c, &samples)
+                .var()
+        };
+        let all = var_of(Variant::All);
+        prop_assert!(var_of(Variant::NoCostUnitVariance) <= all + 1e-9);
+        prop_assert!(var_of(Variant::NoSelectivityVariance) <= all + 1e-9);
+        prop_assert!(var_of(Variant::NoCovariance) <= all + 1e-9);
+    }
+}

@@ -1,0 +1,285 @@
+//! Cost-function fitting (§4.2).
+//!
+//! The predictor treats the optimizer cost model as a black box: it picks
+//! selectivity points on the `[μ − 3σ, μ + 3σ]` interval (where ≈ 99.7% of
+//! the estimate's mass lives), invokes the model there, and solves the
+//! non-negative least-squares problem `min ‖Ab − y‖, b ≥ 0` for the logical
+//! form's coefficients — the paper uses Scilab's `qpsolve`; we use our
+//! Lawson–Hanson NNLS (see `uaq_stats::nnls`).
+
+use crate::logical::{CostForm, FittedCost};
+use crate::oracle::NodeCostContext;
+use crate::units::CostUnit;
+use uaq_stats::{nnls, Matrix, Normal};
+
+/// Fitting knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FitConfig {
+    /// Number of grid subintervals `W` (§4.2): `W + 1` points per variable.
+    pub grid_w: usize,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self { grid_w: 8 }
+    }
+}
+
+/// The `W + 1` boundary points of `[μ − 3σ, μ + 3σ] ∩ [0, 1]`, widened to a
+/// small relative interval when the variance is (near) zero so the fit still
+/// sees the local shape of the function.
+pub fn grid_points(x: &Normal, w: usize) -> Vec<f64> {
+    assert!(w >= 1);
+    let (mut lo, mut hi) = (
+        (x.mean() - 3.0 * x.std_dev()).max(0.0),
+        (x.mean() + 3.0 * x.std_dev()).min(1.0),
+    );
+    if hi - lo < 1e-12 {
+        lo = (x.mean() * 0.9).max(0.0);
+        hi = (x.mean() * 1.1).min(1.0);
+    }
+    if hi - lo < 1e-12 {
+        // Mean is (near) zero with zero variance: probe a sliver above zero.
+        hi = (lo + 1e-9).min(1.0);
+    }
+    (0..=w)
+        .map(|i| lo + (hi - lo) * i as f64 / w as f64)
+        .collect()
+}
+
+/// Fits the cost function of one (operator, cost-unit) pair. Returns `None`
+/// when the operator never exercises the unit.
+pub fn fit_cost_function(
+    ctx: &NodeCostContext,
+    unit: CostUnit,
+    xl: &Normal,
+    xr: &Normal,
+    own: &Normal,
+    config: &FitConfig,
+) -> Option<FittedCost> {
+    let form = ctx.form_for(unit)?;
+
+    // C1': a single oracle probe is the coefficient.
+    if form == CostForm::Const {
+        let value = ctx.counts(xl.mean(), xr.mean(), own.mean())[unit];
+        return Some(FittedCost::constant(value));
+    }
+
+    // Assemble probe points.
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut y: Vec<f64> = Vec::new();
+    if form.uses_right() {
+        // Binary: (W+1) × (W+1) grid over I_l × I_r (§4.2).
+        for &pl in &grid_points(xl, config.grid_w) {
+            for &pr in &grid_points(xr, config.grid_w) {
+                rows.push(form.design_row(pl, pr, 0.0));
+                y.push(ctx.counts(pl, pr, 0.0)[unit]);
+            }
+        }
+    } else if form.uses_own() {
+        for &p in &grid_points(own, config.grid_w) {
+            rows.push(form.design_row(0.0, 0.0, p));
+            y.push(ctx.counts(0.0, 0.0, p)[unit]);
+        }
+    } else {
+        for &p in &grid_points(xl, config.grid_w) {
+            rows.push(form.design_row(p, 0.0, 0.0));
+            y.push(ctx.counts(p, 0.0, 0.0)[unit]);
+        }
+    }
+
+    // Column scaling: selectivities can be ~1e-9 while the intercept column
+    // is 1, which would wreck the normal equations' conditioning. NNLS is
+    // scale-covariant under positive column scaling, so solve the scaled
+    // problem and unscale the coefficients.
+    let cols = form.arity();
+    let mut scale = vec![0.0f64; cols];
+    for row in &rows {
+        for (s, v) in scale.iter_mut().zip(row) {
+            *s = s.max(v.abs());
+        }
+    }
+    for s in &mut scale {
+        if *s == 0.0 {
+            *s = 1.0;
+        }
+    }
+    let scaled_rows: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|row| row.iter().zip(&scale).map(|(v, s)| v / s).collect())
+        .collect();
+    let solution = nnls(&Matrix::from_rows(scaled_rows), &y);
+    let coeffs: Vec<f64> = solution
+        .x
+        .iter()
+        .zip(&scale)
+        .map(|(b, s)| b / s)
+        .collect();
+    Some(FittedCost::new(form, &coeffs))
+}
+
+/// Fits all five unit functions of one operator.
+pub fn fit_node(
+    ctx: &NodeCostContext,
+    xl: &Normal,
+    xr: &Normal,
+    own: &Normal,
+    config: &FitConfig,
+) -> [Option<FittedCost>; 5] {
+    CostUnit::ALL.map(|u| fit_cost_function(ctx, u, xl, xr, own, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_engine::{Pred, PlanBuilder, SortOrder};
+    use uaq_storage::{Catalog, Column, Schema, Table, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+        let rows = (0..6400)
+            .map(|i| vec![Value::Int(i % 80), Value::Int(i)])
+            .collect();
+        c.add_table(Table::new("t", s, rows));
+        let s2 = Schema::new(vec![Column::int("x")]);
+        let rows2 = (0..3200).map(|i| vec![Value::Int(i % 80)]).collect();
+        c.add_table(Table::new("u", s2, rows2));
+        c
+    }
+
+    #[test]
+    fn grid_stays_in_unit_interval_and_covers_3sigma() {
+        let x = Normal::new(0.5, 0.01);
+        let pts = grid_points(&x, 8);
+        assert_eq!(pts.len(), 9);
+        assert!((pts[0] - 0.2).abs() < 1e-12);
+        assert!((pts[8] - 0.8).abs() < 1e-12);
+        let tight = grid_points(&Normal::new(0.99, 0.01), 4);
+        assert!(tight.iter().all(|&p| p <= 1.0));
+        let degenerate = grid_points(&Normal::point(0.4), 4);
+        assert!(degenerate.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn linear_forms_are_recovered_exactly() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let l = b.seq_scan("t", Pred::True);
+        let r = b.seq_scan("u", Pred::True);
+        let j = b.hash_join(l, r, "a", "x");
+        let plan = b.build(j);
+        let ctx = NodeCostContext::build(&plan, j, &c);
+        let xl = Normal::new(0.4, 0.003);
+        let xr = Normal::new(0.5, 0.002);
+        let fit = fit_cost_function(&ctx, CostUnit::CpuTuple, &xl, &xr, &Normal::point(0.0), &FitConfig::default())
+            .expect("hash join exercises c_t");
+        // Oracle: n_t = Nl + Nr = 6400·Xl + 3200·Xr — a C5' exactly.
+        for (pl, pr) in [(0.3, 0.4), (0.45, 0.55), (0.5, 0.5)] {
+            let truth = ctx.counts(pl, pr, 0.0)[CostUnit::CpuTuple];
+            assert!(
+                (fit.eval(pl, pr, 0.0) - truth).abs() / truth < 1e-6,
+                "fit {} vs oracle {truth}",
+                fit.eval(pl, pr, 0.0)
+            );
+        }
+    }
+
+    #[test]
+    fn nl_join_product_form_recovered() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let l = b.seq_scan("t", Pred::True);
+        let r = b.seq_scan("u", Pred::True);
+        let j = b.nl_join(l, r, "a", "x");
+        let plan = b.build(j);
+        let ctx = NodeCostContext::build(&plan, j, &c);
+        let xl = Normal::new(0.2, 0.001);
+        let xr = Normal::new(0.3, 0.001);
+        let fit = fit_cost_function(&ctx, CostUnit::CpuOp, &xl, &xr, &Normal::point(0.0), &FitConfig::default())
+            .expect("nl join exercises c_o");
+        let truth = ctx.counts(0.25, 0.35, 0.0)[CostUnit::CpuOp];
+        assert!((fit.eval(0.25, 0.35, 0.0) - truth).abs() / truth < 1e-6);
+        assert_eq!(fit.form, CostForm::ProductBoth);
+    }
+
+    #[test]
+    fn sort_nlogn_fits_quadratic_within_interval() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t", Pred::True);
+        let srt = b.sort(s, vec![("b".into(), SortOrder::Asc)]);
+        let plan = b.build(srt);
+        let ctx = NodeCostContext::build(&plan, srt, &c);
+        let xl = Normal::new(0.5, 0.004);
+        let fit = fit_cost_function(&ctx, CostUnit::CpuOp, &xl, &Normal::point(0.0), &Normal::point(0.0), &FitConfig::default())
+            .expect("sort exercises c_o");
+        assert_eq!(fit.form, CostForm::QuadLeft);
+        // Inside the 3σ interval the quadratic approximation of N log N is
+        // accurate to well under 1%.
+        for p in [0.4, 0.5, 0.6] {
+            let truth = ctx.counts(p, 0.0, 0.0)[CostUnit::CpuOp];
+            let rel = (fit.eval(p, 0.0, 0.0) - truth).abs() / truth;
+            assert!(rel < 0.01, "rel err {rel} at X={p}");
+        }
+    }
+
+    #[test]
+    fn tiny_selectivities_stay_numerically_stable() {
+        // Join-output selectivities can be ~1e-6 or less; the column-scaled
+        // NNLS must not blow up.
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.index_scan("t", "b", Pred::lt("b", Value::Int(6)));
+        let plan = b.build(s);
+        let ctx = NodeCostContext::build(&plan, s, &c);
+        let own = Normal::new(1e-6, 1e-14);
+        let fit = fit_cost_function(&ctx, CostUnit::RandPage, &Normal::point(0.0), &Normal::point(0.0), &own, &FitConfig::default())
+            .expect("index scan does random I/O");
+        let truth = ctx.counts(0.0, 0.0, 1e-6)[CostUnit::RandPage];
+        assert!(
+            (fit.eval(0.0, 0.0, 1e-6) - truth).abs() <= truth * 1e-3 + 1e-9,
+            "fit {} vs truth {truth}",
+            fit.eval(0.0, 0.0, 1e-6)
+        );
+    }
+
+    #[test]
+    fn unused_units_fit_to_none() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t", Pred::True);
+        let plan = b.build(s);
+        let ctx = NodeCostContext::build(&plan, s, &c);
+        let fits = fit_node(
+            &ctx,
+            &Normal::point(0.0),
+            &Normal::point(0.0),
+            &Normal::new(0.5, 0.01),
+            &FitConfig::default(),
+        );
+        assert!(fits[CostUnit::RandPage.idx()].is_none());
+        assert!(fits[CostUnit::CpuIndex.idx()].is_none());
+        assert!(fits[CostUnit::SeqPage.idx()].is_some());
+    }
+
+    #[test]
+    fn coefficients_are_nonnegative() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t", Pred::True);
+        let srt = b.sort(s, vec![("b".into(), SortOrder::Asc)]);
+        let plan = b.build(srt);
+        let ctx = NodeCostContext::build(&plan, srt, &c);
+        let fit = fit_cost_function(
+            &ctx,
+            CostUnit::CpuOp,
+            &Normal::new(0.3, 0.01),
+            &Normal::point(0.0),
+            &Normal::point(0.0),
+            &FitConfig::default(),
+        )
+        .expect("fit");
+        assert!(fit.b.iter().all(|&b| b >= 0.0), "{:?}", fit.b);
+    }
+}

@@ -1,0 +1,24 @@
+//! # uaq-cost
+//!
+//! Cost-model substrate for the `uaq` reproduction: the five PostgreSQL cost
+//! units (Table 1), simulated hardware profiles (PC1/PC2), the oracle cost
+//! model (the black box the predictor fits), cost-unit calibration with
+//! variances (§3.1), the logical cost-function forms C1'–C6' with their
+//! asymptotic distributions (§4, §5.2.1), NNLS grid fitting (§4.2), and the
+//! simulated runtime producing ground-truth "actual" execution times.
+
+pub mod calibrate;
+pub mod fitting;
+pub mod logical;
+pub mod oracle;
+pub mod profile;
+pub mod runtime;
+pub mod units;
+
+pub use calibrate::{calibrate, CalibrationConfig};
+pub use fitting::{fit_cost_function, fit_node, grid_points, FitConfig};
+pub use logical::{CostForm, FittedCost, SelTerm};
+pub use oracle::NodeCostContext;
+pub use profile::HardwareProfile;
+pub use runtime::{simulate_actual_time, true_selectivities, ActualTiming, SimConfig};
+pub use units::{CostUnit, UnitCounts, UnitDists, UnitValues};

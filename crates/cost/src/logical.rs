@@ -1,0 +1,291 @@
+//! Logical cost functions — the six canonical forms C1'–C6' of §4.1, their
+//! evaluation, and their asymptotic distributions under normal selectivity
+//! estimates (§5.2.1).
+//!
+//! Written in terms of selectivities (the primed forms): the coefficients `b`
+//! already absorb the `|R|` scale factors, so a fitted function maps
+//! selectivities straight to primitive-operation counts.
+
+use uaq_stats::{lemma4_var, lemma8_var, Normal};
+
+/// Which selectivity variables a cost function reads.
+///
+/// * Scans read their **own** output selectivity `X` (C1'/C2').
+/// * Unary operators read their child's selectivity `X_l` (C3'/C4').
+/// * Binary operators read both children's selectivities (C5'/C6').
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostForm {
+    /// C1': `f = b0`.
+    Const,
+    /// C2': `f = b0·X + b1` — linear in the operator's own selectivity.
+    LinearOut,
+    /// C3': `f = b0·X_l + b1` — linear in the left-child selectivity.
+    LinearLeft,
+    /// C4': `f = b0·X_l² + b1·X_l + b2` — quadratic in the left-child
+    /// selectivity (the `N log N` approximation).
+    QuadLeft,
+    /// C5': `f = b0·X_l + b1·X_r + b2` — linear in both child selectivities.
+    LinearBoth,
+    /// C6': `f = b0·X_l·X_r + b1·X_l + b2·X_r + b3` — with the product term
+    /// of a nested-loop join.
+    ProductBoth,
+}
+
+impl CostForm {
+    /// Number of coefficients.
+    pub fn arity(&self) -> usize {
+        match self {
+            CostForm::Const => 1,
+            CostForm::LinearOut | CostForm::LinearLeft => 2,
+            CostForm::QuadLeft | CostForm::LinearBoth => 3,
+            CostForm::ProductBoth => 4,
+        }
+    }
+
+    /// Does the form read the operator's own output selectivity?
+    pub fn uses_own(&self) -> bool {
+        matches!(self, CostForm::LinearOut)
+    }
+
+    /// Does the form read the right child's selectivity?
+    pub fn uses_right(&self) -> bool {
+        matches!(self, CostForm::LinearBoth | CostForm::ProductBoth)
+    }
+
+    /// Design-matrix row for a given variable assignment; column order
+    /// matches the coefficient order of [`FittedCost::eval`].
+    pub fn design_row(&self, xl: f64, xr: f64, own: f64) -> Vec<f64> {
+        match self {
+            CostForm::Const => vec![1.0],
+            CostForm::LinearOut => vec![own, 1.0],
+            CostForm::LinearLeft => vec![xl, 1.0],
+            CostForm::QuadLeft => vec![xl * xl, xl, 1.0],
+            CostForm::LinearBoth => vec![xl, xr, 1.0],
+            CostForm::ProductBoth => vec![xl * xr, xl, xr, 1.0],
+        }
+    }
+}
+
+/// A fitted logical cost function: a form plus its coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedCost {
+    pub form: CostForm,
+    /// Coefficients in the order of [`CostForm::design_row`]; trailing
+    /// entries beyond the form's arity are zero.
+    pub b: [f64; 4],
+}
+
+impl FittedCost {
+    pub fn new(form: CostForm, coeffs: &[f64]) -> Self {
+        assert_eq!(coeffs.len(), form.arity(), "coefficient arity mismatch");
+        let mut b = [0.0; 4];
+        b[..coeffs.len()].copy_from_slice(coeffs);
+        Self { form, b }
+    }
+
+    /// A constant function (used for zero-count unit slots too).
+    pub fn constant(value: f64) -> Self {
+        Self::new(CostForm::Const, &[value])
+    }
+
+    /// Evaluates the function at concrete selectivities.
+    pub fn eval(&self, xl: f64, xr: f64, own: f64) -> f64 {
+        let b = &self.b;
+        match self.form {
+            CostForm::Const => b[0],
+            CostForm::LinearOut => b[0] * own + b[1],
+            CostForm::LinearLeft => b[0] * xl + b[1],
+            CostForm::QuadLeft => b[0] * xl * xl + b[1] * xl + b[2],
+            CostForm::LinearBoth => b[0] * xl + b[1] * xr + b[2],
+            CostForm::ProductBoth => b[0] * xl * xr + b[1] * xl + b[2] * xr + b[3],
+        }
+    }
+
+    /// Mean and variance of `f(X)` under normal selectivity estimates —
+    /// the asymptotic distributions of §5.2.1 (exact moments; the *normal
+    /// approximation* `f^N ~ N(E[f], Var[f])` is Theorems 1 and 5).
+    ///
+    /// `xl`/`xr` are the child-selectivity distributions (ignored where
+    /// unused); `own` is the operator's own output-selectivity distribution.
+    /// Binary forms assume `X_l ⊥ X_r` (Lemma 2 + the multi-sample trick).
+    pub fn mean_var(&self, xl: &Normal, xr: &Normal, own: &Normal) -> (f64, f64) {
+        let b = &self.b;
+        match self.form {
+            CostForm::Const => (b[0], 0.0),
+            CostForm::LinearOut => (b[0] * own.mean() + b[1], b[0] * b[0] * own.var()),
+            CostForm::LinearLeft => (b[0] * xl.mean() + b[1], b[0] * b[0] * xl.var()),
+            CostForm::QuadLeft => {
+                // E[f] = b0·E[X²] + b1·E[X] + b2 (Table 3), Var by Lemma 4.
+                let mean = b[0] * xl.raw_moment(2) + b[1] * xl.mean() + b[2];
+                (mean, lemma4_var(b[0], b[1], xl))
+            }
+            CostForm::LinearBoth => (
+                b[0] * xl.mean() + b[1] * xr.mean() + b[2],
+                b[0] * b[0] * xl.var() + b[1] * b[1] * xr.var(),
+            ),
+            CostForm::ProductBoth => {
+                let mean = b[0] * xl.mean() * xr.mean() + b[1] * xl.mean() + b[2] * xr.mean() + b[3];
+                (mean, lemma8_var(b[0], b[1], b[2], xl, xr))
+            }
+        }
+    }
+
+    /// Decomposition into selectivity monomials with coefficients — the raw
+    /// material for the covariance algebra of §5.3. `Var::One` is the
+    /// constant term.
+    pub fn terms(&self) -> Vec<(SelTerm, f64)> {
+        let b = &self.b;
+        match self.form {
+            CostForm::Const => vec![(SelTerm::One, b[0])],
+            CostForm::LinearOut => vec![(SelTerm::Own, b[0]), (SelTerm::One, b[1])],
+            CostForm::LinearLeft => vec![(SelTerm::Left, b[0]), (SelTerm::One, b[1])],
+            CostForm::QuadLeft => vec![
+                (SelTerm::LeftSq, b[0]),
+                (SelTerm::Left, b[1]),
+                (SelTerm::One, b[2]),
+            ],
+            CostForm::LinearBoth => vec![
+                (SelTerm::Left, b[0]),
+                (SelTerm::Right, b[1]),
+                (SelTerm::One, b[2]),
+            ],
+            CostForm::ProductBoth => vec![
+                (SelTerm::LeftRight, b[0]),
+                (SelTerm::Left, b[1]),
+                (SelTerm::Right, b[2]),
+                (SelTerm::One, b[3]),
+            ],
+        }
+    }
+}
+
+/// A selectivity monomial appearing in a cost function, relative to the
+/// operator that owns the function (`Z ∈ {1, X, X_l, X_l², X_r, X_l X_r}`,
+/// §5.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SelTerm {
+    /// Constant 1.
+    One,
+    /// The operator's own output selectivity `X`.
+    Own,
+    /// Left child selectivity `X_l`.
+    Left,
+    /// `X_l²`.
+    LeftSq,
+    /// Right child selectivity `X_r`.
+    Right,
+    /// `X_l · X_r`.
+    LeftRight,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_stats::Rng;
+
+    #[test]
+    fn eval_matches_design_row() {
+        let mut rng = Rng::new(9);
+        for form in [
+            CostForm::Const,
+            CostForm::LinearOut,
+            CostForm::LinearLeft,
+            CostForm::QuadLeft,
+            CostForm::LinearBoth,
+            CostForm::ProductBoth,
+        ] {
+            let coeffs: Vec<f64> = (0..form.arity()).map(|_| rng.f64() * 10.0).collect();
+            let f = FittedCost::new(form, &coeffs);
+            for _ in 0..20 {
+                let (xl, xr, own) = (rng.f64(), rng.f64(), rng.f64());
+                let via_row: f64 = form
+                    .design_row(xl, xr, own)
+                    .iter()
+                    .zip(&coeffs)
+                    .map(|(d, c)| d * c)
+                    .sum();
+                assert!((f.eval(xl, xr, own) - via_row).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_var_against_monte_carlo_all_forms() {
+        let xl = Normal::new(0.3, 0.004);
+        let xr = Normal::new(0.6, 0.009);
+        let own = Normal::new(0.2, 0.002);
+        let mut rng = Rng::new(321);
+        for (form, coeffs) in [
+            (CostForm::Const, vec![5.0]),
+            (CostForm::LinearOut, vec![100.0, 3.0]),
+            (CostForm::LinearLeft, vec![40.0, 1.0]),
+            (CostForm::QuadLeft, vec![30.0, 10.0, 2.0]),
+            (CostForm::LinearBoth, vec![20.0, 15.0, 1.0]),
+            (CostForm::ProductBoth, vec![50.0, 5.0, 7.0, 0.5]),
+        ] {
+            let f = FittedCost::new(form, &coeffs);
+            let (am, av) = f.mean_var(&xl, &xr, &own);
+            let n = 300_000;
+            let mut sum = 0.0;
+            let mut sumsq = 0.0;
+            for _ in 0..n {
+                let v = f.eval(xl.sample(&mut rng), xr.sample(&mut rng), own.sample(&mut rng));
+                sum += v;
+                sumsq += v * v;
+            }
+            let mm = sum / n as f64;
+            let mv = sumsq / n as f64 - mm * mm;
+            assert!(
+                (am - mm).abs() / am.abs().max(1e-9) < 0.01,
+                "{form:?}: mean analytic {am} vs mc {mm}"
+            );
+            if av > 0.0 {
+                assert!(
+                    (av - mv).abs() / av < 0.05,
+                    "{form:?}: var analytic {av} vs mc {mv}"
+                );
+            } else {
+                assert!(mv.abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn terms_reconstruct_eval() {
+        let f = FittedCost::new(CostForm::ProductBoth, &[2.0, 3.0, 4.0, 5.0]);
+        let (xl, xr) = (0.25, 0.5);
+        let via_terms: f64 = f
+            .terms()
+            .iter()
+            .map(|(t, c)| {
+                c * match t {
+                    SelTerm::One => 1.0,
+                    SelTerm::Own => unreachable!(),
+                    SelTerm::Left => xl,
+                    SelTerm::LeftSq => xl * xl,
+                    SelTerm::Right => xr,
+                    SelTerm::LeftRight => xl * xr,
+                }
+            })
+            .sum();
+        assert!((f.eval(xl, xr, 0.0) - via_terms).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_helper() {
+        let f = FittedCost::constant(7.5);
+        assert_eq!(f.eval(0.1, 0.9, 0.4), 7.5);
+        let (m, v) = f.mean_var(
+            &Normal::new(0.5, 0.1),
+            &Normal::new(0.5, 0.1),
+            &Normal::new(0.5, 0.1),
+        );
+        assert_eq!((m, v), (7.5, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn wrong_arity_rejected() {
+        FittedCost::new(CostForm::QuadLeft, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,395 @@
+//! The oracle cost model — the substrate's stand-in for PostgreSQL's
+//! internal cost functions.
+//!
+//! For every operator it maps selectivities to the five primitive-operation
+//! counts `(n_s, n_r, n_t, n_i, n_o)` of Eq. 1. Two consumers:
+//!
+//! * the **simulated runtime** evaluates it at *true* selectivities to
+//!   produce actual execution times (ground truth);
+//! * the **predictor** treats it as a black box, probing it on a selectivity
+//!   grid and fitting the logical forms C1'–C6' (§4.2) — it never reads the
+//!   constants below directly. The `N log N` sort term is intentionally not
+//!   representable by any form, reproducing the paper's `g`-approximation
+//!   error.
+
+use crate::logical::CostForm;
+use crate::units::{CostUnit, UnitCounts};
+use uaq_engine::{NodeId, Op, Plan};
+use uaq_storage::Catalog;
+
+/// Tuple-construction cost charged per emitted output row (in `c_t` units):
+/// result tuples are formed, copied, and pushed to the consumer, which costs
+/// several times a plain tuple touch.
+const EMIT_TUPLE_FACTOR: f64 = 4.0;
+/// Primitive operations per emitted output row (in `c_o` units).
+const EMIT_OPS: f64 = 2.0;
+/// Hash-build cost per inner tuple (in `c_o` units).
+const HASH_BUILD_OPS: f64 = 2.0;
+/// Hash-probe cost per outer tuple.
+const HASH_PROBE_OPS: f64 = 1.5;
+/// Per-tuple ops charged by an aggregate on top of its per-function work.
+const AGG_BASE_OPS: f64 = 1.0;
+
+/// Everything the oracle needs to know about one operator, independent of
+/// any concrete execution: static table geometry plus the `|R|` products
+/// that convert selectivities to cardinalities.
+#[derive(Debug, Clone)]
+pub struct NodeCostContext {
+    kind: KindParams,
+    /// `∏ |R|` over the left child's leaf tables (0 for scans).
+    left_leaf_product: f64,
+    /// `∏ |R|` over the right child's leaf tables (0 for unary operators).
+    right_leaf_product: f64,
+    /// `∏ |R|` over this operator's own leaf tables.
+    own_leaf_product: f64,
+}
+
+#[derive(Debug, Clone)]
+enum KindParams {
+    SeqScan {
+        rows: f64,
+        pages: f64,
+        pred_ops: f64,
+    },
+    IndexScan {
+        rows: f64,
+        pred_ops: f64,
+    },
+    Filter {
+        pred_ops: f64,
+    },
+    Sort,
+    Materialize {
+        tuples_per_page: f64,
+    },
+    HashJoin {
+        key_density: f64,
+    },
+    NestedLoopJoin {
+        key_density: f64,
+    },
+    HashAggregate {
+        ops_per_tuple: f64,
+    },
+}
+
+impl NodeCostContext {
+    /// Builds the context for one plan node.
+    pub fn build(plan: &Plan, id: NodeId, catalog: &Catalog) -> Self {
+        let children = plan.op(id).children();
+        let left_leaf_product = children
+            .first()
+            .map_or(0.0, |&c| plan.leaf_cardinality_product(c, catalog));
+        let right_leaf_product = children
+            .get(1)
+            .map_or(0.0, |&c| plan.leaf_cardinality_product(c, catalog));
+        let own_leaf_product = plan.leaf_cardinality_product(id, catalog);
+
+        let kind = match plan.op(id) {
+            Op::SeqScan { table, predicate } => {
+                let t = catalog.table(table);
+                KindParams::SeqScan {
+                    rows: t.len() as f64,
+                    pages: t.pages() as f64,
+                    pred_ops: predicate.op_count().max(1) as f64,
+                }
+            }
+            Op::IndexScan {
+                table, predicate, ..
+            } => KindParams::IndexScan {
+                rows: catalog.table(table).len() as f64,
+                pred_ops: predicate.op_count().max(1) as f64,
+            },
+            Op::Filter { predicate, .. } => KindParams::Filter {
+                pred_ops: predicate.op_count().max(1) as f64,
+            },
+            Op::Sort { .. } => KindParams::Sort,
+            Op::Materialize { .. } => KindParams::Materialize {
+                tuples_per_page: uaq_storage::DEFAULT_TUPLES_PER_PAGE as f64,
+            },
+            Op::HashJoin { .. } => KindParams::HashJoin {
+                key_density: uaq_engine::cardest::join_key_density(plan, id, catalog),
+            },
+            Op::NestedLoopJoin { .. } => KindParams::NestedLoopJoin {
+                key_density: uaq_engine::cardest::join_key_density(plan, id, catalog),
+            },
+            Op::HashAggregate { aggs, .. } => KindParams::HashAggregate {
+                ops_per_tuple: AGG_BASE_OPS + aggs.len() as f64,
+            },
+        };
+        Self {
+            kind,
+            left_leaf_product,
+            right_leaf_product,
+            own_leaf_product,
+        }
+    }
+
+    /// Contexts for every node of a plan, indexed by `NodeId`.
+    pub fn build_all(plan: &Plan, catalog: &Catalog) -> Vec<NodeCostContext> {
+        plan.node_ids()
+            .map(|id| Self::build(plan, id, catalog))
+            .collect()
+    }
+
+    /// Left-child cardinality for a left-child selectivity.
+    pub fn nl(&self, xl: f64) -> f64 {
+        xl * self.left_leaf_product
+    }
+
+    /// Right-child cardinality for a right-child selectivity.
+    pub fn nr(&self, xr: f64) -> f64 {
+        xr * self.right_leaf_product
+    }
+
+    /// Own output cardinality for an own selectivity.
+    pub fn m(&self, own: f64) -> f64 {
+        own * self.own_leaf_product
+    }
+
+    /// `∏|R|` of the operator's own subtree (selectivity denominator).
+    pub fn own_leaf_product(&self) -> f64 {
+        self.own_leaf_product
+    }
+
+    /// The counting functions: selectivities in, primitive counts out
+    /// (Eq. 1's `n` vector as a function of `X`, §2).
+    pub fn counts(&self, xl: f64, xr: f64, own: f64) -> UnitCounts {
+        let mut n = UnitCounts::default();
+        match &self.kind {
+            KindParams::SeqScan {
+                rows,
+                pages,
+                pred_ops,
+            } => {
+                n[CostUnit::SeqPage] = *pages;
+                // Touch every tuple, plus construct every emitted tuple
+                // (PostgreSQL charges cpu_tuple_cost per output row).
+                n[CostUnit::CpuTuple] = rows + EMIT_TUPLE_FACTOR * self.m(own);
+                n[CostUnit::CpuOp] = pred_ops * rows + EMIT_OPS * self.m(own);
+            }
+            KindParams::IndexScan { rows, pred_ops } => {
+                let m = self.m(own);
+                // One random page fetch and one index-entry visit per
+                // qualifying tuple, plus the B-tree descent.
+                n[CostUnit::RandPage] = m;
+                n[CostUnit::CpuIndex] = m + (rows + 1.0).log2();
+                n[CostUnit::CpuTuple] = (1.0 + EMIT_TUPLE_FACTOR) * m;
+                n[CostUnit::CpuOp] = (pred_ops + EMIT_OPS) * m;
+            }
+            KindParams::Filter { pred_ops } => {
+                let nl = self.nl(xl);
+                n[CostUnit::CpuTuple] = nl;
+                n[CostUnit::CpuOp] = pred_ops * nl;
+            }
+            KindParams::Sort => {
+                let nl = self.nl(xl);
+                n[CostUnit::CpuTuple] = nl;
+                // The paper's canonical non-linear example: a·N·log N.
+                n[CostUnit::CpuOp] = nl * nl.max(2.0).log2();
+            }
+            KindParams::Materialize { tuples_per_page } => {
+                let nl = self.nl(xl);
+                n[CostUnit::CpuTuple] = nl;
+                n[CostUnit::SeqPage] = nl / tuples_per_page;
+            }
+            KindParams::HashJoin { key_density } => {
+                let (nl, nr) = (self.nl(xl), self.nr(xr));
+                // Expected matches ≈ N_l · N_r · density: emitted join tuples
+                // must be constructed — the C6'-shaped product term.
+                let emitted = nl * nr * key_density;
+                n[CostUnit::CpuTuple] = nl + nr + EMIT_TUPLE_FACTOR * emitted;
+                n[CostUnit::CpuOp] = HASH_PROBE_OPS * nl + HASH_BUILD_OPS * nr + EMIT_OPS * emitted;
+            }
+            KindParams::NestedLoopJoin { key_density } => {
+                let (nl, nr) = (self.nl(xl), self.nr(xr));
+                let emitted = nl * nr * key_density;
+                n[CostUnit::CpuTuple] = nl + nl * nr + EMIT_TUPLE_FACTOR * emitted;
+                n[CostUnit::CpuOp] = nl * nr + EMIT_OPS * emitted;
+            }
+            KindParams::HashAggregate { ops_per_tuple } => {
+                let nl = self.nl(xl);
+                n[CostUnit::CpuTuple] = nl;
+                n[CostUnit::CpuOp] = ops_per_tuple * nl;
+            }
+        }
+        n
+    }
+
+    /// The logical form the predictor should fit for one cost unit — `None`
+    /// when the count is identically zero for this operator kind (§4.1's
+    /// form assignment).
+    pub fn form_for(&self, unit: CostUnit) -> Option<CostForm> {
+        use CostUnit::*;
+        match (&self.kind, unit) {
+            (KindParams::SeqScan { .. }, SeqPage) => Some(CostForm::Const),
+            (KindParams::SeqScan { .. }, CpuTuple | CpuOp) => Some(CostForm::LinearOut),
+            (KindParams::SeqScan { .. }, _) => None,
+            (KindParams::IndexScan { .. }, RandPage | CpuIndex | CpuTuple | CpuOp) => {
+                Some(CostForm::LinearOut)
+            }
+            (KindParams::IndexScan { .. }, _) => None,
+            (KindParams::Filter { .. }, CpuTuple | CpuOp) => Some(CostForm::LinearLeft),
+            (KindParams::Filter { .. }, _) => None,
+            (KindParams::Sort, CpuTuple) => Some(CostForm::LinearLeft),
+            (KindParams::Sort, CpuOp) => Some(CostForm::QuadLeft),
+            (KindParams::Sort, _) => None,
+            (KindParams::Materialize { .. }, SeqPage | CpuTuple) => Some(CostForm::LinearLeft),
+            (KindParams::Materialize { .. }, _) => None,
+            (KindParams::HashJoin { .. }, CpuTuple | CpuOp) => Some(CostForm::ProductBoth),
+            (KindParams::HashJoin { .. }, _) => None,
+            (KindParams::NestedLoopJoin { .. }, CpuTuple | CpuOp) => Some(CostForm::ProductBoth),
+            (KindParams::NestedLoopJoin { .. }, _) => None,
+            (KindParams::HashAggregate { .. }, CpuTuple | CpuOp) => Some(CostForm::LinearLeft),
+            (KindParams::HashAggregate { .. }, _) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_engine::{Pred, PlanBuilder};
+    use uaq_storage::{Column, Schema, Table, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+        let rows = (0..640)
+            .map(|i| vec![Value::Int(i % 10), Value::Int(i)])
+            .collect();
+        c.add_table(Table::new("t", s, rows));
+        let s2 = Schema::new(vec![Column::int("x")]);
+        let rows2 = (0..320).map(|i| vec![Value::Int(i % 10)]).collect();
+        c.add_table(Table::new("u", s2, rows2));
+        c
+    }
+
+    #[test]
+    fn seq_scan_io_constant_but_tuple_cost_tracks_output() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t", Pred::eq("a", Value::Int(1)));
+        let plan = b.build(s);
+        let ctx = NodeCostContext::build(&plan, s, &c);
+        let n1 = ctx.counts(0.0, 0.0, 0.1);
+        let n2 = ctx.counts(0.0, 0.0, 0.9);
+        // Page I/O and predicate evaluation are selectivity-independent...
+        assert_eq!(n1[CostUnit::SeqPage], 10.0); // 640 rows / 64 per page
+        assert_eq!(n1[CostUnit::SeqPage], n2[CostUnit::SeqPage]);
+        assert!(n1[CostUnit::CpuOp] < n2[CostUnit::CpuOp]);
+        // ...but emitted tuples cost extra: 640 + 4·640·X.
+        assert_eq!(n1[CostUnit::CpuTuple], 896.0);
+        assert_eq!(n2[CostUnit::CpuTuple], 2944.0);
+        assert_eq!(n1[CostUnit::RandPage], 0.0);
+    }
+
+    #[test]
+    fn index_scan_counts_scale_with_own_selectivity() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.index_scan("t", "b", Pred::lt("b", Value::Int(64)));
+        let plan = b.build(s);
+        let ctx = NodeCostContext::build(&plan, s, &c);
+        let lo = ctx.counts(0.0, 0.0, 0.1);
+        let hi = ctx.counts(0.0, 0.0, 0.2);
+        assert!((lo[CostUnit::RandPage] - 64.0).abs() < 1e-9);
+        assert!((hi[CostUnit::RandPage] - 128.0).abs() < 1e-9);
+        assert!(hi[CostUnit::CpuIndex] > lo[CostUnit::CpuIndex]);
+    }
+
+    #[test]
+    fn join_counts_use_child_cardinalities() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let l = b.seq_scan("t", Pred::True);
+        let r = b.seq_scan("u", Pred::True);
+        let j = b.hash_join(l, r, "a", "x");
+        let plan = b.build(j);
+        let ctx = NodeCostContext::build(&plan, j, &c);
+        // Xl = 0.5 of 640 = 320; Xr = 0.25 of 320 = 80. Key density: both
+        // keys have 10 distinct values, so emitted ≈ 320·80/10 = 2560.
+        let n = ctx.counts(0.5, 0.25, 0.0);
+        assert!((n[CostUnit::CpuTuple] - (400.0 + 4.0 * 2560.0)).abs() < 1e-9);
+        assert!(
+            (n[CostUnit::CpuOp] - (1.5 * 320.0 + 2.0 * 80.0 + 2.0 * 2560.0)).abs() < 1e-9,
+            "{}",
+            n[CostUnit::CpuOp]
+        );
+    }
+
+    #[test]
+    fn nl_join_has_product_term() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let l = b.seq_scan("t", Pred::True);
+        let r = b.seq_scan("u", Pred::True);
+        let j = b.nl_join(l, r, "a", "x");
+        let plan = b.build(j);
+        let ctx = NodeCostContext::build(&plan, j, &c);
+        let n = ctx.counts(0.5, 0.5, 0.0);
+        // Nl = 320, Nr = 160 → pair ops = 320·160, plus 2 ops per emitted
+        // tuple (key density 1/10 → 5120 emitted).
+        assert!((n[CostUnit::CpuOp] - (51_200.0 + 2.0 * 5_120.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sort_is_superlinear() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t", Pred::True);
+        let srt = b.sort(s, vec![("b".into(), uaq_engine::SortOrder::Asc)]);
+        let plan = b.build(srt);
+        let ctx = NodeCostContext::build(&plan, srt, &c);
+        let half = ctx.counts(0.5, 0.0, 0.0)[CostUnit::CpuOp];
+        let full = ctx.counts(1.0, 0.0, 0.0)[CostUnit::CpuOp];
+        assert!(full > 2.0 * half, "sort should be superlinear: {half} vs {full}");
+    }
+
+    #[test]
+    fn forms_match_kinds() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let l = b.seq_scan("t", Pred::True);
+        let r = b.seq_scan("u", Pred::True);
+        let j = b.hash_join(l, r, "a", "x");
+        let srt = b.sort(j, vec![("b".into(), uaq_engine::SortOrder::Asc)]);
+        let plan = b.build(srt);
+        let ctxs = NodeCostContext::build_all(&plan, &c);
+        assert_eq!(ctxs[l].form_for(CostUnit::SeqPage), Some(CostForm::Const));
+        assert_eq!(ctxs[l].form_for(CostUnit::RandPage), None);
+        assert_eq!(ctxs[j].form_for(CostUnit::CpuOp), Some(CostForm::ProductBoth));
+        assert_eq!(ctxs[srt].form_for(CostUnit::CpuOp), Some(CostForm::QuadLeft));
+        assert_eq!(ctxs[srt].form_for(CostUnit::CpuTuple), Some(CostForm::LinearLeft));
+    }
+
+    #[test]
+    fn forms_cover_all_nonzero_counts() {
+        // Any unit with a nonzero count must have a declared form, and any
+        // declared form must produce selectivity-consistent counts.
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let l = b.seq_scan("t", Pred::True);
+        let r = b.index_scan("u", "x", Pred::lt("x", Value::Int(5)));
+        let j = b.nl_join(l, r, "a", "x");
+        let agg = b.aggregate(
+            j,
+            vec!["a".into()],
+            vec![("cnt".into(), uaq_engine::AggFunc::CountStar)],
+        );
+        let plan = b.build(agg);
+        for id in plan.node_ids() {
+            let ctx = NodeCostContext::build(&plan, id, &c);
+            let n = ctx.counts(0.4, 0.3, 0.2);
+            for u in CostUnit::ALL {
+                if n[u] != 0.0 {
+                    assert!(
+                        ctx.form_for(u).is_some(),
+                        "node {id} unit {u} has count {} but no form",
+                        n[u]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The five cost units of PostgreSQL's cost model (Table 1 of the paper).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+use uaq_stats::Normal;
+
+/// A cost unit `c` (Table 1): what one primitive operation costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CostUnit {
+    /// `c_s` — sequential page I/O.
+    SeqPage,
+    /// `c_r` — random page I/O.
+    RandPage,
+    /// `c_t` — CPU cost to process one tuple.
+    CpuTuple,
+    /// `c_i` — CPU cost to process one tuple via index access.
+    CpuIndex,
+    /// `c_o` — CPU cost of one primitive operation (hash, comparison, ...).
+    CpuOp,
+}
+
+impl CostUnit {
+    pub const ALL: [CostUnit; 5] = [
+        CostUnit::SeqPage,
+        CostUnit::RandPage,
+        CostUnit::CpuTuple,
+        CostUnit::CpuIndex,
+        CostUnit::CpuOp,
+    ];
+
+    pub const COUNT: usize = 5;
+
+    /// Dense index for array storage.
+    pub fn idx(&self) -> usize {
+        match self {
+            CostUnit::SeqPage => 0,
+            CostUnit::RandPage => 1,
+            CostUnit::CpuTuple => 2,
+            CostUnit::CpuIndex => 3,
+            CostUnit::CpuOp => 4,
+        }
+    }
+
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CostUnit::SeqPage => "c_s",
+            CostUnit::RandPage => "c_r",
+            CostUnit::CpuTuple => "c_t",
+            CostUnit::CpuIndex => "c_i",
+            CostUnit::CpuOp => "c_o",
+        }
+    }
+}
+
+impl fmt::Display for CostUnit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A concrete value per cost unit (e.g. one draw of the system state), in
+/// milliseconds per primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UnitValues(pub [f64; CostUnit::COUNT]);
+
+impl Index<CostUnit> for UnitValues {
+    type Output = f64;
+
+    fn index(&self, u: CostUnit) -> &f64 {
+        &self.0[u.idx()]
+    }
+}
+
+impl IndexMut<CostUnit> for UnitValues {
+    fn index_mut(&mut self, u: CostUnit) -> &mut f64 {
+        &mut self.0[u.idx()]
+    }
+}
+
+impl UnitValues {
+    /// Total time of a count vector under these unit values:
+    /// `Σ_c n_c · c` (Eq. 1 of the paper).
+    pub fn time_for(&self, counts: &UnitCounts) -> f64 {
+        self.0
+            .iter()
+            .zip(counts.0.iter())
+            .map(|(c, n)| c * n)
+            .sum()
+    }
+}
+
+/// A count vector `(n_s, n_r, n_t, n_i, n_o)` for one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct UnitCounts(pub [f64; CostUnit::COUNT]);
+
+impl Index<CostUnit> for UnitCounts {
+    type Output = f64;
+
+    fn index(&self, u: CostUnit) -> &f64 {
+        &self.0[u.idx()]
+    }
+}
+
+impl IndexMut<CostUnit> for UnitCounts {
+    fn index_mut(&mut self, u: CostUnit) -> &mut f64 {
+        &mut self.0[u.idx()]
+    }
+}
+
+impl UnitCounts {
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&n| n == 0.0)
+    }
+}
+
+/// A distribution per cost unit — either the hardware's ground truth or the
+/// calibrated estimate `c ~ N(μ̂, σ̂²)` the predictor works with (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitDists(pub [Normal; CostUnit::COUNT]);
+
+impl Index<CostUnit> for UnitDists {
+    type Output = Normal;
+
+    fn index(&self, u: CostUnit) -> &Normal {
+        &self.0[u.idx()]
+    }
+}
+
+impl UnitDists {
+    /// Zeroes all variances (the paper's `No Var[c]` ablation, §6.3.3).
+    pub fn without_variance(&self) -> UnitDists {
+        UnitDists(self.0.map(|n| Normal::point(n.mean())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_is_dense_and_stable() {
+        for (i, u) in CostUnit::ALL.iter().enumerate() {
+            assert_eq!(u.idx(), i);
+        }
+    }
+
+    #[test]
+    fn time_for_is_dot_product() {
+        let mut values = UnitValues::default();
+        values[CostUnit::SeqPage] = 0.1;
+        values[CostUnit::CpuTuple] = 0.001;
+        let mut counts = UnitCounts::default();
+        counts[CostUnit::SeqPage] = 100.0;
+        counts[CostUnit::CpuTuple] = 1000.0;
+        counts[CostUnit::CpuOp] = 999.0; // zero unit cost
+        assert!((values.time_for(&counts) - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_variance_keeps_means() {
+        let dists = UnitDists([
+            Normal::new(1.0, 0.1),
+            Normal::new(2.0, 0.2),
+            Normal::new(3.0, 0.3),
+            Normal::new(4.0, 0.4),
+            Normal::new(5.0, 0.5),
+        ]);
+        let flat = dists.without_variance();
+        for u in CostUnit::ALL {
+            assert_eq!(flat[u].mean(), dists[u].mean());
+            assert_eq!(flat[u].var(), 0.0);
+        }
+    }
+
+    #[test]
+    fn symbols_match_paper() {
+        assert_eq!(CostUnit::SeqPage.to_string(), "c_s");
+        assert_eq!(CostUnit::CpuOp.to_string(), "c_o");
+    }
+}

@@ -1,0 +1,156 @@
+//! The TPC-H-like schema.
+//!
+//! Eight relations mirroring TPC-H's join graph. Dates are encoded as
+//! integer day offsets from 1992-01-01 (TPC-H's date range spans 2557 days
+//! up to 1998-12-31), which keeps every predicate numeric.
+
+use uaq_storage::{Column, Schema};
+
+/// Number of days in the TPC-H date domain (1992-01-01 .. 1998-12-31).
+pub const DATE_DOMAIN_DAYS: i64 = 2557;
+
+/// Day offset of 1995-01-01 (used by several templates).
+pub const DAY_1995_01_01: i64 = 1096;
+
+/// Day offset of 1996-12-31.
+pub const DAY_1996_12_31: i64 = 1826;
+
+pub fn region() -> Schema {
+    Schema::new(vec![Column::int("r_regionkey"), Column::str("r_name")])
+}
+
+pub fn nation() -> Schema {
+    Schema::new(vec![
+        Column::int("n_nationkey"),
+        Column::str("n_name"),
+        Column::int("n_regionkey"),
+    ])
+}
+
+pub fn supplier() -> Schema {
+    Schema::new(vec![
+        Column::int("s_suppkey"),
+        Column::str("s_name"),
+        Column::int("s_nationkey"),
+        Column::float("s_acctbal"),
+    ])
+}
+
+pub fn customer() -> Schema {
+    Schema::new(vec![
+        Column::int("c_custkey"),
+        Column::str("c_name"),
+        Column::int("c_nationkey"),
+        Column::float("c_acctbal"),
+        Column::str("c_mktsegment"),
+    ])
+}
+
+pub fn part() -> Schema {
+    Schema::new(vec![
+        Column::int("p_partkey"),
+        Column::str("p_name"),
+        Column::str("p_brand"),
+        Column::str("p_type"),
+        Column::int("p_size"),
+        Column::str("p_container"),
+        Column::float("p_retailprice"),
+    ])
+}
+
+pub fn partsupp() -> Schema {
+    Schema::new(vec![
+        Column::int("ps_partkey"),
+        Column::int("ps_suppkey"),
+        Column::int("ps_availqty"),
+        Column::float("ps_supplycost"),
+    ])
+}
+
+pub fn orders() -> Schema {
+    Schema::new(vec![
+        Column::int("o_orderkey"),
+        Column::int("o_custkey"),
+        Column::str("o_orderstatus"),
+        Column::float("o_totalprice"),
+        Column::int("o_orderdate"),
+        Column::str("o_orderpriority"),
+        Column::int("o_shippriority"),
+    ])
+}
+
+pub fn lineitem() -> Schema {
+    Schema::new(vec![
+        Column::int("l_orderkey"),
+        Column::int("l_partkey"),
+        Column::int("l_suppkey"),
+        Column::int("l_linenumber"),
+        Column::float("l_quantity"),
+        Column::float("l_extendedprice"),
+        Column::float("l_discount"),
+        Column::float("l_tax"),
+        Column::str("l_returnflag"),
+        Column::str("l_linestatus"),
+        Column::int("l_shipdate"),
+        Column::int("l_commitdate"),
+        Column::int("l_receiptdate"),
+        Column::str("l_shipmode"),
+    ])
+}
+
+/// Enumerated string domains used by the generator and by query templates.
+pub mod domains {
+    pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+    pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+    pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+    pub const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+    pub const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
+    pub const LINE_STATUS: [&str; 2] = ["F", "O"];
+    pub const ORDER_STATUS: [&str; 3] = ["F", "O", "P"];
+    pub const CONTAINERS: [&str; 8] = [
+        "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP BAG",
+    ];
+    pub const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+    pub const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+    pub const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+    pub const NATIONS: [&str; 25] = [
+        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+        "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+        "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+        "UNITED STATES",
+    ];
+    /// Region of each nation (aligned with `NATIONS`).
+    pub const NATION_REGION: [usize; 25] = [
+        0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_have_expected_widths() {
+        assert_eq!(region().len(), 2);
+        assert_eq!(nation().len(), 3);
+        assert_eq!(supplier().len(), 4);
+        assert_eq!(customer().len(), 5);
+        assert_eq!(part().len(), 7);
+        assert_eq!(partsupp().len(), 4);
+        assert_eq!(orders().len(), 7);
+        assert_eq!(lineitem().len(), 14);
+    }
+
+    #[test]
+    fn key_columns_resolve() {
+        assert_eq!(lineitem().expect_index("l_orderkey"), 0);
+        assert_eq!(orders().expect_index("o_orderdate"), 4);
+        assert_eq!(customer().expect_index("c_mktsegment"), 4);
+    }
+
+    #[test]
+    fn nation_region_mapping_is_complete() {
+        assert_eq!(domains::NATIONS.len(), domains::NATION_REGION.len());
+        assert!(domains::NATION_REGION.iter().all(|&r| r < 5));
+    }
+}

@@ -1,0 +1,705 @@
+//! Plan execution.
+//!
+//! One executor serves two purposes:
+//!
+//! * **Full mode** runs a plan against the base tables, producing the query
+//!   answer and the *true* per-operator cardinalities (the ground truth the
+//!   simulated hardware charges for, and the reference for selectivity-error
+//!   experiments, Tables 6–9).
+//! * **Sample mode** runs the *same* plan against the materialized sample
+//!   tables, with every intermediate row carrying provenance: the sampling
+//!   step index of each contributing sample tuple (one per leaf relation of
+//!   the subtree). This is exactly the annotated execution of §3.2.2 from
+//!   which `ρ_n` and `S_n²` are computed in one pass.
+
+use crate::plan::{AggFunc, NodeId, Op, Plan, SortOrder};
+use std::collections::HashMap;
+use uaq_storage::{Catalog, Row, SampleCatalog, Schema, Value};
+
+/// Flattened provenance matrix of one operator's sample-mode output:
+/// `arity` step indices per output row, aligned with the node's
+/// `leaf_tables` order.
+#[derive(Debug, Clone, Default)]
+pub struct ProvData {
+    pub arity: usize,
+    pub data: Vec<u32>,
+}
+
+impl ProvData {
+    pub fn rows(&self) -> usize {
+        if self.arity == 0 {
+            0
+        } else {
+            self.data.len() / self.arity
+        }
+    }
+
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+}
+
+/// Per-operator execution observations.
+#[derive(Debug, Clone, Default)]
+pub struct NodeTrace {
+    /// Output cardinality `M`.
+    pub output_rows: usize,
+    /// Left input cardinality `N_l` (for scans: the base/sample table size).
+    pub left_input_rows: usize,
+    /// Right input cardinality `N_r` (0 for unary operators).
+    pub right_input_rows: usize,
+    /// Sample-mode output provenance (None in full mode or above aggregates).
+    pub prov: Option<ProvData>,
+}
+
+/// Result of executing a plan.
+#[derive(Debug)]
+pub struct ExecOutcome {
+    /// Output schema of the root operator.
+    pub schema: Schema,
+    /// Root output rows.
+    pub rows: Vec<Row>,
+    /// Per-node traces, indexed by `NodeId`.
+    pub traces: Vec<NodeTrace>,
+}
+
+/// Intermediate batch flowing between operators.
+struct Batch {
+    schema: Schema,
+    rows: Vec<Row>,
+    /// One provenance vector per row (sample mode only; dropped above
+    /// aggregates because grouped rows have no single lineage).
+    prov: Option<Vec<Vec<u32>>>,
+}
+
+enum Source<'a> {
+    Full(&'a Catalog),
+    Samples(&'a SampleCatalog),
+}
+
+struct Executor<'a> {
+    plan: &'a Plan,
+    source: Source<'a>,
+    traces: Vec<NodeTrace>,
+}
+
+/// Executes a plan against the base tables.
+pub fn execute_full(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
+    let mut ex = Executor {
+        plan,
+        source: Source::Full(catalog),
+        traces: vec![NodeTrace::default(); plan.len()],
+    };
+    let batch = ex.exec(plan.root());
+    ExecOutcome {
+        schema: batch.schema,
+        rows: batch.rows,
+        traces: ex.traces,
+    }
+}
+
+/// Executes a plan against sample tables, tracking provenance.
+pub fn execute_on_samples(plan: &Plan, samples: &SampleCatalog) -> ExecOutcome {
+    let mut ex = Executor {
+        plan,
+        source: Source::Samples(samples),
+        traces: vec![NodeTrace::default(); plan.len()],
+    };
+    let batch = ex.exec(plan.root());
+    ExecOutcome {
+        schema: batch.schema,
+        rows: batch.rows,
+        traces: ex.traces,
+    }
+}
+
+impl<'a> Executor<'a> {
+    fn exec(&mut self, id: NodeId) -> Batch {
+        let batch = match self.plan.op(id).clone() {
+            Op::SeqScan { table, predicate } => self.scan(id, &table, &predicate),
+            Op::IndexScan {
+                table, predicate, ..
+            } => self.scan(id, &table, &predicate),
+            Op::Filter { input, predicate } => {
+                let child = self.exec(input);
+                self.filter(id, child, &predicate)
+            }
+            Op::Sort { input, keys } => {
+                let child = self.exec(input);
+                self.sort(id, child, &keys)
+            }
+            Op::Materialize { input } => {
+                let child = self.exec(input);
+                self.traces[id].left_input_rows = child.rows.len();
+                self.traces[id].output_rows = child.rows.len();
+                child
+            }
+            Op::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let l = self.exec(left);
+                let r = self.exec(right);
+                self.hash_join(id, l, r, &left_key, &right_key)
+            }
+            Op::NestedLoopJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+            } => {
+                let l = self.exec(left);
+                let r = self.exec(right);
+                self.nl_join(id, l, r, &left_key, &right_key)
+            }
+            Op::HashAggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let child = self.exec(input);
+                self.aggregate(id, child, &group_by, &aggs)
+            }
+        };
+        self.traces[id].output_rows = batch.rows.len();
+        if let Some(prov) = &batch.prov {
+            let arity = self.plan.meta(id).leaf_tables.len();
+            let mut data = Vec::with_capacity(prov.len() * arity);
+            for p in prov {
+                debug_assert_eq!(p.len(), arity);
+                data.extend_from_slice(p);
+            }
+            self.traces[id].prov = Some(ProvData { arity, data });
+        }
+        batch
+    }
+
+    fn scan(&mut self, id: NodeId, table: &str, predicate: &crate::expr::Pred) -> Batch {
+        let (schema, rows, with_prov): (Schema, &[Row], bool) = match &self.source {
+            Source::Full(catalog) => {
+                let t = catalog.table(table);
+                (t.schema().clone(), t.rows(), false)
+            }
+            Source::Samples(samples) => {
+                let occurrence = self.plan.meta(id).leaf_tables[0].occurrence;
+                let s = samples.sample(table, occurrence);
+                (s.table().schema().clone(), s.table().rows(), true)
+            }
+        };
+        self.traces[id].left_input_rows = rows.len();
+        let bound = predicate.bind(&schema);
+        let mut out_rows = Vec::new();
+        let mut out_prov = if with_prov { Some(Vec::new()) } else { None };
+        for (j, row) in rows.iter().enumerate() {
+            if bound.eval(row) {
+                out_rows.push(row.clone());
+                if let Some(p) = &mut out_prov {
+                    p.push(vec![j as u32]);
+                }
+            }
+        }
+        Batch {
+            schema,
+            rows: out_rows,
+            prov: out_prov,
+        }
+    }
+
+    fn filter(&mut self, id: NodeId, child: Batch, predicate: &crate::expr::Pred) -> Batch {
+        self.traces[id].left_input_rows = child.rows.len();
+        let bound = predicate.bind(&child.schema);
+        match child.prov {
+            Some(prov) => {
+                let mut rows = Vec::new();
+                let mut out_prov = Vec::new();
+                for (row, p) in child.rows.into_iter().zip(prov) {
+                    if bound.eval(&row) {
+                        rows.push(row);
+                        out_prov.push(p);
+                    }
+                }
+                Batch {
+                    schema: child.schema,
+                    rows,
+                    prov: Some(out_prov),
+                }
+            }
+            None => {
+                let rows = child.rows.into_iter().filter(|r| bound.eval(r)).collect();
+                Batch {
+                    schema: child.schema,
+                    rows,
+                    prov: None,
+                }
+            }
+        }
+    }
+
+    fn sort(&mut self, id: NodeId, child: Batch, keys: &[(String, SortOrder)]) -> Batch {
+        self.traces[id].left_input_rows = child.rows.len();
+        let key_idx: Vec<(usize, SortOrder)> = keys
+            .iter()
+            .map(|(k, o)| (child.schema.expect_index(k), *o))
+            .collect();
+        let mut order: Vec<usize> = (0..child.rows.len()).collect();
+        order.sort_by(|&a, &b| {
+            for &(idx, dir) in &key_idx {
+                let cmp = child.rows[a][idx].cmp(&child.rows[b][idx]);
+                let cmp = if dir == SortOrder::Desc { cmp.reverse() } else { cmp };
+                if cmp != std::cmp::Ordering::Equal {
+                    return cmp;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let rows: Vec<Row> = order.iter().map(|&i| child.rows[i].clone()).collect();
+        let prov = child
+            .prov
+            .map(|p| order.iter().map(|&i| p[i].clone()).collect());
+        Batch {
+            schema: child.schema,
+            rows,
+            prov,
+        }
+    }
+
+    fn hash_join(
+        &mut self,
+        id: NodeId,
+        left: Batch,
+        right: Batch,
+        left_key: &str,
+        right_key: &str,
+    ) -> Batch {
+        self.traces[id].left_input_rows = left.rows.len();
+        self.traces[id].right_input_rows = right.rows.len();
+        let lk = left.schema.expect_index(left_key);
+        let rk = right.schema.expect_index(right_key);
+        let schema = left.schema.concat(&right.schema);
+        let track = left.prov.is_some() && right.prov.is_some();
+
+        // Build on the right input (the "inner"), probe with the left.
+        let mut table: HashMap<Value, Vec<usize>> = HashMap::with_capacity(right.rows.len());
+        for (i, row) in right.rows.iter().enumerate() {
+            table.entry(row[rk].clone()).or_default().push(i);
+        }
+
+        let mut rows = Vec::new();
+        let mut prov = if track { Some(Vec::new()) } else { None };
+        for (li, lrow) in left.rows.iter().enumerate() {
+            if let Some(matches) = table.get(&lrow[lk]) {
+                for &ri in matches {
+                    let mut row = lrow.clone();
+                    row.extend_from_slice(&right.rows[ri]);
+                    rows.push(row);
+                    if let Some(p) = &mut prov {
+                        let mut pr = left.prov.as_ref().expect("tracked")[li].clone();
+                        pr.extend_from_slice(&right.prov.as_ref().expect("tracked")[ri]);
+                        p.push(pr);
+                    }
+                }
+            }
+        }
+        Batch { schema, rows, prov }
+    }
+
+    fn nl_join(
+        &mut self,
+        id: NodeId,
+        left: Batch,
+        right: Batch,
+        left_key: &str,
+        right_key: &str,
+    ) -> Batch {
+        self.traces[id].left_input_rows = left.rows.len();
+        self.traces[id].right_input_rows = right.rows.len();
+        let lk = left.schema.expect_index(left_key);
+        let rk = right.schema.expect_index(right_key);
+        let schema = left.schema.concat(&right.schema);
+        let track = left.prov.is_some() && right.prov.is_some();
+
+        let mut rows = Vec::new();
+        let mut prov = if track { Some(Vec::new()) } else { None };
+        for (li, lrow) in left.rows.iter().enumerate() {
+            for (ri, rrow) in right.rows.iter().enumerate() {
+                if lrow[lk] == rrow[rk] {
+                    let mut row = lrow.clone();
+                    row.extend_from_slice(rrow);
+                    rows.push(row);
+                    if let Some(p) = &mut prov {
+                        let mut pr = left.prov.as_ref().expect("tracked")[li].clone();
+                        pr.extend_from_slice(&right.prov.as_ref().expect("tracked")[ri]);
+                        p.push(pr);
+                    }
+                }
+            }
+        }
+        Batch { schema, rows, prov }
+    }
+
+    fn aggregate(
+        &mut self,
+        id: NodeId,
+        child: Batch,
+        group_by: &[String],
+        aggs: &[(String, AggFunc)],
+    ) -> Batch {
+        self.traces[id].left_input_rows = child.rows.len();
+        let group_idx: Vec<usize> = group_by
+            .iter()
+            .map(|g| child.schema.expect_index(g))
+            .collect();
+        let agg_idx: Vec<Option<usize>> = aggs
+            .iter()
+            .map(|(_, f)| f.input_column().map(|c| child.schema.expect_index(c)))
+            .collect();
+
+        #[derive(Clone)]
+        struct State {
+            count: u64,
+            sums: Vec<f64>,
+            mins: Vec<Option<Value>>,
+            maxs: Vec<Option<Value>>,
+        }
+        let fresh = State {
+            count: 0,
+            sums: vec![0.0; aggs.len()],
+            mins: vec![None; aggs.len()],
+            maxs: vec![None; aggs.len()],
+        };
+
+        let mut groups: HashMap<Vec<Value>, State> = HashMap::new();
+        // Preserve first-seen group order for deterministic output.
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        for row in &child.rows {
+            let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
+            let state = groups.entry(key.clone()).or_insert_with(|| {
+                order.push(key.clone());
+                fresh.clone()
+            });
+            state.count += 1;
+            for (k, (_, func)) in aggs.iter().enumerate() {
+                if let Some(idx) = agg_idx[k] {
+                    let v = &row[idx];
+                    match func {
+                        AggFunc::Sum(_) | AggFunc::Avg(_) => state.sums[k] += v.as_float(),
+                        AggFunc::Min(_) => {
+                            if state.mins[k].as_ref().is_none_or(|m| v < m) {
+                                state.mins[k] = Some(v.clone());
+                            }
+                        }
+                        AggFunc::Max(_) => {
+                            if state.maxs[k].as_ref().is_none_or(|m| v > m) {
+                                state.maxs[k] = Some(v.clone());
+                            }
+                        }
+                        AggFunc::CountStar => unreachable!("CountStar has no input column"),
+                    }
+                }
+            }
+        }
+
+        // Scalar aggregate over empty input still yields one row.
+        if group_by.is_empty() && order.is_empty() {
+            order.push(vec![]);
+            groups.insert(vec![], fresh);
+        }
+
+        let mut out_schema_cols = Vec::new();
+        for (g, &gi) in group_by.iter().zip(&group_idx) {
+            let col = child.schema.column(gi);
+            out_schema_cols.push(uaq_storage::Column::new(g.clone(), col.ty));
+        }
+        for (name, func) in aggs {
+            let ty = match func {
+                AggFunc::CountStar => uaq_storage::ColumnType::Int,
+                AggFunc::Sum(_) | AggFunc::Avg(_) => uaq_storage::ColumnType::Float,
+                AggFunc::Min(c) | AggFunc::Max(c) => {
+                    child.schema.column(child.schema.expect_index(c)).ty
+                }
+            };
+            out_schema_cols.push(uaq_storage::Column::new(name.clone(), ty));
+        }
+        let schema = Schema::new(out_schema_cols);
+
+        let rows: Vec<Row> = order
+            .into_iter()
+            .map(|key| {
+                let state = &groups[&key];
+                let mut row = key;
+                for (k, (_, func)) in aggs.iter().enumerate() {
+                    row.push(match func {
+                        AggFunc::CountStar => Value::Int(state.count as i64),
+                        AggFunc::Sum(_) => Value::Float(state.sums[k]),
+                        AggFunc::Avg(_) => Value::Float(if state.count == 0 {
+                            0.0
+                        } else {
+                            state.sums[k] / state.count as f64
+                        }),
+                        AggFunc::Min(_) => state.mins[k].clone().unwrap_or(Value::Int(0)),
+                        AggFunc::Max(_) => state.maxs[k].clone().unwrap_or(Value::Int(0)),
+                    });
+                }
+                row
+            })
+            .collect();
+
+        // Provenance cannot flow through grouping (Algorithm 1's Agg case).
+        Batch {
+            schema,
+            rows,
+            prov: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Pred;
+    use crate::plan::PlanBuilder;
+    use uaq_stats::Rng;
+    use uaq_storage::{Column, Table};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let s1 = Schema::new(vec![Column::int("a"), Column::int("b")]);
+        let rows1 = (0..100)
+            .map(|i| vec![Value::Int(i % 10), Value::Int(i)])
+            .collect();
+        c.add_table(Table::new("t1", s1, rows1));
+        let s2 = Schema::new(vec![Column::int("x"), Column::float("y")]);
+        let rows2 = (0..20)
+            .map(|i| vec![Value::Int(i % 5), Value::Float(i as f64)])
+            .collect();
+        c.add_table(Table::new("t2", s2, rows2));
+        c
+    }
+
+    #[test]
+    fn seq_scan_with_predicate() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t1", Pred::eq("a", Value::Int(3)));
+        let plan = b.build(s);
+        let out = execute_full(&plan, &c);
+        assert_eq!(out.rows.len(), 10);
+        assert_eq!(out.traces[0].left_input_rows, 100);
+        assert_eq!(out.traces[0].output_rows, 10);
+        assert!(out.rows.iter().all(|r| r[0] == Value::Int(3)));
+    }
+
+    #[test]
+    fn filter_narrows() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t1", Pred::True);
+        let f = b.filter(s, Pred::lt("b", Value::Int(50)));
+        let plan = b.build(f);
+        let out = execute_full(&plan, &c);
+        assert_eq!(out.rows.len(), 50);
+        assert_eq!(out.traces[1].left_input_rows, 100);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let c = catalog();
+        let hash = {
+            let mut b = PlanBuilder::new();
+            let l = b.seq_scan("t1", Pred::True);
+            let r = b.seq_scan("t2", Pred::True);
+            let j = b.hash_join(l, r, "a", "x");
+            b.build(j)
+        };
+        let nl = {
+            let mut b = PlanBuilder::new();
+            let l = b.seq_scan("t1", Pred::True);
+            let r = b.seq_scan("t2", Pred::True);
+            let j = b.nl_join(l, r, "a", "x");
+            b.build(j)
+        };
+        let hj = execute_full(&hash, &c);
+        let nj = execute_full(&nl, &c);
+        assert_eq!(hj.rows.len(), nj.rows.len());
+        // t1.a ranges 0..10 (10 each); t2.x ranges 0..5 (4 each); matches:
+        // for a in 0..5 → 10 * 4 = 40 rows each → 200.
+        assert_eq!(hj.rows.len(), 200);
+        let mut h: Vec<String> = hj.rows.iter().map(|r| format!("{r:?}")).collect();
+        let mut n: Vec<String> = nj.rows.iter().map(|r| format!("{r:?}")).collect();
+        h.sort();
+        n.sort();
+        assert_eq!(h, n);
+    }
+
+    #[test]
+    fn join_schema_concatenates() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let l = b.seq_scan("t1", Pred::True);
+        let r = b.seq_scan("t2", Pred::True);
+        let j = b.hash_join(l, r, "a", "x");
+        let plan = b.build(j);
+        let out = execute_full(&plan, &c);
+        assert_eq!(out.schema.len(), 4);
+        assert_eq!(out.schema.index_of("y"), Some(3));
+    }
+
+    #[test]
+    fn sort_orders_rows() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t2", Pred::True);
+        let srt = b.sort(s, vec![("y".into(), SortOrder::Desc)]);
+        let plan = b.build(srt);
+        let out = execute_full(&plan, &c);
+        let ys: Vec<f64> = out.rows.iter().map(|r| r[1].as_float()).collect();
+        let mut sorted = ys.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        assert_eq!(ys, sorted);
+    }
+
+    #[test]
+    fn aggregate_group_by() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t2", Pred::True);
+        let a = b.aggregate(
+            s,
+            vec!["x".into()],
+            vec![
+                ("cnt".into(), AggFunc::CountStar),
+                ("total".into(), AggFunc::Sum("y".into())),
+                ("avg_y".into(), AggFunc::Avg("y".into())),
+                ("min_y".into(), AggFunc::Min("y".into())),
+                ("max_y".into(), AggFunc::Max("y".into())),
+            ],
+        );
+        let plan = b.build(a);
+        let out = execute_full(&plan, &c);
+        assert_eq!(out.rows.len(), 5);
+        // Group x=0 holds y ∈ {0, 5, 10, 15}.
+        let g0 = out
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::Int(0))
+            .expect("group 0");
+        assert_eq!(g0[1], Value::Int(4));
+        assert_eq!(g0[2].as_float(), 30.0);
+        assert_eq!(g0[3].as_float(), 7.5);
+        assert_eq!(g0[4].as_float(), 0.0);
+        assert_eq!(g0[5].as_float(), 15.0);
+    }
+
+    #[test]
+    fn scalar_aggregate_on_empty_input() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t1", Pred::eq("a", Value::Int(999)));
+        let a = b.aggregate(s, vec![], vec![("cnt".into(), AggFunc::CountStar)]);
+        let plan = b.build(a);
+        let out = execute_full(&plan, &c);
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn sample_mode_tracks_provenance_for_scans() {
+        let c = catalog();
+        let mut rng = Rng::new(5);
+        let samples = c.draw_samples(0.5, 1, &mut rng);
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t1", Pred::eq("a", Value::Int(3)));
+        let plan = b.build(s);
+        let out = execute_on_samples(&plan, &samples);
+        let prov = out.traces[0].prov.as_ref().expect("prov in sample mode");
+        assert_eq!(prov.arity, 1);
+        assert_eq!(prov.rows(), out.rows.len());
+        let n = samples.sample("t1", 0).len();
+        for i in 0..prov.rows() {
+            assert!((prov.row(i)[0] as usize) < n);
+        }
+    }
+
+    #[test]
+    fn sample_mode_join_provenance_arity() {
+        let c = catalog();
+        let mut rng = Rng::new(6);
+        let samples = c.draw_samples(0.5, 1, &mut rng);
+        let mut b = PlanBuilder::new();
+        let l = b.seq_scan("t1", Pred::True);
+        let r = b.seq_scan("t2", Pred::True);
+        let j = b.hash_join(l, r, "a", "x");
+        let plan = b.build(j);
+        let out = execute_on_samples(&plan, &samples);
+        let prov = out.traces[j].prov.as_ref().expect("join prov");
+        assert_eq!(prov.arity, 2);
+        assert_eq!(prov.rows(), out.rows.len());
+        // Every prov row indexes valid sample steps, and the joined rows
+        // really match the sample tuples they claim to come from.
+        let s1 = samples.sample("t1", 0);
+        let s2 = samples.sample("t2", 0);
+        for i in 0..prov.rows() {
+            let [p1, p2] = prov.row(i) else { panic!() };
+            let t1row = &s1.table().rows()[*p1 as usize];
+            let t2row = &s2.table().rows()[*p2 as usize];
+            assert_eq!(out.rows[i][0], t1row[0]);
+            assert_eq!(out.rows[i][2], t2row[0]);
+        }
+    }
+
+    #[test]
+    fn aggregate_drops_provenance() {
+        let c = catalog();
+        let mut rng = Rng::new(7);
+        let samples = c.draw_samples(0.5, 1, &mut rng);
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t1", Pred::True);
+        let a = b.aggregate(s, vec!["a".into()], vec![("cnt".into(), AggFunc::CountStar)]);
+        let f = b.filter(a, Pred::gt("cnt", Value::Int(0)));
+        let plan = b.build(f);
+        let out = execute_on_samples(&plan, &samples);
+        assert!(out.traces[a].prov.is_none());
+        assert!(out.traces[f].prov.is_none());
+        assert!(out.traces[s].prov.is_some());
+    }
+
+    #[test]
+    fn sort_keeps_prov_aligned() {
+        let c = catalog();
+        let mut rng = Rng::new(8);
+        let samples = c.draw_samples(0.5, 1, &mut rng);
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t1", Pred::True);
+        let srt = b.sort(s, vec![("b".into(), SortOrder::Asc)]);
+        let plan = b.build(srt);
+        let out = execute_on_samples(&plan, &samples);
+        let prov = out.traces[srt].prov.as_ref().expect("prov");
+        let sample = samples.sample("t1", 0);
+        for i in 0..prov.rows() {
+            let j = prov.row(i)[0] as usize;
+            assert_eq!(out.rows[i], sample.table().rows()[j]);
+        }
+    }
+
+    #[test]
+    fn index_scan_same_semantics_as_seq_scan() {
+        let c = catalog();
+        let pred = Pred::between("b", Value::Int(10), Value::Int(29));
+        let seq = {
+            let mut b = PlanBuilder::new();
+            let s = b.seq_scan("t1", pred.clone());
+            b.build(s)
+        };
+        let idx = {
+            let mut b = PlanBuilder::new();
+            let s = b.index_scan("t1", "b", pred);
+            b.build(s)
+        };
+        assert_eq!(
+            execute_full(&seq, &c).rows.len(),
+            execute_full(&idx, &c).rows.len()
+        );
+    }
+}

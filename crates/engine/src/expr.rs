@@ -1,0 +1,422 @@
+//! Predicate expressions.
+//!
+//! Predicates are conjunctions/disjunctions of comparisons between a column
+//! and a constant (plus closed ranges and IN-lists) — exactly the shape of
+//! every predicate in the paper's MICRO / SELJOIN / TPCH benchmarks. Join
+//! conditions are expressed separately as key-column equalities on the join
+//! operators.
+
+use std::fmt;
+use uaq_storage::{Row, Schema, Value};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(&self, lhs: &Value, rhs: &Value) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A predicate over one relation's (or join result's) schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    /// Always true (scan without filter).
+    True,
+    /// `col <op> value`.
+    Cmp {
+        col: String,
+        op: CmpOp,
+        value: Value,
+    },
+    /// `left_col <op> right_col` (e.g. TPC-H's `l_commitdate < l_receiptdate`).
+    ColCmp {
+        left: String,
+        op: CmpOp,
+        right: String,
+    },
+    /// `lo <= col <= hi` (closed range).
+    Between { col: String, lo: Value, hi: Value },
+    /// `col IN (values)`.
+    InList { col: String, values: Vec<Value> },
+    /// Conjunction.
+    And(Vec<Pred>),
+    /// Disjunction.
+    Or(Vec<Pred>),
+}
+
+impl Pred {
+    pub fn cmp(col: impl Into<String>, op: CmpOp, value: Value) -> Self {
+        Pred::Cmp {
+            col: col.into(),
+            op,
+            value,
+        }
+    }
+
+    pub fn col_cmp(left: impl Into<String>, op: CmpOp, right: impl Into<String>) -> Self {
+        Pred::ColCmp {
+            left: left.into(),
+            op,
+            right: right.into(),
+        }
+    }
+
+    pub fn eq(col: impl Into<String>, value: Value) -> Self {
+        Self::cmp(col, CmpOp::Eq, value)
+    }
+
+    pub fn le(col: impl Into<String>, value: Value) -> Self {
+        Self::cmp(col, CmpOp::Le, value)
+    }
+
+    pub fn lt(col: impl Into<String>, value: Value) -> Self {
+        Self::cmp(col, CmpOp::Lt, value)
+    }
+
+    pub fn ge(col: impl Into<String>, value: Value) -> Self {
+        Self::cmp(col, CmpOp::Ge, value)
+    }
+
+    pub fn gt(col: impl Into<String>, value: Value) -> Self {
+        Self::cmp(col, CmpOp::Gt, value)
+    }
+
+    pub fn between(col: impl Into<String>, lo: Value, hi: Value) -> Self {
+        Pred::Between {
+            col: col.into(),
+            lo,
+            hi,
+        }
+    }
+
+    pub fn in_list(col: impl Into<String>, values: Vec<Value>) -> Self {
+        Pred::InList {
+            col: col.into(),
+            values,
+        }
+    }
+
+    pub fn and(preds: Vec<Pred>) -> Self {
+        let mut flat = Vec::new();
+        for p in preds {
+            match p {
+                Pred::True => {}
+                Pred::And(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Pred::True,
+            1 => flat.pop().expect("len checked"),
+            _ => Pred::And(flat),
+        }
+    }
+
+    pub fn or(preds: Vec<Pred>) -> Self {
+        assert!(!preds.is_empty(), "empty OR");
+        if preds.len() == 1 {
+            return preds.into_iter().next().expect("len checked");
+        }
+        Pred::Or(preds)
+    }
+
+    /// Is this the trivial predicate?
+    pub fn is_true(&self) -> bool {
+        matches!(self, Pred::True)
+    }
+
+    /// Column names referenced by the predicate.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Pred::True => {}
+            Pred::Cmp { col, .. } | Pred::Between { col, .. } | Pred::InList { col, .. } => {
+                out.push(col)
+            }
+            Pred::ColCmp { left, right, .. } => {
+                out.push(left);
+                out.push(right);
+            }
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+        }
+    }
+
+    /// Number of primitive comparisons in the predicate (schema-free
+    /// counterpart of [`BoundPred::op_count`]; the oracle cost model charges
+    /// this many CPU operations per evaluated tuple).
+    pub fn op_count(&self) -> usize {
+        match self {
+            Pred::True => 0,
+            Pred::Cmp { .. } | Pred::ColCmp { .. } => 1,
+            Pred::Between { .. } => 2,
+            Pred::InList { values, .. } => values.len(),
+            Pred::And(ps) | Pred::Or(ps) => ps.iter().map(Pred::op_count).sum(),
+        }
+    }
+
+    /// Compiles the predicate against a schema for fast evaluation.
+    pub fn bind(&self, schema: &Schema) -> BoundPred {
+        match self {
+            Pred::True => BoundPred::True,
+            Pred::Cmp { col, op, value } => BoundPred::Cmp {
+                idx: schema.expect_index(col),
+                op: *op,
+                value: value.clone(),
+            },
+            Pred::ColCmp { left, op, right } => BoundPred::ColCmp {
+                left: schema.expect_index(left),
+                op: *op,
+                right: schema.expect_index(right),
+            },
+            Pred::Between { col, lo, hi } => BoundPred::Between {
+                idx: schema.expect_index(col),
+                lo: lo.clone(),
+                hi: hi.clone(),
+            },
+            Pred::InList { col, values } => BoundPred::InList {
+                idx: schema.expect_index(col),
+                values: values.clone(),
+            },
+            Pred::And(ps) => BoundPred::And(ps.iter().map(|p| p.bind(schema)).collect()),
+            Pred::Or(ps) => BoundPred::Or(ps.iter().map(|p| p.bind(schema)).collect()),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::True => write!(f, "true"),
+            Pred::Cmp { col, op, value } => write!(f, "{col} {} {value}", op.symbol()),
+            Pred::ColCmp { left, op, right } => write!(f, "{left} {} {right}", op.symbol()),
+            Pred::Between { col, lo, hi } => write!(f, "{col} BETWEEN {lo} AND {hi}"),
+            Pred::InList { col, values } => {
+                let vs: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+                write!(f, "{col} IN ({})", vs.join(", "))
+            }
+            Pred::And(ps) => {
+                let parts: Vec<String> = ps.iter().map(|p| format!("({p})")).collect();
+                write!(f, "{}", parts.join(" AND "))
+            }
+            Pred::Or(ps) => {
+                let parts: Vec<String> = ps.iter().map(|p| format!("({p})")).collect();
+                write!(f, "{}", parts.join(" OR "))
+            }
+        }
+    }
+}
+
+/// A predicate compiled against a concrete schema (column indices resolved).
+#[derive(Debug, Clone)]
+pub enum BoundPred {
+    True,
+    Cmp {
+        idx: usize,
+        op: CmpOp,
+        value: Value,
+    },
+    ColCmp {
+        left: usize,
+        op: CmpOp,
+        right: usize,
+    },
+    Between {
+        idx: usize,
+        lo: Value,
+        hi: Value,
+    },
+    InList {
+        idx: usize,
+        values: Vec<Value>,
+    },
+    And(Vec<BoundPred>),
+    Or(Vec<BoundPred>),
+}
+
+impl BoundPred {
+    /// Evaluates the predicate on a row.
+    pub fn eval(&self, row: &Row) -> bool {
+        match self {
+            BoundPred::True => true,
+            BoundPred::Cmp { idx, op, value } => op.eval(&row[*idx], value),
+            BoundPred::ColCmp { left, op, right } => op.eval(&row[*left], &row[*right]),
+            BoundPred::Between { idx, lo, hi } => {
+                let v = &row[*idx];
+                v >= lo && v <= hi
+            }
+            BoundPred::InList { idx, values } => values.iter().any(|v| v == &row[*idx]),
+            BoundPred::And(ps) => ps.iter().all(|p| p.eval(row)),
+            BoundPred::Or(ps) => ps.iter().any(|p| p.eval(row)),
+        }
+    }
+
+    /// Number of primitive comparisons (used by the oracle cost model to
+    /// charge CPU operations per evaluated tuple).
+    pub fn op_count(&self) -> usize {
+        match self {
+            BoundPred::True => 0,
+            BoundPred::Cmp { .. } | BoundPred::ColCmp { .. } => 1,
+            BoundPred::Between { .. } => 2,
+            BoundPred::InList { values, .. } => values.len(),
+            BoundPred::And(ps) | BoundPred::Or(ps) => ps.iter().map(BoundPred::op_count).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_storage::Column;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::int("a"),
+            Column::float("b"),
+            Column::str("c"),
+        ])
+    }
+
+    fn row(a: i64, b: f64, c: &str) -> Row {
+        vec![Value::Int(a), Value::Float(b), Value::str(c)]
+    }
+
+    #[test]
+    fn cmp_ops() {
+        let s = schema();
+        let r = row(5, 2.5, "x");
+        assert!(Pred::eq("a", Value::Int(5)).bind(&s).eval(&r));
+        assert!(Pred::lt("b", Value::Float(3.0)).bind(&s).eval(&r));
+        assert!(!Pred::gt("b", Value::Float(3.0)).bind(&s).eval(&r));
+        assert!(Pred::cmp("c", CmpOp::Ne, Value::str("y")).bind(&s).eval(&r));
+        assert!(Pred::ge("a", Value::Int(5)).bind(&s).eval(&r));
+        assert!(Pred::le("a", Value::Int(5)).bind(&s).eval(&r));
+    }
+
+    #[test]
+    fn between_is_closed() {
+        let s = schema();
+        let p = Pred::between("a", Value::Int(3), Value::Int(5)).bind(&s);
+        assert!(p.eval(&row(3, 0.0, "")));
+        assert!(p.eval(&row(5, 0.0, "")));
+        assert!(!p.eval(&row(6, 0.0, "")));
+        assert!(!p.eval(&row(2, 0.0, "")));
+    }
+
+    #[test]
+    fn in_list() {
+        let s = schema();
+        let p = Pred::in_list("c", vec![Value::str("x"), Value::str("y")]).bind(&s);
+        assert!(p.eval(&row(0, 0.0, "x")));
+        assert!(p.eval(&row(0, 0.0, "y")));
+        assert!(!p.eval(&row(0, 0.0, "z")));
+    }
+
+    #[test]
+    fn and_or_combinators() {
+        let s = schema();
+        let p = Pred::and(vec![
+            Pred::ge("a", Value::Int(1)),
+            Pred::or(vec![
+                Pred::eq("c", Value::str("x")),
+                Pred::eq("c", Value::str("y")),
+            ]),
+        ])
+        .bind(&s);
+        assert!(p.eval(&row(2, 0.0, "y")));
+        assert!(!p.eval(&row(0, 0.0, "y")));
+        assert!(!p.eval(&row(2, 0.0, "z")));
+    }
+
+    #[test]
+    fn and_flattens_and_simplifies() {
+        assert!(Pred::and(vec![]).is_true());
+        assert!(Pred::and(vec![Pred::True, Pred::True]).is_true());
+        let single = Pred::and(vec![Pred::eq("a", Value::Int(1))]);
+        assert!(matches!(single, Pred::Cmp { .. }));
+        let nested = Pred::and(vec![
+            Pred::And(vec![Pred::eq("a", Value::Int(1)), Pred::eq("a", Value::Int(2))]),
+            Pred::eq("a", Value::Int(3)),
+        ]);
+        if let Pred::And(ps) = nested {
+            assert_eq!(ps.len(), 3);
+        } else {
+            panic!("expected flattened And");
+        }
+    }
+
+    #[test]
+    fn columns_are_collected_and_deduped() {
+        let p = Pred::and(vec![
+            Pred::eq("a", Value::Int(1)),
+            Pred::between("b", Value::Float(0.0), Value::Float(1.0)),
+            Pred::eq("a", Value::Int(2)),
+        ]);
+        assert_eq!(p.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn op_count() {
+        let s = schema();
+        let p = Pred::and(vec![
+            Pred::eq("a", Value::Int(1)),
+            Pred::between("b", Value::Float(0.0), Value::Float(1.0)),
+            Pred::in_list("c", vec![Value::str("x"), Value::str("y"), Value::str("z")]),
+        ])
+        .bind(&s);
+        assert_eq!(p.op_count(), 6);
+        assert_eq!(BoundPred::True.op_count(), 0);
+    }
+
+    #[test]
+    fn display_roundtrip_is_readable() {
+        let p = Pred::and(vec![
+            Pred::eq("a", Value::Int(1)),
+            Pred::between("b", Value::Float(0.0), Value::Float(1.0)),
+        ]);
+        assert_eq!(p.to_string(), "(a = 1) AND (b BETWEEN 0 AND 1)");
+    }
+
+    #[test]
+    #[should_panic(expected = "no column")]
+    fn binding_unknown_column_panics() {
+        Pred::eq("zz", Value::Int(0)).bind(&schema());
+    }
+}

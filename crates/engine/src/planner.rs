@@ -1,0 +1,300 @@
+//! A small heuristic planner.
+//!
+//! The paper takes PostgreSQL's plans as given — plan *choice* is not under
+//! test — so this planner only has to produce reasonable physical plans from
+//! declarative query specs: access-path selection (seq vs index scan by
+//! estimated selectivity), join algorithm selection (hash vs nested-loop by
+//! estimated inner size), plus sort/aggregate placement.
+
+use crate::cardest::predicate_selectivity;
+use crate::expr::Pred;
+use crate::plan::{AggFunc, NodeId, Plan, PlanBuilder, SortOrder};
+use uaq_storage::{Catalog, ColumnType};
+
+/// Estimated-selectivity threshold below which an index scan wins.
+const INDEX_SCAN_SEL_THRESHOLD: f64 = 0.05;
+/// Tables smaller than this many pages are always scanned sequentially.
+const INDEX_SCAN_MIN_PAGES: usize = 4;
+/// Estimated inner cardinality below which a nested-loop join is chosen.
+const NL_JOIN_INNER_THRESHOLD: f64 = 24.0;
+
+/// A base relation with a pushed-down predicate.
+#[derive(Debug, Clone)]
+pub struct TableRef {
+    pub table: String,
+    pub predicate: Pred,
+}
+
+impl TableRef {
+    pub fn new(table: impl Into<String>, predicate: Pred) -> Self {
+        Self {
+            table: table.into(),
+            predicate,
+        }
+    }
+
+    pub fn plain(table: impl Into<String>) -> Self {
+        Self::new(table, Pred::True)
+    }
+}
+
+/// One step of a left-deep join chain: join the accumulated left side with
+/// `table` on `left_key = right_key`.
+#[derive(Debug, Clone)]
+pub struct JoinStep {
+    pub table: TableRef,
+    pub left_key: String,
+    pub right_key: String,
+}
+
+impl JoinStep {
+    pub fn new(
+        table: TableRef,
+        left_key: impl Into<String>,
+        right_key: impl Into<String>,
+    ) -> Self {
+        Self {
+            table,
+            left_key: left_key.into(),
+            right_key: right_key.into(),
+        }
+    }
+}
+
+/// A declarative select-join-aggregate query.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Human-readable label (benchmark bookkeeping).
+    pub name: String,
+    pub base: TableRef,
+    pub joins: Vec<JoinStep>,
+    /// Residual predicate applied above the final join.
+    pub residual: Pred,
+    pub group_by: Vec<String>,
+    pub aggs: Vec<(String, AggFunc)>,
+    pub order_by: Vec<(String, SortOrder)>,
+}
+
+impl QuerySpec {
+    /// A bare single-table query.
+    pub fn scan(name: impl Into<String>, base: TableRef) -> Self {
+        Self {
+            name: name.into(),
+            base,
+            joins: vec![],
+            residual: Pred::True,
+            group_by: vec![],
+            aggs: vec![],
+            order_by: vec![],
+        }
+    }
+
+    pub fn with_joins(mut self, joins: Vec<JoinStep>) -> Self {
+        self.joins = joins;
+        self
+    }
+
+    pub fn with_residual(mut self, residual: Pred) -> Self {
+        self.residual = residual;
+        self
+    }
+
+    pub fn with_aggregates(
+        mut self,
+        group_by: Vec<String>,
+        aggs: Vec<(String, AggFunc)>,
+    ) -> Self {
+        self.group_by = group_by;
+        self.aggs = aggs;
+        self
+    }
+
+    pub fn with_order_by(mut self, order_by: Vec<(String, SortOrder)>) -> Self {
+        self.order_by = order_by;
+        self
+    }
+
+    /// True if the query has an aggregate stage.
+    pub fn has_aggregate(&self) -> bool {
+        !self.aggs.is_empty() || !self.group_by.is_empty()
+    }
+}
+
+/// Chooses an access path for a base relation and emits the scan node.
+fn plan_scan(b: &mut PlanBuilder, catalog: &Catalog, tref: &TableRef) -> (NodeId, f64) {
+    let table = catalog.table(&tref.table);
+    let stats = catalog.stats(&tref.table);
+    let sel = predicate_selectivity(&tref.predicate, stats);
+    let est_rows = table.len() as f64 * sel;
+
+    // Candidate index column: an Int column referenced by the predicate (the
+    // substrate indexes every integer key column).
+    let index_col = tref.predicate.columns().into_iter().find(|c| {
+        table
+            .schema()
+            .index_of(c)
+            .is_some_and(|i| table.schema().column(i).ty == ColumnType::Int)
+    });
+
+    let use_index = sel < INDEX_SCAN_SEL_THRESHOLD
+        && table.pages() >= INDEX_SCAN_MIN_PAGES
+        && index_col.is_some();
+
+    let id = if use_index {
+        b.index_scan(
+            &tref.table,
+            index_col.expect("checked").to_string(),
+            tref.predicate.clone(),
+        )
+    } else {
+        b.seq_scan(&tref.table, tref.predicate.clone())
+    };
+    (id, est_rows)
+}
+
+/// Builds a physical plan for a query spec.
+pub fn plan_query(spec: &QuerySpec, catalog: &Catalog) -> Plan {
+    let mut b = PlanBuilder::new();
+    let (mut current, mut current_est) = plan_scan(&mut b, catalog, &spec.base);
+
+    for step in &spec.joins {
+        let (right, right_est) = plan_scan(&mut b, catalog, &step.table);
+        // Join-size estimate for subsequent decisions (System R style).
+        let stats = catalog.stats(&step.table.table);
+        let d = stats.distinct(&step.right_key).max(1) as f64;
+        if right_est <= NL_JOIN_INNER_THRESHOLD {
+            // Materialize the tiny inner, then nested-loop over it.
+            let mat = b.materialize(right);
+            current = b.nl_join(current, mat, step.left_key.clone(), step.right_key.clone());
+        } else {
+            current = b.hash_join(current, right, step.left_key.clone(), step.right_key.clone());
+        }
+        current_est = (current_est * right_est / d).max(1.0);
+    }
+    let _ = current_est;
+
+    if !spec.residual.is_true() {
+        current = b.filter(current, spec.residual.clone());
+    }
+    if spec.has_aggregate() {
+        current = b.aggregate(current, spec.group_by.clone(), spec.aggs.clone());
+    }
+    if !spec.order_by.is_empty() {
+        current = b.sort(current, spec.order_by.clone());
+    }
+    b.build(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Op;
+    use uaq_storage::{Column, Schema, Table, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+        let rows = (0..10_000)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 100)])
+            .collect();
+        c.add_table(Table::new("big", s, rows));
+        let s2 = Schema::new(vec![Column::int("k"), Column::int("v")]);
+        let rows2 = (0..10).map(|i| vec![Value::Int(i), Value::Int(i)]).collect();
+        c.add_table(Table::new("tiny", s2, rows2));
+        c
+    }
+
+    #[test]
+    fn selective_predicate_gets_index_scan() {
+        let c = catalog();
+        let spec = QuerySpec::scan(
+            "q",
+            TableRef::new("big", Pred::between("a", Value::Int(0), Value::Int(50))),
+        );
+        let plan = plan_query(&spec, &c);
+        assert!(matches!(plan.op(plan.root()), Op::IndexScan { .. }));
+    }
+
+    #[test]
+    fn wide_predicate_gets_seq_scan() {
+        let c = catalog();
+        let spec = QuerySpec::scan(
+            "q",
+            TableRef::new("big", Pred::lt("a", Value::Int(9000))),
+        );
+        let plan = plan_query(&spec, &c);
+        assert!(matches!(plan.op(plan.root()), Op::SeqScan { .. }));
+    }
+
+    #[test]
+    fn small_table_gets_seq_scan_despite_selectivity() {
+        let c = catalog();
+        let spec = QuerySpec::scan("q", TableRef::new("tiny", Pred::eq("k", Value::Int(1))));
+        let plan = plan_query(&spec, &c);
+        assert!(matches!(plan.op(plan.root()), Op::SeqScan { .. }));
+    }
+
+    #[test]
+    fn tiny_inner_uses_nested_loop_with_materialize() {
+        let c = catalog();
+        let spec = QuerySpec::scan("q", TableRef::plain("big")).with_joins(vec![JoinStep::new(
+            TableRef::plain("tiny"),
+            "b",
+            "k",
+        )]);
+        let plan = plan_query(&spec, &c);
+        let root = plan.op(plan.root());
+        assert!(matches!(root, Op::NestedLoopJoin { .. }), "{}", plan.explain());
+        // The NL inner is materialized.
+        let Op::NestedLoopJoin { right, .. } = root else {
+            unreachable!()
+        };
+        assert!(matches!(plan.op(*right), Op::Materialize { .. }));
+    }
+
+    #[test]
+    fn large_inner_uses_hash_join() {
+        let c = catalog();
+        let spec = QuerySpec::scan("q", TableRef::plain("tiny")).with_joins(vec![JoinStep::new(
+            TableRef::plain("big"),
+            "k",
+            "b",
+        )]);
+        let plan = plan_query(&spec, &c);
+        assert!(matches!(plan.op(plan.root()), Op::HashJoin { .. }));
+    }
+
+    #[test]
+    fn full_pipeline_shape() {
+        let c = catalog();
+        let spec = QuerySpec::scan("q", TableRef::plain("big"))
+            .with_joins(vec![JoinStep::new(TableRef::plain("tiny"), "b", "k")])
+            .with_residual(Pred::gt("v", Value::Int(2)))
+            .with_aggregates(
+                vec!["v".into()],
+                vec![("cnt".into(), AggFunc::CountStar)],
+            )
+            .with_order_by(vec![("cnt".into(), SortOrder::Desc)]);
+        let plan = plan_query(&spec, &c);
+        // Root is the sort; below it aggregate; below it filter; below join.
+        let Op::Sort { input, .. } = plan.op(plan.root()) else {
+            panic!("expected sort root: {}", plan.explain())
+        };
+        let Op::HashAggregate { input, .. } = plan.op(*input) else {
+            panic!("expected aggregate")
+        };
+        assert!(matches!(plan.op(*input), Op::Filter { .. }));
+    }
+
+    #[test]
+    fn planned_query_executes() {
+        let c = catalog();
+        let spec = QuerySpec::scan("q", TableRef::plain("big"))
+            .with_joins(vec![JoinStep::new(TableRef::plain("tiny"), "b", "k")])
+            .with_aggregates(vec![], vec![("cnt".into(), AggFunc::CountStar)]);
+        let plan = plan_query(&spec, &c);
+        let out = crate::exec::execute_full(&plan, &c);
+        // big.b ∈ 0..100, tiny.k ∈ 0..10 → 10% of big matches once.
+        assert_eq!(out.rows[0][0], Value::Int(1000));
+    }
+}

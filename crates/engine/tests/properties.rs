@@ -1,0 +1,176 @@
+//! Property-based tests for the execution engine: algebraic equivalences
+//! that must hold for every input.
+
+use proptest::prelude::*;
+use uaq_engine::{execute_full, AggFunc, CmpOp, Plan, PlanBuilder, Pred, SortOrder};
+use uaq_storage::{Catalog, Column, Row, Schema, Table, Value};
+
+/// Builds a two-table catalog from generated data.
+fn catalog(t_rows: &[(i64, i64)], u_rows: &[(i64, i64)]) -> Catalog {
+    let mut c = Catalog::new();
+    let ts = Schema::new(vec![Column::int("a"), Column::int("b")]);
+    c.add_table(Table::new(
+        "t",
+        ts,
+        t_rows.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]).collect(),
+    ));
+    let us = Schema::new(vec![Column::int("x"), Column::int("y")]);
+    c.add_table(Table::new(
+        "u",
+        us,
+        u_rows.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]).collect(),
+    ));
+    c
+}
+
+fn sorted_rows(rows: &[Row]) -> Vec<String> {
+    let mut out: Vec<String> = rows.iter().map(|r| format!("{r:?}")).collect();
+    out.sort();
+    out
+}
+
+fn rows_strategy(max: usize) -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..8, -20i64..20), 0..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn hash_join_equals_nested_loop(t in rows_strategy(60), u in rows_strategy(40)) {
+        let c = catalog(&t, &u);
+        let hash = {
+            let mut b = PlanBuilder::new();
+            let l = b.seq_scan("t", Pred::True);
+            let r = b.seq_scan("u", Pred::True);
+            let j = b.hash_join(l, r, "a", "x");
+            b.build(j)
+        };
+        let nl = {
+            let mut b = PlanBuilder::new();
+            let l = b.seq_scan("t", Pred::True);
+            let r = b.seq_scan("u", Pred::True);
+            let j = b.nl_join(l, r, "a", "x");
+            b.build(j)
+        };
+        let h = execute_full(&hash, &c);
+        let n = execute_full(&nl, &c);
+        prop_assert_eq!(sorted_rows(&h.rows), sorted_rows(&n.rows));
+    }
+
+    #[test]
+    fn filter_over_scan_equals_conjunctive_scan(t in rows_strategy(80), cut in -20i64..20) {
+        let c = catalog(&t, &[]);
+        let p1 = Pred::ge("a", Value::Int(2));
+        let p2 = Pred::lt("b", Value::Int(cut));
+        let split = {
+            let mut b = PlanBuilder::new();
+            let s = b.seq_scan("t", p1.clone());
+            let f = b.filter(s, p2.clone());
+            b.build(f)
+        };
+        let fused = {
+            let mut b = PlanBuilder::new();
+            let s = b.seq_scan("t", Pred::and(vec![p1, p2]));
+            b.build(s)
+        };
+        prop_assert_eq!(
+            sorted_rows(&execute_full(&split, &c).rows),
+            sorted_rows(&execute_full(&fused, &c).rows)
+        );
+    }
+
+    #[test]
+    fn sort_is_a_permutation_and_ordered(t in rows_strategy(80)) {
+        let c = catalog(&t, &[]);
+        let plan = {
+            let mut b = PlanBuilder::new();
+            let s = b.seq_scan("t", Pred::True);
+            let srt = b.sort(s, vec![("b".into(), SortOrder::Asc), ("a".into(), SortOrder::Desc)]);
+            b.build(srt)
+        };
+        let base = {
+            let mut b = PlanBuilder::new();
+            let s = b.seq_scan("t", Pred::True);
+            b.build(s)
+        };
+        let sorted = execute_full(&plan, &c);
+        let unsorted = execute_full(&base, &c);
+        prop_assert_eq!(sorted_rows(&sorted.rows), sorted_rows(&unsorted.rows));
+        for w in sorted.rows.windows(2) {
+            let (b0, b1) = (w[0][1].as_int(), w[1][1].as_int());
+            prop_assert!(b0 <= b1);
+            if b0 == b1 {
+                prop_assert!(w[0][0].as_int() >= w[1][0].as_int());
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_counts_partition_the_input(t in rows_strategy(100)) {
+        let c = catalog(&t, &[]);
+        let plan = {
+            let mut b = PlanBuilder::new();
+            let s = b.seq_scan("t", Pred::True);
+            let a = b.aggregate(s, vec!["a".into()], vec![("cnt".into(), AggFunc::CountStar)]);
+            b.build(a)
+        };
+        let out = execute_full(&plan, &c);
+        let total: i64 = out.rows.iter().map(|r| r[1].as_int()).sum();
+        prop_assert_eq!(total as usize, t.len());
+        // One row per distinct group key.
+        let mut keys: Vec<i64> = t.iter().map(|&(a, _)| a).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        prop_assert_eq!(out.rows.len(), keys.len());
+    }
+
+    #[test]
+    fn col_cmp_predicate_matches_manual_filter(t in rows_strategy(80)) {
+        let c = catalog(&t, &[]);
+        let plan = {
+            let mut b = PlanBuilder::new();
+            let s = b.seq_scan("t", Pred::col_cmp("a", CmpOp::Lt, "b"));
+            b.build(s)
+        };
+        let got = execute_full(&plan, &c).rows.len();
+        let expected = t.iter().filter(|&&(a, b)| a < b).count();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn traces_are_consistent_with_outputs(t in rows_strategy(60), u in rows_strategy(40)) {
+        let c = catalog(&t, &u);
+        let plan: Plan = {
+            let mut b = PlanBuilder::new();
+            let l = b.seq_scan("t", Pred::ge("b", Value::Int(0)));
+            let r = b.seq_scan("u", Pred::True);
+            let j = b.hash_join(l, r, "a", "x");
+            b.build(j)
+        };
+        let out = execute_full(&plan, &c);
+        // Join inputs must equal child outputs; root output equals rows.
+        prop_assert_eq!(out.traces[2].left_input_rows, out.traces[0].output_rows);
+        prop_assert_eq!(out.traces[2].right_input_rows, out.traces[1].output_rows);
+        prop_assert_eq!(out.traces[2].output_rows, out.rows.len());
+        // Scan inputs are the base tables.
+        prop_assert_eq!(out.traces[0].left_input_rows, t.len());
+        prop_assert_eq!(out.traces[1].left_input_rows, u.len());
+    }
+
+    #[test]
+    fn cardinality_estimates_are_nonnegative_and_bounded_for_scans(
+        t in rows_strategy(100),
+        cut in -25i64..25,
+    ) {
+        let c = catalog(&t, &[]);
+        let plan = {
+            let mut b = PlanBuilder::new();
+            let s = b.seq_scan("t", Pred::le("b", Value::Int(cut)));
+            b.build(s)
+        };
+        let est = uaq_engine::estimate_cardinalities(&plan, &c);
+        prop_assert!(est[0] >= 0.0);
+        prop_assert!(est[0] <= t.len() as f64 + 1e-9);
+    }
+}

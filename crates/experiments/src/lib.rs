@@ -1,0 +1,15 @@
+//! # uaq-experiments
+//!
+//! End-to-end experiment harness reproducing §6 of the paper: a caching
+//! [`Lab`](runner::Lab) that runs (database × machine × benchmark × sampling
+//! ratio × variant) cells, the metrics of §6.3 (`r_s`/`r_p`, `D_n`,
+//! selectivity-error statistics), and text renderers for every table and
+//! figure of the evaluation.
+
+pub mod config;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use config::{default_instances, CellConfig, Machine, ABLATION_SAMPLING_RATIOS, MAIN_SAMPLING_RATIOS};
+pub use runner::{CellOutcome, Lab, QueryRecord, SelRecord};

@@ -1,0 +1,239 @@
+//! Experiment metrics (§6.3): the correlation coefficients `r_s`/`r_p`
+//! between predicted standard deviations and actual errors, the
+//! distributional distance `D_n`, and the selectivity-level metrics behind
+//! Tables 6–9.
+
+use crate::runner::{CellOutcome, SelRecord};
+use uaq_stats::{dn, normalized_errors, pearson, spearman};
+
+/// `(r_s, r_p)` between predicted σ and actual prediction error — the
+/// paper's headline metric (M1).
+pub fn correlation(outcome: &CellOutcome) -> (f64, f64) {
+    let stds = outcome.predicted_stds();
+    let errors = outcome.errors();
+    (spearman(&stds, &errors), pearson(&stds, &errors))
+}
+
+/// The average `D_n` over the α grid — the paper's metric (M2).
+pub fn distribution_distance(outcome: &CellOutcome) -> f64 {
+    let e = normalized_errors(
+        &outcome.predicted_means(),
+        &outcome.predicted_stds(),
+        &outcome.actuals(),
+    );
+    dn(&e)
+}
+
+/// `Pr_n(α)` at a given α for an outcome (Figure 5's empirical curve).
+pub fn empirical_pr(outcome: &CellOutcome, alpha: f64) -> f64 {
+    let e = normalized_errors(
+        &outcome.predicted_means(),
+        &outcome.predicted_stds(),
+        &outcome.actuals(),
+    );
+    uaq_stats::empirical_pr(&e, alpha)
+}
+
+/// Scatter data: `(σ_i, e_i)` pairs (Figures 3 and 6).
+pub fn scatter(outcome: &CellOutcome) -> Vec<(f64, f64)> {
+    outcome
+        .records
+        .iter()
+        .map(|r| (r.predicted_std_ms, r.error_ms()))
+        .collect()
+}
+
+/// Scatter with the single largest-σ point removed — the paper's Figure 3(b)
+/// outlier-robustness exercise.
+pub fn scatter_without_top_outlier(outcome: &CellOutcome) -> Vec<(f64, f64)> {
+    let mut pts = scatter(outcome);
+    if let Some((idx, _)) = pts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite"))
+    {
+        pts.remove(idx);
+    }
+    pts
+}
+
+/// `(r_s, r_p)` of arbitrary scatter points.
+pub fn scatter_correlation(points: &[(f64, f64)]) -> (f64, f64) {
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    (spearman(&xs, &ys), pearson(&xs, &ys))
+}
+
+/// All per-operator selectivity records of a cell, flattened.
+pub fn all_sel_records(outcome: &CellOutcome) -> Vec<SelRecord> {
+    outcome
+        .records
+        .iter()
+        .flat_map(|r| r.sels.iter().cloned())
+        .collect()
+}
+
+/// Table 6: `(r_s, r_p)` between estimated selectivity-error std-devs and
+/// actual absolute errors.
+pub fn sel_error_correlation(records: &[SelRecord]) -> (f64, f64) {
+    let stds: Vec<f64> = records.iter().map(|s| s.estimated_std).collect();
+    let errs: Vec<f64> = records.iter().map(SelRecord::abs_error).collect();
+    (spearman(&stds, &errs), pearson(&stds, &errs))
+}
+
+/// Table 7: `(r_s, r_p)` between estimated and actual selectivities.
+pub fn sel_value_correlation(records: &[SelRecord]) -> (f64, f64) {
+    let est: Vec<f64> = records.iter().map(|s| s.estimated).collect();
+    let act: Vec<f64> = records.iter().map(|s| s.actual).collect();
+    (spearman(&est, &act), pearson(&est, &act))
+}
+
+/// Table 8: mean relative error of the selectivity estimates.
+pub fn mean_relative_sel_error(records: &[SelRecord]) -> f64 {
+    uaq_stats::mean(
+        &records
+            .iter()
+            .map(SelRecord::relative_error)
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Median relative error — robust companion to the mean. At tiny sampling
+/// ratios, operators whose true selectivity lies *below the sample's
+/// resolution* (1/∏n_k) receive smoothed pseudo-count estimates whose
+/// relative error is astronomically large; they dominate the mean but not
+/// the median (the paper's databases were 250× larger, so its Table 8 never
+/// hits this regime).
+pub fn median_relative_sel_error(records: &[SelRecord]) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    let mut errs: Vec<f64> = records.iter().map(SelRecord::relative_error).collect();
+    errs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    errs[errs.len() / 2]
+}
+
+/// Table 9: error correlation restricted to records with relative error
+/// above the threshold (the paper uses 0.2). Returns `None` when fewer than
+/// three qualifying records exist (the paper prints "N/A").
+pub fn sel_error_correlation_above(
+    records: &[SelRecord],
+    min_relative_error: f64,
+) -> Option<(f64, f64)> {
+    let filtered: Vec<SelRecord> = records
+        .iter()
+        .filter(|s| s.relative_error() > min_relative_error)
+        .cloned()
+        .collect();
+    if filtered.len() < 3 {
+        return None;
+    }
+    Some(sel_error_correlation(&filtered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::QueryRecord;
+
+    fn outcome_from(points: &[(f64, f64, f64)]) -> CellOutcome {
+        // (mean, std, actual)
+        CellOutcome {
+            config_label: "test".into(),
+            records: points
+                .iter()
+                .enumerate()
+                .map(|(i, &(mean, std, actual))| QueryRecord {
+                    name: format!("q{i}"),
+                    predicted_mean_ms: mean,
+                    predicted_std_ms: std,
+                    actual_ms: actual,
+                    full_pass_seconds: 1.0,
+                    sample_pass_seconds: 0.05,
+                    sels: vec![],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn correlation_detects_calibrated_uncertainty() {
+        // Errors exactly proportional to σ ⇒ perfect rank correlation.
+        let pts: Vec<(f64, f64, f64)> = (1..=20)
+            .map(|i| {
+                let sigma = i as f64;
+                (100.0, sigma, 100.0 + 2.0 * sigma)
+            })
+            .collect();
+        let (rs, rp) = correlation(&outcome_from(&pts));
+        assert!((rs - 1.0).abs() < 1e-9);
+        assert!((rp - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dn_small_for_calibrated_normals() {
+        let mut rng = uaq_stats::Rng::new(5);
+        let pts: Vec<(f64, f64, f64)> = (0..5000)
+            .map(|_| {
+                let sigma = 1.0 + rng.f64() * 5.0;
+                (50.0, sigma, rng.normal(50.0, sigma))
+            })
+            .collect();
+        let d = distribution_distance(&outcome_from(&pts));
+        assert!(d < 0.03, "dn={d}");
+    }
+
+    #[test]
+    fn outlier_removal_drops_max_sigma_point() {
+        let pts = vec![(10.0, 1.0, 11.0), (10.0, 99.0, 12.0), (10.0, 2.0, 13.0)];
+        let o = outcome_from(&pts);
+        let sc = scatter_without_top_outlier(&o);
+        assert_eq!(sc.len(), 2);
+        assert!(sc.iter().all(|&(s, _)| s < 99.0));
+    }
+
+    #[test]
+    fn sel_metrics() {
+        let records = vec![
+            SelRecord {
+                node: 0,
+                estimated: 0.10,
+                estimated_std: 0.01,
+                actual: 0.11,
+            },
+            SelRecord {
+                node: 1,
+                estimated: 0.50,
+                estimated_std: 0.05,
+                actual: 0.45,
+            },
+            SelRecord {
+                node: 2,
+                estimated: 0.90,
+                estimated_std: 0.09,
+                actual: 0.70,
+            },
+        ];
+        let (rs, _rp) = sel_value_correlation(&records);
+        assert!(rs > 0.99);
+        let mre = mean_relative_sel_error(&records);
+        assert!(mre > 0.0 && mre < 0.2);
+        // Threshold 0.2 leaves <3 records ⇒ None.
+        assert!(sel_error_correlation_above(&records, 0.2).is_none());
+        assert!(sel_error_correlation_above(&records, 0.0).is_some());
+    }
+
+    #[test]
+    fn empirical_pr_monotone_in_alpha() {
+        let pts = vec![
+            (10.0, 2.0, 11.0),
+            (10.0, 2.0, 14.0),
+            (10.0, 2.0, 10.5),
+            (10.0, 2.0, 18.0),
+        ];
+        let o = outcome_from(&pts);
+        assert!(empirical_pr(&o, 0.5) <= empirical_pr(&o, 1.0));
+        assert!(empirical_pr(&o, 1.0) <= empirical_pr(&o, 4.0));
+        assert_eq!(empirical_pr(&o, 5.0), 1.0);
+    }
+}

@@ -1,0 +1,481 @@
+//! Text renderers that regenerate every table and figure of the paper's
+//! evaluation section (the binaries in `uaq-bench` are thin wrappers around
+//! these). Figures are rendered as aligned data tables — same rows/series,
+//! text instead of gnuplot.
+
+use crate::config::{CellConfig, Machine, ABLATION_SAMPLING_RATIOS, MAIN_SAMPLING_RATIOS};
+use crate::metrics;
+use crate::runner::Lab;
+use uaq_core::Variant;
+use uaq_datagen::DbPreset;
+use uaq_stats::ecdf::FIG5_ALPHAS;
+use uaq_workloads::Benchmark;
+
+/// Minimal fixed-width text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..ncols {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn fmt_rs_rp(c: (f64, f64)) -> String {
+    format!("{:.4} ({:.4})", c.0, c.1)
+}
+
+/// Table 4: `r_s (r_p)` for every benchmark × database × machine × SR.
+pub fn table4(lab: &mut Lab) -> String {
+    let mut out = String::from(
+        "Table 4: r_s (r_p) of the benchmark queries over different hardware and database settings\n\n",
+    );
+    for db in DbPreset::ALL {
+        out.push_str(&format!("{}\n", db.label()));
+        let mut t = TextTable::new(&[
+            "SR", "MICRO/PC1", "MICRO/PC2", "SELJOIN/PC1", "SELJOIN/PC2", "TPCH/PC1", "TPCH/PC2",
+        ]);
+        for &sr in &MAIN_SAMPLING_RATIOS {
+            let mut cells = vec![format!("{sr}")];
+            for bench in Benchmark::ALL {
+                for machine in Machine::ALL {
+                    let outcome = lab.run_cell(&CellConfig::new(db, machine, bench, sr));
+                    cells.push(fmt_rs_rp(metrics::correlation(&outcome)));
+                }
+            }
+            t.row(cells);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 5: `D_n` for the same matrix.
+pub fn table5(lab: &mut Lab) -> String {
+    let mut out = String::from(
+        "Table 5: D_n of the benchmark queries over different hardware and database settings\n\n",
+    );
+    for db in DbPreset::ALL {
+        out.push_str(&format!("{}\n", db.label()));
+        let mut t = TextTable::new(&[
+            "SR", "MICRO/PC1", "MICRO/PC2", "SELJOIN/PC1", "SELJOIN/PC2", "TPCH/PC1", "TPCH/PC2",
+        ]);
+        for &sr in &MAIN_SAMPLING_RATIOS {
+            let mut cells = vec![format!("{sr}")];
+            for bench in Benchmark::ALL {
+                for machine in Machine::ALL {
+                    let outcome = lab.run_cell(&CellConfig::new(db, machine, bench, sr));
+                    cells.push(format!("{:.4}", metrics::distribution_distance(&outcome)));
+                }
+            }
+            t.row(cells);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 2: `r_s` and `r_p` vs sampling ratio for the paper's three
+/// showcased settings.
+pub fn fig2(lab: &mut Lab) -> String {
+    let panels = [
+        ("(a) MICRO, Uniform 1GB, PC2", DbPreset::Uniform1G, Machine::Pc2, Benchmark::Micro),
+        ("(b) SELJOIN, Uniform 1GB, PC1", DbPreset::Uniform1G, Machine::Pc1, Benchmark::SelJoin),
+        ("(c) TPCH, Skewed 10GB, PC1", DbPreset::Skewed10G, Machine::Pc1, Benchmark::Tpch),
+    ];
+    let mut out = String::from("Figure 2: r_s and r_p vs sampling ratio\n\n");
+    for (title, db, machine, bench) in panels {
+        out.push_str(&format!("{title}\n"));
+        let mut t = TextTable::new(&["SR", "r_s", "r_p"]);
+        for &sr in &MAIN_SAMPLING_RATIOS {
+            let outcome = lab.run_cell(&CellConfig::new(db, machine, bench, sr));
+            let (rs, rp) = metrics::correlation(&outcome);
+            t.row(vec![format!("{sr}"), format!("{rs:.4}"), format!("{rp:.4}")]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+fn render_scatter(title: &str, points: &[(f64, f64)]) -> String {
+    let (rs, rp) = metrics::scatter_correlation(points);
+    let mut t = TextTable::new(&["est. std dev (ms)", "actual error (ms)"]);
+    for &(s, e) in points {
+        t.row(vec![format!("{s:.3}"), format!("{e:.3}")]);
+    }
+    format!("{title}  [r_s={rs:.4}, r_p={rp:.4}]\n{}\n", t.render())
+}
+
+/// Figure 3: scatter plots showing the robustness of `r_s` vs `r_p` to
+/// outliers (cases (1), (1) minus its biggest outlier, and (2)).
+pub fn fig3(lab: &mut Lab) -> String {
+    let case1 = lab.run_cell(&CellConfig::new(
+        DbPreset::Uniform1G,
+        Machine::Pc2,
+        Benchmark::Micro,
+        0.01,
+    ));
+    let case2 = lab.run_cell(&CellConfig::new(
+        DbPreset::Uniform1G,
+        Machine::Pc1,
+        Benchmark::SelJoin,
+        0.05,
+    ));
+    let mut out = String::from("Figure 3: robustness of r_s and r_p with respect to outliers\n\n");
+    out.push_str(&render_scatter("(a) Case (1): MICRO, U-1G, PC2, SR=0.01", &metrics::scatter(&case1)));
+    out.push_str(&render_scatter(
+        "(b) Case (1) after one outlier is removed",
+        &metrics::scatter_without_top_outlier(&case1),
+    ));
+    out.push_str(&render_scatter("(c) Case (2): SELJOIN, U-1G, PC1, SR=0.05", &metrics::scatter(&case2)));
+    out
+}
+
+/// Figure 4: `D_n` vs sampling ratio over the uniform 10GB database.
+pub fn fig4(lab: &mut Lab) -> String {
+    let mut out = String::from("Figure 4: D_n over uniform TPC-H 10GB databases\n\n");
+    for bench in Benchmark::ALL {
+        out.push_str(&format!("({}) {}\n", bench.label().to_lowercase(), bench.label()));
+        let mut t = TextTable::new(&["SR", "PC1", "PC2"]);
+        for &sr in &MAIN_SAMPLING_RATIOS {
+            let d1 = metrics::distribution_distance(&lab.run_cell(&CellConfig::new(
+                DbPreset::Uniform10G,
+                Machine::Pc1,
+                bench,
+                sr,
+            )));
+            let d2 = metrics::distribution_distance(&lab.run_cell(&CellConfig::new(
+                DbPreset::Uniform10G,
+                Machine::Pc2,
+                bench,
+                sr,
+            )));
+            t.row(vec![format!("{sr}"), format!("{d1:.4}"), format!("{d2:.4}")]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 5: predicted `Pr(α)` vs empirical `Pr_n(α)` curves
+/// (uniform 10GB, PC2, SR = 0.05).
+pub fn fig5(lab: &mut Lab) -> String {
+    let mut out = String::from("Figure 5: proximity of Pr_n(α) and Pr(α) (U-10G, PC2, SR=0.05)\n\n");
+    for bench in Benchmark::ALL {
+        let outcome = lab.run_cell(&CellConfig::new(
+            DbPreset::Uniform10G,
+            Machine::Pc2,
+            bench,
+            0.05,
+        ));
+        let dn = metrics::distribution_distance(&outcome);
+        out.push_str(&format!("{} (D_n = {dn:.4})\n", bench.label()));
+        let mut t = TextTable::new(&["alpha", "Pr_n(alpha)", "Pr(alpha)"]);
+        for &a in &FIG5_ALPHAS {
+            t.row(vec![
+                format!("{a}"),
+                format!("{:.4}", metrics::empirical_pr(&outcome, a)),
+                format!("{:.4}", uaq_stats::model_pr(a)),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Figure 6: the remaining two correlation case studies.
+pub fn fig6(lab: &mut Lab) -> String {
+    let case3 = lab.run_cell(&CellConfig::new(
+        DbPreset::Skewed10G,
+        Machine::Pc1,
+        Benchmark::Tpch,
+        0.05,
+    ));
+    let case4 = lab.run_cell(&CellConfig::new(
+        DbPreset::Uniform1G,
+        Machine::Pc1,
+        Benchmark::Tpch,
+        0.01,
+    ));
+    let mut out = String::from("Figure 6: more case studies on correlations\n\n");
+    out.push_str(&render_scatter("(a) Case (3): TPCH, S-10G, PC1, SR=0.05", &metrics::scatter(&case3)));
+    out.push_str(&render_scatter("(b) Case (4): TPCH, U-1G, PC1, SR=0.01", &metrics::scatter(&case4)));
+    out
+}
+
+fn ablation_panel(lab: &mut Lab, title: &str, db: DbPreset, machine: Machine) -> String {
+    let mut out = format!("{title}\n");
+    let mut t = TextTable::new(&["SR", "All", "No Var[c]", "No Var[X]", "No Cov"]);
+    for &sr in &ABLATION_SAMPLING_RATIOS {
+        let mut cells = vec![format!("{sr}")];
+        for variant in Variant::ALL_VARIANTS {
+            let outcome = lab.run_cell(
+                &CellConfig::new(db, machine, Benchmark::Tpch, sr).with_variant(variant),
+            );
+            let (rs, _) = metrics::correlation(&outcome);
+            cells.push(format!("{rs:.4}"));
+        }
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    out
+}
+
+/// Figure 8: the four predictor variants on uniform databases (r_s, TPCH).
+pub fn fig8(lab: &mut Lab) -> String {
+    let mut out = String::from("Figure 8: comparison of four alternatives in terms of r_s\n\n");
+    out.push_str(&ablation_panel(lab, "(a) Uniform 1GB database, PC2", DbPreset::Uniform1G, Machine::Pc2));
+    out.push_str(&ablation_panel(lab, "(b) Uniform 10GB database, PC1", DbPreset::Uniform10G, Machine::Pc1));
+    out
+}
+
+/// Figure 10: the four predictor variants on skewed databases.
+pub fn fig10(lab: &mut Lab) -> String {
+    let mut out = String::from("Figure 10: comparison of four alternatives on skewed databases\n\n");
+    out.push_str(&ablation_panel(lab, "(a) Skewed 1GB database, PC1", DbPreset::Skewed1G, Machine::Pc1));
+    out.push_str(&ablation_panel(lab, "(b) Skewed 10GB database, PC2", DbPreset::Skewed10G, Machine::Pc2));
+    out
+}
+
+/// Figure 9: relative sampling overhead of the TPCH queries (PC1).
+pub fn fig9(lab: &mut Lab) -> String {
+    let mut out = String::from("Figure 9: relative overhead of TPCH queries on PC1\n\n");
+    let mut t = TextTable::new(&["SR", "TPCH-1G", "TPCH-1G-Skew", "TPCH-10G", "TPCH-10G-Skew"]);
+    for &sr in &MAIN_SAMPLING_RATIOS {
+        let mut cells = vec![format!("{sr}")];
+        for db in [
+            DbPreset::Uniform1G,
+            DbPreset::Skewed1G,
+            DbPreset::Uniform10G,
+            DbPreset::Skewed10G,
+        ] {
+            let outcome = lab.run_cell(&CellConfig::new(db, Machine::Pc1, Benchmark::Tpch, sr));
+            cells.push(format!("{:.4}", outcome.mean_relative_overhead()));
+        }
+        t.row(cells);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Figure 11: relative sampling overhead, all benchmarks × machines.
+pub fn fig11(lab: &mut Lab) -> String {
+    let mut out = String::from("Figure 11: relative overhead of benchmark queries\n\n");
+    for bench in Benchmark::ALL {
+        for machine in Machine::ALL {
+            out.push_str(&format!("({}, {})\n", bench.label(), machine.label()));
+            let mut t =
+                TextTable::new(&["SR", "TPCH-1G", "TPCH-1G-Skew", "TPCH-10G", "TPCH-10G-Skew"]);
+            for &sr in &MAIN_SAMPLING_RATIOS {
+                let mut cells = vec![format!("{sr}")];
+                for db in [
+                    DbPreset::Uniform1G,
+                    DbPreset::Skewed1G,
+                    DbPreset::Uniform10G,
+                    DbPreset::Skewed10G,
+                ] {
+                    let outcome = lab.run_cell(&CellConfig::new(db, machine, bench, sr));
+                    cells.push(format!("{:.4}", outcome.mean_relative_overhead()));
+                }
+                t.row(cells);
+            }
+            out.push_str(&t.render());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Figure 12: estimated vs actual selectivities (skewed 1GB, PC1, SR=0.05).
+pub fn fig12(lab: &mut Lab) -> String {
+    let mut out =
+        String::from("Figure 12: estimated vs actual selectivities (S-1G, PC1, SR=0.05)\n\n");
+    for bench in Benchmark::ALL {
+        let outcome = lab.run_cell(&CellConfig::new(
+            DbPreset::Skewed1G,
+            Machine::Pc1,
+            bench,
+            0.05,
+        ));
+        let records = metrics::all_sel_records(&outcome);
+        let (rs, rp) = metrics::sel_value_correlation(&records);
+        out.push_str(&format!(
+            "({}) {} — {} operators, r_s={rs:.4}, r_p={rp:.4}\n",
+            bench.label().to_lowercase(),
+            bench.label(),
+            records.len()
+        ));
+        let mut t = TextTable::new(&["estimated", "actual"]);
+        for s in records.iter().take(60) {
+            t.row(vec![format!("{:.5}", s.estimated), format!("{:.5}", s.actual)]);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// The sampling ratios of Tables 6–9 (a prefix of the paper's sweep).
+pub const SEL_TABLE_RATIOS: [f64; 4] = [0.01, 0.05, 0.1, 0.2];
+
+fn sel_table(
+    lab: &mut Lab,
+    title: &str,
+    f: impl Fn(&[crate::runner::SelRecord]) -> String,
+) -> String {
+    let mut out = format!("{title}\n(selectivity estimation is machine-independent; PC1 shown)\n\n");
+    for db in DbPreset::ALL {
+        out.push_str(&format!("{}\n", db.label()));
+        let mut t = TextTable::new(&["SR", "MICRO", "SELJOIN", "TPCH"]);
+        for &sr in &SEL_TABLE_RATIOS {
+            let mut cells = vec![format!("{sr}")];
+            for bench in Benchmark::ALL {
+                let outcome = lab.run_cell(&CellConfig::new(db, Machine::Pc1, bench, sr));
+                let records = metrics::all_sel_records(&outcome);
+                cells.push(f(&records));
+            }
+            t.row(cells);
+        }
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Table 6: correlation between estimated and actual errors in selectivity
+/// estimates.
+pub fn table6(lab: &mut Lab) -> String {
+    sel_table(
+        lab,
+        "Table 6: r_s (r_p) between the estimated and actual errors in selectivity estimates",
+        |records| fmt_rs_rp(metrics::sel_error_correlation(records)),
+    )
+}
+
+/// Table 7: correlation between estimated and actual selectivities.
+pub fn table7(lab: &mut Lab) -> String {
+    sel_table(
+        lab,
+        "Table 7: r_s (r_p) between the estimated and actual selectivities",
+        |records| fmt_rs_rp(metrics::sel_value_correlation(records)),
+    )
+}
+
+/// Table 8: relative errors in the selectivity estimates, shown as
+/// `mean [median]` — the median is robust to the sub-resolution operators
+/// that dominate the mean at tiny sampling ratios (see
+/// [`metrics::median_relative_sel_error`]).
+pub fn table8(lab: &mut Lab) -> String {
+    sel_table(
+        lab,
+        "Table 8: relative errors in the selectivity estimates, mean [median]",
+        |records| {
+            format!(
+                "{:.4} [{:.4}]",
+                metrics::mean_relative_sel_error(records),
+                metrics::median_relative_sel_error(records)
+            )
+        },
+    )
+}
+
+/// Table 9: selectivity-error correlations restricted to relative errors
+/// above 0.2.
+pub fn table9(lab: &mut Lab) -> String {
+    sel_table(
+        lab,
+        "Table 9: r_s (r_p) of selectivity estimates with relative errors above 0.2",
+        |records| match metrics::sel_error_correlation_above(records, 0.2) {
+            Some(c) => fmt_rs_rp(c),
+            None => "N/A (N/A)".to_string(),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_alignment() {
+        let mut t = TextTable::new(&["a", "long-header", "c"]);
+        t.row(vec!["12345".into(), "x".into(), "y".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[2].starts_with("12345"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn text_table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fig2_renders_three_panels() {
+        // Smoke test on the smallest setting only: patch the panels through
+        // a tiny lab. This is slow-ish but single-cell.
+        let mut lab = Lab::new(7);
+        let outcome = lab.run_cell(&CellConfig::new(
+            DbPreset::Uniform1G,
+            Machine::Pc2,
+            Benchmark::Micro,
+            0.05,
+        ));
+        let sc = metrics::scatter(&outcome);
+        let rendered = render_scatter("test", &sc);
+        assert!(rendered.contains("r_s="));
+        // Title + header + separator + one line per point + trailing blank.
+        assert_eq!(rendered.lines().count(), sc.len() + 4);
+    }
+}

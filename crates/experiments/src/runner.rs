@@ -1,0 +1,391 @@
+//! The experiment runner: executes one matrix cell end-to-end and records,
+//! per query, everything the paper's metrics need.
+//!
+//! A [`Lab`] caches the expensive parts across cells: generated databases,
+//! cost-unit calibrations per machine, and — most importantly — the *full*
+//! executions (true cardinalities + wall-clock), which depend only on
+//! (database, benchmark), not on sampling ratio or machine.
+
+use crate::config::{CellConfig, Machine};
+use std::collections::HashMap;
+use std::time::Instant;
+use uaq_core::{Predictor, PredictorConfig};
+use uaq_cost::{
+    calibrate, simulate_actual_time, CalibrationConfig, NodeCostContext, SimConfig, UnitDists,
+};
+use uaq_datagen::DbPreset;
+use uaq_engine::{execute_full, plan_query, NodeTrace, Plan};
+use uaq_selest::SelSource;
+use uaq_stats::Rng;
+use uaq_storage::Catalog;
+use uaq_workloads::Benchmark;
+
+/// Per-operator selectivity observation (input to Tables 6–9 / Figure 12).
+#[derive(Debug, Clone)]
+pub struct SelRecord {
+    pub node: usize,
+    /// `ρ_n` — sampled estimate.
+    pub estimated: f64,
+    /// Estimated standard deviation of the estimate.
+    pub estimated_std: f64,
+    /// True selectivity from full execution.
+    pub actual: f64,
+}
+
+impl SelRecord {
+    /// Relative error `|ρ_n − ρ| / ρ` (Table 8's metric).
+    pub fn relative_error(&self) -> f64 {
+        uaq_stats::relative_error(self.estimated, self.actual)
+    }
+
+    /// Absolute estimation error.
+    pub fn abs_error(&self) -> f64 {
+        (self.estimated - self.actual).abs()
+    }
+}
+
+/// Everything recorded about one query in one cell.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    pub name: String,
+    /// Predicted mean `μ_i` (ms).
+    pub predicted_mean_ms: f64,
+    /// Predicted standard deviation `σ_i` (ms).
+    pub predicted_std_ms: f64,
+    /// Actual (simulated, 5-run average) time `t_i` (ms).
+    pub actual_ms: f64,
+    /// Wall-clock seconds of the real full execution.
+    pub full_pass_seconds: f64,
+    /// Wall-clock seconds of the sample pass inside prediction.
+    pub sample_pass_seconds: f64,
+    /// Per-operator selectivity observations (sampled operators only).
+    pub sels: Vec<SelRecord>,
+}
+
+impl QueryRecord {
+    /// Prediction error `e_i = |μ_i − t_i|` (§6.3).
+    pub fn error_ms(&self) -> f64 {
+        (self.predicted_mean_ms - self.actual_ms).abs()
+    }
+
+    /// Relative sampling overhead of this query (§6.4).
+    pub fn relative_overhead(&self) -> f64 {
+        if self.full_pass_seconds > 0.0 {
+            self.sample_pass_seconds / self.full_pass_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Result of one cell: the per-query records.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    pub config_label: String,
+    pub records: Vec<QueryRecord>,
+}
+
+impl CellOutcome {
+    pub fn predicted_stds(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.predicted_std_ms).collect()
+    }
+
+    pub fn errors(&self) -> Vec<f64> {
+        self.records.iter().map(QueryRecord::error_ms).collect()
+    }
+
+    pub fn predicted_means(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.predicted_mean_ms).collect()
+    }
+
+    pub fn actuals(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.actual_ms).collect()
+    }
+
+    /// Mean relative sampling overhead across queries.
+    pub fn mean_relative_overhead(&self) -> f64 {
+        uaq_stats::mean(
+            &self
+                .records
+                .iter()
+                .map(QueryRecord::relative_overhead)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+/// A fully executed (on base tables) prepared query, cached per
+/// (database, benchmark).
+struct PreparedQuery {
+    name: String,
+    plan: Plan,
+    contexts: Vec<NodeCostContext>,
+    traces: Vec<NodeTrace>,
+    full_seconds: f64,
+    /// True own-selectivity per node.
+    true_sels: Vec<f64>,
+}
+
+/// Caching experiment laboratory.
+pub struct Lab {
+    seed: u64,
+    sim: SimConfig,
+    calibration: CalibrationConfig,
+    dbs: HashMap<DbPreset, Catalog>,
+    units: HashMap<Machine, UnitDists>,
+    prepared: HashMap<(DbPreset, Benchmark, usize), Vec<PreparedQuery>>,
+    /// Memoized cell outcomes (cells are deterministic given the lab seed,
+    /// so different reports can share them — e.g. Table 4 and Figure 2).
+    outcomes: HashMap<String, CellOutcome>,
+}
+
+impl Lab {
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            sim: SimConfig::default(),
+            calibration: CalibrationConfig::default(),
+            dbs: HashMap::new(),
+            units: HashMap::new(),
+            prepared: HashMap::new(),
+            outcomes: HashMap::new(),
+        }
+    }
+
+    /// Overrides the actual-time simulation settings (tests/ablations).
+    pub fn with_sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    fn ensure_db(&mut self, preset: DbPreset) {
+        let seed = self.seed;
+        self.dbs
+            .entry(preset)
+            .or_insert_with(|| preset.build(seed ^ 0xD8));
+    }
+
+    /// The catalog for a preset (building it on first use).
+    pub fn catalog(&mut self, preset: DbPreset) -> &Catalog {
+        self.ensure_db(preset);
+        &self.dbs[&preset]
+    }
+
+    /// Calibrated cost units for a machine (§3.1), cached.
+    pub fn calibrated_units(&mut self, machine: Machine) -> UnitDists {
+        if let Some(u) = self.units.get(&machine) {
+            return *u;
+        }
+        let mut rng = Rng::new(self.seed ^ (machine as u64 + 1) * 0x9E37);
+        let units = calibrate(&machine.profile(), &self.calibration, &mut rng);
+        self.units.insert(machine, units);
+        units
+    }
+
+    fn ensure_prepared(&mut self, preset: DbPreset, benchmark: Benchmark, instances: usize) {
+        if self.prepared.contains_key(&(preset, benchmark, instances)) {
+            return;
+        }
+        self.ensure_db(preset);
+        let catalog = &self.dbs[&preset];
+        let mut rng = Rng::new(self.seed ^ 0xB0B ^ (benchmark as u64) << 8);
+        let specs = benchmark.queries(catalog, instances, &mut rng);
+        let prepared: Vec<PreparedQuery> = specs
+            .iter()
+            .map(|spec| {
+                let plan = plan_query(spec, catalog);
+                let t0 = Instant::now();
+                let out = execute_full(&plan, catalog);
+                let full_seconds = t0.elapsed().as_secs_f64();
+                let contexts = NodeCostContext::build_all(&plan, catalog);
+                let true_sels = plan
+                    .node_ids()
+                    .map(|id| {
+                        let denom = contexts[id].own_leaf_product();
+                        if denom > 0.0 {
+                            out.traces[id].output_rows as f64 / denom
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect();
+                PreparedQuery {
+                    name: spec.name.clone(),
+                    plan,
+                    contexts,
+                    traces: out.traces,
+                    full_seconds,
+                    true_sels,
+                }
+            })
+            .collect();
+        self.prepared.insert((preset, benchmark, instances), prepared);
+    }
+
+    /// Runs one cell of the experiment matrix (memoized: cells are
+    /// deterministic given the lab seed).
+    pub fn run_cell(&mut self, cell: &CellConfig) -> CellOutcome {
+        let key = cell.label();
+        if let Some(outcome) = self.outcomes.get(&key) {
+            return outcome.clone();
+        }
+        let outcome = self.run_cell_uncached(cell);
+        self.outcomes.insert(key, outcome.clone());
+        outcome
+    }
+
+    fn run_cell_uncached(&mut self, cell: &CellConfig) -> CellOutcome {
+        self.ensure_prepared(cell.db, cell.benchmark, cell.instances);
+        let units = self.calibrated_units(cell.machine);
+        let profile = cell.machine.profile();
+
+        // Fresh, cell-deterministic randomness for samples and actual runs.
+        let mut rng = Rng::new(
+            self.seed
+                ^ (cell.db as u64) << 1
+                ^ (cell.machine as u64) << 9
+                ^ (cell.benchmark as u64) << 17
+                ^ (cell.sampling_ratio * 1e6) as u64,
+        );
+        let catalog = &self.dbs[&cell.db];
+        let samples = catalog.draw_samples(cell.sampling_ratio, 2, &mut rng);
+
+        let predictor = Predictor::new(
+            units,
+            PredictorConfig {
+                variant: cell.variant,
+                ..Default::default()
+            },
+        );
+
+        let prepared = &self.prepared[&(cell.db, cell.benchmark, cell.instances)];
+        let records = prepared
+            .iter()
+            .map(|pq| {
+                let prediction = predictor.predict(&pq.plan, catalog, &samples);
+                let actual = simulate_actual_time(
+                    &pq.plan,
+                    &pq.contexts,
+                    &pq.traces,
+                    &profile,
+                    &self.sim,
+                    &mut rng,
+                );
+                let sels = prediction
+                    .sel_estimates
+                    .iter()
+                    .filter(|e| e.source == SelSource::Sampled)
+                    .map(|e| SelRecord {
+                        node: e.node,
+                        estimated: e.rho,
+                        estimated_std: e.var.max(0.0).sqrt(),
+                        actual: pq.true_sels[e.node],
+                    })
+                    .collect();
+                QueryRecord {
+                    name: pq.name.clone(),
+                    predicted_mean_ms: prediction.mean_ms(),
+                    predicted_std_ms: prediction.std_dev_ms(),
+                    actual_ms: actual.mean_ms,
+                    full_pass_seconds: pq.full_seconds,
+                    sample_pass_seconds: prediction.sample_pass_seconds,
+                    sels,
+                }
+            })
+            .collect();
+
+        CellOutcome {
+            config_label: cell.label(),
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_workloads::Benchmark;
+
+    fn tiny_lab() -> Lab {
+        Lab::new(99)
+    }
+
+    #[test]
+    fn micro_cell_produces_records() {
+        let mut lab = tiny_lab();
+        let cell = CellConfig::new(
+            DbPreset::Uniform1G,
+            Machine::Pc1,
+            Benchmark::Micro,
+            0.05,
+        );
+        let outcome = lab.run_cell(&cell);
+        assert_eq!(outcome.records.len(), 72);
+        for r in &outcome.records {
+            assert!(r.predicted_mean_ms > 0.0, "{}: mean", r.name);
+            assert!(r.predicted_std_ms > 0.0, "{}: std", r.name);
+            assert!(r.actual_ms > 0.0, "{}: actual", r.name);
+            assert!(!r.sels.is_empty(), "{}: sel records", r.name);
+        }
+    }
+
+    #[test]
+    fn cells_are_deterministic() {
+        let run = || {
+            let mut lab = tiny_lab();
+            let cell = CellConfig::new(
+                DbPreset::Uniform1G,
+                Machine::Pc2,
+                Benchmark::SelJoin,
+                0.05,
+            );
+            lab.run_cell(&cell)
+                .records
+                .iter()
+                .map(|r| (r.predicted_mean_ms, r.actual_ms))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn caching_reuses_full_executions() {
+        let mut lab = tiny_lab();
+        let mk = |sr: f64| {
+            CellConfig::new(DbPreset::Uniform1G, Machine::Pc1, Benchmark::Micro, sr)
+        };
+        let a = lab.run_cell(&mk(0.01));
+        let b = lab.run_cell(&mk(0.1));
+        // Full-pass timings identical (cached), sample passes differ in work.
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.full_pass_seconds, y.full_pass_seconds);
+        }
+    }
+
+    #[test]
+    fn record_error_and_overhead() {
+        let r = QueryRecord {
+            name: "q".into(),
+            predicted_mean_ms: 100.0,
+            predicted_std_ms: 10.0,
+            actual_ms: 120.0,
+            full_pass_seconds: 2.0,
+            sample_pass_seconds: 0.1,
+            sels: vec![],
+        };
+        assert_eq!(r.error_ms(), 20.0);
+        assert!((r.relative_overhead() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sel_record_metrics() {
+        let s = SelRecord {
+            node: 0,
+            estimated: 0.11,
+            estimated_std: 0.02,
+            actual: 0.1,
+        };
+        assert!((s.relative_error() - 0.1).abs() < 1e-9);
+        assert!((s.abs_error() - 0.01).abs() < 1e-12);
+    }
+}

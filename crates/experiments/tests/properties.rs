@@ -1,0 +1,89 @@
+//! Property-based tests for the experiment metrics.
+
+use proptest::prelude::*;
+use uaq_experiments::runner::{CellOutcome, QueryRecord, SelRecord};
+use uaq_experiments::metrics;
+
+fn outcome(points: &[(f64, f64, f64)]) -> CellOutcome {
+    CellOutcome {
+        config_label: "prop".into(),
+        records: points
+            .iter()
+            .enumerate()
+            .map(|(i, &(mean, std, actual))| QueryRecord {
+                name: format!("q{i}"),
+                predicted_mean_ms: mean,
+                predicted_std_ms: std,
+                actual_ms: actual,
+                full_pass_seconds: 1.0,
+                sample_pass_seconds: 0.02,
+                sels: vec![],
+            })
+            .collect(),
+    }
+}
+
+fn point_strategy() -> impl Strategy<Value = (f64, f64, f64)> {
+    (1.0..1000.0f64, 0.01..100.0f64, 1.0..1000.0f64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn correlations_are_bounded(points in prop::collection::vec(point_strategy(), 3..60)) {
+        let o = outcome(&points);
+        let (rs, rp) = metrics::correlation(&o);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rs));
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rp));
+    }
+
+    #[test]
+    fn dn_is_a_probability_distance(points in prop::collection::vec(point_strategy(), 3..60)) {
+        let o = outcome(&points);
+        let d = metrics::distribution_distance(&o);
+        prop_assert!((0.0..=1.0).contains(&d), "D_n = {d}");
+    }
+
+    #[test]
+    fn empirical_pr_is_monotone_in_alpha(
+        points in prop::collection::vec(point_strategy(), 3..40),
+        a in 0.1..3.0f64,
+        b in 0.1..3.0f64,
+    ) {
+        let o = outcome(&points);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(metrics::empirical_pr(&o, lo) <= metrics::empirical_pr(&o, hi) + 1e-12);
+    }
+
+    #[test]
+    fn outlier_removal_reduces_count_by_one(points in prop::collection::vec(point_strategy(), 3..40)) {
+        let o = outcome(&points);
+        prop_assert_eq!(metrics::scatter_without_top_outlier(&o).len(), points.len() - 1);
+    }
+
+    #[test]
+    fn sel_metrics_are_finite(
+        raw in prop::collection::vec((0.0..1.0f64, 0.0..0.2f64, 0.0..1.0f64), 3..50),
+    ) {
+        let records: Vec<SelRecord> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(est, std, act))| SelRecord {
+                node: i,
+                estimated: est,
+                estimated_std: std,
+                actual: act,
+            })
+            .collect();
+        let (rs, rp) = metrics::sel_error_correlation(&records);
+        prop_assert!(rs.is_finite() && rp.is_finite());
+        let (rs2, rp2) = metrics::sel_value_correlation(&records);
+        prop_assert!(rs2.is_finite() && rp2.is_finite());
+        let mre = metrics::mean_relative_sel_error(&records);
+        prop_assert!(mre >= 0.0 && mre.is_finite());
+        if let Some((a, b)) = metrics::sel_error_correlation_above(&records, 0.2) {
+            prop_assert!(a.is_finite() && b.is_finite());
+        }
+    }
+}

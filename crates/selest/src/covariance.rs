@@ -1,0 +1,345 @@
+//! Covariance bounds between selectivity estimates (§5.3.2, Appendix A.7/A.8).
+//!
+//! Two operators' estimates are correlated iff one is a descendant of the
+//! other (Lemma 3 — they then share sample tables). The covariances cannot
+//! be computed exactly, so the paper derives three upper bounds for
+//! `|Cov(ρ_n, ρ'_n)|` and companion bounds for the second-moment covariances
+//! `|Cov(ρ_n², ρ'_n²)|` and `|Cov(ρ_n², ρ'_n)|` needed by quadratic/product
+//! cost-function terms:
+//!
+//! * **B1** (Theorem 7): `sqrt(S_ρ²(m,n) · S_ρ'²(m,n))` with the variances
+//!   *restricted to the m shared relations* — the tightest, and directly
+//!   computable from the per-leaf components of [`SelEstimate`].
+//! * **B2** (Theorem 7): plain Cauchy–Schwarz `sqrt(Var[ρ_n] Var[ρ'_n])`.
+//! * **B3** (Theorem 8): `f(n,m)·g(ρ)g(ρ')` with `f = 1 − (1 − 1/n)^m`,
+//!   `g(ρ) = sqrt(ρ(1−ρ))`.
+
+use crate::estimator::SelEstimate;
+use uaq_engine::{NodeId, Plan};
+
+/// `g(ρ) = sqrt(ρ(1−ρ))` (Theorem 8).
+pub fn g(rho: f64) -> f64 {
+    let r = rho.clamp(0.0, 1.0);
+    (r * (1.0 - r)).sqrt()
+}
+
+/// `h(ρ) = sqrt(ρ(1−ρ)(ρ − ρ² + 1))` (Theorem 9).
+pub fn h(rho: f64) -> f64 {
+    let r = rho.clamp(0.0, 1.0);
+    (r * (1.0 - r) * (r - r * r + 1.0)).sqrt()
+}
+
+/// The shared-leaf structure between a descendant operator and an ancestor.
+#[derive(Debug, Clone)]
+pub struct SharedLeaves {
+    /// Leaf indices in the descendant's `leaf_tables` (all of them: for an
+    /// ancestor-descendant pair the descendant's leaves are a subset).
+    pub in_descendant: Vec<usize>,
+    /// Matching leaf indices in the ancestor's `leaf_tables`.
+    pub in_ancestor: Vec<usize>,
+    /// `m = |R ∩ R'|`.
+    pub m: usize,
+}
+
+/// Matches the descendant's leaf refs inside the ancestor's leaf list.
+/// Returns `None` when the operators share no relations (⇒ independent, by
+/// Lemma 1) or are not in an ancestor-descendant relationship.
+pub fn shared_leaves(plan: &Plan, a: NodeId, b: NodeId) -> Option<SharedLeaves> {
+    let (desc, anc) = if plan.is_descendant(a, b) {
+        (a, b)
+    } else if plan.is_descendant(b, a) {
+        (b, a)
+    } else {
+        return None;
+    };
+    let desc_leaves = &plan.meta(desc).leaf_tables;
+    let anc_leaves = &plan.meta(anc).leaf_tables;
+    let mut in_descendant = Vec::with_capacity(desc_leaves.len());
+    let mut in_ancestor = Vec::with_capacity(desc_leaves.len());
+    for (i, leaf) in desc_leaves.iter().enumerate() {
+        let j = anc_leaves
+            .iter()
+            .position(|l| l == leaf)
+            .expect("descendant leaves are a subset of ancestor leaves");
+        in_descendant.push(i);
+        in_ancestor.push(j);
+    }
+    if in_descendant.is_empty() {
+        return None;
+    }
+    Some(SharedLeaves {
+        m: in_descendant.len(),
+        in_descendant,
+        in_ancestor,
+    })
+}
+
+/// All three bounds for `|Cov(ρ_n, ρ'_n)|`, for inspection/ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct CovBounds {
+    pub b1: f64,
+    pub b2: f64,
+    pub b3: f64,
+}
+
+impl CovBounds {
+    /// The bound actually used: B1, which Theorem 7 proves ≤ B2 and which
+    /// Appendix A.8 shows is also ≤ B3.
+    pub fn tightest(&self) -> f64 {
+        self.b1.min(self.b2).min(self.b3)
+    }
+}
+
+/// Computes B1/B2/B3 for a descendant-ancestor pair of estimates.
+///
+/// `desc`/`anc` must be oriented (use [`shared_leaves`] to discover the
+/// orientation). Operators estimated via the optimizer fallback have zero
+/// variance components and therefore zero bounds — matching the paper's
+/// `S_n² = 0` convention for aggregates.
+pub fn cov_bounds(desc: &SelEstimate, anc: &SelEstimate, shared: &SharedLeaves) -> CovBounds {
+    // B1: restricted variances over the shared leaves.
+    let s2_desc = desc.restricted_var(&shared.in_descendant);
+    let s2_anc = anc.restricted_var(&shared.in_ancestor);
+    let b1 = (s2_desc * s2_anc).sqrt();
+
+    // B2: full Cauchy–Schwarz.
+    let b2 = (desc.var.max(0.0) * anc.var.max(0.0)).sqrt();
+
+    // B3: f(n, m)·g(ρ)g(ρ') with n = the smallest shared sample size
+    // (conservative: f grows as n shrinks).
+    let n = shared
+        .in_descendant
+        .iter()
+        .map(|&i| desc.leaf_sample_sizes.get(i).copied().unwrap_or(usize::MAX))
+        .min()
+        .unwrap_or(usize::MAX);
+    let b3 = if n == usize::MAX || n == 0 {
+        f64::INFINITY
+    } else {
+        let f = 1.0 - (1.0 - 1.0 / n as f64).powi(shared.m as i32);
+        f * g(desc.rho) * g(anc.rho)
+    };
+
+    CovBounds { b1, b2, b3 }
+}
+
+/// Theorem 9 bound for `|Cov(ρ_n², (ρ'_n)²)|`, using the large-`n`
+/// approximation `f(n,m) ≈ (K + K' + 4m)·sqrt(K K')/n²`.
+pub fn cov_bound_squares(desc: &SelEstimate, anc: &SelEstimate, shared: &SharedLeaves) -> f64 {
+    let k = desc.leaf_sample_sizes.len() as f64;
+    let k2 = anc.leaf_sample_sizes.len() as f64;
+    let m = shared.m as f64;
+    let n = min_shared_n(desc, shared);
+    if n == 0.0 {
+        return f64::INFINITY;
+    }
+    let f = (k + k2 + 4.0 * m) * (k * k2).sqrt() / (n * n);
+    f * h(desc.rho) * h(anc.rho)
+}
+
+/// Theorem 10 bound for `|Cov(ρ_n², ρ'_n)|` where `ρ_n` is the squared one,
+/// using `f(n,m) ≈ (K + 2m)·sqrt(K K')/n²`.
+pub fn cov_bound_square_linear(
+    squared: &SelEstimate,
+    linear: &SelEstimate,
+    shared_m: usize,
+    n: usize,
+) -> f64 {
+    let k = squared.leaf_sample_sizes.len() as f64;
+    let k2 = linear.leaf_sample_sizes.len() as f64;
+    if n == 0 {
+        return f64::INFINITY;
+    }
+    let nf = n as f64;
+    let f = (k + 2.0 * shared_m as f64) * (k * k2).sqrt() / (nf * nf);
+    f * h(squared.rho) * g(linear.rho)
+}
+
+fn min_shared_n(desc: &SelEstimate, shared: &SharedLeaves) -> f64 {
+    shared
+        .in_descendant
+        .iter()
+        .map(|&i| desc.leaf_sample_sizes.get(i).copied().unwrap_or(0))
+        .min()
+        .unwrap_or(0) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::estimate_selectivities;
+    use uaq_engine::{execute_on_samples, Pred, PlanBuilder};
+    use uaq_stats::Rng;
+    use uaq_storage::{Catalog, Column, Schema, Table, Value};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+        let rows = (0..2000)
+            .map(|i| vec![Value::Int((i % 40) as i64), Value::Int(i as i64)])
+            .collect();
+        c.add_table(Table::new("t", s, rows));
+        let s2 = Schema::new(vec![Column::int("x"), Column::int("y")]);
+        let rows2 = (0..1000)
+            .map(|i| vec![Value::Int((i % 40) as i64), Value::Int(i as i64)])
+            .collect();
+        c.add_table(Table::new("u", s2, rows2));
+        let s3 = Schema::new(vec![Column::int("p"), Column::int("q")]);
+        let rows3 = (0..500)
+            .map(|i| vec![Value::Int((i % 40) as i64), Value::Int(i as i64)])
+            .collect();
+        c.add_table(Table::new("v", s3, rows3));
+        c
+    }
+
+    /// (R1 ⋈ R2) ⋈ R3 — Figure 1 / Example 5 of the paper.
+    fn three_way_plan() -> uaq_engine::Plan {
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::True);
+        let u = b.seq_scan("u", Pred::True);
+        let j1 = b.hash_join(t, u, "a", "x");
+        let v = b.seq_scan("v", Pred::True);
+        let j2 = b.hash_join(j1, v, "a", "p");
+        b.build(j2)
+    }
+
+    #[test]
+    fn shared_leaves_for_nested_joins() {
+        let plan = three_way_plan();
+        // j1 (node 2) is a descendant of j2 (node 4); shares t and u.
+        let s = shared_leaves(&plan, 2, 4).expect("ancestor-descendant");
+        assert_eq!(s.m, 2);
+        assert_eq!(s.in_descendant, vec![0, 1]);
+        assert_eq!(s.in_ancestor, vec![0, 1]);
+        // Scan of t (node 0) under j2 shares one relation.
+        let s2 = shared_leaves(&plan, 0, 4).expect("scan under join");
+        assert_eq!(s2.m, 1);
+    }
+
+    #[test]
+    fn siblings_are_independent() {
+        let plan = three_way_plan();
+        // Scan t (0) and scan u (1) are not ancestor-descendant.
+        assert!(shared_leaves(&plan, 0, 1).is_none());
+        // j1 (2) and scan v (3) neither (Lemma 3 / Example 5:
+        // Cov(X4, X3) = 0).
+        assert!(shared_leaves(&plan, 2, 3).is_none());
+    }
+
+    #[test]
+    fn b1_is_tightest_bound() {
+        let c = catalog();
+        let plan = three_way_plan();
+        let mut rng = Rng::new(21);
+        let samples = c.draw_samples(0.1, 1, &mut rng);
+        let out = execute_on_samples(&plan, &samples);
+        let est = estimate_selectivities(&plan, &out, &samples, &c);
+        let shared = shared_leaves(&plan, 2, 4).expect("shared");
+        let bounds = cov_bounds(&est[2], &est[4], &shared);
+        assert!(bounds.b1 <= bounds.b2 + 1e-15, "B1 {} > B2 {}", bounds.b1, bounds.b2);
+        assert!(bounds.b1 > 0.0);
+        assert_eq!(bounds.tightest(), bounds.b1.min(bounds.b2).min(bounds.b3));
+    }
+
+    #[test]
+    fn empirical_covariance_respects_b1() {
+        // Monte Carlo over independent sample sets: the observed covariance
+        // between a join's estimate and its descendant scan's estimate must
+        // not exceed the average B1 bound (up to statistical noise).
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("b", Value::Int(1000)));
+        let u = b.seq_scan("u", Pred::True);
+        let j = b.hash_join(t, u, "a", "x");
+        let plan = b.build(j);
+        let mut rng = Rng::new(22);
+        let mut scan_rhos = Vec::new();
+        let mut join_rhos = Vec::new();
+        let mut b1s = Vec::new();
+        for _ in 0..250 {
+            let samples = c.draw_samples(0.08, 1, &mut rng);
+            let out = execute_on_samples(&plan, &samples);
+            let est = estimate_selectivities(&plan, &out, &samples, &c);
+            scan_rhos.push(est[t].rho);
+            join_rhos.push(est[j].rho);
+            let shared = shared_leaves(&plan, t, j).expect("shared");
+            b1s.push(cov_bounds(&est[t], &est[j], &shared).b1);
+        }
+        let n = scan_rhos.len() as f64;
+        let ms = uaq_stats::mean(&scan_rhos);
+        let mj = uaq_stats::mean(&join_rhos);
+        let cov = scan_rhos
+            .iter()
+            .zip(&join_rhos)
+            .map(|(a, b)| (a - ms) * (b - mj))
+            .sum::<f64>()
+            / (n - 1.0);
+        let avg_b1 = uaq_stats::mean(&b1s);
+        assert!(
+            cov.abs() <= avg_b1 * 1.3,
+            "empirical |cov| {} exceeds B1 {}",
+            cov.abs(),
+            avg_b1
+        );
+        // The estimates really are positively correlated (shared samples).
+        assert!(cov > 0.0, "expected positive correlation, got {cov}");
+    }
+
+    #[test]
+    fn g_and_h_shapes() {
+        assert_eq!(g(0.0), 0.0);
+        assert_eq!(g(1.0), 0.0);
+        assert!((g(0.5) - 0.5).abs() < 1e-12);
+        // h(ρ) ≥ g(ρ): the second-moment envelope is wider.
+        for r in [0.1, 0.3, 0.5, 0.9] {
+            assert!(h(r) >= g(r));
+        }
+        // Out-of-range inputs are clamped, not NaN.
+        assert_eq!(g(-0.1), 0.0);
+        assert_eq!(g(1.1), 0.0);
+    }
+
+    #[test]
+    fn optimizer_fallback_gives_zero_bounds() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::True);
+        let agg = b.aggregate(
+            t,
+            vec!["a".into()],
+            vec![("cnt".into(), uaq_engine::AggFunc::CountStar)],
+        );
+        let f = b.filter(agg, Pred::gt("cnt", Value::Int(0)));
+        let plan = b.build(f);
+        let mut rng = Rng::new(23);
+        let samples = c.draw_samples(0.1, 1, &mut rng);
+        let out = execute_on_samples(&plan, &samples);
+        let est = estimate_selectivities(&plan, &out, &samples, &c);
+        let shared = shared_leaves(&plan, t, f).expect("scan under filter");
+        let bounds = cov_bounds(&est[t], &est[f], &shared);
+        assert_eq!(bounds.b1, 0.0);
+        assert_eq!(bounds.b2, 0.0);
+    }
+
+    #[test]
+    fn square_bounds_shrink_with_sample_size() {
+        let mk = |n: usize| crate::estimator::SelEstimate {
+            node: 0,
+            rho: 0.4,
+            var: 0.001,
+            per_leaf_var: vec![0.001],
+            leaf_sample_sizes: vec![n],
+            source: crate::estimator::SelSource::Sampled,
+        };
+        let shared = SharedLeaves {
+            in_descendant: vec![0],
+            in_ancestor: vec![0],
+            m: 1,
+        };
+        let small = cov_bound_squares(&mk(100), &mk(100), &shared);
+        let large = cov_bound_squares(&mk(1000), &mk(1000), &shared);
+        assert!(large < small);
+        let sq_lin = cov_bound_square_linear(&mk(100), &mk(100), 1, 100);
+        assert!(sq_lin > 0.0 && sq_lin < 1.0);
+    }
+}

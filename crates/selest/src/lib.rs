@@ -1,0 +1,20 @@
+//! # uaq-selest
+//!
+//! Sampling-based selectivity estimation for whole plans in one pass over
+//! sample tables (§3.2 / Algorithm 1 of the paper): `ρ_n` estimates, their
+//! `S_n²` variance components per leaf relation, and the covariance upper
+//! bounds B1/B2/B3 (Theorems 7–8) plus the second-moment bounds
+//! (Theorems 9–10) used by the running-time variance computation.
+
+pub mod covariance;
+pub mod estimator;
+pub mod gee;
+
+pub use covariance::{
+    cov_bound_square_linear, cov_bound_squares, cov_bounds, shared_leaves, CovBounds, SharedLeaves,
+};
+pub use estimator::{
+    estimate_selectivities, estimate_selectivities_with, AggCardinalitySource, SelEstimate,
+    SelSource,
+};
+pub use gee::{gee_distinct, gee_distinct_for_column, gee_group_count, FrequencyProfile};

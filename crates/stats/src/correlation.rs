@@ -1,0 +1,152 @@
+//! Pearson and Spearman correlation coefficients — the paper's two headline
+//! metrics (`r_p`, Eq. 7, and `r_s`, its rank analogue; §6.3).
+
+/// Pearson linear correlation coefficient `r_p` (Eq. 7 of the paper).
+///
+/// Returns 0 when either input has zero variance (a flat series carries no
+/// linear association signal).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// Fractional ranks (1-based) with ties resolved by averaging — the standard
+/// convention for Spearman's coefficient.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average of ranks i+1..=j+1.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's rank correlation coefficient `r_s`: Pearson correlation of the
+/// average ranks. More robust to outliers than `r_p` (Fig. 3 discussion).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman: length mismatch");
+    pearson(&average_ranks(xs), &average_ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        let xs = [2.0, 2.0, 2.0];
+        let ys = [1.0, 5.0, 9.0];
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_near_zero() {
+        let mut rng = Rng::new(44);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+        assert!(pearson(&xs, &ys).abs() < 0.02);
+    }
+
+    #[test]
+    fn ranks_simple() {
+        // Paper example: σ = (4, 7, 5) has ranks (1, 3, 2).
+        assert_eq!(average_ranks(&[4.0, 7.0, 5.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_with_ties_average() {
+        assert_eq!(average_ranks(&[1.0, 2.0, 2.0, 3.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(average_ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_perfect_monotone_nonlinear() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        // Pearson is below 1 for this convex relationship.
+        assert!(pearson(&xs, &ys) < 0.999);
+    }
+
+    #[test]
+    fn spearman_robust_to_outlier() {
+        // Mirrors the paper's Fig. 3 robustness observation: one extreme
+        // outlier distorts r_p far more than r_s.
+        let mut xs: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| x * 2.0 + 1.0).collect();
+        let rp_before = pearson(&xs, &ys);
+        xs.push(31.0);
+        ys.push(-1000.0);
+        let rp_after = pearson(&xs, &ys);
+        let rs_after = spearman(&xs, &ys);
+        assert!(rp_before > 0.999);
+        assert!(rp_after < 0.5, "rp_after={rp_after}");
+        assert!(rs_after > 0.7, "rs_after={rs_after}");
+    }
+
+    #[test]
+    fn correlation_invariant_to_affine_transform() {
+        let xs = [1.0, 4.0, 2.0, 8.0, 5.0];
+        let ys = [2.0, 3.0, 1.0, 9.0, 4.0];
+        let scaled: Vec<f64> = xs.iter().map(|x| 3.0 * x + 7.0).collect();
+        assert!((pearson(&xs, &ys) - pearson(&scaled, &ys)).abs() < 1e-12);
+        assert!((spearman(&xs, &ys) - spearman(&scaled, &ys)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coefficients_bounded() {
+        let mut rng = Rng::new(123);
+        for _ in 0..50 {
+            let n = 3 + rng.usize_below(20);
+            let xs: Vec<f64> = (0..n).map(|_| rng.f64() * 100.0).collect();
+            let ys: Vec<f64> = (0..n).map(|_| rng.f64() * 100.0).collect();
+            let rp = pearson(&xs, &ys);
+            let rs = spearman(&xs, &ys);
+            assert!((-1.0..=1.0).contains(&rp));
+            assert!((-1.0 - 1e-12..=1.0 + 1e-12).contains(&rs));
+        }
+    }
+}

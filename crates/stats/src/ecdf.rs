@@ -1,0 +1,152 @@
+//! The distributional-proximity metric `D_n` of §6.3.
+//!
+//! For each query the predictor emits `T_i ~ N(μ_i, σ_i²)`. The normalized
+//! actual error is `e'_i = |t_i − μ_i| / σ_i`; under the predicted model
+//! `Pr(E'_i ≤ α) = 2Φ(α) − 1` for every query. The empirical counterpart is
+//! `Pr_n(α) = (1/n) Σ 1[e'_i ≤ α]`, and `D_n(α) = |Pr_n(α) − Pr(α)|`. The
+//! paper reports the average of `D_n(α)` over an α-grid in `(0, 6)`.
+
+use crate::normal::Normal;
+
+/// The α ticks the paper uses for its Fig. 5 plots.
+pub const FIG5_ALPHAS: [f64; 16] = [
+    0.1, 0.3, 0.5, 0.7, 0.9, 1.0, 1.2, 1.5, 1.8, 2.0, 2.2, 2.5, 2.8, 3.0, 3.5, 4.0,
+];
+
+/// Evenly spaced α grid over `(0, hi]` with `n` points, mirroring the paper's
+/// "generated α's from the interval (0, 6)".
+pub fn alpha_grid(n: usize, hi: f64) -> Vec<f64> {
+    assert!(n > 0 && hi > 0.0);
+    (1..=n).map(|i| hi * i as f64 / n as f64).collect()
+}
+
+/// Normalized errors `e'_i = |t_i − μ_i| / σ_i`.
+///
+/// Queries with `σ_i == 0` are skipped only if their error is also zero is
+/// impossible to normalise; we map them to `+∞` when the error is nonzero
+/// (the prediction claimed certainty and was wrong) and `0` otherwise.
+pub fn normalized_errors(predicted_means: &[f64], predicted_stds: &[f64], actuals: &[f64]) -> Vec<f64> {
+    assert_eq!(predicted_means.len(), predicted_stds.len());
+    assert_eq!(predicted_means.len(), actuals.len());
+    predicted_means
+        .iter()
+        .zip(predicted_stds)
+        .zip(actuals)
+        .map(|((&mu, &sigma), &t)| {
+            let e = (t - mu).abs();
+            if sigma > 0.0 {
+                e / sigma
+            } else if e == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        })
+        .collect()
+}
+
+/// Empirical `Pr_n(α) = (1/n) Σ 1[e' ≤ α]`.
+pub fn empirical_pr(normalized_errors: &[f64], alpha: f64) -> f64 {
+    if normalized_errors.is_empty() {
+        return 0.0;
+    }
+    let hits = normalized_errors.iter().filter(|&&e| e <= alpha).count();
+    hits as f64 / normalized_errors.len() as f64
+}
+
+/// Model `Pr(α) = 2Φ(α) − 1`.
+pub fn model_pr(alpha: f64) -> f64 {
+    Normal::prob_within_alpha_sigmas(alpha)
+}
+
+/// `D_n(α) = |Pr_n(α) − Pr(α)|`.
+pub fn dn_at(normalized_errors: &[f64], alpha: f64) -> f64 {
+    (empirical_pr(normalized_errors, alpha) - model_pr(alpha)).abs()
+}
+
+/// Average `D_n` over an α grid (the scalar the paper reports in Table 5).
+pub fn dn_average(normalized_errors: &[f64], alphas: &[f64]) -> f64 {
+    assert!(!alphas.is_empty());
+    alphas.iter().map(|&a| dn_at(normalized_errors, a)).sum::<f64>() / alphas.len() as f64
+}
+
+/// Default `D_n`: 60 evenly spaced α values over `(0, 6]`.
+pub fn dn(normalized_errors: &[f64]) -> f64 {
+    dn_average(normalized_errors, &alpha_grid(60, 6.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn alpha_grid_shape() {
+        let g = alpha_grid(60, 6.0);
+        assert_eq!(g.len(), 60);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[59] - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_errors_basic() {
+        let e = normalized_errors(&[10.0, 20.0], &[2.0, 5.0], &[14.0, 10.0]);
+        assert_eq!(e, vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn normalized_errors_zero_sigma() {
+        let e = normalized_errors(&[10.0, 10.0], &[0.0, 0.0], &[10.0, 12.0]);
+        assert_eq!(e[0], 0.0);
+        assert!(e[1].is_infinite());
+    }
+
+    #[test]
+    fn empirical_pr_counts() {
+        let e = [0.5, 1.5, 2.5, 3.5];
+        assert_eq!(empirical_pr(&e, 1.0), 0.25);
+        assert_eq!(empirical_pr(&e, 3.0), 0.75);
+        assert_eq!(empirical_pr(&e, 10.0), 1.0);
+    }
+
+    #[test]
+    fn model_pr_reference() {
+        assert!((model_pr(1.0) - 0.682_689_492).abs() < 1e-6);
+        assert!((model_pr(2.0) - 0.954_499_736).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dn_zero_for_perfectly_calibrated_predictions() {
+        // If the actuals really are N(μ, σ²) draws, D_n should be small.
+        let mut rng = Rng::new(77);
+        let n = 20_000;
+        let mus: Vec<f64> = (0..n).map(|_| rng.f64() * 100.0).collect();
+        let sigmas: Vec<f64> = (0..n).map(|_| 1.0 + rng.f64() * 9.0).collect();
+        let actuals: Vec<f64> = mus
+            .iter()
+            .zip(&sigmas)
+            .map(|(&m, &s)| rng.normal(m, s))
+            .collect();
+        let e = normalized_errors(&mus, &sigmas, &actuals);
+        assert!(dn(&e) < 0.01, "dn={}", dn(&e));
+    }
+
+    #[test]
+    fn dn_large_for_overconfident_predictions() {
+        // Predicted σ ten times too small ⇒ errors look huge in σ units.
+        let mut rng = Rng::new(78);
+        let n = 5_000;
+        let mus = vec![50.0; n];
+        let claimed: Vec<f64> = vec![1.0; n];
+        let actuals: Vec<f64> = (0..n).map(|_| rng.normal(50.0, 10.0)).collect();
+        let e = normalized_errors(&mus, &claimed, &actuals);
+        assert!(dn(&e) > 0.3, "dn={}", dn(&e));
+    }
+
+    #[test]
+    fn dn_bounded_by_one() {
+        let e = vec![f64::INFINITY; 10];
+        let d = dn(&e);
+        assert!(d <= 1.0 && d > 0.8);
+    }
+}

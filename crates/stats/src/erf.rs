@@ -1,0 +1,266 @@
+//! Error function and friends, implemented via the regularized incomplete
+//! gamma function (`erf(x) = P(1/2, x^2)` for `x >= 0`), which converges to
+//! near machine precision. Needed for the standard normal CDF `Φ` used by the
+//! paper's `Pr(α) = 2Φ(α) − 1` error-likelihood computation (§6.3).
+
+const MAX_ITER: usize = 300;
+const EPS: f64 = 3.0e-16;
+const FPMIN: f64 = f64::MIN_POSITIVE / EPS;
+
+/// `ln Γ(x)` for `x > 0` (Lanczos approximation, |error| < 2e-10 relative).
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const COF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_9e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015;
+    for c in COF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x)` via series expansion
+/// (converges quickly for `x < a + 1`).
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let gln = ln_gamma(a);
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - gln).exp()
+}
+
+/// Regularized upper incomplete gamma `Q(a, x)` via continued fraction
+/// (converges quickly for `x >= a + 1`).
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    let gln = ln_gamma(a);
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - gln).exp() * h
+}
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_p domain: a={a}, x={x}");
+    if x == 0.0 {
+        0.0
+    } else if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_cf(a, x)
+    }
+}
+
+/// Error function `erf(x)`.
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let p = gamma_p(0.5, x * x);
+    if x >= 0.0 {
+        p
+    } else {
+        -p
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        if x * x >= 1.5 {
+            gamma_q_cf(0.5, x * x)
+        } else {
+            1.0 - gamma_p(0.5, x * x)
+        }
+    } else {
+        2.0 - erfc(-x)
+    }
+}
+
+/// Standard normal CDF `Φ(x)`.
+pub fn std_normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Inverse of the standard normal CDF (quantile function).
+///
+/// Acklam's rational approximation refined with one Halley step against the
+/// high-precision CDF above; absolute error well below 1e-12 in (1e-300, 1).
+pub fn std_normal_quantile(p: f64) -> f64 {
+    assert!(
+        p > 0.0 && p < 1.0,
+        "std_normal_quantile requires p in (0,1), got {p}"
+    );
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step.
+    let e = std_normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b} (tol {tol})");
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun / mpmath.
+        assert_close(erf(0.0), 0.0, 1e-15);
+        assert_close(erf(0.5), 0.520_499_877_813_046_5, 1e-10);
+        assert_close(erf(1.0), 0.842_700_792_949_714_9, 1e-10);
+        assert_close(erf(2.0), 0.995_322_265_018_952_7, 1e-10);
+        assert_close(erf(3.0), 0.999_977_909_503_001_4, 1e-10);
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for x in [0.1, 0.7, 1.3, 2.9] {
+            assert_close(erf(-x), -erf(x), 1e-14);
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for x in [-2.5, -1.0, 0.0, 0.3, 1.7, 4.0] {
+            assert_close(erfc(x), 1.0 - erf(x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn erfc_tail_accuracy() {
+        // erfc(5) from mpmath.
+        assert_close(erfc(5.0), 1.537_459_794_428_035e-12, 1e-20);
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        assert_close(std_normal_cdf(0.0), 0.5, 1e-14);
+        assert_close(std_normal_cdf(1.0), 0.841_344_746_068_542_9, 1e-10);
+        assert_close(std_normal_cdf(-1.0), 0.158_655_253_931_457_05, 1e-10);
+        assert_close(std_normal_cdf(1.959_963_984_540_054), 0.975, 1e-9);
+        assert_close(std_normal_cdf(3.0), 0.998_650_101_968_369_9, 1e-10);
+    }
+
+    #[test]
+    fn three_sigma_rule() {
+        // Pr(X in [μ−3σ, μ+3σ]) ≈ 0.9973, the interval used for the fitting
+        // grid in §4.2 of the paper.
+        let p = std_normal_cdf(3.0) - std_normal_cdf(-3.0);
+        assert_close(p, 0.997_300_203_936_74, 1e-9);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for p in [1e-6, 0.001, 0.025, 0.31, 0.5, 0.77, 0.975, 0.999, 1.0 - 1e-6] {
+            let x = std_normal_quantile(p);
+            assert_close(std_normal_cdf(x), p, 1e-11);
+        }
+    }
+
+    #[test]
+    fn quantile_symmetry() {
+        for p in [0.01, 0.2, 0.4] {
+            assert_close(std_normal_quantile(p), -std_normal_quantile(1.0 - p), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_reference() {
+        assert_close(ln_gamma(1.0), 0.0, 1e-9);
+        assert_close(ln_gamma(0.5), 0.572_364_942_924_700_1, 1e-9); // ln sqrt(pi)
+        assert_close(ln_gamma(5.0), 24.0_f64.ln(), 1e-9);
+    }
+
+    #[test]
+    fn gamma_p_half_is_erf() {
+        for x in [0.2, 1.0, 2.3] {
+            assert_close(gamma_p(0.5, x * x), erf(x), 1e-12);
+        }
+    }
+}

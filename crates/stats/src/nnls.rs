@@ -1,0 +1,357 @@
+//! Non-negative least squares (Lawson–Hanson active set method).
+//!
+//! The paper fits the coefficients `b` of the logical cost functions by
+//! solving `min ‖Ab − y‖ s.t. b ≥ 0` with Scilab's `qpsolve` (§4.2, noting
+//! that "other equivalent solvers could also be used"). Our problems are tiny
+//! (≤ 4 unknowns, tens of rows) so a dense active-set solver is exact and
+//! fast.
+
+/// Dense row-major matrix, only what NNLS needs.
+#[derive(Debug, Clone)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix from row-major data.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        assert!(!rows.is_empty(), "empty matrix");
+        let cols = rows[0].len();
+        assert!(cols > 0, "zero-column matrix");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in &rows {
+            assert_eq!(r.len(), cols, "ragged matrix rows");
+            data.extend_from_slice(r);
+        }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// `A x` for a dense vector `x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|r| {
+                let row = &self.data[r * self.cols..(r + 1) * self.cols];
+                row.iter().zip(x).map(|(a, b)| a * b).sum()
+            })
+            .collect()
+    }
+
+    /// `Aᵀ v`.
+    pub fn tr_mul_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            for (o, &a) in out.iter_mut().zip(row) {
+                *o += a * v[r];
+            }
+        }
+        out
+    }
+}
+
+/// Solves the square system `M z = b` by Gaussian elimination with partial
+/// pivoting. Returns `None` if `M` is (numerically) singular.
+fn solve_square(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let (pivot_row, pivot_abs) = (col..n)
+            .map(|r| (r, m[r][col].abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())?;
+        if pivot_abs < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+        for r in col + 1..n {
+            let factor = m[r][col] / m[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                m[r][c] -= factor * m[col][c];
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    let mut z = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for c in row + 1..n {
+            acc -= m[row][c] * z[c];
+        }
+        z[row] = acc / m[row][row];
+    }
+    Some(z)
+}
+
+/// Unconstrained least squares restricted to the columns in `passive`
+/// (normal equations; our systems are tiny and well scaled).
+fn ls_on_passive(a: &Matrix, y: &[f64], passive: &[usize]) -> Option<Vec<f64>> {
+    let p = passive.len();
+    let mut ata = vec![vec![0.0; p]; p];
+    let mut aty = vec![0.0; p];
+    for r in 0..a.rows() {
+        for (i, &ci) in passive.iter().enumerate() {
+            let ai = a.at(r, ci);
+            aty[i] += ai * y[r];
+            for (j, &cj) in passive.iter().enumerate().skip(i) {
+                ata[i][j] += ai * a.at(r, cj);
+            }
+        }
+    }
+    // Mirror the upper triangle and add a whisper of ridge for near-collinear
+    // grids (e.g. a degenerate fitting interval where X is constant).
+    for i in 0..p {
+        ata[i][i] += 1e-12 * (1.0 + ata[i][i]);
+        for j in 0..i {
+            ata[i][j] = ata[j][i];
+        }
+    }
+    solve_square(ata, aty)
+}
+
+/// Result of an NNLS solve.
+#[derive(Debug, Clone)]
+pub struct NnlsSolution {
+    /// Optimal non-negative coefficients.
+    pub x: Vec<f64>,
+    /// `‖Ax − y‖₂` at the optimum.
+    pub residual_norm: f64,
+}
+
+/// Lawson–Hanson non-negative least squares: `min ‖Ax − y‖₂ s.t. x ≥ 0`.
+pub fn nnls(a: &Matrix, y: &[f64]) -> NnlsSolution {
+    assert_eq!(a.rows(), y.len(), "nnls: dimension mismatch");
+    let n = a.cols();
+    let mut x = vec![0.0; n];
+    let mut in_passive = vec![false; n];
+    let tol = 1e-10
+        * a.data
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(1.0)
+        * y.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+
+    for _outer in 0..10 * n.max(3) {
+        // Gradient of 0.5‖Ax − y‖²: w = Aᵀ(y − Ax).
+        let ax = a.mul_vec(&x);
+        let resid: Vec<f64> = y.iter().zip(&ax).map(|(yi, axi)| yi - axi).collect();
+        let w = a.tr_mul_vec(&resid);
+
+        let candidate = (0..n)
+            .filter(|&i| !in_passive[i])
+            .max_by(|&i, &j| w[i].partial_cmp(&w[j]).unwrap());
+        let Some(j) = candidate else { break };
+        if w[j] <= tol {
+            break;
+        }
+        in_passive[j] = true;
+
+        // Inner loop: keep the passive solution feasible.
+        for _inner in 0..10 * n.max(3) {
+            let passive: Vec<usize> = (0..n).filter(|&i| in_passive[i]).collect();
+            let Some(z_p) = ls_on_passive(a, y, &passive) else {
+                // Singular subproblem: drop the newest variable and give up on it.
+                in_passive[j] = false;
+                break;
+            };
+            let mut z = vec![0.0; n];
+            for (&col, &val) in passive.iter().zip(&z_p) {
+                z[col] = val;
+            }
+            if passive.iter().all(|&i| z[i] > tol) {
+                x = z;
+                break;
+            }
+            // Step toward z while staying feasible.
+            let mut alpha = f64::INFINITY;
+            for &i in &passive {
+                if z[i] <= tol {
+                    let denom = x[i] - z[i];
+                    if denom > 0.0 {
+                        alpha = alpha.min(x[i] / denom);
+                    }
+                }
+            }
+            if !alpha.is_finite() {
+                x = z.iter().map(|v| v.max(0.0)).collect();
+                break;
+            }
+            for i in 0..n {
+                x[i] += alpha * (z[i] - x[i]);
+            }
+            for i in 0..n {
+                if in_passive[i] && x[i] <= tol {
+                    x[i] = 0.0;
+                    in_passive[i] = false;
+                }
+            }
+        }
+    }
+
+    let ax = a.mul_vec(&x);
+    let residual_norm = y
+        .iter()
+        .zip(&ax)
+        .map(|(yi, axi)| (yi - axi) * (yi - axi))
+        .sum::<f64>()
+        .sqrt();
+    NnlsSolution { x, residual_norm }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn residual(a: &Matrix, x: &[f64], y: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .iter()
+            .zip(y)
+            .map(|(p, t)| (p - t) * (p - t))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn exact_recovery_when_unconstrained_optimum_is_nonnegative() {
+        // y = 3x + 2 on a grid: coefficients recoverable exactly.
+        let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let a = Matrix::from_rows(xs.iter().map(|&x| vec![x, 1.0]).collect());
+        let y: Vec<f64> = xs.iter().map(|&x| 3.0 * x + 2.0).collect();
+        let sol = nnls(&a, &y);
+        assert!((sol.x[0] - 3.0).abs() < 1e-8, "{:?}", sol.x);
+        assert!((sol.x[1] - 2.0).abs() < 1e-8, "{:?}", sol.x);
+        assert!(sol.residual_norm < 1e-8);
+    }
+
+    #[test]
+    fn clamps_negative_component() {
+        // y decreases in x, but coefficient must be >= 0: optimum is slope 0.
+        let xs = [0.0, 0.5, 1.0];
+        let a = Matrix::from_rows(xs.iter().map(|&x| vec![x]).collect());
+        let y = vec![0.0, -1.0, -2.0];
+        let sol = nnls(&a, &y);
+        assert!(sol.x[0].abs() < 1e-10, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn quadratic_fit_matches_generator() {
+        // Fit C4'-style columns [x², x, 1] against a true quadratic.
+        let a = Matrix::from_rows(
+            (0..=10)
+                .map(|i| {
+                    let x = i as f64 / 10.0;
+                    vec![x * x, x, 1.0]
+                })
+                .collect(),
+        );
+        let y: Vec<f64> = (0..=10)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                5.0 * x * x + 1.0 * x + 0.5
+            })
+            .collect();
+        let sol = nnls(&a, &y);
+        assert!((sol.x[0] - 5.0).abs() < 1e-6);
+        assert!((sol.x[1] - 1.0).abs() < 1e-6);
+        assert!((sol.x[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nlogn_is_well_approximated_by_quadratic() {
+        // The C4' rationale: N log N over a narrow interval fits a quadratic
+        // well. Check the relative residual is small.
+        let lo = 1000.0;
+        let hi = 2000.0;
+        let pts: Vec<f64> = (0..=10).map(|i| lo + (hi - lo) * i as f64 / 10.0).collect();
+        let a = Matrix::from_rows(pts.iter().map(|&n| vec![n * n, n, 1.0]).collect());
+        let y: Vec<f64> = pts.iter().map(|&n| n * n.log2()).collect();
+        let sol = nnls(&a, &y);
+        let rel = sol.residual_norm / y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        // The non-negativity constraint bites (the unconstrained optimum has a
+        // negative intercept), but the fit stays well under 1% relative error.
+        assert!(rel < 0.01, "relative residual {rel}");
+    }
+
+    #[test]
+    fn solution_is_optimal_versus_grid_search() {
+        // 2-variable problem: compare against a dense feasible grid.
+        let a = Matrix::from_rows(vec![
+            vec![1.0, 2.0],
+            vec![2.0, 0.5],
+            vec![0.3, 1.7],
+            vec![1.1, 1.1],
+        ]);
+        let y = vec![2.0, 1.0, 3.0, 0.2];
+        let sol = nnls(&a, &y);
+        let best_feasible = (0..=200)
+            .flat_map(|i| (0..=200).map(move |j| (i as f64 / 50.0, j as f64 / 50.0)))
+            .map(|(x0, x1)| residual(&a, &[x0, x1], &y))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            sol.residual_norm <= best_feasible + 1e-6,
+            "nnls {} vs grid {}",
+            sol.residual_norm,
+            best_feasible
+        );
+    }
+
+    #[test]
+    fn kkt_conditions_hold_on_random_problems() {
+        let mut rng = Rng::new(2024);
+        for _ in 0..50 {
+            let rows = 5 + rng.usize_below(10);
+            let cols = 1 + rng.usize_below(4);
+            let a = Matrix::from_rows(
+                (0..rows)
+                    .map(|_| (0..cols).map(|_| rng.f64() * 4.0 - 1.0).collect())
+                    .collect(),
+            );
+            let y: Vec<f64> = (0..rows).map(|_| rng.f64() * 10.0 - 5.0).collect();
+            let sol = nnls(&a, &y);
+            let ax = a.mul_vec(&sol.x);
+            let resid: Vec<f64> = y.iter().zip(&ax).map(|(yi, axi)| yi - axi).collect();
+            let w = a.tr_mul_vec(&resid);
+            for i in 0..cols {
+                assert!(sol.x[i] >= 0.0, "infeasible x");
+                if sol.x[i] > 1e-8 {
+                    // Active coordinates: zero gradient.
+                    assert!(w[i].abs() < 1e-5, "grad {} at active coord", w[i]);
+                } else {
+                    // Bound coordinates: gradient must not be ascent direction.
+                    assert!(w[i] < 1e-5, "grad {} at bound coord", w[i]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rhs_gives_zero_solution() {
+        let a = Matrix::from_rows(vec![vec![1.0, 0.5], vec![0.5, 1.0]]);
+        let sol = nnls(&a, &[0.0, 0.0]);
+        assert!(sol.x.iter().all(|&v| v == 0.0));
+        assert_eq!(sol.residual_norm, 0.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! The (possibly degenerate) normal distribution plus the non-central moment
+//! table and product-moment identities that the paper's covariance algebra
+//! relies on (Table 3, Lemma 4, Lemma 8, §5.3.1).
+
+use crate::erf::{std_normal_cdf, std_normal_quantile};
+use crate::rng::Rng;
+
+/// A normal distribution `N(mean, var)`. `var == 0` is allowed and denotes a
+/// point mass (the paper uses e.g. `f ~ N(b0, 0)` for constant cost
+/// functions, and `S² = 0` for aggregate selectivities).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    var: f64,
+}
+
+impl Normal {
+    /// Creates `N(mean, var)`; panics on negative or non-finite variance.
+    pub fn new(mean: f64, var: f64) -> Self {
+        assert!(
+            var >= 0.0 && var.is_finite() && mean.is_finite(),
+            "invalid normal parameters: mean={mean}, var={var}"
+        );
+        Self { mean, var }
+    }
+
+    /// Point mass at `x` (variance zero).
+    pub fn point(x: f64) -> Self {
+        Self::new(x, 0.0)
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    pub fn var(&self) -> f64 {
+        self.var
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.var.sqrt()
+    }
+
+    /// CDF at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        if self.var == 0.0 {
+            return if x < self.mean { 0.0 } else { 1.0 };
+        }
+        std_normal_cdf((x - self.mean) / self.std_dev())
+    }
+
+    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.var == 0.0 {
+            return self.mean;
+        }
+        self.mean + self.std_dev() * std_normal_quantile(p)
+    }
+
+    /// Central confidence interval containing probability mass `p`.
+    pub fn confidence_interval(&self, p: f64) -> (f64, f64) {
+        assert!((0.0..1.0).contains(&p), "p must be in [0,1), got {p}");
+        if self.var == 0.0 || p == 0.0 {
+            return (self.mean, self.mean);
+        }
+        let half = (1.0 - p) / 2.0;
+        (self.quantile(half), self.quantile(1.0 - half))
+    }
+
+    /// `Pr(|X − mean| <= alpha * std_dev) = 2Φ(alpha) − 1` — the predicted
+    /// error likelihood `Pr(α)` of §6.3.
+    pub fn prob_within_alpha_sigmas(alpha: f64) -> f64 {
+        assert!(alpha >= 0.0);
+        2.0 * std_normal_cdf(alpha) - 1.0
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        rng.normal(self.mean, self.std_dev())
+    }
+
+    /// Non-central moment `E[X^k]` for `k <= 4` (paper Table 3).
+    pub fn raw_moment(&self, k: u32) -> f64 {
+        let (m, v) = (self.mean, self.var);
+        match k {
+            0 => 1.0,
+            1 => m,
+            2 => m * m + v,
+            3 => m * m * m + 3.0 * m * v,
+            4 => m.powi(4) + 6.0 * m * m * v + 3.0 * v * v,
+            _ => panic!("raw_moment only implemented for k <= 4, got {k}"),
+        }
+    }
+
+    /// `Var[X^2] = 2σ²(2μ² + σ²)` (from Table 3 moments).
+    pub fn var_of_square(&self) -> f64 {
+        2.0 * self.var * (2.0 * self.mean * self.mean + self.var)
+    }
+
+    /// `Cov(X, X²) = 2μσ²` (used in the Lemma 4 proof).
+    pub fn cov_x_x2(&self) -> f64 {
+        2.0 * self.mean * self.var
+    }
+
+    /// Sum of independent normals.
+    pub fn add_independent(&self, other: &Normal) -> Normal {
+        Normal::new(self.mean + other.mean, self.var + other.var)
+    }
+
+    /// Affine transform `aX + b`.
+    pub fn affine(&self, a: f64, b: f64) -> Normal {
+        Normal::new(a * self.mean + b, a * a * self.var)
+    }
+}
+
+/// Moments of the product `XY` of two *independent* normals (used for the
+/// `X_l X_r` term of binary cost functions; the paper cites the normal
+/// product distribution [Aroian 1947] and approximates it by a normal with
+/// matching mean/variance, C6' in §5.2.1).
+pub mod product {
+    use super::Normal;
+
+    /// `E[XY] = μ_x μ_y` for independent X, Y.
+    pub fn mean(x: &Normal, y: &Normal) -> f64 {
+        x.mean() * y.mean()
+    }
+
+    /// `Var[XY] = μ_x²σ_y² + μ_y²σ_x² + σ_x²σ_y²` for independent X, Y.
+    pub fn var(x: &Normal, y: &Normal) -> f64 {
+        x.mean() * x.mean() * y.var() + y.mean() * y.mean() * x.var() + x.var() * y.var()
+    }
+
+    /// `Cov(XY, X) = μ_y σ_x²` for independent X, Y.
+    pub fn cov_with_left(x: &Normal, y: &Normal) -> f64 {
+        y.mean() * x.var()
+    }
+
+    /// `Cov(XY, Y) = μ_x σ_y²` for independent X, Y.
+    pub fn cov_with_right(x: &Normal, y: &Normal) -> f64 {
+        x.mean() * y.var()
+    }
+}
+
+/// Lemma 4: variance of `f = b0·X² + b1·X + b2` with `X ~ N(μ, σ²)`:
+/// `Var[f] = σ²[(b1 + 2 b0 μ)² + 2 b0² σ²]`.
+pub fn lemma4_var(b0: f64, b1: f64, x: &Normal) -> f64 {
+    let (mu, s2) = (x.mean(), x.var());
+    s2 * ((b1 + 2.0 * b0 * mu).powi(2) + 2.0 * b0 * b0 * s2)
+}
+
+/// Lemma 8: variance of `f = b0·X_l X_r + b1·X_l + b2·X_r + b3` with
+/// independent `X_l ~ N(μ_l, σ_l²)`, `X_r ~ N(μ_r, σ_r²)`:
+/// `Var[f] = σ_l²(b0 μ_r + b1)² + σ_r²(b0 μ_l + b2)² + b0² σ_l² σ_r²`.
+pub fn lemma8_var(b0: f64, b1: f64, b2: f64, xl: &Normal, xr: &Normal) -> f64 {
+    let (ml, vl) = (xl.mean(), xl.var());
+    let (mr, vr) = (xr.mean(), xr.var());
+    vl * (b0 * mr + b1).powi(2) + vr * (b0 * ml + b2).powi(2) + b0 * b0 * vl * vr
+}
+
+/// Moments of the product `F·C` of independent random variables `F` and `C`
+/// (cost function × cost unit, §5.2.2):
+/// `E[FC] = E[F]E[C]`,
+/// `Var[FC] = E[F]²Var[C] + E[C]²Var[F] + Var[F]Var[C]`.
+pub fn independent_product_mean_var(f_mean: f64, f_var: f64, c_mean: f64, c_var: f64) -> (f64, f64) {
+    let mean = f_mean * c_mean;
+    let var = f_mean * f_mean * c_var + c_mean * c_mean * f_var + f_var * c_var;
+    (mean, var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc_moments(f: impl Fn(f64, f64) -> f64, x: Normal, y: Normal, n: usize) -> (f64, f64) {
+        let mut rng = Rng::new(987);
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let v = f(x.sample(&mut rng), y.sample(&mut rng));
+            sum += v;
+            sumsq += v * v;
+        }
+        let mean = sum / n as f64;
+        (mean, sumsq / n as f64 - mean * mean)
+    }
+
+    #[test]
+    fn raw_moments_match_table3() {
+        let x = Normal::new(2.0, 3.0);
+        assert_eq!(x.raw_moment(1), 2.0);
+        assert_eq!(x.raw_moment(2), 7.0); // μ²+σ² = 4+3
+        assert_eq!(x.raw_moment(3), 26.0); // μ³+3μσ² = 8+18
+        assert_eq!(x.raw_moment(4), 115.0); // μ⁴+6μ²σ²+3σ⁴ = 16+72+27
+    }
+
+    #[test]
+    fn var_of_square_formula() {
+        let x = Normal::new(2.0, 3.0);
+        // Var[X²] = E[X⁴] − E[X²]² = 115 − 49 = 66 = 2σ²(2μ²+σ²) = 6·11.
+        assert!((x.var_of_square() - 66.0).abs() < 1e-12);
+        assert!((x.var_of_square() - (x.raw_moment(4) - x.raw_moment(2).powi(2))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_x_x2_formula() {
+        let x = Normal::new(2.0, 3.0);
+        // Cov(X, X²) = E[X³] − E[X]E[X²] = 26 − 14 = 12 = 2μσ².
+        assert!((x.cov_x_x2() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_quantile_roundtrip() {
+        let x = Normal::new(-1.5, 4.0);
+        for p in [0.01, 0.3, 0.5, 0.9, 0.999] {
+            let q = x.quantile(p);
+            assert!((x.cdf(q) - p).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn confidence_interval_covers_mass() {
+        let x = Normal::new(10.0, 25.0);
+        let (lo, hi) = x.confidence_interval(0.95);
+        assert!((x.cdf(hi) - x.cdf(lo) - 0.95).abs() < 1e-9);
+        assert!((lo - (10.0 - 1.959_963_984_540_054 * 5.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn point_mass_behaviour() {
+        let x = Normal::point(3.0);
+        assert_eq!(x.cdf(2.9), 0.0);
+        assert_eq!(x.cdf(3.0), 1.0);
+        assert_eq!(x.quantile(0.3), 3.0);
+        assert_eq!(x.var_of_square(), 0.0);
+    }
+
+    #[test]
+    fn prob_within_alpha() {
+        // 68–95–99.7 rule.
+        assert!((Normal::prob_within_alpha_sigmas(1.0) - 0.682_689_492_137_086).abs() < 1e-9);
+        assert!((Normal::prob_within_alpha_sigmas(2.0) - 0.954_499_736_103_642).abs() < 1e-9);
+        assert!((Normal::prob_within_alpha_sigmas(3.0) - 0.997_300_203_936_74).abs() < 1e-9);
+    }
+
+    #[test]
+    fn product_moments_match_monte_carlo() {
+        let x = Normal::new(1.5, 0.4);
+        let y = Normal::new(-2.0, 0.9);
+        let (m, v) = mc_moments(|a, b| a * b, x, y, 400_000);
+        assert!((product::mean(&x, &y) - m).abs() < 0.02, "{m}");
+        assert!((product::var(&x, &y) - v).abs() / v.abs().max(1.0) < 0.03, "{v}");
+    }
+
+    #[test]
+    fn lemma4_matches_monte_carlo() {
+        let x = Normal::new(0.3, 0.01);
+        let (b0, b1, b2) = (5.0, 2.0, 1.0);
+        let f_var = lemma4_var(b0, b1, &x);
+        let (_, v) = mc_moments(|a, _| b0 * a * a + b1 * a + b2, x, Normal::point(0.0), 400_000);
+        assert!((f_var - v).abs() / f_var < 0.03, "analytic={f_var}, mc={v}");
+    }
+
+    #[test]
+    fn lemma8_matches_monte_carlo() {
+        let xl = Normal::new(0.4, 0.02);
+        let xr = Normal::new(0.6, 0.03);
+        let (b0, b1, b2, b3) = (4.0, 1.0, 2.0, 0.5);
+        let f_var = lemma8_var(b0, b1, b2, &xl, &xr);
+        let (_, v) = mc_moments(|a, b| b0 * a * b + b1 * a + b2 * b + b3, xl, xr, 400_000);
+        assert!((f_var - v).abs() / f_var < 0.03, "analytic={f_var}, mc={v}");
+    }
+
+    #[test]
+    fn independent_product_mean_var_matches_mc() {
+        let f = Normal::new(100.0, 16.0);
+        let c = Normal::new(0.5, 0.01);
+        let (am, av) = independent_product_mean_var(f.mean(), f.var(), c.mean(), c.var());
+        let (m, v) = mc_moments(|a, b| a * b, f, c, 400_000);
+        assert!((am - m).abs() / am < 0.01);
+        assert!((av - v).abs() / av < 0.05, "analytic={av}, mc={v}");
+    }
+
+    #[test]
+    fn affine_transform() {
+        let x = Normal::new(2.0, 9.0);
+        let y = x.affine(2.0, 1.0);
+        assert_eq!(y.mean(), 5.0);
+        assert_eq!(y.var(), 36.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_variance_rejected() {
+        Normal::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Streaming and batch summary statistics (Welford's algorithm).
+
+/// Single-pass mean/variance accumulator (numerically stable).
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`n − 1` denominator); 0 for fewer than two
+    /// observations, matching the paper's convention `S₁² = 0`.
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population variance (`n` denominator).
+    pub fn population_variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut w = Welford::new();
+        for x in iter {
+            w.push(x);
+        }
+        w
+    }
+}
+
+/// Batch mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Batch unbiased sample variance.
+pub fn sample_variance(xs: &[f64]) -> f64 {
+    xs.iter().copied().collect::<Welford>().sample_variance()
+}
+
+/// Batch sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    sample_variance(xs).sqrt()
+}
+
+/// Relative error `|est − truth| / truth`; if `truth == 0` returns 0 when the
+/// estimate is also 0 and `|est|` otherwise (the estimate magnitude itself).
+pub fn relative_error(est: f64, truth: f64) -> f64 {
+    if truth != 0.0 {
+        (est - truth).abs() / truth.abs()
+    } else if est == 0.0 {
+        0.0
+    } else {
+        est.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let w: Welford = xs.iter().copied().collect();
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        // Two-pass sample variance.
+        let m = mean(&xs);
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.sample_variance() - v).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn variance_of_single_sample_is_zero() {
+        let mut w = Welford::new();
+        w.push(42.0);
+        assert_eq!(w.sample_variance(), 0.0);
+        assert_eq!(w.population_variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_stability_with_large_offset() {
+        // Catastrophic cancellation check: values near 1e9 with unit variance.
+        let mut rng = Rng::new(5150);
+        let w: Welford = (0..100_000).map(|_| 1.0e9 + rng.standard_normal()).collect();
+        assert!((w.sample_variance() - 1.0).abs() < 0.03, "{}", w.sample_variance());
+    }
+
+    #[test]
+    fn relative_error_cases() {
+        assert_eq!(relative_error(11.0, 10.0), 0.1);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(3.0, 0.0), 3.0);
+        assert_eq!(relative_error(9.0, -10.0), 1.9);
+    }
+
+    #[test]
+    fn batch_helpers() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(mean(&xs), 2.0);
+        assert!((sample_variance(&xs) - 1.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 1.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Zipf(ian) sampling, mirroring the skewed TPC-H generator the paper uses
+//! (§6.1): rank `k` gets probability `∝ 1/k^z`; `z = 0` is uniform and the
+//! paper's skewed databases use `z = 1`.
+
+use crate::rng::Rng;
+
+/// Precomputed Zipf CDF over ranks `0..n` (0-based for direct indexing).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    z: f64,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `z >= 0`.
+    pub fn new(n: usize, z: f64) -> Self {
+        assert!(n > 0, "Zipf over empty domain");
+        assert!(z >= 0.0 && z.is_finite(), "invalid skew z={z}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating point drift at the top end.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Self { cdf, z }
+    }
+
+    pub fn domain_size(&self) -> usize {
+        self.cdf.len()
+    }
+
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// Probability of rank `k` (0-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Samples a 0-based rank.
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let u = rng.f64();
+        // First index with cdf >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        for zz in [0.0, 0.5, 1.0, 2.0] {
+            let z = Zipf::new(100, zz);
+            let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn z_one_ratios() {
+        // For z=1 the pmf ratio between rank 1 and rank k is exactly k.
+        let z = Zipf::new(50, 1.0);
+        assert!((z.pmf(0) / z.pmf(9) - 10.0).abs() < 1e-9);
+        assert!((z.pmf(0) / z.pmf(49) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_matches_pmf() {
+        let z = Zipf::new(20, 1.0);
+        let mut rng = Rng::new(31337);
+        let n = 200_000;
+        let mut counts = vec![0u32; 20];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for k in 0..20 {
+            let expected = z.pmf(k) * n as f64;
+            let got = counts[k] as f64;
+            assert!(
+                (got - expected).abs() < 5.0 * expected.sqrt().max(8.0),
+                "rank {k}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        let uni = Zipf::new(1000, 0.0);
+        let skew = Zipf::new(1000, 1.0);
+        // Top 10 ranks hold much more mass under skew.
+        let top10 = |d: &Zipf| (0..10).map(|k| d.pmf(k)).sum::<f64>();
+        assert!(top10(&skew) > 5.0 * top10(&uni));
+    }
+
+    #[test]
+    fn single_rank_domain() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = Rng::new(1);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.pmf(0), 1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use uaq_stats::{
+    erf, nnls, pearson, spearman, std_normal_cdf, std_normal_quantile, Matrix, Normal, Rng,
+    Welford, Zipf,
+};
+
+fn finite_f64(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
+    range.prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- erf / Φ ----
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in finite_f64(-6.0..6.0)) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-12);
+        prop_assert!(erf(x).abs() <= 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone(a in finite_f64(-6.0..6.0), b in finite_f64(-6.0..6.0)) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(std_normal_cdf(lo) <= std_normal_cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn quantile_roundtrips(p in 1e-6..0.999_999f64) {
+        let x = std_normal_quantile(p);
+        prop_assert!((std_normal_cdf(x) - p).abs() < 1e-9);
+    }
+
+    // ---- Normal moments ----
+
+    #[test]
+    fn normal_moment_identities(mean in finite_f64(-50.0..50.0), sd in finite_f64(0.01..10.0)) {
+        let x = Normal::new(mean, sd * sd);
+        // Var[X²] = E[X⁴] − E[X²]² must match the closed form.
+        let var_sq = x.raw_moment(4) - x.raw_moment(2) * x.raw_moment(2);
+        prop_assert!((x.var_of_square() - var_sq).abs() <= 1e-9 * var_sq.abs().max(1.0));
+        // Cov(X, X²) = E[X³] − E[X]E[X²].
+        let cov = x.raw_moment(3) - x.raw_moment(1) * x.raw_moment(2);
+        prop_assert!((x.cov_x_x2() - cov).abs() <= 1e-9 * cov.abs().max(1.0));
+    }
+
+    #[test]
+    fn confidence_interval_nests(mean in finite_f64(-100.0..100.0), sd in finite_f64(0.01..10.0),
+                                 p1 in 0.05..0.9f64, p2 in 0.05..0.9f64) {
+        let x = Normal::new(mean, sd * sd);
+        let (narrow, wide) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let (l1, h1) = x.confidence_interval(narrow);
+        let (l2, h2) = x.confidence_interval(wide);
+        prop_assert!(l2 <= l1 && h1 <= h2);
+    }
+
+    // ---- correlations ----
+
+    #[test]
+    fn correlations_bounded_and_symmetric(seed in any::<u64>(), n in 3usize..40) {
+        let mut rng = Rng::new(seed);
+        let xs: Vec<f64> = (0..n).map(|_| rng.f64() * 100.0).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.f64() * 100.0).collect();
+        let rp = pearson(&xs, &ys);
+        let rs = spearman(&xs, &ys);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rp));
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rs));
+        prop_assert!((pearson(&ys, &xs) - rp).abs() < 1e-12);
+        prop_assert!((spearman(&ys, &xs) - rs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_invariant_under_monotone_transform(seed in any::<u64>(), n in 4usize..30) {
+        let mut rng = Rng::new(seed);
+        // Distinct values so ranks are unambiguous.
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 + rng.f64() * 0.5).collect();
+        let ys: Vec<f64> = (0..n).map(|_| rng.f64() * 10.0).collect();
+        let transformed: Vec<f64> = xs.iter().map(|x| (x * 0.3).exp()).collect();
+        prop_assert!((spearman(&xs, &ys) - spearman(&transformed, &ys)).abs() < 1e-9);
+    }
+
+    // ---- NNLS ----
+
+    #[test]
+    fn nnls_is_feasible_and_locally_optimal(seed in any::<u64>(), rows in 3usize..12, cols in 1usize..4) {
+        let mut rng = Rng::new(seed);
+        let a = Matrix::from_rows(
+            (0..rows).map(|_| (0..cols).map(|_| rng.f64() * 2.0 - 0.5).collect()).collect(),
+        );
+        let y: Vec<f64> = (0..rows).map(|_| rng.f64() * 4.0 - 2.0).collect();
+        let sol = nnls(&a, &y);
+        prop_assert!(sol.x.iter().all(|&v| v >= 0.0));
+        // Perturbing any coordinate (staying feasible) must not beat the
+        // solution (first-order local optimality of a convex problem =
+        // global optimality).
+        let base = sol.residual_norm;
+        for i in 0..cols {
+            for delta in [1e-4, -1e-4] {
+                let mut x = sol.x.clone();
+                x[i] += delta;
+                if x[i] < 0.0 {
+                    continue;
+                }
+                let r = a
+                    .mul_vec(&x)
+                    .iter()
+                    .zip(&y)
+                    .map(|(p, t)| (p - t) * (p - t))
+                    .sum::<f64>()
+                    .sqrt();
+                prop_assert!(r >= base - 1e-7, "perturbation improved: {r} < {base}");
+            }
+        }
+    }
+
+    // ---- Zipf ----
+
+    #[test]
+    fn zipf_pmf_is_a_distribution(n in 1usize..200, z in 0.0..2.5f64) {
+        let d = Zipf::new(n, z);
+        let total: f64 = (0..n).map(|k| d.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        // Monotone non-increasing in rank.
+        for k in 1..n {
+            prop_assert!(d.pmf(k) <= d.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    // ---- Welford ----
+
+    #[test]
+    fn welford_matches_two_pass(seed in any::<u64>(), n in 2usize..200) {
+        let mut rng = Rng::new(seed);
+        let xs: Vec<f64> = (0..n).map(|_| rng.f64() * 1000.0 - 500.0).collect();
+        let w: Welford = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-8);
+        prop_assert!((w.sample_variance() - var).abs() < 1e-6 * var.max(1.0));
+    }
+
+    // ---- RNG ranges ----
+
+    #[test]
+    fn rng_ranges_hold(seed in any::<u64>(), lo in -1000i64..0, hi in 0i64..1000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            let v = rng.i64_range(lo, hi);
+            prop_assert!(v >= lo && v <= hi);
+            let u = rng.u64_below(100);
+            prop_assert!(u < 100);
+        }
+    }
+}

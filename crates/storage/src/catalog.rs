@@ -1,0 +1,225 @@
+//! The catalog: base tables, their optimizer statistics, and sample sets.
+
+use crate::histogram::Histogram;
+use crate::sample::{sample_size_for_ratio, SampleTable};
+use crate::table::Table;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use uaq_stats::Rng;
+
+/// Number of histogram buckets kept per numeric column.
+const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Per-table optimizer statistics (the `pg_statistic` stand-in).
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    /// Equi-depth histogram per numeric column.
+    histograms: HashMap<String, Histogram>,
+    /// Exact distinct counts per column (numeric and string alike).
+    distinct: HashMap<String, usize>,
+}
+
+impl TableStats {
+    fn build(table: &Table) -> Self {
+        let mut histograms = HashMap::new();
+        let mut distinct = HashMap::new();
+        for (idx, col) in table.schema().columns().iter().enumerate() {
+            let mut seen: HashSet<String> = HashSet::new();
+            let mut numeric: Vec<f64> = Vec::with_capacity(table.len());
+            for row in table.rows() {
+                let v = &row[idx];
+                seen.insert(v.to_string());
+                if let Some(x) = v.numeric() {
+                    numeric.push(x);
+                }
+            }
+            distinct.insert(col.name.clone(), seen.len());
+            if !numeric.is_empty() {
+                histograms.insert(col.name.clone(), Histogram::build(&numeric, HISTOGRAM_BUCKETS));
+            }
+        }
+        Self {
+            histograms,
+            distinct,
+        }
+    }
+
+    pub fn histogram(&self, column: &str) -> Option<&Histogram> {
+        self.histograms.get(column)
+    }
+
+    /// Distinct-value count of a column (0 if unknown).
+    pub fn distinct(&self, column: &str) -> usize {
+        self.distinct.get(column).copied().unwrap_or(0)
+    }
+}
+
+/// The database: named base tables plus statistics.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+    stats: BTreeMap<String, TableStats>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces) a table, rebuilding its statistics.
+    pub fn add_table(&mut self, table: Table) {
+        let stats = TableStats::build(&table);
+        self.stats.insert(table.name().to_string(), stats);
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    pub fn table(&self, name: &str) -> &Table {
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("no table {name:?} in catalog"))
+    }
+
+    pub fn try_table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    pub fn stats(&self, name: &str) -> &TableStats {
+        self.stats
+            .get(name)
+            .unwrap_or_else(|| panic!("no stats for table {name:?}"))
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total number of rows across all tables (for reporting).
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Draws `copies` independent sample tables per relation at the given
+    /// sampling ratio. Empty relations are skipped — they cannot be sampled,
+    /// and queries that do not touch them must still be predictable.
+    pub fn draw_samples(&self, ratio: f64, copies: usize, rng: &mut Rng) -> SampleCatalog {
+        assert!(copies > 0);
+        let mut samples = BTreeMap::new();
+        for table in self.tables.values() {
+            if table.is_empty() {
+                continue;
+            }
+            let n = sample_size_for_ratio(table.len(), ratio);
+            let per_table: Vec<SampleTable> = (0..copies)
+                .map(|c| SampleTable::draw(table, n, c, rng))
+                .collect();
+            samples.insert(table.name().to_string(), per_table);
+        }
+        SampleCatalog { ratio, samples }
+    }
+}
+
+/// Materialized sample tables for every relation of a catalog.
+#[derive(Debug, Clone)]
+pub struct SampleCatalog {
+    ratio: f64,
+    samples: BTreeMap<String, Vec<SampleTable>>,
+}
+
+impl SampleCatalog {
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Number of independent copies kept per relation.
+    pub fn copies(&self) -> usize {
+        self.samples.values().next().map_or(0, Vec::len)
+    }
+
+    /// The `copy`-th independent sample of `relation` (falls back to copy 0
+    /// if fewer copies exist than requested — the paper's multi-sample trick
+    /// is an optimisation, not a requirement).
+    pub fn sample(&self, relation: &str, copy: usize) -> &SampleTable {
+        let copies = self
+            .samples
+            .get(relation)
+            .unwrap_or_else(|| panic!("no samples for relation {relation:?}"));
+        copies.get(copy).unwrap_or(&copies[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![Column::int("id"), Column::str("tag")]);
+        let rows = (0..500)
+            .map(|i| vec![Value::Int(i % 50), Value::str(format!("t{}", i % 5))])
+            .collect();
+        c.add_table(Table::new("r", schema, rows));
+        c
+    }
+
+    #[test]
+    fn stats_distinct_counts() {
+        let c = catalog();
+        let s = c.stats("r");
+        assert_eq!(s.distinct("id"), 50);
+        assert_eq!(s.distinct("tag"), 5);
+        assert_eq!(s.distinct("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_only_for_numeric() {
+        let c = catalog();
+        let s = c.stats("r");
+        assert!(s.histogram("id").is_some());
+        assert!(s.histogram("tag").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no table")]
+    fn missing_table_panics() {
+        catalog().table("nope");
+    }
+
+    #[test]
+    fn sample_catalog_shape() {
+        let c = catalog();
+        let mut rng = Rng::new(10);
+        let sc = c.draw_samples(0.1, 2, &mut rng);
+        assert_eq!(sc.copies(), 2);
+        assert!((sc.ratio() - 0.1).abs() < 1e-12);
+        assert_eq!(sc.sample("r", 0).len(), 50);
+        assert_eq!(sc.sample("r", 1).len(), 50);
+        // Requesting a copy beyond what exists falls back to copy 0.
+        assert_eq!(sc.sample("r", 7).copy(), 0);
+    }
+
+    #[test]
+    fn sample_size_capped_reasonably() {
+        let mut c = Catalog::new();
+        let schema = Schema::new(vec![Column::int("id")]);
+        let rows = (0..6).map(|i| vec![Value::Int(i)]).collect();
+        c.add_table(Table::new("tiny", schema, rows));
+        let mut rng = Rng::new(1);
+        let sc = c.draw_samples(0.01, 1, &mut rng);
+        // Floor of 30 steps, capped at |R| = 6.
+        assert_eq!(sc.sample("tiny", 0).len(), 6);
+    }
+
+    #[test]
+    fn total_rows() {
+        assert_eq!(catalog().total_rows(), 500);
+    }
+}

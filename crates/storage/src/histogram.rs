@@ -1,0 +1,246 @@
+//! Equi-depth histograms — the "optimizer statistics" of the substrate.
+//!
+//! These play the role of PostgreSQL's `pg_statistic`: the heuristic
+//! optimizer estimates scan/join cardinalities from them, and (as in
+//! Algorithm 1, lines 2–5 of the paper) operators above an aggregate fall
+//! back to these estimates because the sampling estimator cannot see through
+//! a group-by.
+
+/// Equi-depth (equi-height) histogram over the numeric view of a column.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// `buckets + 1` boundary values; bucket `i` spans `[b[i], b[i+1])`, the
+    /// last bucket is closed on the right.
+    bounds: Vec<f64>,
+    /// Rows represented by the histogram.
+    total: usize,
+    /// Exact number of distinct values observed at build time.
+    distinct: usize,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Builds an equi-depth histogram with (up to) `buckets` buckets.
+    pub fn build(values: &[f64], buckets: usize) -> Self {
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        if values.is_empty() {
+            return Self {
+                bounds: vec![0.0, 0.0],
+                total: 0,
+                distinct: 0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in histogram input"));
+        let total = sorted.len();
+        let distinct = {
+            let mut d = 1;
+            for w in sorted.windows(2) {
+                if w[0] != w[1] {
+                    d += 1;
+                }
+            }
+            d
+        };
+        let buckets = buckets.min(total);
+        let mut bounds = Vec::with_capacity(buckets + 1);
+        for i in 0..=buckets {
+            let pos = (i * (total - 1)) / buckets;
+            bounds.push(sorted[pos]);
+        }
+        // Last bound must be the true max even with integer truncation.
+        *bounds.last_mut().expect("non-empty") = sorted[total - 1];
+        Self {
+            bounds,
+            total,
+            distinct,
+            min: sorted[0],
+            max: sorted[total - 1],
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    pub fn distinct(&self) -> usize {
+        self.distinct
+    }
+
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    fn buckets(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Estimated fraction of rows with value `< x` (continuous
+    /// interpolation within buckets, PostgreSQL-style).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 || x <= self.min {
+            return 0.0;
+        }
+        if x > self.max {
+            return 1.0;
+        }
+        let nb = self.buckets() as f64;
+        let mut acc = 0.0;
+        for i in 0..self.buckets() {
+            let lo = self.bounds[i];
+            let hi = self.bounds[i + 1];
+            if x >= hi {
+                acc += 1.0 / nb;
+            } else if x > lo {
+                let width = hi - lo;
+                let frac = if width > 0.0 { (x - lo) / width } else { 1.0 };
+                acc += frac / nb;
+                break;
+            } else {
+                break;
+            }
+        }
+        acc.clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of a closed range predicate `lo <= v <= hi`.
+    pub fn range_selectivity(&self, lo: f64, hi: f64) -> f64 {
+        if self.total == 0 || hi < lo {
+            return 0.0;
+        }
+        let upper = if hi >= self.max {
+            1.0
+        } else {
+            self.fraction_below(hi)
+        };
+        (upper - self.fraction_below(lo)).clamp(0.0, 1.0)
+    }
+
+    /// Approximate quantile: the smallest value `x` with
+    /// `fraction_below(x) ≈ p`. Used by the MICRO workload generator to pick
+    /// predicate constants that sweep the selectivity space (Picasso-style,
+    /// §6.2 of the paper).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range: {p}");
+        if self.total == 0 {
+            return 0.0;
+        }
+        if p <= 0.0 {
+            return self.min;
+        }
+        if p >= 1.0 {
+            return self.max;
+        }
+        let nb = self.buckets() as f64;
+        let pos = p * nb;
+        let bucket = (pos.floor() as usize).min(self.buckets() - 1);
+        let frac = pos - bucket as f64;
+        let lo = self.bounds[bucket];
+        let hi = self.bounds[bucket + 1];
+        lo + (hi - lo) * frac
+    }
+
+    /// Estimated selectivity of an equality predicate `v == x`
+    /// (uniform-over-distinct assumption).
+    pub fn eq_selectivity(&self, x: f64) -> f64 {
+        if self.total == 0 || self.distinct == 0 || x < self.min || x > self.max {
+            return 0.0;
+        }
+        1.0 / self.distinct as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_stats::Rng;
+
+    #[test]
+    fn uniform_data_range_estimates() {
+        let values: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let h = Histogram::build(&values, 100);
+        assert_eq!(h.total(), 10_000);
+        assert_eq!(h.distinct(), 10_000);
+        // 25% range.
+        let sel = h.range_selectivity(0.0, 2499.0);
+        assert!((sel - 0.25).abs() < 0.02, "sel={sel}");
+        // Out-of-range.
+        assert_eq!(h.range_selectivity(20_000.0, 30_000.0), 0.0);
+        // Everything.
+        assert!((h.range_selectivity(-1.0, 1e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_data_still_calibrated() {
+        // Equi-depth adapts bucket widths to density.
+        let mut rng = Rng::new(99);
+        let values: Vec<f64> = (0..20_000).map(|_| rng.f64().powi(4) * 100.0).collect();
+        let h = Histogram::build(&values, 64);
+        for cut in [0.1, 1.0, 10.0, 50.0] {
+            let truth = values.iter().filter(|&&v| v < cut).count() as f64 / 20_000.0;
+            let est = h.fraction_below(cut);
+            assert!((est - truth).abs() < 0.03, "cut={cut}: est={est} truth={truth}");
+        }
+    }
+
+    #[test]
+    fn eq_selectivity_uniform_over_distinct() {
+        let values: Vec<f64> = (0..100).flat_map(|i| std::iter::repeat(i as f64).take(5)).collect();
+        let h = Histogram::build(&values, 10);
+        assert_eq!(h.distinct(), 100);
+        assert!((h.eq_selectivity(42.0) - 0.01).abs() < 1e-12);
+        assert_eq!(h.eq_selectivity(1e9), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::build(&[], 10);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.fraction_below(1.0), 0.0);
+        assert_eq!(h.range_selectivity(0.0, 1.0), 0.0);
+        assert_eq!(h.eq_selectivity(0.0), 0.0);
+    }
+
+    #[test]
+    fn constant_column() {
+        let h = Histogram::build(&vec![7.0; 1000], 16);
+        assert_eq!(h.distinct(), 1);
+        assert!((h.eq_selectivity(7.0) - 1.0).abs() < 1e-12);
+        assert!((h.range_selectivity(6.0, 8.0) - 1.0).abs() < 1e-12);
+        assert_eq!(h.range_selectivity(8.0, 9.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_inverts_fraction_below() {
+        let values: Vec<f64> = (0..10_000).map(|i| (i * i) as f64).collect();
+        let h = Histogram::build(&values, 64);
+        for p in [0.1, 0.25, 0.5, 0.75, 0.9] {
+            let x = h.quantile(p);
+            let back = h.fraction_below(x);
+            assert!((back - p).abs() < 0.03, "p={p}: quantile {x}, back {back}");
+        }
+        assert_eq!(h.quantile(0.0), h.min());
+        assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    #[test]
+    fn fraction_below_is_monotone() {
+        let mut rng = Rng::new(12);
+        let values: Vec<f64> = (0..5000).map(|_| rng.f64() * 50.0).collect();
+        let h = Histogram::build(&values, 32);
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let x = i as f64 * 0.5;
+            let f = h.fraction_below(x);
+            assert!(f >= prev - 1e-12, "non-monotone at {x}");
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # uaq-storage
+//!
+//! In-memory storage substrate for the `uaq` reproduction: typed values,
+//! schemas, row tables with a page model (the cost model charges page I/O),
+//! equi-depth histograms (optimizer statistics), and provenance-carrying
+//! sample tables (the materialized sampling views of §3.2.2 of the paper).
+
+pub mod catalog;
+pub mod histogram;
+pub mod sample;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::{Catalog, SampleCatalog, TableStats};
+pub use histogram::Histogram;
+pub use sample::{sample_size_for_ratio, SampleTable};
+pub use schema::{Column, ColumnType, Schema};
+pub use table::{Table, DEFAULT_TUPLES_PER_PAGE};
+pub use value::{Row, Value};

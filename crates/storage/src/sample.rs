@@ -1,0 +1,186 @@
+//! Sample tables — the materialized views of §3.2.2.
+//!
+//! The paper's estimator partitions each relation into blocks and lets the
+//! block size be a single tuple, so a "sampling step" draws one tuple
+//! uniformly (i.i.d., with replacement). We materialize `n_k` such draws per
+//! relation as a sample table whose *row position* is the sampling-step
+//! index — that position is the provenance identifier the `Q_{k,j,n}`
+//! counters of Algorithm 1 key on ("akin to the idea in data provenance
+//! research", §3.2.2).
+//!
+//! Because estimates for nested operators reuse join results (Example 4),
+//! two children of the same join must not share samples of a common base
+//! relation (Lemma 2); the catalog therefore supports several *independent*
+//! sample tables per relation, addressed by a copy index.
+
+use crate::table::Table;
+use uaq_stats::Rng;
+
+/// One i.i.d.-with-replacement sample of a base relation.
+#[derive(Debug, Clone)]
+pub struct SampleTable {
+    /// Name of the sampled base relation.
+    base_name: String,
+    /// Cardinality of the base relation (`|R|`), needed to scale
+    /// selectivities back to cardinalities.
+    base_rows: usize,
+    /// Which independent sample copy this is (0-based).
+    copy: usize,
+    /// The sampled rows; row `j` is sampling step `j`.
+    table: Table,
+}
+
+impl SampleTable {
+    /// Draws `n` tuples i.i.d. with replacement from `base`.
+    pub fn draw(base: &Table, n: usize, copy: usize, rng: &mut Rng) -> Self {
+        assert!(n > 0, "empty sample of {}", base.name());
+        assert!(!base.is_empty(), "cannot sample empty table {}", base.name());
+        let rows = (0..n)
+            .map(|_| base.rows()[rng.usize_below(base.len())].clone())
+            .collect();
+        let table = Table::with_page_size(
+            format!("{}#s{}", base.name(), copy),
+            base.schema().clone(),
+            rows,
+            base.tuples_per_page(),
+        );
+        Self {
+            base_name: base.name().to_string(),
+            base_rows: base.len(),
+            copy,
+            table,
+        }
+    }
+
+    pub fn base_name(&self) -> &str {
+        &self.base_name
+    }
+
+    /// `|R|` of the base relation.
+    pub fn base_rows(&self) -> usize {
+        self.base_rows
+    }
+
+    pub fn copy(&self) -> usize {
+        self.copy
+    }
+
+    /// Number of sampling steps `n_k`.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The sample rows as a regular table (row position = step index).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Effective sampling ratio `n_k / |R|`.
+    pub fn ratio(&self) -> f64 {
+        self.len() as f64 / self.base_rows as f64
+    }
+}
+
+/// Computes the per-relation sample size for a target sampling ratio.
+///
+/// Follows the paper's §6.4 rule of thumb: "the sample size should be larger
+/// than or equal to 30 in general" — the CLT normality of `ρ_n` needs a
+/// minimum number of sampling steps, so tiny dimension tables are sampled at
+/// least 30 times (capped at the relation size; duplicates are fine since
+/// steps are i.i.d. with replacement, but beyond `|R|` extra steps add
+/// nothing for our in-memory substrate).
+pub fn sample_size_for_ratio(base_rows: usize, ratio: f64) -> usize {
+    assert!(ratio > 0.0 && ratio.is_finite(), "bad sampling ratio {ratio}");
+    let target = (base_rows as f64 * ratio).round() as usize;
+    target.max(30).min(base_rows.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::Value;
+
+    fn base(n: usize) -> Table {
+        let schema = Schema::new(vec![Column::int("id")]);
+        let rows = (0..n).map(|i| vec![Value::Int(i as i64)]).collect();
+        Table::new("base", schema, rows)
+    }
+
+    #[test]
+    fn draw_has_requested_size_and_metadata() {
+        let b = base(1000);
+        let mut rng = Rng::new(1);
+        let s = SampleTable::draw(&b, 50, 2, &mut rng);
+        assert_eq!(s.len(), 50);
+        assert_eq!(s.base_rows(), 1000);
+        assert_eq!(s.copy(), 2);
+        assert_eq!(s.base_name(), "base");
+        assert_eq!(s.table().name(), "base#s2");
+        assert!((s.ratio() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draw_rows_come_from_base() {
+        let b = base(100);
+        let mut rng = Rng::new(2);
+        let s = SampleTable::draw(&b, 200, 0, &mut rng);
+        for row in s.table().rows() {
+            let id = row[0].as_int();
+            assert!((0..100).contains(&id));
+        }
+    }
+
+    #[test]
+    fn with_replacement_allows_duplicates() {
+        let b = base(3);
+        let mut rng = Rng::new(3);
+        let s = SampleTable::draw(&b, 50, 0, &mut rng);
+        // Pigeonhole: 50 draws from 3 rows must repeat.
+        assert_eq!(s.len(), 50);
+    }
+
+    #[test]
+    fn draws_are_roughly_uniform() {
+        let b = base(10);
+        let mut rng = Rng::new(4);
+        let mut counts = [0u32; 10];
+        let s = SampleTable::draw(&b, 100_000, 0, &mut rng);
+        for row in s.table().rows() {
+            counts[row[0].as_int() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 700, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn independent_copies_differ() {
+        let b = base(10_000);
+        let mut rng = Rng::new(5);
+        let s0 = SampleTable::draw(&b, 100, 0, &mut rng);
+        let s1 = SampleTable::draw(&b, 100, 1, &mut rng);
+        let same = s0
+            .table()
+            .rows()
+            .iter()
+            .zip(s1.table().rows())
+            .filter(|(a, b)| a[0] == b[0])
+            .count();
+        assert!(same < 5, "copies look identical ({same} matches)");
+    }
+
+    #[test]
+    fn sample_size_floor_of_thirty() {
+        assert_eq!(sample_size_for_ratio(1000, 0.05), 50);
+        // Rule-of-thumb floor...
+        assert_eq!(sample_size_for_ratio(1000, 0.01), 30);
+        // ...capped at the relation size for tiny tables.
+        assert_eq!(sample_size_for_ratio(10, 0.01), 10);
+        assert_eq!(sample_size_for_ratio(1_000_000, 0.001), 1000);
+    }
+}

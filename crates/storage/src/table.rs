@@ -1,0 +1,122 @@
+//! In-memory row tables with a page model.
+//!
+//! The cost model charges sequential / random page I/O, so a table knows how
+//! many disk pages it would occupy (`tuples_per_page` is a storage
+//! parameter, default 64 — a stand-in for 8 KB pages of ~128-byte tuples).
+
+use crate::schema::Schema;
+use crate::value::Row;
+
+/// Default number of tuples per page in the simulated storage layer.
+pub const DEFAULT_TUPLES_PER_PAGE: usize = 64;
+
+/// An in-memory table: schema + rows + page geometry.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Row>,
+    tuples_per_page: usize,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema, rows: Vec<Row>) -> Self {
+        Self::with_page_size(name, schema, rows, DEFAULT_TUPLES_PER_PAGE)
+    }
+
+    pub fn with_page_size(
+        name: impl Into<String>,
+        schema: Schema,
+        rows: Vec<Row>,
+        tuples_per_page: usize,
+    ) -> Self {
+        assert!(tuples_per_page > 0);
+        let name = name.into();
+        debug_assert!(
+            rows.iter().all(|r| schema.validates(r)),
+            "row does not match schema of table {name}"
+        );
+        Self {
+            name,
+            schema,
+            rows,
+            tuples_per_page,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Cardinality `|R|`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn tuples_per_page(&self) -> usize {
+        self.tuples_per_page
+    }
+
+    /// Number of pages the table occupies: `ceil(|R| / tuples_per_page)`.
+    pub fn pages(&self) -> usize {
+        self.rows.len().div_ceil(self.tuples_per_page)
+    }
+
+    /// Column index by name.
+    pub fn column_index(&self, name: &str) -> usize {
+        self.schema.expect_index(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, Schema};
+    use crate::value::Value;
+
+    fn small_table(n: usize) -> Table {
+        let schema = Schema::new(vec![Column::int("id"), Column::float("v")]);
+        let rows = (0..n)
+            .map(|i| vec![Value::Int(i as i64), Value::Float(i as f64 * 0.5)])
+            .collect();
+        Table::with_page_size("t", schema, rows, 10)
+    }
+
+    #[test]
+    fn page_count_rounds_up() {
+        assert_eq!(small_table(0).pages(), 0);
+        assert_eq!(small_table(1).pages(), 1);
+        assert_eq!(small_table(10).pages(), 1);
+        assert_eq!(small_table(11).pages(), 2);
+        assert_eq!(small_table(100).pages(), 10);
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = small_table(5);
+        assert_eq!(t.name(), "t");
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.column_index("v"), 1);
+        assert_eq!(t.rows()[3][0], Value::Int(3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_page_size_rejected() {
+        let schema = Schema::new(vec![Column::int("id")]);
+        Table::with_page_size("t", schema, vec![], 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+use uaq_stats::Rng;
+use uaq_storage::{sample_size_for_ratio, Catalog, Column, Histogram, SampleTable, Schema, Table, Value};
+
+fn table_of(values: &[i64]) -> Table {
+    let schema = Schema::new(vec![Column::int("v")]);
+    let rows = values.iter().map(|&v| vec![Value::Int(v)]).collect();
+    Table::new("t", schema, rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- Histogram ----
+
+    #[test]
+    fn histogram_fraction_below_is_monotone_and_bounded(
+        values in prop::collection::vec(-1000.0..1000.0f64, 1..500),
+        buckets in 1usize..64,
+    ) {
+        let h = Histogram::build(&values, buckets);
+        let mut prev = -0.1;
+        for i in 0..=40 {
+            let x = -1100.0 + i as f64 * 60.0;
+            let f = h.fraction_below(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn histogram_range_additivity(
+        values in prop::collection::vec(0.0..100.0f64, 2..400),
+        a in 0.0..100.0f64,
+        b in 0.0..100.0f64,
+        c in 0.0..100.0f64,
+    ) {
+        let h = Histogram::build(&values, 32);
+        let mut cuts = [a, b, c];
+        cuts.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+        let [lo, mid, hi] = cuts;
+        // fraction mass over adjacent half-open ranges adds up.
+        let left = h.fraction_below(mid) - h.fraction_below(lo);
+        let right = h.fraction_below(hi) - h.fraction_below(mid);
+        let total = h.fraction_below(hi) - h.fraction_below(lo);
+        prop_assert!((left + right - total).abs() < 1e-9);
+        prop_assert!(left >= -1e-12 && right >= -1e-12);
+    }
+
+    #[test]
+    fn histogram_quantile_within_domain(
+        values in prop::collection::vec(-50.0..50.0f64, 1..300),
+        p in 0.0..1.0f64,
+    ) {
+        let h = Histogram::build(&values, 16);
+        let q = h.quantile(p);
+        prop_assert!(q >= h.min() - 1e-9 && q <= h.max() + 1e-9);
+    }
+
+    #[test]
+    fn histogram_distinct_and_total(values in prop::collection::vec(-20i64..20, 1..300)) {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        let h = Histogram::build(&floats, 16);
+        prop_assert_eq!(h.total(), values.len());
+        let mut uniq = values.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(h.distinct(), uniq.len());
+    }
+
+    // ---- Sampling ----
+
+    #[test]
+    fn sample_rows_come_from_base(values in prop::collection::vec(-100i64..100, 1..200), seed in any::<u64>()) {
+        let base = table_of(&values);
+        let mut rng = Rng::new(seed);
+        let s = SampleTable::draw(&base, 37.min(values.len().max(1)), 0, &mut rng);
+        for row in s.table().rows() {
+            prop_assert!(values.contains(&row[0].as_int()));
+        }
+        prop_assert_eq!(s.base_rows(), values.len());
+    }
+
+    #[test]
+    fn sample_size_respects_floor_and_cap(rows in 1usize..1_000_000, ratio in 0.0001..0.5f64) {
+        let n = sample_size_for_ratio(rows, ratio);
+        prop_assert!(n >= 30.min(rows));
+        prop_assert!(n <= rows.max(30));
+        // Target honored once above the floor.
+        let target = (rows as f64 * ratio).round() as usize;
+        if target >= 30 && target <= rows {
+            prop_assert_eq!(n, target);
+        }
+    }
+
+    // ---- Catalog stats ----
+
+    #[test]
+    fn catalog_stats_agree_with_data(values in prop::collection::vec(0i64..50, 1..300)) {
+        let mut catalog = Catalog::new();
+        catalog.add_table(table_of(&values));
+        let stats = catalog.stats("t");
+        let mut uniq = values.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(stats.distinct("v"), uniq.len());
+        let h = stats.histogram("v").expect("numeric column");
+        prop_assert_eq!(h.total(), values.len());
+        prop_assert_eq!(h.min(), *values.iter().min().expect("non-empty") as f64);
+        prop_assert_eq!(h.max(), *values.iter().max().expect("non-empty") as f64);
+    }
+}

@@ -1,0 +1,47 @@
+//! # uaq-workloads
+//!
+//! The three benchmarks of §6.2: MICRO (selectivity-space sweeps of scans
+//! and two-way joins), SELJOIN (aggregate-free multi-way join cores of the
+//! TPC-H templates), and TPCH (14 full templates with aggregates).
+
+pub mod micro;
+pub mod seljoin;
+pub mod tpch;
+
+use uaq_engine::QuerySpec;
+use uaq_stats::Rng;
+use uaq_storage::Catalog;
+
+pub use micro::micro_queries;
+pub use seljoin::seljoin_queries;
+pub use tpch::tpch_queries;
+
+/// The three benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    Micro,
+    SelJoin,
+    Tpch,
+}
+
+impl Benchmark {
+    pub const ALL: [Benchmark; 3] = [Benchmark::Micro, Benchmark::SelJoin, Benchmark::Tpch];
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Benchmark::Micro => "MICRO",
+            Benchmark::SelJoin => "SELJOIN",
+            Benchmark::Tpch => "TPCH",
+        }
+    }
+
+    /// Generates the benchmark's queries. `instances` scales the randomized
+    /// benchmarks (per template); MICRO is a fixed grid.
+    pub fn queries(&self, catalog: &Catalog, instances: usize, rng: &mut Rng) -> Vec<QuerySpec> {
+        match self {
+            Benchmark::Micro => micro_queries(catalog),
+            Benchmark::SelJoin => seljoin_queries(instances, rng),
+            Benchmark::Tpch => tpch_queries(instances, rng),
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! The MICRO benchmark (§6.2): pure selections and two-way joins generated
+//! evenly across the selectivity space, in the style of the Picasso plan
+//! diagram visualizer. Selections sweep one selectivity dimension; joins
+//! sweep a 2-D grid of per-side selectivities.
+
+use uaq_engine::{JoinStep, Pred, QuerySpec, TableRef};
+use uaq_storage::{Catalog, Value};
+
+/// Target selectivities for the 1-D scan sweep.
+pub const SCAN_GRID: [f64; 10] = [0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.65, 0.75, 0.85, 0.95];
+
+/// Per-side target selectivities for the 2-D join grid.
+pub const JOIN_GRID: [f64; 4] = [0.2, 0.45, 0.7, 0.95];
+
+/// Predicate constant hitting a target selectivity on a numeric column.
+fn cutoff(catalog: &Catalog, table: &str, column: &str, selectivity: f64) -> Value {
+    let hist = catalog
+        .stats(table)
+        .histogram(column)
+        .unwrap_or_else(|| panic!("no histogram for {table}.{column}"));
+    Value::Float(hist.quantile(selectivity))
+}
+
+/// Like [`cutoff`] but for integer-typed columns (dates, keys).
+fn cutoff_int(catalog: &Catalog, table: &str, column: &str, selectivity: f64) -> Value {
+    let hist = catalog
+        .stats(table)
+        .histogram(column)
+        .unwrap_or_else(|| panic!("no histogram for {table}.{column}"));
+    Value::Int(hist.quantile(selectivity).round() as i64)
+}
+
+/// Generates the MICRO workload: 40 selections + 32 two-way joins.
+pub fn micro_queries(catalog: &Catalog) -> Vec<QuerySpec> {
+    let mut out = Vec::new();
+
+    // Selections sweeping the selectivity axis across four differently-sized
+    // relations, so the workload covers several orders of magnitude of work
+    // (the paper's MICRO runtimes likewise span sub-second to minutes).
+    for (i, &sel) in SCAN_GRID.iter().enumerate() {
+        out.push(QuerySpec::scan(
+            format!("micro-scan-lineitem-{i}"),
+            TableRef::new(
+                "lineitem",
+                Pred::le("l_shipdate", cutoff_int(catalog, "lineitem", "l_shipdate", sel)),
+            ),
+        ));
+        out.push(QuerySpec::scan(
+            format!("micro-scan-orders-{i}"),
+            TableRef::new(
+                "orders",
+                Pred::le("o_totalprice", cutoff(catalog, "orders", "o_totalprice", sel)),
+            ),
+        ));
+        out.push(QuerySpec::scan(
+            format!("micro-scan-part-{i}"),
+            TableRef::new(
+                "part",
+                Pred::le("p_retailprice", cutoff(catalog, "part", "p_retailprice", sel)),
+            ),
+        ));
+        out.push(QuerySpec::scan(
+            format!("micro-scan-customer-{i}"),
+            TableRef::new(
+                "customer",
+                Pred::le("c_acctbal", cutoff(catalog, "customer", "c_acctbal", sel)),
+            ),
+        ));
+    }
+
+    // Two-way joins over the (X_l, X_r) grid: orders ⋈ lineitem and
+    // customer ⋈ orders.
+    for (i, &sl) in JOIN_GRID.iter().enumerate() {
+        for (j, &sr) in JOIN_GRID.iter().enumerate() {
+            out.push(
+                QuerySpec::scan(
+                    format!("micro-join-ol-{i}{j}"),
+                    TableRef::new(
+                        "orders",
+                        Pred::le("o_orderdate", cutoff_int(catalog, "orders", "o_orderdate", sl)),
+                    ),
+                )
+                .with_joins(vec![JoinStep::new(
+                    TableRef::new(
+                        "lineitem",
+                        Pred::le(
+                            "l_shipdate",
+                            cutoff_int(catalog, "lineitem", "l_shipdate", sr),
+                        ),
+                    ),
+                    "o_orderkey",
+                    "l_orderkey",
+                )]),
+            );
+            out.push(
+                QuerySpec::scan(
+                    format!("micro-join-co-{i}{j}"),
+                    TableRef::new(
+                        "customer",
+                        Pred::le("c_acctbal", cutoff(catalog, "customer", "c_acctbal", sl)),
+                    ),
+                )
+                .with_joins(vec![JoinStep::new(
+                    TableRef::new(
+                        "orders",
+                        Pred::le("o_totalprice", cutoff(catalog, "orders", "o_totalprice", sr)),
+                    ),
+                    "c_custkey",
+                    "o_custkey",
+                )]),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_datagen::{generate, GenConfig};
+    use uaq_engine::{execute_full, plan_query};
+
+    fn db() -> Catalog {
+        generate(&GenConfig::new(0.001, 0.0, 71))
+    }
+
+    #[test]
+    fn expected_query_count() {
+        let c = db();
+        let qs = micro_queries(&c);
+        // 4 × 10 scans + 2 × 16 joins.
+        assert_eq!(qs.len(), 72);
+    }
+
+    #[test]
+    fn scans_hit_target_selectivities() {
+        let c = db();
+        let qs = micro_queries(&c);
+        let li_rows = c.table("lineitem").len() as f64;
+        for (i, &target) in SCAN_GRID.iter().enumerate() {
+            let q = &qs[4 * i]; // lineitem scan leads each group of four
+            let plan = plan_query(q, &c);
+            let out = execute_full(&plan, &c);
+            let got = out.traces[plan.root()].output_rows as f64 / li_rows;
+            assert!(
+                (got - target).abs() < 0.08,
+                "scan {i}: target {target}, got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn joins_sweep_the_grid() {
+        let c = db();
+        let qs = micro_queries(&c);
+        let joins: Vec<_> = qs.iter().filter(|q| !q.joins.is_empty()).collect();
+        assert_eq!(joins.len(), 32);
+        // Corner queries produce different output sizes.
+        let sizes: Vec<usize> = joins
+            .iter()
+            .map(|q| {
+                let plan = plan_query(q, &c);
+                execute_full(&plan, &c).rows.len()
+            })
+            .collect();
+        let min = sizes.iter().min().copied().expect("non-empty");
+        let max = sizes.iter().max().copied().expect("non-empty");
+        assert!(max > 4 * min.max(1), "grid corners too similar: {sizes:?}");
+    }
+
+    #[test]
+    fn all_queries_plan_and_execute() {
+        let c = db();
+        for q in micro_queries(&c) {
+            let plan = plan_query(&q, &c);
+            let out = execute_full(&plan, &c);
+            let _ = out.rows.len();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = db();
+        let a = micro_queries(&c);
+        let b = micro_queries(&c);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(format!("{:?}", x.base.predicate), format!("{:?}", y.base.predicate));
+        }
+    }
+}

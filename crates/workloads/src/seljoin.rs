@@ -1,0 +1,266 @@
+//! The SELJOIN benchmark (§6.2): multi-way selection-join queries — the
+//! "maximal sub-queries without aggregates" of the TPC-H templates, with
+//! randomized predicate constants per instance.
+
+use uaq_datagen::{domains, DATE_DOMAIN_DAYS};
+use uaq_engine::{CmpOp, JoinStep, Pred, QuerySpec, TableRef};
+use uaq_stats::Rng;
+use uaq_storage::Value;
+
+fn day(rng: &mut Rng, lo: i64, hi: i64) -> i64 {
+    rng.i64_range(lo.max(0), hi.min(DATE_DOMAIN_DAYS - 1))
+}
+
+/// SJ3 — the agg-free core of Q3: customer × orders × lineitem.
+pub fn sj3(rng: &mut Rng) -> QuerySpec {
+    let d = day(rng, 300, 2200);
+    let seg = *rng.choose(&domains::SEGMENTS);
+    QuerySpec::scan(
+        "seljoin-3",
+        TableRef::new("customer", Pred::eq("c_mktsegment", Value::str(seg))),
+    )
+    .with_joins(vec![
+        JoinStep::new(
+            TableRef::new("orders", Pred::lt("o_orderdate", Value::Int(d))),
+            "c_custkey",
+            "o_custkey",
+        ),
+        JoinStep::new(
+            TableRef::new("lineitem", Pred::gt("l_shipdate", Value::Int(d))),
+            "o_orderkey",
+            "l_orderkey",
+        ),
+    ])
+}
+
+/// SJ5 — the agg-free core of Q5: a 5-way join down to nation.
+pub fn sj5(rng: &mut Rng) -> QuerySpec {
+    let width = rng.i64_range(90, 730);
+    let start = day(rng, 0, DATE_DOMAIN_DAYS - width - 10);
+    QuerySpec::scan("seljoin-5", TableRef::plain("customer"))
+        .with_joins(vec![
+            JoinStep::new(
+                TableRef::new(
+                    "orders",
+                    Pred::between("o_orderdate", Value::Int(start), Value::Int(start + width)),
+                ),
+                "c_custkey",
+                "o_custkey",
+            ),
+            JoinStep::new(TableRef::plain("lineitem"), "o_orderkey", "l_orderkey"),
+            JoinStep::new(TableRef::plain("supplier"), "l_suppkey", "s_suppkey"),
+            JoinStep::new(TableRef::plain("nation"), "s_nationkey", "n_nationkey"),
+        ])
+        .with_residual(Pred::col_cmp("c_nationkey", CmpOp::Eq, "s_nationkey"))
+}
+
+/// SJ7 — the agg-free core of Q7: supplier-side 4-way join with a shipping
+/// window.
+pub fn sj7(rng: &mut Rng) -> QuerySpec {
+    let width = rng.i64_range(180, 1400);
+    let start = day(rng, 0, DATE_DOMAIN_DAYS - width - 10);
+    let n1 = rng.i64_range(0, 24);
+    let n2 = rng.i64_range(0, 24);
+    QuerySpec::scan("seljoin-7", TableRef::plain("supplier"))
+        .with_joins(vec![
+            JoinStep::new(
+                TableRef::new(
+                    "lineitem",
+                    Pred::between("l_shipdate", Value::Int(start), Value::Int(start + width)),
+                ),
+                "s_suppkey",
+                "l_suppkey",
+            ),
+            JoinStep::new(TableRef::plain("orders"), "l_orderkey", "o_orderkey"),
+            JoinStep::new(TableRef::plain("customer"), "o_custkey", "c_custkey"),
+        ])
+        .with_residual(Pred::and(vec![
+            Pred::in_list("s_nationkey", vec![Value::Int(n1), Value::Int(n2)]),
+            Pred::in_list("c_nationkey", vec![Value::Int(n1), Value::Int(n2)]),
+        ]))
+}
+
+/// SJ10 — the agg-free core of Q10: returned-item joins.
+pub fn sj10(rng: &mut Rng) -> QuerySpec {
+    let width = rng.i64_range(30, 400);
+    let start = day(rng, 0, DATE_DOMAIN_DAYS - width - 10);
+    QuerySpec::scan("seljoin-10", TableRef::plain("customer"))
+        .with_joins(vec![
+            JoinStep::new(
+                TableRef::new(
+                    "orders",
+                    Pred::between("o_orderdate", Value::Int(start), Value::Int(start + width)),
+                ),
+                "c_custkey",
+                "o_custkey",
+            ),
+            JoinStep::new(
+                TableRef::new("lineitem", Pred::eq("l_returnflag", Value::str("R"))),
+                "o_orderkey",
+                "l_orderkey",
+            ),
+            JoinStep::new(TableRef::plain("nation"), "c_nationkey", "n_nationkey"),
+        ])
+}
+
+/// SJ12 — the agg-free core of Q12: shipmode study with column-column
+/// date comparisons.
+pub fn sj12(rng: &mut Rng) -> QuerySpec {
+    let width = rng.i64_range(90, 900);
+    let start = day(rng, 0, DATE_DOMAIN_DAYS - width - 10);
+    let m1 = *rng.choose(&domains::SHIP_MODES);
+    let m2 = *rng.choose(&domains::SHIP_MODES);
+    QuerySpec::scan("seljoin-12", TableRef::plain("orders")).with_joins(vec![JoinStep::new(
+        TableRef::new(
+            "lineitem",
+            Pred::and(vec![
+                Pred::in_list("l_shipmode", vec![Value::str(m1), Value::str(m2)]),
+                Pred::between("l_receiptdate", Value::Int(start), Value::Int(start + width)),
+                Pred::col_cmp("l_commitdate", CmpOp::Lt, "l_receiptdate"),
+                Pred::col_cmp("l_shipdate", CmpOp::Lt, "l_commitdate"),
+            ]),
+        ),
+        "o_orderkey",
+        "l_orderkey",
+    )])
+}
+
+/// SJ14 — the agg-free core of Q14: one-month lineitem window × part.
+pub fn sj14(rng: &mut Rng) -> QuerySpec {
+    let width = rng.i64_range(15, 500);
+    let start = day(rng, 0, DATE_DOMAIN_DAYS - width - 10);
+    QuerySpec::scan(
+        "seljoin-14",
+        TableRef::new(
+            "lineitem",
+            Pred::between("l_shipdate", Value::Int(start), Value::Int(start + width)),
+        ),
+    )
+    .with_joins(vec![JoinStep::new(
+        TableRef::plain("part"),
+        "l_partkey",
+        "p_partkey",
+    )])
+}
+
+/// SJ19 — the agg-free core of Q19: part × lineitem with a disjunctive
+/// residual predicate.
+pub fn sj19(rng: &mut Rng) -> QuerySpec {
+    let q1 = rng.i64_range(1, 10) as f64;
+    let q2 = rng.i64_range(10, 20) as f64;
+    let brand = format!("Brand#{}{}", rng.i64_range(1, 5), rng.i64_range(1, 5));
+    QuerySpec::scan(
+        "seljoin-19",
+        TableRef::new("part", Pred::le("p_size", Value::Int(rng.i64_range(5, 50)))),
+    )
+    .with_joins(vec![JoinStep::new(
+        TableRef::plain("lineitem"),
+        "p_partkey",
+        "l_partkey",
+    )])
+    .with_residual(Pred::or(vec![
+        Pred::and(vec![
+            Pred::eq("p_brand", Value::str(brand)),
+            Pred::between("l_quantity", Value::Float(q1), Value::Float(q1 + 10.0)),
+        ]),
+        Pred::and(vec![
+            Pred::in_list(
+                "p_container",
+                vec![Value::str("SM CASE"), Value::str("SM BOX")],
+            ),
+            Pred::between("l_quantity", Value::Float(q2), Value::Float(q2 + 10.0)),
+        ]),
+    ]))
+}
+
+/// All SELJOIN template constructors.
+type Template = fn(&mut Rng) -> QuerySpec;
+pub const TEMPLATES: [Template; 7] = [sj3, sj5, sj7, sj10, sj12, sj14, sj19];
+
+/// Generates `instances_per_template` randomized instances per template.
+pub fn seljoin_queries(instances_per_template: usize, rng: &mut Rng) -> Vec<QuerySpec> {
+    let mut out = Vec::with_capacity(TEMPLATES.len() * instances_per_template);
+    for (ti, template) in TEMPLATES.iter().enumerate() {
+        for inst in 0..instances_per_template {
+            let mut q = template(rng);
+            q.name = format!("{}#{}", q.name, inst);
+            let _ = ti;
+            out.push(q);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_datagen::{generate, GenConfig};
+    use uaq_engine::{execute_full, plan_query};
+    use uaq_storage::Catalog;
+
+    fn db() -> Catalog {
+        generate(&GenConfig::new(0.001, 0.0, 72))
+    }
+
+    #[test]
+    fn instance_counts_and_names() {
+        let mut rng = Rng::new(1);
+        let qs = seljoin_queries(3, &mut rng);
+        assert_eq!(qs.len(), 21);
+        assert!(qs.iter().any(|q| q.name == "seljoin-3#0"));
+        assert!(qs.iter().any(|q| q.name == "seljoin-19#2"));
+    }
+
+    #[test]
+    fn no_aggregates_anywhere() {
+        let mut rng = Rng::new(2);
+        for q in seljoin_queries(2, &mut rng) {
+            assert!(!q.has_aggregate(), "{} has aggregates", q.name);
+        }
+    }
+
+    #[test]
+    fn all_templates_plan_and_execute() {
+        let c = db();
+        let mut rng = Rng::new(3);
+        for q in seljoin_queries(2, &mut rng) {
+            let plan = plan_query(&q, &c);
+            let out = execute_full(&plan, &c);
+            let _ = out.rows.len();
+        }
+    }
+
+    #[test]
+    fn some_queries_return_rows() {
+        let c = db();
+        let mut rng = Rng::new(4);
+        let qs = seljoin_queries(3, &mut rng);
+        let nonempty = qs
+            .iter()
+            .filter(|q| {
+                let plan = plan_query(q, &c);
+                !execute_full(&plan, &c).rows.is_empty()
+            })
+            .count();
+        assert!(nonempty >= qs.len() / 3, "only {nonempty}/{} non-empty", qs.len());
+    }
+
+    #[test]
+    fn randomization_varies_instances() {
+        let mut rng = Rng::new(5);
+        let a = sj3(&mut rng);
+        let b = sj3(&mut rng);
+        assert_ne!(
+            format!("{:?}", a.joins[0].table.predicate),
+            format!("{:?}", b.joins[0].table.predicate)
+        );
+    }
+
+    #[test]
+    fn multiway_join_depth() {
+        let mut rng = Rng::new(6);
+        assert_eq!(sj5(&mut rng).joins.len(), 4);
+        assert_eq!(sj7(&mut rng).joins.len(), 3);
+        assert_eq!(sj14(&mut rng).joins.len(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Quickstart: predict the running-time *distribution* of a query.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks the full pipeline of the paper: generate a TPC-H-like database,
+//! calibrate the cost units (§3.1), materialize sample tables (§3.2.2),
+//! plan a query, and ask the predictor for `N(E[t_q], Var[t_q])` — then
+//! actually "run" the query on the simulated hardware and compare.
+
+use uaq::prelude::*;
+
+fn main() {
+    // A small uniform TPC-H-like database (≈ 24 k lineitem rows).
+    println!("generating database …");
+    let catalog = DbPreset::Uniform1G.build(42);
+    println!(
+        "  {} tables, {} total rows",
+        catalog.len(),
+        catalog.total_rows()
+    );
+
+    // Calibrate the five cost units of Table 1 against simulated hardware.
+    let mut rng = Rng::new(7);
+    let profile = HardwareProfile::pc1();
+    let units = calibrate(&profile, &CalibrationConfig::default(), &mut rng);
+    println!("\ncalibrated cost units (ms per primitive):");
+    for u in uaq::cost::CostUnit::ALL {
+        println!(
+            "  {u}: {:.6} ± {:.6}",
+            units[u].mean(),
+            units[u].std_dev()
+        );
+    }
+
+    // Materialize sample tables: 5% sampling ratio, 2 independent copies.
+    let samples = catalog.draw_samples(0.05, 2, &mut rng);
+
+    // A 3-way join: customers in a segment, their recent orders, the
+    // late-shipped lineitems (the core of TPC-H Q3).
+    let spec = QuerySpec::scan(
+        "quickstart-q3",
+        TableRef::new("customer", Pred::eq("c_mktsegment", Value::str("BUILDING"))),
+    )
+    .with_joins(vec![
+        JoinStep::new(
+            TableRef::new("orders", Pred::lt("o_orderdate", Value::Int(1200))),
+            "c_custkey",
+            "o_custkey",
+        ),
+        JoinStep::new(
+            TableRef::new("lineitem", Pred::gt("l_shipdate", Value::Int(1200))),
+            "o_orderkey",
+            "l_orderkey",
+        ),
+    ]);
+    let plan = plan_query(&spec, &catalog);
+    println!("\nplan:\n{plan}");
+
+    // Predict.
+    let predictor = Predictor::new(units, PredictorConfig::default());
+    let prediction = predictor.predict(&plan, &catalog, &samples);
+    println!(
+        "predicted: {:.2} ms  (σ = {:.2} ms)",
+        prediction.mean_ms(),
+        prediction.std_dev_ms()
+    );
+    for p in [0.5, 0.7, 0.95] {
+        let (lo, hi) = prediction.confidence_interval_ms(p);
+        println!("  with probability {:.0}%: between {lo:.2} and {hi:.2} ms", p * 100.0);
+    }
+    println!("variance breakdown:");
+    println!("  cost-unit fluctuation : {:>10.3} ms²", prediction.breakdown.unit_variance);
+    println!("  selectivity (exact)   : {:>10.3} ms²", prediction.breakdown.selectivity_exact);
+    println!("  covariance bounds     : {:>10.3} ms²", prediction.breakdown.covariance_bounds);
+    println!("  interaction           : {:>10.3} ms²", prediction.breakdown.interaction);
+
+    // Ground truth: really execute, then time it on the simulated hardware
+    // (5 runs averaged, as in the paper).
+    let outcome = execute_full(&plan, &catalog);
+    let contexts = NodeCostContext::build_all(&plan, &catalog);
+    let actual = simulate_actual_time(
+        &plan,
+        &contexts,
+        &outcome.traces,
+        &profile,
+        &SimConfig::default(),
+        &mut rng,
+    );
+    let err = (prediction.mean_ms() - actual.mean_ms).abs();
+    println!(
+        "\nactual (5-run avg): {:.2} ms   |error| = {:.2} ms = {:.2}σ",
+        actual.mean_ms,
+        err,
+        err / prediction.std_dev_ms()
+    );
+    println!("query returned {} rows", outcome.rows.len());
+}

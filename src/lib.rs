@@ -1,0 +1,92 @@
+//! # uaq — Uncertainty-Aware Query execution time prediction
+//!
+//! A from-scratch Rust reproduction of *Uncertainty Aware Query Execution
+//! Time Prediction* (Wentao Wu, Xi Wu, Hakan Hacıgümüş, Jeffrey F. Naughton;
+//! arXiv:1408.6589, 2014). Instead of a single point estimate, the predictor
+//! reports a **distribution of likely running times**
+//! `t_q ~ N(E[t_q], Var[t_q])` by treating the optimizer cost model's inputs
+//! — the system cost units `c` and the operator selectivities `X` — as
+//! random variables:
+//!
+//! * the `c`'s are calibrated with dedicated micro-queries, keeping sample
+//!   **variances**, not just means (§3.1 of the paper);
+//! * the `X`'s come from the Haas et al. sampling estimator with its `S_n²`
+//!   variance estimator, computed for a whole plan in one provenance-tracked
+//!   pass over materialized sample tables (§3.2, Algorithm 1);
+//! * the cost model is probed as a black box and approximated by the six
+//!   logical cost-function forms C1'–C6' via non-negative least squares on a
+//!   `[μ ± 3σ]` grid (§4);
+//! * `Var[t_q]` combines exact normal-moment algebra with upper bounds for
+//!   the covariances between selectivity estimates of nested operators
+//!   (§5, Theorems 7–10, Algorithm 3).
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`stats`] | RNG, erf/Φ, normal moments, NNLS, correlations, `D_n`, Zipf |
+//! | [`storage`] | tables, histograms, provenance-carrying sample tables |
+//! | [`datagen`] | TPC-H-like generator with Zipf skew |
+//! | [`engine`] | plans, executor (full + sample modes), planner |
+//! | [`cost`] | cost units, hardware profiles, oracle model, calibration, fitting, simulated runtime |
+//! | [`selest`] | `ρ_n`/`S_n²` estimation and covariance bounds |
+//! | [`core`] | **the predictor** (Algorithms 2–3, ablation variants) |
+//! | [`workloads`] | MICRO / SELJOIN / TPCH benchmarks |
+//! | [`experiments`] | experiment matrix, metrics, paper table/figure renderers |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uaq::prelude::*;
+//!
+//! // 1. A database (deterministic TPC-H-like generator).
+//! let catalog = GenConfig::new(0.001, 0.0, 42).build();
+//!
+//! // 2. Calibrate the five cost units on simulated hardware (§3.1).
+//! let mut rng = Rng::new(7);
+//! let units = calibrate(&HardwareProfile::pc1(), &CalibrationConfig::default(), &mut rng);
+//!
+//! // 3. Materialize sample tables (§3.2.2): 5% ratio, 2 independent copies.
+//! let samples = catalog.draw_samples(0.05, 2, &mut rng);
+//!
+//! // 4. A query plan (here via the heuristic planner).
+//! let spec = QuerySpec::scan(
+//!     "demo",
+//!     TableRef::new("lineitem", Pred::le("l_quantity", Value::Float(25.0))),
+//! );
+//! let plan = plan_query(&spec, &catalog);
+//!
+//! // 5. Predict the distribution of likely running times.
+//! let predictor = Predictor::new(units, PredictorConfig::default());
+//! let prediction = predictor.predict(&plan, &catalog, &samples);
+//! let (lo, hi) = prediction.confidence_interval_ms(0.70);
+//! assert!(lo < prediction.mean_ms() && prediction.mean_ms() < hi);
+//! assert!(prediction.std_dev_ms() > 0.0);
+//! ```
+
+pub use uaq_core as core;
+pub use uaq_cost as cost;
+pub use uaq_datagen as datagen;
+pub use uaq_engine as engine;
+pub use uaq_experiments as experiments;
+pub use uaq_selest as selest;
+pub use uaq_stats as stats;
+pub use uaq_storage as storage;
+pub use uaq_workloads as workloads;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use uaq_core::{Prediction, Predictor, PredictorConfig, Variant};
+    pub use uaq_cost::{
+        calibrate, simulate_actual_time, CalibrationConfig, HardwareProfile, NodeCostContext,
+        SimConfig, UnitDists,
+    };
+    pub use uaq_datagen::{DbPreset, GenConfig};
+    pub use uaq_engine::{
+        execute_full, execute_on_samples, plan_query, AggFunc, CmpOp, JoinStep, Plan, Pred,
+        QuerySpec, SortOrder, TableRef,
+    };
+    pub use uaq_stats::{Normal, Rng};
+    pub use uaq_storage::{Catalog, SampleCatalog, Value};
+    pub use uaq_workloads::Benchmark;
+}

@@ -1,0 +1,146 @@
+//! Integration tests for the §6.3.3 ablation variants: the complete
+//! predictor versus No Var[c] / No Var[X] / No Cov.
+
+use uaq::prelude::*;
+
+fn setup() -> (Catalog, Vec<QuerySpec>, SampleCatalog, uaq::cost::UnitDists) {
+    let catalog = GenConfig::new(0.0015, 0.0, 909).build();
+    let mut rng = Rng::new(13);
+    let specs = Benchmark::SelJoin.queries(&catalog, 3, &mut rng);
+    let samples = catalog.draw_samples(0.03, 2, &mut rng);
+    let units = calibrate(
+        &HardwareProfile::pc1(),
+        &CalibrationConfig::default(),
+        &mut rng,
+    );
+    (catalog, specs, samples, units)
+}
+
+fn variances_for(variant: Variant) -> Vec<f64> {
+    let (catalog, specs, samples, units) = setup();
+    let predictor = Predictor::new(
+        units,
+        PredictorConfig {
+            variant,
+            ..Default::default()
+        },
+    );
+    specs
+        .iter()
+        .map(|s| {
+            let plan = plan_query(s, &catalog);
+            predictor.predict(&plan, &catalog, &samples).var()
+        })
+        .collect()
+}
+
+#[test]
+fn every_ablation_reduces_or_keeps_variance() {
+    let all = variances_for(Variant::All);
+    for variant in [
+        Variant::NoCostUnitVariance,
+        Variant::NoSelectivityVariance,
+        Variant::NoCovariance,
+    ] {
+        let reduced = variances_for(variant);
+        for (i, (&full, &cut)) in all.iter().zip(&reduced).enumerate() {
+            assert!(
+                cut <= full + 1e-9,
+                "{}: query {i}: {cut} > {full}",
+                variant.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn no_cov_is_between_no_var_x_and_all() {
+    // Dropping only the covariance bounds keeps the same-operator
+    // selectivity variance, so: Var(NoVarX) ≤ Var(NoCov) ≤ Var(All).
+    let all = variances_for(Variant::All);
+    let no_cov = variances_for(Variant::NoCovariance);
+    let no_x = variances_for(Variant::NoSelectivityVariance);
+    for i in 0..all.len() {
+        assert!(no_x[i] <= no_cov[i] + 1e-9, "query {i}");
+        assert!(no_cov[i] <= all[i] + 1e-9, "query {i}");
+    }
+}
+
+#[test]
+fn ablations_do_not_change_the_mean() {
+    // All variants predict the same E[t_q]; only the variance differs.
+    let (catalog, specs, samples, units) = setup();
+    let mean_of = |variant: Variant| -> Vec<f64> {
+        let predictor = Predictor::new(
+            units,
+            PredictorConfig {
+                variant,
+                ..Default::default()
+            },
+        );
+        specs
+            .iter()
+            .map(|s| {
+                let plan = plan_query(s, &catalog);
+                predictor.predict(&plan, &catalog, &samples).mean_ms()
+            })
+            .collect()
+    };
+    let base = mean_of(Variant::All);
+    for variant in [Variant::NoCostUnitVariance, Variant::NoCovariance] {
+        let m = mean_of(variant);
+        for (a, b) in base.iter().zip(&m) {
+            assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "{} vs {}", a, b);
+        }
+    }
+    // No Var[X] may shift the fitting grid slightly, so allow a small drift.
+    let m = mean_of(Variant::NoSelectivityVariance);
+    for (a, b) in base.iter().zip(&m) {
+        assert!((a - b).abs() < 0.05 * a.abs().max(1.0), "{a} vs {b}");
+    }
+}
+
+#[test]
+fn no_var_c_hurts_correlation_most() {
+    // The paper's central ablation finding (§6.3.3): ignoring cost-unit
+    // variance costs the most correlation. We check the weaker, robust
+    // statement: r_s(All) is strong and r_s(All) > r_s(NoVar[c]).
+    let (catalog, specs, samples, units) = setup();
+    let profile = HardwareProfile::pc1();
+    let rs_of = |variant: Variant| -> f64 {
+        let predictor = Predictor::new(
+            units,
+            PredictorConfig {
+                variant,
+                ..Default::default()
+            },
+        );
+        let mut rng = Rng::new(4242);
+        let mut sigmas = Vec::new();
+        let mut errors = Vec::new();
+        for s in &specs {
+            let plan = plan_query(s, &catalog);
+            let p = predictor.predict(&plan, &catalog, &samples);
+            let outcome = execute_full(&plan, &catalog);
+            let contexts = NodeCostContext::build_all(&plan, &catalog);
+            let actual = simulate_actual_time(
+                &plan,
+                &contexts,
+                &outcome.traces,
+                &profile,
+                &SimConfig::default(),
+                &mut rng,
+            );
+            sigmas.push(p.std_dev_ms());
+            errors.push((p.mean_ms() - actual.mean_ms).abs());
+        }
+        uaq::stats::spearman(&sigmas, &errors)
+    };
+    let all = rs_of(Variant::All);
+    let no_c = rs_of(Variant::NoCostUnitVariance);
+    assert!(all > 0.5, "r_s(All) = {all}");
+    assert!(
+        no_c < all + 0.05,
+        "No Var[c] should not beat the full model: {no_c} vs {all}"
+    );
+}

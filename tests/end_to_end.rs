@@ -1,0 +1,164 @@
+//! End-to-end integration tests: the full pipeline on a tiny database.
+//!
+//! These exercise the whole stack (datagen → planner → executor → sampler →
+//! estimator → fitter → predictor → simulated runtime) and assert the
+//! paper's *qualitative* results hold: predictions are accurate, predicted
+//! standard deviations correlate with realized errors, and the sampling
+//! overhead is a small fraction of execution.
+
+use uaq::prelude::*;
+use uaq::stats::{pearson, spearman};
+
+/// Tiny database so the test runs fast even in debug builds.
+fn tiny_db() -> Catalog {
+    GenConfig::new(0.0015, 0.0, 2024).build()
+}
+
+fn predictor_for(profile: &HardwareProfile, seed: u64) -> Predictor {
+    let mut rng = Rng::new(seed);
+    let units = calibrate(profile, &CalibrationConfig::default(), &mut rng);
+    Predictor::new(units, PredictorConfig::default())
+}
+
+/// Runs a workload end-to-end, returning per-query (σ, error) pairs.
+fn run_workload(
+    catalog: &Catalog,
+    specs: &[QuerySpec],
+    profile: &HardwareProfile,
+    sampling_ratio: f64,
+    seed: u64,
+) -> Vec<(f64, f64, f64, f64)> {
+    let predictor = predictor_for(profile, seed);
+    let mut rng = Rng::new(seed ^ 0xFACE);
+    let samples = catalog.draw_samples(sampling_ratio, 2, &mut rng);
+    specs
+        .iter()
+        .map(|spec| {
+            let plan = plan_query(spec, catalog);
+            let prediction = predictor.predict(&plan, catalog, &samples);
+            let outcome = execute_full(&plan, catalog);
+            let contexts = NodeCostContext::build_all(&plan, catalog);
+            let actual = simulate_actual_time(
+                &plan,
+                &contexts,
+                &outcome.traces,
+                profile,
+                &SimConfig::default(),
+                &mut rng,
+            );
+            (
+                prediction.std_dev_ms(),
+                (prediction.mean_ms() - actual.mean_ms).abs(),
+                prediction.mean_ms(),
+                actual.mean_ms,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn predictions_are_accurate_on_micro() {
+    let catalog = tiny_db();
+    let mut rng = Rng::new(1);
+    let specs = Benchmark::Micro.queries(&catalog, 1, &mut rng);
+    let results = run_workload(&catalog, &specs, &HardwareProfile::pc1(), 0.1, 11);
+    // Median relative error under 12%.
+    let mut rel: Vec<f64> = results
+        .iter()
+        .map(|&(_, e, _, actual)| e / actual)
+        .collect();
+    rel.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = rel[rel.len() / 2];
+    assert!(median < 0.12, "median relative error {median}");
+}
+
+#[test]
+fn predicted_sigma_correlates_with_errors() {
+    // The headline result (R1): strong positive rank correlation between
+    // the predicted standard deviations and the actual prediction errors.
+    let catalog = tiny_db();
+    let mut rng = Rng::new(2);
+    let specs = Benchmark::Micro.queries(&catalog, 1, &mut rng);
+    let results = run_workload(&catalog, &specs, &HardwareProfile::pc2(), 0.05, 22);
+    let sigmas: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let errors: Vec<f64> = results.iter().map(|r| r.1).collect();
+    let rs = spearman(&sigmas, &errors);
+    let rp = pearson(&sigmas, &errors);
+    assert!(rs > 0.5, "r_s = {rs}");
+    assert!(rp > 0.3, "r_p = {rp}");
+}
+
+#[test]
+fn normalized_errors_are_reasonably_calibrated() {
+    // (R2): the error-likelihood curve should be in the right ballpark —
+    // D_n below the paper's 0.3 threshold.
+    let catalog = tiny_db();
+    let mut rng = Rng::new(3);
+    let specs = Benchmark::SelJoin.queries(&catalog, 4, &mut rng);
+    let results = run_workload(&catalog, &specs, &HardwareProfile::pc1(), 0.1, 33);
+    let means: Vec<f64> = results.iter().map(|r| r.2).collect();
+    let sigmas: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let actuals: Vec<f64> = results.iter().map(|r| r.3).collect();
+    let e = uaq::stats::normalized_errors(&means, &sigmas, &actuals);
+    let dn = uaq::stats::dn(&e);
+    assert!(dn < 0.3, "D_n = {dn}");
+}
+
+#[test]
+fn sampling_overhead_is_small() {
+    // §6.4: running the plan over samples costs a small fraction of the
+    // real execution.
+    let catalog = tiny_db();
+    let mut rng = Rng::new(4);
+    let specs = Benchmark::Tpch.queries(&catalog, 1, &mut rng);
+    let predictor = predictor_for(&HardwareProfile::pc1(), 44);
+    let samples = catalog.draw_samples(0.05, 2, &mut rng);
+    let mut total_full = 0.0;
+    let mut total_sample = 0.0;
+    for spec in &specs {
+        let plan = plan_query(spec, &catalog);
+        let t0 = std::time::Instant::now();
+        let _ = execute_full(&plan, &catalog);
+        total_full += t0.elapsed().as_secs_f64();
+        let prediction = predictor.predict(&plan, &catalog, &samples);
+        total_sample += prediction.sample_pass_seconds;
+    }
+    let overhead = total_sample / total_full;
+    assert!(overhead < 0.6, "relative sampling overhead {overhead}");
+}
+
+#[test]
+fn prediction_is_deterministic_given_seeds() {
+    let catalog = tiny_db();
+    let run = || {
+        let mut rng = Rng::new(5);
+        let specs = Benchmark::SelJoin.queries(&catalog, 2, &mut rng);
+        let predictor = predictor_for(&HardwareProfile::pc2(), 55);
+        let samples = catalog.draw_samples(0.1, 2, &mut rng);
+        specs
+            .iter()
+            .map(|s| {
+                let plan = plan_query(s, &catalog);
+                let p = predictor.predict(&plan, &catalog, &samples);
+                (p.mean_ms(), p.var())
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn skewed_database_still_works() {
+    let catalog = GenConfig::new(0.0015, 1.0, 77).build();
+    let mut rng = Rng::new(6);
+    let specs = Benchmark::Micro.queries(&catalog, 1, &mut rng);
+    let results = run_workload(&catalog, &specs, &HardwareProfile::pc1(), 0.1, 66);
+    for (sigma, _e, mean, actual) in &results {
+        assert!(*sigma > 0.0);
+        assert!(*mean > 0.0);
+        assert!(*actual > 0.0);
+    }
+    let sigmas: Vec<f64> = results.iter().map(|r| r.0).collect();
+    let errors: Vec<f64> = results.iter().map(|r| r.1).collect();
+    assert!(spearman(&sigmas, &errors) > 0.4);
+}

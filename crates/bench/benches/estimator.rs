@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 use uaq_datagen::GenConfig;
-use uaq_engine::{execute_full, execute_on_samples, plan_query, JoinStep, Pred, QuerySpec, TableRef};
+use uaq_engine::{
+    execute_full, execute_on_samples, plan_query, JoinStep, Pred, QuerySpec, TableRef,
+};
 use uaq_selest::estimate_selectivities;
 use uaq_stats::Rng;
 use uaq_storage::Value;
@@ -14,12 +16,15 @@ use uaq_storage::Value;
 fn bench_sample_pass(c: &mut Criterion) {
     let catalog = GenConfig::new(0.002, 0.0, 42).build();
     let plan = plan_query(
-        &QuerySpec::scan("j", TableRef::new("orders", Pred::lt("o_orderdate", Value::Int(1500))))
-            .with_joins(vec![JoinStep::new(
-                TableRef::plain("lineitem"),
-                "o_orderkey",
-                "l_orderkey",
-            )]),
+        &QuerySpec::scan(
+            "j",
+            TableRef::new("orders", Pred::lt("o_orderdate", Value::Int(1500))),
+        )
+        .with_joins(vec![JoinStep::new(
+            TableRef::plain("lineitem"),
+            "o_orderkey",
+            "l_orderkey",
+        )]),
         &catalog,
     );
 

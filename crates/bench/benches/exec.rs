@@ -1,0 +1,81 @@
+//! Criterion benchmarks for the execution data plane in isolation: raw
+//! full-mode and sample-mode plan execution throughput, columnar executor
+//! vs. the row-based reference (`exec_row`), so future PRs can track the
+//! data plane without the estimator/predictor layers on top.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use uaq_datagen::GenConfig;
+use uaq_engine::{
+    execute_full, execute_full_rows, execute_on_samples, execute_on_samples_rows, plan_query,
+    JoinStep, Plan, Pred, QuerySpec, TableRef,
+};
+use uaq_stats::Rng;
+use uaq_storage::{Catalog, Value};
+
+fn scan_plan(catalog: &Catalog) -> Plan {
+    plan_query(
+        &QuerySpec::scan(
+            "scan",
+            TableRef::new("lineitem", Pred::le("l_shipdate", Value::Int(1500))),
+        ),
+        catalog,
+    )
+}
+
+fn join3_plan(catalog: &Catalog) -> Plan {
+    plan_query(
+        &QuerySpec::scan(
+            "join3",
+            TableRef::new("customer", Pred::eq("c_mktsegment", Value::str("BUILDING"))),
+        )
+        .with_joins(vec![
+            JoinStep::new(
+                TableRef::new("orders", Pred::lt("o_orderdate", Value::Int(1200))),
+                "c_custkey",
+                "o_custkey",
+            ),
+            JoinStep::new(
+                TableRef::new("lineitem", Pred::gt("l_shipdate", Value::Int(1200))),
+                "o_orderkey",
+                "l_orderkey",
+            ),
+        ]),
+        catalog,
+    )
+}
+
+fn bench_exec(c: &mut Criterion) {
+    let catalog = GenConfig::new(0.002, 0.0, 42).build();
+    let mut rng = Rng::new(7);
+    let samples = catalog.draw_samples(0.05, 2, &mut rng);
+    let scan = scan_plan(&catalog);
+    let join3 = join3_plan(&catalog);
+
+    let mut group = c.benchmark_group("exec");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+
+    group.bench_function("full/scan", |b| b.iter(|| execute_full(&scan, &catalog)));
+    group.bench_function("full/join3", |b| b.iter(|| execute_full(&join3, &catalog)));
+    group.bench_function("sample/scan", |b| {
+        b.iter(|| execute_on_samples(&scan, &samples))
+    });
+    group.bench_function("sample/join3", |b| {
+        b.iter(|| execute_on_samples(&join3, &samples))
+    });
+
+    // The row-based reference on the same plans prices the columnar win.
+    group.bench_function("rowref/full/join3", |b| {
+        b.iter(|| execute_full_rows(&join3, &catalog))
+    });
+    group.bench_function("rowref/sample/join3", |b| {
+        b.iter(|| execute_on_samples_rows(&join3, &samples))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec);
+criterion_main!(benches);

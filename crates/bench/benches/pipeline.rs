@@ -15,7 +15,11 @@ use uaq_storage::Value;
 fn bench_predict(c: &mut Criterion) {
     let catalog = GenConfig::new(0.002, 0.0, 42).build();
     let mut rng = Rng::new(7);
-    let units = calibrate(&HardwareProfile::pc1(), &CalibrationConfig::default(), &mut rng);
+    let units = calibrate(
+        &HardwareProfile::pc1(),
+        &CalibrationConfig::default(),
+        &mut rng,
+    );
     let samples = catalog.draw_samples(0.05, 2, &mut rng);
     let predictor = Predictor::new(units, PredictorConfig::default());
 

@@ -15,7 +15,11 @@ use uaq_stats::Rng;
 fn bench_variance(c: &mut Criterion) {
     let catalog = GenConfig::new(0.002, 0.0, 42).build();
     let mut rng = Rng::new(3);
-    let units = calibrate(&HardwareProfile::pc1(), &CalibrationConfig::default(), &mut rng);
+    let units = calibrate(
+        &HardwareProfile::pc1(),
+        &CalibrationConfig::default(),
+        &mut rng,
+    );
     let samples = catalog.draw_samples(0.05, 2, &mut rng);
     // A deep plan: TPC-H Q5's 6-way join.
     let plan = plan_query(&uaq_workloads::tpch::q5(&mut rng), &catalog);
@@ -28,7 +32,11 @@ fn bench_variance(c: &mut Criterion) {
 
     // Full prediction under each variant: the difference All − NoCov prices
     // the covariance-bound machinery.
-    for variant in [Variant::All, Variant::NoCovariance, Variant::NoSelectivityVariance] {
+    for variant in [
+        Variant::All,
+        Variant::NoCovariance,
+        Variant::NoSelectivityVariance,
+    ] {
         let predictor = Predictor::new(
             units,
             PredictorConfig {

@@ -26,7 +26,13 @@ fn main() {
         "input X_l ~ N(mu, sd^2)", "max rel err", "rel err @ mu", "err @ 3sigma"
     );
     println!("{}", "-".repeat(72));
-    for (mu, sd) in [(0.1, 0.01), (0.3, 0.02), (0.5, 0.05), (0.8, 0.02), (0.5, 0.005)] {
+    for (mu, sd) in [
+        (0.1, 0.01),
+        (0.3, 0.02),
+        (0.5, 0.05),
+        (0.8, 0.02),
+        (0.5, 0.005),
+    ] {
         let xl = Normal::new(mu, sd * sd);
         let fit = fit_cost_function(
             &ctx,

@@ -1,7 +1,7 @@
 //! Diagnostic: D_n and the Pr_n vs Pr direction for one cheap cell.
 
-use uaq_experiments::{metrics, CellConfig, Machine};
 use uaq_datagen::DbPreset;
+use uaq_experiments::{metrics, CellConfig, Machine};
 use uaq_workloads::Benchmark;
 
 fn main() {
@@ -13,7 +13,11 @@ fn main() {
         let (rs, rp) = metrics::correlation(&o);
         println!("{}: D_n={dn:.4} r_s={rs:.4} r_p={rp:.4}", bench.label());
         for a in [0.5, 1.0, 2.0] {
-            println!("  alpha={a}: Pr_n={:.3} Pr={:.3}", metrics::empirical_pr(&o, a), uaq_stats::model_pr(a));
+            println!(
+                "  alpha={a}: Pr_n={:.3} Pr={:.3}",
+                metrics::empirical_pr(&o, a),
+                uaq_stats::model_pr(a)
+            );
         }
     }
 }

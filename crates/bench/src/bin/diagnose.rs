@@ -2,7 +2,9 @@
 //! variance breakdown — for tuning the substrate, not part of the paper.
 
 use uaq_core::{Predictor, PredictorConfig};
-use uaq_cost::{calibrate, simulate_actual_time, CalibrationConfig, CostUnit, NodeCostContext, SimConfig};
+use uaq_cost::{
+    calibrate, simulate_actual_time, CalibrationConfig, CostUnit, NodeCostContext, SimConfig,
+};
 use uaq_datagen::DbPreset;
 use uaq_engine::{execute_full, plan_query};
 use uaq_experiments::Machine;
@@ -49,7 +51,14 @@ fn main() {
         let out = execute_full(&plan, &catalog);
         let ctxs = NodeCostContext::build_all(&plan, &catalog);
         let p = predictor.predict(&plan, &catalog, &samples);
-        let actual = simulate_actual_time(&plan, &ctxs, &out.traces, &profile, &SimConfig::default(), &mut rng);
+        let actual = simulate_actual_time(
+            &plan,
+            &ctxs,
+            &out.traces,
+            &profile,
+            &SimConfig::default(),
+            &mut rng,
+        );
         println!(
             "{:<24} {:>10.2} {:>10.2} {:>10.2} {:>8.2} | {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
             q.name,

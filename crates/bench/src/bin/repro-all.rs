@@ -7,7 +7,10 @@ use uaq_experiments::report;
 fn main() {
     let mut lab = uaq_bench::lab_from_env();
     for (name, f) in [
-        ("fig2", report::fig2 as fn(&mut uaq_experiments::Lab) -> String),
+        (
+            "fig2",
+            report::fig2 as fn(&mut uaq_experiments::Lab) -> String,
+        ),
         ("fig3", report::fig3),
         ("fig4", report::fig4),
         ("fig5", report::fig5),

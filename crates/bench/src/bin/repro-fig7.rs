@@ -26,13 +26,21 @@ fn main() {
     let plan = plan_query(&uaq_workloads::seljoin::sj3(&mut qrng), &catalog);
 
     println!("Figure 7 (measured): per-sample-set distributions D_i for one query\n");
-    println!("{:<10} {:>12} {:>12}", "sample set", "mu_i (ms)", "sigma_i (ms)");
+    println!(
+        "{:<10} {:>12} {:>12}",
+        "sample set", "mu_i (ms)", "sigma_i (ms)"
+    );
     println!("{}", "-".repeat(38));
     let mut mus = Vec::new();
     for i in 0..8 {
         let samples = catalog.draw_samples(0.03, 2, &mut rng);
         let p = predictor.predict(&plan, &catalog, &samples);
-        println!("S_{:<8} {:>12.2} {:>12.2}", i + 1, p.mean_ms(), p.std_dev_ms());
+        println!(
+            "S_{:<8} {:>12.2} {:>12.2}",
+            i + 1,
+            p.mean_ms(),
+            p.std_dev_ms()
+        );
         mus.push(p.mean_ms());
     }
     println!(

@@ -25,11 +25,33 @@ use uaq_storage::Catalog;
 /// An empirical distribution of predicted running times.
 #[derive(Debug, Clone)]
 pub struct EmpiricalPrediction {
-    /// One point estimate per sample-set draw (ms).
-    pub point_estimates_ms: Vec<f64>,
+    /// One point estimate per sample-set draw (ms), in draw order. Private
+    /// so the sorted cache below cannot go stale; read via
+    /// [`Self::point_estimates_ms`].
+    point_estimates_ms: Vec<f64>,
+    /// The same estimates sorted ascending — the order statistics, computed
+    /// once at construction so `quantile` is an O(1) lookup instead of a
+    /// clone-and-sort per call.
+    sorted_ms: Vec<f64>,
 }
 
 impl EmpiricalPrediction {
+    /// Wraps raw per-draw point estimates, sorting the order statistics
+    /// once.
+    pub fn new(point_estimates_ms: Vec<f64>) -> Self {
+        let mut sorted_ms = point_estimates_ms.clone();
+        sorted_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Self {
+            point_estimates_ms,
+            sorted_ms,
+        }
+    }
+
+    /// The per-draw point estimates, in draw order.
+    pub fn point_estimates_ms(&self) -> &[f64] {
+        &self.point_estimates_ms
+    }
+
     pub fn mean_ms(&self) -> f64 {
         mean(&self.point_estimates_ms)
     }
@@ -47,11 +69,11 @@ impl EmpiricalPrediction {
         Normal::new(self.mean_ms(), self.var())
     }
 
-    /// Empirical quantile (linear in the order statistics).
+    /// Empirical quantile (linear interpolation between the pre-sorted
+    /// order statistics).
     pub fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..=1.0).contains(&p));
-        let mut xs = self.point_estimates_ms.clone();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let xs = &self.sorted_ms;
         let pos = p * (xs.len() - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
@@ -80,29 +102,51 @@ pub fn monte_carlo_prediction(
 ) -> EmpiricalPrediction {
     assert!(runs >= 2, "need at least two sample draws");
     let contexts = NodeCostContext::build_all(plan, catalog);
-    let point_estimates_ms = (0..runs)
-        .map(|_| {
-            let samples = catalog.draw_samples(sampling_ratio, 2, rng);
-            let outcome = execute_on_samples(plan, &samples);
-            let estimates = estimate_selectivities(plan, &outcome, &samples, catalog);
-            // Point estimate: plug the observed selectivity vector into the
-            // oracle cost model at calibrated mean unit costs (Appendix B's
-            // "plug in each observed selectivity vector X").
-            plan.node_ids()
-                .map(|id| {
-                    let children = plan.op(id).children();
-                    let xl = children.first().map_or(0.0, |&c| estimates[c].rho);
-                    let xr = children.get(1).map_or(0.0, |&c| estimates[c].rho);
-                    let counts = contexts[id].counts(xl, xr, estimates[id].rho);
-                    CostUnit::ALL
-                        .iter()
-                        .map(|&u| counts[u] * predictor.units()[u].mean())
-                        .sum::<f64>()
-                })
-                .sum()
-        })
-        .collect();
-    EmpiricalPrediction { point_estimates_ms }
+    let estimate_one = |samples: &uaq_storage::SampleCatalog| -> f64 {
+        let outcome = execute_on_samples(plan, samples);
+        let estimates = estimate_selectivities(plan, &outcome, samples, catalog);
+        // Point estimate: plug the observed selectivity vector into the
+        // oracle cost model at calibrated mean unit costs (Appendix B's
+        // "plug in each observed selectivity vector X").
+        plan.node_ids()
+            .map(|id| {
+                let children = plan.op(id).children();
+                let xl = children.first().map_or(0.0, |&c| estimates[c].rho);
+                let xr = children.get(1).map_or(0.0, |&c| estimates[c].rho);
+                let counts = contexts[id].counts(xl, xr, estimates[id].rho);
+                CostUnit::ALL
+                    .iter()
+                    .map(|&u| counts[u] * predictor.units()[u].mean())
+                    .sum::<f64>()
+            })
+            .sum()
+    };
+    // Sample sets are drawn from the caller's RNG in run order — the random
+    // stream is identical with or without the `parallel` feature — but only
+    // one chunk of them is alive at a time: each chunk is drawn
+    // sequentially, then its deterministic execute + estimate + cost work
+    // fans out in parallel. The chunk size bounds peak memory at a few
+    // sample catalogs per worker rather than `runs`-many.
+    let chunk = if uaq_stats::parallel_enabled() {
+        std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(1)
+            .saturating_mul(2)
+            .max(1)
+    } else {
+        1
+    };
+    let mut point_estimates_ms = Vec::with_capacity(runs);
+    let mut remaining = runs;
+    while remaining > 0 {
+        let take = remaining.min(chunk);
+        let sample_sets: Vec<_> = (0..take)
+            .map(|_| catalog.draw_samples(sampling_ratio, 2, rng))
+            .collect();
+        point_estimates_ms.extend(uaq_stats::parallel_map(&sample_sets, |s| estimate_one(s)));
+        remaining -= take;
+    }
+    EmpiricalPrediction::new(point_estimates_ms)
 }
 
 #[cfg(test)]
@@ -129,7 +173,11 @@ mod tests {
             .with_joins(vec![JoinStep::new(TableRef::plain("u"), "a", "x")]);
         let plan = plan_query(&spec, &c);
         let mut rng = Rng::new(5);
-        let units = calibrate(&HardwareProfile::pc1(), &CalibrationConfig::default(), &mut rng);
+        let units = calibrate(
+            &HardwareProfile::pc1(),
+            &CalibrationConfig::default(),
+            &mut rng,
+        );
         let predictor = Predictor::new(units, PredictorConfig::default());
         (c, plan, predictor)
     }
@@ -142,7 +190,12 @@ mod tests {
         let samples = c.draw_samples(0.1, 2, &mut rng);
         let analytic = predictor.predict(&plan, &c, &samples);
         let rel = (mc.mean_ms() - analytic.mean_ms()).abs() / analytic.mean_ms();
-        assert!(rel < 0.1, "mc {} vs analytic {}", mc.mean_ms(), analytic.mean_ms());
+        assert!(
+            rel < 0.1,
+            "mc {} vs analytic {}",
+            mc.mean_ms(),
+            analytic.mean_ms()
+        );
     }
 
     #[test]
@@ -164,7 +217,12 @@ mod tests {
         let sel_only = analytic.breakdown.selectivity_exact + analytic.breakdown.covariance_bounds;
         // Same order of magnitude.
         let ratio = (sel_only / mc.var()).max(mc.var() / sel_only);
-        assert!(ratio < 12.0, "sel-only {} vs empirical {}", sel_only, mc.var());
+        assert!(
+            ratio < 12.0,
+            "sel-only {} vs empirical {}",
+            sel_only,
+            mc.var()
+        );
     }
 
     #[test]

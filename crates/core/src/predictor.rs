@@ -129,12 +129,7 @@ impl Predictor {
     }
 
     /// Predicts the running-time distribution of `plan` (Algorithm 2).
-    pub fn predict(
-        &self,
-        plan: &Plan,
-        catalog: &Catalog,
-        samples: &SampleCatalog,
-    ) -> Prediction {
+    pub fn predict(&self, plan: &Plan, catalog: &Catalog, samples: &SampleCatalog) -> Prediction {
         // 1. One pass over the sample tables with provenance.
         let t0 = Instant::now();
         let sample_outcome = execute_on_samples(plan, samples);
@@ -321,7 +316,7 @@ impl Predictor {
 mod tests {
     use super::*;
     use uaq_cost::{simulate_actual_time, HardwareProfile, SimConfig};
-    use uaq_engine::{execute_full, Pred, PlanBuilder};
+    use uaq_engine::{execute_full, PlanBuilder, Pred};
     use uaq_stats::Rng;
     use uaq_storage::{Column, Schema, Table, Value};
 
@@ -349,7 +344,11 @@ mod tests {
     }
 
     fn calibrated_units(profile: &HardwareProfile, seed: u64) -> UnitDists {
-        uaq_cost::calibrate(profile, &uaq_cost::CalibrationConfig::default(), &mut Rng::new(seed))
+        uaq_cost::calibrate(
+            profile,
+            &uaq_cost::CalibrationConfig::default(),
+            &mut Rng::new(seed),
+        )
     }
 
     #[test]
@@ -445,10 +444,19 @@ mod tests {
         let no_c = var_of(Variant::NoCostUnitVariance);
         let no_x = var_of(Variant::NoSelectivityVariance);
         let no_cov = var_of(Variant::NoCovariance);
-        assert!(no_c < all, "No Var[c] must reduce variance: {no_c} vs {all}");
-        assert!(no_x < all, "No Var[X] must reduce variance: {no_x} vs {all}");
+        assert!(
+            no_c < all,
+            "No Var[c] must reduce variance: {no_c} vs {all}"
+        );
+        assert!(
+            no_x < all,
+            "No Var[X] must reduce variance: {no_x} vs {all}"
+        );
         assert!(no_cov <= all, "No Cov must not increase variance");
-        assert!(no_cov >= no_x, "No Cov keeps same-operator selectivity variance");
+        assert!(
+            no_cov >= no_x,
+            "No Cov keeps same-operator selectivity variance"
+        );
     }
 
     #[test]

@@ -15,7 +15,9 @@
 
 use uaq_cost::SelTerm;
 use uaq_engine::{NodeId, Op, Plan};
-use uaq_selest::{cov_bound_square_linear, cov_bound_squares, cov_bounds, shared_leaves, SelEstimate};
+use uaq_selest::{
+    cov_bound_square_linear, cov_bound_squares, cov_bounds, shared_leaves, SelEstimate,
+};
 use uaq_stats::normal::product;
 use uaq_stats::Normal;
 
@@ -264,7 +266,7 @@ pub fn is_leaf(plan: &Plan, id: NodeId) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uaq_engine::{execute_on_samples, Pred, PlanBuilder};
+    use uaq_engine::{execute_on_samples, PlanBuilder, Pred};
     use uaq_selest::estimate_selectivities;
     use uaq_stats::Rng;
     use uaq_storage::{Catalog, Column, Schema, Table, Value};
@@ -272,7 +274,7 @@ mod tests {
     fn fixture() -> (Catalog, Plan, Vec<SelEstimate>, Vec<Normal>) {
         let mut c = Catalog::new();
         for (name, key, rows) in [("t", "a", 1500usize), ("u", "x", 900), ("v", "p", 600)] {
-            let s = Schema::new(vec![Column::int(key), Column::int(&format!("{name}_id"))]);
+            let s = Schema::new(vec![Column::int(key), Column::int(format!("{name}_id"))]);
             let data = (0..rows)
                 .map(|i| vec![Value::Int((i % 30) as i64), Value::Int(i as i64)])
                 .collect();
@@ -299,7 +301,10 @@ mod tests {
         // j2 = node 4, children j1 = 2 and v = 3.
         assert_eq!(resolve_term(&plan, 4, SelTerm::Left), VarTerm::Lin(2));
         assert_eq!(resolve_term(&plan, 4, SelTerm::Right), VarTerm::Lin(3));
-        assert_eq!(resolve_term(&plan, 4, SelTerm::LeftRight), VarTerm::Prod(2, 3));
+        assert_eq!(
+            resolve_term(&plan, 4, SelTerm::LeftRight),
+            VarTerm::Prod(2, 3)
+        );
         assert_eq!(resolve_term(&plan, 0, SelTerm::Own), VarTerm::Lin(0));
         assert_eq!(resolve_term(&plan, 4, SelTerm::One), VarTerm::Const);
     }

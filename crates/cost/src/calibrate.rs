@@ -44,52 +44,76 @@ fn observe(profile: &HardwareProfile, counts: &UnitCounts, rng: &mut Rng) -> f64
 /// Calibrates all five units against a hardware profile, in the dependency
 /// order of [48]: `c_t` first, then units whose queries also exercise
 /// already-calibrated ones (their means are subtracted out).
-pub fn calibrate(profile: &HardwareProfile, config: &CalibrationConfig, rng: &mut Rng) -> UnitDists {
+pub fn calibrate(
+    profile: &HardwareProfile,
+    config: &CalibrationConfig,
+    rng: &mut Rng,
+) -> UnitDists {
     let tuples_per_page = uaq_storage::DEFAULT_TUPLES_PER_PAGE as f64;
 
     // 1. c_t: in-memory full scan; τ = N·c_t.
-    let ct = collect(config, |n, rng| {
-        let mut counts = UnitCounts::default();
-        counts[CostUnit::CpuTuple] = n;
-        observe(profile, &counts, rng) / n
-    }, rng);
+    let ct = collect(
+        config,
+        |n, rng| {
+            let mut counts = UnitCounts::default();
+            counts[CostUnit::CpuTuple] = n;
+            observe(profile, &counts, rng) / n
+        },
+        rng,
+    );
 
     // 2. c_o: in-memory scan plus two primitive ops per tuple;
     //    τ = N·c_t + 2N·c_o ⇒ c_o = (τ − N·μ̂_t) / 2N.
-    let co = collect(config, |n, rng| {
-        let mut counts = UnitCounts::default();
-        counts[CostUnit::CpuTuple] = n;
-        counts[CostUnit::CpuOp] = 2.0 * n;
-        (observe(profile, &counts, rng) - n * ct.mean()) / (2.0 * n)
-    }, rng);
+    let co = collect(
+        config,
+        |n, rng| {
+            let mut counts = UnitCounts::default();
+            counts[CostUnit::CpuTuple] = n;
+            counts[CostUnit::CpuOp] = 2.0 * n;
+            (observe(profile, &counts, rng) - n * ct.mean()) / (2.0 * n)
+        },
+        rng,
+    );
 
     // 3. c_s: cold sequential scan; τ = P·c_s + N·c_t.
-    let cs = collect(config, |n, rng| {
-        let pages = n / tuples_per_page;
-        let mut counts = UnitCounts::default();
-        counts[CostUnit::SeqPage] = pages;
-        counts[CostUnit::CpuTuple] = n;
-        (observe(profile, &counts, rng) - n * ct.mean()) / pages
-    }, rng);
+    let cs = collect(
+        config,
+        |n, rng| {
+            let pages = n / tuples_per_page;
+            let mut counts = UnitCounts::default();
+            counts[CostUnit::SeqPage] = pages;
+            counts[CostUnit::CpuTuple] = n;
+            (observe(profile, &counts, rng) - n * ct.mean()) / pages
+        },
+        rng,
+    );
 
     // 4. c_i: in-memory index-only lookup of M tuples; τ = M·c_i + M·c_t.
-    let ci = collect(config, |n, rng| {
-        let m = n / 10.0;
-        let mut counts = UnitCounts::default();
-        counts[CostUnit::CpuIndex] = m;
-        counts[CostUnit::CpuTuple] = m;
-        (observe(profile, &counts, rng) - m * ct.mean()) / m
-    }, rng);
+    let ci = collect(
+        config,
+        |n, rng| {
+            let m = n / 10.0;
+            let mut counts = UnitCounts::default();
+            counts[CostUnit::CpuIndex] = m;
+            counts[CostUnit::CpuTuple] = m;
+            (observe(profile, &counts, rng) - m * ct.mean()) / m
+        },
+        rng,
+    );
 
     // 5. c_r: cold index scan; τ = M·c_r + M·c_i + M·c_t.
-    let cr = collect(config, |n, rng| {
-        let m = n / 10.0;
-        let mut counts = UnitCounts::default();
-        counts[CostUnit::RandPage] = m;
-        counts[CostUnit::CpuIndex] = m;
-        counts[CostUnit::CpuTuple] = m;
-        (observe(profile, &counts, rng) - m * (ct.mean() + ci.mean())) / m
-    }, rng);
+    let cr = collect(
+        config,
+        |n, rng| {
+            let m = n / 10.0;
+            let mut counts = UnitCounts::default();
+            counts[CostUnit::RandPage] = m;
+            counts[CostUnit::CpuIndex] = m;
+            counts[CostUnit::CpuTuple] = m;
+            (observe(profile, &counts, rng) - m * (ct.mean() + ci.mean())) / m
+        },
+        rng,
+    );
 
     UnitDists([cs, cr, ct, ci, co])
 }

@@ -47,6 +47,61 @@ pub fn grid_points(x: &Normal, w: usize) -> Vec<f64> {
         .collect()
 }
 
+/// Probe points of one grid category with the oracle's counts at each
+/// point — computed once per operator and shared by every cost unit whose
+/// form reads the same variables (the oracle returns all five units per
+/// probe, so probing per-unit would repeat identical work five times).
+struct Probes {
+    /// `(xl, xr, own)` per probe point.
+    points: Vec<(f64, f64, f64)>,
+    counts: Vec<crate::units::UnitCounts>,
+}
+
+fn probe(ctx: &NodeCostContext, points: Vec<(f64, f64, f64)>) -> Probes {
+    let counts = points
+        .iter()
+        .map(|&(pl, pr, po)| ctx.counts(pl, pr, po))
+        .collect();
+    Probes { points, counts }
+}
+
+/// Fits the cost function of one (operator, cost-unit) pair against
+/// precomputed probes. Returns `None` when the operator never exercises the
+/// unit.
+fn fit_from_probes(unit: CostUnit, form: CostForm, probes: &Probes) -> FittedCost {
+    // One flat design matrix, no per-row allocation.
+    let cols = form.arity();
+    let mut data = Vec::with_capacity(probes.points.len() * cols);
+    for &(pl, pr, po) in &probes.points {
+        form.design_row_into(pl, pr, po, &mut data);
+    }
+    let y: Vec<f64> = probes.counts.iter().map(|c| c[unit]).collect();
+
+    // Column scaling: selectivities can be ~1e-9 while the intercept column
+    // is 1, which would wreck the normal equations' conditioning. NNLS is
+    // scale-covariant under positive column scaling, so solve the scaled
+    // problem and unscale the coefficients.
+    let mut scale = vec![0.0f64; cols];
+    for row in data.chunks_exact(cols) {
+        for (s, v) in scale.iter_mut().zip(row) {
+            *s = s.max(v.abs());
+        }
+    }
+    for s in &mut scale {
+        if *s == 0.0 {
+            *s = 1.0;
+        }
+    }
+    for row in data.chunks_exact_mut(cols) {
+        for (v, s) in row.iter_mut().zip(&scale) {
+            *v /= s;
+        }
+    }
+    let solution = nnls(&Matrix::from_flat(data, cols), &y);
+    let coeffs: Vec<f64> = solution.x.iter().zip(&scale).map(|(b, s)| b / s).collect();
+    FittedCost::new(form, &coeffs)
+}
+
 /// Fits the cost function of one (operator, cost-unit) pair. Returns `None`
 /// when the operator never exercises the unit.
 pub fn fit_cost_function(
@@ -58,67 +113,60 @@ pub fn fit_cost_function(
     config: &FitConfig,
 ) -> Option<FittedCost> {
     let form = ctx.form_for(unit)?;
-
-    // C1': a single oracle probe is the coefficient.
     if form == CostForm::Const {
         let value = ctx.counts(xl.mean(), xr.mean(), own.mean())[unit];
         return Some(FittedCost::constant(value));
     }
-
-    // Assemble probe points.
-    let mut rows: Vec<Vec<f64>> = Vec::new();
-    let mut y: Vec<f64> = Vec::new();
-    if form.uses_right() {
-        // Binary: (W+1) × (W+1) grid over I_l × I_r (§4.2).
-        for &pl in &grid_points(xl, config.grid_w) {
-            for &pr in &grid_points(xr, config.grid_w) {
-                rows.push(form.design_row(pl, pr, 0.0));
-                y.push(ctx.counts(pl, pr, 0.0)[unit]);
-            }
-        }
-    } else if form.uses_own() {
-        for &p in &grid_points(own, config.grid_w) {
-            rows.push(form.design_row(0.0, 0.0, p));
-            y.push(ctx.counts(0.0, 0.0, p)[unit]);
-        }
-    } else {
-        for &p in &grid_points(xl, config.grid_w) {
-            rows.push(form.design_row(p, 0.0, 0.0));
-            y.push(ctx.counts(p, 0.0, 0.0)[unit]);
-        }
-    }
-
-    // Column scaling: selectivities can be ~1e-9 while the intercept column
-    // is 1, which would wreck the normal equations' conditioning. NNLS is
-    // scale-covariant under positive column scaling, so solve the scaled
-    // problem and unscale the coefficients.
-    let cols = form.arity();
-    let mut scale = vec![0.0f64; cols];
-    for row in &rows {
-        for (s, v) in scale.iter_mut().zip(row) {
-            *s = s.max(v.abs());
-        }
-    }
-    for s in &mut scale {
-        if *s == 0.0 {
-            *s = 1.0;
-        }
-    }
-    let scaled_rows: Vec<Vec<f64>> = rows
-        .iter()
-        .map(|row| row.iter().zip(&scale).map(|(v, s)| v / s).collect())
-        .collect();
-    let solution = nnls(&Matrix::from_rows(scaled_rows), &y);
-    let coeffs: Vec<f64> = solution
-        .x
-        .iter()
-        .zip(&scale)
-        .map(|(b, s)| b / s)
-        .collect();
-    Some(FittedCost::new(form, &coeffs))
+    let points = grid_for_form(form, xl, xr, own, config);
+    Some(fit_from_probes(unit, form, &probe(ctx, points)))
 }
 
-/// Fits all five unit functions of one operator.
+/// Probe points for a form's grid category (§4.2).
+fn grid_for_form(
+    form: CostForm,
+    xl: &Normal,
+    xr: &Normal,
+    own: &Normal,
+    config: &FitConfig,
+) -> Vec<(f64, f64, f64)> {
+    if form.uses_right() {
+        // Binary: (W+1) × (W+1) grid over I_l × I_r.
+        let gl = grid_points(xl, config.grid_w);
+        let gr = grid_points(xr, config.grid_w);
+        let mut out = Vec::with_capacity(gl.len() * gr.len());
+        for &pl in &gl {
+            for &pr in &gr {
+                out.push((pl, pr, 0.0));
+            }
+        }
+        out
+    } else if form.uses_own() {
+        grid_points(own, config.grid_w)
+            .into_iter()
+            .map(|p| (0.0, 0.0, p))
+            .collect()
+    } else {
+        grid_points(xl, config.grid_w)
+            .into_iter()
+            .map(|p| (p, 0.0, 0.0))
+            .collect()
+    }
+}
+
+/// Grid category of a form, used to share probes between units.
+fn grid_category(form: CostForm) -> u8 {
+    if form.uses_right() {
+        0
+    } else if form.uses_own() {
+        1
+    } else {
+        2
+    }
+}
+
+/// Fits all five unit functions of one operator. Oracle probes are shared
+/// across units with the same grid category: one `counts()` call yields all
+/// five unit values, so each distinct grid is walked exactly once.
 pub fn fit_node(
     ctx: &NodeCostContext,
     xl: &Normal,
@@ -126,13 +174,24 @@ pub fn fit_node(
     own: &Normal,
     config: &FitConfig,
 ) -> [Option<FittedCost>; 5] {
-    CostUnit::ALL.map(|u| fit_cost_function(ctx, u, xl, xr, own, config))
+    let mut cached: [Option<Probes>; 3] = [None, None, None];
+    CostUnit::ALL.map(|unit| {
+        let form = ctx.form_for(unit)?;
+        if form == CostForm::Const {
+            let value = ctx.counts(xl.mean(), xr.mean(), own.mean())[unit];
+            return Some(FittedCost::constant(value));
+        }
+        let cat = grid_category(form) as usize;
+        let probes =
+            cached[cat].get_or_insert_with(|| probe(ctx, grid_for_form(form, xl, xr, own, config)));
+        Some(fit_from_probes(unit, form, probes))
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uaq_engine::{Pred, PlanBuilder, SortOrder};
+    use uaq_engine::{PlanBuilder, Pred, SortOrder};
     use uaq_storage::{Catalog, Column, Schema, Table, Value};
 
     fn catalog() -> Catalog {
@@ -172,8 +231,15 @@ mod tests {
         let ctx = NodeCostContext::build(&plan, j, &c);
         let xl = Normal::new(0.4, 0.003);
         let xr = Normal::new(0.5, 0.002);
-        let fit = fit_cost_function(&ctx, CostUnit::CpuTuple, &xl, &xr, &Normal::point(0.0), &FitConfig::default())
-            .expect("hash join exercises c_t");
+        let fit = fit_cost_function(
+            &ctx,
+            CostUnit::CpuTuple,
+            &xl,
+            &xr,
+            &Normal::point(0.0),
+            &FitConfig::default(),
+        )
+        .expect("hash join exercises c_t");
         // Oracle: n_t = Nl + Nr = 6400·Xl + 3200·Xr — a C5' exactly.
         for (pl, pr) in [(0.3, 0.4), (0.45, 0.55), (0.5, 0.5)] {
             let truth = ctx.counts(pl, pr, 0.0)[CostUnit::CpuTuple];
@@ -196,8 +262,15 @@ mod tests {
         let ctx = NodeCostContext::build(&plan, j, &c);
         let xl = Normal::new(0.2, 0.001);
         let xr = Normal::new(0.3, 0.001);
-        let fit = fit_cost_function(&ctx, CostUnit::CpuOp, &xl, &xr, &Normal::point(0.0), &FitConfig::default())
-            .expect("nl join exercises c_o");
+        let fit = fit_cost_function(
+            &ctx,
+            CostUnit::CpuOp,
+            &xl,
+            &xr,
+            &Normal::point(0.0),
+            &FitConfig::default(),
+        )
+        .expect("nl join exercises c_o");
         let truth = ctx.counts(0.25, 0.35, 0.0)[CostUnit::CpuOp];
         assert!((fit.eval(0.25, 0.35, 0.0) - truth).abs() / truth < 1e-6);
         assert_eq!(fit.form, CostForm::ProductBoth);
@@ -212,8 +285,15 @@ mod tests {
         let plan = b.build(srt);
         let ctx = NodeCostContext::build(&plan, srt, &c);
         let xl = Normal::new(0.5, 0.004);
-        let fit = fit_cost_function(&ctx, CostUnit::CpuOp, &xl, &Normal::point(0.0), &Normal::point(0.0), &FitConfig::default())
-            .expect("sort exercises c_o");
+        let fit = fit_cost_function(
+            &ctx,
+            CostUnit::CpuOp,
+            &xl,
+            &Normal::point(0.0),
+            &Normal::point(0.0),
+            &FitConfig::default(),
+        )
+        .expect("sort exercises c_o");
         assert_eq!(fit.form, CostForm::QuadLeft);
         // Inside the 3σ interval the quadratic approximation of N log N is
         // accurate to well under 1%.
@@ -234,8 +314,15 @@ mod tests {
         let plan = b.build(s);
         let ctx = NodeCostContext::build(&plan, s, &c);
         let own = Normal::new(1e-6, 1e-14);
-        let fit = fit_cost_function(&ctx, CostUnit::RandPage, &Normal::point(0.0), &Normal::point(0.0), &own, &FitConfig::default())
-            .expect("index scan does random I/O");
+        let fit = fit_cost_function(
+            &ctx,
+            CostUnit::RandPage,
+            &Normal::point(0.0),
+            &Normal::point(0.0),
+            &own,
+            &FitConfig::default(),
+        )
+        .expect("index scan does random I/O");
         let truth = ctx.counts(0.0, 0.0, 1e-6)[CostUnit::RandPage];
         assert!(
             (fit.eval(0.0, 0.0, 1e-6) - truth).abs() <= truth * 1e-3 + 1e-9,

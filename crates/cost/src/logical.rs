@@ -55,13 +55,21 @@ impl CostForm {
     /// Design-matrix row for a given variable assignment; column order
     /// matches the coefficient order of [`FittedCost::eval`].
     pub fn design_row(&self, xl: f64, xr: f64, own: f64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.arity());
+        self.design_row_into(xl, xr, own, &mut out);
+        out
+    }
+
+    /// Appends the design row to `out` without allocating (hot path of the
+    /// grid fits, which assemble thousands of rows per prediction).
+    pub fn design_row_into(&self, xl: f64, xr: f64, own: f64, out: &mut Vec<f64>) {
         match self {
-            CostForm::Const => vec![1.0],
-            CostForm::LinearOut => vec![own, 1.0],
-            CostForm::LinearLeft => vec![xl, 1.0],
-            CostForm::QuadLeft => vec![xl * xl, xl, 1.0],
-            CostForm::LinearBoth => vec![xl, xr, 1.0],
-            CostForm::ProductBoth => vec![xl * xr, xl, xr, 1.0],
+            CostForm::Const => out.push(1.0),
+            CostForm::LinearOut => out.extend([own, 1.0]),
+            CostForm::LinearLeft => out.extend([xl, 1.0]),
+            CostForm::QuadLeft => out.extend([xl * xl, xl, 1.0]),
+            CostForm::LinearBoth => out.extend([xl, xr, 1.0]),
+            CostForm::ProductBoth => out.extend([xl * xr, xl, xr, 1.0]),
         }
     }
 }
@@ -124,7 +132,8 @@ impl FittedCost {
                 b[0] * b[0] * xl.var() + b[1] * b[1] * xr.var(),
             ),
             CostForm::ProductBoth => {
-                let mean = b[0] * xl.mean() * xr.mean() + b[1] * xl.mean() + b[2] * xr.mean() + b[3];
+                let mean =
+                    b[0] * xl.mean() * xr.mean() + b[1] * xl.mean() + b[2] * xr.mean() + b[3];
                 (mean, lemma8_var(b[0], b[1], b[2], xl, xr))
             }
         }
@@ -229,7 +238,11 @@ mod tests {
             let mut sum = 0.0;
             let mut sumsq = 0.0;
             for _ in 0..n {
-                let v = f.eval(xl.sample(&mut rng), xr.sample(&mut rng), own.sample(&mut rng));
+                let v = f.eval(
+                    xl.sample(&mut rng),
+                    xr.sample(&mut rng),
+                    own.sample(&mut rng),
+                );
                 sum += v;
                 sumsq += v * v;
             }

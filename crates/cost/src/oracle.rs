@@ -249,7 +249,7 @@ impl NodeCostContext {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uaq_engine::{Pred, PlanBuilder};
+    use uaq_engine::{PlanBuilder, Pred};
     use uaq_storage::{Column, Schema, Table, Value};
 
     fn catalog() -> Catalog {
@@ -343,7 +343,10 @@ mod tests {
         let ctx = NodeCostContext::build(&plan, srt, &c);
         let half = ctx.counts(0.5, 0.0, 0.0)[CostUnit::CpuOp];
         let full = ctx.counts(1.0, 0.0, 0.0)[CostUnit::CpuOp];
-        assert!(full > 2.0 * half, "sort should be superlinear: {half} vs {full}");
+        assert!(
+            full > 2.0 * half,
+            "sort should be superlinear: {half} vs {full}"
+        );
     }
 
     #[test]
@@ -358,9 +361,18 @@ mod tests {
         let ctxs = NodeCostContext::build_all(&plan, &c);
         assert_eq!(ctxs[l].form_for(CostUnit::SeqPage), Some(CostForm::Const));
         assert_eq!(ctxs[l].form_for(CostUnit::RandPage), None);
-        assert_eq!(ctxs[j].form_for(CostUnit::CpuOp), Some(CostForm::ProductBoth));
-        assert_eq!(ctxs[srt].form_for(CostUnit::CpuOp), Some(CostForm::QuadLeft));
-        assert_eq!(ctxs[srt].form_for(CostUnit::CpuTuple), Some(CostForm::LinearLeft));
+        assert_eq!(
+            ctxs[j].form_for(CostUnit::CpuOp),
+            Some(CostForm::ProductBoth)
+        );
+        assert_eq!(
+            ctxs[srt].form_for(CostUnit::CpuOp),
+            Some(CostForm::QuadLeft)
+        );
+        assert_eq!(
+            ctxs[srt].form_for(CostUnit::CpuTuple),
+            Some(CostForm::LinearLeft)
+        );
     }
 
     #[test]

@@ -28,8 +28,8 @@ impl HardwareProfile {
         Self::new(
             "PC1",
             UnitDists([
-                normal_rel(0.080, 0.06),   // c_s: seq page
-                normal_rel(0.900, 0.12),   // c_r: random page
+                normal_rel(0.080, 0.06),    // c_s: seq page
+                normal_rel(0.900, 0.12),    // c_r: random page
                 normal_rel(0.000_40, 0.05), // c_t: tuple CPU
                 normal_rel(0.000_90, 0.07), // c_i: index CPU
                 normal_rel(0.000_15, 0.05), // c_o: primitive op

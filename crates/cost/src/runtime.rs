@@ -136,7 +136,7 @@ pub fn simulate_actual_time(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uaq_engine::{execute_full, Pred, PlanBuilder};
+    use uaq_engine::{execute_full, PlanBuilder, Pred};
     use uaq_storage::{Catalog, Column, Schema, Table, Value};
 
     fn setup() -> (Catalog, Plan) {
@@ -158,7 +158,11 @@ mod tests {
         let out = execute_full(&plan, &c);
         let ctxs = NodeCostContext::build_all(&plan, &c);
         let sels = true_selectivities(&plan, &ctxs, &out.traces);
-        assert!((sels[0].2 - 0.5).abs() < 1e-9, "own selectivity {:?}", sels[0]);
+        assert!(
+            (sels[0].2 - 0.5).abs() < 1e-9,
+            "own selectivity {:?}",
+            sels[0]
+        );
     }
 
     #[test]

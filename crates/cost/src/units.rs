@@ -81,11 +81,7 @@ impl UnitValues {
     /// Total time of a count vector under these unit values:
     /// `Σ_c n_c · c` (Eq. 1 of the paper).
     pub fn time_for(&self, counts: &UnitCounts) -> f64 {
-        self.0
-            .iter()
-            .zip(counts.0.iter())
-            .map(|(c, n)| c * n)
-            .sum()
+        self.0.iter().zip(counts.0.iter()).map(|(c, n)| c * n).sum()
     }
 }
 

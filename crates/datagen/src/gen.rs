@@ -226,11 +226,7 @@ fn gen_partsupp(card: &Cardinalities, skew: &Skewer, rng: &mut Rng) -> Table {
     Table::new("partsupp", schema::partsupp(), rows)
 }
 
-fn gen_orders_and_lineitem(
-    card: &Cardinalities,
-    skew: &Skewer,
-    rng: &mut Rng,
-) -> (Table, Table) {
+fn gen_orders_and_lineitem(card: &Cardinalities, skew: &Skewer, rng: &mut Rng) -> (Table, Table) {
     let cust_zipf = Zipf::new(card.customer, skew.z);
     let cust_perm = identity_or_permuted(card.customer, rng);
     let part_zipf = Zipf::new(card.part, skew.z);
@@ -293,7 +289,11 @@ fn gen_orders_and_lineitem(
                 } else {
                     "N"
                 }),
-                Value::str(if ship < DATE_DOMAIN_DAYS / 2 { "F" } else { "O" }),
+                Value::str(if ship < DATE_DOMAIN_DAYS / 2 {
+                    "F"
+                } else {
+                    "O"
+                }),
                 Value::Int(ship),
                 Value::Int(commit),
                 Value::Int(receipt),
@@ -340,7 +340,10 @@ mod tests {
         let names: Vec<&str> = cat.table_names().collect();
         assert_eq!(
             names,
-            vec!["customer", "lineitem", "nation", "orders", "part", "partsupp", "region", "supplier"]
+            vec![
+                "customer", "lineitem", "nation", "orders", "part", "partsupp", "region",
+                "supplier"
+            ]
         );
         assert_eq!(cat.table("region").len(), 5);
         assert_eq!(cat.table("nation").len(), 25);

@@ -101,22 +101,57 @@ pub fn lineitem() -> Schema {
 /// Enumerated string domains used by the generator and by query templates.
 pub mod domains {
     pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
-    pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
-    pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+    pub const SEGMENTS: [&str; 5] = [
+        "AUTOMOBILE",
+        "BUILDING",
+        "FURNITURE",
+        "HOUSEHOLD",
+        "MACHINERY",
+    ];
+    pub const PRIORITIES: [&str; 5] =
+        ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
     pub const SHIP_MODES: [&str; 7] = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
     pub const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
     pub const LINE_STATUS: [&str; 2] = ["F", "O"];
     pub const ORDER_STATUS: [&str; 3] = ["F", "O", "P"];
     pub const CONTAINERS: [&str; 8] = [
-        "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP BAG",
+        "SM CASE",
+        "SM BOX",
+        "MED BAG",
+        "MED BOX",
+        "LG CASE",
+        "LG BOX",
+        "JUMBO PACK",
+        "WRAP BAG",
     ];
     pub const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
     pub const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
     pub const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
     pub const NATIONS: [&str; 25] = [
-        "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-        "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-        "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+        "ALGERIA",
+        "ARGENTINA",
+        "BRAZIL",
+        "CANADA",
+        "EGYPT",
+        "ETHIOPIA",
+        "FRANCE",
+        "GERMANY",
+        "INDIA",
+        "INDONESIA",
+        "IRAN",
+        "IRAQ",
+        "JAPAN",
+        "JORDAN",
+        "KENYA",
+        "MOROCCO",
+        "MOZAMBIQUE",
+        "PERU",
+        "CHINA",
+        "ROMANIA",
+        "SAUDI ARABIA",
+        "VIETNAM",
+        "RUSSIA",
+        "UNITED KINGDOM",
         "UNITED STATES",
     ];
     /// Region of each nation (aligned with `NATIONS`).

@@ -56,37 +56,34 @@ fn cmp_selectivity(col: &str, op: CmpOp, value: &Value, stats: &TableStats) -> f
     match op {
         CmpOp::Eq => eq_selectivity_for(col, stats),
         CmpOp::Ne => 1.0 - eq_selectivity_for(col, stats),
-        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => match (value.numeric(), stats.histogram(col)) {
-            (Some(x), Some(hist)) => {
-                let below = hist.fraction_below(x);
-                // Closed vs open bounds differ by the equality mass.
-                let eq = if hist.distinct() > 0 {
-                    1.0 / hist.distinct() as f64
-                } else {
-                    0.0
-                };
-                match op {
-                    CmpOp::Lt => below,
-                    CmpOp::Le => (below + eq).min(1.0),
-                    CmpOp::Gt => (1.0 - below - eq).max(0.0),
-                    CmpOp::Ge => 1.0 - below,
-                    _ => unreachable!(),
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            match (value.numeric(), stats.histogram(col)) {
+                (Some(x), Some(hist)) => {
+                    let below = hist.fraction_below(x);
+                    // Closed vs open bounds differ by the equality mass.
+                    let eq = if hist.distinct() > 0 {
+                        1.0 / hist.distinct() as f64
+                    } else {
+                        0.0
+                    };
+                    match op {
+                        CmpOp::Lt => below,
+                        CmpOp::Le => (below + eq).min(1.0),
+                        CmpOp::Gt => (1.0 - below - eq).max(0.0),
+                        CmpOp::Ge => 1.0 - below,
+                        _ => unreachable!(),
+                    }
                 }
+                _ => DEFAULT_SEL,
             }
-            _ => DEFAULT_SEL,
-        },
+        }
     }
 }
 
 /// Finds the distinct count of a column by searching the stats of the leaf
 /// relations under a node (TPC-H column names are globally unique, so the
 /// first hit wins).
-fn distinct_under<'a>(
-    plan: &Plan,
-    id: NodeId,
-    catalog: &'a Catalog,
-    column: &str,
-) -> Option<usize> {
+fn distinct_under(plan: &Plan, id: NodeId, catalog: &Catalog, column: &str) -> Option<usize> {
     for leaf in &plan.meta(id).leaf_tables {
         let stats = catalog.stats(&leaf.relation);
         let d = stats.distinct(column);
@@ -172,7 +169,8 @@ pub fn estimate_cardinalities(plan: &Plan, catalog: &Catalog) -> Vec<f64> {
     let mut est = vec![0.0; plan.len()];
     for id in plan.postorder() {
         est[id] = match plan.op(id) {
-            Op::SeqScan { table, predicate } | Op::IndexScan {
+            Op::SeqScan { table, predicate }
+            | Op::IndexScan {
                 table, predicate, ..
             } => {
                 let t = catalog.table(table);

@@ -1,4 +1,4 @@
-//! Plan execution.
+//! Plan execution over **columnar batches**.
 //!
 //! One executor serves two purposes:
 //!
@@ -11,15 +11,42 @@
 //!   step index of each contributing sample tuple (one per leaf relation of
 //!   the subtree). This is exactly the annotated execution of §3.2.2 from
 //!   which `ρ_n` and `S_n²` are computed in one pass.
+//!
+//! # Columnar data plane
+//!
+//! Intermediate results flow between operators as a [`Batch`]: one typed
+//! vector per column ([`ColumnData`], mirroring the 3-type `Value` model)
+//! plus a *flat* provenance matrix ([`ProvData`]) instead of the former
+//! per-row `Vec<Vec<u32>>`. The operator kernels work on row *indices*:
+//!
+//! * **selection** produces an index vector via vectorized typed-column
+//!   loops ([`crate::expr::BoundPred::filter_columns`]) and gathers;
+//! * **hash join** builds its hash table on borrowed keys (primitive `i64`
+//!   fast path, or a [`JoinKey`]-style borrowed view mirroring `Value`
+//!   equality) with row-index payloads — no row is cloned until the final
+//!   materialization;
+//! * **hash aggregation** groups on interned key ids (one hash probe per
+//!   input row resolving to a dense group index);
+//! * **provenance** is carried end-to-end as the flat `arity × rows` matrix
+//!   the estimator already consumes, so per-node traces are a plain clone.
+//!
+//! Rows are materialized exactly once, at the plan root, so `ExecOutcome`
+//! is unchanged: same rows, same traces, same provenance as the row-based
+//! reference executor ([`crate::exec_row`]), which is kept as the oracle
+//! for the golden equivalence tests.
 
+use crate::expr::cell_pair_eq;
 use crate::plan::{AggFunc, NodeId, Op, Plan, SortOrder};
+use std::cmp::Ordering;
 use std::collections::HashMap;
-use uaq_storage::{Catalog, Row, SampleCatalog, Schema, Value};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use uaq_storage::{Catalog, ColumnData, Row, SampleCatalog, Schema, Value};
 
 /// Flattened provenance matrix of one operator's sample-mode output:
 /// `arity` step indices per output row, aligned with the node's
 /// `leaf_tables` order.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ProvData {
     pub arity: usize,
     pub data: Vec<u32>,
@@ -27,15 +54,36 @@ pub struct ProvData {
 
 impl ProvData {
     pub fn rows(&self) -> usize {
-        if self.arity == 0 {
-            0
-        } else {
-            self.data.len() / self.arity
-        }
+        self.data.len().checked_div(self.arity).unwrap_or(0)
     }
 
     pub fn row(&self, i: usize) -> &[u32] {
         &self.data[i * self.arity..(i + 1) * self.arity]
+    }
+
+    /// New matrix containing rows `idx[0], idx[1], …` of `self`.
+    pub fn gather_rows(&self, idx: &[u32]) -> ProvData {
+        let mut data = Vec::with_capacity(idx.len() * self.arity);
+        for &i in idx {
+            data.extend_from_slice(self.row(i as usize));
+        }
+        ProvData {
+            arity: self.arity,
+            data,
+        }
+    }
+
+    /// Row-wise concatenation: output row `k` is `left.row(li[k]) ++
+    /// right.row(ri[k])` (the provenance of a join's output).
+    pub fn join_rows(left: &ProvData, li: &[u32], right: &ProvData, ri: &[u32]) -> ProvData {
+        debug_assert_eq!(li.len(), ri.len());
+        let arity = left.arity + right.arity;
+        let mut data = Vec::with_capacity(li.len() * arity);
+        for (&l, &r) in li.iter().zip(ri) {
+            data.extend_from_slice(left.row(l as usize));
+            data.extend_from_slice(right.row(r as usize));
+        }
+        ProvData { arity, data }
     }
 }
 
@@ -63,13 +111,37 @@ pub struct ExecOutcome {
     pub traces: Vec<NodeTrace>,
 }
 
-/// Intermediate batch flowing between operators.
-struct Batch {
+/// A column of an intermediate batch: borrowed straight from a base/sample
+/// table when an operator passes it through untouched (e.g. an unfiltered
+/// scan), owned once any gather materializes new data.
+enum Col<'a> {
+    Borrowed(&'a ColumnData),
+    Owned(ColumnData),
+}
+
+impl AsRef<ColumnData> for Col<'_> {
+    fn as_ref(&self) -> &ColumnData {
+        match self {
+            Col::Borrowed(c) => c,
+            Col::Owned(c) => c,
+        }
+    }
+}
+
+/// Intermediate columnar batch flowing between operators.
+struct Batch<'a> {
     schema: Schema,
-    rows: Vec<Row>,
-    /// One provenance vector per row (sample mode only; dropped above
-    /// aggregates because grouped rows have no single lineage).
-    prov: Option<Vec<Vec<u32>>>,
+    cols: Vec<Col<'a>>,
+    len: usize,
+    /// Flat provenance matrix (sample mode only; dropped above aggregates
+    /// because grouped rows have no single lineage).
+    prov: Option<ProvData>,
+}
+
+impl Batch<'_> {
+    fn col(&self, i: usize) -> &ColumnData {
+        self.cols[i].as_ref()
+    }
 }
 
 enum Source<'a> {
@@ -92,8 +164,8 @@ pub fn execute_full(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
     };
     let batch = ex.exec(plan.root());
     ExecOutcome {
+        rows: materialize_rows(&batch),
         schema: batch.schema,
-        rows: batch.rows,
         traces: ex.traces,
     }
 }
@@ -107,31 +179,115 @@ pub fn execute_on_samples(plan: &Plan, samples: &SampleCatalog) -> ExecOutcome {
     };
     let batch = ex.exec(plan.root());
     ExecOutcome {
+        rows: materialize_rows(&batch),
         schema: batch.schema,
-        rows: batch.rows,
         traces: ex.traces,
     }
 }
 
+fn materialize_rows(batch: &Batch) -> Vec<Row> {
+    let cols: Vec<&ColumnData> = batch.cols.iter().map(Col::as_ref).collect();
+    (0..batch.len)
+        .map(|i| cols.iter().map(|c| c.value(i)).collect())
+        .collect()
+}
+
+/// Borrowed join-key view of one cell, mirroring `Value`'s equality and
+/// hashing exactly (Int/Int integer equality, numeric mixes compared on
+/// f64 bits, strings by content) without cloning anything.
+#[derive(Debug, Clone, Copy)]
+enum JoinKey<'a> {
+    Int(i64),
+    /// An f64 key, stored as bits (`Value::eq` on floats is bit equality).
+    Bits(u64),
+    Str(&'a str),
+}
+
+impl PartialEq for JoinKey<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (JoinKey::Int(a), JoinKey::Int(b)) => a == b,
+            (JoinKey::Bits(a), JoinKey::Bits(b)) => a == b,
+            (JoinKey::Int(a), JoinKey::Bits(b)) | (JoinKey::Bits(b), JoinKey::Int(a)) => {
+                (*a as f64).to_bits() == *b
+            }
+            (JoinKey::Str(a), JoinKey::Str(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for JoinKey<'_> {}
+
+impl Hash for JoinKey<'_> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            // Ints and whole floats that compare equal must hash equally.
+            JoinKey::Int(v) => (*v as f64).to_bits().hash(state),
+            JoinKey::Bits(b) => b.hash(state),
+            JoinKey::Str(s) => s.hash(state),
+        }
+    }
+}
+
+fn join_key_at(col: &ColumnData, i: usize) -> JoinKey<'_> {
+    match col {
+        ColumnData::Int(v) => JoinKey::Int(v[i]),
+        ColumnData::Float(v) => JoinKey::Bits(v[i].to_bits()),
+        ColumnData::Str(v) => JoinKey::Str(&v[i]),
+    }
+}
+
+/// Owned group-by key part. Group keys come from a fixed set of columns, so
+/// every row's part for a given column has the same variant and the derived
+/// `Eq`/`Hash` partition rows exactly like `Vec<Value>` keys did (float
+/// equality is bit equality in both).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyPart {
+    Int(i64),
+    Bits(u64),
+    Str(Arc<str>),
+}
+
+impl KeyPart {
+    fn at(col: &ColumnData, i: usize) -> KeyPart {
+        match col {
+            ColumnData::Int(v) => KeyPart::Int(v[i]),
+            ColumnData::Float(v) => KeyPart::Bits(v[i].to_bits()),
+            ColumnData::Str(v) => KeyPart::Str(v[i].clone()),
+        }
+    }
+
+    fn into_value(self) -> Value {
+        match self {
+            KeyPart::Int(v) => Value::Int(v),
+            KeyPart::Bits(b) => Value::Float(f64::from_bits(b)),
+            KeyPart::Str(s) => Value::Str(s),
+        }
+    }
+}
+
 impl<'a> Executor<'a> {
-    fn exec(&mut self, id: NodeId) -> Batch {
-        let batch = match self.plan.op(id).clone() {
-            Op::SeqScan { table, predicate } => self.scan(id, &table, &predicate),
+    fn exec(&mut self, id: NodeId) -> Batch<'a> {
+        // Borrow the operator from the plan reference (not through `self`)
+        // so recursion needs no per-node `Op` clone.
+        let plan = self.plan;
+        let batch = match plan.op(id) {
+            Op::SeqScan { table, predicate } => self.scan(id, table, predicate),
             Op::IndexScan {
                 table, predicate, ..
-            } => self.scan(id, &table, &predicate),
+            } => self.scan(id, table, predicate),
             Op::Filter { input, predicate } => {
-                let child = self.exec(input);
-                self.filter(id, child, &predicate)
+                let child = self.exec(*input);
+                self.filter(id, child, predicate)
             }
             Op::Sort { input, keys } => {
-                let child = self.exec(input);
-                self.sort(id, child, &keys)
+                let child = self.exec(*input);
+                self.sort(id, child, keys)
             }
             Op::Materialize { input } => {
-                let child = self.exec(input);
-                self.traces[id].left_input_rows = child.rows.len();
-                self.traces[id].output_rows = child.rows.len();
+                let child = self.exec(*input);
+                self.traces[id].left_input_rows = child.len;
                 child
             }
             Op::HashJoin {
@@ -140,9 +296,9 @@ impl<'a> Executor<'a> {
                 left_key,
                 right_key,
             } => {
-                let l = self.exec(left);
-                let r = self.exec(right);
-                self.hash_join(id, l, r, &left_key, &right_key)
+                let l = self.exec(*left);
+                let r = self.exec(*right);
+                self.hash_join(id, l, r, left_key, right_key)
             }
             Op::NestedLoopJoin {
                 left,
@@ -150,117 +306,116 @@ impl<'a> Executor<'a> {
                 left_key,
                 right_key,
             } => {
-                let l = self.exec(left);
-                let r = self.exec(right);
-                self.nl_join(id, l, r, &left_key, &right_key)
+                let l = self.exec(*left);
+                let r = self.exec(*right);
+                self.nl_join(id, l, r, left_key, right_key)
             }
             Op::HashAggregate {
                 input,
                 group_by,
                 aggs,
             } => {
-                let child = self.exec(input);
-                self.aggregate(id, child, &group_by, &aggs)
+                let child = self.exec(*input);
+                self.aggregate(id, child, group_by, aggs)
             }
         };
-        self.traces[id].output_rows = batch.rows.len();
+        self.traces[id].output_rows = batch.len;
         if let Some(prov) = &batch.prov {
-            let arity = self.plan.meta(id).leaf_tables.len();
-            let mut data = Vec::with_capacity(prov.len() * arity);
-            for p in prov {
-                debug_assert_eq!(p.len(), arity);
-                data.extend_from_slice(p);
-            }
-            self.traces[id].prov = Some(ProvData { arity, data });
+            debug_assert_eq!(prov.arity, self.plan.meta(id).leaf_tables.len());
+            debug_assert_eq!(prov.rows(), batch.len);
+            self.traces[id].prov = Some(prov.clone());
         }
         batch
     }
 
-    fn scan(&mut self, id: NodeId, table: &str, predicate: &crate::expr::Pred) -> Batch {
-        let (schema, rows, with_prov): (Schema, &[Row], bool) = match &self.source {
+    fn scan(&mut self, id: NodeId, table: &str, predicate: &crate::expr::Pred) -> Batch<'a> {
+        let (schema, cols, with_prov): (Schema, &'a [ColumnData], bool) = match &self.source {
             Source::Full(catalog) => {
                 let t = catalog.table(table);
-                (t.schema().clone(), t.rows(), false)
+                (t.schema().clone(), t.columns(), false)
             }
             Source::Samples(samples) => {
                 let occurrence = self.plan.meta(id).leaf_tables[0].occurrence;
                 let s = samples.sample(table, occurrence);
-                (s.table().schema().clone(), s.table().rows(), true)
+                (s.table().schema().clone(), s.table().columns(), true)
             }
         };
-        self.traces[id].left_input_rows = rows.len();
+        let input_len = cols.first().map_or(0, ColumnData::len);
+        self.traces[id].left_input_rows = input_len;
         let bound = predicate.bind(&schema);
-        let mut out_rows = Vec::new();
-        let mut out_prov = if with_prov { Some(Vec::new()) } else { None };
-        for (j, row) in rows.iter().enumerate() {
-            if bound.eval(row) {
-                out_rows.push(row.clone());
-                if let Some(p) = &mut out_prov {
-                    p.push(vec![j as u32]);
-                }
-            }
-        }
+        let sel = bound.filter_columns(cols, input_len);
+        let out_cols: Vec<Col<'a>> = if sel.len() == input_len {
+            // Nothing filtered: borrow the table's columns outright.
+            cols.iter().map(Col::Borrowed).collect()
+        } else {
+            cols.iter().map(|c| Col::Owned(c.gather(&sel))).collect()
+        };
+        let prov = with_prov.then(|| ProvData {
+            arity: 1,
+            data: sel.clone(),
+        });
         Batch {
             schema,
-            rows: out_rows,
-            prov: out_prov,
+            len: sel.len(),
+            cols: out_cols,
+            prov,
         }
     }
 
-    fn filter(&mut self, id: NodeId, child: Batch, predicate: &crate::expr::Pred) -> Batch {
-        self.traces[id].left_input_rows = child.rows.len();
+    fn filter(&mut self, id: NodeId, child: Batch<'a>, predicate: &crate::expr::Pred) -> Batch<'a> {
+        self.traces[id].left_input_rows = child.len;
         let bound = predicate.bind(&child.schema);
-        match child.prov {
-            Some(prov) => {
-                let mut rows = Vec::new();
-                let mut out_prov = Vec::new();
-                for (row, p) in child.rows.into_iter().zip(prov) {
-                    if bound.eval(&row) {
-                        rows.push(row);
-                        out_prov.push(p);
-                    }
-                }
-                Batch {
-                    schema: child.schema,
-                    rows,
-                    prov: Some(out_prov),
-                }
-            }
-            None => {
-                let rows = child.rows.into_iter().filter(|r| bound.eval(r)).collect();
-                Batch {
-                    schema: child.schema,
-                    rows,
-                    prov: None,
-                }
-            }
+        let sel = bound.filter_columns(&child.cols, child.len);
+        if sel.len() == child.len {
+            return child;
+        }
+        let cols = child
+            .cols
+            .iter()
+            .map(|c| Col::Owned(c.as_ref().gather(&sel)))
+            .collect();
+        let prov = child.prov.as_ref().map(|p| p.gather_rows(&sel));
+        Batch {
+            schema: child.schema,
+            cols,
+            len: sel.len(),
+            prov,
         }
     }
 
-    fn sort(&mut self, id: NodeId, child: Batch, keys: &[(String, SortOrder)]) -> Batch {
-        self.traces[id].left_input_rows = child.rows.len();
-        let key_idx: Vec<(usize, SortOrder)> = keys
+    fn sort(&mut self, id: NodeId, child: Batch<'a>, keys: &[(String, SortOrder)]) -> Batch<'a> {
+        self.traces[id].left_input_rows = child.len;
+        let key_cols: Vec<(&ColumnData, SortOrder)> = keys
             .iter()
-            .map(|(k, o)| (child.schema.expect_index(k), *o))
+            .map(|(k, o)| (child.col(child.schema.expect_index(k)), *o))
             .collect();
-        let mut order: Vec<usize> = (0..child.rows.len()).collect();
+        let mut order: Vec<u32> = (0..child.len as u32).collect();
+        // Stable sort, same comparator semantics as `Value::cmp` per column
+        // (columns are monotype, so only the same-type arms apply).
         order.sort_by(|&a, &b| {
-            for &(idx, dir) in &key_idx {
-                let cmp = child.rows[a][idx].cmp(&child.rows[b][idx]);
-                let cmp = if dir == SortOrder::Desc { cmp.reverse() } else { cmp };
-                if cmp != std::cmp::Ordering::Equal {
+            for &(col, dir) in &key_cols {
+                let cmp = cell_cmp_same(col, a as usize, b as usize);
+                let cmp = if dir == SortOrder::Desc {
+                    cmp.reverse()
+                } else {
+                    cmp
+                };
+                if cmp != Ordering::Equal {
                     return cmp;
                 }
             }
-            std::cmp::Ordering::Equal
+            Ordering::Equal
         });
-        let rows: Vec<Row> = order.iter().map(|&i| child.rows[i].clone()).collect();
-        let prov = child
-            .prov
-            .map(|p| order.iter().map(|&i| p[i].clone()).collect());
+        let cols = child
+            .cols
+            .iter()
+            .map(|c| Col::Owned(c.as_ref().gather(&order)))
+            .collect();
+        let prov = child.prov.as_ref().map(|p| p.gather_rows(&order));
         Batch {
             schema: child.schema,
-            rows,
+            cols,
+            len: child.len,
             prov,
         }
     }
@@ -268,92 +423,124 @@ impl<'a> Executor<'a> {
     fn hash_join(
         &mut self,
         id: NodeId,
-        left: Batch,
-        right: Batch,
+        left: Batch<'a>,
+        right: Batch<'a>,
         left_key: &str,
         right_key: &str,
-    ) -> Batch {
-        self.traces[id].left_input_rows = left.rows.len();
-        self.traces[id].right_input_rows = right.rows.len();
+    ) -> Batch<'a> {
+        self.traces[id].left_input_rows = left.len;
+        self.traces[id].right_input_rows = right.len;
         let lk = left.schema.expect_index(left_key);
         let rk = right.schema.expect_index(right_key);
-        let schema = left.schema.concat(&right.schema);
-        let track = left.prov.is_some() && right.prov.is_some();
 
-        // Build on the right input (the "inner"), probe with the left.
-        let mut table: HashMap<Value, Vec<usize>> = HashMap::with_capacity(right.rows.len());
-        for (i, row) in right.rows.iter().enumerate() {
-            table.entry(row[rk].clone()).or_default().push(i);
-        }
-
-        let mut rows = Vec::new();
-        let mut prov = if track { Some(Vec::new()) } else { None };
-        for (li, lrow) in left.rows.iter().enumerate() {
-            if let Some(matches) = table.get(&lrow[lk]) {
-                for &ri in matches {
-                    let mut row = lrow.clone();
-                    row.extend_from_slice(&right.rows[ri]);
-                    rows.push(row);
-                    if let Some(p) = &mut prov {
-                        let mut pr = left.prov.as_ref().expect("tracked")[li].clone();
-                        pr.extend_from_slice(&right.prov.as_ref().expect("tracked")[ri]);
-                        p.push(pr);
+        // Build on the right input (the "inner"), probe with the left. The
+        // build is a CSR-style grouping — key -> dense id, then row indices
+        // grouped contiguously by id — so there is exactly one allocation
+        // for the whole table instead of a `Vec` per distinct key. Keys are
+        // borrowed from the key columns (i64 fast path, or a `JoinKey` view
+        // mirroring `Value` equality); payloads are row indices.
+        let mut li_out: Vec<u32> = Vec::new();
+        let mut ri_out: Vec<u32> = Vec::new();
+        match (left.col(lk), right.col(rk)) {
+            // Fast path: integer keys on both sides hash and compare as i64.
+            (ColumnData::Int(lv), ColumnData::Int(rv)) => {
+                let (ids, csr) = build_csr(rv.len(), |i| rv[i]);
+                for (li, k) in lv.iter().enumerate() {
+                    if let Some(&id) = ids.get(k) {
+                        let matches = csr.group(id);
+                        li_out.extend(std::iter::repeat_n(li as u32, matches.len()));
+                        ri_out.extend_from_slice(matches);
+                    }
+                }
+            }
+            (lcol, rcol) => {
+                let (ids, csr) = build_csr(right.len, |i| join_key_at(rcol, i));
+                for li in 0..left.len {
+                    if let Some(&id) = ids.get(&join_key_at(lcol, li)) {
+                        let matches = csr.group(id);
+                        li_out.extend(std::iter::repeat_n(li as u32, matches.len()));
+                        ri_out.extend_from_slice(matches);
                     }
                 }
             }
         }
-        Batch { schema, rows, prov }
+        self.join_output(left, right, li_out, ri_out)
     }
 
     fn nl_join(
         &mut self,
         id: NodeId,
-        left: Batch,
-        right: Batch,
+        left: Batch<'a>,
+        right: Batch<'a>,
         left_key: &str,
         right_key: &str,
-    ) -> Batch {
-        self.traces[id].left_input_rows = left.rows.len();
-        self.traces[id].right_input_rows = right.rows.len();
+    ) -> Batch<'a> {
+        self.traces[id].left_input_rows = left.len;
+        self.traces[id].right_input_rows = right.len;
         let lk = left.schema.expect_index(left_key);
         let rk = right.schema.expect_index(right_key);
-        let schema = left.schema.concat(&right.schema);
-        let track = left.prov.is_some() && right.prov.is_some();
+        let (lcol, rcol) = (left.col(lk), right.col(rk));
 
-        let mut rows = Vec::new();
-        let mut prov = if track { Some(Vec::new()) } else { None };
-        for (li, lrow) in left.rows.iter().enumerate() {
-            for (ri, rrow) in right.rows.iter().enumerate() {
-                if lrow[lk] == rrow[rk] {
-                    let mut row = lrow.clone();
-                    row.extend_from_slice(rrow);
-                    rows.push(row);
-                    if let Some(p) = &mut prov {
-                        let mut pr = left.prov.as_ref().expect("tracked")[li].clone();
-                        pr.extend_from_slice(&right.prov.as_ref().expect("tracked")[ri]);
-                        p.push(pr);
-                    }
+        let mut li_out: Vec<u32> = Vec::new();
+        let mut ri_out: Vec<u32> = Vec::new();
+        for li in 0..left.len {
+            for ri in 0..right.len {
+                if cell_pair_eq(lcol, li, rcol, ri) {
+                    li_out.push(li as u32);
+                    ri_out.push(ri as u32);
                 }
             }
         }
-        Batch { schema, rows, prov }
+        self.join_output(left, right, li_out, ri_out)
+    }
+
+    /// Materializes a join result from matched (left, right) index pairs.
+    fn join_output(
+        &self,
+        left: Batch<'a>,
+        right: Batch<'a>,
+        li: Vec<u32>,
+        ri: Vec<u32>,
+    ) -> Batch<'a> {
+        let schema = left.schema.concat(&right.schema);
+        let mut cols = Vec::with_capacity(left.cols.len() + right.cols.len());
+        cols.extend(left.cols.iter().map(|c| Col::Owned(c.as_ref().gather(&li))));
+        cols.extend(
+            right
+                .cols
+                .iter()
+                .map(|c| Col::Owned(c.as_ref().gather(&ri))),
+        );
+        let prov = match (&left.prov, &right.prov) {
+            (Some(lp), Some(rp)) => Some(ProvData::join_rows(lp, &li, rp, &ri)),
+            _ => None,
+        };
+        Batch {
+            schema,
+            cols,
+            len: li.len(),
+            prov,
+        }
     }
 
     fn aggregate(
         &mut self,
         id: NodeId,
-        child: Batch,
+        child: Batch<'a>,
         group_by: &[String],
         aggs: &[(String, AggFunc)],
-    ) -> Batch {
-        self.traces[id].left_input_rows = child.rows.len();
-        let group_idx: Vec<usize> = group_by
+    ) -> Batch<'a> {
+        self.traces[id].left_input_rows = child.len;
+        let group_cols: Vec<&ColumnData> = group_by
             .iter()
-            .map(|g| child.schema.expect_index(g))
+            .map(|g| child.col(child.schema.expect_index(g)))
             .collect();
-        let agg_idx: Vec<Option<usize>> = aggs
+        let agg_cols: Vec<Option<&ColumnData>> = aggs
             .iter()
-            .map(|(_, f)| f.input_column().map(|c| child.schema.expect_index(c)))
+            .map(|(_, f)| {
+                f.input_column()
+                    .map(|c| child.col(child.schema.expect_index(c)))
+            })
             .collect();
 
         #[derive(Clone)]
@@ -370,29 +557,42 @@ impl<'a> Executor<'a> {
             maxs: vec![None; aggs.len()],
         };
 
-        let mut groups: HashMap<Vec<Value>, State> = HashMap::new();
-        // Preserve first-seen group order for deterministic output.
-        let mut order: Vec<Vec<Value>> = Vec::new();
-        for row in &child.rows {
-            let key: Vec<Value> = group_idx.iter().map(|&i| row[i].clone()).collect();
-            let state = groups.entry(key.clone()).or_insert_with(|| {
-                order.push(key.clone());
-                fresh.clone()
+        // Intern group keys to dense ids; states live in a vector indexed by
+        // id, which also preserves first-seen group order.
+        let mut key_ids: HashMap<Vec<KeyPart>, u32> = HashMap::new();
+        let mut keys: Vec<Vec<KeyPart>> = Vec::new();
+        let mut states: Vec<State> = Vec::new();
+        for row in 0..child.len {
+            let key: Vec<KeyPart> = group_cols.iter().map(|c| KeyPart::at(c, row)).collect();
+            let gid = *key_ids.entry(key).or_insert_with_key(|k| {
+                keys.push(k.clone());
+                states.push(fresh.clone());
+                (states.len() - 1) as u32
             });
+            let state = &mut states[gid as usize];
             state.count += 1;
             for (k, (_, func)) in aggs.iter().enumerate() {
-                if let Some(idx) = agg_idx[k] {
-                    let v = &row[idx];
+                if let Some(col) = agg_cols[k] {
                     match func {
-                        AggFunc::Sum(_) | AggFunc::Avg(_) => state.sums[k] += v.as_float(),
+                        AggFunc::Sum(_) | AggFunc::Avg(_) => {
+                            state.sums[k] += match col {
+                                ColumnData::Int(v) => v[row] as f64,
+                                ColumnData::Float(v) => v[row],
+                                ColumnData::Str(_) => {
+                                    panic!("expected numeric, got Str column")
+                                }
+                            }
+                        }
                         AggFunc::Min(_) => {
-                            if state.mins[k].as_ref().is_none_or(|m| v < m) {
-                                state.mins[k] = Some(v.clone());
+                            let v = col.value(row);
+                            if state.mins[k].as_ref().is_none_or(|m| v < *m) {
+                                state.mins[k] = Some(v);
                             }
                         }
                         AggFunc::Max(_) => {
-                            if state.maxs[k].as_ref().is_none_or(|m| v > m) {
-                                state.maxs[k] = Some(v.clone());
+                            let v = col.value(row);
+                            if state.maxs[k].as_ref().is_none_or(|m| v > *m) {
+                                state.maxs[k] = Some(v);
                             }
                         }
                         AggFunc::CountStar => unreachable!("CountStar has no input column"),
@@ -402,15 +602,14 @@ impl<'a> Executor<'a> {
         }
 
         // Scalar aggregate over empty input still yields one row.
-        if group_by.is_empty() && order.is_empty() {
-            order.push(vec![]);
-            groups.insert(vec![], fresh);
+        if group_by.is_empty() && states.is_empty() {
+            keys.push(vec![]);
+            states.push(fresh);
         }
 
         let mut out_schema_cols = Vec::new();
-        for (g, &gi) in group_by.iter().zip(&group_idx) {
-            let col = child.schema.column(gi);
-            out_schema_cols.push(uaq_storage::Column::new(g.clone(), col.ty));
+        for (g, col) in group_by.iter().zip(&group_cols) {
+            out_schema_cols.push(uaq_storage::Column::new(g.clone(), col.ty()));
         }
         for (name, func) in aggs {
             let ty = match func {
@@ -424,34 +623,113 @@ impl<'a> Executor<'a> {
         }
         let schema = Schema::new(out_schema_cols);
 
-        let rows: Vec<Row> = order
-            .into_iter()
-            .map(|key| {
-                let state = &groups[&key];
-                let mut row = key;
-                for (k, (_, func)) in aggs.iter().enumerate() {
-                    row.push(match func {
-                        AggFunc::CountStar => Value::Int(state.count as i64),
-                        AggFunc::Sum(_) => Value::Float(state.sums[k]),
-                        AggFunc::Avg(_) => Value::Float(if state.count == 0 {
-                            0.0
-                        } else {
-                            state.sums[k] / state.count as f64
-                        }),
-                        AggFunc::Min(_) => state.mins[k].clone().unwrap_or(Value::Int(0)),
-                        AggFunc::Max(_) => state.maxs[k].clone().unwrap_or(Value::Int(0)),
-                    });
-                }
-                row
-            })
+        let n_groups = states.len();
+        let mut cols: Vec<ColumnData> = schema
+            .columns()
+            .iter()
+            .map(|c| ColumnData::with_capacity(c.ty, n_groups))
             .collect();
+        for (key, state) in keys.into_iter().zip(&states) {
+            for (j, part) in key.into_iter().enumerate() {
+                cols[j].push(&part.into_value());
+            }
+            for (k, (_, func)) in aggs.iter().enumerate() {
+                let out_ty = schema.column(group_by.len() + k).ty;
+                let v = match func {
+                    AggFunc::CountStar => Value::Int(state.count as i64),
+                    AggFunc::Sum(_) => Value::Float(state.sums[k]),
+                    AggFunc::Avg(_) => Value::Float(if state.count == 0 {
+                        0.0
+                    } else {
+                        state.sums[k] / state.count as f64
+                    }),
+                    AggFunc::Min(_) => state.mins[k]
+                        .clone()
+                        .unwrap_or_else(|| empty_agg_default(out_ty)),
+                    AggFunc::Max(_) => state.maxs[k]
+                        .clone()
+                        .unwrap_or_else(|| empty_agg_default(out_ty)),
+                };
+                cols[group_by.len() + k].push(&v);
+            }
+        }
 
         // Provenance cannot flow through grouping (Algorithm 1's Agg case).
         Batch {
             schema,
-            rows,
+            cols: cols.into_iter().map(Col::Owned).collect(),
+            len: n_groups,
             prov: None,
         }
+    }
+}
+
+/// CSR-grouped hash-table payload: row indices grouped contiguously by
+/// dense key id, in first-seen key order and ascending row order within a
+/// group (the same match order the row-based reference produces).
+struct Csr {
+    offsets: Vec<u32>,
+    slots: Vec<u32>,
+}
+
+impl Csr {
+    fn group(&self, id: u32) -> &[u32] {
+        &self.slots[self.offsets[id as usize] as usize..self.offsets[id as usize + 1] as usize]
+    }
+}
+
+/// Two-pass CSR build over `n` keyed rows: assign dense ids in first-seen
+/// order, count group sizes, then scatter row indices into one flat slot
+/// vector — one allocation for all groups instead of a `Vec` per key.
+fn build_csr<K: Eq + std::hash::Hash>(
+    n: usize,
+    key_at: impl Fn(usize) -> K,
+) -> (HashMap<K, u32>, Csr) {
+    let mut ids: HashMap<K, u32> = HashMap::with_capacity(n);
+    let mut counts: Vec<u32> = Vec::new();
+    let mut row_ids: Vec<u32> = Vec::with_capacity(n);
+    for i in 0..n {
+        let next_id = counts.len() as u32;
+        let id = *ids.entry(key_at(i)).or_insert(next_id);
+        if id == next_id {
+            counts.push(0);
+        }
+        counts[id as usize] += 1;
+        row_ids.push(id);
+    }
+    let mut offsets = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for &c in &counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    let mut cursor: Vec<u32> = offsets[..counts.len()].to_vec();
+    let mut slots = vec![0u32; n];
+    for (i, &id) in row_ids.iter().enumerate() {
+        slots[cursor[id as usize] as usize] = i as u32;
+        cursor[id as usize] += 1;
+    }
+    (ids, Csr { offsets, slots })
+}
+
+/// Default MIN/MAX output for an empty input, typed to the declared output
+/// column (an empty scalar aggregate still emits one row). Int and Float
+/// defaults compare equal under `Value`'s cross-type equality.
+fn empty_agg_default(ty: uaq_storage::ColumnType) -> Value {
+    match ty {
+        uaq_storage::ColumnType::Int => Value::Int(0),
+        uaq_storage::ColumnType::Float => Value::Float(0.0),
+        uaq_storage::ColumnType::Str => Value::str(""),
+    }
+}
+
+/// `Value::cmp` between two cells of the *same* column (monotype).
+fn cell_cmp_same(col: &ColumnData, a: usize, b: usize) -> Ordering {
+    match col {
+        ColumnData::Int(v) => v[a].cmp(&v[b]),
+        ColumnData::Float(v) => v[a].partial_cmp(&v[b]).expect("NaN in ordered value"),
+        ColumnData::Str(v) => v[a].cmp(&v[b]),
     }
 }
 
@@ -656,7 +934,11 @@ mod tests {
         let samples = c.draw_samples(0.5, 1, &mut rng);
         let mut b = PlanBuilder::new();
         let s = b.seq_scan("t1", Pred::True);
-        let a = b.aggregate(s, vec!["a".into()], vec![("cnt".into(), AggFunc::CountStar)]);
+        let a = b.aggregate(
+            s,
+            vec!["a".into()],
+            vec![("cnt".into(), AggFunc::CountStar)],
+        );
         let f = b.filter(a, Pred::gt("cnt", Value::Int(0)));
         let plan = b.build(f);
         let out = execute_on_samples(&plan, &samples);
@@ -701,5 +983,36 @@ mod tests {
             execute_full(&seq, &c).rows.len(),
             execute_full(&idx, &c).rows.len()
         );
+    }
+
+    #[test]
+    fn filter_passthrough_keeps_prov() {
+        // A filter that keeps everything must not lose prov alignment.
+        let c = catalog();
+        let mut rng = Rng::new(9);
+        let samples = c.draw_samples(0.5, 1, &mut rng);
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t1", Pred::True);
+        let f = b.filter(s, Pred::ge("b", Value::Int(0)));
+        let plan = b.build(f);
+        let out = execute_on_samples(&plan, &samples);
+        let prov = out.traces[f].prov.as_ref().expect("prov");
+        assert_eq!(prov.rows(), out.rows.len());
+    }
+
+    #[test]
+    fn join_key_mirrors_value_equality() {
+        use std::collections::hash_map::DefaultHasher;
+        let h = |k: &JoinKey| {
+            let mut s = DefaultHasher::new();
+            k.hash(&mut s);
+            s.finish()
+        };
+        let i3 = JoinKey::Int(3);
+        let f3 = JoinKey::Bits(3.0f64.to_bits());
+        assert_eq!(i3, f3);
+        assert_eq!(h(&i3), h(&f3));
+        assert_ne!(JoinKey::Int(3), JoinKey::Bits(3.5f64.to_bits()));
+        assert_ne!(JoinKey::Str("3"), i3);
     }
 }

@@ -6,8 +6,9 @@
 //! conditions are expressed separately as key-column equalities on the join
 //! operators.
 
+use std::cmp::Ordering;
 use std::fmt;
-use uaq_storage::{Row, Schema, Value};
+use uaq_storage::{ColumnData, Row, Schema, Value};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -299,6 +300,201 @@ impl BoundPred {
             BoundPred::And(ps) | BoundPred::Or(ps) => ps.iter().map(BoundPred::op_count).sum(),
         }
     }
+
+    /// Evaluates the predicate on row `i` of a columnar batch. Mirrors
+    /// [`BoundPred::eval`] exactly (same equality/ordering semantics as
+    /// [`Value`]) without materializing a `Row`.
+    pub fn eval_columns<C: AsRef<ColumnData>>(&self, cols: &[C], i: usize) -> bool {
+        match self {
+            BoundPred::True => true,
+            BoundPred::Cmp { idx, op, value } => cmp_cell_value(*op, cols[*idx].as_ref(), i, value),
+            BoundPred::ColCmp { left, op, right } => {
+                cmp_cell_cell(*op, cols[*left].as_ref(), cols[*right].as_ref(), i)
+            }
+            BoundPred::Between { idx, lo, hi } => {
+                let c = cols[*idx].as_ref();
+                cell_value_cmp(c, i, lo) != Ordering::Less
+                    && cell_value_cmp(c, i, hi) != Ordering::Greater
+            }
+            BoundPred::InList { idx, values } => values
+                .iter()
+                .any(|v| cell_value_eq(cols[*idx].as_ref(), i, v)),
+            BoundPred::And(ps) => ps.iter().all(|p| p.eval_columns(cols, i)),
+            BoundPred::Or(ps) => ps.iter().any(|p| p.eval_columns(cols, i)),
+        }
+    }
+
+    /// Vectorized selection: indices of rows in `0..len` satisfying the
+    /// predicate, in row order. The common single-comparison shapes run as
+    /// tight loops over the typed column; everything else falls back to
+    /// row-at-a-time [`Self::eval_columns`].
+    pub fn filter_columns<C: AsRef<ColumnData>>(&self, cols: &[C], len: usize) -> Vec<u32> {
+        match self {
+            BoundPred::True => (0..len as u32).collect(),
+            BoundPred::Cmp { idx, op, value } => match (cols[*idx].as_ref(), value) {
+                (ColumnData::Int(v), Value::Int(c)) => {
+                    let c = *c;
+                    match op {
+                        CmpOp::Eq => select(v, |x| x == c),
+                        CmpOp::Ne => select(v, |x| x != c),
+                        CmpOp::Lt => select(v, |x| x < c),
+                        CmpOp::Le => select(v, |x| x <= c),
+                        CmpOp::Gt => select(v, |x| x > c),
+                        CmpOp::Ge => select(v, |x| x >= c),
+                    }
+                }
+                (ColumnData::Float(v), Value::Float(c)) => select_float(v, *op, *c),
+                (ColumnData::Float(v), Value::Int(c)) => select_float(v, *op, *c as f64),
+                _ => self.select_generic(cols, len),
+            },
+            BoundPred::Between { idx, lo, hi } => match (cols[*idx].as_ref(), lo, hi) {
+                (ColumnData::Int(v), Value::Int(lo), Value::Int(hi)) => {
+                    let (lo, hi) = (*lo, *hi);
+                    select(v, |x| x >= lo && x <= hi)
+                }
+                (ColumnData::Float(v), Value::Float(lo), Value::Float(hi)) => {
+                    let (lo, hi) = (*lo, *hi);
+                    select(v, |x| {
+                        x.partial_cmp(&lo).expect("NaN in ordered value") != Ordering::Less
+                            && x.partial_cmp(&hi).expect("NaN in ordered value")
+                                != Ordering::Greater
+                    })
+                }
+                _ => self.select_generic(cols, len),
+            },
+            BoundPred::And(ps) if !ps.is_empty() => {
+                // Filter by the first conjunct vectorized, then refine.
+                let mut sel = ps[0].filter_columns(cols, len);
+                for p in &ps[1..] {
+                    sel.retain(|&i| p.eval_columns(cols, i as usize));
+                }
+                sel
+            }
+            _ => self.select_generic(cols, len),
+        }
+    }
+
+    fn select_generic<C: AsRef<ColumnData>>(&self, cols: &[C], len: usize) -> Vec<u32> {
+        (0..len as u32)
+            .filter(|&i| self.eval_columns(cols, i as usize))
+            .collect()
+    }
+}
+
+fn select<T: Copy>(col: &[T], pred: impl Fn(T) -> bool) -> Vec<u32> {
+    col.iter()
+        .enumerate()
+        .filter_map(|(i, &x)| pred(x).then_some(i as u32))
+        .collect()
+}
+
+fn select_float(v: &[f64], op: CmpOp, c: f64) -> Vec<u32> {
+    match op {
+        // Float equality is bit equality (Value semantics: NaN == NaN,
+        // -0.0 != 0.0), not numeric equality.
+        CmpOp::Eq => select(v, |x| x.to_bits() == c.to_bits()),
+        CmpOp::Ne => select(v, |x| x.to_bits() != c.to_bits()),
+        CmpOp::Lt => select(v, |x| {
+            x.partial_cmp(&c).expect("NaN in ordered value") == Ordering::Less
+        }),
+        CmpOp::Le => select(v, |x| {
+            x.partial_cmp(&c).expect("NaN in ordered value") != Ordering::Greater
+        }),
+        CmpOp::Gt => select(v, |x| {
+            x.partial_cmp(&c).expect("NaN in ordered value") == Ordering::Greater
+        }),
+        CmpOp::Ge => select(v, |x| {
+            x.partial_cmp(&c).expect("NaN in ordered value") != Ordering::Less
+        }),
+    }
+}
+
+fn cmp_cell_value(op: CmpOp, col: &ColumnData, i: usize, v: &Value) -> bool {
+    match op {
+        CmpOp::Eq => cell_value_eq(col, i, v),
+        CmpOp::Ne => !cell_value_eq(col, i, v),
+        CmpOp::Lt => cell_value_cmp(col, i, v) == Ordering::Less,
+        CmpOp::Le => cell_value_cmp(col, i, v) != Ordering::Greater,
+        CmpOp::Gt => cell_value_cmp(col, i, v) == Ordering::Greater,
+        CmpOp::Ge => cell_value_cmp(col, i, v) != Ordering::Less,
+    }
+}
+
+fn cmp_cell_cell(op: CmpOp, l: &ColumnData, r: &ColumnData, i: usize) -> bool {
+    match op {
+        CmpOp::Eq => cell_cell_eq(l, r, i),
+        CmpOp::Ne => !cell_cell_eq(l, r, i),
+        CmpOp::Lt => cell_cell_cmp(l, r, i) == Ordering::Less,
+        CmpOp::Le => cell_cell_cmp(l, r, i) != Ordering::Greater,
+        CmpOp::Gt => cell_cell_cmp(l, r, i) == Ordering::Greater,
+        CmpOp::Ge => cell_cell_cmp(l, r, i) != Ordering::Less,
+    }
+}
+
+/// Mirrors `Value::eq` for cell `i` of a column against a constant: Int/Int
+/// is integer equality, any numeric mix is f64 *bit* equality, Str/Str is
+/// string equality, and mixed Str/numeric is false.
+fn cell_value_eq(col: &ColumnData, i: usize, v: &Value) -> bool {
+    match (col, v) {
+        (ColumnData::Int(c), Value::Int(b)) => c[i] == *b,
+        (ColumnData::Float(c), Value::Float(b)) => c[i].to_bits() == b.to_bits(),
+        (ColumnData::Int(c), Value::Float(b)) => (c[i] as f64).to_bits() == b.to_bits(),
+        (ColumnData::Float(c), Value::Int(b)) => c[i].to_bits() == (*b as f64).to_bits(),
+        (ColumnData::Str(c), Value::Str(b)) => *c[i] == **b,
+        _ => false,
+    }
+}
+
+/// Mirrors `Value::cmp` for cell `i` of a column against a constant.
+fn cell_value_cmp(col: &ColumnData, i: usize, v: &Value) -> Ordering {
+    match (col, v) {
+        (ColumnData::Int(c), Value::Int(b)) => c[i].cmp(b),
+        (ColumnData::Str(c), Value::Str(b)) => (*c[i]).cmp(b),
+        (ColumnData::Int(c), Value::Float(b)) => {
+            (c[i] as f64).partial_cmp(b).expect("NaN in ordered value")
+        }
+        (ColumnData::Float(c), Value::Float(b)) => {
+            c[i].partial_cmp(b).expect("NaN in ordered value")
+        }
+        (ColumnData::Float(c), Value::Int(b)) => c[i]
+            .partial_cmp(&(*b as f64))
+            .expect("NaN in ordered value"),
+        (c, v) => panic!("cannot order {:?} cell vs {v:?}", c.ty()),
+    }
+}
+
+/// Mirrors `Value::eq` between cells `i` of two columns.
+pub(crate) fn cell_cell_eq(l: &ColumnData, r: &ColumnData, i: usize) -> bool {
+    cell_pair_eq(l, i, r, i)
+}
+
+/// Mirrors `Value::eq` between cell `li` of one column and `ri` of another.
+pub(crate) fn cell_pair_eq(l: &ColumnData, li: usize, r: &ColumnData, ri: usize) -> bool {
+    match (l, r) {
+        (ColumnData::Int(a), ColumnData::Int(b)) => a[li] == b[ri],
+        (ColumnData::Float(a), ColumnData::Float(b)) => a[li].to_bits() == b[ri].to_bits(),
+        (ColumnData::Int(a), ColumnData::Float(b)) => (a[li] as f64).to_bits() == b[ri].to_bits(),
+        (ColumnData::Float(a), ColumnData::Int(b)) => a[li].to_bits() == (b[ri] as f64).to_bits(),
+        (ColumnData::Str(a), ColumnData::Str(b)) => a[li] == b[ri],
+        _ => false,
+    }
+}
+
+fn cell_cell_cmp(l: &ColumnData, r: &ColumnData, i: usize) -> Ordering {
+    match (l, r) {
+        (ColumnData::Int(a), ColumnData::Int(b)) => a[i].cmp(&b[i]),
+        (ColumnData::Str(a), ColumnData::Str(b)) => a[i].cmp(&b[i]),
+        (ColumnData::Int(a), ColumnData::Float(b)) => (a[i] as f64)
+            .partial_cmp(&b[i])
+            .expect("NaN in ordered value"),
+        (ColumnData::Float(a), ColumnData::Float(b)) => {
+            a[i].partial_cmp(&b[i]).expect("NaN in ordered value")
+        }
+        (ColumnData::Float(a), ColumnData::Int(b)) => a[i]
+            .partial_cmp(&(b[i] as f64))
+            .expect("NaN in ordered value"),
+        (a, b) => panic!("cannot order {:?} cell vs {:?} cell", a.ty(), b.ty()),
+    }
 }
 
 #[cfg(test)]
@@ -307,11 +503,7 @@ mod tests {
     use uaq_storage::Column;
 
     fn schema() -> Schema {
-        Schema::new(vec![
-            Column::int("a"),
-            Column::float("b"),
-            Column::str("c"),
-        ])
+        Schema::new(vec![Column::int("a"), Column::float("b"), Column::str("c")])
     }
 
     fn row(a: i64, b: f64, c: &str) -> Row {
@@ -372,7 +564,10 @@ mod tests {
         let single = Pred::and(vec![Pred::eq("a", Value::Int(1))]);
         assert!(matches!(single, Pred::Cmp { .. }));
         let nested = Pred::and(vec![
-            Pred::And(vec![Pred::eq("a", Value::Int(1)), Pred::eq("a", Value::Int(2))]),
+            Pred::And(vec![
+                Pred::eq("a", Value::Int(1)),
+                Pred::eq("a", Value::Int(2)),
+            ]),
             Pred::eq("a", Value::Int(3)),
         ]);
         if let Pred::And(ps) = nested {

@@ -360,7 +360,7 @@ impl Plan {
         let detail = match op {
             Op::SeqScan { table, predicate } => {
                 if predicate.is_true() {
-                    format!("{table}")
+                    table.to_string()
                 } else {
                     format!("{table} [{predicate}]")
                 }
@@ -374,7 +374,9 @@ impl Plan {
             Op::Sort { keys, .. } => {
                 let ks: Vec<String> = keys
                     .iter()
-                    .map(|(k, o)| format!("{k} {}", if *o == SortOrder::Asc { "asc" } else { "desc" }))
+                    .map(|(k, o)| {
+                        format!("{k} {}", if *o == SortOrder::Asc { "asc" } else { "desc" })
+                    })
                     .collect();
                 ks.join(", ")
             }
@@ -389,9 +391,7 @@ impl Plan {
                 right_key,
                 ..
             } => format!("{left_key} = {right_key}"),
-            Op::HashAggregate {
-                group_by, aggs, ..
-            } => {
+            Op::HashAggregate { group_by, aggs, .. } => {
                 let ag: Vec<String> = aggs.iter().map(|(n, _)| n.clone()).collect();
                 format!("by [{}] -> [{}]", group_by.join(", "), ag.join(", "))
             }

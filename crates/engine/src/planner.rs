@@ -48,11 +48,7 @@ pub struct JoinStep {
 }
 
 impl JoinStep {
-    pub fn new(
-        table: TableRef,
-        left_key: impl Into<String>,
-        right_key: impl Into<String>,
-    ) -> Self {
+    pub fn new(table: TableRef, left_key: impl Into<String>, right_key: impl Into<String>) -> Self {
         Self {
             table,
             left_key: left_key.into(),
@@ -99,11 +95,7 @@ impl QuerySpec {
         self
     }
 
-    pub fn with_aggregates(
-        mut self,
-        group_by: Vec<String>,
-        aggs: Vec<(String, AggFunc)>,
-    ) -> Self {
+    pub fn with_aggregates(mut self, group_by: Vec<String>, aggs: Vec<(String, AggFunc)>) -> Self {
         self.group_by = group_by;
         self.aggs = aggs;
         self
@@ -167,7 +159,12 @@ pub fn plan_query(spec: &QuerySpec, catalog: &Catalog) -> Plan {
             let mat = b.materialize(right);
             current = b.nl_join(current, mat, step.left_key.clone(), step.right_key.clone());
         } else {
-            current = b.hash_join(current, right, step.left_key.clone(), step.right_key.clone());
+            current = b.hash_join(
+                current,
+                right,
+                step.left_key.clone(),
+                step.right_key.clone(),
+            );
         }
         current_est = (current_est * right_est / d).max(1.0);
     }
@@ -199,7 +196,9 @@ mod tests {
             .collect();
         c.add_table(Table::new("big", s, rows));
         let s2 = Schema::new(vec![Column::int("k"), Column::int("v")]);
-        let rows2 = (0..10).map(|i| vec![Value::Int(i), Value::Int(i)]).collect();
+        let rows2 = (0..10)
+            .map(|i| vec![Value::Int(i), Value::Int(i)])
+            .collect();
         c.add_table(Table::new("tiny", s2, rows2));
         c
     }
@@ -218,10 +217,7 @@ mod tests {
     #[test]
     fn wide_predicate_gets_seq_scan() {
         let c = catalog();
-        let spec = QuerySpec::scan(
-            "q",
-            TableRef::new("big", Pred::lt("a", Value::Int(9000))),
-        );
+        let spec = QuerySpec::scan("q", TableRef::new("big", Pred::lt("a", Value::Int(9000))));
         let plan = plan_query(&spec, &c);
         assert!(matches!(plan.op(plan.root()), Op::SeqScan { .. }));
     }
@@ -244,7 +240,11 @@ mod tests {
         )]);
         let plan = plan_query(&spec, &c);
         let root = plan.op(plan.root());
-        assert!(matches!(root, Op::NestedLoopJoin { .. }), "{}", plan.explain());
+        assert!(
+            matches!(root, Op::NestedLoopJoin { .. }),
+            "{}",
+            plan.explain()
+        );
         // The NL inner is materialized.
         let Op::NestedLoopJoin { right, .. } = root else {
             unreachable!()
@@ -270,10 +270,7 @@ mod tests {
         let spec = QuerySpec::scan("q", TableRef::plain("big"))
             .with_joins(vec![JoinStep::new(TableRef::plain("tiny"), "b", "k")])
             .with_residual(Pred::gt("v", Value::Int(2)))
-            .with_aggregates(
-                vec!["v".into()],
-                vec![("cnt".into(), AggFunc::CountStar)],
-            )
+            .with_aggregates(vec!["v".into()], vec![("cnt".into(), AggFunc::CountStar)])
             .with_order_by(vec![("cnt".into(), SortOrder::Desc)]);
         let plan = plan_query(&spec, &c);
         // Root is the sort; below it aggregate; below it filter; below join.

@@ -1,0 +1,223 @@
+//! Golden equivalence tests: the columnar executor must produce *identical*
+//! `ExecOutcome`s — rows, schemas, per-node traces, and flat provenance
+//! matrices — to the row-based reference executor (`exec_row`, the seed
+//! semantics) on the paper's MICRO, SELJOIN, and TPC-H-like workloads, in
+//! both full and sample mode.
+//!
+//! Because all estimator math (`ρ_n`, `S_n²`, covariance bounds) consumes
+//! only `ExecOutcome`, equality here proves the columnar refactor cannot
+//! change any prediction.
+
+use uaq_datagen::GenConfig;
+use uaq_engine::{
+    execute_full, execute_full_rows, execute_on_samples, execute_on_samples_rows, plan_query,
+    AggFunc, ExecOutcome, Plan, PlanBuilder, Pred, QuerySpec, SortOrder,
+};
+use uaq_stats::Rng;
+use uaq_storage::{Catalog, SampleCatalog, Value};
+use uaq_workloads::Benchmark;
+
+/// Asserts two outcomes agree cell-for-cell and trace-for-trace.
+fn assert_outcomes_equal(cols: &ExecOutcome, rows: &ExecOutcome, label: &str) {
+    assert_eq!(
+        cols.schema.len(),
+        rows.schema.len(),
+        "{label}: schema arity"
+    );
+    for (a, b) in cols.schema.columns().iter().zip(rows.schema.columns()) {
+        assert_eq!(a.name, b.name, "{label}: column name");
+        assert_eq!(a.ty, b.ty, "{label}: column type");
+    }
+    assert_eq!(cols.rows.len(), rows.rows.len(), "{label}: row count");
+    for (i, (a, b)) in cols.rows.iter().zip(&rows.rows).enumerate() {
+        assert_eq!(a, b, "{label}: row {i}");
+    }
+    assert_eq!(cols.traces.len(), rows.traces.len(), "{label}: trace count");
+    for (id, (a, b)) in cols.traces.iter().zip(&rows.traces).enumerate() {
+        assert_eq!(a.output_rows, b.output_rows, "{label}: node {id} output");
+        assert_eq!(
+            a.left_input_rows, b.left_input_rows,
+            "{label}: node {id} left input"
+        );
+        assert_eq!(
+            a.right_input_rows, b.right_input_rows,
+            "{label}: node {id} right input"
+        );
+        match (&a.prov, &b.prov) {
+            (None, None) => {}
+            (Some(pa), Some(pb)) => {
+                assert_eq!(pa.arity, pb.arity, "{label}: node {id} prov arity");
+                assert_eq!(pa.data, pb.data, "{label}: node {id} prov data");
+            }
+            _ => panic!("{label}: node {id} prov presence mismatch"),
+        }
+    }
+}
+
+fn check_plan(plan: &Plan, catalog: &Catalog, samples: &SampleCatalog, label: &str) {
+    let full_col = execute_full(plan, catalog);
+    let full_row = execute_full_rows(plan, catalog);
+    assert_outcomes_equal(&full_col, &full_row, &format!("{label} [full]"));
+
+    let samp_col = execute_on_samples(plan, samples);
+    let samp_row = execute_on_samples_rows(plan, samples);
+    assert_outcomes_equal(&samp_col, &samp_row, &format!("{label} [sample]"));
+}
+
+fn check_benchmark(benchmark: Benchmark, instances: usize, seed: u64) {
+    let catalog = GenConfig::new(0.001, 0.3, seed).build();
+    let mut rng = Rng::new(seed ^ 0xC0FFEE);
+    let samples = catalog.draw_samples(0.1, 2, &mut rng);
+    let specs = benchmark.queries(&catalog, instances, &mut rng);
+    assert!(!specs.is_empty());
+    for spec in &specs {
+        let plan = plan_query(spec, &catalog);
+        check_plan(&plan, &catalog, &samples, &spec.name);
+    }
+}
+
+#[test]
+fn micro_workload_is_equivalent() {
+    check_benchmark(Benchmark::Micro, 1, 11);
+}
+
+#[test]
+fn seljoin_workload_is_equivalent() {
+    check_benchmark(Benchmark::SelJoin, 2, 12);
+}
+
+#[test]
+fn tpch_workload_is_equivalent() {
+    check_benchmark(Benchmark::Tpch, 1, 13);
+}
+
+/// Hand-built plans covering shapes the generated workloads may miss:
+/// NULL-free aggregates over every function, outer provenance drop above
+/// aggregates, nested-loop joins, sorts above joins, and empty results.
+#[test]
+fn edge_shapes_are_equivalent() {
+    let catalog = GenConfig::new(0.001, 0.0, 21).build();
+    let mut rng = Rng::new(99);
+    let samples = catalog.draw_samples(0.08, 2, &mut rng);
+
+    // Aggregate with all functions, then filter above it (prov dropped).
+    let mut b = PlanBuilder::new();
+    let s = b.seq_scan("lineitem", Pred::gt("l_quantity", Value::Float(10.0)));
+    let a = b.aggregate(
+        s,
+        vec!["l_returnflag".into()],
+        vec![
+            ("cnt".into(), AggFunc::CountStar),
+            ("s".into(), AggFunc::Sum("l_quantity".into())),
+            ("av".into(), AggFunc::Avg("l_extendedprice".into())),
+            ("mn".into(), AggFunc::Min("l_quantity".into())),
+            ("mx".into(), AggFunc::Max("l_quantity".into())),
+        ],
+    );
+    let f = b.filter(a, Pred::gt("cnt", Value::Int(0)));
+    let srt = b.sort(f, vec![("s".into(), SortOrder::Desc)]);
+    check_plan(&b.build(srt), &catalog, &samples, "agg-filter-sort");
+
+    // Empty result: predicate nothing matches, under a join.
+    let mut b = PlanBuilder::new();
+    let l = b.seq_scan("orders", Pred::lt("o_orderdate", Value::Int(-1)));
+    let r = b.seq_scan("lineitem", Pred::True);
+    let j = b.hash_join(l, r, "o_orderkey", "l_orderkey");
+    check_plan(&b.build(j), &catalog, &samples, "empty-join");
+
+    // Nested-loop join with materialized inner and residual ColCmp filter.
+    let mut b = PlanBuilder::new();
+    let l = b.seq_scan("supplier", Pred::True);
+    let r = b.seq_scan("nation", Pred::True);
+    let m = b.materialize(r);
+    let j = b.nl_join(l, m, "s_nationkey", "n_nationkey");
+    check_plan(&b.build(j), &catalog, &samples, "nl-join");
+
+    // Scalar aggregate over empty input (one output row from zero input),
+    // including MIN/MAX over every column type — the empty-input default
+    // must be typed (Int 0 / Float 0.0 / Str "") in both executors.
+    let mut b = PlanBuilder::new();
+    let s = b.seq_scan("customer", Pred::lt("c_acctbal", Value::Float(-1e18)));
+    let a = b.aggregate(
+        s,
+        vec![],
+        vec![
+            ("cnt".into(), AggFunc::CountStar),
+            ("s".into(), AggFunc::Sum("c_acctbal".into())),
+            ("min_f".into(), AggFunc::Min("c_acctbal".into())),
+            ("max_i".into(), AggFunc::Max("c_custkey".into())),
+            ("min_s".into(), AggFunc::Min("c_mktsegment".into())),
+        ],
+    );
+    check_plan(&b.build(a), &catalog, &samples, "empty-scalar-agg");
+}
+
+/// String and mixed Int/Float join keys exercise the generic (non-i64) hash
+/// path, including `Value`'s cross-type numeric equality; a repeated
+/// relation checks independent sample copies per occurrence.
+#[test]
+fn generic_join_keys_are_equivalent() {
+    use uaq_storage::{Column, Schema, Table};
+    let mut catalog = Catalog::new();
+    let s1 = Schema::new(vec![Column::int("ka"), Column::str("ta")]);
+    let rows1 = (0..200)
+        .map(|i| vec![Value::Int(i % 13), Value::str(format!("tag{}", i % 7))])
+        .collect();
+    catalog.add_table(Table::new("ta_rel", s1, rows1));
+    let s2 = Schema::new(vec![Column::float("kb"), Column::str("tb")]);
+    let rows2 = (0..150)
+        .map(|i| {
+            vec![
+                Value::Float((i % 11) as f64),
+                Value::str(format!("tag{}", i % 5)),
+            ]
+        })
+        .collect();
+    catalog.add_table(Table::new("tb_rel", s2, rows2));
+    let mut rng = Rng::new(41);
+    let samples = catalog.draw_samples(0.3, 2, &mut rng);
+
+    // Int ⋈ Float key: Value::Int(3) joins Value::Float(3.0).
+    let mut b = PlanBuilder::new();
+    let l = b.seq_scan("ta_rel", Pred::True);
+    let r = b.seq_scan("tb_rel", Pred::True);
+    let j = b.hash_join(l, r, "ka", "kb");
+    check_plan(&b.build(j), &catalog, &samples, "int-float-join");
+
+    // Str ⋈ Str key.
+    let mut b = PlanBuilder::new();
+    let l = b.seq_scan("ta_rel", Pred::True);
+    let r = b.seq_scan("tb_rel", Pred::True);
+    let j = b.hash_join(l, r, "ta", "tb");
+    check_plan(&b.build(j), &catalog, &samples, "str-join");
+
+    // Same shapes through the nested-loop join.
+    let mut b = PlanBuilder::new();
+    let l = b.seq_scan("ta_rel", Pred::True);
+    let r = b.seq_scan("tb_rel", Pred::True);
+    let j = b.nl_join(l, r, "ka", "kb");
+    check_plan(&b.build(j), &catalog, &samples, "int-float-nl-join");
+}
+
+/// The planner's own output over randomized specs (belt and braces: catches
+/// operator combinations the fixed benchmarks do not emit).
+#[test]
+fn randomized_planned_queries_are_equivalent() {
+    let catalog = GenConfig::new(0.001, 0.5, 31).build();
+    let mut rng = Rng::new(7);
+    let samples = catalog.draw_samples(0.05, 2, &mut rng);
+    for i in 0..5 {
+        let d = 500 + 300 * i as i64;
+        let spec = QuerySpec::scan(
+            format!("rand-{i}"),
+            uaq_engine::TableRef::new("orders", Pred::lt("o_orderdate", Value::Int(d))),
+        )
+        .with_joins(vec![uaq_engine::JoinStep::new(
+            uaq_engine::TableRef::new("lineitem", Pred::gt("l_shipdate", Value::Int(d / 2))),
+            "o_orderkey",
+            "l_orderkey",
+        )]);
+        let plan = plan_query(&spec, &catalog);
+        check_plan(&plan, &catalog, &samples, &spec.name);
+    }
+}

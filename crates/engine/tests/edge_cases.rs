@@ -1,9 +1,7 @@
 //! Edge-case integration tests for the executor: empty inputs, degenerate
 //! joins, and operators stacked in unusual ways.
 
-use uaq_engine::{
-    execute_full, execute_on_samples, AggFunc, Pred, PlanBuilder, SortOrder,
-};
+use uaq_engine::{execute_full, execute_on_samples, AggFunc, PlanBuilder, Pred, SortOrder};
 use uaq_stats::Rng;
 use uaq_storage::{Catalog, Column, Schema, Table, Value};
 
@@ -88,7 +86,11 @@ fn aggregate_above_aggregate_uses_optimizer_path() {
     let c = catalog_with(100, 0);
     let mut b = PlanBuilder::new();
     let s = b.seq_scan("t", Pred::True);
-    let a1 = b.aggregate(s, vec!["a".into()], vec![("cnt".into(), AggFunc::CountStar)]);
+    let a1 = b.aggregate(
+        s,
+        vec!["a".into()],
+        vec![("cnt".into(), AggFunc::CountStar)],
+    );
     let f = b.filter(a1, Pred::gt("cnt", Value::Int(10)));
     let a2 = b.aggregate(f, vec![], vec![("groups".into(), AggFunc::CountStar)]);
     let plan = b.build(a2);
@@ -156,7 +158,10 @@ fn deep_filter_stack_keeps_provenance() {
     let mut rng = Rng::new(4);
     let samples = c.draw_samples(0.5, 1, &mut rng);
     let out = execute_on_samples(&plan, &samples);
-    let prov = out.traces[node].prov.as_ref().expect("provenance survives filters");
+    let prov = out.traces[node]
+        .prov
+        .as_ref()
+        .expect("provenance survives filters");
     assert_eq!(prov.rows(), out.rows.len());
     // The surviving rows really satisfy the stacked predicate.
     for row in &out.rows {

@@ -12,13 +12,19 @@ fn catalog(t_rows: &[(i64, i64)], u_rows: &[(i64, i64)]) -> Catalog {
     c.add_table(Table::new(
         "t",
         ts,
-        t_rows.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]).collect(),
+        t_rows
+            .iter()
+            .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+            .collect(),
     ));
     let us = Schema::new(vec![Column::int("x"), Column::int("y")]);
     c.add_table(Table::new(
         "u",
         us,
-        u_rows.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]).collect(),
+        u_rows
+            .iter()
+            .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)])
+            .collect(),
     ));
     c
 }

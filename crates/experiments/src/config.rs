@@ -1,8 +1,8 @@
 //! The experiment configuration matrix of §6.1: databases × machines ×
 //! sampling ratios × benchmarks (× predictor variants for §6.3.3).
 
-use uaq_cost::HardwareProfile;
 use uaq_core::Variant;
+use uaq_cost::HardwareProfile;
 use uaq_datagen::DbPreset;
 use uaq_workloads::Benchmark;
 
@@ -104,12 +104,7 @@ mod tests {
 
     #[test]
     fn cell_labels_are_descriptive() {
-        let cell = CellConfig::new(
-            DbPreset::Uniform1G,
-            Machine::Pc2,
-            Benchmark::Micro,
-            0.05,
-        );
+        let cell = CellConfig::new(DbPreset::Uniform1G, Machine::Pc2, Benchmark::Micro, 0.05);
         assert_eq!(cell.label(), "MICRO / U-1G / PC2 / SR=0.05 / All");
     }
 

@@ -11,5 +11,7 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 
-pub use config::{default_instances, CellConfig, Machine, ABLATION_SAMPLING_RATIOS, MAIN_SAMPLING_RATIOS};
+pub use config::{
+    default_instances, CellConfig, Machine, ABLATION_SAMPLING_RATIOS, MAIN_SAMPLING_RATIOS,
+};
 pub use runner::{CellOutcome, Lab, QueryRecord, SelRecord};

@@ -74,7 +74,13 @@ pub fn table4(lab: &mut Lab) -> String {
     for db in DbPreset::ALL {
         out.push_str(&format!("{}\n", db.label()));
         let mut t = TextTable::new(&[
-            "SR", "MICRO/PC1", "MICRO/PC2", "SELJOIN/PC1", "SELJOIN/PC2", "TPCH/PC1", "TPCH/PC2",
+            "SR",
+            "MICRO/PC1",
+            "MICRO/PC2",
+            "SELJOIN/PC1",
+            "SELJOIN/PC2",
+            "TPCH/PC1",
+            "TPCH/PC2",
         ]);
         for &sr in &MAIN_SAMPLING_RATIOS {
             let mut cells = vec![format!("{sr}")];
@@ -100,7 +106,13 @@ pub fn table5(lab: &mut Lab) -> String {
     for db in DbPreset::ALL {
         out.push_str(&format!("{}\n", db.label()));
         let mut t = TextTable::new(&[
-            "SR", "MICRO/PC1", "MICRO/PC2", "SELJOIN/PC1", "SELJOIN/PC2", "TPCH/PC1", "TPCH/PC2",
+            "SR",
+            "MICRO/PC1",
+            "MICRO/PC2",
+            "SELJOIN/PC1",
+            "SELJOIN/PC2",
+            "TPCH/PC1",
+            "TPCH/PC2",
         ]);
         for &sr in &MAIN_SAMPLING_RATIOS {
             let mut cells = vec![format!("{sr}")];
@@ -122,9 +134,24 @@ pub fn table5(lab: &mut Lab) -> String {
 /// showcased settings.
 pub fn fig2(lab: &mut Lab) -> String {
     let panels = [
-        ("(a) MICRO, Uniform 1GB, PC2", DbPreset::Uniform1G, Machine::Pc2, Benchmark::Micro),
-        ("(b) SELJOIN, Uniform 1GB, PC1", DbPreset::Uniform1G, Machine::Pc1, Benchmark::SelJoin),
-        ("(c) TPCH, Skewed 10GB, PC1", DbPreset::Skewed10G, Machine::Pc1, Benchmark::Tpch),
+        (
+            "(a) MICRO, Uniform 1GB, PC2",
+            DbPreset::Uniform1G,
+            Machine::Pc2,
+            Benchmark::Micro,
+        ),
+        (
+            "(b) SELJOIN, Uniform 1GB, PC1",
+            DbPreset::Uniform1G,
+            Machine::Pc1,
+            Benchmark::SelJoin,
+        ),
+        (
+            "(c) TPCH, Skewed 10GB, PC1",
+            DbPreset::Skewed10G,
+            Machine::Pc1,
+            Benchmark::Tpch,
+        ),
     ];
     let mut out = String::from("Figure 2: r_s and r_p vs sampling ratio\n\n");
     for (title, db, machine, bench) in panels {
@@ -133,7 +160,11 @@ pub fn fig2(lab: &mut Lab) -> String {
         for &sr in &MAIN_SAMPLING_RATIOS {
             let outcome = lab.run_cell(&CellConfig::new(db, machine, bench, sr));
             let (rs, rp) = metrics::correlation(&outcome);
-            t.row(vec![format!("{sr}"), format!("{rs:.4}"), format!("{rp:.4}")]);
+            t.row(vec![
+                format!("{sr}"),
+                format!("{rs:.4}"),
+                format!("{rp:.4}"),
+            ]);
         }
         out.push_str(&t.render());
         out.push('\n');
@@ -166,12 +197,18 @@ pub fn fig3(lab: &mut Lab) -> String {
         0.05,
     ));
     let mut out = String::from("Figure 3: robustness of r_s and r_p with respect to outliers\n\n");
-    out.push_str(&render_scatter("(a) Case (1): MICRO, U-1G, PC2, SR=0.01", &metrics::scatter(&case1)));
+    out.push_str(&render_scatter(
+        "(a) Case (1): MICRO, U-1G, PC2, SR=0.01",
+        &metrics::scatter(&case1),
+    ));
     out.push_str(&render_scatter(
         "(b) Case (1) after one outlier is removed",
         &metrics::scatter_without_top_outlier(&case1),
     ));
-    out.push_str(&render_scatter("(c) Case (2): SELJOIN, U-1G, PC1, SR=0.05", &metrics::scatter(&case2)));
+    out.push_str(&render_scatter(
+        "(c) Case (2): SELJOIN, U-1G, PC1, SR=0.05",
+        &metrics::scatter(&case2),
+    ));
     out
 }
 
@@ -179,7 +216,11 @@ pub fn fig3(lab: &mut Lab) -> String {
 pub fn fig4(lab: &mut Lab) -> String {
     let mut out = String::from("Figure 4: D_n over uniform TPC-H 10GB databases\n\n");
     for bench in Benchmark::ALL {
-        out.push_str(&format!("({}) {}\n", bench.label().to_lowercase(), bench.label()));
+        out.push_str(&format!(
+            "({}) {}\n",
+            bench.label().to_lowercase(),
+            bench.label()
+        ));
         let mut t = TextTable::new(&["SR", "PC1", "PC2"]);
         for &sr in &MAIN_SAMPLING_RATIOS {
             let d1 = metrics::distribution_distance(&lab.run_cell(&CellConfig::new(
@@ -194,7 +235,11 @@ pub fn fig4(lab: &mut Lab) -> String {
                 bench,
                 sr,
             )));
-            t.row(vec![format!("{sr}"), format!("{d1:.4}"), format!("{d2:.4}")]);
+            t.row(vec![
+                format!("{sr}"),
+                format!("{d1:.4}"),
+                format!("{d2:.4}"),
+            ]);
         }
         out.push_str(&t.render());
         out.push('\n');
@@ -205,7 +250,8 @@ pub fn fig4(lab: &mut Lab) -> String {
 /// Figure 5: predicted `Pr(α)` vs empirical `Pr_n(α)` curves
 /// (uniform 10GB, PC2, SR = 0.05).
 pub fn fig5(lab: &mut Lab) -> String {
-    let mut out = String::from("Figure 5: proximity of Pr_n(α) and Pr(α) (U-10G, PC2, SR=0.05)\n\n");
+    let mut out =
+        String::from("Figure 5: proximity of Pr_n(α) and Pr(α) (U-10G, PC2, SR=0.05)\n\n");
     for bench in Benchmark::ALL {
         let outcome = lab.run_cell(&CellConfig::new(
             DbPreset::Uniform10G,
@@ -244,8 +290,14 @@ pub fn fig6(lab: &mut Lab) -> String {
         0.01,
     ));
     let mut out = String::from("Figure 6: more case studies on correlations\n\n");
-    out.push_str(&render_scatter("(a) Case (3): TPCH, S-10G, PC1, SR=0.05", &metrics::scatter(&case3)));
-    out.push_str(&render_scatter("(b) Case (4): TPCH, U-1G, PC1, SR=0.01", &metrics::scatter(&case4)));
+    out.push_str(&render_scatter(
+        "(a) Case (3): TPCH, S-10G, PC1, SR=0.05",
+        &metrics::scatter(&case3),
+    ));
+    out.push_str(&render_scatter(
+        "(b) Case (4): TPCH, U-1G, PC1, SR=0.01",
+        &metrics::scatter(&case4),
+    ));
     out
 }
 
@@ -255,9 +307,8 @@ fn ablation_panel(lab: &mut Lab, title: &str, db: DbPreset, machine: Machine) ->
     for &sr in &ABLATION_SAMPLING_RATIOS {
         let mut cells = vec![format!("{sr}")];
         for variant in Variant::ALL_VARIANTS {
-            let outcome = lab.run_cell(
-                &CellConfig::new(db, machine, Benchmark::Tpch, sr).with_variant(variant),
-            );
+            let outcome = lab
+                .run_cell(&CellConfig::new(db, machine, Benchmark::Tpch, sr).with_variant(variant));
             let (rs, _) = metrics::correlation(&outcome);
             cells.push(format!("{rs:.4}"));
         }
@@ -271,16 +322,37 @@ fn ablation_panel(lab: &mut Lab, title: &str, db: DbPreset, machine: Machine) ->
 /// Figure 8: the four predictor variants on uniform databases (r_s, TPCH).
 pub fn fig8(lab: &mut Lab) -> String {
     let mut out = String::from("Figure 8: comparison of four alternatives in terms of r_s\n\n");
-    out.push_str(&ablation_panel(lab, "(a) Uniform 1GB database, PC2", DbPreset::Uniform1G, Machine::Pc2));
-    out.push_str(&ablation_panel(lab, "(b) Uniform 10GB database, PC1", DbPreset::Uniform10G, Machine::Pc1));
+    out.push_str(&ablation_panel(
+        lab,
+        "(a) Uniform 1GB database, PC2",
+        DbPreset::Uniform1G,
+        Machine::Pc2,
+    ));
+    out.push_str(&ablation_panel(
+        lab,
+        "(b) Uniform 10GB database, PC1",
+        DbPreset::Uniform10G,
+        Machine::Pc1,
+    ));
     out
 }
 
 /// Figure 10: the four predictor variants on skewed databases.
 pub fn fig10(lab: &mut Lab) -> String {
-    let mut out = String::from("Figure 10: comparison of four alternatives on skewed databases\n\n");
-    out.push_str(&ablation_panel(lab, "(a) Skewed 1GB database, PC1", DbPreset::Skewed1G, Machine::Pc1));
-    out.push_str(&ablation_panel(lab, "(b) Skewed 10GB database, PC2", DbPreset::Skewed10G, Machine::Pc2));
+    let mut out =
+        String::from("Figure 10: comparison of four alternatives on skewed databases\n\n");
+    out.push_str(&ablation_panel(
+        lab,
+        "(a) Skewed 1GB database, PC1",
+        DbPreset::Skewed1G,
+        Machine::Pc1,
+    ));
+    out.push_str(&ablation_panel(
+        lab,
+        "(b) Skewed 10GB database, PC2",
+        DbPreset::Skewed10G,
+        Machine::Pc2,
+    ));
     out
 }
 
@@ -354,7 +426,10 @@ pub fn fig12(lab: &mut Lab) -> String {
         ));
         let mut t = TextTable::new(&["estimated", "actual"]);
         for s in records.iter().take(60) {
-            t.row(vec![format!("{:.5}", s.estimated), format!("{:.5}", s.actual)]);
+            t.row(vec![
+                format!("{:.5}", s.estimated),
+                format!("{:.5}", s.actual),
+            ]);
         }
         out.push_str(&t.render());
         out.push('\n');
@@ -370,7 +445,8 @@ fn sel_table(
     title: &str,
     f: impl Fn(&[crate::runner::SelRecord]) -> String,
 ) -> String {
-    let mut out = format!("{title}\n(selectivity estimation is machine-independent; PC1 shown)\n\n");
+    let mut out =
+        format!("{title}\n(selectivity estimation is machine-independent; PC1 shown)\n\n");
     for db in DbPreset::ALL {
         out.push_str(&format!("{}\n", db.label()));
         let mut t = TextTable::new(&["SR", "MICRO", "SELJOIN", "TPCH"]);

@@ -176,7 +176,7 @@ impl Lab {
         if let Some(u) = self.units.get(&machine) {
             return *u;
         }
-        let mut rng = Rng::new(self.seed ^ (machine as u64 + 1) * 0x9E37);
+        let mut rng = Rng::new(self.seed ^ ((machine as u64 + 1) * 0x9E37));
         let units = calibrate(&machine.profile(), &self.calibration, &mut rng);
         self.units.insert(machine, units);
         units
@@ -219,7 +219,8 @@ impl Lab {
                 }
             })
             .collect();
-        self.prepared.insert((preset, benchmark, instances), prepared);
+        self.prepared
+            .insert((preset, benchmark, instances), prepared);
     }
 
     /// Runs one cell of the experiment matrix (memoized: cells are
@@ -259,10 +260,17 @@ impl Lab {
         );
 
         let prepared = &self.prepared[&(cell.db, cell.benchmark, cell.instances)];
+        // Predictions are pure per-query work — fan them out (order
+        // preserved, so outcomes are identical with or without the
+        // `parallel` feature). The actual-time simulation stays sequential
+        // because it consumes the cell's RNG stream in query order.
+        let predictions = uaq_stats::parallel_map(prepared, |pq| {
+            predictor.predict(&pq.plan, catalog, &samples)
+        });
         let records = prepared
             .iter()
-            .map(|pq| {
-                let prediction = predictor.predict(&pq.plan, catalog, &samples);
+            .zip(predictions)
+            .map(|(pq, prediction)| {
                 let actual = simulate_actual_time(
                     &pq.plan,
                     &pq.contexts,
@@ -313,12 +321,7 @@ mod tests {
     #[test]
     fn micro_cell_produces_records() {
         let mut lab = tiny_lab();
-        let cell = CellConfig::new(
-            DbPreset::Uniform1G,
-            Machine::Pc1,
-            Benchmark::Micro,
-            0.05,
-        );
+        let cell = CellConfig::new(DbPreset::Uniform1G, Machine::Pc1, Benchmark::Micro, 0.05);
         let outcome = lab.run_cell(&cell);
         assert_eq!(outcome.records.len(), 72);
         for r in &outcome.records {
@@ -333,12 +336,7 @@ mod tests {
     fn cells_are_deterministic() {
         let run = || {
             let mut lab = tiny_lab();
-            let cell = CellConfig::new(
-                DbPreset::Uniform1G,
-                Machine::Pc2,
-                Benchmark::SelJoin,
-                0.05,
-            );
+            let cell = CellConfig::new(DbPreset::Uniform1G, Machine::Pc2, Benchmark::SelJoin, 0.05);
             lab.run_cell(&cell)
                 .records
                 .iter()
@@ -351,9 +349,7 @@ mod tests {
     #[test]
     fn caching_reuses_full_executions() {
         let mut lab = tiny_lab();
-        let mk = |sr: f64| {
-            CellConfig::new(DbPreset::Uniform1G, Machine::Pc1, Benchmark::Micro, sr)
-        };
+        let mk = |sr: f64| CellConfig::new(DbPreset::Uniform1G, Machine::Pc1, Benchmark::Micro, sr);
         let a = lab.run_cell(&mk(0.01));
         let b = lab.run_cell(&mk(0.1));
         // Full-pass timings identical (cached), sample passes differ in work.

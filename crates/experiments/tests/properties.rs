@@ -1,8 +1,8 @@
 //! Property-based tests for the experiment metrics.
 
 use proptest::prelude::*;
-use uaq_experiments::runner::{CellOutcome, QueryRecord, SelRecord};
 use uaq_experiments::metrics;
+use uaq_experiments::runner::{CellOutcome, QueryRecord, SelRecord};
 
 fn outcome(points: &[(f64, f64, f64)]) -> CellOutcome {
     CellOutcome {

@@ -168,7 +168,7 @@ fn min_shared_n(desc: &SelEstimate, shared: &SharedLeaves) -> f64 {
 mod tests {
     use super::*;
     use crate::estimator::estimate_selectivities;
-    use uaq_engine::{execute_on_samples, Pred, PlanBuilder};
+    use uaq_engine::{execute_on_samples, PlanBuilder, Pred};
     use uaq_stats::Rng;
     use uaq_storage::{Catalog, Column, Schema, Table, Value};
 
@@ -236,7 +236,12 @@ mod tests {
         let est = estimate_selectivities(&plan, &out, &samples, &c);
         let shared = shared_leaves(&plan, 2, 4).expect("shared");
         let bounds = cov_bounds(&est[2], &est[4], &shared);
-        assert!(bounds.b1 <= bounds.b2 + 1e-15, "B1 {} > B2 {}", bounds.b1, bounds.b2);
+        assert!(
+            bounds.b1 <= bounds.b2 + 1e-15,
+            "B1 {} > B2 {}",
+            bounds.b1,
+            bounds.b2
+        );
         assert!(bounds.b1 > 0.0);
         assert_eq!(bounds.tightest(), bounds.b1.min(bounds.b2).min(bounds.b3));
     }

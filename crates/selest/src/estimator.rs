@@ -15,7 +15,7 @@
 //! partial sum over the shared leaves.
 
 use crate::gee;
-use std::collections::HashMap;
+
 use uaq_engine::{estimate_cardinalities, ExecOutcome, NodeId, Op, Plan, SelKind};
 use uaq_stats::Normal;
 use uaq_storage::{Catalog, SampleCatalog};
@@ -183,14 +183,15 @@ fn gee_aggregate_cardinality(
     }
     let mut pairs = Vec::with_capacity(group_by.len());
     for col in group_by {
-        let leaf = plan.meta(id).leaf_tables.iter().find(|l| {
-            catalog
-                .table(&l.relation)
-                .schema()
-                .index_of(col)
-                .is_some()
-        })?;
-        pairs.push((samples.sample(&leaf.relation, leaf.occurrence), col.as_str()));
+        let leaf = plan
+            .meta(id)
+            .leaf_tables
+            .iter()
+            .find(|l| catalog.table(&l.relation).schema().index_of(col).is_some())?;
+        pairs.push((
+            samples.sample(&leaf.relation, leaf.occurrence),
+            col.as_str(),
+        ));
     }
     let refs: Vec<(&uaq_storage::SampleTable, &str)> =
         pairs.iter().map(|(s, c)| (*s, *c)).collect();
@@ -243,32 +244,36 @@ fn estimate_sampled(
     }
 
     // Q_{k,j,n}: for each leaf k, how many output tuples involve sample step
-    // j of that leaf (§3.2.2 — maintained as a hash map per relation whose
-    // size is bounded by the number of *distinct* steps seen).
+    // j of that leaf (§3.2.2). The step domain is exactly `0..n_k` (sample
+    // table row positions), so the counters live in a dense vector — one
+    // contiguous strided pass down column k of the flat provenance matrix,
+    // no hashing, and the Σ_j loop visits steps in index order, keeping the
+    // float summation order deterministic (bit-reproducible experiments).
     let mut per_leaf_var = Vec::with_capacity(arity);
-    for k in 0..arity {
-        let n_k = sizes[k];
+    let mut q: Vec<u64> = Vec::new();
+    for (k, &n_k) in sizes.iter().enumerate() {
         if n_k < 2 {
             per_leaf_var.push(0.0);
             continue;
         }
-        let mut q: HashMap<u32, u64> = HashMap::new();
-        for row in 0..prov.rows() {
-            *q.entry(prov.row(row)[k]).or_insert(0) += 1;
+        q.clear();
+        q.resize(n_k, 0);
+        for &step in prov.data[k..].iter().step_by(arity.max(1)) {
+            q[step as usize] += 1;
         }
         // D_k = ∏_{k' ≠ k} n_{k'} — the normaliser `n^{K−1}` of Eq. 5.
         let d_k = denom / n_k as f64;
-        // Σ_j (Q_j/D_k − ρ)² over all n_k steps; steps never seen contribute
-        // ρ² each, so fold them in without materialising them. Iterate in
-        // key order: float summation order must not depend on HashMap
-        // hashing, or experiments stop being bit-reproducible.
-        let seen = q.len();
-        let mut entries: Vec<(u32, u64)> = q.into_iter().collect();
-        entries.sort_unstable_by_key(|&(j, _)| j);
-        let mut sum_sq = (n_k - seen) as f64 * rho * rho;
-        for &(_, qj) in &entries {
-            let dev = qj as f64 / d_k - rho;
-            sum_sq += dev * dev;
+        // Σ_j (Q_j/D_k − ρ)² over all n_k steps (never-seen steps
+        // contribute ρ² each).
+        let rho_sq = rho * rho;
+        let mut sum_sq = 0.0;
+        for &qj in &q {
+            if qj == 0 {
+                sum_sq += rho_sq;
+            } else {
+                let dev = qj as f64 / d_k - rho;
+                sum_sq += dev * dev;
+            }
         }
         let s2_k = sum_sq / (n_k as f64 - 1.0);
         per_leaf_var.push(s2_k / n_k as f64);
@@ -287,7 +292,7 @@ fn estimate_sampled(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uaq_engine::{execute_full, execute_on_samples, Pred, PlanBuilder};
+    use uaq_engine::{execute_full, execute_on_samples, PlanBuilder, Pred};
     use uaq_stats::Rng;
     use uaq_storage::{Column, Schema, Table, Value};
 
@@ -547,12 +552,9 @@ mod tests {
         let mut rng = Rng::new(77);
         let samples = c.draw_samples(0.3, 1, &mut rng);
         let out = execute_on_samples(&plan, &samples);
-        let opt = estimate_selectivities_with(
-            &plan, &out, &samples, &c, AggCardinalitySource::Optimizer,
-        );
-        let gee = estimate_selectivities_with(
-            &plan, &out, &samples, &c, AggCardinalitySource::Gee,
-        );
+        let opt =
+            estimate_selectivities_with(&plan, &out, &samples, &c, AggCardinalitySource::Optimizer);
+        let gee = estimate_selectivities_with(&plan, &out, &samples, &c, AggCardinalitySource::Gee);
         // The scan estimate is untouched; the aggregate may differ but both
         // must be sane (catalog has 20 distinct `a` values in 1000 rows).
         assert_eq!(opt[s].rho, gee[s].rho);
@@ -582,7 +584,11 @@ mod tests {
         assert!((est[0].rho - 0.5 / n).abs() < 1e-12);
         assert!(est[0].var > 0.0);
         let std = est[0].var.sqrt();
-        assert!((std - 2.0 * est[0].rho).abs() < 1e-12, "std {std} vs rho {}", est[0].rho);
+        assert!(
+            (std - 2.0 * est[0].rho).abs() < 1e-12,
+            "std {std} vs rho {}",
+            est[0].rho
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //! what gives GEE its `O(sqrt(N/n))` ratio-error guarantee.
 
 use std::collections::HashMap;
-use uaq_storage::{SampleTable, Value};
+#[cfg(test)]
+use uaq_storage::Value;
+use uaq_storage::{ColumnData, SampleTable};
 
 /// Frequency-of-frequencies profile of a sample column.
 #[derive(Debug, Clone, Default)]
@@ -30,14 +32,36 @@ pub struct FrequencyProfile {
 }
 
 impl FrequencyProfile {
-    /// Profiles one column of a sample (by column index).
+    /// Profiles one column of a sample (by column index). Reads the typed
+    /// column directly — materializing the sample's row mirror just to
+    /// count one column would undo the columnar draw fast path.
     pub fn from_sample_column(sample: &SampleTable, column_idx: usize) -> Self {
-        let mut counts: HashMap<&Value, usize> = HashMap::new();
-        for row in sample.table().rows() {
-            *counts.entry(&row[column_idx]).or_insert(0) += 1;
-        }
+        let counts: Vec<usize> = match &sample.table().columns()[column_idx] {
+            ColumnData::Int(v) => {
+                let mut m: HashMap<i64, usize> = HashMap::new();
+                for &x in v {
+                    *m.entry(x).or_insert(0) += 1;
+                }
+                m.into_values().collect()
+            }
+            ColumnData::Float(v) => {
+                // Bit equality, matching `Value::eq` on floats.
+                let mut m: HashMap<u64, usize> = HashMap::new();
+                for &x in v {
+                    *m.entry(x.to_bits()).or_insert(0) += 1;
+                }
+                m.into_values().collect()
+            }
+            ColumnData::Str(v) => {
+                let mut m: HashMap<&str, usize> = HashMap::new();
+                for x in v {
+                    *m.entry(x).or_insert(0) += 1;
+                }
+                m.into_values().collect()
+            }
+        };
         let mut freq_of_freq: Vec<usize> = Vec::new();
-        for &c in counts.values() {
+        for &c in &counts {
             if c > freq_of_freq.len() {
                 freq_of_freq.resize(c, 0);
             }
@@ -96,10 +120,7 @@ pub fn gee_distinct_for_column(sample: &SampleTable, column: &str) -> f64 {
 /// columns: the product of per-column GEE distinct estimates (independence
 /// across grouping columns, as the optimizer assumes), capped by the
 /// estimated input cardinality.
-pub fn gee_group_count(
-    samples: &[(&SampleTable, &str)],
-    input_cardinality_estimate: f64,
-) -> f64 {
+pub fn gee_group_count(samples: &[(&SampleTable, &str)], input_cardinality_estimate: f64) -> f64 {
     let product: f64 = samples
         .iter()
         .map(|(s, col)| gee_distinct_for_column(s, col))
@@ -145,7 +166,10 @@ mod tests {
         let s = SampleTable::draw(&base, 6, 0, &mut rng);
         let p = FrequencyProfile::from_sample_column(&s, 0);
         assert_eq!(p.sample_size(), 6);
-        assert_eq!(p.distinct_in_sample(), p.f(1) + p.f(2) + p.f(3) + p.f(4) + p.f(5) + p.f(6));
+        assert_eq!(
+            p.distinct_in_sample(),
+            p.f(1) + p.f(2) + p.f(3) + p.f(4) + p.f(5) + p.f(6)
+        );
         assert_eq!(p.f(0), 0);
     }
 
@@ -181,7 +205,10 @@ mod tests {
             (gee - truth).abs() < (naive - truth).abs(),
             "gee {gee} vs naive {naive}, truth {truth}"
         );
-        assert!((gee - truth).abs() / truth < 0.5, "gee {gee} vs truth {truth}");
+        assert!(
+            (gee - truth).abs() / truth < 0.5,
+            "gee {gee} vs truth {truth}"
+        );
     }
 
     #[test]
@@ -207,7 +234,10 @@ mod tests {
         // GEE's guarantee is a ratio error of O(sqrt(N/n)) ≈ 3.2 here; in
         // practice it lands much closer.
         let ratio = (est / truth).max(truth / est);
-        assert!(ratio < 3.2, "ratio error {ratio} (est {est}, truth {truth})");
+        assert!(
+            ratio < 3.2,
+            "ratio error {ratio} (est {est}, truth {truth})"
+        );
     }
 
     #[test]

@@ -12,13 +12,17 @@ fn catalog(t: &[(i64, i64)], u: &[(i64, i64)]) -> Catalog {
     c.add_table(Table::new(
         "t",
         ts,
-        t.iter().map(|&(a, b)| vec![Value::Int(a), Value::Int(b)]).collect(),
+        t.iter()
+            .map(|&(a, b)| vec![Value::Int(a), Value::Int(b)])
+            .collect(),
     ));
     let us = Schema::new(vec![Column::int("x"), Column::int("y")]);
     c.add_table(Table::new(
         "u",
         us,
-        u.iter().map(|&(x, y)| vec![Value::Int(x), Value::Int(y)]).collect(),
+        u.iter()
+            .map(|&(x, y)| vec![Value::Int(x), Value::Int(y)])
+            .collect(),
     ));
     c
 }

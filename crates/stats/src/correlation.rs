@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn ranks_with_ties_average() {
-        assert_eq!(average_ranks(&[1.0, 2.0, 2.0, 3.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(
+            average_ranks(&[1.0, 2.0, 2.0, 3.0]),
+            vec![1.0, 2.5, 2.5, 4.0]
+        );
         assert_eq!(average_ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
     }
 

@@ -25,7 +25,11 @@ pub fn alpha_grid(n: usize, hi: f64) -> Vec<f64> {
 /// Queries with `σ_i == 0` are skipped only if their error is also zero is
 /// impossible to normalise; we map them to `+∞` when the error is nonzero
 /// (the prediction claimed certainty and was wrong) and `0` otherwise.
-pub fn normalized_errors(predicted_means: &[f64], predicted_stds: &[f64], actuals: &[f64]) -> Vec<f64> {
+pub fn normalized_errors(
+    predicted_means: &[f64],
+    predicted_stds: &[f64],
+    actuals: &[f64],
+) -> Vec<f64> {
     assert_eq!(predicted_means.len(), predicted_stds.len());
     assert_eq!(predicted_means.len(), actuals.len());
     predicted_means
@@ -67,7 +71,11 @@ pub fn dn_at(normalized_errors: &[f64], alpha: f64) -> f64 {
 /// Average `D_n` over an α grid (the scalar the paper reports in Table 5).
 pub fn dn_average(normalized_errors: &[f64], alphas: &[f64]) -> f64 {
     assert!(!alphas.is_empty());
-    alphas.iter().map(|&a| dn_at(normalized_errors, a)).sum::<f64>() / alphas.len() as f64
+    alphas
+        .iter()
+        .map(|&a| dn_at(normalized_errors, a))
+        .sum::<f64>()
+        / alphas.len() as f64
 }
 
 /// Default `D_n`: 60 evenly spaced α values over `(0, 6]`.

@@ -132,7 +132,7 @@ pub fn std_normal_quantile(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -237,7 +237,17 @@ mod tests {
 
     #[test]
     fn quantile_inverts_cdf() {
-        for p in [1e-6, 0.001, 0.025, 0.31, 0.5, 0.77, 0.975, 0.999, 1.0 - 1e-6] {
+        for p in [
+            1e-6,
+            0.001,
+            0.025,
+            0.31,
+            0.5,
+            0.77,
+            0.975,
+            0.999,
+            1.0 - 1e-6,
+        ] {
             let x = std_normal_quantile(p);
             assert_close(std_normal_cdf(x), p, 1e-11);
         }

@@ -32,6 +32,18 @@ impl Matrix {
         }
     }
 
+    /// Creates a matrix from flat row-major data with `cols` columns.
+    pub fn from_flat(data: Vec<f64>, cols: usize) -> Self {
+        assert!(cols > 0, "zero-column matrix");
+        assert_eq!(data.len() % cols, 0, "flat data not a multiple of cols");
+        assert!(!data.is_empty(), "empty matrix");
+        Self {
+            rows: data.len() / cols,
+            cols,
+            data,
+        }
+    }
+
     pub fn rows(&self) -> usize {
         self.rows
     }
@@ -60,10 +72,10 @@ impl Matrix {
     pub fn tr_mul_vec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows);
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &vr) in v.iter().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
             for (o, &a) in out.iter_mut().zip(row) {
-                *o += a * v[r];
+                *o += a * vr;
             }
         }
         out
@@ -88,8 +100,10 @@ fn solve_square(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
             if factor == 0.0 {
                 continue;
             }
-            for c in col..n {
-                m[r][c] -= factor * m[col][c];
+            let (pivot, rest) = m.split_at_mut(r);
+            let pivot_vals = pivot[col][col..n].to_vec();
+            for (mc, pc) in rest[0][col..n].iter_mut().zip(&pivot_vals) {
+                *mc -= factor * pc;
             }
             b[r] -= factor * b[col];
         }
@@ -105,28 +119,23 @@ fn solve_square(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     Some(z)
 }
 
-/// Unconstrained least squares restricted to the columns in `passive`
-/// (normal equations; our systems are tiny and well scaled).
-fn ls_on_passive(a: &Matrix, y: &[f64], passive: &[usize]) -> Option<Vec<f64>> {
+/// Unconstrained least squares restricted to the columns in `passive`,
+/// solved from the precomputed Gram matrix / right-hand side (normal
+/// equations; our systems are tiny and well scaled).
+fn ls_on_passive(gram: &[Vec<f64>], b: &[f64], passive: &[usize]) -> Option<Vec<f64>> {
     let p = passive.len();
     let mut ata = vec![vec![0.0; p]; p];
     let mut aty = vec![0.0; p];
-    for r in 0..a.rows() {
-        for (i, &ci) in passive.iter().enumerate() {
-            let ai = a.at(r, ci);
-            aty[i] += ai * y[r];
-            for (j, &cj) in passive.iter().enumerate().skip(i) {
-                ata[i][j] += ai * a.at(r, cj);
-            }
+    for (i, &ci) in passive.iter().enumerate() {
+        aty[i] = b[ci];
+        for (j, &cj) in passive.iter().enumerate() {
+            ata[i][j] = gram[ci][cj];
         }
     }
-    // Mirror the upper triangle and add a whisper of ridge for near-collinear
-    // grids (e.g. a degenerate fitting interval where X is constant).
-    for i in 0..p {
-        ata[i][i] += 1e-12 * (1.0 + ata[i][i]);
-        for j in 0..i {
-            ata[i][j] = ata[j][i];
-        }
+    // A whisper of ridge for near-collinear grids (e.g. a degenerate
+    // fitting interval where X is constant).
+    for (i, row) in ata.iter_mut().enumerate() {
+        row[i] += 1e-12 * (1.0 + row[i]);
     }
     solve_square(ata, aty)
 }
@@ -147,17 +156,41 @@ pub fn nnls(a: &Matrix, y: &[f64]) -> NnlsSolution {
     let mut x = vec![0.0; n];
     let mut in_passive = vec![false; n];
     let tol = 1e-10
-        * a.data
-            .iter()
-            .fold(0.0f64, |m, v| m.max(v.abs()))
-            .max(1.0)
+        * a.data.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0)
         * y.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
 
+    // Precompute the Gram matrix `G = AᵀA` and `b = Aᵀy` once: every
+    // gradient evaluation and every passive-set solve below reads these
+    // (O(n²)) instead of rescanning the full design matrix (O(rows·n²)
+    // per active-set iteration).
+    let mut gram = vec![vec![0.0f64; n]; n];
+    for r in 0..a.rows() {
+        for (i, row) in gram.iter_mut().enumerate() {
+            let ai = a.at(r, i);
+            if ai == 0.0 {
+                continue;
+            }
+            for (j, g) in row.iter_mut().enumerate().skip(i) {
+                *g += ai * a.at(r, j);
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..n {
+        let (head, tail) = gram.split_at_mut(i);
+        for (j, row) in head.iter().enumerate() {
+            tail[0][j] = row[i];
+        }
+    }
+    let b = a.tr_mul_vec(y);
+
     for _outer in 0..10 * n.max(3) {
-        // Gradient of 0.5‖Ax − y‖²: w = Aᵀ(y − Ax).
-        let ax = a.mul_vec(&x);
-        let resid: Vec<f64> = y.iter().zip(&ax).map(|(yi, axi)| yi - axi).collect();
-        let w = a.tr_mul_vec(&resid);
+        // Gradient of 0.5‖Ax − y‖²: w = Aᵀ(y − Ax) = b − Gx.
+        let w: Vec<f64> = b
+            .iter()
+            .zip(&gram)
+            .map(|(bi, gi)| bi - gi.iter().zip(&x).map(|(g, xj)| g * xj).sum::<f64>())
+            .collect();
 
         let candidate = (0..n)
             .filter(|&i| !in_passive[i])
@@ -171,7 +204,7 @@ pub fn nnls(a: &Matrix, y: &[f64]) -> NnlsSolution {
         // Inner loop: keep the passive solution feasible.
         for _inner in 0..10 * n.max(3) {
             let passive: Vec<usize> = (0..n).filter(|&i| in_passive[i]).collect();
-            let Some(z_p) = ls_on_passive(a, y, &passive) else {
+            let Some(z_p) = ls_on_passive(&gram, &b, &passive) else {
                 // Singular subproblem: drop the newest variable and give up on it.
                 in_passive[j] = false;
                 break;
@@ -334,9 +367,9 @@ mod tests {
             let ax = a.mul_vec(&sol.x);
             let resid: Vec<f64> = y.iter().zip(&ax).map(|(yi, axi)| yi - axi).collect();
             let w = a.tr_mul_vec(&resid);
-            for i in 0..cols {
-                assert!(sol.x[i] >= 0.0, "infeasible x");
-                if sol.x[i] > 1e-8 {
+            for (i, &xi) in sol.x.iter().enumerate() {
+                assert!(xi >= 0.0, "infeasible x");
+                if xi > 1e-8 {
                     // Active coordinates: zero gradient.
                     assert!(w[i].abs() < 1e-5, "grad {} at active coord", w[i]);
                 } else {

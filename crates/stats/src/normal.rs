@@ -161,7 +161,12 @@ pub fn lemma8_var(b0: f64, b1: f64, b2: f64, xl: &Normal, xr: &Normal) -> f64 {
 /// (cost function × cost unit, §5.2.2):
 /// `E[FC] = E[F]E[C]`,
 /// `Var[FC] = E[F]²Var[C] + E[C]²Var[F] + Var[F]Var[C]`.
-pub fn independent_product_mean_var(f_mean: f64, f_var: f64, c_mean: f64, c_var: f64) -> (f64, f64) {
+pub fn independent_product_mean_var(
+    f_mean: f64,
+    f_var: f64,
+    c_mean: f64,
+    c_var: f64,
+) -> (f64, f64) {
     let mean = f_mean * c_mean;
     let var = f_mean * f_mean * c_var + c_mean * c_mean * f_var + f_var * c_var;
     (mean, var)
@@ -248,7 +253,10 @@ mod tests {
         let y = Normal::new(-2.0, 0.9);
         let (m, v) = mc_moments(|a, b| a * b, x, y, 400_000);
         assert!((product::mean(&x, &y) - m).abs() < 0.02, "{m}");
-        assert!((product::var(&x, &y) - v).abs() / v.abs().max(1.0) < 0.03, "{v}");
+        assert!(
+            (product::var(&x, &y) - v).abs() / v.abs().max(1.0) < 0.03,
+            "{v}"
+        );
     }
 
     #[test]
@@ -256,7 +264,12 @@ mod tests {
         let x = Normal::new(0.3, 0.01);
         let (b0, b1, b2) = (5.0, 2.0, 1.0);
         let f_var = lemma4_var(b0, b1, &x);
-        let (_, v) = mc_moments(|a, _| b0 * a * a + b1 * a + b2, x, Normal::point(0.0), 400_000);
+        let (_, v) = mc_moments(
+            |a, _| b0 * a * a + b1 * a + b2,
+            x,
+            Normal::point(0.0),
+            400_000,
+        );
         assert!((f_var - v).abs() / f_var < 0.03, "analytic={f_var}, mc={v}");
     }
 

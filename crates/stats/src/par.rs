@@ -1,0 +1,129 @@
+//! Order-preserving parallel map over slices.
+//!
+//! The prediction pipeline has two embarrassingly parallel outer loops —
+//! Monte-Carlo sample draws and per-query experiment runs — whose bodies
+//! are pure functions of their input. [`parallel_map`] fans those out over
+//! `std::thread::scope` when the `parallel` cargo feature is enabled and
+//! degrades to a plain sequential map otherwise, so callers need no `cfg`
+//! of their own and results are **identical** (same values, same order)
+//! either way.
+//!
+//! Built on scoped threads rather than an external work-stealing runtime so
+//! the workspace stays dependency-free; the unit of work here (executing a
+//! plan over samples, predicting a query) is far coarser than a
+//! work-stealing scheduler needs.
+
+/// Maps `f` over `items`, preserving order. Runs on
+/// `std::thread::available_parallelism` threads when the `parallel` feature
+/// is on; sequentially otherwise. `f` must be pure with respect to ordering
+/// — results are returned in input order regardless of scheduling.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZero::get)
+            .unwrap_or(1)
+            .min(items.len().max(1));
+        parallel_map_with_threads(items, f, threads)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        items.iter().map(f).collect()
+    }
+}
+
+/// [`parallel_map`] with an explicit worker count. Exposed so the threaded
+/// path is exercisable (and testable) even on single-core machines, where
+/// `available_parallelism` would otherwise always select the sequential
+/// branch.
+#[cfg(feature = "parallel")]
+pub fn parallel_map_with_threads<T, R, F>(items: &[T], f: F, threads: usize) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Dynamic work claiming (atomic counter) balances heterogeneous
+    // items; the per-item mutex push is negligible next to the work.
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                collected.lock().expect("no poisoned workers").push((i, r));
+            });
+        }
+    });
+
+    let mut pairs = collected.into_inner().expect("all workers joined");
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// True when the `parallel` feature is compiled in (for reporting).
+pub fn parallel_enabled() -> bool {
+    cfg!(feature = "parallel")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let ys = parallel_map(&xs, |&x| x * x);
+        assert_eq!(ys.len(), 1000);
+        for (i, y) in ys.iter().enumerate() {
+            assert_eq!(*y, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = vec![];
+        assert!(parallel_map(&none, |&x| x).is_empty());
+        assert_eq!(parallel_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn matches_sequential_reference() {
+        let xs: Vec<i64> = (0..257).map(|i| i * 3 - 100).collect();
+        let seq: Vec<i64> = xs.iter().map(|&x| x.wrapping_mul(x) - 1).collect();
+        assert_eq!(parallel_map(&xs, |&x| x.wrapping_mul(x) - 1), seq);
+    }
+
+    /// Forces the scoped-thread path even on single-core machines (where
+    /// `parallel_map` itself would pick the sequential branch).
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn threaded_path_preserves_order() {
+        let xs: Vec<u64> = (0..1001).collect();
+        let seq: Vec<u64> = xs.iter().map(|&x| x * 7 + 1).collect();
+        for threads in [2, 4, 16] {
+            assert_eq!(
+                parallel_map_with_threads(&xs, |&x| x * 7 + 1, threads),
+                seq,
+                "threads = {threads}"
+            );
+        }
+    }
+}

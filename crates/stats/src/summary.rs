@@ -142,8 +142,14 @@ mod tests {
     fn welford_stability_with_large_offset() {
         // Catastrophic cancellation check: values near 1e9 with unit variance.
         let mut rng = Rng::new(5150);
-        let w: Welford = (0..100_000).map(|_| 1.0e9 + rng.standard_normal()).collect();
-        assert!((w.sample_variance() - 1.0).abs() < 0.03, "{}", w.sample_variance());
+        let w: Welford = (0..100_000)
+            .map(|_| 1.0e9 + rng.standard_normal())
+            .collect();
+        assert!(
+            (w.sample_variance() - 1.0).abs() < 0.03,
+            "{}",
+            w.sample_variance()
+        );
     }
 
     #[test]

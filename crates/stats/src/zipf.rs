@@ -90,13 +90,13 @@ mod tests {
         let z = Zipf::new(20, 1.0);
         let mut rng = Rng::new(31337);
         let n = 200_000;
-        let mut counts = vec![0u32; 20];
+        let mut counts = [0u32; 20];
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for k in 0..20 {
+        for (k, &count) in counts.iter().enumerate() {
             let expected = z.pmf(k) * n as f64;
-            let got = counts[k] as f64;
+            let got = count as f64;
             assert!(
                 (got - expected).abs() < 5.0 * expected.sqrt().max(8.0),
                 "rank {k}: got {got}, expected {expected}"

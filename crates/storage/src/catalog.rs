@@ -34,7 +34,10 @@ impl TableStats {
             }
             distinct.insert(col.name.clone(), seen.len());
             if !numeric.is_empty() {
-                histograms.insert(col.name.clone(), Histogram::build(&numeric, HISTOGRAM_BUCKETS));
+                histograms.insert(
+                    col.name.clone(),
+                    Histogram::build(&numeric, HISTOGRAM_BUCKETS),
+                );
             }
         }
         Self {

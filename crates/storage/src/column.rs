@@ -1,0 +1,197 @@
+//! Column-major data: one typed vector per column.
+//!
+//! The engine's data plane executes over [`ColumnData`] batches instead of
+//! `Vec<Row>`: a selection is an index vector into typed columns, a join
+//! gathers row indices, and only the final result is materialized back into
+//! rows. The three variants mirror the 3-type [`Value`] model — 64-bit
+//! integers, 64-bit floats, and interned strings.
+
+use crate::schema::{ColumnType, Schema};
+use crate::value::{Row, Value};
+use std::sync::Arc;
+
+/// One column of values, stored contiguously by type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<Arc<str>>),
+}
+
+impl ColumnData {
+    /// An empty column of the given type.
+    pub fn empty(ty: ColumnType) -> Self {
+        match ty {
+            ColumnType::Int => ColumnData::Int(Vec::new()),
+            ColumnType::Float => ColumnData::Float(Vec::new()),
+            ColumnType::Str => ColumnData::Str(Vec::new()),
+        }
+    }
+
+    /// An empty column of the given type with reserved capacity.
+    pub fn with_capacity(ty: ColumnType, cap: usize) -> Self {
+        match ty {
+            ColumnType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            ColumnType::Float => ColumnData::Float(Vec::with_capacity(cap)),
+            ColumnType::Str => ColumnData::Str(Vec::with_capacity(cap)),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn ty(&self) -> ColumnType {
+        match self {
+            ColumnData::Int(_) => ColumnType::Int,
+            ColumnData::Float(_) => ColumnType::Float,
+            ColumnData::Str(_) => ColumnType::Str,
+        }
+    }
+
+    /// Materializes cell `i` as a [`Value`].
+    pub fn value(&self, i: usize) -> Value {
+        match self {
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+        }
+    }
+
+    /// Appends a value; panics if the value's type does not match the column.
+    pub fn push(&mut self, v: &Value) {
+        match (self, v) {
+            (ColumnData::Int(col), Value::Int(x)) => col.push(*x),
+            (ColumnData::Float(col), Value::Float(x)) => col.push(*x),
+            // Int widens into a Float column (aggregate outputs may mix the
+            // two, e.g. an empty-input MIN defaulting to integer zero).
+            (ColumnData::Float(col), Value::Int(x)) => col.push(*x as f64),
+            (ColumnData::Str(col), Value::Str(x)) => col.push(x.clone()),
+            (col, v) => panic!("cannot push {v:?} into {:?} column", col.ty()),
+        }
+    }
+
+    /// New column containing `self[idx[0]], self[idx[1]], …`.
+    pub fn gather(&self, idx: &[u32]) -> ColumnData {
+        match self {
+            ColumnData::Int(v) => ColumnData::Int(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(idx.iter().map(|&i| v[i as usize]).collect()),
+            ColumnData::Str(v) => {
+                ColumnData::Str(idx.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        }
+    }
+
+    /// Appends `src[idx[0]], src[idx[1]], …` onto `self` (same type required).
+    pub fn extend_gather(&mut self, src: &ColumnData, idx: &[u32]) {
+        match (self, src) {
+            (ColumnData::Int(dst), ColumnData::Int(v)) => {
+                dst.extend(idx.iter().map(|&i| v[i as usize]));
+            }
+            (ColumnData::Float(dst), ColumnData::Float(v)) => {
+                dst.extend(idx.iter().map(|&i| v[i as usize]));
+            }
+            (ColumnData::Str(dst), ColumnData::Str(v)) => {
+                dst.extend(idx.iter().map(|&i| v[i as usize].clone()));
+            }
+            (dst, src) => panic!(
+                "extend_gather type mismatch: {:?} <- {:?}",
+                dst.ty(),
+                src.ty()
+            ),
+        }
+    }
+}
+
+impl AsRef<ColumnData> for ColumnData {
+    fn as_ref(&self) -> &ColumnData {
+        self
+    }
+}
+
+/// Builds column vectors from schema-conformant rows.
+pub fn columns_from_rows(schema: &Schema, rows: &[Row]) -> Vec<ColumnData> {
+    let mut cols: Vec<ColumnData> = schema
+        .columns()
+        .iter()
+        .map(|c| ColumnData::with_capacity(c.ty, rows.len()))
+        .collect();
+    for row in rows {
+        debug_assert_eq!(row.len(), cols.len(), "row arity mismatch");
+        for (col, v) in cols.iter_mut().zip(row) {
+            col.push(v);
+        }
+    }
+    cols
+}
+
+/// Materializes rows `0..len` from a set of equal-length columns.
+pub fn rows_from_columns(cols: &[ColumnData], len: usize) -> Vec<Row> {
+    (0..len)
+        .map(|i| cols.iter().map(|c| c.value(i)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+
+    fn sample() -> (Schema, Vec<Row>) {
+        let schema = Schema::new(vec![Column::int("a"), Column::float("b"), Column::str("c")]);
+        let rows = (0..5)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Float(i as f64 * 0.5),
+                    Value::str(format!("s{i}")),
+                ]
+            })
+            .collect();
+        (schema, rows)
+    }
+
+    #[test]
+    fn roundtrip_rows_columns_rows() {
+        let (schema, rows) = sample();
+        let cols = columns_from_rows(&schema, &rows);
+        assert_eq!(cols.len(), 3);
+        assert!(cols.iter().all(|c| c.len() == 5));
+        assert_eq!(rows_from_columns(&cols, 5), rows);
+    }
+
+    #[test]
+    fn gather_selects_and_reorders() {
+        let (schema, rows) = sample();
+        let cols = columns_from_rows(&schema, &rows);
+        let g = cols[0].gather(&[4, 0, 0]);
+        assert_eq!(g, ColumnData::Int(vec![4, 0, 0]));
+        let mut acc = ColumnData::empty(ColumnType::Str);
+        acc.extend_gather(&cols[2], &[1, 3]);
+        assert_eq!(acc.value(0), Value::str("s1"));
+        assert_eq!(acc.value(1), Value::str("s3"));
+    }
+
+    #[test]
+    fn push_widens_int_into_float() {
+        let mut c = ColumnData::empty(ColumnType::Float);
+        c.push(&Value::Int(3));
+        assert_eq!(c.value(0), Value::Float(3.0));
+        // Cross-type Value equality also holds: Int(3) == Float(3.0).
+        assert_eq!(c.value(0), Value::Int(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot push")]
+    fn push_rejects_str_into_int() {
+        ColumnData::empty(ColumnType::Int).push(&Value::str("x"));
+    }
+}

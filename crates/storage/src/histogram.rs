@@ -186,13 +186,18 @@ mod tests {
         for cut in [0.1, 1.0, 10.0, 50.0] {
             let truth = values.iter().filter(|&&v| v < cut).count() as f64 / 20_000.0;
             let est = h.fraction_below(cut);
-            assert!((est - truth).abs() < 0.03, "cut={cut}: est={est} truth={truth}");
+            assert!(
+                (est - truth).abs() < 0.03,
+                "cut={cut}: est={est} truth={truth}"
+            );
         }
     }
 
     #[test]
     fn eq_selectivity_uniform_over_distinct() {
-        let values: Vec<f64> = (0..100).flat_map(|i| std::iter::repeat(i as f64).take(5)).collect();
+        let values: Vec<f64> = (0..100)
+            .flat_map(|i| std::iter::repeat_n(i as f64, 5))
+            .collect();
         let h = Histogram::build(&values, 10);
         assert_eq!(h.distinct(), 100);
         assert!((h.eq_selectivity(42.0) - 0.01).abs() < 1e-12);

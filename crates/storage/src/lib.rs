@@ -6,6 +6,7 @@
 //! sample tables (the materialized sampling views of §3.2.2 of the paper).
 
 pub mod catalog;
+pub mod column;
 pub mod histogram;
 pub mod sample;
 pub mod schema;
@@ -13,6 +14,7 @@ pub mod table;
 pub mod value;
 
 pub use catalog::{Catalog, SampleCatalog, TableStats};
+pub use column::{columns_from_rows, rows_from_columns, ColumnData};
 pub use histogram::Histogram;
 pub use sample::{sample_size_for_ratio, SampleTable};
 pub use schema::{Column, ColumnType, Schema};

@@ -34,14 +34,21 @@ impl SampleTable {
     /// Draws `n` tuples i.i.d. with replacement from `base`.
     pub fn draw(base: &Table, n: usize, copy: usize, rng: &mut Rng) -> Self {
         assert!(n > 0, "empty sample of {}", base.name());
-        assert!(!base.is_empty(), "cannot sample empty table {}", base.name());
-        let rows = (0..n)
-            .map(|_| base.rows()[rng.usize_below(base.len())].clone())
-            .collect();
-        let table = Table::with_page_size(
+        assert!(
+            !base.is_empty(),
+            "cannot sample empty table {}",
+            base.name()
+        );
+        // Gather typed columns by sampled index instead of cloning rows —
+        // the draw itself is on the Monte-Carlo hot path, and the row
+        // mirror of the resulting table stays unmaterialized unless a row
+        // consumer asks for it.
+        let idx: Vec<u32> = (0..n).map(|_| rng.usize_below(base.len()) as u32).collect();
+        let columns = base.columns().iter().map(|c| c.gather(&idx)).collect();
+        let table = Table::from_columns(
             format!("{}#s{}", base.name(), copy),
             base.schema().clone(),
-            rows,
+            columns,
             base.tuples_per_page(),
         );
         Self {
@@ -94,7 +101,10 @@ impl SampleTable {
 /// steps are i.i.d. with replacement, but beyond `|R|` extra steps add
 /// nothing for our in-memory substrate).
 pub fn sample_size_for_ratio(base_rows: usize, ratio: f64) -> usize {
-    assert!(ratio > 0.0 && ratio.is_finite(), "bad sampling ratio {ratio}");
+    assert!(
+        ratio > 0.0 && ratio.is_finite(),
+        "bad sampling ratio {ratio}"
+    );
     let target = (base_rows as f64 * ratio).round() as usize;
     target.max(30).min(base_rows.max(1))
 }

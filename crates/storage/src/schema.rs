@@ -39,10 +39,13 @@ impl Column {
     }
 }
 
-/// An ordered list of columns.
+/// An ordered list of columns. Backed by an `Arc` slice so the executor can
+/// clone schemas per operator per execution for the cost of a refcount bump
+/// (column names are `String`s; deep-cloning them dominated small sample
+/// runs).
 #[derive(Debug, Clone, Default)]
 pub struct Schema {
-    columns: Vec<Column>,
+    columns: std::sync::Arc<[Column]>,
 }
 
 impl Schema {
@@ -51,7 +54,9 @@ impl Schema {
         for c in &columns {
             assert!(names.insert(c.name.clone()), "duplicate column {}", c.name);
         }
-        Self { columns }
+        Self {
+            columns: columns.into(),
+        }
     }
 
     pub fn columns(&self) -> &[Column] {
@@ -92,7 +97,7 @@ impl Schema {
     /// Concatenation of two schemas (the output schema of a join), prefixing
     /// nothing: callers are expected to have disambiguated names already.
     pub fn concat(&self, other: &Schema) -> Schema {
-        let mut columns = self.columns.clone();
+        let mut columns: Vec<Column> = self.columns.to_vec();
         columns.extend(other.columns.iter().cloned());
         Schema::new(columns)
     }
@@ -100,11 +105,13 @@ impl Schema {
     /// Checks a row against the schema (debug validation).
     pub fn validates(&self, row: &[Value]) -> bool {
         row.len() == self.columns.len()
-            && row.iter().zip(&self.columns).all(|(v, c)| match (v, c.ty) {
-                (Value::Int(_), ColumnType::Int) => true,
-                (Value::Float(_), ColumnType::Float) => true,
-                (Value::Str(_), ColumnType::Str) => true,
-                _ => false,
+            && row.iter().zip(self.columns.iter()).all(|(v, c)| {
+                matches!(
+                    (v, c.ty),
+                    (Value::Int(_), ColumnType::Int)
+                        | (Value::Float(_), ColumnType::Float)
+                        | (Value::Str(_), ColumnType::Str)
+                )
             })
     }
 }

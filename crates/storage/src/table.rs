@@ -4,18 +4,28 @@
 //! many disk pages it would occupy (`tuples_per_page` is a storage
 //! parameter, default 64 — a stand-in for 8 KB pages of ~128-byte tuples).
 
+use crate::column::{columns_from_rows, rows_from_columns, ColumnData};
 use crate::schema::Schema;
 use crate::value::Row;
+use std::sync::OnceLock;
 
 /// Default number of tuples per page in the simulated storage layer.
 pub const DEFAULT_TUPLES_PER_PAGE: usize = 64;
 
-/// An in-memory table: schema + rows + page geometry.
+/// An in-memory table: schema + columns + page geometry.
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: Schema,
-    rows: Vec<Row>,
+    /// Column-major data — what the executor's data plane reads.
+    columns: Vec<ColumnData>,
+    /// Cardinality `|R|` (columns may be consulted lazily).
+    len: usize,
+    /// Row-major mirror, materialized on first `rows()` call. Tables built
+    /// from rows keep the caller's vector; tables built from columns (e.g.
+    /// sample draws on the Monte-Carlo hot path) never pay for it unless a
+    /// row consumer — like the row-based reference executor — asks.
+    rows: OnceLock<Vec<Row>>,
     tuples_per_page: usize,
 }
 
@@ -36,10 +46,36 @@ impl Table {
             rows.iter().all(|r| schema.validates(r)),
             "row does not match schema of table {name}"
         );
+        let columns = columns_from_rows(&schema, &rows);
         Self {
             name,
             schema,
-            rows,
+            len: rows.len(),
+            columns,
+            rows: OnceLock::from(rows),
+            tuples_per_page,
+        }
+    }
+
+    /// Builds a table directly from column vectors; the row mirror stays
+    /// unmaterialized until someone calls [`Self::rows`]. Used by the
+    /// sample-drawing fast path.
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<ColumnData>,
+        tuples_per_page: usize,
+    ) -> Self {
+        assert!(tuples_per_page > 0);
+        let len = columns.first().map_or(0, ColumnData::len);
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        debug_assert_eq!(columns.len(), schema.len());
+        Self {
+            name: name.into(),
+            schema,
+            len,
+            columns,
+            rows: OnceLock::new(),
             tuples_per_page,
         }
     }
@@ -52,17 +88,24 @@ impl Table {
         &self.schema
     }
 
+    /// Row-major view (materialized lazily on first call).
     pub fn rows(&self) -> &[Row] {
-        &self.rows
+        self.rows
+            .get_or_init(|| rows_from_columns(&self.columns, self.len))
+    }
+
+    /// Column-major view of the table (one typed vector per column).
+    pub fn columns(&self) -> &[ColumnData] {
+        &self.columns
     }
 
     /// Cardinality `|R|`.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
     }
 
     pub fn tuples_per_page(&self) -> usize {
@@ -71,7 +114,7 @@ impl Table {
 
     /// Number of pages the table occupies: `ceil(|R| / tuples_per_page)`.
     pub fn pages(&self) -> usize {
-        self.rows.len().div_ceil(self.tuples_per_page)
+        self.len.div_ceil(self.tuples_per_page)
     }
 
     /// Column index by name.

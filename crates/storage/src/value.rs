@@ -100,8 +100,10 @@ impl Ord for Value {
             (Value::Str(a), Value::Str(b)) => a.cmp(b),
             (a, b) => {
                 let (x, y) = (
-                    a.numeric().unwrap_or_else(|| panic!("cannot order {a:?} vs {b:?}")),
-                    b.numeric().unwrap_or_else(|| panic!("cannot order {a:?} vs {b:?}")),
+                    a.numeric()
+                        .unwrap_or_else(|| panic!("cannot order {a:?} vs {b:?}")),
+                    b.numeric()
+                        .unwrap_or_else(|| panic!("cannot order {a:?} vs {b:?}")),
                 );
                 x.partial_cmp(&y).expect("NaN in ordered value")
             }

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use uaq_stats::Rng;
-use uaq_storage::{sample_size_for_ratio, Catalog, Column, Histogram, SampleTable, Schema, Table, Value};
+use uaq_storage::{
+    sample_size_for_ratio, Catalog, Column, Histogram, SampleTable, Schema, Table, Value,
+};
 
 fn table_of(values: &[i64]) -> Table {
     let schema = Schema::new(vec![Column::int("v")]);

@@ -42,21 +42,30 @@ pub fn micro_queries(catalog: &Catalog) -> Vec<QuerySpec> {
             format!("micro-scan-lineitem-{i}"),
             TableRef::new(
                 "lineitem",
-                Pred::le("l_shipdate", cutoff_int(catalog, "lineitem", "l_shipdate", sel)),
+                Pred::le(
+                    "l_shipdate",
+                    cutoff_int(catalog, "lineitem", "l_shipdate", sel),
+                ),
             ),
         ));
         out.push(QuerySpec::scan(
             format!("micro-scan-orders-{i}"),
             TableRef::new(
                 "orders",
-                Pred::le("o_totalprice", cutoff(catalog, "orders", "o_totalprice", sel)),
+                Pred::le(
+                    "o_totalprice",
+                    cutoff(catalog, "orders", "o_totalprice", sel),
+                ),
             ),
         ));
         out.push(QuerySpec::scan(
             format!("micro-scan-part-{i}"),
             TableRef::new(
                 "part",
-                Pred::le("p_retailprice", cutoff(catalog, "part", "p_retailprice", sel)),
+                Pred::le(
+                    "p_retailprice",
+                    cutoff(catalog, "part", "p_retailprice", sel),
+                ),
             ),
         ));
         out.push(QuerySpec::scan(
@@ -77,7 +86,10 @@ pub fn micro_queries(catalog: &Catalog) -> Vec<QuerySpec> {
                     format!("micro-join-ol-{i}{j}"),
                     TableRef::new(
                         "orders",
-                        Pred::le("o_orderdate", cutoff_int(catalog, "orders", "o_orderdate", sl)),
+                        Pred::le(
+                            "o_orderdate",
+                            cutoff_int(catalog, "orders", "o_orderdate", sl),
+                        ),
                     ),
                 )
                 .with_joins(vec![JoinStep::new(
@@ -103,7 +115,10 @@ pub fn micro_queries(catalog: &Catalog) -> Vec<QuerySpec> {
                 .with_joins(vec![JoinStep::new(
                     TableRef::new(
                         "orders",
-                        Pred::le("o_totalprice", cutoff(catalog, "orders", "o_totalprice", sr)),
+                        Pred::le(
+                            "o_totalprice",
+                            cutoff(catalog, "orders", "o_totalprice", sr),
+                        ),
                     ),
                     "c_custkey",
                     "o_custkey",
@@ -186,7 +201,10 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.name, y.name);
-            assert_eq!(format!("{:?}", x.base.predicate), format!("{:?}", y.base.predicate));
+            assert_eq!(
+                format!("{:?}", x.base.predicate),
+                format!("{:?}", y.base.predicate)
+            );
         }
     }
 }

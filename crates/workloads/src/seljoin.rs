@@ -84,23 +84,22 @@ pub fn sj7(rng: &mut Rng) -> QuerySpec {
 pub fn sj10(rng: &mut Rng) -> QuerySpec {
     let width = rng.i64_range(30, 400);
     let start = day(rng, 0, DATE_DOMAIN_DAYS - width - 10);
-    QuerySpec::scan("seljoin-10", TableRef::plain("customer"))
-        .with_joins(vec![
-            JoinStep::new(
-                TableRef::new(
-                    "orders",
-                    Pred::between("o_orderdate", Value::Int(start), Value::Int(start + width)),
-                ),
-                "c_custkey",
-                "o_custkey",
+    QuerySpec::scan("seljoin-10", TableRef::plain("customer")).with_joins(vec![
+        JoinStep::new(
+            TableRef::new(
+                "orders",
+                Pred::between("o_orderdate", Value::Int(start), Value::Int(start + width)),
             ),
-            JoinStep::new(
-                TableRef::new("lineitem", Pred::eq("l_returnflag", Value::str("R"))),
-                "o_orderkey",
-                "l_orderkey",
-            ),
-            JoinStep::new(TableRef::plain("nation"), "c_nationkey", "n_nationkey"),
-        ])
+            "c_custkey",
+            "o_custkey",
+        ),
+        JoinStep::new(
+            TableRef::new("lineitem", Pred::eq("l_returnflag", Value::str("R"))),
+            "o_orderkey",
+            "l_orderkey",
+        ),
+        JoinStep::new(TableRef::plain("nation"), "c_nationkey", "n_nationkey"),
+    ])
 }
 
 /// SJ12 — the agg-free core of Q12: shipmode study with column-column
@@ -115,7 +114,11 @@ pub fn sj12(rng: &mut Rng) -> QuerySpec {
             "lineitem",
             Pred::and(vec![
                 Pred::in_list("l_shipmode", vec![Value::str(m1), Value::str(m2)]),
-                Pred::between("l_receiptdate", Value::Int(start), Value::Int(start + width)),
+                Pred::between(
+                    "l_receiptdate",
+                    Value::Int(start),
+                    Value::Int(start + width),
+                ),
                 Pred::col_cmp("l_commitdate", CmpOp::Lt, "l_receiptdate"),
                 Pred::col_cmp("l_shipdate", CmpOp::Lt, "l_commitdate"),
             ]),
@@ -242,7 +245,11 @@ mod tests {
                 !execute_full(&plan, &c).rows.is_empty()
             })
             .count();
-        assert!(nonempty >= qs.len() / 3, "only {nonempty}/{} non-empty", qs.len());
+        assert!(
+            nonempty >= qs.len() / 3,
+            "only {nonempty}/{} non-empty",
+            qs.len()
+        );
     }
 
     #[test]

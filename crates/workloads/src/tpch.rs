@@ -24,7 +24,10 @@ pub fn q1(rng: &mut Rng) -> QuerySpec {
         vec!["l_returnflag".into(), "l_linestatus".into()],
         vec![
             ("sum_qty".into(), AggFunc::Sum("l_quantity".into())),
-            ("sum_base_price".into(), AggFunc::Sum("l_extendedprice".into())),
+            (
+                "sum_base_price".into(),
+                AggFunc::Sum("l_extendedprice".into()),
+            ),
             ("avg_qty".into(), AggFunc::Avg("l_quantity".into())),
             ("avg_price".into(), AggFunc::Avg("l_extendedprice".into())),
             ("count_order".into(), AggFunc::CountStar),
@@ -57,7 +60,11 @@ pub fn q3(rng: &mut Rng) -> QuerySpec {
         ),
     ])
     .with_aggregates(
-        vec!["l_orderkey".into(), "o_orderdate".into(), "o_shippriority".into()],
+        vec![
+            "l_orderkey".into(),
+            "o_orderdate".into(),
+            "o_shippriority".into(),
+        ],
         vec![("revenue".into(), AggFunc::Sum("l_extendedprice".into()))],
     )
     .with_order_by(vec![("revenue".into(), SortOrder::Desc)])
@@ -283,7 +290,11 @@ pub fn q12(rng: &mut Rng) -> QuerySpec {
                 "lineitem",
                 Pred::and(vec![
                     Pred::in_list("l_shipmode", vec![Value::str(m1), Value::str(m2)]),
-                    Pred::between("l_receiptdate", Value::Int(start), Value::Int(start + width)),
+                    Pred::between(
+                        "l_receiptdate",
+                        Value::Int(start),
+                        Value::Int(start + width),
+                    ),
                     Pred::col_cmp("l_commitdate", CmpOp::Lt, "l_receiptdate"),
                     Pred::col_cmp("l_shipdate", CmpOp::Lt, "l_commitdate"),
                 ]),
@@ -339,7 +350,10 @@ pub fn q14(rng: &mut Rng) -> QuerySpec {
     )])
     .with_aggregates(
         vec![],
-        vec![("promo_revenue".into(), AggFunc::Sum("l_extendedprice".into()))],
+        vec![(
+            "promo_revenue".into(),
+            AggFunc::Sum("l_extendedprice".into()),
+        )],
     )
 }
 
@@ -379,13 +393,19 @@ pub fn q19(rng: &mut Rng) -> QuerySpec {
         .with_residual(Pred::or(vec![
             Pred::and(vec![
                 Pred::eq("p_brand", Value::str(b1)),
-                Pred::in_list("p_container", vec![Value::str("SM CASE"), Value::str("SM BOX")]),
+                Pred::in_list(
+                    "p_container",
+                    vec![Value::str("SM CASE"), Value::str("SM BOX")],
+                ),
                 Pred::between("l_quantity", Value::Float(q1), Value::Float(q1 + 10.0)),
                 Pred::le("p_size", Value::Int(5)),
             ]),
             Pred::and(vec![
                 Pred::eq("p_brand", Value::str(b2)),
-                Pred::in_list("p_container", vec![Value::str("MED BAG"), Value::str("MED BOX")]),
+                Pred::in_list(
+                    "p_container",
+                    vec![Value::str("MED BAG"), Value::str("MED BOX")],
+                ),
                 Pred::between("l_quantity", Value::Float(q2), Value::Float(q2 + 10.0)),
                 Pred::le("p_size", Value::Int(10)),
             ]),
@@ -398,9 +418,8 @@ pub fn q19(rng: &mut Rng) -> QuerySpec {
 
 /// All 14 templates used by the paper.
 type Template = fn(&mut Rng) -> QuerySpec;
-pub const TEMPLATES: [Template; 14] = [
-    q1, q3, q4, q5, q6, q7, q8, q9, q10, q12, q13, q14, q18, q19,
-];
+pub const TEMPLATES: [Template; 14] =
+    [q1, q3, q4, q5, q6, q7, q8, q9, q10, q12, q13, q14, q18, q19];
 
 /// Generates `instances_per_template` randomized instances per template.
 pub fn tpch_queries(instances_per_template: usize, rng: &mut Rng) -> Vec<QuerySpec> {
@@ -460,7 +479,11 @@ mod tests {
         let plan = plan_query(&q1(&mut rng), &c);
         let out = execute_full(&plan, &c);
         // At most |returnflag| × |linestatus| = 6 groups.
-        assert!((1..=6).contains(&out.rows.len()), "{} groups", out.rows.len());
+        assert!(
+            (1..=6).contains(&out.rows.len()),
+            "{} groups",
+            out.rows.len()
+        );
         assert_eq!(out.schema.len(), 7);
     }
 
@@ -481,10 +504,7 @@ mod tests {
         let c = db();
         let plan = plan_query(&q, &c);
         // 6 scans in the plan.
-        let scans = plan
-            .node_ids()
-            .filter(|&id| plan.op(id).is_scan())
-            .count();
+        let scans = plan.node_ids().filter(|&id| plan.op(id).is_scan()).count();
         assert_eq!(scans, 6);
     }
 

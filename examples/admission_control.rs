@@ -29,7 +29,11 @@ fn main() {
 
     let catalog = DbPreset::Uniform1G.build(42);
     let mut rng = Rng::new(99);
-    let units = calibrate(&HardwareProfile::pc2(), &CalibrationConfig::default(), &mut rng);
+    let units = calibrate(
+        &HardwareProfile::pc2(),
+        &CalibrationConfig::default(),
+        &mut rng,
+    );
 
     // A tight sample budget: estimates are cheap but uncertain — the
     // situation where uncertainty-awareness pays.

@@ -24,7 +24,10 @@ fn main() {
     // The quickstart's 3-way join again.
     let spec = QuerySpec::scan(
         "progress-demo",
-        TableRef::new("customer", Pred::eq("c_mktsegment", Value::str("MACHINERY"))),
+        TableRef::new(
+            "customer",
+            Pred::eq("c_mktsegment", Value::str("MACHINERY")),
+        ),
     )
     .with_joins(vec![
         JoinStep::new(

@@ -15,6 +15,8 @@ use uaq::prelude::*;
 
 struct Job {
     name: String,
+    /// Retained so a real scheduler could re-plan or explain the query.
+    #[allow(dead_code)]
     plan: Plan,
     deadline_ms: f64,
     mean_ms: f64,
@@ -74,7 +76,6 @@ fn main() {
             plan,
         });
     }
-    let _ = jobs.iter().map(|j| &j.plan).count();
 
     // Policy A (point-based EDF-with-slack): ascending (deadline − mean).
     let mut point_order: Vec<usize> = (0..jobs.len()).collect();

@@ -27,11 +27,7 @@ fn main() {
     let units = calibrate(&profile, &CalibrationConfig::default(), &mut rng);
     println!("\ncalibrated cost units (ms per primitive):");
     for u in uaq::cost::CostUnit::ALL {
-        println!(
-            "  {u}: {:.6} ± {:.6}",
-            units[u].mean(),
-            units[u].std_dev()
-        );
+        println!("  {u}: {:.6} ± {:.6}", units[u].mean(), units[u].std_dev());
     }
 
     // Materialize sample tables: 5% sampling ratio, 2 independent copies.
@@ -68,13 +64,28 @@ fn main() {
     );
     for p in [0.5, 0.7, 0.95] {
         let (lo, hi) = prediction.confidence_interval_ms(p);
-        println!("  with probability {:.0}%: between {lo:.2} and {hi:.2} ms", p * 100.0);
+        println!(
+            "  with probability {:.0}%: between {lo:.2} and {hi:.2} ms",
+            p * 100.0
+        );
     }
     println!("variance breakdown:");
-    println!("  cost-unit fluctuation : {:>10.3} ms²", prediction.breakdown.unit_variance);
-    println!("  selectivity (exact)   : {:>10.3} ms²", prediction.breakdown.selectivity_exact);
-    println!("  covariance bounds     : {:>10.3} ms²", prediction.breakdown.covariance_bounds);
-    println!("  interaction           : {:>10.3} ms²", prediction.breakdown.interaction);
+    println!(
+        "  cost-unit fluctuation : {:>10.3} ms²",
+        prediction.breakdown.unit_variance
+    );
+    println!(
+        "  selectivity (exact)   : {:>10.3} ms²",
+        prediction.breakdown.selectivity_exact
+    );
+    println!(
+        "  covariance bounds     : {:>10.3} ms²",
+        prediction.breakdown.covariance_bounds
+    );
+    println!(
+        "  interaction           : {:>10.3} ms²",
+        prediction.breakdown.interaction
+    );
 
     // Ground truth: really execute, then time it on the simulated hardware
     // (5 runs averaged, as in the paper).

@@ -1,0 +1,165 @@
+//! Benchmarks for the serving layer: what does the plan-shape fit cache
+//! buy per prediction, and how does service throughput scale with workers?
+//!
+//! * `service/predict_cold/*` — every iteration predicts through a fresh
+//!   cache (miss + fill): the baseline a batch consumer pays.
+//! * `service/predict_warm/*` — one shared cache, pre-warmed: the steady
+//!   state of serving repeated query templates (fits skipped entirely).
+//! * `service/throughput/*` — wall-clock for a 64-request mixed batch
+//!   through the full service (queue + worker pool + cache), per worker
+//!   count.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use uaq_core::{Predictor, PredictorConfig};
+use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
+use uaq_datagen::GenConfig;
+use uaq_engine::{plan_query, JoinStep, Plan, Pred, QuerySpec, TableRef};
+use uaq_service::{PredictRequest, PredictionService, ServiceConfig, SharedFitCache};
+use uaq_stats::Rng;
+use uaq_storage::{Catalog, SampleCatalog, Value};
+
+struct Setup {
+    predictor: Predictor,
+    catalog: Arc<Catalog>,
+    samples: Arc<SampleCatalog>,
+    scan: Arc<Plan>,
+    join3: Arc<Plan>,
+}
+
+fn setup() -> Setup {
+    let catalog = GenConfig::new(0.002, 0.0, 42).build();
+    let mut rng = Rng::new(7);
+    let units = calibrate(
+        &HardwareProfile::pc1(),
+        &CalibrationConfig::default(),
+        &mut rng,
+    );
+    let samples = catalog.draw_samples(0.05, 2, &mut rng);
+    let scan = plan_query(
+        &QuerySpec::scan(
+            "scan",
+            TableRef::new("lineitem", Pred::le("l_shipdate", Value::Int(1500))),
+        ),
+        &catalog,
+    );
+    let join3 = plan_query(
+        &QuerySpec::scan(
+            "join3",
+            TableRef::new("customer", Pred::eq("c_mktsegment", Value::str("BUILDING"))),
+        )
+        .with_joins(vec![
+            JoinStep::new(
+                TableRef::new("orders", Pred::lt("o_orderdate", Value::Int(1200))),
+                "c_custkey",
+                "o_custkey",
+            ),
+            JoinStep::new(
+                TableRef::new("lineitem", Pred::gt("l_shipdate", Value::Int(1200))),
+                "o_orderkey",
+                "l_orderkey",
+            ),
+        ]),
+        &catalog,
+    );
+    Setup {
+        predictor: Predictor::new(units, PredictorConfig::default()),
+        catalog: Arc::new(catalog),
+        samples: Arc::new(samples),
+        scan: Arc::new(scan),
+        join3: Arc::new(join3),
+    }
+}
+
+/// Cold vs warm cache, per plan: the direct measurement of what the
+/// fit cache removes from a repeated prediction.
+fn bench_cache(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("service");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(30);
+    for (name, plan) in [("scan", &s.scan), ("three_way_join", &s.join3)] {
+        group.bench_function(BenchmarkId::new("predict_cold", name), |b| {
+            // A fresh cache per iteration: every predict pays context build
+            // + grid fits (cache insertion overhead included, as in a real
+            // first-seen request).
+            b.iter_batched(
+                SharedFitCache::default,
+                |cache| {
+                    s.predictor
+                        .predict_with_cache(plan, &s.catalog, &s.samples, &cache)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_function(BenchmarkId::new("predict_warm", name), |b| {
+            let cache = SharedFitCache::default();
+            // Warm it: the steady serving state for a repeated template.
+            s.predictor
+                .predict_with_cache(plan, &s.catalog, &s.samples, &cache);
+            b.iter(|| {
+                s.predictor
+                    .predict_with_cache(plan, &s.catalog, &s.samples, &cache)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Full-service throughput for a mixed 64-request batch, per worker count.
+fn bench_throughput(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("service");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
+    let batch: Vec<Arc<Plan>> = (0..64)
+        .map(|i| {
+            if i % 2 == 0 {
+                Arc::clone(&s.scan)
+            } else {
+                Arc::clone(&s.join3)
+            }
+        })
+        .collect();
+    for workers in [1usize, 2, 4] {
+        let service = PredictionService::start(
+            s.predictor.clone(),
+            Arc::clone(&s.catalog),
+            Arc::clone(&s.samples),
+            ServiceConfig {
+                workers,
+                ..Default::default()
+            },
+        );
+        group.bench_function(BenchmarkId::new("throughput_batch64", workers), |b| {
+            b.iter(|| {
+                let receivers: Vec<_> = batch
+                    .iter()
+                    .enumerate()
+                    .map(|(i, plan)| {
+                        service.submit(PredictRequest {
+                            id: i as u64,
+                            plan: Arc::clone(plan),
+                            deadline_ms: Some(100.0),
+                        })
+                    })
+                    .collect();
+                let responses: Vec<_> = receivers
+                    .into_iter()
+                    .map(|rx| rx.recv().expect("response"))
+                    .collect();
+                responses.len()
+            })
+        });
+        service.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_throughput);
+criterion_main!(benches);

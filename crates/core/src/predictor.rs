@@ -14,8 +14,12 @@
 
 use crate::terms::{resolve_term, CovEnv, VarTerm};
 use crate::variant::Variant;
+use std::sync::Arc;
 use std::time::Instant;
-use uaq_cost::{fit_node, CostUnit, FitConfig, FittedCost, NodeCostContext, UnitDists};
+use uaq_cost::{
+    fit_node, CostUnit, FitCache, FitConfig, FitSignature, FittedCost, NoFitCache, NodeCostContext,
+    NodeFits, UnitDists,
+};
 use uaq_engine::{execute_on_samples, NodeId, Plan};
 use uaq_selest::{estimate_selectivities_with, AggCardinalitySource, SelEstimate};
 use uaq_stats::Normal;
@@ -101,6 +105,13 @@ impl Prediction {
     pub fn prob_within_alpha(&self, alpha: f64) -> f64 {
         Normal::prob_within_alpha_sigmas(alpha)
     }
+
+    /// `Pr(T ≤ deadline_ms)` under the predicted distribution — the
+    /// quantity deadline-aware admission control thresholds on (§1's "the
+    /// DBA can ask how likely the query finishes within d").
+    pub fn prob_completes_by(&self, deadline_ms: f64) -> f64 {
+        self.distribution.cdf(deadline_ms)
+    }
 }
 
 /// The uncertainty-aware query execution time predictor.
@@ -130,6 +141,25 @@ impl Predictor {
 
     /// Predicts the running-time distribution of `plan` (Algorithm 2).
     pub fn predict(&self, plan: &Plan, catalog: &Catalog, samples: &SampleCatalog) -> Prediction {
+        self.predict_with_cache(plan, catalog, samples, &NoFitCache)
+    }
+
+    /// [`Predictor::predict`] with a fit cache threaded through the fitting
+    /// stage (step 3). With [`NoFitCache`] this is byte-for-byte the
+    /// original pipeline; with a real cache, same-shape plans reuse the
+    /// per-node cost contexts and — when the selectivity distributions
+    /// match bit-exactly (e.g. a repeated identical query) — the fitted
+    /// cost functions themselves, skipping the oracle-probe grid fits that
+    /// dominate short plans. Cached fits are keyed on everything they
+    /// depend on ([`FitSignature`]), so cached and uncached predictions are
+    /// bit-identical.
+    pub fn predict_with_cache(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        samples: &SampleCatalog,
+        cache: &dyn FitCache,
+    ) -> Prediction {
         // 1. One pass over the sample tables with provenance.
         let t0 = Instant::now();
         let sample_outcome = execute_on_samples(plan, samples);
@@ -154,9 +184,39 @@ impl Predictor {
         }
         let dists: Vec<Normal> = estimates.iter().map(|e| e.distribution()).collect();
 
-        // 3. Fit the logical cost functions per (operator, unit).
-        let contexts = NodeCostContext::build_all(plan, catalog);
-        let fits = self.fit_all(plan, &contexts, &dists);
+        // 3. Fit the logical cost functions per (operator, unit),
+        //    consulting the cache at both levels (contexts, fits). The key
+        //    mixes the catalog fingerprint into the plan shape so one cache
+        //    instance can never serve contexts built against a different
+        //    database (same-shape plans over different catalogs differ in
+        //    cardinalities, pages, and key densities).
+        let fits = if cache.enabled() {
+            let shape = format!(
+                "{}#cat{:016x}",
+                plan.shape_signature(),
+                catalog.fingerprint()
+            );
+            let sig = FitSignature::new(self.config.fit.grid_w, &dists);
+            match cache.get_fits(&shape, &sig) {
+                Some(fits) => fits,
+                None => {
+                    let contexts = match cache.get_contexts(&shape) {
+                        Some(c) => c,
+                        None => {
+                            let c = Arc::new(NodeCostContext::build_all(plan, catalog));
+                            cache.put_contexts(&shape, &c);
+                            c
+                        }
+                    };
+                    let f = Arc::new(self.fit_all(plan, &contexts, &dists));
+                    cache.put_fits(&shape, &sig, &f);
+                    f
+                }
+            }
+        } else {
+            let contexts = NodeCostContext::build_all(plan, catalog);
+            Arc::new(self.fit_all(plan, &contexts, &dists))
+        };
 
         // 4. Combine (Algorithm 3).
         let env = CovEnv {
@@ -185,12 +245,7 @@ impl Predictor {
         (xl, xr, dists[id])
     }
 
-    fn fit_all(
-        &self,
-        plan: &Plan,
-        contexts: &[NodeCostContext],
-        dists: &[Normal],
-    ) -> Vec<[Option<FittedCost>; 5]> {
+    fn fit_all(&self, plan: &Plan, contexts: &[NodeCostContext], dists: &[Normal]) -> NodeFits {
         plan.node_ids()
             .map(|id| {
                 let (xl, xr, own) = Self::node_vars(plan, dists, id);

@@ -1,0 +1,138 @@
+//! Fit-cache abstraction for the prediction pipeline.
+//!
+//! Short plans are dominated not by the sample pass but by the
+//! oracle-probe grid fits of §4.2: every prediction rebuilds the per-node
+//! [`NodeCostContext`]s and re-solves one NNLS per (operator, cost-unit)
+//! pair. In a serving setting the same query *templates* recur constantly —
+//! same plan shape, different literals — so that work is redundant. This
+//! module defines the [`FitCache`] trait the predictor threads through its
+//! fitting stage; a concrete concurrent implementation lives in
+//! `uaq_service`, and [`NoFitCache`] preserves the original
+//! fit-everything-per-call behavior for batch consumers (`Lab`, tests).
+//!
+//! Two cache levels, both keyed by the plan's *shape signature*
+//! (`uaq_engine::Plan::shape_signature` — operators + tables + columns +
+//! predicate structure, literals masked):
+//!
+//! * **Contexts** (`Vec<NodeCostContext>`): depend only on the shape and
+//!   the catalog, so literal-perturbed instances of one template share them
+//!   unconditionally.
+//! * **Fits** (`NodeFits`): additionally depend on the per-node selectivity
+//!   distributions and the fit grid, captured bit-exactly by
+//!   [`FitSignature`]. A hit therefore returns *precisely* what a fresh
+//!   fit would compute — cached and uncached predictions are bit-identical
+//!   by construction. Repeated identical queries (the common serving case)
+//!   hit this level and skip the grid fits entirely; literal-perturbed
+//!   queries with shifted selectivities fall back to the context level.
+//!
+//! Contexts embed table cardinalities and key densities, so the predictor
+//! mixes the catalog's fingerprint (`uaq_storage::Catalog::fingerprint`)
+//! into the shape key: one cache instance stays correct even when a
+//! process serves several databases.
+
+use crate::logical::FittedCost;
+use crate::oracle::NodeCostContext;
+use std::sync::Arc;
+use uaq_stats::Normal;
+
+/// All fitted cost functions of one plan: per node, per cost unit.
+pub type NodeFits = Vec<[Option<FittedCost>; 5]>;
+
+/// Everything the grid fit of a whole plan depends on besides the contexts:
+/// the fit grid resolution and the exact bit patterns of every node's
+/// selectivity distribution. Equal signatures ⇒ bit-identical fits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FitSignature {
+    grid_w: usize,
+    /// `(mean, var)` of each node's selectivity distribution, as IEEE-754
+    /// bit patterns (exact equality, no epsilon).
+    dists: Vec<(u64, u64)>,
+}
+
+impl FitSignature {
+    pub fn new(grid_w: usize, dists: &[Normal]) -> Self {
+        Self {
+            grid_w,
+            dists: dists
+                .iter()
+                .map(|d| (d.mean().to_bits(), d.var().to_bits()))
+                .collect(),
+        }
+    }
+}
+
+/// Cache of per-shape cost contexts and fitted cost functions, shared
+/// across predictions. Implementations must be safe to call from multiple
+/// worker threads (`&self` methods, `Sync`).
+pub trait FitCache: Sync {
+    /// False for the no-op cache: lets the predictor skip computing the
+    /// shape signature altogether.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Cached `NodeCostContext`s for a plan shape.
+    fn get_contexts(&self, shape: &str) -> Option<Arc<Vec<NodeCostContext>>>;
+
+    /// Stores freshly built contexts for a plan shape.
+    fn put_contexts(&self, shape: &str, contexts: &Arc<Vec<NodeCostContext>>);
+
+    /// Cached fitted cost functions for (plan shape, fit inputs).
+    fn get_fits(&self, shape: &str, sig: &FitSignature) -> Option<Arc<NodeFits>>;
+
+    /// Stores freshly fitted cost functions for (plan shape, fit inputs).
+    fn put_fits(&self, shape: &str, sig: &FitSignature, fits: &Arc<NodeFits>);
+}
+
+/// The no-op cache: every prediction rebuilds contexts and fits, exactly as
+/// before the cache existed. This is the default for `Predictor::predict`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFitCache;
+
+impl FitCache for NoFitCache {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn get_contexts(&self, _shape: &str) -> Option<Arc<Vec<NodeCostContext>>> {
+        None
+    }
+
+    fn put_contexts(&self, _shape: &str, _contexts: &Arc<Vec<NodeCostContext>>) {}
+
+    fn get_fits(&self, _shape: &str, _sig: &FitSignature) -> Option<Arc<NodeFits>> {
+        None
+    }
+
+    fn put_fits(&self, _shape: &str, _sig: &FitSignature, _fits: &Arc<NodeFits>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_cache_is_disabled_and_empty() {
+        let c = NoFitCache;
+        assert!(!c.enabled());
+        assert!(c.get_contexts("sig").is_none());
+        let sig = FitSignature::new(8, &[Normal::new(0.5, 0.01)]);
+        assert!(c.get_fits("sig", &sig).is_none());
+        c.put_fits("sig", &sig, &Arc::new(Vec::new()));
+        assert!(c.get_fits("sig", &sig).is_none());
+    }
+
+    #[test]
+    fn fit_signature_is_bit_exact() {
+        let a = FitSignature::new(8, &[Normal::new(0.5, 0.01), Normal::new(0.25, 0.0)]);
+        let b = FitSignature::new(8, &[Normal::new(0.5, 0.01), Normal::new(0.25, 0.0)]);
+        assert_eq!(a, b);
+        // A 1-ulp nudge in any mean must produce a distinct signature.
+        let nudged = f64::from_bits(0.5f64.to_bits() + 1);
+        let c = FitSignature::new(8, &[Normal::new(nudged, 0.01), Normal::new(0.25, 0.0)]);
+        assert_ne!(a, c);
+        // Same dists, different grid resolution: different fits, distinct key.
+        let d = FitSignature::new(4, &[Normal::new(0.5, 0.01), Normal::new(0.25, 0.0)]);
+        assert_ne!(a, d);
+    }
+}

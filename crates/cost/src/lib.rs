@@ -7,6 +7,7 @@
 //! asymptotic distributions (§4, §5.2.1), NNLS grid fitting (§4.2), and the
 //! simulated runtime producing ground-truth "actual" execution times.
 
+pub mod cache;
 pub mod calibrate;
 pub mod fitting;
 pub mod logical;
@@ -15,6 +16,7 @@ pub mod profile;
 pub mod runtime;
 pub mod units;
 
+pub use cache::{FitCache, FitSignature, NoFitCache, NodeFits};
 pub use calibrate::{calibrate, CalibrationConfig};
 pub use fitting::{fit_cost_function, fit_node, grid_points, FitConfig};
 pub use logical::{CostForm, FittedCost, SelTerm};

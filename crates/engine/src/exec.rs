@@ -559,17 +559,8 @@ impl<'a> Executor<'a> {
 
         // Intern group keys to dense ids; states live in a vector indexed by
         // id, which also preserves first-seen group order.
-        let mut key_ids: HashMap<Vec<KeyPart>, u32> = HashMap::new();
-        let mut keys: Vec<Vec<KeyPart>> = Vec::new();
         let mut states: Vec<State> = Vec::new();
-        for row in 0..child.len {
-            let key: Vec<KeyPart> = group_cols.iter().map(|c| KeyPart::at(c, row)).collect();
-            let gid = *key_ids.entry(key).or_insert_with_key(|k| {
-                keys.push(k.clone());
-                states.push(fresh.clone());
-                (states.len() - 1) as u32
-            });
-            let state = &mut states[gid as usize];
+        let update = |state: &mut State, row: usize| {
             state.count += 1;
             for (k, (_, func)) in aggs.iter().enumerate() {
                 if let Some(col) = agg_cols[k] {
@@ -599,7 +590,39 @@ impl<'a> Executor<'a> {
                     }
                 }
             }
-        }
+        };
+        let mut keys: Vec<Vec<KeyPart>> = if let [col] = group_cols[..] {
+            // Single-column fast path (the common TPC-H case): intern on the
+            // bare `KeyPart`, skipping the per-row `Vec` allocation of the
+            // general path. Dense ids are assigned in first-seen order
+            // either way, so grouping and output order are identical.
+            let mut key_ids: HashMap<KeyPart, u32> = HashMap::with_capacity(64);
+            let mut keys: Vec<KeyPart> = Vec::new();
+            for row in 0..child.len {
+                let gid = *key_ids
+                    .entry(KeyPart::at(col, row))
+                    .or_insert_with_key(|k| {
+                        keys.push(k.clone());
+                        states.push(fresh.clone());
+                        (states.len() - 1) as u32
+                    });
+                update(&mut states[gid as usize], row);
+            }
+            keys.into_iter().map(|k| vec![k]).collect()
+        } else {
+            let mut key_ids: HashMap<Vec<KeyPart>, u32> = HashMap::new();
+            let mut keys: Vec<Vec<KeyPart>> = Vec::new();
+            for row in 0..child.len {
+                let key: Vec<KeyPart> = group_cols.iter().map(|c| KeyPart::at(c, row)).collect();
+                let gid = *key_ids.entry(key).or_insert_with_key(|k| {
+                    keys.push(k.clone());
+                    states.push(fresh.clone());
+                    (states.len() - 1) as u32
+                });
+                update(&mut states[gid as usize], row);
+            }
+            keys
+        };
 
         // Scalar aggregate over empty input still yields one row.
         if group_by.is_empty() && states.is_empty() {

@@ -180,6 +180,45 @@ impl Pred {
         }
     }
 
+    /// Writes the predicate's *structure* — columns, comparison operators,
+    /// connective shape, and IN-list length, but **not** literal values —
+    /// into `out`. Two predicates with equal structure exercise the oracle
+    /// cost model identically (same [`Pred::op_count`], same columns), so
+    /// this is the predicate component of a plan's shape signature used for
+    /// fit caching across literal-perturbed queries.
+    pub fn shape_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        match self {
+            Pred::True => out.push('T'),
+            Pred::Cmp { col, op, .. } => {
+                let _ = write!(out, "c({col}{})", op.symbol());
+            }
+            Pred::ColCmp { left, op, right } => {
+                let _ = write!(out, "cc({left}{}{right})", op.symbol());
+            }
+            Pred::Between { col, .. } => {
+                let _ = write!(out, "bw({col})");
+            }
+            Pred::InList { col, values } => {
+                let _ = write!(out, "in({col}#{})", values.len());
+            }
+            Pred::And(ps) => {
+                out.push_str("&(");
+                for p in ps {
+                    p.shape_into(out);
+                }
+                out.push(')');
+            }
+            Pred::Or(ps) => {
+                out.push_str("|(");
+                for p in ps {
+                    p.shape_into(out);
+                }
+                out.push(')');
+            }
+        }
+    }
+
     /// Number of primitive comparisons in the predicate (schema-free
     /// counterpart of [`BoundPred::op_count`]; the oracle cost model charges
     /// this many CPU operations per evaluated tuple).

@@ -346,6 +346,112 @@ impl Plan {
         }
     }
 
+    /// Canonical encoding of the plan's *shape*: operators, child wiring,
+    /// table and column names, and predicate structure — but **not** the
+    /// literal constants inside predicates. Two plans with equal signatures
+    /// probe the oracle cost model identically (same `NodeCostContext`s
+    /// against the same catalog), so the signature is the key of the
+    /// serving-layer fit cache: literal-perturbed instances of one query
+    /// template collapse onto one entry.
+    ///
+    /// The encoding is injective over everything that feeds
+    /// `NodeCostContext::build` — signature equality (not merely hash
+    /// equality) is safe to treat as shape equality for one catalog.
+    pub fn shape_signature(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(self.nodes.len() * 24);
+        let _ = write!(out, "r{};", self.root);
+        for (id, op) in self.nodes.iter().enumerate() {
+            let _ = write!(out, "{id}:{}", op.name());
+            match op {
+                Op::SeqScan { table, predicate } => {
+                    let _ = write!(out, "[{table}|");
+                    predicate.shape_into(&mut out);
+                    out.push(']');
+                }
+                Op::IndexScan {
+                    table,
+                    key_col,
+                    predicate,
+                } => {
+                    let _ = write!(out, "[{table}@{key_col}|");
+                    predicate.shape_into(&mut out);
+                    out.push(']');
+                }
+                Op::Filter { input, predicate } => {
+                    let _ = write!(out, "[{input}|");
+                    predicate.shape_into(&mut out);
+                    out.push(']');
+                }
+                Op::Sort { input, keys } => {
+                    let _ = write!(out, "[{input}|");
+                    for (k, o) in keys {
+                        let _ = write!(out, "{k}{}", if *o == SortOrder::Asc { '^' } else { 'v' });
+                    }
+                    out.push(']');
+                }
+                Op::Materialize { input } => {
+                    let _ = write!(out, "[{input}]");
+                }
+                Op::HashJoin {
+                    left,
+                    right,
+                    left_key,
+                    right_key,
+                }
+                | Op::NestedLoopJoin {
+                    left,
+                    right,
+                    left_key,
+                    right_key,
+                } => {
+                    let _ = write!(out, "[{left},{right}|{left_key}={right_key}]");
+                }
+                Op::HashAggregate {
+                    input,
+                    group_by,
+                    aggs,
+                } => {
+                    let _ = write!(out, "[{input}|{}|", group_by.join(","));
+                    for (_, func) in aggs {
+                        match func {
+                            AggFunc::CountStar => out.push_str("n;"),
+                            AggFunc::Sum(c) => {
+                                let _ = write!(out, "s{c};");
+                            }
+                            AggFunc::Avg(c) => {
+                                let _ = write!(out, "a{c};");
+                            }
+                            AggFunc::Min(c) => {
+                                let _ = write!(out, "m{c};");
+                            }
+                            AggFunc::Max(c) => {
+                                let _ = write!(out, "M{c};");
+                            }
+                        }
+                    }
+                    out.push(']');
+                }
+            }
+            out.push(';');
+        }
+        out
+    }
+
+    /// FNV-1a hash of [`Plan::shape_signature`] — a compact shape id for
+    /// logs, reports, and property tests. Cache lookups key on the full
+    /// signature, not this hash, so hash collisions cannot alias entries.
+    pub fn shape_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for b in self.shape_signature().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
     /// Multi-line indented plan rendering (EXPLAIN-style).
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -600,6 +706,90 @@ mod tests {
         assert!(text.contains("HashJoin"));
         assert!(text.contains("SeqScan r1"));
         assert_eq!(text.lines().count(), 5);
+    }
+
+    #[test]
+    fn shape_signature_ignores_literals() {
+        let build = |cut: i64| {
+            let mut b = PlanBuilder::new();
+            let t = b.seq_scan("t", Pred::lt("b", Value::Int(cut)));
+            let u = b.seq_scan("u", Pred::True);
+            let j = b.hash_join(t, u, "a", "x");
+            b.build(j)
+        };
+        let p1 = build(100);
+        let p2 = build(9000);
+        assert_eq!(p1.shape_signature(), p2.shape_signature());
+        assert_eq!(p1.shape_hash(), p2.shape_hash());
+    }
+
+    #[test]
+    fn shape_signature_distinguishes_structure() {
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("b", Value::Int(5)));
+        let base = b.build(t);
+
+        // Different table.
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("u", Pred::lt("b", Value::Int(5)));
+        assert_ne!(base.shape_signature(), b.build(t).shape_signature());
+
+        // Different predicate column.
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("a", Value::Int(5)));
+        assert_ne!(base.shape_signature(), b.build(t).shape_signature());
+
+        // Different comparison operator (same op_count, still distinct).
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::ge("b", Value::Int(5)));
+        assert_ne!(base.shape_signature(), b.build(t).shape_signature());
+
+        // IN-list length changes op_count and therefore the shape.
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::in_list("b", vec![Value::Int(1)]));
+        let one = b.build(t).shape_signature();
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::in_list("b", vec![Value::Int(1), Value::Int(2)]));
+        assert_ne!(one, b.build(t).shape_signature());
+
+        // Join algorithm matters (hash vs nested loop).
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::True);
+        let u = b.seq_scan("u", Pred::True);
+        let hj = b.hash_join(t, u, "a", "x");
+        let hash = b.build(hj).shape_signature();
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::True);
+        let u = b.seq_scan("u", Pred::True);
+        let nl = b.nl_join(t, u, "a", "x");
+        assert_ne!(hash, b.build(nl).shape_signature());
+    }
+
+    #[test]
+    fn shape_signature_keeps_in_list_literal_free() {
+        let build = |v: Vec<Value>, lo: Value, hi: Value| {
+            let mut b = PlanBuilder::new();
+            let t = b.seq_scan(
+                "t",
+                Pred::and(vec![Pred::in_list("b", v), Pred::between("a", lo, hi)]),
+            );
+            b.build(t).shape_signature()
+        };
+        let sig = build(
+            vec![Value::Int(3), Value::Int(7)],
+            Value::Int(0),
+            Value::Int(9),
+        );
+        assert!(sig.contains("in(b#2)"), "{sig}");
+        assert!(sig.contains("bw(a)"), "{sig}");
+        assert_eq!(
+            sig,
+            build(
+                vec![Value::Int(-5), Value::Int(123)],
+                Value::Int(4),
+                Value::Int(40),
+            )
+        );
     }
 
     #[test]

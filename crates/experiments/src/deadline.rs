@@ -1,0 +1,454 @@
+//! Deadline-scheduling scenario: what is uncertainty *for*?
+//!
+//! The paper motivates distribution-valued predictions with exactly this
+//! serving-time decision (§1, §6.5.3): a provider facing per-query deadline
+//! SLOs should admit on `Pr(T ≤ deadline) ≥ θ`, not on `E[T] ≤ deadline`.
+//! This scenario makes the claim measurable end-to-end on our substrate:
+//!
+//! * mixed MICRO / SELJOIN / TPCH traffic against one database,
+//! * Poisson arrivals (seeded exponential inter-arrival times) into a
+//!   single-server run queue,
+//! * per-arrival deadline = arrival + slack, slack a random multiple of
+//!   the query's *predicted* mean (the number a provider would quote),
+//! * predictions served by the concurrent [`uaq_service`] worker pool with
+//!   its plan-shape fit cache warm across repeated templates,
+//! * identical arrival sequences and identical simulated actual times
+//!   replayed under each admission policy.
+//!
+//! The reported metric is the SLO violation rate **among admitted
+//! queries**: a mean-only policy happily admits budget ≈ mean arrivals
+//! that then miss their deadline about half the time; the tail-probability
+//! policy declines exactly those, trading a little throughput for a much
+//! lower violation rate.
+
+use crate::config::Machine;
+use std::sync::Arc;
+use uaq_core::{Prediction, Predictor, PredictorConfig};
+use uaq_cost::{calibrate, simulate_actual_time, CalibrationConfig, NodeCostContext, SimConfig};
+use uaq_datagen::DbPreset;
+use uaq_engine::{execute_full, plan_query, NodeTrace, Plan};
+use uaq_service::{
+    AdmissionPolicy, CacheStats, Decision, PredictRequest, PredictionService, ServiceConfig,
+};
+use uaq_stats::Rng;
+use uaq_workloads::Benchmark;
+
+/// Scenario knobs. Everything is derived from `seed`; two runs with equal
+/// configs produce identical reports.
+#[derive(Debug, Clone, Copy)]
+pub struct DeadlineConfig {
+    pub seed: u64,
+    pub db: DbPreset,
+    pub machine: Machine,
+    pub sampling_ratio: f64,
+    /// Number of query arrivals in the simulated stream.
+    pub arrivals: usize,
+    /// Target server utilization ρ; the Poisson rate is set to
+    /// `ρ / mean actual service time` of the query pool.
+    pub utilization: f64,
+    /// Deadline slack as a multiple of the query's predicted mean, drawn
+    /// uniformly from this range per arrival. Straddling 1.0 guarantees
+    /// borderline arrivals — the regime where the policies disagree.
+    pub slack_range: (f64, f64),
+    /// Tail-probability admission confidence θ.
+    pub theta: f64,
+    /// Service worker threads used for the prediction pass.
+    pub workers: usize,
+}
+
+impl Default for DeadlineConfig {
+    fn default() -> Self {
+        Self {
+            seed: 2014,
+            db: DbPreset::Uniform1G,
+            machine: Machine::Pc1,
+            sampling_ratio: 0.05,
+            arrivals: 400,
+            utilization: 0.6,
+            slack_range: (0.85, 1.9),
+            theta: 0.9,
+            workers: 4,
+        }
+    }
+}
+
+/// Aggregates of one policy's replay of the arrival stream.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    pub label: String,
+    pub admitted: usize,
+    pub deferred: usize,
+    pub rejected: usize,
+    /// Admitted queries that finished after their deadline.
+    pub violations: usize,
+    pub mean_wait_ms: f64,
+}
+
+impl PolicyOutcome {
+    /// SLO violation rate among admitted queries.
+    pub fn violation_rate(&self) -> f64 {
+        if self.admitted == 0 {
+            0.0
+        } else {
+            self.violations as f64 / self.admitted as f64
+        }
+    }
+}
+
+/// The scenario's full result.
+#[derive(Debug, Clone)]
+pub struct DeadlineReport {
+    pub arrivals: usize,
+    pub distinct_queries: usize,
+    pub cache: CacheStats,
+    /// Outcomes in policy order: admit-all, mean-only, uncertainty-aware.
+    pub outcomes: Vec<PolicyOutcome>,
+}
+
+impl DeadlineReport {
+    pub fn outcome(&self, label: &str) -> &PolicyOutcome {
+        self.outcomes
+            .iter()
+            .find(|o| o.label == label)
+            .expect("known policy label")
+    }
+
+    /// Text rendering in the style of the paper-table renderers.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Deadline-aware admission: {} arrivals over {} distinct queries",
+            self.arrivals, self.distinct_queries
+        );
+        let _ = writeln!(
+            out,
+            "fit cache: {} fit hits / {} misses ({:.0}% warm), {} context hits, {} shapes",
+            self.cache.fit_hits,
+            self.cache.fit_misses,
+            100.0 * self.cache.fit_hit_rate(),
+            self.cache.context_hits,
+            self.cache.shapes
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {:>8} {:>8} {:>8} {:>11} {:>10}",
+            "policy", "admit", "defer", "reject", "violations", "viol rate"
+        );
+        for o in &self.outcomes {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>8} {:>8} {:>8} {:>11} {:>9.1}%",
+                o.label,
+                o.admitted,
+                o.deferred,
+                o.rejected,
+                o.violations,
+                100.0 * o.violation_rate()
+            );
+        }
+        out
+    }
+}
+
+/// One distinct query of the traffic pool, fully executed once for ground
+/// truth (exactly like `Lab` caches its prepared queries).
+struct PooledQuery {
+    plan: Arc<Plan>,
+    contexts: Vec<NodeCostContext>,
+    traces: Vec<NodeTrace>,
+    /// Filled by the first arrival of this query in the stream (queries the
+    /// stream never draws stay unpredicted).
+    prediction: Option<Prediction>,
+}
+
+fn request(id: u64, q: &PooledQuery) -> PredictRequest {
+    PredictRequest {
+        id,
+        plan: Arc::clone(&q.plan),
+        deadline_ms: None,
+    }
+}
+
+/// One arrival of the simulated stream, shared verbatim by every policy.
+struct Arrival {
+    at_ms: f64,
+    query: usize,
+    slack_ms: f64,
+    actual_ms: f64,
+}
+
+/// Runs the scenario. Deterministic for a given config.
+pub fn run_deadline_scenario(config: &DeadlineConfig) -> DeadlineReport {
+    let catalog = Arc::new(config.db.build(config.seed ^ 0xD8));
+    let mut rng = Rng::new(config.seed ^ 0x5C4ED);
+    let units = calibrate(
+        &config.machine.profile(),
+        &CalibrationConfig::default(),
+        &mut rng,
+    );
+    let samples = Arc::new(catalog.draw_samples(config.sampling_ratio, 2, &mut rng));
+    let predictor = Predictor::new(units, PredictorConfig::default());
+
+    // Mixed traffic pool: a slice of the MICRO grid plus randomized SELJOIN
+    // and TPCH template instances.
+    let mut specs = Vec::new();
+    specs.extend(
+        Benchmark::Micro
+            .queries(&catalog, 1, &mut rng)
+            .into_iter()
+            .step_by(4),
+    );
+    specs.extend(Benchmark::SelJoin.queries(&catalog, 2, &mut rng));
+    specs.extend(Benchmark::Tpch.queries(&catalog, 1, &mut rng));
+
+    // The pool of distinct queries, each fully executed once for ground
+    // truth (exactly like `Lab` caches its prepared queries).
+    let mut pool: Vec<PooledQuery> = specs
+        .iter()
+        .map(|spec| {
+            let plan = Arc::new(plan_query(spec, &catalog));
+            let out = execute_full(&plan, &catalog);
+            let contexts = NodeCostContext::build_all(&plan, &catalog);
+            PooledQuery {
+                plan,
+                contexts,
+                traces: out.traces,
+                prediction: None,
+            }
+        })
+        .collect();
+
+    // Poisson rate from the pool's mean actual service time at the target
+    // utilization.
+    let profile = config.machine.profile();
+    let sim = SimConfig {
+        runs: 1,
+        ..SimConfig::default()
+    };
+    let pool_mean_ms = {
+        let mut probe_rng = Rng::new(config.seed ^ 0xA11);
+        let total: f64 = pool
+            .iter()
+            .map(|q| {
+                simulate_actual_time(
+                    &q.plan,
+                    &q.contexts,
+                    &q.traces,
+                    &profile,
+                    &sim,
+                    &mut probe_rng,
+                )
+                .mean_ms
+            })
+            .sum();
+        total / pool.len() as f64
+    };
+    let mean_gap_ms = pool_mean_ms / config.utilization.max(1e-3);
+
+    // Arrival skeleton: Poisson arrival times and query choices.
+    let mut clock = 0.0;
+    let skeleton: Vec<(f64, usize)> = (0..config.arrivals)
+        .map(|_| {
+            clock += -(1.0 - rng.f64()).ln() * mean_gap_ms;
+            (clock, rng.usize_below(pool.len()))
+        })
+        .collect();
+
+    // One prediction request per *arrival* through the concurrent service —
+    // the serving pattern the plan-shape fit cache exists for: the first
+    // arrival of each template pays the grid fits, repeats hit warm entries
+    // (bit-identically, so submission/scheduling order cannot matter).
+    let service = PredictionService::start(
+        predictor,
+        Arc::clone(&catalog),
+        Arc::clone(&samples),
+        ServiceConfig {
+            workers: config.workers,
+            ..Default::default()
+        },
+    );
+    let receivers: Vec<_> = skeleton
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, query))| service.submit(request(i as u64, &pool[query])))
+        .collect();
+    for (&(_, query), rx) in skeleton.iter().zip(receivers) {
+        let prediction = rx.recv().expect("service worker alive").prediction;
+        pool[query].prediction.get_or_insert(prediction);
+    }
+    let cache = service.cache_stats();
+    service.shutdown();
+
+    // The rest of the stream: slacks and the one actual execution time draw
+    // each arrival would take if run — identical under every policy.
+    let arrivals: Vec<Arrival> = skeleton
+        .iter()
+        .map(|&(at_ms, query)| {
+            let q = &pool[query];
+            let slack_ms = rng.f64_range(config.slack_range.0, config.slack_range.1)
+                * q.prediction.as_ref().expect("predicted above").mean_ms();
+            let actual_ms =
+                simulate_actual_time(&q.plan, &q.contexts, &q.traces, &profile, &sim, &mut rng)
+                    .mean_ms;
+            Arrival {
+                at_ms,
+                query,
+                slack_ms,
+                actual_ms,
+            }
+        })
+        .collect();
+
+    let policies: Vec<(String, Option<AdmissionPolicy>)> = vec![
+        ("admit-all".into(), None),
+        ("mean-only".into(), Some(AdmissionPolicy::mean_only())),
+        (
+            format!("uncertainty (θ={})", config.theta),
+            Some(AdmissionPolicy::uncertainty_aware(config.theta)),
+        ),
+    ];
+    let outcomes = policies
+        .into_iter()
+        .map(|(label, policy)| replay(&label, policy, &arrivals, &pool))
+        .collect();
+
+    DeadlineReport {
+        arrivals: config.arrivals,
+        distinct_queries: pool.len(),
+        cache,
+        outcomes,
+    }
+}
+
+/// Replays the arrival stream through one single-server queue under one
+/// admission policy.
+fn replay(
+    label: &str,
+    policy: Option<AdmissionPolicy>,
+    arrivals: &[Arrival],
+    pool: &[PooledQuery],
+) -> PolicyOutcome {
+    let mut busy_until = 0.0f64;
+    let mut outcome = PolicyOutcome {
+        label: label.to_owned(),
+        admitted: 0,
+        deferred: 0,
+        rejected: 0,
+        violations: 0,
+        mean_wait_ms: 0.0,
+    };
+    let mut total_wait = 0.0;
+    for a in arrivals {
+        let wait = (busy_until - a.at_ms).max(0.0);
+        // Remaining budget once the known queueing delay is subtracted —
+        // the deadline-aware part of admission control.
+        let budget = a.slack_ms - wait;
+        let decision = match &policy {
+            None => Decision::Admit,
+            Some(p) => {
+                let prediction = pool[a.query]
+                    .prediction
+                    .as_ref()
+                    .expect("arrived ⇒ predicted");
+                p.decide(prediction, Some(budget)).0
+            }
+        };
+        match decision {
+            Decision::Admit => {
+                outcome.admitted += 1;
+                total_wait += wait;
+                busy_until = a.at_ms + wait + a.actual_ms;
+                if wait + a.actual_ms > a.slack_ms {
+                    outcome.violations += 1;
+                }
+            }
+            Decision::Defer => outcome.deferred += 1,
+            Decision::Reject => outcome.rejected += 1,
+        }
+    }
+    if outcome.admitted > 0 {
+        outcome.mean_wait_ms = total_wait / outcome.admitted as f64;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> DeadlineConfig {
+        DeadlineConfig {
+            arrivals: 250,
+            workers: 3,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn uncertainty_aware_beats_mean_only_on_violation_rate() {
+        let report = run_deadline_scenario(&small_config());
+        let mean_only = report.outcome("mean-only");
+        let tail = report.outcome("uncertainty (θ=0.9)");
+        let admit_all = report.outcome("admit-all");
+        assert!(
+            tail.violation_rate() < mean_only.violation_rate(),
+            "tail {} vs mean-only {}\n{}",
+            tail.violation_rate(),
+            mean_only.violation_rate(),
+            report.render()
+        );
+        assert!(
+            mean_only.violation_rate() <= admit_all.violation_rate() + 1e-12,
+            "any admission control should not hurt:\n{}",
+            report.render()
+        );
+        // The tail policy must still do useful work, not reject everything.
+        assert!(
+            tail.admitted * 3 >= mean_only.admitted,
+            "tail admits too little:\n{}",
+            report.render()
+        );
+        assert_eq!(admit_all.admitted, report.arrivals);
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = run_deadline_scenario(&small_config());
+        let b = run_deadline_scenario(&small_config());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.admitted, y.admitted);
+            assert_eq!(x.violations, y.violations);
+            assert_eq!(x.mean_wait_ms.to_bits(), y.mean_wait_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn traffic_warms_the_fit_cache() {
+        let report = run_deadline_scenario(&small_config());
+        // MICRO's literal-perturbed grid and the repeated SELJOIN/TPCH
+        // templates must collapse onto shared shape entries.
+        assert!(
+            (report.cache.shapes as f64) < 0.8 * report.distinct_queries as f64,
+            "shapes {} vs distinct queries {}",
+            report.cache.shapes,
+            report.distinct_queries
+        );
+        assert!(report.cache.context_hits + report.cache.fit_hits > 0);
+    }
+
+    #[test]
+    fn report_renders_all_policies() {
+        let report = run_deadline_scenario(&DeadlineConfig {
+            arrivals: 40,
+            ..Default::default()
+        });
+        let text = report.render();
+        assert!(text.contains("admit-all"));
+        assert!(text.contains("mean-only"));
+        assert!(text.contains("uncertainty"));
+        assert!(text.contains("viol rate"));
+    }
+}

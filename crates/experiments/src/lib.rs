@@ -7,6 +7,7 @@
 //! figure of the evaluation.
 
 pub mod config;
+pub mod deadline;
 pub mod metrics;
 pub mod report;
 pub mod runner;
@@ -14,4 +15,5 @@ pub mod runner;
 pub use config::{
     default_instances, CellConfig, Machine, ABLATION_SAMPLING_RATIOS, MAIN_SAMPLING_RATIOS,
 };
+pub use deadline::{run_deadline_scenario, DeadlineConfig, DeadlineReport, PolicyOutcome};
 pub use runner::{CellOutcome, Lab, QueryRecord, SelRecord};

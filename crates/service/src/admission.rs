@@ -1,0 +1,190 @@
+//! Deadline-aware admission control on predicted time *distributions*.
+//!
+//! The paper's stated payoff for predicting `t_q ~ N(E[t_q], Var[t_q])`
+//! rather than a point estimate is exactly this decision: given a deadline
+//! SLO `d`, admit on `Pr(T ≤ d) ≥ θ` instead of `E[T] ≤ d` (§1, §6.5.3).
+//! Two queries with the same mean can carry very different risk; the
+//! tail-probability policy sees the difference, the mean-only policy
+//! cannot.
+
+use uaq_core::Prediction;
+
+/// Admission verdict for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Decision {
+    /// Run it: the deadline is met with at least the admit confidence.
+    Admit,
+    /// Risky now, but not hopeless: confidence lies in the defer band —
+    /// e.g. retry when the backlog drains or route to a bigger replica.
+    Defer,
+    /// The deadline is unlikely enough to be met that running the query
+    /// would just burn resources on an SLO violation.
+    Reject,
+}
+
+impl Decision {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Decision::Admit => "admit",
+            Decision::Defer => "defer",
+            Decision::Reject => "reject",
+        }
+    }
+}
+
+/// How the deadline check consumes the prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// `E[T] ≤ budget` — what a point predictor (the paper's [48]) can do.
+    MeanOnly,
+    /// `Pr(T ≤ budget) ≥ θ` — the uncertainty-aware policy.
+    TailProbability,
+}
+
+/// Admission policy: mode plus thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionPolicy {
+    pub mode: AdmissionMode,
+    /// Minimum `Pr(T ≤ budget)` to admit (tail mode).
+    pub admit_threshold: f64,
+    /// Minimum `Pr(T ≤ budget)` to defer instead of reject (tail mode).
+    /// Set equal to `admit_threshold` to disable the defer band.
+    pub defer_threshold: f64,
+}
+
+impl AdmissionPolicy {
+    /// Tail-probability policy with an admit threshold of `theta` and a
+    /// defer band down to `theta / 2`.
+    pub fn uncertainty_aware(theta: f64) -> Self {
+        assert!((0.0..=1.0).contains(&theta));
+        Self {
+            mode: AdmissionMode::TailProbability,
+            admit_threshold: theta,
+            defer_threshold: theta / 2.0,
+        }
+    }
+
+    /// Mean-only baseline (point-estimate admission).
+    pub fn mean_only() -> Self {
+        Self {
+            mode: AdmissionMode::MeanOnly,
+            admit_threshold: 0.5,
+            defer_threshold: 0.5,
+        }
+    }
+
+    /// Decides on a request whose remaining time budget is `budget_ms`
+    /// (deadline minus any wait the caller already knows about — queueing,
+    /// scheduling). Returns the decision and `Pr(T ≤ budget_ms)` under the
+    /// predicted distribution (reported in both modes for observability).
+    ///
+    /// `budget_ms = None` means no deadline: always admitted, probability 1.
+    pub fn decide(&self, prediction: &Prediction, budget_ms: Option<f64>) -> (Decision, f64) {
+        let Some(budget) = budget_ms else {
+            return (Decision::Admit, 1.0);
+        };
+        let prob = prediction.prob_completes_by(budget);
+        let decision = match self.mode {
+            AdmissionMode::MeanOnly => {
+                if prediction.mean_ms() <= budget {
+                    Decision::Admit
+                } else {
+                    Decision::Reject
+                }
+            }
+            AdmissionMode::TailProbability => {
+                if prob >= self.admit_threshold {
+                    Decision::Admit
+                } else if prob >= self.defer_threshold {
+                    Decision::Defer
+                } else {
+                    Decision::Reject
+                }
+            }
+        };
+        (decision, prob)
+    }
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self::uncertainty_aware(0.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_core::{Predictor, PredictorConfig};
+    use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
+    use uaq_engine::{PlanBuilder, Pred};
+    use uaq_stats::Rng;
+    use uaq_storage::{Catalog, Column, Schema, Table, Value};
+
+    fn prediction() -> Prediction {
+        let mut c = Catalog::new();
+        let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+        let rows = (0..4000)
+            .map(|i| vec![Value::Int((i % 50) as i64), Value::Int(i as i64)])
+            .collect();
+        c.add_table(Table::new("t", s, rows));
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("b", Value::Int(2000)));
+        let plan = b.build(t);
+        let mut rng = Rng::new(3);
+        let units = calibrate(
+            &HardwareProfile::pc1(),
+            &CalibrationConfig::default(),
+            &mut rng,
+        );
+        let samples = c.draw_samples(0.1, 1, &mut rng);
+        Predictor::new(units, PredictorConfig::default()).predict(&plan, &c, &samples)
+    }
+
+    #[test]
+    fn no_deadline_always_admits() {
+        let p = prediction();
+        for policy in [
+            AdmissionPolicy::uncertainty_aware(0.99),
+            AdmissionPolicy::mean_only(),
+        ] {
+            let (d, prob) = policy.decide(&p, None);
+            assert_eq!(d, Decision::Admit);
+            assert_eq!(prob, 1.0);
+        }
+    }
+
+    #[test]
+    fn generous_budget_admits_tight_budget_rejects() {
+        let p = prediction();
+        let policy = AdmissionPolicy::uncertainty_aware(0.9);
+        let generous = p.mean_ms() + 10.0 * p.std_dev_ms();
+        let hopeless = (p.mean_ms() - 10.0 * p.std_dev_ms()).max(0.0);
+        assert_eq!(policy.decide(&p, Some(generous)).0, Decision::Admit);
+        assert_eq!(policy.decide(&p, Some(hopeless)).0, Decision::Reject);
+    }
+
+    #[test]
+    fn borderline_mean_splits_the_policies() {
+        // Budget just above the mean: Pr(T ≤ budget) ≈ 0.5 — mean-only
+        // admits, a 0.9-confidence policy does not.
+        let p = prediction();
+        let budget = p.mean_ms() + 0.01 * p.std_dev_ms();
+        let (mean_d, prob) = AdmissionPolicy::mean_only().decide(&p, Some(budget));
+        assert_eq!(mean_d, Decision::Admit);
+        assert!((prob - 0.5).abs() < 0.05, "prob {prob}");
+        let (tail_d, _) = AdmissionPolicy::uncertainty_aware(0.9).decide(&p, Some(budget));
+        assert_ne!(tail_d, Decision::Admit);
+    }
+
+    #[test]
+    fn defer_band_sits_between_admit_and_reject() {
+        let p = prediction();
+        let policy = AdmissionPolicy::uncertainty_aware(0.9);
+        // Find a budget whose probability lands inside [0.45, 0.9).
+        let budget = p.mean_ms() + 0.5 * p.std_dev_ms();
+        let (d, prob) = policy.decide(&p, Some(budget));
+        assert!(prob >= policy.defer_threshold && prob < policy.admit_threshold);
+        assert_eq!(d, Decision::Defer);
+    }
+}

@@ -1,0 +1,268 @@
+//! The concurrent plan-shape fit cache shared by the worker pool.
+//!
+//! Implements [`uaq_cost::FitCache`] with a mutex-guarded two-level map:
+//! shape signature → (`Arc<Vec<NodeCostContext>>`, fit-signature →
+//! `Arc<NodeFits>`). Values are `Arc`s, so the lock is held only for the
+//! map probe — never across a fit or a prediction — and hits are a clone
+//! of a pointer.
+//!
+//! Capacity is bounded per level (shapes, and fit variants per shape).
+//! Eviction is "reject new" rather than LRU: the serving workloads this
+//! cache exists for are template-shaped (a stable set of plan shapes
+//! recurring indefinitely), where the first-seen working set *is* the hot
+//! set and pointer-chasing LRU bookkeeping would be pure overhead. A full
+//! cache still serves hits for everything it already holds; new shapes
+//! simply pay the uncached cost.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use uaq_cost::{FitCache, FitSignature, NodeCostContext, NodeFits};
+
+/// Hit/miss counters, cheap enough to keep always-on (relaxed atomics).
+#[derive(Debug, Default)]
+struct Counters {
+    context_hits: AtomicU64,
+    context_misses: AtomicU64,
+    fit_hits: AtomicU64,
+    fit_misses: AtomicU64,
+}
+
+/// A point-in-time snapshot of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Plan-shape (context-level) hits: the `NodeCostContext`s were reused.
+    pub context_hits: u64,
+    pub context_misses: u64,
+    /// Full-fit hits: the grid fits were skipped entirely.
+    pub fit_hits: u64,
+    pub fit_misses: u64,
+    /// Distinct plan shapes currently cached.
+    pub shapes: usize,
+}
+
+impl CacheStats {
+    /// Fraction of fit lookups that skipped the grid fits.
+    pub fn fit_hit_rate(&self) -> f64 {
+        let total = self.fit_hits + self.fit_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.fit_hits as f64 / total as f64
+        }
+    }
+}
+
+struct ShapeEntry {
+    contexts: Option<Arc<Vec<NodeCostContext>>>,
+    fits: HashMap<FitSignature, Arc<NodeFits>>,
+}
+
+/// Bounds for [`SharedFitCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// Maximum distinct plan shapes held.
+    pub max_shapes: usize,
+    /// Maximum fit variants (distinct selectivity-distribution signatures)
+    /// held per shape.
+    pub max_fits_per_shape: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            max_shapes: 4096,
+            max_fits_per_shape: 64,
+        }
+    }
+}
+
+/// Thread-safe fit cache. Safe to share across catalogs and predictor
+/// configs: the predictor keys entries on (plan shape, catalog
+/// fingerprint) and fits additionally on everything they depend on.
+pub struct SharedFitCache {
+    config: CacheConfig,
+    map: Mutex<HashMap<String, ShapeEntry>>,
+    counters: Counters,
+}
+
+impl SharedFitCache {
+    pub fn new(config: CacheConfig) -> Self {
+        Self {
+            config,
+            map: Mutex::new(HashMap::new()),
+            counters: Counters::default(),
+        }
+    }
+
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            context_hits: self.counters.context_hits.load(Ordering::Relaxed),
+            context_misses: self.counters.context_misses.load(Ordering::Relaxed),
+            fit_hits: self.counters.fit_hits.load(Ordering::Relaxed),
+            fit_misses: self.counters.fit_misses.load(Ordering::Relaxed),
+            shapes: self.map.lock().expect("cache lock").len(),
+        }
+    }
+
+    /// Drops every entry (counters are retained).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+    }
+}
+
+impl Default for SharedFitCache {
+    fn default() -> Self {
+        Self::new(CacheConfig::default())
+    }
+}
+
+impl FitCache for SharedFitCache {
+    fn get_contexts(&self, shape: &str) -> Option<Arc<Vec<NodeCostContext>>> {
+        let map = self.map.lock().expect("cache lock");
+        let hit = map.get(shape).and_then(|e| e.contexts.clone());
+        drop(map);
+        match &hit {
+            Some(_) => self.counters.context_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.context_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn put_contexts(&self, shape: &str, contexts: &Arc<Vec<NodeCostContext>>) {
+        let mut map = self.map.lock().expect("cache lock");
+        if let Some(entry) = map.get_mut(shape) {
+            entry.contexts.get_or_insert_with(|| Arc::clone(contexts));
+        } else if map.len() < self.config.max_shapes {
+            map.insert(
+                shape.to_owned(),
+                ShapeEntry {
+                    contexts: Some(Arc::clone(contexts)),
+                    fits: HashMap::new(),
+                },
+            );
+        }
+    }
+
+    fn get_fits(&self, shape: &str, sig: &FitSignature) -> Option<Arc<NodeFits>> {
+        let map = self.map.lock().expect("cache lock");
+        let hit = map.get(shape).and_then(|e| e.fits.get(sig).cloned());
+        drop(map);
+        match &hit {
+            Some(_) => self.counters.fit_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.counters.fit_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn put_fits(&self, shape: &str, sig: &FitSignature, fits: &Arc<NodeFits>) {
+        let mut map = self.map.lock().expect("cache lock");
+        if !map.contains_key(shape) {
+            if map.len() >= self.config.max_shapes {
+                return;
+            }
+            map.insert(
+                shape.to_owned(),
+                ShapeEntry {
+                    contexts: None,
+                    fits: HashMap::new(),
+                },
+            );
+        }
+        let entry = map.get_mut(shape).expect("present or just inserted");
+        if entry.fits.len() < self.config.max_fits_per_shape {
+            entry
+                .fits
+                .entry(sig.clone())
+                .or_insert_with(|| Arc::clone(fits));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_stats::Normal;
+
+    fn sig(mean: f64) -> FitSignature {
+        FitSignature::new(8, &[Normal::new(mean, 0.01)])
+    }
+
+    #[test]
+    fn contexts_round_trip_and_count() {
+        let cache = SharedFitCache::default();
+        assert!(cache.get_contexts("s1").is_none());
+        let ctxs = Arc::new(Vec::new());
+        cache.put_contexts("s1", &ctxs);
+        assert!(cache.get_contexts("s1").is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.context_hits, 1);
+        assert_eq!(stats.context_misses, 1);
+        assert_eq!(stats.shapes, 1);
+    }
+
+    #[test]
+    fn fits_key_on_signature() {
+        let cache = SharedFitCache::default();
+        let fits = Arc::new(Vec::new());
+        cache.put_fits("s1", &sig(0.5), &fits);
+        assert!(cache.get_fits("s1", &sig(0.5)).is_some());
+        assert!(cache.get_fits("s1", &sig(0.6)).is_none());
+        assert!(cache.get_fits("s2", &sig(0.5)).is_none());
+        assert!((cache.stats().fit_hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_bounds_reject_new_entries_but_keep_existing() {
+        let cache = SharedFitCache::new(CacheConfig {
+            max_shapes: 1,
+            max_fits_per_shape: 1,
+        });
+        let fits = Arc::new(Vec::new());
+        cache.put_fits("s1", &sig(0.1), &fits);
+        cache.put_fits("s1", &sig(0.2), &fits); // over per-shape bound
+        cache.put_fits("s2", &sig(0.1), &fits); // over shape bound
+        assert!(cache.get_fits("s1", &sig(0.1)).is_some());
+        assert!(cache.get_fits("s1", &sig(0.2)).is_none());
+        assert!(cache.get_fits("s2", &sig(0.1)).is_none());
+        assert_eq!(cache.stats().shapes, 1);
+        // Contexts for the held shape still land.
+        cache.put_contexts("s1", &Arc::new(Vec::new()));
+        assert!(cache.get_contexts("s1").is_some());
+    }
+
+    #[test]
+    fn clear_retains_counters() {
+        let cache = SharedFitCache::default();
+        cache.put_contexts("s1", &Arc::new(Vec::new()));
+        assert!(cache.get_contexts("s1").is_some());
+        cache.clear();
+        assert!(cache.get_contexts("s1").is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.shapes, 0);
+        assert_eq!(stats.context_hits, 1);
+        assert_eq!(stats.context_misses, 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = Arc::new(SharedFitCache::default());
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..200 {
+                        let shape = format!("shape-{}", i % 10);
+                        let s = sig((t * 200 + i) as f64 / 4000.0);
+                        if cache.get_fits(&shape, &s).is_none() {
+                            cache.put_fits(&shape, &s, &Arc::new(Vec::new()));
+                        }
+                        cache.put_contexts(&shape, &Arc::new(Vec::new()));
+                        assert!(cache.get_contexts(&shape).is_some());
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.stats().shapes, 10);
+    }
+}

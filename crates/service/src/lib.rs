@@ -1,0 +1,51 @@
+//! # uaq-service
+//!
+//! The serving layer: a multi-threaded prediction service over the
+//! uncertainty-aware predictor, turning the paper's distributions into
+//! online *decisions* (Wu et al. §1, §6.5.3: admission control and
+//! deadline-aware scheduling via `Pr(T ≤ d)`).
+//!
+//! Three pieces:
+//!
+//! * [`PredictionService`] — an MPMC [`WorkQueue`] feeding a pool of worker
+//!   threads that share one [`Predictor`](uaq_core::Predictor), catalog,
+//!   and sample set behind `Arc`s; each [`PredictRequest`] (plan +
+//!   optional deadline) yields a [`PredictResponse`] carrying the full
+//!   [`Prediction`](uaq_core::Prediction) and an admission [`Decision`].
+//! * [`SharedFitCache`] — the concurrent plan-shape fit cache
+//!   (implementing [`uaq_cost::FitCache`]): keyed on
+//!   `Plan::shape_signature()` (literals masked), it shares per-node cost
+//!   contexts across literal-perturbed instances of a query template and
+//!   skips the oracle-probe grid fits entirely for bit-identical repeats —
+//!   the dominant cost of predicting short plans.
+//! * [`AdmissionPolicy`] — `Pr(T ≤ budget) ≥ θ` tail-probability admission
+//!   (with a defer band), plus the mean-only baseline a point predictor
+//!   would be limited to.
+//!
+//! Responses are deterministic: predictions are pure functions of (plan,
+//! catalog, samples, config), and cache hits are bit-identical to fresh
+//! fits by construction, so worker count and scheduling order cannot
+//! change any decision.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use uaq_service::{PredictionService, PredictRequest, ServiceConfig};
+//! # let predictor: uaq_core::Predictor = unimplemented!();
+//! # let catalog: std::sync::Arc<uaq_storage::Catalog> = unimplemented!();
+//! # let samples: std::sync::Arc<uaq_storage::SampleCatalog> = unimplemented!();
+//! # let plan: std::sync::Arc<uaq_engine::Plan> = unimplemented!();
+//! let service = PredictionService::start(predictor, catalog, samples, ServiceConfig::default());
+//! let rx = service.submit(PredictRequest { id: 1, plan, deadline_ms: Some(100.0) });
+//! let resp = rx.recv().unwrap();
+//! println!("{}: Pr(in time) = {:.3}", resp.decision.label(), resp.prob_in_time);
+//! ```
+
+pub mod admission;
+pub mod cache;
+pub mod queue;
+pub mod service;
+
+pub use admission::{AdmissionMode, AdmissionPolicy, Decision};
+pub use cache::{CacheConfig, CacheStats, SharedFitCache};
+pub use queue::WorkQueue;
+pub use service::{PredictRequest, PredictResponse, PredictionService, ServiceConfig};

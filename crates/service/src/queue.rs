@@ -1,0 +1,151 @@
+//! A blocking MPMC work queue on `Mutex<VecDeque>` + `Condvar`.
+//!
+//! Std-only by constraint (the container has no crates.io access) and by
+//! sufficiency: the unit of work behind each pop is a full prediction —
+//! sample-pass execution plus fitting — which is microseconds to
+//! milliseconds, so a single well-held lock around the deque is nowhere
+//! near contention. Lock-free MPMC would buy nothing here.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Multi-producer multi-consumer FIFO queue with blocking pop and
+/// close-to-drain shutdown.
+pub struct WorkQueue<T> {
+    inner: Mutex<Inner<T>>,
+    ready: Condvar,
+}
+
+impl<T> WorkQueue<T> {
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one item. Returns `false` (dropping the item) if the queue
+    /// has been closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return false;
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Blocks until an item is available (FIFO) or the queue is closed
+    /// *and* drained, in which case `None` signals workers to exit.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: pending items still drain, further pushes are
+    /// rejected, and blocked poppers wake up.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently waiting (diagnostics only — stale by the time the
+    /// caller looks at it).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue lock").items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Default for WorkQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = WorkQueue::new();
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_signals_exit() {
+        let q = WorkQueue::new();
+        q.push(7);
+        q.close();
+        assert!(!q.push(8), "push after close must be rejected");
+        assert_eq!(q.pop(), Some(7), "pending items drain after close");
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_deliver_everything() {
+        let q = Arc::new(WorkQueue::new());
+        let producers = 4;
+        let per_producer = 500;
+        let consumers = 3;
+
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = Arc::clone(&q);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    assert!(q.push(p * per_producer + i));
+                }
+            }));
+        }
+        let mut consumers_h = Vec::new();
+        for _ in 0..consumers {
+            let q = Arc::clone(&q);
+            consumers_h.push(std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for h in handles {
+            h.join().expect("producer");
+        }
+        q.close();
+        let mut all: Vec<usize> = consumers_h
+            .into_iter()
+            .flat_map(|h| h.join().expect("consumer"))
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..producers * per_producer).collect();
+        assert_eq!(all, expect);
+    }
+}

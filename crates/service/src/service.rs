@@ -1,0 +1,337 @@
+//! The prediction service: an MPMC work queue feeding a worker pool that
+//! shares one predictor, one catalog, one sample set, and one fit cache.
+//!
+//! ```text
+//!  clients ──submit──▶ WorkQueue ──pop──▶ worker 0..N
+//!                                          │  predict_with_cache(plan)
+//!                                          │  policy.decide(prediction)
+//!                                          ▼
+//!                            mpsc reply channel per request
+//! ```
+//!
+//! Every response carries the full [`Prediction`] (the distribution, not
+//! just a mean) plus the admission [`Decision`] against the request's
+//! deadline. Predictions are pure functions of (plan, catalog, samples,
+//! predictor config) and the cache is bit-transparent, so responses are
+//! deterministic regardless of worker count, scheduling order, or cache
+//! state — the property the integration tests pin down.
+
+use crate::admission::{AdmissionPolicy, Decision};
+use crate::cache::{CacheConfig, CacheStats, SharedFitCache};
+use crate::queue::WorkQueue;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+use uaq_core::{Prediction, Predictor};
+use uaq_cost::{FitCache, NoFitCache};
+use uaq_engine::Plan;
+use uaq_storage::{Catalog, SampleCatalog};
+
+/// One prediction request.
+#[derive(Clone)]
+pub struct PredictRequest {
+    /// Caller-chosen id, echoed in the response.
+    pub id: u64,
+    pub plan: Arc<Plan>,
+    /// Remaining time budget for the deadline SLO, in milliseconds
+    /// (deadline minus whatever wait the caller already accounts for).
+    /// `None` means no deadline.
+    pub deadline_ms: Option<f64>,
+}
+
+/// The service's answer to one request.
+#[derive(Debug, Clone)]
+pub struct PredictResponse {
+    pub id: u64,
+    pub prediction: Prediction,
+    pub decision: Decision,
+    /// `Pr(T ≤ deadline)` under the predicted distribution (1.0 when the
+    /// request had no deadline).
+    pub prob_in_time: f64,
+    /// Which worker served the request (diagnostics).
+    pub worker: usize,
+    /// Wall-clock seconds from dequeue to decision.
+    pub service_seconds: f64,
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads. 0 is clamped to 1.
+    pub workers: usize,
+    pub policy: AdmissionPolicy,
+    /// When false, workers predict with [`NoFitCache`] — the A/B switch the
+    /// cold-vs-warm benchmarks and golden tests use.
+    pub cache_enabled: bool,
+    pub cache: CacheConfig,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            policy: AdmissionPolicy::default(),
+            cache_enabled: true,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+struct Job {
+    request: PredictRequest,
+    reply: mpsc::Sender<PredictResponse>,
+}
+
+struct Shared {
+    queue: WorkQueue<Job>,
+    predictor: Predictor,
+    catalog: Arc<Catalog>,
+    samples: Arc<SampleCatalog>,
+    cache: SharedFitCache,
+    policy: AdmissionPolicy,
+    cache_enabled: bool,
+}
+
+/// A running prediction service. Dropping it (or calling
+/// [`PredictionService::shutdown`]) closes the queue, drains pending
+/// requests, and joins the workers.
+pub struct PredictionService {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PredictionService {
+    /// Starts the worker pool.
+    pub fn start(
+        predictor: Predictor,
+        catalog: Arc<Catalog>,
+        samples: Arc<SampleCatalog>,
+        config: ServiceConfig,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            queue: WorkQueue::new(),
+            predictor,
+            catalog,
+            samples,
+            cache: SharedFitCache::new(config.cache),
+            policy: config.policy,
+            cache_enabled: config.cache_enabled,
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|worker| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("uaq-service-{worker}"))
+                    .spawn(move || worker_loop(&shared, worker))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Enqueues a request; the response arrives on the returned channel.
+    /// Panics if called after shutdown (the only way to lose the reply).
+    pub fn submit(&self, request: PredictRequest) -> mpsc::Receiver<PredictResponse> {
+        let (reply, rx) = mpsc::channel();
+        let accepted = self.shared.queue.push(Job { request, reply });
+        assert!(accepted, "submit after shutdown");
+        rx
+    }
+
+    /// Convenience: submit and block for the response.
+    pub fn predict_blocking(&self, plan: Arc<Plan>, deadline_ms: Option<f64>) -> PredictResponse {
+        self.submit(PredictRequest {
+            id: 0,
+            plan,
+            deadline_ms,
+        })
+        .recv()
+        .expect("service workers alive")
+    }
+
+    /// Snapshot of the shared fit cache's hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Requests currently queued (not yet picked up by a worker).
+    pub fn backlog(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Closes the queue, drains pending requests, joins the workers.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.queue.close();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for PredictionService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    while let Some(job) = shared.queue.pop() {
+        let t0 = Instant::now();
+        let cache: &dyn FitCache = if shared.cache_enabled {
+            &shared.cache
+        } else {
+            &NoFitCache
+        };
+        let prediction = shared.predictor.predict_with_cache(
+            &job.request.plan,
+            &shared.catalog,
+            &shared.samples,
+            cache,
+        );
+        let (decision, prob_in_time) = shared.policy.decide(&prediction, job.request.deadline_ms);
+        // A dropped receiver just means the client stopped waiting; the
+        // worker moves on.
+        let _ = job.reply.send(PredictResponse {
+            id: job.request.id,
+            prediction,
+            decision,
+            prob_in_time,
+            worker,
+            service_seconds: t0.elapsed().as_secs_f64(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uaq_core::PredictorConfig;
+    use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
+    use uaq_engine::{PlanBuilder, Pred};
+    use uaq_stats::Rng;
+    use uaq_storage::{Column, Schema, Table, Value};
+
+    fn setup() -> (Predictor, Arc<Catalog>, Arc<SampleCatalog>, Arc<Plan>) {
+        let mut c = Catalog::new();
+        let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+        let rows = (0..4000)
+            .map(|i| vec![Value::Int((i % 50) as i64), Value::Int(i as i64)])
+            .collect();
+        c.add_table(Table::new("t", s, rows));
+        let mut rng = Rng::new(11);
+        let units = calibrate(
+            &HardwareProfile::pc1(),
+            &CalibrationConfig::default(),
+            &mut rng,
+        );
+        let samples = c.draw_samples(0.1, 1, &mut rng);
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("b", Value::Int(2000)));
+        let plan = b.build(t);
+        (
+            Predictor::new(units, PredictorConfig::default()),
+            Arc::new(c),
+            Arc::new(samples),
+            Arc::new(plan),
+        )
+    }
+
+    #[test]
+    fn predict_blocking_round_trips() {
+        let (predictor, catalog, samples, plan) = setup();
+        let reference = predictor.predict(&plan, &catalog, &samples);
+        let service =
+            PredictionService::start(predictor, catalog, samples, ServiceConfig::default());
+        let resp = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(resp.decision, Decision::Admit);
+        assert_eq!(resp.prob_in_time, 1.0);
+        assert_eq!(resp.prediction.mean_ms(), reference.mean_ms());
+        assert_eq!(resp.prediction.var(), reference.var());
+        service.shutdown();
+    }
+
+    #[test]
+    fn warm_cache_hits_on_repeat() {
+        let (predictor, catalog, samples, plan) = setup();
+        let service =
+            PredictionService::start(predictor, catalog, samples, ServiceConfig::default());
+        let first = service.predict_blocking(Arc::clone(&plan), None);
+        let second = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(first.prediction.mean_ms(), second.prediction.mean_ms());
+        assert_eq!(first.prediction.var(), second.prediction.var());
+        let stats = service.cache_stats();
+        assert_eq!(stats.fit_hits, 1, "{stats:?}");
+        assert_eq!(stats.fit_misses, 1, "{stats:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn cache_disabled_still_serves() {
+        let (predictor, catalog, samples, plan) = setup();
+        let service = PredictionService::start(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                cache_enabled: false,
+                ..Default::default()
+            },
+        );
+        let a = service.predict_blocking(Arc::clone(&plan), None);
+        let b = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(a.prediction.mean_ms(), b.prediction.mean_ms());
+        let stats = service.cache_stats();
+        assert_eq!(stats.fit_hits + stats.fit_misses, 0, "{stats:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn deadline_thresholds_produce_all_decisions() {
+        let (predictor, catalog, samples, plan) = setup();
+        let reference = predictor.predict(&plan, &catalog, &samples);
+        let service =
+            PredictionService::start(predictor, catalog, samples, ServiceConfig::default());
+        let generous = reference.mean_ms() + 10.0 * reference.std_dev_ms();
+        let hopeless = (reference.mean_ms() - 10.0 * reference.std_dev_ms()).max(0.0);
+        let border = reference.mean_ms() + 0.5 * reference.std_dev_ms();
+        assert_eq!(
+            service
+                .predict_blocking(Arc::clone(&plan), Some(generous))
+                .decision,
+            Decision::Admit
+        );
+        assert_eq!(
+            service
+                .predict_blocking(Arc::clone(&plan), Some(hopeless))
+                .decision,
+            Decision::Reject
+        );
+        assert_eq!(
+            service
+                .predict_blocking(Arc::clone(&plan), Some(border))
+                .decision,
+            Decision::Defer
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn drop_shuts_down_cleanly_with_pending_work() {
+        let (predictor, catalog, samples, plan) = setup();
+        let service =
+            PredictionService::start(predictor, catalog, samples, ServiceConfig::default());
+        // Fire-and-forget a burst; drop the receivers immediately.
+        for i in 0..32 {
+            let _ = service.submit(PredictRequest {
+                id: i,
+                plan: Arc::clone(&plan),
+                deadline_ms: None,
+            });
+        }
+        drop(service); // must drain + join without deadlock or panic
+    }
+}

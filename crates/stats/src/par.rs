@@ -49,33 +49,47 @@ where
     F: Fn(&T) -> R + Sync,
 {
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
 
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
 
-    // Dynamic work claiming (atomic counter) balances heterogeneous
-    // items; the per-item mutex push is negligible next to the work.
+    // Dynamic claiming of contiguous *blocks*: heterogeneous items still
+    // balance (several blocks per thread), but results accumulate in
+    // per-thread chunk buffers — no shared mutex on the result path, no
+    // per-item synchronization. Each buffer entry is (block start, results
+    // in item order), so stitching is a short sort over blocks, not items.
+    let block = items.len().div_ceil(threads * 4).max(1);
+    let n_blocks = items.len().div_ceil(block);
     let next = AtomicUsize::new(0);
-    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(items.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                collected.lock().expect("no poisoned workers").push((i, r));
-            });
-        }
+    let mut chunks: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads.min(n_blocks))
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= n_blocks {
+                            break;
+                        }
+                        let start = b * block;
+                        let end = (start + block).min(items.len());
+                        local.push((start, items[start..end].iter().map(&f).collect()));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("no poisoned workers"))
+            .collect()
     });
 
-    let mut pairs = collected.into_inner().expect("all workers joined");
-    pairs.sort_unstable_by_key(|&(i, _)| i);
-    debug_assert_eq!(pairs.len(), items.len());
-    pairs.into_iter().map(|(_, r)| r).collect()
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let out: Vec<R> = chunks.into_iter().flat_map(|(_, rs)| rs).collect();
+    debug_assert_eq!(out.len(), items.len());
+    out
 }
 
 /// True when the `parallel` feature is compiled in (for reporting).

@@ -108,6 +108,33 @@ impl Catalog {
         self.tables.values().map(Table::len).sum()
     }
 
+    /// FNV-1a digest of everything the cost model reads from the catalog:
+    /// per table (in name order) its name, row count, page count, and
+    /// per-column distinct counts. Two catalogs with equal fingerprints
+    /// yield identical `NodeCostContext`s for any plan, so cache layers
+    /// keying on plan shape mix this in to stay safe when one process
+    /// serves several databases.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for (name, table) in &self.tables {
+            eat(name.as_bytes());
+            eat(&(table.len() as u64).to_le_bytes());
+            eat(&(table.pages() as u64).to_le_bytes());
+            let stats = &self.stats[name];
+            for col in table.schema().columns() {
+                eat(&(stats.distinct(&col.name) as u64).to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// Draws `copies` independent sample tables per relation at the given
     /// sampling ratio. Empty relations are skipped — they cannot be sampled,
     /// and queries that do not touch them must still be predictable.
@@ -224,5 +251,34 @@ mod tests {
     #[test]
     fn total_rows() {
         assert_eq!(catalog().total_rows(), 500);
+    }
+
+    #[test]
+    fn fingerprint_tracks_cost_model_inputs() {
+        let base = catalog();
+        assert_eq!(base.fingerprint(), catalog().fingerprint(), "deterministic");
+
+        // More rows ⇒ different cardinalities ⇒ different fingerprint.
+        let mut bigger = catalog();
+        let schema = Schema::new(vec![Column::int("id")]);
+        bigger.add_table(Table::new(
+            "extra",
+            schema.clone(),
+            (0..10).map(|i| vec![Value::Int(i)]).collect(),
+        ));
+        assert_ne!(base.fingerprint(), bigger.fingerprint());
+
+        // Same table sizes but different distinct counts (key densities
+        // diverge) ⇒ different fingerprint.
+        let make = |modulus: i64| {
+            let mut c = Catalog::new();
+            c.add_table(Table::new(
+                "t",
+                Schema::new(vec![Column::int("k")]),
+                (0..100).map(|i| vec![Value::Int(i % modulus)]).collect(),
+            ));
+            c
+        };
+        assert_ne!(make(5).fingerprint(), make(20).fingerprint());
     }
 }

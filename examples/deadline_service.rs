@@ -1,0 +1,26 @@
+//! The serving layer end-to-end: concurrent prediction service with a warm
+//! plan-shape fit cache, and the deadline-scheduling scenario comparing
+//! admission policies.
+//!
+//! ```sh
+//! cargo run --release --example deadline_service
+//! ```
+//!
+//! Prints the SLO-violation table: admit-all vs mean-only (what a point
+//! predictor supports) vs uncertainty-aware `Pr(T ≤ d) ≥ θ` admission (what
+//! the paper's distribution-valued predictions enable).
+
+use uaq::experiments::{run_deadline_scenario, DeadlineConfig};
+
+fn main() {
+    let config = DeadlineConfig::default();
+    println!(
+        "db = {:?}, {} arrivals, utilization target {:.0}%, θ = {}\n",
+        config.db,
+        config.arrivals,
+        config.utilization * 100.0,
+        config.theta
+    );
+    let report = run_deadline_scenario(&config);
+    println!("{}", report.render());
+}

@@ -33,6 +33,7 @@
 //! | [`core`] | **the predictor** (Algorithms 2–3, ablation variants) |
 //! | [`workloads`] | MICRO / SELJOIN / TPCH benchmarks |
 //! | [`experiments`] | experiment matrix, metrics, paper table/figure renderers |
+//! | [`service`] | concurrent prediction service: worker pool, plan-shape fit cache, deadline-aware admission |
 //!
 //! ## Quickstart
 //!
@@ -70,6 +71,7 @@ pub use uaq_datagen as datagen;
 pub use uaq_engine as engine;
 pub use uaq_experiments as experiments;
 pub use uaq_selest as selest;
+pub use uaq_service as service;
 pub use uaq_stats as stats;
 pub use uaq_storage as storage;
 pub use uaq_workloads as workloads;
@@ -85,6 +87,10 @@ pub mod prelude {
     pub use uaq_engine::{
         execute_full, execute_on_samples, plan_query, AggFunc, CmpOp, JoinStep, Plan, Pred,
         QuerySpec, SortOrder, TableRef,
+    };
+    pub use uaq_service::{
+        AdmissionPolicy, Decision, PredictRequest, PredictResponse, PredictionService,
+        ServiceConfig, SharedFitCache,
     };
     pub use uaq_stats::{Normal, Rng};
     pub use uaq_storage::{Catalog, SampleCatalog, Value};

@@ -1,12 +1,16 @@
-//! Benchmarks for the serving layer: what does the plan-shape fit cache
-//! buy per prediction, and how does service throughput scale with workers?
+//! Benchmarks for the serving layer: what do the two cache levels buy per
+//! prediction, and how does service throughput scale with workers?
 //!
-//! * `service/predict_cold/*` — every iteration predicts through a fresh
-//!   cache (miss + fill): the baseline a batch consumer pays.
-//! * `service/predict_warm/*` — one shared cache, pre-warmed: the steady
-//!   state of serving repeated query templates (fits skipped entirely).
+//! * `service/predict_cold/*` — every iteration predicts through fresh
+//!   caches (miss + fill at both levels): the baseline a first-seen
+//!   request pays.
+//! * `service/predict_warm/*` — fit cache pre-warmed, estimate cache off:
+//!   PR 2's warm path (fits skipped, sample pass still executed).
+//! * `service/predict_warm_selest/*` — both caches pre-warmed: the full
+//!   warm path for a repeated query instance (sample pass *and* fits
+//!   skipped; only the variance algebra runs).
 //! * `service/throughput/*` — wall-clock for a 64-request mixed batch
-//!   through the full service (queue + worker pool + cache), per worker
+//!   through the full service (queue + worker pool + caches), per worker
 //!   count.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
@@ -16,7 +20,9 @@ use uaq_core::{Predictor, PredictorConfig};
 use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
 use uaq_datagen::GenConfig;
 use uaq_engine::{plan_query, JoinStep, Plan, Pred, QuerySpec, TableRef};
-use uaq_service::{PredictRequest, PredictionService, ServiceConfig, SharedFitCache};
+use uaq_service::{
+    PredictRequest, PredictionService, ServiceConfig, SharedFitCache, SharedSelEstCache,
+};
 use uaq_stats::Rng;
 use uaq_storage::{Catalog, SampleCatalog, Value};
 
@@ -83,26 +89,40 @@ fn bench_cache(c: &mut Criterion) {
         .sample_size(30);
     for (name, plan) in [("scan", &s.scan), ("three_way_join", &s.join3)] {
         group.bench_function(BenchmarkId::new("predict_cold", name), |b| {
-            // A fresh cache per iteration: every predict pays context build
-            // + grid fits (cache insertion overhead included, as in a real
-            // first-seen request).
+            // Fresh caches per iteration: every predict pays sample pass +
+            // context build + grid fits (fill overhead at both levels
+            // included, as in a real first-seen request).
             b.iter_batched(
-                SharedFitCache::default,
-                |cache| {
+                || (SharedFitCache::default(), SharedSelEstCache::default()),
+                |(fit, sel)| {
                     s.predictor
-                        .predict_with_cache(plan, &s.catalog, &s.samples, &cache)
+                        .predict_with_caches(plan, &s.catalog, &s.samples, &fit, &sel)
                 },
                 BatchSize::SmallInput,
             )
         });
         group.bench_function(BenchmarkId::new("predict_warm", name), |b| {
+            // PR 2's warm path: fits cached, but the sample pass still
+            // runs every prediction — the cost this PR's estimate cache
+            // removes.
             let cache = SharedFitCache::default();
-            // Warm it: the steady serving state for a repeated template.
             s.predictor
                 .predict_with_cache(plan, &s.catalog, &s.samples, &cache);
             b.iter(|| {
                 s.predictor
                     .predict_with_cache(plan, &s.catalog, &s.samples, &cache)
+            })
+        });
+        group.bench_function(BenchmarkId::new("predict_warm_selest", name), |b| {
+            // The full warm path: estimate cache + fit cache, the steady
+            // serving state for a repeated query instance.
+            let fit = SharedFitCache::default();
+            let sel = SharedSelEstCache::default();
+            s.predictor
+                .predict_with_caches(plan, &s.catalog, &s.samples, &fit, &sel);
+            b.iter(|| {
+                s.predictor
+                    .predict_with_caches(plan, &s.catalog, &s.samples, &fit, &sel)
             })
         });
     }

@@ -17,11 +17,11 @@ use crate::variant::Variant;
 use std::sync::Arc;
 use std::time::Instant;
 use uaq_cost::{
-    fit_node, CostUnit, FitCache, FitConfig, FitSignature, FittedCost, NoFitCache, NodeCostContext,
-    NodeFits, UnitDists,
+    fit_node, CostUnit, FitCache, FitConfig, FitSignature, FittedCost, NoFitCache, NoSelEstCache,
+    NodeCostContext, NodeFits, SelEstCache, UnitDists,
 };
-use uaq_engine::{execute_on_samples, NodeId, Plan};
-use uaq_selest::{estimate_selectivities_with, AggCardinalitySource, SelEstimate};
+use uaq_engine::{NodeId, Plan};
+use uaq_selest::{AggCardinalitySource, SelEstimates};
 use uaq_stats::Normal;
 use uaq_storage::{Catalog, SampleCatalog};
 
@@ -65,12 +65,15 @@ pub struct Prediction {
     /// `t_q ~ N(E[t_q], Var[t_q])`, in milliseconds.
     distribution: Normal,
     pub breakdown: VarianceBreakdown,
-    /// Per-operator selectivity estimates (inputs to Tables 6–9).
-    pub sel_estimates: Vec<SelEstimate>,
-    /// Wall-clock seconds spent executing the plan over the samples (the
-    /// numerator of the paper's relative-overhead metric, §6.4).
+    /// Per-operator selectivity estimates (inputs to Tables 6–9), shared
+    /// with the selectivity-estimate cache when one is in play.
+    pub sel_estimates: SelEstimates,
+    /// Wall-clock seconds of the sample-pass stage: plan execution over the
+    /// samples plus Algorithm 1 (the numerator of the paper's
+    /// relative-overhead metric, §6.4). Exactly 0.0 when the stage was
+    /// skipped by a selectivity-estimate cache hit.
     pub sample_pass_seconds: f64,
-    /// Wall-clock seconds spent on estimation + fitting + variance algebra.
+    /// Wall-clock seconds spent on fitting + variance algebra.
     pub inference_seconds: f64,
 }
 
@@ -160,56 +163,97 @@ impl Predictor {
         samples: &SampleCatalog,
         cache: &dyn FitCache,
     ) -> Prediction {
-        // 1. One pass over the sample tables with provenance.
-        let t0 = Instant::now();
-        let sample_outcome = execute_on_samples(plan, samples);
-        let sample_pass_seconds = t0.elapsed().as_secs_f64();
+        self.predict_with_caches(plan, catalog, samples, cache, &NoSelEstCache)
+    }
 
-        let t1 = Instant::now();
-        // 2. Selectivity distributions per operator (Algorithm 1).
-        let mut estimates = estimate_selectivities_with(
-            plan,
-            &sample_outcome,
-            samples,
-            catalog,
-            self.config.agg_source,
-        );
-        if self.config.variant == Variant::NoSelectivityVariance {
-            for e in &mut estimates {
-                e.var = 0.0;
-                for v in &mut e.per_leaf_var {
-                    *v = 0.0;
-                }
-            }
-        }
-        let dists: Vec<Normal> = estimates.iter().map(|e| e.distribution()).collect();
-
-        // 3. Fit the logical cost functions per (operator, unit),
-        //    consulting the cache at both levels (contexts, fits). The key
-        //    mixes the catalog fingerprint into the plan shape so one cache
-        //    instance can never serve contexts built against a different
-        //    database (same-shape plans over different catalogs differ in
-        //    cardinalities, pages, and key densities).
-        let fits = if cache.enabled() {
-            let shape = format!(
+    /// The full serving pipeline: [`Predictor::predict_with_cache`] with a
+    /// **selectivity-estimate cache** in front of the fit cache. On a hit —
+    /// same plan shape, same predicate literals, same catalog, same sample
+    /// set, same aggregate-cardinality source — steps 1–2 (the sample pass
+    /// and Algorithm 1) are skipped entirely and the cached
+    /// [`SelEstimates`] are re-fed to the pipeline bit-exactly; combined
+    /// with a fit hit, a repeated query instance pays only the variance
+    /// algebra. Estimates are pure functions of everything the key
+    /// captures, so cached and uncached predictions are bit-identical at
+    /// both cache levels (only the wall-clock timing fields differ).
+    pub fn predict_with_caches(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        samples: &SampleCatalog,
+        fit_cache: &dyn FitCache,
+        sel_cache: &dyn SelEstCache,
+    ) -> Prediction {
+        // Shape key, shared by both cache levels: the catalog fingerprint
+        // is mixed in so one cache instance can never serve entries built
+        // against a different database (same-shape plans over different
+        // catalogs differ in cardinalities, pages, and key densities).
+        let shape = if fit_cache.enabled() || sel_cache.enabled() {
+            Some(format!(
                 "{}#cat{:016x}",
                 plan.shape_signature(),
                 catalog.fingerprint()
+            ))
+        } else {
+            None
+        };
+
+        // 1.+2. One provenance-tracked pass over the sample tables plus the
+        //       selectivity distributions per operator (Algorithm 1) —
+        //       unless the estimate cache already holds this exact query
+        //       instance over this exact sample set.
+        let (raw_estimates, sample_pass_seconds) = if sel_cache.enabled() {
+            let key = format!(
+                "{}#smp{:016x}#agg{}|{}",
+                shape.as_deref().expect("shape computed when a cache is on"),
+                samples.fingerprint(),
+                match self.config.agg_source {
+                    AggCardinalitySource::Optimizer => "opt",
+                    AggCardinalitySource::Gee => "gee",
+                },
+                plan.literal_key()
             );
+            match sel_cache.get(&key) {
+                Some(estimates) => (estimates, 0.0),
+                None => {
+                    let (estimates, seconds) =
+                        SelEstimates::compute(plan, samples, catalog, self.config.agg_source);
+                    sel_cache.put(&key, &estimates);
+                    (estimates, seconds)
+                }
+            }
+        } else {
+            SelEstimates::compute(plan, samples, catalog, self.config.agg_source)
+        };
+        // The "No Var[X]" ablation zeroes a deep copy: cached raw estimates
+        // are shared with other predictions and must stay untouched.
+        let estimates = if self.config.variant == Variant::NoSelectivityVariance {
+            raw_estimates.with_zero_variance()
+        } else {
+            raw_estimates
+        };
+
+        let t1 = Instant::now();
+        let dists: Vec<Normal> = estimates.distributions();
+
+        // 3. Fit the logical cost functions per (operator, unit),
+        //    consulting the fit cache at both levels (contexts, fits).
+        let fits = if fit_cache.enabled() {
+            let shape = shape.as_deref().expect("shape computed when a cache is on");
             let sig = FitSignature::new(self.config.fit.grid_w, &dists);
-            match cache.get_fits(&shape, &sig) {
+            match fit_cache.get_fits(shape, &sig) {
                 Some(fits) => fits,
                 None => {
-                    let contexts = match cache.get_contexts(&shape) {
+                    let contexts = match fit_cache.get_contexts(shape) {
                         Some(c) => c,
                         None => {
                             let c = Arc::new(NodeCostContext::build_all(plan, catalog));
-                            cache.put_contexts(&shape, &c);
+                            fit_cache.put_contexts(shape, &c);
                             c
                         }
                     };
                     let f = Arc::new(self.fit_all(plan, &contexts, &dists));
-                    cache.put_fits(&shape, &sig, &f);
+                    fit_cache.put_fits(shape, &sig, &f);
                     f
                 }
             }

@@ -33,6 +33,7 @@
 use crate::logical::FittedCost;
 use crate::oracle::NodeCostContext;
 use std::sync::Arc;
+use uaq_selest::SelEstimates;
 use uaq_stats::Normal;
 
 /// All fitted cost functions of one plan: per node, per cost unit.
@@ -84,6 +85,53 @@ pub trait FitCache: Sync {
     fn put_fits(&self, shape: &str, sig: &FitSignature, fits: &Arc<NodeFits>);
 }
 
+/// Cache of whole-plan selectivity estimates — the level *in front of*
+/// [`FitCache`] in the serving pipeline. Where the fit cache removes the
+/// grid fits for a repeated query, this cache removes the **sample pass**
+/// itself: the dominant cost of a warm prediction once fits are cached.
+///
+/// The key is built by the predictor and identifies everything the
+/// estimates depend on: plan shape signature, catalog fingerprint, the
+/// *literal key* (`uaq_engine::Plan::literal_key` — the exact predicate
+/// constants the shape signature masks), the sample set's content
+/// fingerprint, and the aggregate-cardinality source. Estimates are pure
+/// functions of those inputs, so a hit returns precisely what a fresh
+/// sample pass would compute — cached and uncached predictions stay
+/// bit-identical, the same contract the fit cache carries.
+///
+/// Implementations must be callable from multiple worker threads.
+pub trait SelEstCache: Sync {
+    /// False for the no-op cache: lets the predictor skip computing the
+    /// literal key altogether.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Cached estimates for a fully-qualified instance key. The returned
+    /// value shares the cached allocation (`SelEstimates` is `Arc`-backed).
+    fn get(&self, key: &str) -> Option<SelEstimates>;
+
+    /// Stores freshly computed estimates for an instance key.
+    fn put(&self, key: &str, estimates: &SelEstimates);
+}
+
+/// The no-op selectivity-estimate cache: every prediction runs the sample
+/// pass, exactly as before the cache existed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSelEstCache;
+
+impl SelEstCache for NoSelEstCache {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn get(&self, _key: &str) -> Option<SelEstimates> {
+        None
+    }
+
+    fn put(&self, _key: &str, _estimates: &SelEstimates) {}
+}
+
 /// The no-op cache: every prediction rebuilds contexts and fits, exactly as
 /// before the cache existed. This is the default for `Predictor::predict`.
 #[derive(Debug, Clone, Copy, Default)]
@@ -120,6 +168,15 @@ mod tests {
         assert!(c.get_fits("sig", &sig).is_none());
         c.put_fits("sig", &sig, &Arc::new(Vec::new()));
         assert!(c.get_fits("sig", &sig).is_none());
+    }
+
+    #[test]
+    fn no_sel_cache_is_disabled_and_empty() {
+        let c = NoSelEstCache;
+        assert!(!c.enabled());
+        assert!(c.get("key").is_none());
+        c.put("key", &SelEstimates::from_vec(Vec::new()));
+        assert!(c.get("key").is_none());
     }
 
     #[test]

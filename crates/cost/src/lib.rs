@@ -16,7 +16,7 @@ pub mod profile;
 pub mod runtime;
 pub mod units;
 
-pub use cache::{FitCache, FitSignature, NoFitCache, NodeFits};
+pub use cache::{FitCache, FitSignature, NoFitCache, NoSelEstCache, NodeFits, SelEstCache};
 pub use calibrate::{calibrate, CalibrationConfig};
 pub use fitting::{fit_cost_function, fit_node, grid_points, FitConfig};
 pub use logical::{CostForm, FittedCost, SelTerm};

@@ -219,6 +219,51 @@ impl Pred {
         }
     }
 
+    /// Writes the predicate's *literal constants* — exactly the part
+    /// [`Pred::shape_into`] masks — into `out`, in a canonical encoding
+    /// that is injective for a fixed shape: integers in decimal, floats as
+    /// their IEEE-754 bit pattern (so `-0.0`, `0.0`, and NaN payloads all
+    /// encode distinctly, matching [`uaq_storage::Value`] equality), and
+    /// strings length-prefixed (no delimiter ambiguity). Together with the
+    /// shape signature this identifies a query *instance*: two plans with
+    /// equal shapes and equal literal keys execute identically on any
+    /// fixed sample set, which is what the serving-layer
+    /// selectivity-estimate cache keys on.
+    pub fn literals_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        fn value_into(v: &Value, out: &mut String) {
+            match v {
+                Value::Int(x) => {
+                    let _ = write!(out, "i{x};");
+                }
+                Value::Float(x) => {
+                    let _ = write!(out, "f{:016x};", x.to_bits());
+                }
+                Value::Str(s) => {
+                    let _ = write!(out, "s{}:{s};", s.len());
+                }
+            }
+        }
+        match self {
+            Pred::True | Pred::ColCmp { .. } => {}
+            Pred::Cmp { value, .. } => value_into(value, out),
+            Pred::Between { lo, hi, .. } => {
+                value_into(lo, out);
+                value_into(hi, out);
+            }
+            Pred::InList { values, .. } => {
+                for v in values {
+                    value_into(v, out);
+                }
+            }
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    p.literals_into(out);
+                }
+            }
+        }
+    }
+
     /// Number of primitive comparisons in the predicate (schema-free
     /// counterpart of [`BoundPred::op_count`]; the oracle cost model charges
     /// this many CPU operations per evaluated tuple).

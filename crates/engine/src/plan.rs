@@ -438,6 +438,34 @@ impl Plan {
         out
     }
 
+    /// Canonical encoding of the plan's *literal constants* — exactly the
+    /// complement of [`Plan::shape_signature`]: for each node in id order,
+    /// the predicate literals in [`Pred::literals_into`]'s injective
+    /// encoding. For a fixed shape, `(shape_signature, literal_key)`
+    /// identifies a query *instance*: equal pairs execute identically over
+    /// any fixed sample set and therefore produce bit-identical
+    /// selectivity estimates — the contract the serving-layer
+    /// selectivity-estimate cache is built on. Operators without literals
+    /// (joins, sorts, aggregates) contribute only their node separator, so
+    /// the key stays aligned with the shape.
+    pub fn literal_key(&self) -> String {
+        let mut out = String::with_capacity(self.nodes.len() * 8);
+        for op in &self.nodes {
+            match op {
+                Op::SeqScan { predicate, .. }
+                | Op::IndexScan { predicate, .. }
+                | Op::Filter { predicate, .. } => predicate.literals_into(&mut out),
+                Op::Sort { .. }
+                | Op::Materialize { .. }
+                | Op::HashJoin { .. }
+                | Op::NestedLoopJoin { .. }
+                | Op::HashAggregate { .. } => {}
+            }
+            out.push('/');
+        }
+        out
+    }
+
     /// FNV-1a hash of [`Plan::shape_signature`] — a compact shape id for
     /// logs, reports, and property tests. Cache lookups key on the full
     /// signature, not this hash, so hash collisions cannot alias entries.
@@ -790,6 +818,67 @@ mod tests {
                 Value::Int(40),
             )
         );
+    }
+
+    #[test]
+    fn literal_key_separates_instances_of_one_shape() {
+        let build = |cut: i64| {
+            let mut b = PlanBuilder::new();
+            let t = b.seq_scan("t", Pred::lt("b", Value::Int(cut)));
+            let u = b.seq_scan("u", Pred::True);
+            let j = b.hash_join(t, u, "a", "x");
+            b.build(j)
+        };
+        let p1 = build(100);
+        let p2 = build(9000);
+        assert_eq!(p1.shape_signature(), p2.shape_signature());
+        assert_ne!(p1.literal_key(), p2.literal_key());
+        assert_eq!(p1.literal_key(), build(100).literal_key());
+    }
+
+    #[test]
+    fn literal_key_is_injective_on_tricky_values() {
+        let key = |p: Pred| {
+            let mut b = PlanBuilder::new();
+            let t = b.seq_scan("t", p);
+            b.build(t).literal_key()
+        };
+        // -0.0 vs 0.0: distinct bit patterns, distinct sample-pass results
+        // under Value's bit-equality semantics.
+        assert_ne!(
+            key(Pred::eq("a", Value::Float(0.0))),
+            key(Pred::eq("a", Value::Float(-0.0)))
+        );
+        // Int 1 vs Float 1.0 behave differently for Eq on Int columns.
+        assert_ne!(
+            key(Pred::eq("a", Value::Int(1))),
+            key(Pred::eq("a", Value::Float(1.0)))
+        );
+        // Length-prefixed strings: no concatenation ambiguity across an
+        // IN-list ("ab","c" vs "a","bc").
+        assert_ne!(
+            key(Pred::in_list("a", vec![Value::str("ab"), Value::str("c")])),
+            key(Pred::in_list("a", vec![Value::str("a"), Value::str("bc")]))
+        );
+        // BETWEEN bounds are positional.
+        assert_ne!(
+            key(Pred::between("a", Value::Int(1), Value::Int(5))),
+            key(Pred::between("a", Value::Int(5), Value::Int(1)))
+        );
+    }
+
+    #[test]
+    fn literal_key_aligns_per_node() {
+        // Literals on different nodes of one shape land in different
+        // segments: swapping them changes the key.
+        let build = |t_cut: i64, u_cut: i64| {
+            let mut b = PlanBuilder::new();
+            let t = b.seq_scan("t", Pred::lt("a", Value::Int(t_cut)));
+            let u = b.seq_scan("u", Pred::lt("x", Value::Int(u_cut)));
+            let j = b.hash_join(t, u, "a", "x");
+            b.build(j)
+        };
+        assert_ne!(build(1, 2).literal_key(), build(2, 1).literal_key());
     }
 
     #[test]

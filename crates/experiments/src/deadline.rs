@@ -133,6 +133,14 @@ impl DeadlineReport {
         );
         let _ = writeln!(
             out,
+            "sel-est cache: {} hits / {} misses ({:.0}% sample passes skipped), {} instances",
+            self.cache.sel_hits,
+            self.cache.sel_misses,
+            100.0 * self.cache.sel_hit_rate(),
+            self.cache.sel_entries
+        );
+        let _ = writeln!(
+            out,
             "{:<22} {:>8} {:>8} {:>8} {:>11} {:>10}",
             "policy", "admit", "defer", "reject", "violations", "viol rate"
         );
@@ -437,6 +445,14 @@ mod tests {
             report.distinct_queries
         );
         assert!(report.cache.context_hits + report.cache.fit_hits > 0);
+        // Repeated arrivals of one pooled query are identical instances:
+        // every repeat after the first skips the sample pass entirely.
+        assert!(
+            report.cache.sel_hits > 0,
+            "repeated arrivals should hit the estimate cache: {:?}",
+            report.cache
+        );
+        assert!(report.cache.sel_entries > 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 pub mod covariance;
 pub mod estimator;
 pub mod gee;
+pub mod pass;
 
 pub use covariance::{
     cov_bound_square_linear, cov_bound_squares, cov_bounds, shared_leaves, CovBounds, SharedLeaves,
@@ -18,3 +19,4 @@ pub use estimator::{
     SelSource,
 };
 pub use gee::{gee_distinct, gee_distinct_for_column, gee_group_count, FrequencyProfile};
+pub use pass::SelEstimates;

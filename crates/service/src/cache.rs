@@ -1,23 +1,266 @@
-//! The concurrent plan-shape fit cache shared by the worker pool.
+//! The concurrent caches shared by the worker pool: the plan-shape fit
+//! cache and the selectivity-estimate cache, both bounded by a pluggable
+//! [`EvictionPolicy`].
 //!
-//! Implements [`uaq_cost::FitCache`] with a mutex-guarded two-level map:
-//! shape signature → (`Arc<Vec<NodeCostContext>>`, fit-signature →
-//! `Arc<NodeFits>`). Values are `Arc`s, so the lock is held only for the
-//! map probe — never across a fit or a prediction — and hits are a clone
-//! of a pointer.
+//! * [`SharedFitCache`] implements [`uaq_cost::FitCache`]: shape signature
+//!   → (`Arc<Vec<NodeCostContext>>`, fit-signature → `Arc<NodeFits>`).
+//! * [`SharedSelEstCache`] implements [`uaq_cost::SelEstCache`]: fully
+//!   qualified instance key (shape + catalog + literals + sample
+//!   fingerprint) → `SelEstimates`. A hit skips the sample pass entirely.
 //!
-//! Capacity is bounded per level (shapes, and fit variants per shape).
-//! Eviction is "reject new" rather than LRU: the serving workloads this
-//! cache exists for are template-shaped (a stable set of plan shapes
-//! recurring indefinitely), where the first-seen working set *is* the hot
-//! set and pointer-chasing LRU bookkeeping would be pure overhead. A full
-//! cache still serves hits for everything it already holds; new shapes
-//! simply pay the uncached cost.
+//! Values are `Arc`-backed, so each lock is held only for the map probe —
+//! never across a sample pass, a fit, or a prediction — and hits are a
+//! pointer clone. Both caches are bit-transparent: everything a cached
+//! value depends on is part of its key, so a hit returns exactly what a
+//! fresh computation would produce.
+//!
+//! Eviction is policy-driven. PR 2 shipped "reject new when full"
+//! ([`EvictionPolicy::RejectNew`]), which is right for stable template
+//! sets — the first-seen working set *is* the hot set — but starves bursty
+//! ad-hoc traffic: once full, new templates never get cached. The default
+//! is now [`EvictionPolicy::Segmented`] (SLRU): new entries churn through
+//! a probation segment and only entries hit at least twice earn a
+//! protected slot, so an ad-hoc scan cannot flush the recurring templates
+//! plain [`EvictionPolicy::Lru`] would sacrifice.
 
-use std::collections::HashMap;
+use std::borrow::Borrow;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use uaq_cost::{FitCache, FitSignature, NodeCostContext, NodeFits};
+use uaq_cost::{FitCache, FitSignature, NodeCostContext, NodeFits, SelEstCache};
+use uaq_selest::SelEstimates;
+
+/// What happens when a bounded cache is full and a new entry arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// PR 2's original policy: a full cache keeps serving what it already
+    /// holds and rejects new entries. Zero bookkeeping; right when the
+    /// first-seen working set is the hot set, pathological for bursty
+    /// ad-hoc traffic.
+    RejectNew,
+    /// Evict the least-recently-used entry to admit the new one.
+    Lru,
+    /// Segmented LRU: new entries land in a probation segment; a hit
+    /// promotes to the protected segment (up to 4/5 of capacity), whose
+    /// overflow demotes its LRU member back to probation. One-shot ad-hoc
+    /// queries churn through probation without displacing the recurring
+    /// templates that earned protection — scan-resistant where plain LRU
+    /// is not.
+    #[default]
+    Segmented,
+}
+
+/// Protected-segment share of capacity under [`EvictionPolicy::Segmented`].
+const PROTECTED_NUM: usize = 4;
+const PROTECTED_DEN: usize = 5;
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    /// Stamp of the most recent touch; queue entries with older stamps are
+    /// stale markers and get skipped.
+    touch: u64,
+    /// Segmented only: lives in the protected segment.
+    protected: bool,
+}
+
+/// A bounded map with policy-driven eviction. Recency is tracked with lazy
+/// queues — a touch pushes a `(stamp, key)` marker and bumps the slot's
+/// stamp, invalidating older markers — so every operation is amortized
+/// O(1) with no intrusive list bookkeeping. Not thread-safe on its own;
+/// the shared caches wrap it in a `Mutex`.
+#[derive(Debug)]
+pub(crate) struct EvictingMap<K: Hash + Eq + Clone, V> {
+    capacity: usize,
+    policy: EvictionPolicy,
+    map: HashMap<K, Slot<V>>,
+    /// Recency queues: `[probation, protected]`. `RejectNew`/`Lru` only
+    /// use probation.
+    queues: [VecDeque<(u64, K)>; 2],
+    protected_len: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> EvictingMap<K, V> {
+    pub fn new(capacity: usize, policy: EvictionPolicy) -> Self {
+        Self {
+            capacity,
+            policy,
+            map: HashMap::new(),
+            queues: [VecDeque::new(), VecDeque::new()],
+            protected_len: 0,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    pub fn contains<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.contains_key(key)
+    }
+
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.queues[0].clear();
+        self.queues[1].clear();
+        self.protected_len = 0;
+    }
+
+    /// Looks an entry up and records the touch (promoting it under the
+    /// segmented policy).
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        // RejectNew never evicts, so recency is meaningless: keep it at
+        // its advertised zero bookkeeping (no key clones, no markers).
+        if self.policy != EvictionPolicy::RejectNew {
+            let owned = self.map.get_key_value(key).map(|(k, _)| k.clone())?;
+            if self.policy == EvictionPolicy::Segmented {
+                self.promote(&owned);
+            }
+            self.stamp(owned);
+        }
+        self.map.get_mut(key).map(|slot| &mut slot.value)
+    }
+
+    /// Looks an entry up **without** recording a touch. For fill paths
+    /// (`put_*`): the request that computes a value already touched the
+    /// entry on its lookup, and counting the fill as a second use would
+    /// promote brand-new entries straight into the protected segment —
+    /// exactly the scan resistance `Segmented` exists to provide.
+    pub fn peek_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.get_mut(key).map(|slot| &mut slot.value)
+    }
+
+    /// Inserts a new entry, evicting per policy when full. Returns false
+    /// when the entry was rejected (`RejectNew` at capacity, or capacity
+    /// zero). The key must not already be present.
+    pub fn try_insert(&mut self, key: K, value: V) -> bool {
+        debug_assert!(!self.map.contains_key(&key), "insert of present key");
+        if self.capacity == 0 {
+            return false;
+        }
+        if self.map.len() >= self.capacity {
+            if self.policy == EvictionPolicy::RejectNew {
+                return false;
+            }
+            self.evict_one();
+            if self.map.len() >= self.capacity {
+                return false;
+            }
+        }
+        self.map.insert(
+            key.clone(),
+            Slot {
+                value,
+                touch: 0,
+                protected: false,
+            },
+        );
+        self.stamp(key);
+        true
+    }
+
+    /// Moves a probation entry to the protected segment, demoting the
+    /// protected LRU back to probation when the segment overflows.
+    fn promote(&mut self, key: &K) {
+        let protected_cap = self.capacity * PROTECTED_NUM / PROTECTED_DEN;
+        if protected_cap == 0 {
+            return;
+        }
+        let slot = self.map.get_mut(key).expect("promote of present key");
+        if slot.protected {
+            return;
+        }
+        slot.protected = true;
+        self.protected_len += 1;
+        while self.protected_len > protected_cap {
+            // The just-promoted key has no marker in the protected queue
+            // yet, so it can never demote itself here.
+            match self.pop_valid(1) {
+                Some(victim) => {
+                    let s = self.map.get_mut(&victim).expect("popped key present");
+                    s.protected = false;
+                    self.protected_len -= 1;
+                    // Demotion re-enters probation at the MRU end.
+                    self.stamp(victim);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Records a touch: bumps the slot stamp and pushes a fresh marker to
+    /// the slot's segment queue. No-op under `RejectNew` (nothing ever
+    /// consumes the markers).
+    fn stamp(&mut self, key: K) {
+        if self.policy == EvictionPolicy::RejectNew {
+            return;
+        }
+        self.tick += 1;
+        let slot = self.map.get_mut(&key).expect("stamp of present key");
+        slot.touch = self.tick;
+        let segment = slot.protected as usize;
+        self.queues[segment].push_back((self.tick, key));
+        // Lazy invalidation means stale markers accumulate; rebuild the
+        // queue when they dominate (amortized O(1) per touch).
+        if self.queues[segment].len() > 2 * self.map.len() + 8 {
+            let map = &self.map;
+            self.queues[segment].retain(|(stamp, k)| {
+                map.get(k)
+                    .is_some_and(|s| s.touch == *stamp && s.protected as usize == segment)
+            });
+        }
+    }
+
+    /// Pops queue markers until one still names its segment's live LRU.
+    fn pop_valid(&mut self, segment: usize) -> Option<K> {
+        while let Some((stamp, key)) = self.queues[segment].pop_front() {
+            if let Some(slot) = self.map.get(&key) {
+                if slot.touch == stamp && slot.protected as usize == segment {
+                    return Some(key);
+                }
+            }
+        }
+        None
+    }
+
+    fn evict_one(&mut self) {
+        let victim = match self.policy {
+            EvictionPolicy::RejectNew => None,
+            EvictionPolicy::Lru => self.pop_valid(0),
+            // Probation first; an all-protected cache falls back to the
+            // protected LRU.
+            EvictionPolicy::Segmented => self.pop_valid(0).or_else(|| self.pop_valid(1)),
+        };
+        if let Some(key) = victim {
+            let slot = self.map.remove(&key).expect("victim present");
+            if slot.protected {
+                self.protected_len -= 1;
+            }
+            self.evictions += 1;
+        }
+    }
+}
 
 /// Hit/miss counters, cheap enough to keep always-on (relaxed atomics).
 #[derive(Debug, Default)]
@@ -28,8 +271,11 @@ struct Counters {
     fit_misses: AtomicU64,
 }
 
-/// A point-in-time snapshot of the cache counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// A point-in-time snapshot of the service's cache counters. The
+/// `sel_*` fields belong to the selectivity-estimate cache and are zero on
+/// a [`SharedFitCache::stats`] snapshot (the service merges both caches in
+/// `PredictionService::cache_stats`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Plan-shape (context-level) hits: the `NodeCostContext`s were reused.
     pub context_hits: u64,
@@ -37,8 +283,17 @@ pub struct CacheStats {
     /// Full-fit hits: the grid fits were skipped entirely.
     pub fit_hits: u64,
     pub fit_misses: u64,
+    /// Selectivity-estimate hits: the sample pass was skipped entirely.
+    pub sel_hits: u64,
+    pub sel_misses: u64,
     /// Distinct plan shapes currently cached.
     pub shapes: usize,
+    /// Distinct query instances currently held by the estimate cache.
+    pub sel_entries: usize,
+    /// Shapes evicted from the fit cache since startup.
+    pub shape_evictions: u64,
+    /// Instances evicted from the estimate cache since startup.
+    pub sel_evictions: u64,
 }
 
 impl CacheStats {
@@ -51,21 +306,36 @@ impl CacheStats {
             self.fit_hits as f64 / total as f64
         }
     }
+
+    /// Fraction of estimate lookups that skipped the sample pass.
+    pub fn sel_hit_rate(&self) -> f64 {
+        let total = self.sel_hits + self.sel_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.sel_hits as f64 / total as f64
+        }
+    }
 }
 
 struct ShapeEntry {
     contexts: Option<Arc<Vec<NodeCostContext>>>,
-    fits: HashMap<FitSignature, Arc<NodeFits>>,
+    fits: EvictingMap<FitSignature, Arc<NodeFits>>,
 }
 
-/// Bounds for [`SharedFitCache`].
+/// Bounds and policy for the service caches.
 #[derive(Debug, Clone, Copy)]
 pub struct CacheConfig {
-    /// Maximum distinct plan shapes held.
+    /// Maximum distinct plan shapes held by the fit cache.
     pub max_shapes: usize,
     /// Maximum fit variants (distinct selectivity-distribution signatures)
     /// held per shape.
     pub max_fits_per_shape: usize,
+    /// Maximum query instances (shape + literals + samples) held by the
+    /// selectivity-estimate cache.
+    pub max_sel_entries: usize,
+    /// Eviction policy applied to every bounded level.
+    pub eviction: EvictionPolicy,
 }
 
 impl Default for CacheConfig {
@@ -73,6 +343,8 @@ impl Default for CacheConfig {
         Self {
             max_shapes: 4096,
             max_fits_per_shape: 64,
+            max_sel_entries: 16384,
+            eviction: EvictionPolicy::default(),
         }
     }
 }
@@ -82,7 +354,7 @@ impl Default for CacheConfig {
 /// fingerprint) and fits additionally on everything they depend on.
 pub struct SharedFitCache {
     config: CacheConfig,
-    map: Mutex<HashMap<String, ShapeEntry>>,
+    map: Mutex<EvictingMap<String, ShapeEntry>>,
     counters: Counters,
 }
 
@@ -90,24 +362,34 @@ impl SharedFitCache {
     pub fn new(config: CacheConfig) -> Self {
         Self {
             config,
-            map: Mutex::new(HashMap::new()),
+            map: Mutex::new(EvictingMap::new(config.max_shapes, config.eviction)),
             counters: Counters::default(),
         }
     }
 
     pub fn stats(&self) -> CacheStats {
+        let map = self.map.lock().expect("cache lock");
         CacheStats {
             context_hits: self.counters.context_hits.load(Ordering::Relaxed),
             context_misses: self.counters.context_misses.load(Ordering::Relaxed),
             fit_hits: self.counters.fit_hits.load(Ordering::Relaxed),
             fit_misses: self.counters.fit_misses.load(Ordering::Relaxed),
-            shapes: self.map.lock().expect("cache lock").len(),
+            shapes: map.len(),
+            shape_evictions: map.evictions(),
+            ..CacheStats::default()
         }
     }
 
     /// Drops every entry (counters are retained).
     pub fn clear(&self) {
         self.map.lock().expect("cache lock").clear();
+    }
+
+    fn empty_entry(&self) -> ShapeEntry {
+        ShapeEntry {
+            contexts: None,
+            fits: EvictingMap::new(self.config.max_fits_per_shape, self.config.eviction),
+        }
     }
 }
 
@@ -119,7 +401,7 @@ impl Default for SharedFitCache {
 
 impl FitCache for SharedFitCache {
     fn get_contexts(&self, shape: &str) -> Option<Arc<Vec<NodeCostContext>>> {
-        let map = self.map.lock().expect("cache lock");
+        let mut map = self.map.lock().expect("cache lock");
         let hit = map.get(shape).and_then(|e| e.contexts.clone());
         drop(map);
         match &hit {
@@ -131,22 +413,20 @@ impl FitCache for SharedFitCache {
 
     fn put_contexts(&self, shape: &str, contexts: &Arc<Vec<NodeCostContext>>) {
         let mut map = self.map.lock().expect("cache lock");
-        if let Some(entry) = map.get_mut(shape) {
+        if let Some(entry) = map.peek_mut(shape) {
             entry.contexts.get_or_insert_with(|| Arc::clone(contexts));
-        } else if map.len() < self.config.max_shapes {
-            map.insert(
-                shape.to_owned(),
-                ShapeEntry {
-                    contexts: Some(Arc::clone(contexts)),
-                    fits: HashMap::new(),
-                },
-            );
+        } else {
+            let mut entry = self.empty_entry();
+            entry.contexts = Some(Arc::clone(contexts));
+            map.try_insert(shape.to_owned(), entry);
         }
     }
 
     fn get_fits(&self, shape: &str, sig: &FitSignature) -> Option<Arc<NodeFits>> {
-        let map = self.map.lock().expect("cache lock");
-        let hit = map.get(shape).and_then(|e| e.fits.get(sig).cloned());
+        let mut map = self.map.lock().expect("cache lock");
+        let hit = map
+            .get(shape)
+            .and_then(|e| e.fits.get(sig).map(|f| Arc::clone(f)));
         drop(map);
         match &hit {
             Some(_) => self.counters.fit_hits.fetch_add(1, Ordering::Relaxed),
@@ -157,24 +437,85 @@ impl FitCache for SharedFitCache {
 
     fn put_fits(&self, shape: &str, sig: &FitSignature, fits: &Arc<NodeFits>) {
         let mut map = self.map.lock().expect("cache lock");
-        if !map.contains_key(shape) {
-            if map.len() >= self.config.max_shapes {
-                return;
-            }
-            map.insert(
-                shape.to_owned(),
-                ShapeEntry {
-                    contexts: None,
-                    fits: HashMap::new(),
-                },
-            );
+        if !map.contains(shape) && !map.try_insert(shape.to_owned(), self.empty_entry()) {
+            return;
         }
-        let entry = map.get_mut(shape).expect("present or just inserted");
-        if entry.fits.len() < self.config.max_fits_per_shape {
-            entry
-                .fits
-                .entry(sig.clone())
-                .or_insert_with(|| Arc::clone(fits));
+        if let Some(entry) = map.peek_mut(shape) {
+            if !entry.fits.contains(sig) {
+                entry.fits.try_insert(sig.clone(), Arc::clone(fits));
+            }
+        }
+    }
+}
+
+/// A point-in-time snapshot of [`SharedSelEstCache`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SelCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub entries: usize,
+    pub evictions: u64,
+}
+
+/// Thread-safe selectivity-estimate cache: fully qualified instance key →
+/// [`SelEstimates`]. The key already encodes shape, catalog fingerprint,
+/// literal key, sample fingerprint, and the aggregate-cardinality source
+/// (built by `Predictor::predict_with_caches`), so one instance is safe to
+/// share across catalogs, sample sets, and predictor configs.
+pub struct SharedSelEstCache {
+    map: Mutex<EvictingMap<String, SelEstimates>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedSelEstCache {
+    pub fn new(max_entries: usize, eviction: EvictionPolicy) -> Self {
+        Self {
+            map: Mutex::new(EvictingMap::new(max_entries, eviction)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub fn stats(&self) -> SelCacheStats {
+        let map = self.map.lock().expect("cache lock");
+        SelCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: map.len(),
+            evictions: map.evictions(),
+        }
+    }
+
+    /// Drops every entry (counters are retained).
+    pub fn clear(&self) {
+        self.map.lock().expect("cache lock").clear();
+    }
+}
+
+impl Default for SharedSelEstCache {
+    fn default() -> Self {
+        let config = CacheConfig::default();
+        Self::new(config.max_sel_entries, config.eviction)
+    }
+}
+
+impl SelEstCache for SharedSelEstCache {
+    fn get(&self, key: &str) -> Option<SelEstimates> {
+        let mut map = self.map.lock().expect("cache lock");
+        let hit = map.get(key).map(|e| e.clone());
+        drop(map);
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    fn put(&self, key: &str, estimates: &SelEstimates) {
+        let mut map = self.map.lock().expect("cache lock");
+        if !map.contains(key) {
+            map.try_insert(key.to_owned(), estimates.clone());
         }
     }
 }
@@ -186,6 +527,14 @@ mod tests {
 
     fn sig(mean: f64) -> FitSignature {
         FitSignature::new(8, &[Normal::new(mean, 0.01)])
+    }
+
+    fn fit_cache(policy: EvictionPolicy, max_shapes: usize) -> SharedFitCache {
+        SharedFitCache::new(CacheConfig {
+            max_shapes,
+            eviction: policy,
+            ..CacheConfig::default()
+        })
     }
 
     #[test]
@@ -213,10 +562,14 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bounds_reject_new_entries_but_keep_existing() {
+    fn reject_new_policy_is_still_selectable() {
+        // The PR 2 behavior, verbatim: a full cache rejects new entries
+        // but keeps serving (and touching) what it holds.
         let cache = SharedFitCache::new(CacheConfig {
             max_shapes: 1,
             max_fits_per_shape: 1,
+            eviction: EvictionPolicy::RejectNew,
+            ..CacheConfig::default()
         });
         let fits = Arc::new(Vec::new());
         cache.put_fits("s1", &sig(0.1), &fits);
@@ -225,10 +578,184 @@ mod tests {
         assert!(cache.get_fits("s1", &sig(0.1)).is_some());
         assert!(cache.get_fits("s1", &sig(0.2)).is_none());
         assert!(cache.get_fits("s2", &sig(0.1)).is_none());
-        assert_eq!(cache.stats().shapes, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.shapes, 1);
+        assert_eq!(stats.shape_evictions, 0);
         // Contexts for the held shape still land.
         cache.put_contexts("s1", &Arc::new(Vec::new()));
         assert!(cache.get_contexts("s1").is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_shape() {
+        let cache = fit_cache(EvictionPolicy::Lru, 2);
+        cache.put_contexts("a", &Arc::new(Vec::new()));
+        cache.put_contexts("b", &Arc::new(Vec::new()));
+        // Touch "a" so "b" is the LRU.
+        assert!(cache.get_contexts("a").is_some());
+        cache.put_contexts("c", &Arc::new(Vec::new()));
+        assert!(cache.get_contexts("a").is_some(), "recently used survives");
+        assert!(cache.get_contexts("b").is_none(), "LRU evicted");
+        assert!(cache.get_contexts("c").is_some(), "new entry admitted");
+        let stats = cache.stats();
+        assert_eq!(stats.shapes, 2);
+        assert_eq!(stats.shape_evictions, 1);
+    }
+
+    #[test]
+    fn lru_order_follows_touches_exactly() {
+        let mut m: EvictingMap<&'static str, u32> = EvictingMap::new(3, EvictionPolicy::Lru);
+        assert!(m.try_insert("a", 1));
+        assert!(m.try_insert("b", 2));
+        assert!(m.try_insert("c", 3));
+        // Recency order (LRU→MRU) is now a, b, c. Touch a twice, then b:
+        // order becomes c, a, b.
+        m.get("a");
+        m.get("a");
+        m.get("b");
+        assert!(m.try_insert("d", 4)); // evicts c
+        assert!(!m.contains("c"));
+        assert!(m.try_insert("e", 5)); // evicts a
+        assert!(!m.contains("a"));
+        assert!(m.contains("b") && m.contains("d") && m.contains("e"));
+        assert_eq!(m.evictions(), 2);
+    }
+
+    #[test]
+    fn segmented_promotion_protects_hot_entries_from_a_scan() {
+        // Capacity 5 ⇒ protected segment of 4. Promote two hot entries,
+        // then stream one-shot keys through: the scan churns probation
+        // while every protected entry survives.
+        let mut m: EvictingMap<String, u32> = EvictingMap::new(5, EvictionPolicy::Segmented);
+        assert!(m.try_insert("hot1".into(), 1));
+        assert!(m.try_insert("hot2".into(), 2));
+        m.get("hot1"); // promote
+        m.get("hot2"); // promote
+        for i in 0..50 {
+            m.try_insert(format!("scan{i}"), i);
+        }
+        assert!(m.contains("hot1"), "protected entry flushed by scan");
+        assert!(m.contains("hot2"), "protected entry flushed by scan");
+        assert_eq!(m.len(), 5);
+        // A plain LRU of the same capacity loses both under the same scan.
+        let mut lru: EvictingMap<String, u32> = EvictingMap::new(5, EvictionPolicy::Lru);
+        lru.try_insert("hot1".into(), 1);
+        lru.try_insert("hot2".into(), 2);
+        lru.get("hot1");
+        lru.get("hot2");
+        for i in 0..50 {
+            lru.try_insert(format!("scan{i}"), i);
+        }
+        assert!(!lru.contains("hot1") && !lru.contains("hot2"));
+    }
+
+    #[test]
+    fn fill_paths_do_not_promote_new_shapes() {
+        // Regression: the full miss sequence a service worker runs
+        // (get_fits miss → get_contexts miss → put_contexts → put_fits)
+        // must count as ONE use, not two — otherwise every one-shot shape
+        // is promoted straight into the protected segment and an ad-hoc
+        // burst demotes and flushes the genuinely hot templates.
+        let cache = fit_cache(EvictionPolicy::Segmented, 5);
+        for hot in ["hot1", "hot2"] {
+            cache.put_contexts(hot, &Arc::new(Vec::new()));
+            assert!(cache.get_contexts(hot).is_some()); // a real reuse: promote
+        }
+        for i in 0..50 {
+            let shape = format!("adhoc{i}");
+            assert!(cache.get_fits(&shape, &sig(0.5)).is_none());
+            assert!(cache.get_contexts(&shape).is_none());
+            cache.put_contexts(&shape, &Arc::new(Vec::new()));
+            cache.put_fits(&shape, &sig(0.5), &Arc::new(Vec::new()));
+        }
+        assert!(
+            cache.get_contexts("hot1").is_some(),
+            "ad-hoc burst must not flush a protected template"
+        );
+        assert!(cache.get_contexts("hot2").is_some());
+        assert_eq!(cache.stats().shapes, 5);
+    }
+
+    #[test]
+    fn reject_new_keeps_no_recency_markers() {
+        let mut m: EvictingMap<&'static str, u32> = EvictingMap::new(2, EvictionPolicy::RejectNew);
+        assert!(m.try_insert("a", 1));
+        assert!(m.try_insert("b", 2));
+        for _ in 0..100 {
+            m.get("a");
+            m.get("b");
+        }
+        assert!(
+            m.queues[0].is_empty() && m.queues[1].is_empty(),
+            "RejectNew advertises zero bookkeeping"
+        );
+        assert!(!m.try_insert("c", 3));
+        assert_eq!(m.evictions(), 0);
+    }
+
+    #[test]
+    fn segmented_protected_overflow_demotes_lru_protected() {
+        // Capacity 5 ⇒ protected cap 4. Promote 5 entries; the first
+        // promoted is demoted back to probation and becomes evictable.
+        let mut m: EvictingMap<String, u32> = EvictingMap::new(5, EvictionPolicy::Segmented);
+        for (i, k) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+            assert!(m.try_insert((*k).into(), i as u32));
+        }
+        for k in ["a", "b", "c", "d", "e"] {
+            m.get(k); // promote in order; promoting e demotes a
+        }
+        // One insert evicts from probation — which now holds exactly "a".
+        assert!(m.try_insert("f".into(), 9));
+        assert!(!m.contains("a"), "demoted LRU-protected entry evicted");
+        for k in ["b", "c", "d", "e"] {
+            assert!(m.contains(k), "{k} should still be protected");
+        }
+    }
+
+    #[test]
+    fn capacity_zero_behaves_as_no_cache() {
+        let cache = fit_cache(EvictionPolicy::Segmented, 0);
+        let fits = Arc::new(Vec::new());
+        cache.put_contexts("s1", &Arc::new(Vec::new()));
+        cache.put_fits("s1", &sig(0.5), &fits);
+        assert!(cache.get_contexts("s1").is_none());
+        assert!(cache.get_fits("s1", &sig(0.5)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.shapes, 0);
+        assert_eq!(stats.shape_evictions, 0);
+
+        let sel = SharedSelEstCache::new(0, EvictionPolicy::Lru);
+        sel.put("k", &SelEstimates::from_vec(Vec::new()));
+        assert!(uaq_cost::SelEstCache::get(&sel, "k").is_none());
+        assert_eq!(sel.stats().entries, 0);
+    }
+
+    #[test]
+    fn sel_cache_round_trips_shared_allocation() {
+        let sel = SharedSelEstCache::default();
+        let est = SelEstimates::from_vec(Vec::new());
+        sel.put("k1", &est);
+        let hit = uaq_cost::SelEstCache::get(&sel, "k1").expect("stored");
+        assert!(hit.ptr_eq(&est), "hit must share the cached allocation");
+        assert!(uaq_cost::SelEstCache::get(&sel, "k2").is_none());
+        let stats = sel.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        sel.clear();
+        assert!(uaq_cost::SelEstCache::get(&sel, "k1").is_none());
+        assert_eq!(sel.stats().entries, 0);
+    }
+
+    #[test]
+    fn sel_cache_eviction_counts() {
+        let sel = SharedSelEstCache::new(2, EvictionPolicy::Lru);
+        for k in ["a", "b", "c", "d"] {
+            sel.put(k, &SelEstimates::from_vec(Vec::new()));
+        }
+        let stats = sel.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 2);
+        assert!(uaq_cost::SelEstCache::get(&sel, "a").is_none());
+        assert!(uaq_cost::SelEstCache::get(&sel, "d").is_some());
     }
 
     #[test]
@@ -242,6 +769,22 @@ mod tests {
         assert_eq!(stats.shapes, 0);
         assert_eq!(stats.context_hits, 1);
         assert_eq!(stats.context_misses, 1);
+    }
+
+    #[test]
+    fn lazy_queue_compaction_keeps_memory_bounded() {
+        let mut m: EvictingMap<&'static str, u32> = EvictingMap::new(2, EvictionPolicy::Lru);
+        m.try_insert("a", 1);
+        m.try_insert("b", 2);
+        for _ in 0..10_000 {
+            m.get("a");
+            m.get("b");
+        }
+        assert!(
+            m.queues[0].len() <= 2 * m.len() + 8,
+            "queue grew unboundedly: {}",
+            m.queues[0].len()
+        );
     }
 
     #[test]

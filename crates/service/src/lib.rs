@@ -5,27 +5,34 @@
 //! online *decisions* (Wu et al. §1, §6.5.3: admission control and
 //! deadline-aware scheduling via `Pr(T ≤ d)`).
 //!
-//! Three pieces:
+//! Four pieces:
 //!
 //! * [`PredictionService`] — an MPMC [`WorkQueue`] feeding a pool of worker
 //!   threads that share one [`Predictor`](uaq_core::Predictor), catalog,
 //!   and sample set behind `Arc`s; each [`PredictRequest`] (plan +
 //!   optional deadline) yields a [`PredictResponse`] carrying the full
 //!   [`Prediction`](uaq_core::Prediction) and an admission [`Decision`].
+//! * [`SharedSelEstCache`] — the concurrent selectivity-estimate cache
+//!   (implementing [`uaq_cost::SelEstCache`]): keyed on the full query
+//!   *instance* (shape signature + `Plan::literal_key()` + catalog and
+//!   sample fingerprints), it skips the sample pass entirely for repeated
+//!   queries — the dominant cost of a warm prediction once fits are
+//!   cached.
 //! * [`SharedFitCache`] — the concurrent plan-shape fit cache
 //!   (implementing [`uaq_cost::FitCache`]): keyed on
 //!   `Plan::shape_signature()` (literals masked), it shares per-node cost
 //!   contexts across literal-perturbed instances of a query template and
-//!   skips the oracle-probe grid fits entirely for bit-identical repeats —
-//!   the dominant cost of predicting short plans.
+//!   skips the oracle-probe grid fits entirely for bit-identical repeats.
 //! * [`AdmissionPolicy`] — `Pr(T ≤ budget) ≥ θ` tail-probability admission
 //!   (with a defer band), plus the mean-only baseline a point predictor
 //!   would be limited to.
 //!
-//! Responses are deterministic: predictions are pure functions of (plan,
-//! catalog, samples, config), and cache hits are bit-identical to fresh
-//! fits by construction, so worker count and scheduling order cannot
-//! change any decision.
+//! Both caches are bounded with a pluggable [`EvictionPolicy`] (segmented
+//! LRU by default; PR 2's reject-new stays selectable). Responses are
+//! deterministic: predictions are pure functions of (plan, catalog,
+//! samples, config), and hits at either cache level are bit-identical to
+//! fresh computations by construction, so worker count, scheduling order,
+//! and eviction state cannot change any decision.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -46,6 +53,8 @@ pub mod queue;
 pub mod service;
 
 pub use admission::{AdmissionMode, AdmissionPolicy, Decision};
-pub use cache::{CacheConfig, CacheStats, SharedFitCache};
+pub use cache::{
+    CacheConfig, CacheStats, EvictionPolicy, SelCacheStats, SharedFitCache, SharedSelEstCache,
+};
 pub use queue::WorkQueue;
 pub use service::{PredictRequest, PredictResponse, PredictionService, ServiceConfig};

@@ -17,13 +17,13 @@
 //! state — the property the integration tests pin down.
 
 use crate::admission::{AdmissionPolicy, Decision};
-use crate::cache::{CacheConfig, CacheStats, SharedFitCache};
+use crate::cache::{CacheConfig, CacheStats, SharedFitCache, SharedSelEstCache};
 use crate::queue::WorkQueue;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 use uaq_core::{Prediction, Predictor};
-use uaq_cost::{FitCache, NoFitCache};
+use uaq_cost::{FitCache, NoFitCache, NoSelEstCache, SelEstCache};
 use uaq_engine::Plan;
 use uaq_storage::{Catalog, SampleCatalog};
 
@@ -88,6 +88,7 @@ struct Shared {
     catalog: Arc<Catalog>,
     samples: Arc<SampleCatalog>,
     cache: SharedFitCache,
+    sel_cache: SharedSelEstCache,
     policy: AdmissionPolicy,
     cache_enabled: bool,
 }
@@ -114,6 +115,7 @@ impl PredictionService {
             catalog,
             samples,
             cache: SharedFitCache::new(config.cache),
+            sel_cache: SharedSelEstCache::new(config.cache.max_sel_entries, config.cache.eviction),
             policy: config.policy,
             cache_enabled: config.cache_enabled,
         });
@@ -149,9 +151,16 @@ impl PredictionService {
         .expect("service workers alive")
     }
 
-    /// Snapshot of the shared fit cache's hit/miss counters.
+    /// Snapshot of both shared caches' hit/miss counters: the fit cache's
+    /// fields plus the selectivity-estimate cache's `sel_*` fields.
     pub fn cache_stats(&self) -> CacheStats {
-        self.shared.cache.stats()
+        let mut stats = self.shared.cache.stats();
+        let sel = self.shared.sel_cache.stats();
+        stats.sel_hits = sel.hits;
+        stats.sel_misses = sel.misses;
+        stats.sel_entries = sel.entries;
+        stats.sel_evictions = sel.evictions;
+        stats
     }
 
     /// Requests currently queued (not yet picked up by a worker).
@@ -181,16 +190,17 @@ impl Drop for PredictionService {
 fn worker_loop(shared: &Shared, worker: usize) {
     while let Some(job) = shared.queue.pop() {
         let t0 = Instant::now();
-        let cache: &dyn FitCache = if shared.cache_enabled {
-            &shared.cache
+        let (fit_cache, sel_cache): (&dyn FitCache, &dyn SelEstCache) = if shared.cache_enabled {
+            (&shared.cache, &shared.sel_cache)
         } else {
-            &NoFitCache
+            (&NoFitCache, &NoSelEstCache)
         };
-        let prediction = shared.predictor.predict_with_cache(
+        let prediction = shared.predictor.predict_with_caches(
             &job.request.plan,
             &shared.catalog,
             &shared.samples,
-            cache,
+            fit_cache,
+            sel_cache,
         );
         let (decision, prob_in_time) = shared.policy.decide(&prediction, job.request.deadline_ms);
         // A dropped receiver just means the client stopped waiting; the
@@ -266,6 +276,11 @@ mod tests {
         let stats = service.cache_stats();
         assert_eq!(stats.fit_hits, 1, "{stats:?}");
         assert_eq!(stats.fit_misses, 1, "{stats:?}");
+        // The repeat also skipped the sample pass entirely.
+        assert_eq!(stats.sel_hits, 1, "{stats:?}");
+        assert_eq!(stats.sel_misses, 1, "{stats:?}");
+        assert!(first.prediction.sample_pass_seconds > 0.0);
+        assert_eq!(second.prediction.sample_pass_seconds, 0.0);
         service.shutdown();
     }
 
@@ -286,6 +301,7 @@ mod tests {
         assert_eq!(a.prediction.mean_ms(), b.prediction.mean_ms());
         let stats = service.cache_stats();
         assert_eq!(stats.fit_hits + stats.fit_misses, 0, "{stats:?}");
+        assert_eq!(stats.sel_hits + stats.sel_misses, 0, "{stats:?}");
         service.shutdown();
     }
 

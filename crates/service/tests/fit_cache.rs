@@ -55,7 +55,7 @@ fn assert_bit_identical(a: &Prediction, b: &Prediction, what: &str) {
         "{what}: interaction"
     );
     assert_eq!(a.sel_estimates.len(), b.sel_estimates.len(), "{what}");
-    for (ea, eb) in a.sel_estimates.iter().zip(&b.sel_estimates) {
+    for (ea, eb) in a.sel_estimates.iter().zip(b.sel_estimates.iter()) {
         assert_eq!(ea.rho.to_bits(), eb.rho.to_bits(), "{what}: rho");
         assert_eq!(ea.var.to_bits(), eb.var.to_bits(), "{what}: sel var");
     }
@@ -145,6 +145,13 @@ proptest! {
         prop_assert_eq!(a.shape_hash(), b.shape_hash());
         let c = scan_plan("lineitem", "l_quantity", cut_a);
         prop_assert!(a.shape_signature() != c.shape_signature());
+        // The literal key is the complement: equal shape, but injective on
+        // the literals the shape masks.
+        prop_assert_eq!(
+            cut_a == cut_b,
+            a.literal_key() == b.literal_key(),
+            "literal keys must separate exactly the distinct cuts"
+        );
     }
 
     #[test]

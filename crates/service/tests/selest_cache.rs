@@ -1,0 +1,535 @@
+//! Selectivity-estimate cache correctness: the differential test harness.
+//!
+//! The cache's contract is the same as the fit cache's, one stage earlier:
+//! a prediction served from cached estimates must be **bit-identical** to
+//! an uncached one — mean, variance, every breakdown term, every quantile,
+//! and every per-node selectivity trace — across cold, warm,
+//! literal-perturbed, and evict-then-refill paths, under any worker
+//! interleaving. These tests are the proof, not an afterthought: every
+//! assertion is exact bit equality, no epsilons anywhere.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use uaq_core::{Prediction, Predictor, PredictorConfig};
+use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile, SelEstCache};
+use uaq_engine::{plan_query, Plan, PlanBuilder, Pred};
+use uaq_service::{
+    CacheConfig, EvictionPolicy, PredictRequest, PredictionService, ServiceConfig, SharedFitCache,
+    SharedSelEstCache,
+};
+use uaq_stats::Rng;
+use uaq_storage::{Catalog, SampleCatalog, Value};
+use uaq_workloads::Benchmark;
+
+fn setup() -> (Predictor, Catalog, SampleCatalog) {
+    let catalog = uaq_datagen::GenConfig::new(0.002, 0.0, 42).build();
+    let mut rng = Rng::new(7);
+    let units = calibrate(
+        &HardwareProfile::pc1(),
+        &CalibrationConfig::default(),
+        &mut rng,
+    );
+    let samples = catalog.draw_samples(0.05, 2, &mut rng);
+    (
+        Predictor::new(units, PredictorConfig::default()),
+        catalog,
+        samples,
+    )
+}
+
+/// Cheap hand-built catalog for per-case property tests and the stress
+/// test (the datagen catalog is too expensive to rebuild dozens of times).
+fn small_setup() -> (Predictor, Catalog, SampleCatalog) {
+    use uaq_storage::{Column, Schema, Table};
+    let mut c = Catalog::new();
+    let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+    let rows = (0..4000)
+        .map(|i| vec![Value::Int((i % 50) as i64), Value::Int(i as i64)])
+        .collect();
+    c.add_table(Table::new("t", s, rows));
+    let s2 = Schema::new(vec![Column::int("x"), Column::int("y")]);
+    let rows2 = (0..2000)
+        .map(|i| vec![Value::Int((i % 50) as i64), Value::Int(i as i64)])
+        .collect();
+    c.add_table(Table::new("u", s2, rows2));
+    let mut rng = Rng::new(19);
+    let units = calibrate(
+        &HardwareProfile::pc2(),
+        &CalibrationConfig::default(),
+        &mut rng,
+    );
+    let samples = c.draw_samples(0.05, 1, &mut rng);
+    (
+        Predictor::new(units, PredictorConfig::default()),
+        c,
+        samples,
+    )
+}
+
+/// Exact equality on every field a prediction is built from: the
+/// distribution, the variance breakdown, representative quantiles, and the
+/// full per-node selectivity traces — bit patterns, no epsilons.
+fn assert_bit_identical(a: &Prediction, b: &Prediction, what: &str) {
+    assert_eq!(a.mean_ms().to_bits(), b.mean_ms().to_bits(), "{what}: mean");
+    assert_eq!(a.var().to_bits(), b.var().to_bits(), "{what}: var");
+    let (ba, bb) = (&a.breakdown, &b.breakdown);
+    for (x, y, field) in [
+        (ba.unit_variance, bb.unit_variance, "unit_variance"),
+        (
+            ba.selectivity_exact,
+            bb.selectivity_exact,
+            "selectivity_exact",
+        ),
+        (
+            ba.covariance_bounds,
+            bb.covariance_bounds,
+            "covariance_bounds",
+        ),
+        (ba.interaction, bb.interaction, "interaction"),
+    ] {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: {field}");
+    }
+    // Quantiles: the distribution tails admission control thresholds on.
+    for p in [0.5, 0.70, 0.95, 0.99] {
+        let (lo_a, hi_a) = a.confidence_interval_ms(p);
+        let (lo_b, hi_b) = b.confidence_interval_ms(p);
+        assert_eq!(lo_a.to_bits(), lo_b.to_bits(), "{what}: q{p} lo");
+        assert_eq!(hi_a.to_bits(), hi_b.to_bits(), "{what}: q{p} hi");
+    }
+    // Per-node traces, every field (canonical_bytes covers rho, var,
+    // per-leaf components, sample sizes, and the source tag bit-exactly).
+    assert_eq!(
+        a.sel_estimates.canonical_bytes(),
+        b.sel_estimates.canonical_bytes(),
+        "{what}: per-node selectivity traces"
+    );
+}
+
+/// The golden test of the ISSUE: across MICRO, SELJOIN, and TPCH, a
+/// prediction served through both cache levels — cold (miss + fill), warm
+/// (sample pass and fits both skipped), and literal-perturbed-warm (shape
+/// machinery shared, estimates recomputed) — is bit-identical to the
+/// uncached reference.
+#[test]
+fn cold_warm_and_perturbed_predictions_bit_identical_on_all_workloads() {
+    let (predictor, catalog, samples) = setup();
+    let fit_cache = SharedFitCache::default();
+    let sel_cache = SharedSelEstCache::default();
+    let mut rng = Rng::new(123);
+    for benchmark in Benchmark::ALL {
+        let specs = benchmark.queries(&catalog, 1, &mut rng);
+        for spec in &specs {
+            let plan = plan_query(spec, &catalog);
+            let reference = predictor.predict(&plan, &catalog, &samples);
+            let cold =
+                predictor.predict_with_caches(&plan, &catalog, &samples, &fit_cache, &sel_cache);
+            let warm =
+                predictor.predict_with_caches(&plan, &catalog, &samples, &fit_cache, &sel_cache);
+            let label = format!("{}/{}", benchmark.label(), spec.name);
+            assert_bit_identical(&reference, &cold, &format!("{label} cold"));
+            assert_bit_identical(&reference, &warm, &format!("{label} warm"));
+            // The warm pass skipped the sample pass: its estimates are the
+            // very allocation the cold pass cached, not a recomputation.
+            assert!(
+                warm.sel_estimates.ptr_eq(&cold.sel_estimates),
+                "{label}: warm pass must reuse the cached estimates"
+            );
+            assert_eq!(
+                warm.sample_pass_seconds, 0.0,
+                "{label}: warm pass must skip the sample pass"
+            );
+        }
+    }
+    let sel = sel_cache.stats();
+    assert_eq!(sel.hits, sel.misses, "every query ran cold once, warm once");
+    assert!(sel.entries > 0);
+}
+
+/// A literal-perturbed repeat of a warm template: the estimate cache
+/// misses (different literals ⇒ different sample-pass output), the shape
+/// level still shares contexts, and the result is bit-identical to its
+/// own uncached reference.
+#[test]
+fn literal_perturbed_warm_reuses_shape_machinery_not_estimates() {
+    let (predictor, catalog, samples) = setup();
+    let fit_cache = SharedFitCache::default();
+    let sel_cache = SharedSelEstCache::default();
+    let plan_with_cut = |cut: i64| {
+        let mut b = PlanBuilder::new();
+        let l = b.seq_scan("lineitem", Pred::lt("l_shipdate", Value::Int(cut)));
+        b.build(l)
+    };
+    let p1 = plan_with_cut(800);
+    let p2 = plan_with_cut(2000);
+    assert_eq!(p1.shape_signature(), p2.shape_signature());
+    assert_ne!(p1.literal_key(), p2.literal_key());
+
+    predictor.predict_with_caches(&p1, &catalog, &samples, &fit_cache, &sel_cache);
+    let perturbed = predictor.predict_with_caches(&p2, &catalog, &samples, &fit_cache, &sel_cache);
+    let stats = fit_cache.stats();
+    let sel = sel_cache.stats();
+    assert_eq!(stats.context_hits, 1, "shape contexts shared: {stats:?}");
+    assert_eq!(stats.shapes, 1, "one shared shape entry");
+    assert_eq!(sel.hits, 0, "different literals must not hit: {sel:?}");
+    assert_eq!(sel.misses, 2);
+    assert_eq!(sel.entries, 2, "both instances cached for their repeats");
+    assert_bit_identical(
+        &predictor.predict(&p2, &catalog, &samples),
+        &perturbed,
+        "perturbed",
+    );
+
+    // And the perturbed instance is itself warm on repeat.
+    let again = predictor.predict_with_caches(&p2, &catalog, &samples, &fit_cache, &sel_cache);
+    assert!(again.sel_estimates.ptr_eq(&perturbed.sel_estimates));
+    assert_eq!(sel_cache.stats().hits, 1);
+}
+
+/// Bit-identity must survive eviction and refill: with capacities far
+/// below the working set, every entry is repeatedly evicted and recomputed
+/// — and every single response still equals its uncached reference.
+#[test]
+fn predictions_stay_bit_identical_across_eviction_and_refill() {
+    let (predictor, catalog, samples) = small_setup();
+    let scan = |cut: i64| {
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("b", Value::Int(cut)));
+        b.build(t)
+    };
+    let join = |cut: i64| {
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("b", Value::Int(cut)));
+        let u = b.seq_scan("u", Pred::True);
+        let j = b.hash_join(t, u, "a", "x");
+        b.build(j)
+    };
+    let plans: Vec<Plan> = vec![
+        scan(500),
+        scan(1500),
+        scan(2500),
+        join(800),
+        join(1600),
+        join(3200),
+    ];
+    let references: Vec<Prediction> = plans
+        .iter()
+        .map(|p| predictor.predict(p, &catalog, &samples))
+        .collect();
+
+    for policy in [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Segmented,
+        EvictionPolicy::RejectNew,
+    ] {
+        let fit_cache = SharedFitCache::new(CacheConfig {
+            max_shapes: 1,
+            max_fits_per_shape: 2,
+            max_sel_entries: 2,
+            eviction: policy,
+        });
+        let sel_cache = SharedSelEstCache::new(2, policy);
+        // Three round-robin rounds over 6 instances against capacity 2:
+        // every round evicts and refills under Lru/Segmented.
+        for round in 0..3 {
+            for (plan, reference) in plans.iter().zip(&references) {
+                let got =
+                    predictor.predict_with_caches(plan, &catalog, &samples, &fit_cache, &sel_cache);
+                assert_bit_identical(reference, &got, &format!("{policy:?} round {round}"));
+            }
+        }
+        let sel = sel_cache.stats();
+        match policy {
+            EvictionPolicy::RejectNew => assert_eq!(sel.evictions, 0, "{sel:?}"),
+            _ => assert!(
+                sel.evictions > 0,
+                "cycling 6 instances through capacity 2 must evict: {sel:?}"
+            ),
+        }
+        assert!(sel.entries <= 2);
+    }
+}
+
+/// The same contract through the full concurrent service, with the stock
+/// configuration: warm responses equal cold responses equal the inline
+/// uncached reference.
+#[test]
+fn service_responses_bit_identical_cold_and_warm() {
+    let (predictor, catalog, samples) = small_setup();
+    let mut b = PlanBuilder::new();
+    let t = b.seq_scan("t", Pred::lt("b", Value::Int(2200)));
+    let u = b.seq_scan("u", Pred::True);
+    let j = b.hash_join(t, u, "a", "x");
+    let plan = Arc::new(b.build(j));
+    let reference = predictor.predict(&plan, &catalog, &samples);
+    let service = PredictionService::start(
+        predictor,
+        Arc::new(catalog),
+        Arc::new(samples),
+        ServiceConfig::default(),
+    );
+    let cold = service.predict_blocking(Arc::clone(&plan), None);
+    let warm = service.predict_blocking(Arc::clone(&plan), None);
+    assert_bit_identical(&reference, &cold.prediction, "service cold");
+    assert_bit_identical(&reference, &warm.prediction, "service warm");
+    let stats = service.cache_stats();
+    assert_eq!(stats.sel_hits, 1, "{stats:?}");
+    assert_eq!(stats.fit_hits, 1, "{stats:?}");
+    service.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (a) Literal-key extraction is injective on literals for a fixed
+    /// shape: distinct cuts ⇒ distinct keys, equal cuts ⇒ equal keys.
+    #[test]
+    fn literal_key_injective_for_fixed_shape(cut_a in 1i64..3000, cut_b in 1i64..3000) {
+        let scan = |cut: i64| {
+            let mut b = PlanBuilder::new();
+            let t = b.seq_scan("t", Pred::and(vec![
+                Pred::lt("b", Value::Int(cut)),
+                Pred::in_list("a", vec![Value::Int(cut % 7), Value::Int(3)]),
+            ]));
+            b.build(t)
+        };
+        let (a, b) = (scan(cut_a), scan(cut_b));
+        prop_assert_eq!(a.shape_signature(), b.shape_signature());
+        if cut_a == cut_b {
+            prop_assert_eq!(a.literal_key(), b.literal_key());
+        } else {
+            prop_assert_ne!(a.literal_key(), b.literal_key());
+        }
+    }
+
+    /// (b) `shape_signature` is invariant under literal perturbation, for
+    /// scans and joins alike.
+    #[test]
+    fn shape_signature_invariant_under_literal_perturbation(
+        cut_a in 1i64..4000,
+        cut_b in 1i64..4000,
+        lo in 0i64..50,
+    ) {
+        let join = |cut: i64, lo: i64| {
+            let mut b = PlanBuilder::new();
+            let t = b.seq_scan("t", Pred::lt("b", Value::Int(cut)));
+            let u = b.seq_scan("u", Pred::between("x", Value::Int(lo), Value::Int(lo + 9)));
+            let j = b.hash_join(t, u, "a", "x");
+            b.build(j)
+        };
+        let a = join(cut_a, lo);
+        let b = join(cut_b, (lo + 13) % 50);
+        prop_assert_eq!(a.shape_signature(), b.shape_signature());
+        prop_assert_eq!(a.shape_hash(), b.shape_hash());
+    }
+
+    /// (c) Cache hit ⇒ identical `SelEstimates` bytes (and, stronger, the
+    /// very same allocation).
+    #[test]
+    fn sel_cache_hit_returns_identical_bytes(cut in 1i64..4000, capacity in 1usize..4) {
+        let (predictor, catalog, samples) = small_setup();
+        let sel_cache = SharedSelEstCache::new(capacity, EvictionPolicy::Lru);
+        let fit_cache = SharedFitCache::default();
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("b", Value::Int(cut)));
+        let plan = b.build(t);
+        let cold = predictor.predict_with_caches(&plan, &catalog, &samples, &fit_cache, &sel_cache);
+        let warm = predictor.predict_with_caches(&plan, &catalog, &samples, &fit_cache, &sel_cache);
+        prop_assert_eq!(sel_cache.stats().hits, 1);
+        prop_assert!(warm.sel_estimates.ptr_eq(&cold.sel_estimates));
+        prop_assert_eq!(
+            warm.sel_estimates.canonical_bytes(),
+            cold.sel_estimates.canonical_bytes()
+        );
+    }
+}
+
+/// One cache shared across two *different sample sets* of one catalog must
+/// never cross-serve estimates: the sample fingerprint separates them, and
+/// each prediction matches its own reference.
+#[test]
+fn distinct_sample_sets_never_share_estimates() {
+    let (predictor, catalog, _) = small_setup();
+    let mut rng = Rng::new(77);
+    let samples_a = catalog.draw_samples(0.05, 1, &mut rng);
+    let samples_b = catalog.draw_samples(0.05, 1, &mut rng);
+    assert_ne!(samples_a.fingerprint(), samples_b.fingerprint());
+
+    let fit_cache = SharedFitCache::default();
+    let sel_cache = SharedSelEstCache::default();
+    let mut b = PlanBuilder::new();
+    let t = b.seq_scan("t", Pred::lt("b", Value::Int(1000)));
+    let plan = b.build(t);
+    let on_a = predictor.predict_with_caches(&plan, &catalog, &samples_a, &fit_cache, &sel_cache);
+    let on_b = predictor.predict_with_caches(&plan, &catalog, &samples_b, &fit_cache, &sel_cache);
+    let sel = sel_cache.stats();
+    assert_eq!(sel.hits, 0, "{sel:?}");
+    assert_eq!(sel.entries, 2, "{sel:?}");
+    assert_bit_identical(
+        &predictor.predict(&plan, &catalog, &samples_a),
+        &on_a,
+        "samples a",
+    );
+    assert_bit_identical(
+        &predictor.predict(&plan, &catalog, &samples_b),
+        &on_b,
+        "samples b",
+    );
+}
+
+/// The `SelEstCache` trait surface stays usable through `&dyn` (the
+/// predictor takes trait objects).
+#[test]
+fn works_through_dyn_object() {
+    let (predictor, catalog, samples) = small_setup();
+    let sel_cache = SharedSelEstCache::default();
+    let dyn_sel: &dyn SelEstCache = &sel_cache;
+    let fit_cache = SharedFitCache::default();
+    let mut b = PlanBuilder::new();
+    let t = b.seq_scan("t", Pred::lt("b", Value::Int(900)));
+    let plan = b.build(t);
+    let a = predictor.predict_with_caches(&plan, &catalog, &samples, &fit_cache, dyn_sel);
+    let c = predictor.predict_with_caches(&plan, &catalog, &samples, &fit_cache, dyn_sel);
+    assert_bit_identical(&a, &c, "dyn");
+    assert_eq!(sel_cache.stats().hits, 1);
+}
+
+/// Concurrency stress: N client threads hammer one service with
+/// interleaved hit/miss/evict traffic (tiny cache capacities force
+/// constant eviction), and every response must equal a single-threaded
+/// replay of the same request sequence bit-for-bit. `#[ignore]`-gated;
+/// CI's service step runs it explicitly (`cargo test -p uaq-service --
+/// --ignored`).
+#[test]
+#[ignore = "stress test: run explicitly (CI service step) with -- --ignored"]
+fn stress_concurrent_hit_miss_evict_matches_single_threaded_replay() {
+    let (predictor, catalog, samples) = small_setup();
+    // 4 shapes × 6 literal variants = 24 instances against a sel capacity
+    // of 8 and a shape capacity of 2: constant interleaved miss + evict.
+    let instances: Vec<Arc<Plan>> = (0..6i64)
+        .flat_map(|v| {
+            let cut = 300 + v * 550;
+            let scan_t = {
+                let mut b = PlanBuilder::new();
+                let t = b.seq_scan("t", Pred::lt("b", Value::Int(cut)));
+                Arc::new(b.build(t))
+            };
+            let scan_u = {
+                let mut b = PlanBuilder::new();
+                let u = b.seq_scan("u", Pred::ge("y", Value::Int(cut / 2)));
+                Arc::new(b.build(u))
+            };
+            let join = {
+                let mut b = PlanBuilder::new();
+                let t = b.seq_scan("t", Pred::lt("b", Value::Int(cut)));
+                let u = b.seq_scan("u", Pred::True);
+                let j = b.hash_join(t, u, "a", "x");
+                Arc::new(b.build(j))
+            };
+            let filtered = {
+                let mut b = PlanBuilder::new();
+                let t = b.seq_scan("t", Pred::True);
+                let f = b.filter(t, Pred::between("a", Value::Int(cut % 40), Value::Int(45)));
+                Arc::new(b.build(f))
+            };
+            [scan_t, scan_u, join, filtered]
+        })
+        .collect();
+
+    let config = ServiceConfig {
+        workers: 6,
+        cache: CacheConfig {
+            max_shapes: 2,
+            max_fits_per_shape: 2,
+            max_sel_entries: 8,
+            eviction: EvictionPolicy::Segmented,
+        },
+        ..Default::default()
+    };
+
+    // Deterministic per-thread request sequences with a shared pseudo-
+    // random schedule (same multiset every run).
+    let clients = 4;
+    let per_client = 150;
+    let n_instances = instances.len();
+    let sequence_for = move |client: u64| -> Vec<usize> {
+        let mut rng = Rng::new(0xC0FFEE ^ client);
+        (0..per_client)
+            .map(|_| rng.usize_below(n_instances))
+            .collect()
+    };
+
+    let catalog = Arc::new(catalog);
+    let samples = Arc::new(samples);
+
+    // Single-threaded replay: the same sequences through a 1-worker
+    // service with the same tiny caches.
+    let replay_service = PredictionService::start(
+        predictor.clone(),
+        Arc::clone(&catalog),
+        Arc::clone(&samples),
+        ServiceConfig {
+            workers: 1,
+            ..config
+        },
+    );
+    let mut replay: Vec<Vec<(u64, u64)>> = Vec::new();
+    for client in 0..clients {
+        let mut rows = Vec::new();
+        for &i in &sequence_for(client as u64) {
+            let r = replay_service.predict_blocking(Arc::clone(&instances[i]), Some(75.0));
+            rows.push((
+                r.prediction.mean_ms().to_bits(),
+                r.prediction.var().to_bits(),
+            ));
+        }
+        replay.push(rows);
+    }
+    replay_service.shutdown();
+
+    // Concurrent run: all clients at once against a 6-worker pool.
+    let service = Arc::new(PredictionService::start(
+        predictor, catalog, samples, config,
+    ));
+    let mut handles = Vec::new();
+    for client in 0..clients {
+        let service = Arc::clone(&service);
+        let instances = instances.clone();
+        handles.push(std::thread::spawn(move || {
+            sequence_for(client as u64)
+                .into_iter()
+                .enumerate()
+                .map(|(n, i)| {
+                    let r = service
+                        .submit(PredictRequest {
+                            id: (client * per_client + n) as u64,
+                            plan: Arc::clone(&instances[i]),
+                            deadline_ms: Some(75.0),
+                        })
+                        .recv()
+                        .expect("worker alive");
+                    (
+                        r.prediction.mean_ms().to_bits(),
+                        r.prediction.var().to_bits(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        }));
+    }
+    for (client, handle) in handles.into_iter().enumerate() {
+        let got = handle.join().expect("client thread");
+        assert_eq!(
+            got, replay[client],
+            "client {client}: concurrent responses drifted from single-threaded replay"
+        );
+    }
+    let stats = service.cache_stats();
+    assert!(
+        stats.sel_evictions > 0,
+        "stress must exercise eviction: {stats:?}"
+    );
+    assert!(stats.sel_hits > 0, "stress must exercise hits: {stats:?}");
+    assert!(
+        stats.sel_misses > 0,
+        "stress must exercise misses: {stats:?}"
+    );
+}

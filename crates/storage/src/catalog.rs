@@ -1,5 +1,6 @@
 //! The catalog: base tables, their optimizer statistics, and sample sets.
 
+use crate::column::ColumnData;
 use crate::histogram::Histogram;
 use crate::sample::{sample_size_for_ratio, SampleTable};
 use crate::table::Table;
@@ -115,24 +116,17 @@ impl Catalog {
     /// keying on plan shape mix this in to stay safe when one process
     /// serves several databases.
     pub fn fingerprint(&self) -> u64 {
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut eat = |bytes: &[u8]| {
-            for &b in bytes {
-                h ^= b as u64;
-                h = h.wrapping_mul(FNV_PRIME);
-            }
-        };
+        let mut h = Fnv1a::new();
         for (name, table) in &self.tables {
-            eat(name.as_bytes());
-            eat(&(table.len() as u64).to_le_bytes());
-            eat(&(table.pages() as u64).to_le_bytes());
+            h.eat(name.as_bytes());
+            h.eat(&(table.len() as u64).to_le_bytes());
+            h.eat(&(table.pages() as u64).to_le_bytes());
             let stats = &self.stats[name];
             for col in table.schema().columns() {
-                eat(&(stats.distinct(&col.name) as u64).to_le_bytes());
+                h.eat(&(stats.distinct(&col.name) as u64).to_le_bytes());
             }
         }
-        h
+        h.finish()
     }
 
     /// Draws `copies` independent sample tables per relation at the given
@@ -151,8 +145,79 @@ impl Catalog {
                 .collect();
             samples.insert(table.name().to_string(), per_table);
         }
-        SampleCatalog { ratio, samples }
+        let fingerprint = fingerprint_samples(&samples);
+        SampleCatalog {
+            ratio,
+            samples,
+            fingerprint,
+        }
     }
+}
+
+/// Incremental FNV-1a — the digest shared by [`Catalog::fingerprint`] and
+/// [`fingerprint_samples`], kept in one place so the two fingerprints can
+/// never drift apart.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn eat(&mut self, bytes: &[u8]) {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a digest of the full *contents* of a sample set: per relation (in
+/// name order), per copy, every cell bit-exactly (floats by bit pattern,
+/// matching [`crate::Value`] equality). Selectivity estimates are a pure
+/// function of (plan, samples, catalog), so equal fingerprints here — plus
+/// equal catalog fingerprints — make cached estimates safe to re-serve, up
+/// to the 2⁻⁶⁴-probability collision a 64-bit non-cryptographic digest
+/// admits. Computed once at draw time; sample tables are immutable
+/// afterwards.
+fn fingerprint_samples(samples: &BTreeMap<String, Vec<SampleTable>>) -> u64 {
+    let mut h = Fnv1a::new();
+    for (name, copies) in samples {
+        h.eat(name.as_bytes());
+        h.eat(&(copies.len() as u64).to_le_bytes());
+        for sample in copies {
+            h.eat(&(sample.len() as u64).to_le_bytes());
+            for col in sample.table().columns() {
+                match col {
+                    ColumnData::Int(v) => {
+                        h.eat(&[0u8]);
+                        for x in v {
+                            h.eat(&x.to_le_bytes());
+                        }
+                    }
+                    ColumnData::Float(v) => {
+                        h.eat(&[1u8]);
+                        for x in v {
+                            h.eat(&x.to_bits().to_le_bytes());
+                        }
+                    }
+                    ColumnData::Str(v) => {
+                        h.eat(&[2u8]);
+                        for s in v {
+                            h.eat(&(s.len() as u64).to_le_bytes());
+                            h.eat(s.as_bytes());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    h.finish()
 }
 
 /// Materialized sample tables for every relation of a catalog.
@@ -160,11 +225,23 @@ impl Catalog {
 pub struct SampleCatalog {
     ratio: f64,
     samples: BTreeMap<String, Vec<SampleTable>>,
+    /// Content digest, see [`fingerprint_samples`].
+    fingerprint: u64,
 }
 
 impl SampleCatalog {
     pub fn ratio(&self) -> f64 {
         self.ratio
+    }
+
+    /// Content digest of the whole sample set: catalogs with bit-identical
+    /// sample tables — which produce bit-identical selectivity estimates
+    /// for any plan — share a fingerprint. Cache layers keyed on (plan
+    /// shape, literals) mix this in so a re-drawn sample set is not served
+    /// stale estimates (up to a 64-bit digest collision; see
+    /// [`fingerprint_samples`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Number of independent copies kept per relation.
@@ -207,6 +284,21 @@ mod tests {
         assert_eq!(s.distinct("id"), 50);
         assert_eq!(s.distinct("tag"), 5);
         assert_eq!(s.distinct("missing"), 0);
+    }
+
+    #[test]
+    fn sample_fingerprint_tracks_contents() {
+        use uaq_stats::Rng;
+        let c = catalog();
+        // Same seed ⇒ same draws ⇒ same fingerprint.
+        let a = c.draw_samples(0.1, 2, &mut Rng::new(9));
+        let b = c.draw_samples(0.1, 2, &mut Rng::new(9));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Different seed ⇒ different rows ⇒ different fingerprint.
+        let d = c.draw_samples(0.1, 2, &mut Rng::new(10));
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        // Clones share contents and fingerprint.
+        assert_eq!(a.clone().fingerprint(), a.fingerprint());
     }
 
     #[test]

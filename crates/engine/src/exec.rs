@@ -30,18 +30,33 @@
 //! * **provenance** is carried end-to-end as the flat `arity × rows` matrix
 //!   the estimator already consumes, so per-node traces are a plain clone.
 //!
-//! Rows are materialized exactly once, at the plan root, so `ExecOutcome`
-//! is unchanged: same rows, same traces, same provenance as the row-based
-//! reference executor ([`crate::exec_row`]), which is kept as the oracle
-//! for the golden equivalence tests.
+//! # Zero-copy columns and lazy rows
+//!
+//! Columns travel as [`uaq_storage::ColumnRef`] — `Arc`-shared handles — so
+//! an operator that passes a column through unchanged (an unfiltered scan,
+//! a keep-everything filter, a materialize) shares the payload with its
+//! input for the price of a refcount bump. One mechanism covers base
+//! tables, sample tables, and intermediate batches alike; there is no
+//! borrowed-scan special case.
+//!
+//! [`ExecOutcome`] is columnar: schema, shared root columns, and traces.
+//! **Rows are opt-in at the edge** via [`ExecOutcome::rows`] /
+//! [`ExecOutcome::row_iter`] — the prediction path (selectivity estimation,
+//! cost fitting, experiments) reads only traces and never pays for row
+//! materialization. The row-based reference executor ([`crate::exec_row`])
+//! and the golden equivalence tests are the only row-eager consumers left,
+//! which is exactly what proves the zero-copy plane changes nothing
+//! observable.
 
 use crate::expr::cell_pair_eq;
 use crate::plan::{AggFunc, NodeId, Op, Plan, SortOrder};
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
-use uaq_storage::{Catalog, ColumnData, Row, SampleCatalog, Schema, Value};
+use std::sync::{Arc, OnceLock};
+use uaq_storage::{
+    rows_from_columns, Catalog, ColumnData, ColumnRef, Row, SampleCatalog, Schema, Value,
+};
 
 /// Flattened provenance matrix of one operator's sample-mode output:
 /// `arity` step indices per output row, aligned with the node's
@@ -100,45 +115,123 @@ pub struct NodeTrace {
     pub prov: Option<ProvData>,
 }
 
-/// Result of executing a plan.
+/// Result of executing a plan: a **columnar** value. The root columns are
+/// `Arc`-shared with whatever produced them (for a pass-through plan, the
+/// base table itself), and rows are materialized only when a consumer
+/// explicitly asks via [`ExecOutcome::rows`] or [`ExecOutcome::row_iter`].
+///
+/// Contract for consumers: do **not** assume rows exist. Everything on the
+/// prediction path (`uaq_selest`, `uaq_core`, `uaq_experiments`,
+/// `uaq_service`) reads only `traces`, `schema`, and cardinalities; row
+/// materialization is an edge concern (query answers, debugging, the golden
+/// equivalence oracle).
 #[derive(Debug)]
 pub struct ExecOutcome {
     /// Output schema of the root operator.
     pub schema: Schema,
-    /// Root output rows.
-    pub rows: Vec<Row>,
+    /// Root output columns, shared (not copied) from the producing
+    /// operator. Seeded eagerly by the columnar executor; built lazily
+    /// from the row mirror for the row-based reference executor. Exactly
+    /// one of `columns`/`rows` is seeded at construction, so the accessors
+    /// can always derive the other.
+    columns: OnceLock<Vec<ColumnRef>>,
+    /// Root output cardinality.
+    num_rows: usize,
+    /// Lazy row mirror, built on first [`ExecOutcome::rows`] call. The
+    /// row-based reference executor seeds it eagerly (its native format).
+    rows: OnceLock<Vec<Row>>,
     /// Per-node traces, indexed by `NodeId`.
     pub traces: Vec<NodeTrace>,
 }
 
-/// A column of an intermediate batch: borrowed straight from a base/sample
-/// table when an operator passes it through untouched (e.g. an unfiltered
-/// scan), owned once any gather materializes new data.
-enum Col<'a> {
-    Borrowed(&'a ColumnData),
-    Owned(ColumnData),
-}
-
-impl AsRef<ColumnData> for Col<'_> {
-    fn as_ref(&self) -> &ColumnData {
-        match self {
-            Col::Borrowed(c) => c,
-            Col::Owned(c) => c,
+impl ExecOutcome {
+    fn columnar(
+        schema: Schema,
+        columns: Vec<ColumnRef>,
+        num_rows: usize,
+        traces: Vec<NodeTrace>,
+    ) -> Self {
+        debug_assert!(columns.iter().all(|c| c.len() == num_rows));
+        Self {
+            schema,
+            columns: OnceLock::from(columns),
+            num_rows,
+            rows: OnceLock::new(),
+            traces,
         }
+    }
+
+    /// Wraps a row-major result (the reference executor's native output):
+    /// rows are kept as-is; the columnar mirror is built only if someone
+    /// asks for [`ExecOutcome::columns`].
+    pub(crate) fn from_rows(schema: Schema, rows: Vec<Row>, traces: Vec<NodeTrace>) -> Self {
+        Self {
+            schema,
+            columns: OnceLock::new(),
+            num_rows: rows.len(),
+            rows: OnceLock::from(rows),
+            traces,
+        }
+    }
+
+    /// Root output cardinality (available without materializing anything).
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.num_rows == 0
+    }
+
+    /// Column-major view of the root output: `Arc`-shared handles, not
+    /// copies. For a row-executor outcome the mirror is built (and cached)
+    /// on first call.
+    pub fn columns(&self) -> &[ColumnRef] {
+        self.columns.get_or_init(|| {
+            let rows = self.rows.get().expect("either columns or rows seeded");
+            uaq_storage::columns_from_rows(&self.schema, rows)
+                .into_iter()
+                .map(ColumnRef::new)
+                .collect()
+        })
+    }
+
+    /// Row-major view of the root output, materialized (and cached) on
+    /// first call — the explicit opt-in for edge consumers that really
+    /// need rows.
+    pub fn rows(&self) -> &[Row] {
+        self.rows.get_or_init(|| {
+            let columns = self.columns.get().expect("either columns or rows seeded");
+            rows_from_columns(columns, self.num_rows)
+        })
+    }
+
+    /// Iterator adapter yielding one [`Row`] at a time — streaming
+    /// consumption without building the full mirror. Serves from whichever
+    /// representation is already materialized: seeded rows are cloned
+    /// per-item, otherwise rows are assembled from the shared columns.
+    pub fn row_iter(&self) -> Box<dyn Iterator<Item = Row> + '_> {
+        if let Some(rows) = self.rows.get() {
+            return Box::new(rows.iter().cloned());
+        }
+        let columns = self.columns();
+        Box::new((0..self.num_rows).map(move |i| columns.iter().map(|c| c.value(i)).collect()))
     }
 }
 
-/// Intermediate columnar batch flowing between operators.
-struct Batch<'a> {
+/// Intermediate columnar batch flowing between operators. Columns are
+/// `Arc`-shared [`ColumnRef`]s: a pass-through operator clones handles
+/// (O(1)), and only gathers allocate new payloads.
+struct Batch {
     schema: Schema,
-    cols: Vec<Col<'a>>,
+    cols: Vec<ColumnRef>,
     len: usize,
     /// Flat provenance matrix (sample mode only; dropped above aggregates
     /// because grouped rows have no single lineage).
     prov: Option<ProvData>,
 }
 
-impl Batch<'_> {
+impl Batch {
     fn col(&self, i: usize) -> &ColumnData {
         self.cols[i].as_ref()
     }
@@ -155,7 +248,8 @@ struct Executor<'a> {
     traces: Vec<NodeTrace>,
 }
 
-/// Executes a plan against the base tables.
+/// Executes a plan against the base tables. The returned outcome is
+/// columnar; no row is materialized unless the caller asks.
 pub fn execute_full(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
     let mut ex = Executor {
         plan,
@@ -163,14 +257,12 @@ pub fn execute_full(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
         traces: vec![NodeTrace::default(); plan.len()],
     };
     let batch = ex.exec(plan.root());
-    ExecOutcome {
-        rows: materialize_rows(&batch),
-        schema: batch.schema,
-        traces: ex.traces,
-    }
+    ExecOutcome::columnar(batch.schema, batch.cols, batch.len, ex.traces)
 }
 
-/// Executes a plan against sample tables, tracking provenance.
+/// Executes a plan against sample tables, tracking provenance. Row-free:
+/// the estimator consumes only the traces, so the former root-row
+/// materialization is gone from the prediction path entirely.
 pub fn execute_on_samples(plan: &Plan, samples: &SampleCatalog) -> ExecOutcome {
     let mut ex = Executor {
         plan,
@@ -178,18 +270,7 @@ pub fn execute_on_samples(plan: &Plan, samples: &SampleCatalog) -> ExecOutcome {
         traces: vec![NodeTrace::default(); plan.len()],
     };
     let batch = ex.exec(plan.root());
-    ExecOutcome {
-        rows: materialize_rows(&batch),
-        schema: batch.schema,
-        traces: ex.traces,
-    }
-}
-
-fn materialize_rows(batch: &Batch) -> Vec<Row> {
-    let cols: Vec<&ColumnData> = batch.cols.iter().map(Col::as_ref).collect();
-    (0..batch.len)
-        .map(|i| cols.iter().map(|c| c.value(i)).collect())
-        .collect()
+    ExecOutcome::columnar(batch.schema, batch.cols, batch.len, ex.traces)
 }
 
 /// Borrowed join-key view of one cell, mirroring `Value`'s equality and
@@ -267,8 +348,8 @@ impl KeyPart {
     }
 }
 
-impl<'a> Executor<'a> {
-    fn exec(&mut self, id: NodeId) -> Batch<'a> {
+impl Executor<'_> {
+    fn exec(&mut self, id: NodeId) -> Batch {
         // Borrow the operator from the plan reference (not through `self`)
         // so recursion needs no per-node `Op` clone.
         let plan = self.plan;
@@ -328,8 +409,8 @@ impl<'a> Executor<'a> {
         batch
     }
 
-    fn scan(&mut self, id: NodeId, table: &str, predicate: &crate::expr::Pred) -> Batch<'a> {
-        let (schema, cols, with_prov): (Schema, &'a [ColumnData], bool) = match &self.source {
+    fn scan(&mut self, id: NodeId, table: &str, predicate: &crate::expr::Pred) -> Batch {
+        let (schema, cols, with_prov): (Schema, &[ColumnRef], bool) = match &self.source {
             Source::Full(catalog) => {
                 let t = catalog.table(table);
                 (t.schema().clone(), t.columns(), false)
@@ -340,15 +421,15 @@ impl<'a> Executor<'a> {
                 (s.table().schema().clone(), s.table().columns(), true)
             }
         };
-        let input_len = cols.first().map_or(0, ColumnData::len);
+        let input_len = cols.first().map_or(0, |c| c.len());
         self.traces[id].left_input_rows = input_len;
         let bound = predicate.bind(&schema);
         let sel = bound.filter_columns(cols, input_len);
-        let out_cols: Vec<Col<'a>> = if sel.len() == input_len {
-            // Nothing filtered: borrow the table's columns outright.
-            cols.iter().map(Col::Borrowed).collect()
+        let out_cols: Vec<ColumnRef> = if sel.len() == input_len {
+            // Nothing filtered: share the table's columns (refcount bumps).
+            cols.to_vec()
         } else {
-            cols.iter().map(|c| Col::Owned(c.gather(&sel))).collect()
+            cols.iter().map(|c| c.gather(&sel)).collect()
         };
         let prov = with_prov.then(|| ProvData {
             arity: 1,
@@ -362,18 +443,16 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn filter(&mut self, id: NodeId, child: Batch<'a>, predicate: &crate::expr::Pred) -> Batch<'a> {
+    fn filter(&mut self, id: NodeId, child: Batch, predicate: &crate::expr::Pred) -> Batch {
         self.traces[id].left_input_rows = child.len;
         let bound = predicate.bind(&child.schema);
         let sel = bound.filter_columns(&child.cols, child.len);
         if sel.len() == child.len {
+            // Keep-everything filter: the child's column handles pass
+            // through shared, no copy.
             return child;
         }
-        let cols = child
-            .cols
-            .iter()
-            .map(|c| Col::Owned(c.as_ref().gather(&sel)))
-            .collect();
+        let cols = child.cols.iter().map(|c| c.gather(&sel)).collect();
         let prov = child.prov.as_ref().map(|p| p.gather_rows(&sel));
         Batch {
             schema: child.schema,
@@ -383,7 +462,7 @@ impl<'a> Executor<'a> {
         }
     }
 
-    fn sort(&mut self, id: NodeId, child: Batch<'a>, keys: &[(String, SortOrder)]) -> Batch<'a> {
+    fn sort(&mut self, id: NodeId, child: Batch, keys: &[(String, SortOrder)]) -> Batch {
         self.traces[id].left_input_rows = child.len;
         let key_cols: Vec<(&ColumnData, SortOrder)> = keys
             .iter()
@@ -406,11 +485,7 @@ impl<'a> Executor<'a> {
             }
             Ordering::Equal
         });
-        let cols = child
-            .cols
-            .iter()
-            .map(|c| Col::Owned(c.as_ref().gather(&order)))
-            .collect();
+        let cols = child.cols.iter().map(|c| c.gather(&order)).collect();
         let prov = child.prov.as_ref().map(|p| p.gather_rows(&order));
         Batch {
             schema: child.schema,
@@ -423,11 +498,11 @@ impl<'a> Executor<'a> {
     fn hash_join(
         &mut self,
         id: NodeId,
-        left: Batch<'a>,
-        right: Batch<'a>,
+        left: Batch,
+        right: Batch,
         left_key: &str,
         right_key: &str,
-    ) -> Batch<'a> {
+    ) -> Batch {
         self.traces[id].left_input_rows = left.len;
         self.traces[id].right_input_rows = right.len;
         let lk = left.schema.expect_index(left_key);
@@ -470,11 +545,11 @@ impl<'a> Executor<'a> {
     fn nl_join(
         &mut self,
         id: NodeId,
-        left: Batch<'a>,
-        right: Batch<'a>,
+        left: Batch,
+        right: Batch,
         left_key: &str,
         right_key: &str,
-    ) -> Batch<'a> {
+    ) -> Batch {
         self.traces[id].left_input_rows = left.len;
         self.traces[id].right_input_rows = right.len;
         let lk = left.schema.expect_index(left_key);
@@ -495,22 +570,11 @@ impl<'a> Executor<'a> {
     }
 
     /// Materializes a join result from matched (left, right) index pairs.
-    fn join_output(
-        &self,
-        left: Batch<'a>,
-        right: Batch<'a>,
-        li: Vec<u32>,
-        ri: Vec<u32>,
-    ) -> Batch<'a> {
+    fn join_output(&self, left: Batch, right: Batch, li: Vec<u32>, ri: Vec<u32>) -> Batch {
         let schema = left.schema.concat(&right.schema);
         let mut cols = Vec::with_capacity(left.cols.len() + right.cols.len());
-        cols.extend(left.cols.iter().map(|c| Col::Owned(c.as_ref().gather(&li))));
-        cols.extend(
-            right
-                .cols
-                .iter()
-                .map(|c| Col::Owned(c.as_ref().gather(&ri))),
-        );
+        cols.extend(left.cols.iter().map(|c| c.gather(&li)));
+        cols.extend(right.cols.iter().map(|c| c.gather(&ri)));
         let prov = match (&left.prov, &right.prov) {
             (Some(lp), Some(rp)) => Some(ProvData::join_rows(lp, &li, rp, &ri)),
             _ => None,
@@ -526,10 +590,10 @@ impl<'a> Executor<'a> {
     fn aggregate(
         &mut self,
         id: NodeId,
-        child: Batch<'a>,
+        child: Batch,
         group_by: &[String],
         aggs: &[(String, AggFunc)],
-    ) -> Batch<'a> {
+    ) -> Batch {
         self.traces[id].left_input_rows = child.len;
         let group_cols: Vec<&ColumnData> = group_by
             .iter()
@@ -680,7 +744,7 @@ impl<'a> Executor<'a> {
         // Provenance cannot flow through grouping (Algorithm 1's Agg case).
         Batch {
             schema,
-            cols: cols.into_iter().map(Col::Owned).collect(),
+            cols: cols.into_iter().map(ColumnRef::new).collect(),
             len: n_groups,
             prov: None,
         }
@@ -786,10 +850,10 @@ mod tests {
         let s = b.seq_scan("t1", Pred::eq("a", Value::Int(3)));
         let plan = b.build(s);
         let out = execute_full(&plan, &c);
-        assert_eq!(out.rows.len(), 10);
+        assert_eq!(out.num_rows(), 10);
         assert_eq!(out.traces[0].left_input_rows, 100);
         assert_eq!(out.traces[0].output_rows, 10);
-        assert!(out.rows.iter().all(|r| r[0] == Value::Int(3)));
+        assert!(out.rows().iter().all(|r| r[0] == Value::Int(3)));
     }
 
     #[test]
@@ -800,7 +864,7 @@ mod tests {
         let f = b.filter(s, Pred::lt("b", Value::Int(50)));
         let plan = b.build(f);
         let out = execute_full(&plan, &c);
-        assert_eq!(out.rows.len(), 50);
+        assert_eq!(out.num_rows(), 50);
         assert_eq!(out.traces[1].left_input_rows, 100);
     }
 
@@ -823,12 +887,12 @@ mod tests {
         };
         let hj = execute_full(&hash, &c);
         let nj = execute_full(&nl, &c);
-        assert_eq!(hj.rows.len(), nj.rows.len());
+        assert_eq!(hj.num_rows(), nj.num_rows());
         // t1.a ranges 0..10 (10 each); t2.x ranges 0..5 (4 each); matches:
         // for a in 0..5 → 10 * 4 = 40 rows each → 200.
-        assert_eq!(hj.rows.len(), 200);
-        let mut h: Vec<String> = hj.rows.iter().map(|r| format!("{r:?}")).collect();
-        let mut n: Vec<String> = nj.rows.iter().map(|r| format!("{r:?}")).collect();
+        assert_eq!(hj.num_rows(), 200);
+        let mut h: Vec<String> = hj.rows().iter().map(|r| format!("{r:?}")).collect();
+        let mut n: Vec<String> = nj.rows().iter().map(|r| format!("{r:?}")).collect();
         h.sort();
         n.sort();
         assert_eq!(h, n);
@@ -855,7 +919,7 @@ mod tests {
         let srt = b.sort(s, vec![("y".into(), SortOrder::Desc)]);
         let plan = b.build(srt);
         let out = execute_full(&plan, &c);
-        let ys: Vec<f64> = out.rows.iter().map(|r| r[1].as_float()).collect();
+        let ys: Vec<f64> = out.rows().iter().map(|r| r[1].as_float()).collect();
         let mut sorted = ys.clone();
         sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
         assert_eq!(ys, sorted);
@@ -879,10 +943,10 @@ mod tests {
         );
         let plan = b.build(a);
         let out = execute_full(&plan, &c);
-        assert_eq!(out.rows.len(), 5);
+        assert_eq!(out.num_rows(), 5);
         // Group x=0 holds y ∈ {0, 5, 10, 15}.
-        let g0 = out
-            .rows
+        let rows = out.rows();
+        let g0 = rows
             .iter()
             .find(|r| r[0] == Value::Int(0))
             .expect("group 0");
@@ -901,8 +965,8 @@ mod tests {
         let a = b.aggregate(s, vec![], vec![("cnt".into(), AggFunc::CountStar)]);
         let plan = b.build(a);
         let out = execute_full(&plan, &c);
-        assert_eq!(out.rows.len(), 1);
-        assert_eq!(out.rows[0][0], Value::Int(0));
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.rows()[0][0], Value::Int(0));
     }
 
     #[test]
@@ -916,7 +980,7 @@ mod tests {
         let out = execute_on_samples(&plan, &samples);
         let prov = out.traces[0].prov.as_ref().expect("prov in sample mode");
         assert_eq!(prov.arity, 1);
-        assert_eq!(prov.rows(), out.rows.len());
+        assert_eq!(prov.rows(), out.num_rows());
         let n = samples.sample("t1", 0).len();
         for i in 0..prov.rows() {
             assert!((prov.row(i)[0] as usize) < n);
@@ -936,7 +1000,7 @@ mod tests {
         let out = execute_on_samples(&plan, &samples);
         let prov = out.traces[j].prov.as_ref().expect("join prov");
         assert_eq!(prov.arity, 2);
-        assert_eq!(prov.rows(), out.rows.len());
+        assert_eq!(prov.rows(), out.num_rows());
         // Every prov row indexes valid sample steps, and the joined rows
         // really match the sample tuples they claim to come from.
         let s1 = samples.sample("t1", 0);
@@ -945,8 +1009,8 @@ mod tests {
             let [p1, p2] = prov.row(i) else { panic!() };
             let t1row = &s1.table().rows()[*p1 as usize];
             let t2row = &s2.table().rows()[*p2 as usize];
-            assert_eq!(out.rows[i][0], t1row[0]);
-            assert_eq!(out.rows[i][2], t2row[0]);
+            assert_eq!(out.rows()[i][0], t1row[0]);
+            assert_eq!(out.rows()[i][2], t2row[0]);
         }
     }
 
@@ -984,7 +1048,7 @@ mod tests {
         let sample = samples.sample("t1", 0);
         for i in 0..prov.rows() {
             let j = prov.row(i)[0] as usize;
-            assert_eq!(out.rows[i], sample.table().rows()[j]);
+            assert_eq!(out.rows()[i], sample.table().rows()[j]);
         }
     }
 
@@ -1003,8 +1067,8 @@ mod tests {
             b.build(s)
         };
         assert_eq!(
-            execute_full(&seq, &c).rows.len(),
-            execute_full(&idx, &c).rows.len()
+            execute_full(&seq, &c).num_rows(),
+            execute_full(&idx, &c).num_rows()
         );
     }
 
@@ -1020,7 +1084,69 @@ mod tests {
         let plan = b.build(f);
         let out = execute_on_samples(&plan, &samples);
         let prov = out.traces[f].prov.as_ref().expect("prov");
-        assert_eq!(prov.rows(), out.rows.len());
+        assert_eq!(prov.rows(), out.num_rows());
+    }
+
+    #[test]
+    fn pass_through_operators_share_columns_not_copy() {
+        // The zero-copy contract, observed through refcounts: a plan whose
+        // operators change nothing (unfiltered scan → keep-everything
+        // filter → materialize) must *share* the base table's column
+        // payloads, not clone them. `strong_count > 1` proves sharing
+        // actually happened (the table holds one handle, the outcome the
+        // other); `ptr_eq` pins down that it is the same allocation.
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t1", Pred::True);
+        let f = b.filter(s, Pred::ge("b", Value::Int(0))); // keeps all 100 rows
+        let m = b.materialize(f);
+        let plan = b.build(m);
+        let out = execute_full(&plan, &c);
+        assert_eq!(out.num_rows(), 100);
+        let table_cols = c.table("t1").columns();
+        for (out_col, table_col) in out.columns().iter().zip(table_cols) {
+            assert!(
+                out_col.ptr_eq(table_col),
+                "pass-through column must share the table's allocation"
+            );
+            assert!(
+                out_col.strong_count() > 1,
+                "sharing must be observable in the refcount, got {}",
+                out_col.strong_count()
+            );
+        }
+
+        // A filter that actually drops rows detaches: fresh payloads.
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t1", Pred::True);
+        let f = b.filter(s, Pred::lt("b", Value::Int(50)));
+        let plan = b.build(f);
+        let out = execute_full(&plan, &c);
+        assert_eq!(out.num_rows(), 50);
+        for (out_col, table_col) in out.columns().iter().zip(c.table("t1").columns()) {
+            assert!(!out_col.ptr_eq(table_col));
+            assert_eq!(out_col.strong_count(), 1);
+        }
+    }
+
+    #[test]
+    fn row_iter_streams_both_representations() {
+        let c = catalog();
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t1", Pred::lt("b", Value::Int(5)));
+        let plan = b.build(s);
+
+        // Columns-seeded outcome: rows assembled from the shared columns.
+        let out = execute_full(&plan, &c);
+        let streamed: Vec<Row> = out.row_iter().collect();
+        assert_eq!(streamed.len(), out.num_rows());
+        assert_eq!(streamed, out.rows());
+
+        // Rows-seeded outcome (the reference executor): served from the
+        // existing rows without building the columnar mirror.
+        let out_rowexec = crate::exec_row::execute_full_rows(&plan, &c);
+        let streamed_rowexec: Vec<Row> = out_rowexec.row_iter().collect();
+        assert_eq!(streamed_rowexec, streamed);
     }
 
     #[test]

@@ -41,11 +41,7 @@ pub fn execute_full_rows(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
         traces: vec![NodeTrace::default(); plan.len()],
     };
     let batch = ex.exec(plan.root());
-    ExecOutcome {
-        schema: batch.schema,
-        rows: batch.rows,
-        traces: ex.traces,
-    }
+    ExecOutcome::from_rows(batch.schema, batch.rows, ex.traces)
 }
 
 /// Row-based reference: executes a plan against sample tables, tracking
@@ -57,11 +53,7 @@ pub fn execute_on_samples_rows(plan: &Plan, samples: &SampleCatalog) -> ExecOutc
         traces: vec![NodeTrace::default(); plan.len()],
     };
     let batch = ex.exec(plan.root());
-    ExecOutcome {
-        schema: batch.schema,
-        rows: batch.rows,
-        traces: ex.traces,
-    }
+    ExecOutcome::from_rows(batch.schema, batch.rows, ex.traces)
 }
 
 impl<'a> Executor<'a> {

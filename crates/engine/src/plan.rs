@@ -163,11 +163,56 @@ pub struct NodeMeta {
 }
 
 /// An immutable physical plan.
-#[derive(Debug, Clone)]
+///
+/// Immutability is structural: [`PlanBuilder::build`] (via [`Plan::new`])
+/// finalizes the arena, and no `&mut` accessor to nodes, root, or metadata
+/// exists afterwards. That is what makes the interned cache keys below
+/// ([`Plan::shape_signature`], [`Plan::literal_key`], [`Plan::shape_hash`])
+/// safe to compute once per plan instead of once per request; debug builds
+/// additionally assert the memos against a fresh recomputation on every
+/// access, so any future mutation path trips an assertion instead of
+/// serving stale keys.
+#[derive(Debug)]
 pub struct Plan {
     nodes: Vec<Op>,
     root: NodeId,
     meta: Vec<NodeMeta>,
+    /// Interned serving-layer keys, computed on first use.
+    keys: PlanKeys,
+}
+
+/// Lazily interned cache-key strings for one plan. A separate struct so
+/// `Plan`'s manual `Clone` can carry already-computed memos over instead of
+/// re-deriving them on the clone.
+#[derive(Debug, Default)]
+struct PlanKeys {
+    shape_signature: std::sync::OnceLock<String>,
+    literal_key: std::sync::OnceLock<String>,
+    shape_hash: std::sync::OnceLock<u64>,
+}
+
+impl Clone for Plan {
+    fn clone(&self) -> Self {
+        // Seed the clone's memos with whatever is already computed: cloning
+        // a served plan must not reset its interned keys.
+        let seed = |lock: &std::sync::OnceLock<String>| match lock.get() {
+            Some(v) => std::sync::OnceLock::from(v.clone()),
+            None => std::sync::OnceLock::new(),
+        };
+        Self {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            meta: self.meta.clone(),
+            keys: PlanKeys {
+                shape_signature: seed(&self.keys.shape_signature),
+                literal_key: seed(&self.keys.literal_key),
+                shape_hash: match self.keys.shape_hash.get() {
+                    Some(&v) => std::sync::OnceLock::from(v),
+                    None => std::sync::OnceLock::new(),
+                },
+            },
+        }
+    }
 }
 
 impl Plan {
@@ -215,7 +260,12 @@ impl Plan {
             })
             .collect();
 
-        Self { nodes, root, meta }
+        Self {
+            nodes,
+            root,
+            meta,
+            keys: PlanKeys::default(),
+        }
     }
 
     fn derive(
@@ -357,7 +407,26 @@ impl Plan {
     /// The encoding is injective over everything that feeds
     /// `NodeCostContext::build` — signature equality (not merely hash
     /// equality) is safe to treat as shape equality for one catalog.
-    pub fn shape_signature(&self) -> String {
+    ///
+    /// Interned: computed once per plan (the builder finalizes the plan, so
+    /// the signature can never change) and returned as a borrowed `&str`,
+    /// so the warm serving path stops re-deriving and re-formatting it per
+    /// request. Debug builds re-derive and compare on every access as the
+    /// mutation tripwire.
+    pub fn shape_signature(&self) -> &str {
+        let sig = self
+            .keys
+            .shape_signature
+            .get_or_init(|| self.compute_shape_signature());
+        debug_assert_eq!(
+            *sig,
+            self.compute_shape_signature(),
+            "interned shape_signature is stale — Plan mutated after build"
+        );
+        sig
+    }
+
+    fn compute_shape_signature(&self) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(self.nodes.len() * 24);
         let _ = write!(out, "r{};", self.root);
@@ -448,7 +517,23 @@ impl Plan {
     /// selectivity-estimate cache is built on. Operators without literals
     /// (joins, sorts, aggregates) contribute only their node separator, so
     /// the key stays aligned with the shape.
-    pub fn literal_key(&self) -> String {
+    ///
+    /// Interned exactly like [`Plan::shape_signature`], with the same
+    /// debug-build staleness assertion.
+    pub fn literal_key(&self) -> &str {
+        let key = self
+            .keys
+            .literal_key
+            .get_or_init(|| self.compute_literal_key());
+        debug_assert_eq!(
+            *key,
+            self.compute_literal_key(),
+            "interned literal_key is stale — Plan mutated after build"
+        );
+        key
+    }
+
+    fn compute_literal_key(&self) -> String {
         let mut out = String::with_capacity(self.nodes.len() * 8);
         for op in &self.nodes {
             match op {
@@ -469,15 +554,18 @@ impl Plan {
     /// FNV-1a hash of [`Plan::shape_signature`] — a compact shape id for
     /// logs, reports, and property tests. Cache lookups key on the full
     /// signature, not this hash, so hash collisions cannot alias entries.
+    /// Interned alongside the signature it digests.
     pub fn shape_hash(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = FNV_OFFSET;
-        for b in self.shape_signature().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(FNV_PRIME);
-        }
-        h
+        *self.keys.shape_hash.get_or_init(|| {
+            const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+            const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+            let mut h = FNV_OFFSET;
+            for b in self.shape_signature().bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+            h
+        })
     }
 
     /// Multi-line indented plan rendering (EXPLAIN-style).
@@ -775,7 +863,7 @@ mod tests {
         // IN-list length changes op_count and therefore the shape.
         let mut b = PlanBuilder::new();
         let t = b.seq_scan("t", Pred::in_list("b", vec![Value::Int(1)]));
-        let one = b.build(t).shape_signature();
+        let one = b.build(t).shape_signature().to_string();
         let mut b = PlanBuilder::new();
         let t = b.seq_scan("t", Pred::in_list("b", vec![Value::Int(1), Value::Int(2)]));
         assert_ne!(one, b.build(t).shape_signature());
@@ -785,7 +873,7 @@ mod tests {
         let t = b.seq_scan("t", Pred::True);
         let u = b.seq_scan("u", Pred::True);
         let hj = b.hash_join(t, u, "a", "x");
-        let hash = b.build(hj).shape_signature();
+        let hash = b.build(hj).shape_signature().to_string();
         let mut b = PlanBuilder::new();
         let t = b.seq_scan("t", Pred::True);
         let u = b.seq_scan("u", Pred::True);
@@ -801,7 +889,7 @@ mod tests {
                 "t",
                 Pred::and(vec![Pred::in_list("b", v), Pred::between("a", lo, hi)]),
             );
-            b.build(t).shape_signature()
+            b.build(t).shape_signature().to_string()
         };
         let sig = build(
             vec![Value::Int(3), Value::Int(7)],
@@ -841,7 +929,7 @@ mod tests {
         let key = |p: Pred| {
             let mut b = PlanBuilder::new();
             let t = b.seq_scan("t", p);
-            b.build(t).literal_key()
+            b.build(t).literal_key().to_string()
         };
         // -0.0 vs 0.0: distinct bit patterns, distinct sample-pass results
         // under Value's bit-equality semantics.

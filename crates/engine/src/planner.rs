@@ -292,6 +292,6 @@ mod tests {
         let plan = plan_query(&spec, &c);
         let out = crate::exec::execute_full(&plan, &c);
         // big.b ∈ 0..100, tiny.k ∈ 0..10 → 10% of big matches once.
-        assert_eq!(out.rows[0][0], Value::Int(1000));
+        assert_eq!(out.rows()[0][0], Value::Int(1000));
     }
 }

@@ -28,8 +28,8 @@ fn assert_outcomes_equal(cols: &ExecOutcome, rows: &ExecOutcome, label: &str) {
         assert_eq!(a.name, b.name, "{label}: column name");
         assert_eq!(a.ty, b.ty, "{label}: column type");
     }
-    assert_eq!(cols.rows.len(), rows.rows.len(), "{label}: row count");
-    for (i, (a, b)) in cols.rows.iter().zip(&rows.rows).enumerate() {
+    assert_eq!(cols.num_rows(), rows.num_rows(), "{label}: row count");
+    for (i, (a, b)) in cols.rows().iter().zip(rows.rows()).enumerate() {
         assert_eq!(a, b, "{label}: row {i}");
     }
     assert_eq!(cols.traces.len(), rows.traces.len(), "{label}: trace count");

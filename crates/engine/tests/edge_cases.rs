@@ -35,7 +35,7 @@ fn empty_table_scans_and_joins() {
     let j = b.hash_join(l, r, "a", "x");
     let plan = b.build(j);
     let out = execute_full(&plan, &c);
-    assert!(out.rows.is_empty());
+    assert!(out.is_empty());
     assert_eq!(out.traces[j].left_input_rows, 0);
     assert_eq!(out.traces[j].right_input_rows, 10);
 }
@@ -60,7 +60,7 @@ fn join_with_no_matches() {
     let r = b.seq_scan("u", Pred::True);
     let j = b.hash_join(l, r, "a", "x");
     let plan = b.build(j);
-    assert!(execute_full(&plan, &c).rows.is_empty());
+    assert!(execute_full(&plan, &c).is_empty());
 }
 
 #[test]
@@ -70,13 +70,13 @@ fn sort_of_empty_and_single_row() {
     let s = b.seq_scan("t", Pred::True);
     let srt = b.sort(s, vec![("b".into(), SortOrder::Desc)]);
     let plan = b.build(srt);
-    assert_eq!(execute_full(&plan, &c).rows.len(), 1);
+    assert_eq!(execute_full(&plan, &c).num_rows(), 1);
 
     let mut b = PlanBuilder::new();
     let s = b.seq_scan("t", Pred::eq("b", Value::Int(-1)));
     let srt = b.sort(s, vec![("b".into(), SortOrder::Asc)]);
     let plan = b.build(srt);
-    assert!(execute_full(&plan, &c).rows.is_empty());
+    assert!(execute_full(&plan, &c).is_empty());
 }
 
 #[test]
@@ -95,15 +95,15 @@ fn aggregate_above_aggregate_uses_optimizer_path() {
     let a2 = b.aggregate(f, vec![], vec![("groups".into(), AggFunc::CountStar)]);
     let plan = b.build(a2);
     let out = execute_full(&plan, &c);
-    assert_eq!(out.rows.len(), 1);
+    assert_eq!(out.num_rows(), 1);
     // 5 groups of 20 rows each, all > 10.
-    assert_eq!(out.rows[0][0], Value::Int(5));
+    assert_eq!(out.rows()[0][0], Value::Int(5));
 
     // The same plan must run over samples without provenance panics.
     let mut rng = Rng::new(3);
     let samples = c.draw_samples(0.5, 1, &mut rng);
     let sout = execute_on_samples(&plan, &samples);
-    assert_eq!(sout.rows.len(), 1);
+    assert_eq!(sout.num_rows(), 1);
 }
 
 #[test]
@@ -115,7 +115,7 @@ fn nested_loop_join_with_empty_inner() {
     let m = b.materialize(r);
     let j = b.nl_join(l, m, "a", "x");
     let plan = b.build(j);
-    assert!(execute_full(&plan, &c).rows.is_empty());
+    assert!(execute_full(&plan, &c).is_empty());
 }
 
 #[test]
@@ -142,8 +142,8 @@ fn min_max_aggregates_on_strings() {
     );
     let plan = b.build(a);
     let out = execute_full(&plan, &c);
-    assert_eq!(out.rows[0][0], Value::str("alpha"));
-    assert_eq!(out.rows[0][1], Value::str("delta"));
+    assert_eq!(out.rows()[0][0], Value::str("alpha"));
+    assert_eq!(out.rows()[0][1], Value::str("delta"));
 }
 
 #[test]
@@ -162,9 +162,9 @@ fn deep_filter_stack_keeps_provenance() {
         .prov
         .as_ref()
         .expect("provenance survives filters");
-    assert_eq!(prov.rows(), out.rows.len());
+    assert_eq!(prov.rows(), out.num_rows());
     // The surviving rows really satisfy the stacked predicate.
-    for row in &out.rows {
+    for row in out.rows() {
         assert!(row[1].as_int() >= 40);
     }
 }
@@ -182,5 +182,5 @@ fn duplicate_key_join_produces_cross_products_per_key() {
     let r = b.seq_scan("u", Pred::True);
     let j = b.hash_join(l, r, "a", "x");
     let plan = b.build(j);
-    assert_eq!(execute_full(&plan, &c).rows.len(), 9);
+    assert_eq!(execute_full(&plan, &c).num_rows(), 9);
 }

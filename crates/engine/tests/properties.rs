@@ -61,7 +61,7 @@ proptest! {
         };
         let h = execute_full(&hash, &c);
         let n = execute_full(&nl, &c);
-        prop_assert_eq!(sorted_rows(&h.rows), sorted_rows(&n.rows));
+        prop_assert_eq!(sorted_rows(h.rows()), sorted_rows(n.rows()));
     }
 
     #[test]
@@ -81,8 +81,8 @@ proptest! {
             b.build(s)
         };
         prop_assert_eq!(
-            sorted_rows(&execute_full(&split, &c).rows),
-            sorted_rows(&execute_full(&fused, &c).rows)
+            sorted_rows(execute_full(&split, &c).rows()),
+            sorted_rows(execute_full(&fused, &c).rows())
         );
     }
 
@@ -102,8 +102,8 @@ proptest! {
         };
         let sorted = execute_full(&plan, &c);
         let unsorted = execute_full(&base, &c);
-        prop_assert_eq!(sorted_rows(&sorted.rows), sorted_rows(&unsorted.rows));
-        for w in sorted.rows.windows(2) {
+        prop_assert_eq!(sorted_rows(sorted.rows()), sorted_rows(unsorted.rows()));
+        for w in sorted.rows().windows(2) {
             let (b0, b1) = (w[0][1].as_int(), w[1][1].as_int());
             prop_assert!(b0 <= b1);
             if b0 == b1 {
@@ -122,13 +122,13 @@ proptest! {
             b.build(a)
         };
         let out = execute_full(&plan, &c);
-        let total: i64 = out.rows.iter().map(|r| r[1].as_int()).sum();
+        let total: i64 = out.rows().iter().map(|r| r[1].as_int()).sum();
         prop_assert_eq!(total as usize, t.len());
         // One row per distinct group key.
         let mut keys: Vec<i64> = t.iter().map(|&(a, _)| a).collect();
         keys.sort_unstable();
         keys.dedup();
-        prop_assert_eq!(out.rows.len(), keys.len());
+        prop_assert_eq!(out.num_rows(), keys.len());
     }
 
     #[test]
@@ -139,7 +139,7 @@ proptest! {
             let s = b.seq_scan("t", Pred::col_cmp("a", CmpOp::Lt, "b"));
             b.build(s)
         };
-        let got = execute_full(&plan, &c).rows.len();
+        let got = execute_full(&plan, &c).num_rows();
         let expected = t.iter().filter(|&&(a, b)| a < b).count();
         prop_assert_eq!(got, expected);
     }
@@ -158,7 +158,7 @@ proptest! {
         // Join inputs must equal child outputs; root output equals rows.
         prop_assert_eq!(out.traces[2].left_input_rows, out.traces[0].output_rows);
         prop_assert_eq!(out.traces[2].right_input_rows, out.traces[1].output_rows);
-        prop_assert_eq!(out.traces[2].output_rows, out.rows.len());
+        prop_assert_eq!(out.traces[2].output_rows, out.num_rows());
         // Scan inputs are the base tables.
         prop_assert_eq!(out.traces[0].left_input_rows, t.len());
         prop_assert_eq!(out.traces[1].left_input_rows, u.len());

@@ -36,7 +36,7 @@ impl FrequencyProfile {
     /// column directly — materializing the sample's row mirror just to
     /// count one column would undo the columnar draw fast path.
     pub fn from_sample_column(sample: &SampleTable, column_idx: usize) -> Self {
-        let counts: Vec<usize> = match &sample.table().columns()[column_idx] {
+        let counts: Vec<usize> = match sample.table().columns()[column_idx].as_ref() {
             ColumnData::Int(v) => {
                 let mut m: HashMap<i64, usize> = HashMap::new();
                 for &x in v {

@@ -62,6 +62,8 @@ impl TableStats {
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
     stats: BTreeMap<String, TableStats>,
+    /// Memoized [`Catalog::fingerprint`]; invalidated by [`Catalog::add_table`].
+    fingerprint: std::sync::OnceLock<u64>,
 }
 
 impl Catalog {
@@ -69,11 +71,14 @@ impl Catalog {
         Self::default()
     }
 
-    /// Adds (or replaces) a table, rebuilding its statistics.
+    /// Adds (or replaces) a table, rebuilding its statistics and dropping
+    /// the memoized fingerprint (the only mutation a catalog supports, so
+    /// resetting here keeps the cached digest trustworthy).
     pub fn add_table(&mut self, table: Table) {
         let stats = TableStats::build(&table);
         self.stats.insert(table.name().to_string(), stats);
         self.tables.insert(table.name().to_string(), table);
+        self.fingerprint = std::sync::OnceLock::new();
     }
 
     pub fn table(&self, name: &str) -> &Table {
@@ -115,18 +120,23 @@ impl Catalog {
     /// yield identical `NodeCostContext`s for any plan, so cache layers
     /// keying on plan shape mix this in to stay safe when one process
     /// serves several databases.
+    /// Memoized after the first call; [`Catalog::add_table`] (the only
+    /// mutating operation) resets the memo, so a stale digest can never be
+    /// served.
     pub fn fingerprint(&self) -> u64 {
-        let mut h = Fnv1a::new();
-        for (name, table) in &self.tables {
-            h.eat(name.as_bytes());
-            h.eat(&(table.len() as u64).to_le_bytes());
-            h.eat(&(table.pages() as u64).to_le_bytes());
-            let stats = &self.stats[name];
-            for col in table.schema().columns() {
-                h.eat(&(stats.distinct(&col.name) as u64).to_le_bytes());
+        *self.fingerprint.get_or_init(|| {
+            let mut h = Fnv1a::new();
+            for (name, table) in &self.tables {
+                h.eat(name.as_bytes());
+                h.eat(&(table.len() as u64).to_le_bytes());
+                h.eat(&(table.pages() as u64).to_le_bytes());
+                let stats = &self.stats[name];
+                for col in table.schema().columns() {
+                    h.eat(&(stats.distinct(&col.name) as u64).to_le_bytes());
+                }
             }
-        }
-        h.finish()
+            h.finish()
+        })
     }
 
     /// Draws `copies` independent sample tables per relation at the given
@@ -193,7 +203,7 @@ fn fingerprint_samples(samples: &BTreeMap<String, Vec<SampleTable>>) -> u64 {
         for sample in copies {
             h.eat(&(sample.len() as u64).to_le_bytes());
             for col in sample.table().columns() {
-                match col {
+                match col.as_ref() {
                     ColumnData::Int(v) => {
                         h.eat(&[0u8]);
                         for x in v {
@@ -355,7 +365,7 @@ mod tests {
         let schema = Schema::new(vec![Column::int("id")]);
         bigger.add_table(Table::new(
             "extra",
-            schema.clone(),
+            schema,
             (0..10).map(|i| vec![Value::Int(i)]).collect(),
         ));
         assert_ne!(base.fingerprint(), bigger.fingerprint());

@@ -2,12 +2,23 @@
 //!
 //! The engine's data plane executes over [`ColumnData`] batches instead of
 //! `Vec<Row>`: a selection is an index vector into typed columns, a join
-//! gathers row indices, and only the final result is materialized back into
-//! rows. The three variants mirror the 3-type [`Value`] model — 64-bit
-//! integers, 64-bit floats, and interned strings.
+//! gathers row indices, and rows are only materialized on explicit request
+//! at the edge. The three variants mirror the 3-type [`Value`] model —
+//! 64-bit integers, 64-bit floats, and interned strings.
+//!
+//! Column payloads travel as [`ColumnRef`] — an `Arc`-shared handle that is
+//! O(1) to clone, so an operator that passes a column through unchanged (an
+//! unfiltered scan, a keep-everything filter, a materialize) *shares* the
+//! payload with its input instead of deep-copying it. Code that needs to
+//! mutate a possibly-shared column goes through [`ColumnRef::make_mut`],
+//! the copy-on-write escape hatch: it clones the payload only when someone
+//! else still holds it. (The engine's operators currently never mutate in
+//! place — they build fresh columns — so `make_mut` is exercised by the
+//! CoW proptests and reserved for in-place builders.)
 
 use crate::schema::{ColumnType, Schema};
 use crate::value::{Row, Value};
+use std::ops::Deref;
 use std::sync::Arc;
 
 /// One column of values, stored contiguously by type.
@@ -117,6 +128,74 @@ impl AsRef<ColumnData> for ColumnData {
     }
 }
 
+/// A reference-counted column handle: the unit of the zero-copy data plane.
+///
+/// Cloning a `ColumnRef` bumps a refcount; the typed payload is shared.
+/// Every read path (`Deref` to [`ColumnData`]) is free of indirection cost
+/// beyond the `Arc`, and [`ColumnRef::make_mut`] gives copy-on-write
+/// mutation for the rare paths that build a column in place: semantically
+/// identical to eagerly cloning the payload first (a property the storage
+/// proptests pin down), but paying for the copy only when the column is
+/// actually shared.
+#[derive(Debug, Clone)]
+pub struct ColumnRef {
+    data: Arc<ColumnData>,
+}
+
+impl ColumnRef {
+    /// Wraps freshly built column data (refcount 1 — not yet shared).
+    pub fn new(data: ColumnData) -> Self {
+        Self {
+            data: Arc::new(data),
+        }
+    }
+
+    /// Copy-on-write access: clones the payload iff another handle shares
+    /// it, so mutating through the returned reference can never be observed
+    /// by other holders.
+    pub fn make_mut(&mut self) -> &mut ColumnData {
+        Arc::make_mut(&mut self.data)
+    }
+
+    /// True if both handles share one allocation — what a pass-through
+    /// operator guarantees (stronger than payload equality).
+    pub fn ptr_eq(&self, other: &ColumnRef) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Number of handles sharing the payload (tests use this to prove that
+    /// sharing actually happens, not just compiles).
+    pub fn strong_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+
+    /// New handle containing `self[idx[0]], self[idx[1]], …` (always a
+    /// fresh, unshared payload).
+    pub fn gather(&self, idx: &[u32]) -> ColumnRef {
+        ColumnRef::new(self.data.gather(idx))
+    }
+}
+
+impl Deref for ColumnRef {
+    type Target = ColumnData;
+
+    fn deref(&self) -> &ColumnData {
+        &self.data
+    }
+}
+
+impl AsRef<ColumnData> for ColumnRef {
+    fn as_ref(&self) -> &ColumnData {
+        &self.data
+    }
+}
+
+impl From<ColumnData> for ColumnRef {
+    fn from(data: ColumnData) -> Self {
+        ColumnRef::new(data)
+    }
+}
+
 /// Builds column vectors from schema-conformant rows.
 pub fn columns_from_rows(schema: &Schema, rows: &[Row]) -> Vec<ColumnData> {
     let mut cols: Vec<ColumnData> = schema
@@ -133,10 +212,12 @@ pub fn columns_from_rows(schema: &Schema, rows: &[Row]) -> Vec<ColumnData> {
     cols
 }
 
-/// Materializes rows `0..len` from a set of equal-length columns.
-pub fn rows_from_columns(cols: &[ColumnData], len: usize) -> Vec<Row> {
+/// Materializes rows `0..len` from a set of equal-length columns, reading
+/// through any column handle (`ColumnData` or [`ColumnRef`]) without copying
+/// the columns themselves.
+pub fn rows_from_columns<C: AsRef<ColumnData>>(cols: &[C], len: usize) -> Vec<Row> {
     (0..len)
-        .map(|i| cols.iter().map(|c| c.value(i)).collect())
+        .map(|i| cols.iter().map(|c| c.as_ref().value(i)).collect())
         .collect()
 }
 

@@ -44,7 +44,7 @@ impl SampleTable {
         // mirror of the resulting table stays unmaterialized unless a row
         // consumer asks for it.
         let idx: Vec<u32> = (0..n).map(|_| rng.usize_below(base.len()) as u32).collect();
-        let columns = base.columns().iter().map(|c| c.gather(&idx)).collect();
+        let columns: Vec<_> = base.columns().iter().map(|c| c.gather(&idx)).collect();
         let table = Table::from_columns(
             format!("{}#s{}", base.name(), copy),
             base.schema().clone(),

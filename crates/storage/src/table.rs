@@ -4,7 +4,7 @@
 //! many disk pages it would occupy (`tuples_per_page` is a storage
 //! parameter, default 64 — a stand-in for 8 KB pages of ~128-byte tuples).
 
-use crate::column::{columns_from_rows, rows_from_columns, ColumnData};
+use crate::column::{columns_from_rows, rows_from_columns, ColumnRef};
 use crate::schema::Schema;
 use crate::value::Row;
 use std::sync::OnceLock;
@@ -17,8 +17,10 @@ pub const DEFAULT_TUPLES_PER_PAGE: usize = 64;
 pub struct Table {
     name: String,
     schema: Schema,
-    /// Column-major data — what the executor's data plane reads.
-    columns: Vec<ColumnData>,
+    /// Column-major data — what the executor's data plane reads. Each
+    /// column is an `Arc`-shared [`ColumnRef`], so scans and pass-through
+    /// operators share the table's payloads instead of copying them.
+    columns: Vec<ColumnRef>,
     /// Cardinality `|R|` (columns may be consulted lazily).
     len: usize,
     /// Row-major mirror, materialized on first `rows()` call. Tables built
@@ -46,7 +48,10 @@ impl Table {
             rows.iter().all(|r| schema.validates(r)),
             "row does not match schema of table {name}"
         );
-        let columns = columns_from_rows(&schema, &rows);
+        let columns = columns_from_rows(&schema, &rows)
+            .into_iter()
+            .map(ColumnRef::new)
+            .collect();
         Self {
             name,
             schema,
@@ -57,17 +62,17 @@ impl Table {
         }
     }
 
-    /// Builds a table directly from column vectors; the row mirror stays
+    /// Builds a table directly from column handles; the row mirror stays
     /// unmaterialized until someone calls [`Self::rows`]. Used by the
     /// sample-drawing fast path.
     pub fn from_columns(
         name: impl Into<String>,
         schema: Schema,
-        columns: Vec<ColumnData>,
+        columns: Vec<ColumnRef>,
         tuples_per_page: usize,
     ) -> Self {
         assert!(tuples_per_page > 0);
-        let len = columns.first().map_or(0, ColumnData::len);
+        let len = columns.first().map_or(0, |c| c.len());
         debug_assert!(columns.iter().all(|c| c.len() == len));
         debug_assert_eq!(columns.len(), schema.len());
         Self {
@@ -88,14 +93,17 @@ impl Table {
         &self.schema
     }
 
-    /// Row-major view (materialized lazily on first call).
+    /// Row-major view (materialized lazily on first call). Built by reading
+    /// through the shared column handles — the columns themselves are never
+    /// copied, whether or not other holders share them.
     pub fn rows(&self) -> &[Row] {
         self.rows
             .get_or_init(|| rows_from_columns(&self.columns, self.len))
     }
 
-    /// Column-major view of the table (one typed vector per column).
-    pub fn columns(&self) -> &[ColumnData] {
+    /// Column-major view of the table: one `Arc`-shared handle per column,
+    /// O(1) to clone into an execution batch.
+    pub fn columns(&self) -> &[ColumnRef] {
         &self.columns
     }
 

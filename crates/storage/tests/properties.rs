@@ -3,7 +3,8 @@
 use proptest::prelude::*;
 use uaq_stats::Rng;
 use uaq_storage::{
-    sample_size_for_ratio, Catalog, Column, Histogram, SampleTable, Schema, Table, Value,
+    sample_size_for_ratio, Catalog, Column, ColumnData, ColumnRef, Histogram, SampleTable, Schema,
+    Table, Value,
 };
 
 fn table_of(values: &[i64]) -> Table {
@@ -114,4 +115,70 @@ proptest! {
         prop_assert_eq!(h.min(), *values.iter().min().expect("non-empty") as f64);
         prop_assert_eq!(h.max(), *values.iter().max().expect("non-empty") as f64);
     }
+
+    // ---- ColumnRef copy-on-write ----
+
+    // Copy-on-write must be *semantically invisible*: a random interleaving
+    // of share (handle clone) and mutate (push through `make_mut`) steps
+    // applied to `ColumnRef` handles produces exactly the column contents
+    // that eagerly-cloned `ColumnData` models produce, and a mutation
+    // through one handle is never observable through any other.
+    #[test]
+    fn column_ref_cow_equals_eager_cloning(
+        initial in prop::collection::vec(-100i64..100, 0..40),
+        ops in prop::collection::vec((0i64..2, 0usize..8, -100i64..100), 1..60),
+    ) {
+        let data = ColumnData::Int(initial.clone());
+        let mut handles: Vec<ColumnRef> = vec![ColumnRef::new(data.clone())];
+        let mut models: Vec<ColumnData> = vec![data];
+        for &(kind, target, value) in &ops {
+            let i = target % handles.len();
+            match kind {
+                // Share: clone the handle (O(1), same payload) — the model
+                // clones its data eagerly, the semantics CoW must match.
+                0 => {
+                    handles.push(handles[i].clone());
+                    models.push(models[i].clone());
+                }
+                // Mutate: push through the CoW escape hatch — the model
+                // mutates its own eager copy.
+                _ => {
+                    handles[i].make_mut().push(&Value::Int(value));
+                    models[i].push(&Value::Int(value));
+                }
+            }
+            // Every handle tracks its model after every step: mutations
+            // never leak into (or from) sharing handles.
+            for (h, m) in handles.iter().zip(&models) {
+                prop_assert_eq!(h.as_ref(), m);
+            }
+        }
+    }
+}
+
+/// The sharing side of CoW, deterministically: handles stay on one
+/// allocation until the first mutation, and only the mutated handle
+/// detaches.
+#[test]
+fn column_ref_detaches_exactly_on_mutation() {
+    let a = ColumnRef::new(ColumnData::Int(vec![1, 2, 3]));
+    let mut b = a.clone();
+    let c = a.clone();
+    assert!(a.ptr_eq(&b) && a.ptr_eq(&c));
+    assert_eq!(a.strong_count(), 3);
+
+    b.make_mut().push(&Value::Int(4));
+    assert!(!a.ptr_eq(&b), "mutated handle must have detached");
+    assert!(a.ptr_eq(&c), "bystander handles keep sharing");
+    assert_eq!(a.strong_count(), 2);
+    assert_eq!(b.strong_count(), 1);
+    assert_eq!(a.len(), 3);
+    assert_eq!(b.len(), 4);
+
+    // An unshared handle mutates in place — no allocation churn.
+    let mut lone = ColumnRef::new(ColumnData::Int(vec![9]));
+    let before = format!("{:p}", lone.as_ref() as *const ColumnData);
+    lone.make_mut().push(&Value::Int(10));
+    let after = format!("{:p}", lone.as_ref() as *const ColumnData);
+    assert_eq!(before, after, "sole owner must not copy");
 }

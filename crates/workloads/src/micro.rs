@@ -175,7 +175,7 @@ mod tests {
             .iter()
             .map(|q| {
                 let plan = plan_query(q, &c);
-                execute_full(&plan, &c).rows.len()
+                execute_full(&plan, &c).num_rows()
             })
             .collect();
         let min = sizes.iter().min().copied().expect("non-empty");
@@ -189,7 +189,7 @@ mod tests {
         for q in micro_queries(&c) {
             let plan = plan_query(&q, &c);
             let out = execute_full(&plan, &c);
-            let _ = out.rows.len();
+            let _ = out.num_rows();
         }
     }
 

@@ -229,7 +229,7 @@ mod tests {
         for q in seljoin_queries(2, &mut rng) {
             let plan = plan_query(&q, &c);
             let out = execute_full(&plan, &c);
-            let _ = out.rows.len();
+            let _ = out.num_rows();
         }
     }
 
@@ -242,7 +242,7 @@ mod tests {
             .iter()
             .filter(|q| {
                 let plan = plan_query(q, &c);
-                !execute_full(&plan, &c).rows.is_empty()
+                !execute_full(&plan, &c).is_empty()
             })
             .count();
         assert!(

@@ -468,7 +468,7 @@ mod tests {
         for q in tpch_queries(1, &mut rng) {
             let plan = plan_query(&q, &c);
             let out = execute_full(&plan, &c);
-            let _ = out.rows.len();
+            let _ = out.num_rows();
         }
     }
 
@@ -480,9 +480,9 @@ mod tests {
         let out = execute_full(&plan, &c);
         // At most |returnflag| × |linestatus| = 6 groups.
         assert!(
-            (1..=6).contains(&out.rows.len()),
+            (1..=6).contains(&out.num_rows()),
             "{} groups",
-            out.rows.len()
+            out.num_rows()
         );
         assert_eq!(out.schema.len(), 7);
     }
@@ -493,7 +493,7 @@ mod tests {
         let mut rng = Rng::new(5);
         let plan = plan_query(&q6(&mut rng), &c);
         let out = execute_full(&plan, &c);
-        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.num_rows(), 1);
     }
 
     #[test]
@@ -517,7 +517,7 @@ mod tests {
         let plan = plan_query(&q9(&mut rng), &c);
         let out = execute_full(&plan, &c);
         // Groups bounded by nation count.
-        assert!(out.rows.len() <= 25);
+        assert!(out.num_rows() <= 25);
     }
 
     #[test]

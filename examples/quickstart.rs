@@ -106,5 +106,5 @@ fn main() {
         err,
         err / prediction.std_dev_ms()
     );
-    println!("query returned {} rows", outcome.rows.len());
+    println!("query returned {} rows", outcome.num_rows());
 }

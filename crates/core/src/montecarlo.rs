@@ -71,8 +71,13 @@ impl EmpiricalPrediction {
 
     /// Empirical quantile (linear interpolation between the pre-sorted
     /// order statistics).
+    ///
+    /// Unlike [`Normal::quantile`], `p` spans the **closed** interval
+    /// `[0, 1]`: the order statistics have finite extremes, so `p = 0`
+    /// yields the smallest observed estimate and `p = 1` the largest.
+    /// Out-of-range `p` panics.
     pub fn quantile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p));
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
         let xs = &self.sorted_ms;
         let pos = p * (xs.len() - 1) as f64;
         let lo = pos.floor() as usize;
@@ -250,5 +255,21 @@ mod tests {
         let q75 = mc.quantile(0.75);
         assert!(q25 <= q50 && q50 <= q75);
         assert!(mc.fitted_normal().var() >= 0.0);
+    }
+
+    #[test]
+    fn quantile_boundaries_are_the_observed_extremes() {
+        // The empirical quantile has a closed domain: its order statistics
+        // have finite extremes, unlike the normal's inverse CDF.
+        let mc = EmpiricalPrediction::new(vec![5.0, 1.0, 3.0, 9.0, 7.0]);
+        assert_eq!(mc.quantile(0.0), 1.0);
+        assert_eq!(mc.quantile(1.0), 9.0);
+        assert_eq!(mc.quantile(0.5), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1]")]
+    fn quantile_rejects_out_of_range_p() {
+        EmpiricalPrediction::new(vec![1.0, 2.0]).quantile(1.5);
     }
 }

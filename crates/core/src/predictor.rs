@@ -100,6 +100,11 @@ impl Prediction {
 
     /// Central interval containing probability `p`: the "with probability
     /// 70%, the running time should be between 10s and 20s" statement of §1.
+    ///
+    /// `p` must lie in `[0, 1)`: `p = 0` collapses to the point interval
+    /// at the mean, and **`p ≥ 1` panics** — the predicted distribution is
+    /// a normal, whose 100% interval is unbounded (see
+    /// [`uaq_stats::Normal::confidence_interval`]).
     pub fn confidence_interval_ms(&self, p: f64) -> (f64, f64) {
         self.distribution.confidence_interval(p)
     }

@@ -11,9 +11,14 @@ pub mod deadline;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod sim;
 
 pub use config::{
     default_instances, CellConfig, Machine, ABLATION_SAMPLING_RATIOS, MAIN_SAMPLING_RATIOS,
 };
-pub use deadline::{run_deadline_scenario, DeadlineConfig, DeadlineReport, PolicyOutcome};
+pub use deadline::{
+    render_utilization_sweep, run_deadline_scenario, run_utilization_sweep, ArrivalProcess,
+    DeadlineConfig, DeadlineReport, PolicyOutcome,
+};
 pub use runner::{CellOutcome, Lab, QueryRecord, SelRecord};
+pub use sim::{simulate, Consult, JobFate, RetryConfig, SimJob, SimResult};

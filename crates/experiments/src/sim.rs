@@ -1,0 +1,595 @@
+//! A small discrete-event scheduler for the deadline-admission scenario.
+//!
+//! PR 4's scenario replayed arrivals through an inline single-server
+//! accumulator in which `Defer` was a *terminal* verdict: the query was
+//! silently dropped, which misstates the very trade-off the defer band
+//! exists to make (latency for throughput). This module replaces it with
+//! an event-driven simulation:
+//!
+//! * an event heap of **arrivals** and **completions** over `servers ≥ 1`
+//!   FIFO servers;
+//! * admitted jobs queue FIFO and run to completion (`actual_ms`);
+//! * a `Defer` verdict **parks the job in a retry queue**. Whenever a
+//!   server frees up (a completion event), the freed slot is offered to
+//!   the retry queue first: each parked job is re-decided with its
+//!   *recomputed* remaining budget `slack − elapsed wait`. A retried job
+//!   that admits starts immediately on the freed server — it never
+//!   re-joins the back of the queue, which is exactly why deferring can
+//!   pay: the backlog a job saw at arrival (and was quoted in its budget)
+//!   may drain before its slack does.
+//! * re-decisions are bounded: after `max_retries` consecutive `Defer`
+//!   outcomes the job is finally rejected, and jobs still parked when the
+//!   stream drains are rejected too — **no job leaves the system without
+//!   a verdict** (unless retries are disabled, which reproduces the old
+//!   terminal-defer semantics as `JobFate::Dropped`).
+//!
+//! The simulation is deterministic: events are ordered by
+//! (`f64::total_cmp` on time, then creation sequence), all state updates
+//! are sequential, and the decision function is called in a fixed order —
+//! two runs over equal inputs produce bit-identical outcomes.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, VecDeque};
+use uaq_service::Decision;
+
+/// One job offered to the scheduler. Jobs must be sorted by `arrive_ms`.
+#[derive(Debug, Clone, Copy)]
+pub struct SimJob {
+    pub arrive_ms: f64,
+    /// Deadline slack: the job's deadline is `arrive_ms + slack_ms`.
+    pub slack_ms: f64,
+    /// Service duration if the job runs.
+    pub actual_ms: f64,
+}
+
+/// Retry behaviour for deferred jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Maximum number of `Defer` re-decisions before final rejection.
+    /// `0` makes `Defer` terminal: the job is dropped without a verdict
+    /// (the pre-retry behaviour, kept for A/B comparison).
+    pub max_retries: usize,
+}
+
+impl RetryConfig {
+    /// `Defer` is terminal (the job is dropped) — the old semantics.
+    pub fn terminal() -> Self {
+        Self { max_retries: 0 }
+    }
+
+    /// Deferred jobs are re-decided up to `max_retries` times.
+    pub fn bounded(max_retries: usize) -> Self {
+        Self { max_retries }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self::bounded(3)
+    }
+}
+
+/// What finally happened to one job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum JobFate {
+    /// The job ran. `converted` marks a defer→admit conversion via the
+    /// retry queue; `sojourn_ms` is finish − arrival (wait + service).
+    Admitted {
+        converted: bool,
+        wait_ms: f64,
+        sojourn_ms: f64,
+        violated: bool,
+    },
+    /// The job was turned away. `converted` marks a defer→reject outcome
+    /// (re-decided to reject, retries exhausted, or parked at drain).
+    Rejected { converted: bool },
+    /// Terminal defer with retries disabled: dropped without a verdict.
+    Dropped,
+}
+
+/// Per-job fates of one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    pub fates: Vec<JobFate>,
+}
+
+/// Why the scheduler is consulting the decision function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Consult {
+    /// Arrival-time decision: the budget already has the projected FIFO
+    /// queueing wait subtracted (admitted work joins the back of the
+    /// queue). A queue-aware policy can distinguish "the queue is the
+    /// problem" (defer) from "the query is the problem" (reject) — the
+    /// carried wait lets it reconstruct the unqueued slack.
+    Arrival { wait_ms: f64 },
+    /// Retry re-decision at a freed server: the job starts *immediately*
+    /// if admitted, so the budget is simply `slack − elapsed` — no queue
+    /// term. This is what lets a parked job's budget exceed its
+    /// arrival-time quote once the backlog drains.
+    Retry,
+}
+
+impl Consult {
+    /// The projected queueing wait behind an arrival consultation (0 for
+    /// retries: the job starts immediately if admitted).
+    pub fn wait_ms(&self) -> f64 {
+        match self {
+            Consult::Arrival { wait_ms } => *wait_ms,
+            Consult::Retry => 0.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    Arrival(usize),
+    Completion { job: usize, server: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    at_ms: f64,
+    /// Creation sequence: breaks time ties deterministically.
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.at_ms
+            .total_cmp(&other.at_ms)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// The FIFO wait a job admitted at `now` would see: project the current
+/// commitments (running jobs, then the ready queue assigned greedily to the
+/// earliest-free server) forward. This is the "known queueing delay" the
+/// admission decision subtracts from the slack; retry conversions that jump
+/// the queue later can stretch the realized wait beyond it — that is the
+/// latency side of the latency/throughput trade the retry queue makes.
+fn projected_wait(
+    now: f64,
+    running: &[Option<(usize, f64)>],
+    ready: &VecDeque<usize>,
+    jobs: &[SimJob],
+) -> f64 {
+    let mut avail: Vec<f64> = running
+        .iter()
+        .map(|r| r.map_or(now, |(_, finish)| finish))
+        .collect();
+    for &j in ready {
+        let s = earliest(&avail);
+        avail[s] = avail[s].max(now) + jobs[j].actual_ms;
+    }
+    (avail[earliest(&avail)] - now).max(0.0)
+}
+
+/// Index of the smallest availability time (lowest index on ties).
+fn earliest(avail: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &t) in avail.iter().enumerate().skip(1) {
+        if t.total_cmp(&avail[best]) == Ordering::Less {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Runs the event-driven simulation. `decide` is called with a job index,
+/// its remaining budget (ms), and the [`Consult`] context every time that
+/// job is (re-)considered; it sees consultations in a deterministic
+/// order, so a pure decision function yields bit-identical results across
+/// runs.
+pub fn simulate<F>(jobs: &[SimJob], servers: usize, retry: RetryConfig, mut decide: F) -> SimResult
+where
+    F: FnMut(usize, f64, Consult) -> Decision,
+{
+    assert!(servers >= 1, "need at least one server");
+    debug_assert!(
+        jobs.windows(2).all(|w| w[0].arrive_ms <= w[1].arrive_ms),
+        "jobs must be sorted by arrival time"
+    );
+
+    let mut fates: Vec<Option<JobFate>> = vec![None; jobs.len()];
+    let mut heap: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for (i, job) in jobs.iter().enumerate() {
+        heap.push(Reverse(Event {
+            at_ms: job.arrive_ms,
+            seq,
+            kind: EventKind::Arrival(i),
+        }));
+        seq += 1;
+    }
+
+    // Per-server currently-running job and its completion time.
+    let mut running: Vec<Option<(usize, f64)>> = vec![None; servers];
+    // Admitted jobs waiting for a server, FIFO.
+    let mut ready: VecDeque<usize> = VecDeque::new();
+    // Deferred jobs waiting for a re-decision, FIFO, with retry counts.
+    let mut retry_q: VecDeque<(usize, usize)> = VecDeque::new();
+    // Wait each started job accrued, and whether it converted via retry.
+    let mut started_wait: Vec<f64> = vec![0.0; jobs.len()];
+    let mut converted: Vec<bool> = vec![false; jobs.len()];
+
+    let mut start = |job: usize,
+                     server: usize,
+                     now: f64,
+                     running: &mut Vec<Option<(usize, f64)>>,
+                     heap: &mut BinaryHeap<Reverse<Event>>,
+                     started_wait: &mut Vec<f64>| {
+        started_wait[job] = now - jobs[job].arrive_ms;
+        let finish = now + jobs[job].actual_ms;
+        running[server] = Some((job, finish));
+        heap.push(Reverse(Event {
+            at_ms: finish,
+            seq,
+            kind: EventKind::Completion { job, server },
+        }));
+        seq += 1;
+    };
+
+    while let Some(Reverse(ev)) = heap.pop() {
+        let now = ev.at_ms;
+        match ev.kind {
+            EventKind::Arrival(i) => {
+                let wait_est = projected_wait(now, &running, &ready, jobs);
+                let budget = jobs[i].slack_ms - wait_est;
+                match decide(i, budget, Consult::Arrival { wait_ms: wait_est }) {
+                    Decision::Admit => {
+                        if let Some(s) = running.iter().position(Option::is_none) {
+                            start(i, s, now, &mut running, &mut heap, &mut started_wait);
+                        } else {
+                            ready.push_back(i);
+                        }
+                    }
+                    Decision::Defer => {
+                        if retry.enabled() {
+                            retry_q.push_back((i, 0));
+                        } else {
+                            fates[i] = Some(JobFate::Dropped);
+                        }
+                    }
+                    Decision::Reject => fates[i] = Some(JobFate::Rejected { converted: false }),
+                }
+            }
+            EventKind::Completion { job, server } => {
+                let sojourn = now - jobs[job].arrive_ms;
+                fates[job] = Some(JobFate::Admitted {
+                    converted: converted[job],
+                    wait_ms: started_wait[job],
+                    sojourn_ms: sojourn,
+                    violated: sojourn > jobs[job].slack_ms,
+                });
+                running[server] = None;
+
+                // Offer the freed slot to the retry queue first: each
+                // parked job is re-decided with its recomputed budget. A
+                // converting job starts *now* on this server — it skips
+                // the ready queue, which is what lets its budget exceed
+                // the arrival-time quote.
+                let mut slot_free = true;
+                let mut kept: VecDeque<(usize, usize)> = VecDeque::new();
+                while let Some((cand, retries)) = retry_q.pop_front() {
+                    if !slot_free {
+                        kept.push_back((cand, retries));
+                        continue;
+                    }
+                    let budget = jobs[cand].slack_ms - (now - jobs[cand].arrive_ms);
+                    match decide(cand, budget, Consult::Retry) {
+                        Decision::Admit => {
+                            converted[cand] = true;
+                            start(
+                                cand,
+                                server,
+                                now,
+                                &mut running,
+                                &mut heap,
+                                &mut started_wait,
+                            );
+                            slot_free = false;
+                        }
+                        Decision::Reject => {
+                            fates[cand] = Some(JobFate::Rejected { converted: true });
+                        }
+                        Decision::Defer => {
+                            if retries + 1 >= retry.max_retries {
+                                fates[cand] = Some(JobFate::Rejected { converted: true });
+                            } else {
+                                kept.push_back((cand, retries + 1));
+                            }
+                        }
+                    }
+                }
+                retry_q = kept;
+
+                if slot_free {
+                    if let Some(next) = ready.pop_front() {
+                        start(
+                            next,
+                            server,
+                            now,
+                            &mut running,
+                            &mut heap,
+                            &mut started_wait,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // Stream drained: jobs still parked can never see another event.
+    for (cand, _) in retry_q {
+        fates[cand] = Some(JobFate::Rejected { converted: true });
+    }
+    debug_assert!(ready.is_empty(), "admitted jobs always run to completion");
+
+    SimResult {
+        fates: fates
+            .into_iter()
+            .map(|f| f.expect("every job gets a fate"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fates(result: &SimResult) -> &[JobFate] {
+        &result.fates
+    }
+
+    #[test]
+    fn admit_all_single_server_is_a_fifo_queue() {
+        // Three back-to-back jobs of 10 ms: waits 0, 10, 20.
+        let jobs: Vec<SimJob> = (0..3)
+            .map(|i| SimJob {
+                arrive_ms: i as f64,
+                slack_ms: 100.0,
+                actual_ms: 10.0,
+            })
+            .collect();
+        let r = simulate(&jobs, 1, RetryConfig::terminal(), |_, _, _| Decision::Admit);
+        let expect_waits = [0.0, 9.0, 18.0];
+        for (i, fate) in fates(&r).iter().enumerate() {
+            match *fate {
+                JobFate::Admitted {
+                    wait_ms, violated, ..
+                } => {
+                    assert_eq!(wait_ms, expect_waits[i], "job {i}");
+                    assert!(!violated);
+                }
+                other => panic!("job {i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn two_servers_halve_the_backlog() {
+        let jobs: Vec<SimJob> = (0..4)
+            .map(|i| SimJob {
+                arrive_ms: i as f64 * 0.0,
+                slack_ms: 100.0,
+                actual_ms: 10.0,
+            })
+            .collect();
+        let r1 = simulate(&jobs, 1, RetryConfig::terminal(), |_, _, _| Decision::Admit);
+        let r2 = simulate(&jobs, 2, RetryConfig::terminal(), |_, _, _| Decision::Admit);
+        let total_wait = |r: &SimResult| -> f64 {
+            fates(r)
+                .iter()
+                .map(|f| match *f {
+                    JobFate::Admitted { wait_ms, .. } => wait_ms,
+                    _ => panic!("all admitted"),
+                })
+                .sum()
+        };
+        assert!(total_wait(&r2) < total_wait(&r1));
+    }
+
+    #[test]
+    fn deferred_job_converts_when_the_backlog_drains_early() {
+        // Server busy with a 10 ms job; a 30 ms job queues behind it. A
+        // third job arrives at t=1 with 15 ms slack: the projected wait is
+        // 9 + 30 = 39 ms, so its budget is hopeless at arrival — the
+        // policy defers. At t=10 the first completion frees the server;
+        // recomputed budget = 15 − 9 = 6 ms ≥ its 5 ms service time, so
+        // the retried job converts, jumping ahead of nothing (it takes the
+        // freed slot before the ready queue's 30 ms job would).
+        let jobs = vec![
+            SimJob {
+                arrive_ms: 0.0,
+                slack_ms: 100.0,
+                actual_ms: 10.0,
+            },
+            SimJob {
+                arrive_ms: 0.5,
+                slack_ms: 100.0,
+                actual_ms: 30.0,
+            },
+            SimJob {
+                arrive_ms: 1.0,
+                slack_ms: 15.0,
+                actual_ms: 5.0,
+            },
+        ];
+        let r = simulate(&jobs, 1, RetryConfig::bounded(3), |i, budget, _| {
+            if i < 2 || budget >= jobs[2].actual_ms {
+                Decision::Admit
+            } else {
+                Decision::Defer
+            }
+        });
+        match fates(&r)[2] {
+            JobFate::Admitted {
+                converted,
+                wait_ms,
+                violated,
+                ..
+            } => {
+                assert!(converted, "came through the retry queue");
+                assert_eq!(wait_ms, 9.0, "started at the first completion");
+                assert!(!violated, "9 + 5 ≤ 15");
+            }
+            other => panic!("expected conversion, got {other:?}"),
+        }
+        // The queued 30 ms job was pushed back by the conversion but still ran.
+        match fates(&r)[1] {
+            JobFate::Admitted {
+                converted, wait_ms, ..
+            } => {
+                assert!(!converted);
+                assert_eq!(wait_ms, 14.5, "waited for job 0 and the converted job");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn retries_are_bounded_then_finally_rejected() {
+        // A stream of admitted work generates completions; one job defers
+        // forever. After max_retries re-decisions it must be rejected —
+        // never dropped silently.
+        let mut jobs: Vec<SimJob> = (0..6)
+            .map(|i| SimJob {
+                arrive_ms: i as f64,
+                slack_ms: 1000.0,
+                actual_ms: 5.0,
+            })
+            .collect();
+        jobs.push(SimJob {
+            arrive_ms: 2.5,
+            slack_ms: 1000.0,
+            actual_ms: 5.0,
+        });
+        jobs.sort_by(|a, b| a.arrive_ms.total_cmp(&b.arrive_ms));
+        let stubborn = jobs
+            .iter()
+            .position(|j| j.arrive_ms == 2.5)
+            .expect("present");
+        let mut decisions = 0usize;
+        let r = simulate(&jobs, 1, RetryConfig::bounded(2), |i, _, _| {
+            if i == stubborn {
+                decisions += 1;
+                Decision::Defer
+            } else {
+                Decision::Admit
+            }
+        });
+        assert_eq!(
+            fates(&r)[stubborn],
+            JobFate::Rejected { converted: true },
+            "exhausted retries end in rejection"
+        );
+        // Initial decision + exactly max_retries re-decisions.
+        assert_eq!(decisions, 3);
+    }
+
+    #[test]
+    fn terminal_defer_reproduces_the_dropped_semantics() {
+        let jobs = vec![SimJob {
+            arrive_ms: 0.0,
+            slack_ms: 10.0,
+            actual_ms: 1.0,
+        }];
+        let r = simulate(&jobs, 1, RetryConfig::terminal(), |_, _, _| Decision::Defer);
+        assert_eq!(fates(&r)[0], JobFate::Dropped);
+    }
+
+    #[test]
+    fn parked_jobs_are_rejected_at_drain() {
+        // Nothing ever runs, so no completion event fires: the deferred
+        // job must still get a final verdict when the stream drains.
+        let jobs = vec![SimJob {
+            arrive_ms: 0.0,
+            slack_ms: 10.0,
+            actual_ms: 1.0,
+        }];
+        let r = simulate(&jobs, 1, RetryConfig::bounded(5), |_, _, _| Decision::Defer);
+        assert_eq!(fates(&r)[0], JobFate::Rejected { converted: true });
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let jobs: Vec<SimJob> = (0..50)
+            .map(|i| SimJob {
+                arrive_ms: i as f64 * 1.7,
+                slack_ms: 10.0 + (i % 7) as f64 * 3.0,
+                actual_ms: 4.0 + (i % 5) as f64,
+            })
+            .collect();
+        let decide = |_: usize, budget: f64, _: Consult| {
+            if budget > 8.0 {
+                Decision::Admit
+            } else if budget > 2.0 {
+                Decision::Defer
+            } else {
+                Decision::Reject
+            }
+        };
+        let a = simulate(&jobs, 2, RetryConfig::bounded(3), decide);
+        let b = simulate(&jobs, 2, RetryConfig::bounded(3), decide);
+        for (x, y) in a.fates.iter().zip(&b.fates) {
+            match (x, y) {
+                (
+                    JobFate::Admitted {
+                        converted: ca,
+                        wait_ms: wa,
+                        sojourn_ms: sa,
+                        violated: va,
+                    },
+                    JobFate::Admitted {
+                        converted: cb,
+                        wait_ms: wb,
+                        sojourn_ms: sb,
+                        violated: vb,
+                    },
+                ) => {
+                    assert_eq!(ca, cb);
+                    assert_eq!(wa.to_bits(), wb.to_bits());
+                    assert_eq!(sa.to_bits(), sb.to_bits());
+                    assert_eq!(va, vb);
+                }
+                (x, y) => assert_eq!(x, y),
+            }
+        }
+    }
+
+    #[test]
+    fn every_job_gets_exactly_one_fate() {
+        let jobs: Vec<SimJob> = (0..40)
+            .map(|i| SimJob {
+                arrive_ms: i as f64,
+                slack_ms: 6.0,
+                actual_ms: 3.0,
+            })
+            .collect();
+        let r = simulate(&jobs, 1, RetryConfig::bounded(2), |i, budget, _| {
+            match i % 3 {
+                0 => Decision::Admit,
+                1 if budget > 3.0 => Decision::Admit,
+                1 => Decision::Defer,
+                _ => Decision::Reject,
+            }
+        });
+        assert_eq!(r.fates.len(), jobs.len());
+    }
+}

@@ -79,10 +79,17 @@ impl AdmissionPolicy {
     /// predicted distribution (reported in both modes for observability).
     ///
     /// `budget_ms = None` means no deadline: always admitted, probability 1.
+    /// A *negative* budget means the deadline has already passed (the wait
+    /// ate the whole slack): both modes reject, with `Pr(T ≤ budget)`
+    /// reported as exactly 0 — running times are non-negative, so the
+    /// normal tail below zero is model artifact, not probability mass.
     pub fn decide(&self, prediction: &Prediction, budget_ms: Option<f64>) -> (Decision, f64) {
         let Some(budget) = budget_ms else {
             return (Decision::Admit, 1.0);
         };
+        if budget < 0.0 {
+            return (Decision::Reject, 0.0);
+        }
         let prob = prediction.prob_completes_by(budget);
         let decision = match self.mode {
             AdmissionMode::MeanOnly => {
@@ -102,6 +109,34 @@ impl AdmissionPolicy {
                 }
             }
         };
+        (decision, prob)
+    }
+
+    /// Decides on a request that would have to wait `wait_ms` in a run
+    /// queue before starting: the effective budget is `slack_ms − wait_ms`
+    /// and the base verdict is [`Self::decide`] on that budget. On top of
+    /// it, tail mode distinguishes *why* a request is hopeless: when the
+    /// effective budget rejects but the **unqueued** probability
+    /// `Pr(T ≤ slack)` clears the admit threshold, the queue — not the
+    /// query — is the problem, and the verdict is `Defer` instead of
+    /// `Reject`: park it and re-decide when the backlog drains (the
+    /// scheduler re-consults with a recomputed budget at every freed
+    /// server). The returned probability is always `Pr(T ≤ effective
+    /// budget)`, the number the base decision thresholds on.
+    pub fn decide_queued(
+        &self,
+        prediction: &Prediction,
+        slack_ms: f64,
+        wait_ms: f64,
+    ) -> (Decision, f64) {
+        let (decision, prob) = self.decide(prediction, Some(slack_ms - wait_ms));
+        if decision == Decision::Reject
+            && self.mode == AdmissionMode::TailProbability
+            && wait_ms > 0.0
+            && prediction.prob_completes_by(slack_ms) >= self.admit_threshold
+        {
+            return (Decision::Defer, prob);
+        }
         (decision, prob)
     }
 }
@@ -178,6 +213,22 @@ mod tests {
     }
 
     #[test]
+    fn negative_budget_rejects_in_both_modes() {
+        // budget = slack − wait < 0: the deadline is already blown before
+        // the query would even start. No mode may admit, and the reported
+        // probability is exactly 0 (not the normal's sub-zero tail).
+        let p = prediction();
+        for policy in [
+            AdmissionPolicy::uncertainty_aware(0.9),
+            AdmissionPolicy::mean_only(),
+        ] {
+            let (d, prob) = policy.decide(&p, Some(-5.0));
+            assert_eq!(d, Decision::Reject);
+            assert_eq!(prob, 0.0);
+        }
+    }
+
+    #[test]
     fn defer_band_sits_between_admit_and_reject() {
         let p = prediction();
         let policy = AdmissionPolicy::uncertainty_aware(0.9);
@@ -186,5 +237,38 @@ mod tests {
         let (d, prob) = policy.decide(&p, Some(budget));
         assert!(prob >= policy.defer_threshold && prob < policy.admit_threshold);
         assert_eq!(d, Decision::Defer);
+    }
+
+    #[test]
+    fn queued_reject_upgrades_to_defer_when_the_queue_is_the_problem() {
+        let p = prediction();
+        let policy = AdmissionPolicy::uncertainty_aware(0.9);
+        // Generous slack, but a wait that eats it whole: unqueued the
+        // query clears θ comfortably, so the verdict is "wait for the
+        // backlog to drain", not "burn the query".
+        let slack = p.mean_ms() + 5.0 * p.std_dev_ms();
+        let wait = slack + 1.0;
+        let (d, prob) = policy.decide_queued(&p, slack, wait);
+        assert_eq!(d, Decision::Defer);
+        assert_eq!(prob, 0.0, "the effective budget is negative");
+        // Without the queue the same call is a plain admit.
+        assert_eq!(policy.decide_queued(&p, slack, 0.0).0, Decision::Admit);
+    }
+
+    #[test]
+    fn queued_reject_stays_reject_when_the_query_is_the_problem() {
+        let p = prediction();
+        let policy = AdmissionPolicy::uncertainty_aware(0.9);
+        // Hopeless even unqueued: waiting cannot save it.
+        let slack = (p.mean_ms() - 10.0 * p.std_dev_ms()).max(0.0);
+        assert_eq!(policy.decide_queued(&p, slack, 5.0).0, Decision::Reject);
+        // Mean-only has no defer concept: backlog rejects stay rejects.
+        let generous = p.mean_ms() + 5.0 * p.std_dev_ms();
+        assert_eq!(
+            AdmissionPolicy::mean_only()
+                .decide_queued(&p, generous, generous + 1.0)
+                .0,
+            Decision::Reject
+        );
     }
 }

@@ -25,7 +25,15 @@
 //!   skips the oracle-probe grid fits entirely for bit-identical repeats.
 //! * [`AdmissionPolicy`] — `Pr(T ≤ budget) ≥ θ` tail-probability admission
 //!   (with a defer band), plus the mean-only baseline a point predictor
-//!   would be limited to.
+//!   would be limited to. With a [`RetryPolicy`] enabled, a `Defer`
+//!   verdict is no longer terminal: the request parks in a deferred queue
+//!   and is re-decided on the same reply channel (recomputed budget) on
+//!   every completion event, with bounded retries before a final
+//!   `Reject` — no request is ever silently dropped. (The service's
+//!   budget only shrinks with wall-clock time, so today the final verdict
+//!   of a deferred request is `Reject`; defer→admit conversions happen in
+//!   the deadline *scenario*, whose queue-aware budget can grow at a
+//!   freed server — see the note in [`service`].)
 //!
 //! Both caches are bounded with a pluggable [`EvictionPolicy`] (segmented
 //! LRU by default; PR 2's reject-new stays selectable). Responses are
@@ -56,5 +64,5 @@ pub use admission::{AdmissionMode, AdmissionPolicy, Decision};
 pub use cache::{
     CacheConfig, CacheStats, EvictionPolicy, SelCacheStats, SharedFitCache, SharedSelEstCache,
 };
-pub use queue::WorkQueue;
-pub use service::{PredictRequest, PredictResponse, PredictionService, ServiceConfig};
+pub use queue::{Popped, WorkQueue};
+pub use service::{PredictRequest, PredictResponse, PredictionService, RetryPolicy, ServiceConfig};

@@ -8,10 +8,22 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 struct Inner<T> {
     items: VecDeque<T>,
     closed: bool,
+}
+
+/// Outcome of a [`WorkQueue::pop_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum Popped<T> {
+    /// The next queued item.
+    Item(T),
+    /// The timeout elapsed with the queue still open and empty.
+    TimedOut,
+    /// The queue is closed and drained: the consumer should exit.
+    Closed,
 }
 
 /// Multi-producer multi-consumer FIFO queue with blocking pop and
@@ -48,15 +60,43 @@ impl<T> WorkQueue<T> {
     /// Blocks until an item is available (FIFO) or the queue is closed
     /// *and* drained, in which case `None` signals workers to exit.
     pub fn pop(&self) -> Option<T> {
+        match self.pop_timeout(None) {
+            Popped::Item(item) => Some(item),
+            Popped::Closed => None,
+            Popped::TimedOut => unreachable!("no timeout requested"),
+        }
+    }
+
+    /// Like [`Self::pop`], but with an optional wait bound: `None` blocks
+    /// indefinitely, `Some(d)` returns [`Popped::TimedOut`] once `d` has
+    /// elapsed with nothing to pop. The service's retry scheduler uses the
+    /// bounded form as its fallback tick so deferred requests are
+    /// re-decided even when no completion events occur.
+    pub fn pop_timeout(&self, timeout: Option<Duration>) -> Popped<T> {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
             if let Some(item) = inner.items.pop_front() {
-                return Some(item);
+                return Popped::Item(item);
             }
             if inner.closed {
-                return None;
+                return Popped::Closed;
             }
-            inner = self.ready.wait(inner).expect("queue lock");
+            match timeout {
+                None => inner = self.ready.wait(inner).expect("queue lock"),
+                Some(d) => {
+                    let (guard, result) = self.ready.wait_timeout(inner, d).expect("queue lock");
+                    inner = guard;
+                    if result.timed_out() {
+                        // One last look under the lock before reporting the
+                        // timeout (an item may have raced the wakeup).
+                        return match inner.items.pop_front() {
+                            Some(item) => Popped::Item(item),
+                            None if inner.closed => Popped::Closed,
+                            None => Popped::TimedOut,
+                        };
+                    }
+                }
+            }
         }
     }
 
@@ -107,6 +147,25 @@ mod tests {
         assert!(!q.push(8), "push after close must be rejected");
         assert_eq!(q.pop(), Some(7), "pending items drain after close");
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_timeout_times_out_then_delivers() {
+        let q: WorkQueue<u32> = WorkQueue::new();
+        assert_eq!(
+            q.pop_timeout(Some(std::time::Duration::from_millis(1))),
+            Popped::TimedOut
+        );
+        q.push(9);
+        assert_eq!(
+            q.pop_timeout(Some(std::time::Duration::from_millis(1))),
+            Popped::Item(9)
+        );
+        q.close();
+        assert_eq!(
+            q.pop_timeout(Some(std::time::Duration::from_millis(1))),
+            Popped::Closed
+        );
     }
 
     #[test]

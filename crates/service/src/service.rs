@@ -15,13 +15,44 @@
 //! predictor config) and the cache is bit-transparent, so responses are
 //! deterministic regardless of worker count, scheduling order, or cache
 //! state — the property the integration tests pin down.
+//!
+//! ## Deferred requests are not a black hole
+//!
+//! With a [`RetryPolicy`] enabled, a `Defer` verdict no longer terminates
+//! the request: the job parks in a deferred queue and is **re-decided on
+//! the same reply channel** with its recomputed remaining budget
+//! (`deadline − time spent deferred`) every time a worker completes a
+//! request (the service's "server freed" event), with an idle tick as a
+//! fallback when no traffic flows. Re-decisions are bounded: after
+//! `max_retries` consecutive `Defer` outcomes the service closes the
+//! request with a final `Reject`, and `shutdown` gives every still-parked
+//! request a final verdict — **every submitted request receives exactly
+//! one response**. Retried decisions depend on wall-clock elapsed time,
+//! so the bit-exact response determinism above holds for the default
+//! terminal policy; with retries enabled it holds for every request that
+//! is not deferred.
+//!
+//! One honest limitation: the service's re-decision budget can only
+//! *shrink* (the prediction is fixed and the client-quoted deadline
+//! drains in wall-clock time), so with today's budget model a deferred
+//! request resolves to `Reject` — never `Admit`. The re-decision handles
+//! all three verdicts because the protocol is written against
+//! [`AdmissionPolicy::decide`]'s full contract: a budget model that can
+//! *grow* — e.g. subtracting the service's own backlog from the initial
+//! budget the way the deadline scenario's queue-aware admission does
+//! ([`AdmissionPolicy::decide_queued`]) — makes defer→admit conversions
+//! live here too, at the cost of response determinism (see ROADMAP).
+//! What bounded retries buy today is the guarantee itself: a final,
+//! observable verdict (`attempts`, `deferred_ms`) instead of a terminal
+//! `Defer` the client must re-submit by hand.
 
 use crate::admission::{AdmissionPolicy, Decision};
 use crate::cache::{CacheConfig, CacheStats, SharedFitCache, SharedSelEstCache};
-use crate::queue::WorkQueue;
+use crate::queue::{Popped, WorkQueue};
+use std::collections::VecDeque;
 use std::sync::mpsc;
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use uaq_core::{Prediction, Predictor};
 use uaq_cost::{FitCache, NoFitCache, NoSelEstCache, SelEstCache};
 use uaq_engine::Plan;
@@ -46,12 +77,65 @@ pub struct PredictResponse {
     pub prediction: Prediction,
     pub decision: Decision,
     /// `Pr(T ≤ deadline)` under the predicted distribution (1.0 when the
-    /// request had no deadline).
+    /// request had no deadline). For retried requests this is the
+    /// probability at the *final* re-decision, against the recomputed
+    /// budget.
     pub prob_in_time: f64,
     /// Which worker served the request (diagnostics).
     pub worker: usize,
     /// Wall-clock seconds from dequeue to decision.
     pub service_seconds: f64,
+    /// Number of admission evaluations this response took: 1 = decided at
+    /// first sight; >1 = the request sat in the deferred queue and was
+    /// re-decided on completion events / idle ticks.
+    pub attempts: u32,
+    /// Milliseconds spent in the deferred queue (0 when `attempts == 1`).
+    pub deferred_ms: f64,
+}
+
+/// What the service does with a `Defer` verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of `Defer` re-decisions before the service closes
+    /// the request with a final `Reject`. `0` keeps `Defer` as a terminal
+    /// response (the pre-retry behaviour, and the default: it is the only
+    /// mode whose responses are bit-deterministic, because re-decisions
+    /// consume wall-clock budget).
+    pub max_retries: u32,
+    /// Fallback re-decision cadence when no completion events occur (an
+    /// idle pool with parked requests): workers wake on this tick and
+    /// re-decide the deferred queue, so a parked request resolves within
+    /// roughly `max_retries × idle_tick` even with zero traffic.
+    pub idle_tick: Duration,
+}
+
+impl RetryPolicy {
+    /// `Defer` is a terminal response (the client decides what to do).
+    pub fn terminal() -> Self {
+        Self {
+            max_retries: 0,
+            idle_tick: Duration::from_millis(5),
+        }
+    }
+
+    /// Deferred requests are re-decided up to `max_retries` times on the
+    /// same reply channel, then finally rejected.
+    pub fn bounded(max_retries: u32) -> Self {
+        Self {
+            max_retries,
+            idle_tick: Duration::from_millis(5),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::terminal()
+    }
 }
 
 /// Service configuration.
@@ -64,6 +148,8 @@ pub struct ServiceConfig {
     /// cold-vs-warm benchmarks and golden tests use.
     pub cache_enabled: bool,
     pub cache: CacheConfig,
+    /// Deferred-request handling; see [`RetryPolicy`].
+    pub retry: RetryPolicy,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +159,7 @@ impl Default for ServiceConfig {
             policy: AdmissionPolicy::default(),
             cache_enabled: true,
             cache: CacheConfig::default(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -80,6 +167,20 @@ impl Default for ServiceConfig {
 struct Job {
     request: PredictRequest,
     reply: mpsc::Sender<PredictResponse>,
+}
+
+/// A parked request: decided `Defer`, waiting for a re-decision event.
+struct DeferredJob {
+    id: u64,
+    deadline_ms: f64,
+    reply: mpsc::Sender<PredictResponse>,
+    prediction: Prediction,
+    /// When the deferring decision was made (re-decisions recompute the
+    /// budget as `deadline_ms − elapsed since then`).
+    parked_at: Instant,
+    /// `Defer` re-decisions so far.
+    retries: u32,
+    service_seconds: f64,
 }
 
 struct Shared {
@@ -91,6 +192,52 @@ struct Shared {
     sel_cache: SharedSelEstCache,
     policy: AdmissionPolicy,
     cache_enabled: bool,
+    retry: RetryPolicy,
+    deferred: Mutex<VecDeque<DeferredJob>>,
+}
+
+impl Shared {
+    /// Re-decides every parked request once with its recomputed remaining
+    /// budget. Called whenever a worker completes a request (the service's
+    /// "server freed" event), on the idle tick, and — with `final_pass` —
+    /// at shutdown, where a still-deferring request gets a final `Reject`
+    /// because no further events can ever resolve it.
+    fn redecide_deferred(&self, worker: usize, final_pass: bool) {
+        let mut q = self.deferred.lock().expect("deferred lock");
+        let parked = q.len();
+        for _ in 0..parked {
+            let mut d = q.pop_front().expect("len checked");
+            let waited_ms = d.parked_at.elapsed().as_secs_f64() * 1e3;
+            let budget = d.deadline_ms - waited_ms;
+            let (decision, prob) = self.policy.decide(&d.prediction, Some(budget));
+            d.retries += 1;
+            let exhausted = final_pass || d.retries >= self.retry.max_retries;
+            let verdict = match decision {
+                Decision::Defer if !exhausted => {
+                    q.push_back(d);
+                    continue;
+                }
+                // Out of events (shutdown) or retries: the defer band
+                // resolves to rejection, never to silence.
+                Decision::Defer => Decision::Reject,
+                other => other,
+            };
+            let _ = d.reply.send(PredictResponse {
+                id: d.id,
+                prediction: d.prediction,
+                decision: verdict,
+                prob_in_time: prob,
+                worker,
+                service_seconds: d.service_seconds,
+                attempts: d.retries + 1,
+                deferred_ms: waited_ms,
+            });
+        }
+    }
+
+    fn has_deferred(&self) -> bool {
+        !self.deferred.lock().expect("deferred lock").is_empty()
+    }
 }
 
 /// A running prediction service. Dropping it (or calling
@@ -118,6 +265,8 @@ impl PredictionService {
             sel_cache: SharedSelEstCache::new(config.cache.max_sel_entries, config.cache.eviction),
             policy: config.policy,
             cache_enabled: config.cache_enabled,
+            retry: config.retry,
+            deferred: Mutex::new(VecDeque::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|worker| {
@@ -132,11 +281,19 @@ impl PredictionService {
     }
 
     /// Enqueues a request; the response arrives on the returned channel.
-    /// Panics if called after shutdown (the only way to lose the reply).
+    ///
+    /// Contract: every request accepted before shutdown receives exactly
+    /// one response (deferred requests included — they are re-decided and
+    /// finally resolved at shutdown). Once shutdown has begun the queue is
+    /// closed: the request is dropped together with its reply sender, so
+    /// the returned receiver's `recv()` fails immediately with
+    /// `RecvError` instead of blocking — submitting after shutdown never
+    /// hangs and never panics.
     pub fn submit(&self, request: PredictRequest) -> mpsc::Receiver<PredictResponse> {
         let (reply, rx) = mpsc::channel();
-        let accepted = self.shared.queue.push(Job { request, reply });
-        assert!(accepted, "submit after shutdown");
+        // On a closed queue the job (and its reply sender) is dropped,
+        // disconnecting `rx` right away.
+        let _ = self.shared.queue.push(Job { request, reply });
         rx
     }
 
@@ -168,7 +325,14 @@ impl PredictionService {
         self.shared.queue.len()
     }
 
-    /// Closes the queue, drains pending requests, joins the workers.
+    /// Requests currently parked in the deferred queue awaiting a
+    /// re-decision (0 unless a [`RetryPolicy`] is enabled).
+    pub fn deferred_backlog(&self) -> usize {
+        self.shared.deferred.lock().expect("deferred lock").len()
+    }
+
+    /// Closes the queue, drains pending requests, joins the workers, and
+    /// gives every still-deferred request a final verdict.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
@@ -178,6 +342,10 @@ impl PredictionService {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Workers are gone: no further completion events or ticks can
+        // resolve a parked request, so re-decide each one final time
+        // (still-deferring ⇒ Reject — never silence).
+        self.shared.redecide_deferred(usize::MAX, true);
     }
 }
 
@@ -188,32 +356,74 @@ impl Drop for PredictionService {
 }
 
 fn worker_loop(shared: &Shared, worker: usize) {
-    while let Some(job) = shared.queue.pop() {
-        let t0 = Instant::now();
-        let (fit_cache, sel_cache): (&dyn FitCache, &dyn SelEstCache) = if shared.cache_enabled {
-            (&shared.cache, &shared.sel_cache)
-        } else {
-            (&NoFitCache, &NoSelEstCache)
-        };
-        let prediction = shared.predictor.predict_with_caches(
-            &job.request.plan,
-            &shared.catalog,
-            &shared.samples,
-            fit_cache,
-            sel_cache,
-        );
-        let (decision, prob_in_time) = shared.policy.decide(&prediction, job.request.deadline_ms);
-        // A dropped receiver just means the client stopped waiting; the
-        // worker moves on.
-        let _ = job.reply.send(PredictResponse {
-            id: job.request.id,
-            prediction,
-            decision,
-            prob_in_time,
-            worker,
-            service_seconds: t0.elapsed().as_secs_f64(),
-        });
+    loop {
+        // Bound the wait only while requests are parked: the tick is the
+        // fallback re-decision event for a quiet pool.
+        let timeout =
+            (shared.retry.enabled() && shared.has_deferred()).then_some(shared.retry.idle_tick);
+        match shared.queue.pop_timeout(timeout) {
+            Popped::Item(job) => {
+                let completed = serve_job(shared, worker, job);
+                if completed {
+                    // A completed request is the service's "server freed"
+                    // event: offer the parked requests a re-decision.
+                    shared.redecide_deferred(worker, false);
+                }
+            }
+            Popped::TimedOut => shared.redecide_deferred(worker, false),
+            Popped::Closed => break,
+        }
     }
+}
+
+/// Serves one request. Returns `false` when the request was parked in the
+/// deferred queue (no response yet), `true` when a response was sent.
+fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
+    let t0 = Instant::now();
+    let (fit_cache, sel_cache): (&dyn FitCache, &dyn SelEstCache) = if shared.cache_enabled {
+        (&shared.cache, &shared.sel_cache)
+    } else {
+        (&NoFitCache, &NoSelEstCache)
+    };
+    let prediction = shared.predictor.predict_with_caches(
+        &job.request.plan,
+        &shared.catalog,
+        &shared.samples,
+        fit_cache,
+        sel_cache,
+    );
+    let (decision, prob_in_time) = shared.policy.decide(&prediction, job.request.deadline_ms);
+    if decision == Decision::Defer && shared.retry.enabled() {
+        if let Some(deadline_ms) = job.request.deadline_ms {
+            shared
+                .deferred
+                .lock()
+                .expect("deferred lock")
+                .push_back(DeferredJob {
+                    id: job.request.id,
+                    deadline_ms,
+                    reply: job.reply,
+                    prediction,
+                    parked_at: Instant::now(),
+                    retries: 0,
+                    service_seconds: t0.elapsed().as_secs_f64(),
+                });
+            return false;
+        }
+    }
+    // A dropped receiver just means the client stopped waiting; the
+    // worker moves on.
+    let _ = job.reply.send(PredictResponse {
+        id: job.request.id,
+        prediction,
+        decision,
+        prob_in_time,
+        worker,
+        service_seconds: t0.elapsed().as_secs_f64(),
+        attempts: 1,
+        deferred_ms: 0.0,
+    });
+    true
 }
 
 #[cfg(test)]
@@ -332,6 +542,199 @@ mod tests {
                 .decision,
             Decision::Defer
         );
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let (predictor, catalog, samples, plan) = setup();
+        let service = PredictionService::start(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                workers: 0,
+                ..Default::default()
+            },
+        );
+        let resp = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(resp.decision, Decision::Admit);
+        service.shutdown();
+    }
+
+    #[test]
+    fn negative_budget_rejects_with_zero_probability() {
+        let (predictor, catalog, samples, plan) = setup();
+        for policy in [
+            AdmissionPolicy::uncertainty_aware(0.9),
+            AdmissionPolicy::mean_only(),
+        ] {
+            let service = PredictionService::start(
+                predictor.clone(),
+                Arc::clone(&catalog),
+                Arc::clone(&samples),
+                ServiceConfig {
+                    policy,
+                    ..Default::default()
+                },
+            );
+            let resp = service.predict_blocking(Arc::clone(&plan), Some(-10.0));
+            assert_eq!(resp.decision, Decision::Reject);
+            assert_eq!(resp.prob_in_time, 0.0);
+            service.shutdown();
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_fast_without_panicking() {
+        let (predictor, catalog, samples, plan) = setup();
+        let service =
+            PredictionService::start(predictor, catalog, samples, ServiceConfig::default());
+        // Simulate the shutdown race: the queue closes while a client
+        // still holds a handle (e.g. another thread called shutdown).
+        service.shared.queue.close();
+        let rx = service.submit(PredictRequest {
+            id: 99,
+            plan: Arc::clone(&plan),
+            deadline_ms: None,
+        });
+        // The request was dropped with its reply sender: recv fails
+        // immediately instead of blocking forever.
+        assert!(rx.recv().is_err(), "no response can ever arrive");
+    }
+
+    #[test]
+    fn deferred_request_is_redecided_on_completion_events() {
+        let (predictor, catalog, samples, plan) = setup();
+        let reference = predictor.predict(&plan, &catalog, &samples);
+        let border = reference.mean_ms() + 0.5 * reference.std_dev_ms();
+        let service = PredictionService::start(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                workers: 1,
+                retry: RetryPolicy::bounded(3),
+                ..Default::default()
+            },
+        );
+        // The border request defers and parks; follow-up no-deadline
+        // requests complete and each completion re-decides it. The budget
+        // only shrinks (elapsed wall-clock), so the defer band drains to
+        // a final Reject on the same reply channel — never silence, never
+        // a terminal Defer.
+        let rx = service.submit(PredictRequest {
+            id: 7,
+            plan: Arc::clone(&plan),
+            deadline_ms: Some(border),
+        });
+        for i in 0..8 {
+            let _ = service
+                .submit(PredictRequest {
+                    id: 100 + i,
+                    plan: Arc::clone(&plan),
+                    deadline_ms: None,
+                })
+                .recv()
+                .expect("worker alive");
+        }
+        let resp = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("deferred request must resolve via completion events or ticks");
+        assert_eq!(resp.id, 7);
+        assert_ne!(resp.decision, Decision::Defer, "defer is not terminal");
+        assert_eq!(resp.decision, Decision::Reject);
+        assert!(resp.attempts > 1, "went through the retry queue");
+        assert!(resp.attempts <= 4, "initial decision + at most 3 retries");
+        assert!(resp.deferred_ms >= 0.0);
+        assert_eq!(service.deferred_backlog(), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn idle_tick_resolves_a_lone_deferred_request() {
+        // No follow-up traffic at all: the fallback tick must still
+        // resolve the parked request (bounded retries ⇒ final Reject)
+        // without waiting for shutdown.
+        let (predictor, catalog, samples, plan) = setup();
+        let reference = predictor.predict(&plan, &catalog, &samples);
+        let border = reference.mean_ms() + 0.5 * reference.std_dev_ms();
+        let service = PredictionService::start(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                workers: 2,
+                retry: RetryPolicy {
+                    max_retries: 2,
+                    idle_tick: std::time::Duration::from_millis(2),
+                },
+                ..Default::default()
+            },
+        );
+        let rx = service.submit(PredictRequest {
+            id: 1,
+            plan: Arc::clone(&plan),
+            deadline_ms: Some(border),
+        });
+        let resp = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("resolved by idle ticks");
+        assert_eq!(resp.decision, Decision::Reject);
+        assert!(resp.attempts > 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_gives_parked_requests_a_final_verdict() {
+        let (predictor, catalog, samples, plan) = setup();
+        let reference = predictor.predict(&plan, &catalog, &samples);
+        let border = reference.mean_ms() + 0.5 * reference.std_dev_ms();
+        let service = PredictionService::start(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                workers: 1,
+                // A huge retry budget and a long tick: only the shutdown
+                // pass can resolve the request within the test's patience.
+                retry: RetryPolicy {
+                    max_retries: u32::MAX,
+                    idle_tick: std::time::Duration::from_secs(3600),
+                },
+                ..Default::default()
+            },
+        );
+        let rx = service.submit(PredictRequest {
+            id: 3,
+            plan: Arc::clone(&plan),
+            deadline_ms: Some(border),
+        });
+        // Give the worker a moment to park it, then shut down.
+        while service.backlog() > 0 {
+            std::thread::yield_now();
+        }
+        service.shutdown();
+        let resp = rx.recv().expect("shutdown resolves parked requests");
+        assert_eq!(resp.decision, Decision::Reject);
+        assert!(resp.attempts > 1);
+    }
+
+    #[test]
+    fn terminal_policy_keeps_defer_as_a_terminal_response() {
+        let (predictor, catalog, samples, plan) = setup();
+        let reference = predictor.predict(&plan, &catalog, &samples);
+        let border = reference.mean_ms() + 0.5 * reference.std_dev_ms();
+        let service = PredictionService::start(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig::default(), // retry: RetryPolicy::terminal()
+        );
+        let resp = service.predict_blocking(Arc::clone(&plan), Some(border));
+        assert_eq!(resp.decision, Decision::Defer);
+        assert_eq!(resp.attempts, 1);
+        assert_eq!(resp.deferred_ms, 0.0);
         service.shutdown();
     }
 

@@ -49,8 +49,14 @@ impl Normal {
         std_normal_cdf((x - self.mean) / self.std_dev())
     }
 
-    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)`.
+    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)` — the **open**
+    /// interval: a normal has unbounded support, so `p = 0` and `p = 1`
+    /// have no finite quantile. For non-degenerate distributions the
+    /// boundary panics in all builds (via [`std_normal_quantile`]); the
+    /// `var == 0` point-mass shortcut would otherwise silently accept
+    /// garbage `p`, so the domain is asserted here too (debug builds).
     pub fn quantile(&self, p: f64) -> f64 {
+        debug_assert!(p > 0.0 && p < 1.0, "quantile requires p in (0,1), got {p}");
         if self.var == 0.0 {
             return self.mean;
         }
@@ -58,6 +64,11 @@ impl Normal {
     }
 
     /// Central confidence interval containing probability mass `p`.
+    ///
+    /// `p` must lie in `[0, 1)`: `p = 0` collapses to the mean, and
+    /// `p ≥ 1` panics — a normal's 100% interval is unbounded. Interior
+    /// values only ever feed [`Self::quantile`] probabilities strictly
+    /// inside `(0, 1)`.
     pub fn confidence_interval(&self, p: f64) -> (f64, f64) {
         assert!((0.0..1.0).contains(&p), "p must be in [0,1), got {p}");
         if self.var == 0.0 || p == 0.0 {
@@ -305,5 +316,37 @@ mod tests {
     #[should_panic]
     fn negative_variance_rejected() {
         Normal::new(0.0, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1)")]
+    fn quantile_rejects_p_zero() {
+        // Non-degenerate, so the domain check fires in every build profile
+        // (std_normal_quantile asserts the open interval).
+        Normal::new(1.0, 4.0).quantile(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "p in (0,1)")]
+    fn quantile_rejects_p_one() {
+        Normal::new(1.0, 4.0).quantile(1.0);
+    }
+
+    #[test]
+    fn confidence_interval_boundary_values() {
+        let x = Normal::new(3.0, 4.0);
+        // p = 0 is the degenerate interval at the mean.
+        assert_eq!(x.confidence_interval(0.0), (3.0, 3.0));
+        // p just below 1 is finite and ordered.
+        let (lo, hi) = x.confidence_interval(0.999_999);
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in [0,1)")]
+    fn confidence_interval_rejects_p_one() {
+        // The 100% interval of a normal is unbounded: p ≥ 1 panics rather
+        // than feeding std_normal_quantile a boundary probability.
+        Normal::new(0.0, 1.0).confidence_interval(1.0);
     }
 }

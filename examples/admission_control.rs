@@ -8,19 +8,22 @@
 //! an SLA deadline. A point estimate says "predicted 80 ms < 100 ms, admit"
 //! — but two queries with the same mean can carry very different risk. With
 //! the predicted *distribution* the controller can admit on
-//! `Pr(T ≤ deadline) ≥ θ` instead, which is exactly the kind of
-//! distribution-based decision procedure the paper argues for.
+//! `Pr(T ≤ deadline) ≥ θ` instead — and, unlike a binary point check, it
+//! gets a middle verdict: queries in the defer band (`θ/2 ≤ Pr < θ`) are
+//! parked for a re-decision rather than dropped (see the retry queue in
+//! `uaq_service` / the `deadline_service` example).
 
 use uaq::prelude::*;
+use uaq::service::{AdmissionPolicy, Decision};
 
-/// Admission decision for one query against a deadline.
-struct Decision {
+/// Admission verdicts for one query against a deadline.
+struct Verdict {
     name: String,
     mean_ms: f64,
     std_ms: f64,
     prob_in_time: f64,
-    point_admits: bool,
-    dist_admits: bool,
+    point: Decision,
+    dist: Decision,
 }
 
 fn main() {
@@ -40,22 +43,25 @@ fn main() {
     let samples = catalog.draw_samples(0.01, 2, &mut rng);
     let predictor = Predictor::new(units, PredictorConfig::default());
 
+    let point_policy = AdmissionPolicy::mean_only();
+    let dist_policy = AdmissionPolicy::uncertainty_aware(confidence);
+
     // A mixed workload: MICRO scans/joins of very different sizes.
     let queries = Benchmark::Micro.queries(&catalog, 1, &mut rng);
 
-    let mut decisions: Vec<Decision> = Vec::new();
+    let mut verdicts: Vec<Verdict> = Vec::new();
     for spec in &queries {
         let plan = plan_query(spec, &catalog);
         let prediction = predictor.predict(&plan, &catalog, &samples);
-        // Pr(T <= deadline) under the predicted normal.
-        let prob_in_time = prediction.distribution().cdf(deadline_ms);
-        decisions.push(Decision {
+        let (point, _) = point_policy.decide(&prediction, Some(deadline_ms));
+        let (dist, prob_in_time) = dist_policy.decide(&prediction, Some(deadline_ms));
+        verdicts.push(Verdict {
             name: spec.name.clone(),
             mean_ms: prediction.mean_ms(),
             std_ms: prediction.std_dev_ms(),
             prob_in_time,
-            point_admits: prediction.mean_ms() <= deadline_ms,
-            dist_admits: prob_in_time >= confidence,
+            point,
+            dist,
         });
     }
 
@@ -65,33 +71,37 @@ fn main() {
         "query", "mean", "sigma", "Pr(in time)", "point-based", "distribution"
     );
     let mut disagreements = 0;
-    for d in &decisions {
-        let disagree = d.point_admits != d.dist_admits;
+    for v in &verdicts {
+        let disagree = v.point != v.dist;
         disagreements += disagree as usize;
         println!(
             "{:<26} {:>9.2} {:>8.2} {:>12.3}  {:<14} {:<16}{}",
-            d.name,
-            d.mean_ms,
-            d.std_ms,
-            d.prob_in_time,
-            if d.point_admits { "ADMIT" } else { "reject" },
-            if d.dist_admits { "ADMIT" } else { "reject" },
+            v.name,
+            v.mean_ms,
+            v.std_ms,
+            v.prob_in_time,
+            v.point.label(),
+            v.dist.label(),
             if disagree { "   <-- differs" } else { "" }
         );
     }
 
-    let admitted_point = decisions.iter().filter(|d| d.point_admits).count();
-    let admitted_dist = decisions.iter().filter(|d| d.dist_admits).count();
+    let count = |vs: &[Verdict], f: fn(&Verdict) -> Decision, d: Decision| {
+        vs.iter().filter(|v| f(v) == d).count()
+    };
     println!(
-        "\npoint-based admits {admitted_point}/{} queries; \
-         distribution-based admits {admitted_dist}/{} at {:.0}% confidence \
-         ({disagreements} decisions differ)",
-        decisions.len(),
-        decisions.len(),
-        confidence * 100.0
+        "\npoint-based admits {}/{q} queries; distribution-based admits {}, \
+         defers {}, rejects {} at {:.0}% confidence ({disagreements} verdicts differ)",
+        count(&verdicts, |v| v.point, Decision::Admit),
+        count(&verdicts, |v| v.dist, Decision::Admit),
+        count(&verdicts, |v| v.dist, Decision::Defer),
+        count(&verdicts, |v| v.dist, Decision::Reject),
+        confidence * 100.0,
+        q = verdicts.len(),
     );
     println!(
-        "the disagreements are the borderline queries a point estimate \
-         silently gambles on"
+        "the defer band holds exactly the borderline queries a point \
+         estimate silently gambles on — the service retries them with a \
+         recomputed budget instead of dropping them"
     );
 }

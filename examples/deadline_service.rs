@@ -1,26 +1,52 @@
 //! The serving layer end-to-end: concurrent prediction service with a warm
-//! plan-shape fit cache, and the deadline-scheduling scenario comparing
-//! admission policies.
+//! plan-shape fit cache, and the event-driven deadline-scheduling scenario
+//! comparing admission policies.
 //!
 //! ```sh
 //! cargo run --release --example deadline_service
 //! ```
 //!
-//! Prints the SLO-violation table: admit-all vs mean-only (what a point
-//! predictor supports) vs uncertainty-aware `Pr(T ≤ d) ≥ θ` admission (what
-//! the paper's distribution-valued predictions enable).
+//! Prints the SLO table — admit-all vs mean-only (what a point predictor
+//! supports) vs uncertainty-aware `Pr(T ≤ d) ≥ θ` admission — under the
+//! retry-queue semantics: a `Defer` verdict parks the query and re-decides
+//! it with a recomputed budget whenever a server frees up (`d→adm` /
+//! `d→rej` columns), instead of silently dropping it. Also shows a bursty
+//! (Markov-modulated) arrival run and a utilization sweep.
 
-use uaq::experiments::{run_deadline_scenario, DeadlineConfig};
+use uaq::experiments::{
+    render_utilization_sweep, run_deadline_scenario, run_utilization_sweep, ArrivalProcess,
+    DeadlineConfig, RetryConfig,
+};
 
 fn main() {
     let config = DeadlineConfig::default();
     println!(
-        "db = {:?}, {} arrivals, utilization target {:.0}%, θ = {}\n",
+        "db = {:?}, {} arrivals, {} server(s), utilization target {:.0}%, θ = {}, retries ≤ {}\n",
         config.db,
         config.arrivals,
+        config.servers,
         config.utilization * 100.0,
-        config.theta
+        config.theta,
+        config.retry.max_retries,
     );
-    let report = run_deadline_scenario(&config);
-    println!("{}", report.render());
+    println!("— Poisson arrivals, retry queue on —");
+    println!("{}", run_deadline_scenario(&config).render());
+
+    println!("— same stream, terminal defer (the old black hole) —");
+    let terminal = run_deadline_scenario(&DeadlineConfig {
+        retry: RetryConfig::terminal(),
+        ..config
+    });
+    println!("{}", terminal.render());
+
+    println!("— bursty (Markov-modulated) arrivals —");
+    let bursty = run_deadline_scenario(&DeadlineConfig {
+        arrival_process: ArrivalProcess::bursty(),
+        ..config
+    });
+    println!("{}", bursty.render());
+
+    println!("— utilization sweep (throughput vs SLO record per policy) —");
+    let sweep = run_utilization_sweep(&config, &[0.4, 0.6, 0.8, 1.0]);
+    println!("{}", render_utilization_sweep(&sweep));
 }

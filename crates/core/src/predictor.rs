@@ -120,6 +120,25 @@ impl Prediction {
     pub fn prob_completes_by(&self, deadline_ms: f64) -> f64 {
         self.distribution.cdf(deadline_ms)
     }
+
+    /// A placeholder prediction for degraded serving tiers: a bare
+    /// `N(mean_ms, var_ms2)` with no breakdown, no per-operator estimates,
+    /// and zero timings. With `var_ms2 = 0` the distribution collapses to
+    /// a point, so tail-probability admission on it degenerates to exactly
+    /// the mean-only check `mean ≤ budget` (the CDF of a point mass is a
+    /// step) — which is precisely what a mean-only fallback tier should
+    /// decide. Both arguments must be finite and `var_ms2 ≥ 0`
+    /// ([`Normal::new`] asserts this); callers with *no* usable estimate
+    /// signal that out of band, not through a NaN mean.
+    pub fn degraded(mean_ms: f64, var_ms2: f64) -> Self {
+        Self {
+            distribution: Normal::new(mean_ms, var_ms2),
+            breakdown: VarianceBreakdown::default(),
+            sel_estimates: SelEstimates::from_vec(Vec::new()),
+            sample_pass_seconds: 0.0,
+            inference_seconds: 0.0,
+        }
+    }
 }
 
 /// The uncertainty-aware query execution time predictor.
@@ -194,11 +213,7 @@ impl Predictor {
         // against a different database (same-shape plans over different
         // catalogs differ in cardinalities, pages, and key densities).
         let shape = if fit_cache.enabled() || sel_cache.enabled() {
-            Some(format!(
-                "{}#cat{:016x}",
-                plan.shape_signature(),
-                catalog.fingerprint()
-            ))
+            Some(Self::shape_key(plan, catalog))
         } else {
             None
         };
@@ -208,15 +223,11 @@ impl Predictor {
         //       unless the estimate cache already holds this exact query
         //       instance over this exact sample set.
         let (raw_estimates, sample_pass_seconds) = if sel_cache.enabled() {
-            let key = format!(
-                "{}#smp{:016x}#agg{}|{}",
+            let key = Self::sel_key_for_shape(
                 shape.as_deref().expect("shape computed when a cache is on"),
-                samples.fingerprint(),
-                match self.config.agg_source {
-                    AggCardinalitySource::Optimizer => "opt",
-                    AggCardinalitySource::Gee => "gee",
-                },
-                plan.literal_key()
+                plan,
+                samples,
+                self.config.agg_source,
             );
             match sel_cache.get(&key) {
                 Some(estimates) => (estimates, 0.0),
@@ -230,6 +241,94 @@ impl Predictor {
         } else {
             SelEstimates::compute(plan, samples, catalog, self.config.agg_source)
         };
+        self.finish_prediction(
+            plan,
+            catalog,
+            raw_estimates,
+            sample_pass_seconds,
+            fit_cache,
+            shape.as_deref(),
+        )
+    }
+
+    /// Completes a prediction from already-obtained selectivity estimates
+    /// (steps 3–4: fitting plus the variance algebra), **skipping the
+    /// sample pass entirely**. This is the serving layer's degraded
+    /// "cached estimates" tier: when the full pipeline fails or is over
+    /// budget but the selectivity-estimate cache holds this exact query
+    /// instance (probe with [`Self::sel_instance_key`]), the cached
+    /// estimates still produce the full uncertainty distribution — fed
+    /// through the identical code path, so the result is bit-identical to
+    /// a [`Self::predict_with_caches`] sel-cache hit.
+    pub fn predict_from_estimates(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        estimates: SelEstimates,
+        fit_cache: &dyn FitCache,
+    ) -> Prediction {
+        let shape = fit_cache.enabled().then(|| Self::shape_key(plan, catalog));
+        self.finish_prediction(plan, catalog, estimates, 0.0, fit_cache, shape.as_deref())
+    }
+
+    /// The cache key under which [`Self::predict_with_caches`] stores this
+    /// exact query instance's selectivity estimates (plan shape, catalog
+    /// fingerprint, sample-set fingerprint, aggregate-cardinality source,
+    /// and predicate literals). Exposed so a caller holding only the
+    /// [`SelEstCache`] can probe for reusable estimates without running
+    /// any part of the pipeline.
+    pub fn sel_instance_key(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        samples: &SampleCatalog,
+    ) -> String {
+        Self::sel_key_for_shape(
+            &Self::shape_key(plan, catalog),
+            plan,
+            samples,
+            self.config.agg_source,
+        )
+    }
+
+    fn shape_key(plan: &Plan, catalog: &Catalog) -> String {
+        format!(
+            "{}#cat{:016x}",
+            plan.shape_signature(),
+            catalog.fingerprint()
+        )
+    }
+
+    fn sel_key_for_shape(
+        shape: &str,
+        plan: &Plan,
+        samples: &SampleCatalog,
+        agg_source: AggCardinalitySource,
+    ) -> String {
+        format!(
+            "{}#smp{:016x}#agg{}|{}",
+            shape,
+            samples.fingerprint(),
+            match agg_source {
+                AggCardinalitySource::Optimizer => "opt",
+                AggCardinalitySource::Gee => "gee",
+            },
+            plan.literal_key()
+        )
+    }
+
+    /// Steps 3–4 of the pipeline, shared verbatim by every entry point so
+    /// cached, uncached, and degraded-tier predictions run the identical
+    /// floating-point operation sequence (the bit-identity guarantee).
+    fn finish_prediction(
+        &self,
+        plan: &Plan,
+        catalog: &Catalog,
+        raw_estimates: SelEstimates,
+        sample_pass_seconds: f64,
+        fit_cache: &dyn FitCache,
+        shape: Option<&str>,
+    ) -> Prediction {
         // The "No Var[X]" ablation zeroes a deep copy: cached raw estimates
         // are shared with other predictions and must stay untouched.
         let estimates = if self.config.variant == Variant::NoSelectivityVariance {
@@ -244,7 +343,7 @@ impl Predictor {
         // 3. Fit the logical cost functions per (operator, unit),
         //    consulting the fit cache at both levels (contexts, fits).
         let fits = if fit_cache.enabled() {
-            let shape = shape.as_deref().expect("shape computed when a cache is on");
+            let shape = shape.expect("shape computed when a cache is on");
             let sig = FitSignature::new(self.config.fit.grid_w, &dists);
             match fit_cache.get_fits(shape, &sig) {
                 Some(fits) => fits,
@@ -597,6 +696,38 @@ mod tests {
         let (lo95, hi95) = p.confidence_interval_ms(0.95);
         assert!(lo95 < lo70 && lo70 < p.mean_ms() && p.mean_ms() < hi70 && hi70 < hi95);
         assert!((p.prob_within_alpha(1.0) - 0.6827).abs() < 1e-3);
+    }
+
+    #[test]
+    fn predict_from_estimates_is_bit_identical_to_the_full_pipeline() {
+        let c = catalog();
+        let plan = join_plan();
+        let units = calibrated_units(&HardwareProfile::pc1(), 64);
+        let predictor = Predictor::new(units, PredictorConfig::default());
+        let mut rng = Rng::new(65);
+        let samples = c.draw_samples(0.05, 1, &mut rng);
+        let full = predictor.predict(&plan, &c, &samples);
+        let (estimates, _) =
+            SelEstimates::compute(&plan, &samples, &c, PredictorConfig::default().agg_source);
+        let from_est = predictor.predict_from_estimates(&plan, &c, estimates, &NoFitCache);
+        assert_eq!(full.mean_ms().to_bits(), from_est.mean_ms().to_bits());
+        assert_eq!(full.var().to_bits(), from_est.var().to_bits());
+        assert_eq!(
+            from_est.sample_pass_seconds, 0.0,
+            "the skipped stage reports zero"
+        );
+    }
+
+    #[test]
+    fn degraded_prediction_is_a_point_mass_with_step_cdf() {
+        let p = Prediction::degraded(10.0, 0.0);
+        assert_eq!(p.mean_ms(), 10.0);
+        assert_eq!(p.var(), 0.0);
+        // Point mass ⇒ tail-probability admission degenerates to the
+        // mean-only check: all-or-nothing around the mean.
+        assert_eq!(p.prob_completes_by(9.9), 0.0);
+        assert_eq!(p.prob_completes_by(10.0), 1.0);
+        assert!(p.sel_estimates.is_empty());
     }
 
     #[test]

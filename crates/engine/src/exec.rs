@@ -264,6 +264,7 @@ pub fn execute_full(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
 /// the estimator consumes only the traces, so the former root-row
 /// materialization is gone from the prediction path entirely.
 pub fn execute_on_samples(plan: &Plan, samples: &SampleCatalog) -> ExecOutcome {
+    crate::fault::fire_sample_pass_hook();
     let mut ex = Executor {
         plan,
         source: Source::Samples(samples),

@@ -1,0 +1,65 @@
+//! Test-only fault hook for the sample-pass executor.
+//!
+//! The serving layer's chaos harness needs to inject failures *inside* the
+//! engine — a panic mid-sample-pass is the realistic worst case for the
+//! prediction pipeline — without the engine depending on the service's
+//! `FaultInjector`. The hook is a per-thread callback fired at the top of
+//! [`execute_on_samples`](crate::execute_on_samples): service workers
+//! install a forwarder to their injector at thread start (thread-locals do
+//! not cross threads, so every worker — including respawned ones — must
+//! install its own), and production threads pay one thread-local
+//! `is_none` check per sample pass, noise against the pass itself.
+
+use std::cell::RefCell;
+
+thread_local! {
+    static SAMPLE_PASS_HOOK: RefCell<Option<Box<dyn FnMut()>>> = const { RefCell::new(None) };
+}
+
+/// Installs `hook` to run at the top of every sample-pass execution on
+/// *this thread*, replacing any previous hook. The hook may panic — that
+/// is its purpose.
+pub fn install_sample_pass_hook(hook: Box<dyn FnMut()>) {
+    SAMPLE_PASS_HOOK.with(|h| *h.borrow_mut() = Some(hook));
+}
+
+/// Removes this thread's sample-pass hook, if any.
+pub fn clear_sample_pass_hook() {
+    SAMPLE_PASS_HOOK.with(|h| *h.borrow_mut() = None);
+}
+
+/// Fires this thread's hook, if one is installed. Re-entrant calls (a
+/// hook that somehow triggers another sample pass) are ignored rather
+/// than deadlocked on the `RefCell`.
+pub(crate) fn fire_sample_pass_hook() {
+    SAMPLE_PASS_HOOK.with(|h| {
+        if let Ok(mut slot) = h.try_borrow_mut() {
+            if let Some(hook) = slot.as_mut() {
+                hook();
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    #[test]
+    fn hook_fires_only_on_the_installing_thread_and_clears() {
+        let count = Rc::new(RefCell::new(0u32));
+        let c = Rc::clone(&count);
+        install_sample_pass_hook(Box::new(move || *c.borrow_mut() += 1));
+        fire_sample_pass_hook();
+        fire_sample_pass_hook();
+        assert_eq!(*count.borrow(), 2);
+
+        // A fresh thread has no hook.
+        std::thread::spawn(fire_sample_pass_hook).join().unwrap();
+
+        clear_sample_pass_hook();
+        fire_sample_pass_hook();
+        assert_eq!(*count.borrow(), 2, "cleared hook no longer fires");
+    }
+}

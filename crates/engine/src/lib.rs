@@ -10,6 +10,7 @@ pub mod cardest;
 pub mod exec;
 pub mod exec_row;
 pub mod expr;
+pub mod fault;
 pub mod plan;
 pub mod planner;
 

@@ -284,13 +284,13 @@ pub fn render_utilization_sweep(reports: &[DeadlineReport]) -> String {
 
 /// One distinct query of the traffic pool, fully executed once for ground
 /// truth (exactly like `Lab` caches its prepared queries).
-struct PooledQuery {
-    plan: Arc<Plan>,
+pub(crate) struct PooledQuery {
+    pub(crate) plan: Arc<Plan>,
     contexts: Vec<NodeCostContext>,
     traces: Vec<NodeTrace>,
     /// Filled by the first arrival of this query in the stream (queries the
     /// stream never draws stay unpredicted).
-    prediction: Option<Prediction>,
+    pub(crate) prediction: Option<Prediction>,
 }
 
 fn request(id: u64, q: &PooledQuery) -> PredictRequest {
@@ -302,26 +302,26 @@ fn request(id: u64, q: &PooledQuery) -> PredictRequest {
 }
 
 /// One arrival of the simulated stream, shared verbatim by every policy.
-struct Arrival {
-    at_ms: f64,
-    query: usize,
-    slack_ms: f64,
-    actual_ms: f64,
+pub(crate) struct Arrival {
+    pub(crate) at_ms: f64,
+    pub(crate) query: usize,
+    pub(crate) slack_ms: f64,
+    pub(crate) actual_ms: f64,
 }
 
 /// Everything the scenario derives once per config and reuses across
 /// utilization sweep points: the executed query pool, the running
 /// prediction service (cache warm across runs — hits are bit-identical,
 /// so reuse cannot change any report), and the pool's mean service time.
-struct Prepared {
-    pool: Vec<PooledQuery>,
-    service: PredictionService,
+pub(crate) struct Prepared {
+    pub(crate) pool: Vec<PooledQuery>,
+    pub(crate) service: PredictionService,
     profile: uaq_cost::HardwareProfile,
     sim: SimConfig,
     pool_mean_ms: f64,
 }
 
-fn prepare(config: &DeadlineConfig) -> Prepared {
+pub(crate) fn prepare(config: &DeadlineConfig) -> Prepared {
     let catalog = Arc::new(config.db.build(config.seed ^ 0xD8));
     let mut rng = Rng::new(config.seed ^ 0x5C4ED);
     let units = calibrate(
@@ -409,7 +409,7 @@ fn prepare(config: &DeadlineConfig) -> Prepared {
 /// cache exists for: the first arrival of each template pays the grid
 /// fits, repeats hit warm entries (bit-identically, so submission order
 /// and sweep-point reuse cannot matter).
-fn generate_arrivals(prepared: &mut Prepared, config: &DeadlineConfig) -> Vec<Arrival> {
+pub(crate) fn generate_arrivals(prepared: &mut Prepared, config: &DeadlineConfig) -> Vec<Arrival> {
     // The stream RNG is seeded per (seed, utilization) so every sweep
     // point is independently deterministic.
     let mut rng = Rng::new(config.seed ^ 0x57AEA ^ config.utilization.to_bits());
@@ -553,7 +553,7 @@ pub fn run_utilization_sweep(config: &DeadlineConfig, utilizations: &[f64]) -> V
 }
 
 /// Linear-interpolated percentile of pre-sorted data; `NaN` when empty.
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return f64::NAN;
     }
@@ -640,6 +640,9 @@ fn replay(
             JobFate::Rejected { converted: true } => outcome.defer_to_reject += 1,
             JobFate::Rejected { converted: false } => outcome.rejected += 1,
             JobFate::Dropped => outcome.dropped += 1,
+            // This scenario runs an unbounded queue; the overload
+            // scenario owns shedding and counts it separately.
+            JobFate::Shed => outcome.rejected += 1,
         }
     }
     if outcome.admitted > 0 {

@@ -9,6 +9,7 @@
 pub mod config;
 pub mod deadline;
 pub mod metrics;
+pub mod overload;
 pub mod report;
 pub mod runner;
 pub mod sim;
@@ -20,5 +21,9 @@ pub use deadline::{
     render_utilization_sweep, run_deadline_scenario, run_utilization_sweep, ArrivalProcess,
     DeadlineConfig, DeadlineReport, PolicyOutcome,
 };
+pub use overload::{run_overload_scenario, OverloadConfig, OverloadOutcome, OverloadReport};
 pub use runner::{CellOutcome, Lab, QueryRecord, SelRecord};
-pub use sim::{simulate, Consult, JobFate, RetryConfig, SimJob, SimResult};
+pub use sim::{
+    simulate, simulate_shedding, Consult, JobFate, RetryConfig, ShedConfig, ShedOrder, SimJob,
+    SimResult,
+};

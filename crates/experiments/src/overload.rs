@@ -1,0 +1,398 @@
+//! Overload scenario: what should a saturated queue *drop*?
+//!
+//! The deadline scenario asks which arrivals to admit; this one asks the
+//! harder operational question a provider faces past saturation, where
+//! admission control alone cannot save the SLO: the run queue is bounded,
+//! something must be shed — which request? Two orders compete at the same
+//! queue capacity (the same shed budget):
+//!
+//! * **fifo-shed** ([`ShedOrder::Tail`]): classic tail drop — the arrival
+//!   that finds the queue full is turned away. What any bounded queue
+//!   does with no prediction at all.
+//! * **variance-shed** ([`ShedOrder::HighestPriority`]): evict the queued
+//!   request with the highest predicted *relative* variance `σ/μ` — the
+//!   paper's uncertainty estimate used as an operational signal. Among
+//!   requests that cannot all be served, the ones whose runtime the
+//!   predictor is least sure about are the worst SLO bets per slot of
+//!   capacity they hold.
+//!
+//! Both orders shed comparably many jobs (the queue bound is what sheds;
+//! the order only picks victims), so any violation-rate gap between them
+//! is purely the *choice* of victim — exactly the marginal value of the
+//! predicted variance, isolated from the admission policy. The scenario
+//! reports the pair under admit-all (no admission filter: the pure
+//! shedding effect) and under the θ-confidence policy (shedding composes
+//! with uncertainty-aware admission), plus the unbounded admit-all
+//! baseline showing the violation catastrophe a bounded queue prevents.
+//!
+//! Deterministic: one arrival stream (same seeding discipline as the
+//! deadline scenario) replayed verbatim under every row.
+
+use crate::deadline::{
+    generate_arrivals, percentile, prepare, Arrival, DeadlineConfig, PooledQuery,
+};
+use crate::sim::{simulate_shedding, Consult, JobFate, RetryConfig, ShedConfig, ShedOrder, SimJob};
+use uaq_service::{shed_priority, AdmissionPolicy, Decision};
+
+/// Scenario knobs: the deadline scenario's workload machinery pushed past
+/// saturation, plus the queue bound.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Workload, seeding, θ, servers — reused wholesale. The default
+    /// overrides utilization to 1.5: sustained overload, where a FIFO
+    /// queue grows without bound and shedding is not optional.
+    pub base: DeadlineConfig,
+    /// Ready-queue capacity for the bounded rows.
+    pub queue_capacity: usize,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        Self {
+            base: DeadlineConfig {
+                utilization: 1.5,
+                ..Default::default()
+            },
+            queue_capacity: 4,
+        }
+    }
+}
+
+/// One row of the overload table.
+#[derive(Debug, Clone)]
+pub struct OverloadOutcome {
+    pub label: String,
+    /// Queries that ran (throughput under overload).
+    pub admitted: usize,
+    /// Load-shed at the full queue.
+    pub shed: usize,
+    /// Turned away by the admission policy (arrival-time rejections plus
+    /// defer→reject outcomes).
+    pub rejected: usize,
+    /// Admitted queries that finished past their deadline.
+    pub violations: usize,
+    pub p50_sojourn_ms: f64,
+    pub p95_sojourn_ms: f64,
+}
+
+impl OverloadOutcome {
+    /// SLO violation rate among admitted queries (`NaN` if none ran).
+    pub fn violation_rate(&self) -> f64 {
+        if self.admitted == 0 {
+            f64::NAN
+        } else {
+            self.violations as f64 / self.admitted as f64
+        }
+    }
+}
+
+/// The scenario's full result.
+#[derive(Debug, Clone)]
+pub struct OverloadReport {
+    pub arrivals: usize,
+    pub servers: usize,
+    pub utilization: f64,
+    pub queue_capacity: usize,
+    /// Row order: admit-all {unbounded, fifo-shed, variance-shed}, then
+    /// uncertainty {fifo-shed, variance-shed}.
+    pub outcomes: Vec<OverloadOutcome>,
+}
+
+impl OverloadReport {
+    pub fn outcome(&self, label: &str) -> Option<&OverloadOutcome> {
+        self.outcomes.iter().find(|o| o.label == label)
+    }
+
+    /// Text rendering in the style of the paper-table renderers.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Overload shedding: {} arrivals, {} server(s), ρ = {:.2}, queue capacity {}",
+            self.arrivals, self.servers, self.utilization, self.queue_capacity
+        );
+        let _ = writeln!(
+            out,
+            "{:<34} {:>6} {:>5} {:>7} {:>5} {:>9} {:>9} {:>9}",
+            "policy / shed order",
+            "admit",
+            "shed",
+            "reject",
+            "viol",
+            "viol rate",
+            "p50 ms",
+            "p95 ms"
+        );
+        for o in &self.outcomes {
+            let rate = if o.violation_rate().is_nan() {
+                "n/a".to_owned()
+            } else {
+                format!("{:.1}%", 100.0 * o.violation_rate())
+            };
+            let _ = writeln!(
+                out,
+                "{:<34} {:>6} {:>5} {:>7} {:>5} {:>9} {:>9.1} {:>9.1}",
+                o.label,
+                o.admitted,
+                o.shed,
+                o.rejected,
+                o.violations,
+                rate,
+                o.p50_sojourn_ms,
+                o.p95_sojourn_ms,
+            );
+        }
+        out
+    }
+}
+
+/// Replays the stream under one (admission policy, shed config) pair.
+#[allow(clippy::too_many_arguments)]
+fn replay(
+    label: &str,
+    policy: Option<AdmissionPolicy>,
+    shed: ShedConfig,
+    arrivals: &[Arrival],
+    pool: &[PooledQuery],
+    priority: &[f64],
+    servers: usize,
+    retry: RetryConfig,
+) -> OverloadOutcome {
+    let jobs: Vec<SimJob> = arrivals
+        .iter()
+        .map(|a| SimJob {
+            arrive_ms: a.at_ms,
+            slack_ms: a.slack_ms,
+            actual_ms: a.actual_ms,
+        })
+        .collect();
+    let result = simulate_shedding(
+        &jobs,
+        servers,
+        retry,
+        shed,
+        priority,
+        |i, budget, consult| {
+            let Some(p) = &policy else {
+                return Decision::Admit;
+            };
+            let prediction = pool[arrivals[i].query]
+                .prediction
+                .as_ref()
+                .expect("arrived ⇒ predicted");
+            match consult {
+                Consult::Arrival { wait_ms } => {
+                    p.decide_queued(prediction, budget + wait_ms, wait_ms).0
+                }
+                Consult::Retry => p.decide(prediction, Some(budget)).0,
+            }
+        },
+    );
+
+    let mut outcome = OverloadOutcome {
+        label: label.to_owned(),
+        admitted: 0,
+        shed: 0,
+        rejected: 0,
+        violations: 0,
+        p50_sojourn_ms: f64::NAN,
+        p95_sojourn_ms: f64::NAN,
+    };
+    let mut sojourns = Vec::new();
+    for fate in &result.fates {
+        match *fate {
+            JobFate::Admitted {
+                sojourn_ms,
+                violated,
+                ..
+            } => {
+                outcome.admitted += 1;
+                sojourns.push(sojourn_ms);
+                if violated {
+                    outcome.violations += 1;
+                }
+            }
+            JobFate::Rejected { .. } | JobFate::Dropped => outcome.rejected += 1,
+            JobFate::Shed => outcome.shed += 1,
+        }
+    }
+    sojourns.sort_by(|a, b| a.total_cmp(b));
+    outcome.p50_sojourn_ms = percentile(&sojourns, 0.50);
+    outcome.p95_sojourn_ms = percentile(&sojourns, 0.95);
+    outcome
+}
+
+/// Runs the scenario. Deterministic for a given config.
+pub fn run_overload_scenario(config: &OverloadConfig) -> OverloadReport {
+    let mut prepared = prepare(&config.base);
+    let arrivals = generate_arrivals(&mut prepared, &config.base);
+    // Per-job shed priority: predicted relative variance σ/μ of the
+    // arrival's query — the number the service's bounded queue uses.
+    let priority: Vec<f64> = arrivals
+        .iter()
+        .map(|a| {
+            shed_priority(
+                prepared.pool[a.query]
+                    .prediction
+                    .as_ref()
+                    .expect("arrived ⇒ predicted"),
+            )
+        })
+        .collect();
+
+    let theta_label = format!("uncertainty (θ={})", config.base.theta);
+    let theta = AdmissionPolicy::uncertainty_aware(config.base.theta);
+    let fifo = ShedConfig::bounded(config.queue_capacity, ShedOrder::Tail);
+    let variance = ShedConfig::bounded(config.queue_capacity, ShedOrder::HighestPriority);
+    let rows: Vec<(String, Option<AdmissionPolicy>, ShedConfig)> = vec![
+        (
+            "admit-all / unbounded".into(),
+            None,
+            ShedConfig::unbounded(),
+        ),
+        ("admit-all / fifo-shed".into(), None, fifo),
+        ("admit-all / variance-shed".into(), None, variance),
+        (format!("{theta_label} / fifo-shed"), Some(theta), fifo),
+        (
+            format!("{theta_label} / variance-shed"),
+            Some(theta),
+            variance,
+        ),
+    ];
+
+    let outcomes = rows
+        .into_iter()
+        .map(|(label, policy, shed)| {
+            replay(
+                &label,
+                policy,
+                shed,
+                &arrivals,
+                &prepared.pool,
+                &priority,
+                config.base.servers,
+                config.base.retry,
+            )
+        })
+        .collect();
+
+    OverloadReport {
+        arrivals: config.base.arrivals,
+        servers: config.base.servers,
+        utilization: config.base.utilization,
+        queue_capacity: config.queue_capacity,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> OverloadConfig {
+        OverloadConfig {
+            base: DeadlineConfig {
+                arrivals: 250,
+                workers: 3,
+                utilization: 1.5,
+                ..Default::default()
+            },
+            queue_capacity: 4,
+        }
+    }
+
+    #[test]
+    fn variance_shedding_beats_fifo_shedding_at_the_same_capacity() {
+        let report = run_overload_scenario(&small_config());
+        let fifo = report.outcome("admit-all / fifo-shed").expect("row");
+        let var = report.outcome("admit-all / variance-shed").expect("row");
+        // Admit-all pair: no admission filter, so the only difference is
+        // the victim choice — the isolated value of predicted variance.
+        assert!(fifo.shed > 0, "overload must actually shed: {fifo:?}");
+        assert!(var.shed > 0, "overload must actually shed: {var:?}");
+        assert!(
+            var.violation_rate() < fifo.violation_rate(),
+            "shedding the most uncertain work must beat blind tail drop: \
+             variance {:.3} vs fifo {:.3}",
+            var.violation_rate(),
+            fifo.violation_rate()
+        );
+        // Same shed budget: the bound sheds, the order only picks victims.
+        let total = |o: &OverloadOutcome| o.admitted + o.shed + o.rejected;
+        assert_eq!(total(fifo), report.arrivals);
+        assert_eq!(total(var), report.arrivals);
+    }
+
+    #[test]
+    fn bounded_queue_contains_the_unbounded_violation_catastrophe() {
+        let report = run_overload_scenario(&small_config());
+        let unbounded = report.outcome("admit-all / unbounded").expect("row");
+        let var = report.outcome("admit-all / variance-shed").expect("row");
+        assert_eq!(unbounded.shed, 0);
+        assert!(
+            var.violation_rate() < unbounded.violation_rate(),
+            "a bounded queue must shed its way to fewer violations: \
+             bounded {:.3} vs unbounded {:.3}",
+            var.violation_rate(),
+            unbounded.violation_rate()
+        );
+        assert!(
+            var.p95_sojourn_ms < unbounded.p95_sojourn_ms,
+            "shedding caps the queueing delay"
+        );
+    }
+
+    #[test]
+    fn shedding_composes_with_uncertainty_aware_admission() {
+        let config = small_config();
+        let report = run_overload_scenario(&config);
+        let label = format!("uncertainty (θ={})", config.base.theta);
+        let fifo = report
+            .outcome(&format!("{label} / fifo-shed"))
+            .expect("row");
+        let var = report
+            .outcome(&format!("{label} / variance-shed"))
+            .expect("row");
+        // The admission policy already filters the worst bets, so the
+        // shedder has less to gain — but it must never do worse.
+        assert!(
+            var.violation_rate() <= fifo.violation_rate(),
+            "variance {:.3} vs fifo {:.3}",
+            var.violation_rate(),
+            fifo.violation_rate()
+        );
+        for o in [fifo, var] {
+            assert_eq!(o.admitted + o.shed + o.rejected, report.arrivals);
+        }
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let config = small_config();
+        let a = run_overload_scenario(&config);
+        let b = run_overload_scenario(&config);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.admitted, y.admitted);
+            assert_eq!(x.shed, y.shed);
+            assert_eq!(x.rejected, y.rejected);
+            assert_eq!(x.violations, y.violations);
+            assert_eq!(x.p95_sojourn_ms.to_bits(), y.p95_sojourn_ms.to_bits());
+        }
+    }
+
+    #[test]
+    fn report_renders_every_row() {
+        let report = run_overload_scenario(&small_config());
+        let text = report.render();
+        for label in [
+            "admit-all / unbounded",
+            "admit-all / fifo-shed",
+            "admit-all / variance-shed",
+            "uncertainty",
+        ] {
+            assert!(text.contains(label), "missing {label} in:\n{text}");
+        }
+    }
+}

@@ -89,6 +89,57 @@ pub enum JobFate {
     Rejected { converted: bool },
     /// Terminal defer with retries disabled: dropped without a verdict.
     Dropped,
+    /// Admitted past a full bounded queue: load-shed instead of queued
+    /// (either this job or, under priority shedding, in place of a
+    /// higher-priority victim that got this fate instead).
+    Shed,
+}
+
+/// Which queued job a full bounded queue evicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedOrder {
+    /// Tail drop: the arriving job itself is shed (classic FIFO overflow —
+    /// the baseline every bounded queue gets for free).
+    Tail,
+    /// Evict the queued job with the *highest* shed priority, provided it
+    /// is strictly higher than the arrival's (ties shed the arrival). With
+    /// priority = predicted relative variance `σ/μ`, this sheds the work
+    /// whose runtime the predictor is least sure about — the worst SLO
+    /// bets per slot of capacity.
+    HighestPriority,
+}
+
+/// Bounded-queue overload behaviour for admitted jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShedConfig {
+    /// Maximum admitted jobs waiting for a server (`None` = unbounded:
+    /// no shedding ever, the [`simulate`] semantics).
+    pub capacity: Option<usize>,
+    pub order: ShedOrder,
+}
+
+impl ShedConfig {
+    /// No queue bound: shedding disabled.
+    pub fn unbounded() -> Self {
+        Self {
+            capacity: None,
+            order: ShedOrder::Tail,
+        }
+    }
+
+    /// Queue bounded at `capacity` waiting jobs (clamped to ≥ 1).
+    pub fn bounded(capacity: usize, order: ShedOrder) -> Self {
+        Self {
+            capacity: Some(capacity.max(1)),
+            order,
+        }
+    }
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        Self::unbounded()
+    }
 }
 
 /// Per-job fates of one simulation run.
@@ -196,11 +247,39 @@ fn earliest(avail: &[f64]) -> usize {
 /// job is (re-)considered; it sees consultations in a deterministic
 /// order, so a pure decision function yields bit-identical results across
 /// runs.
-pub fn simulate<F>(jobs: &[SimJob], servers: usize, retry: RetryConfig, mut decide: F) -> SimResult
+pub fn simulate<F>(jobs: &[SimJob], servers: usize, retry: RetryConfig, decide: F) -> SimResult
+where
+    F: FnMut(usize, f64, Consult) -> Decision,
+{
+    simulate_shedding(jobs, servers, retry, ShedConfig::unbounded(), &[], decide)
+}
+
+/// [`simulate`] with a bounded ready queue: when an admitted job finds no
+/// free server and the queue already holds `capacity` jobs, one job is
+/// load-shed ([`JobFate::Shed`]) according to `shed.order`. `priority[i]`
+/// is job `i`'s shed priority (higher sheds first; only read under
+/// [`ShedOrder::HighestPriority`], where it must cover every job).
+/// Everything else — retry queue, determinism guarantees — is unchanged;
+/// with `ShedConfig::unbounded()` this *is* [`simulate`].
+pub fn simulate_shedding<F>(
+    jobs: &[SimJob],
+    servers: usize,
+    retry: RetryConfig,
+    shed: ShedConfig,
+    priority: &[f64],
+    mut decide: F,
+) -> SimResult
 where
     F: FnMut(usize, f64, Consult) -> Decision,
 {
     assert!(servers >= 1, "need at least one server");
+    if shed.capacity.is_some() && shed.order == ShedOrder::HighestPriority {
+        assert_eq!(
+            priority.len(),
+            jobs.len(),
+            "priority shedding needs a priority per job"
+        );
+    }
     debug_assert!(
         jobs.windows(2).all(|w| w[0].arrive_ms <= w[1].arrive_ms),
         "jobs must be sorted by arrival time"
@@ -255,6 +334,30 @@ where
                     Decision::Admit => {
                         if let Some(s) = running.iter().position(Option::is_none) {
                             start(i, s, now, &mut running, &mut heap, &mut started_wait);
+                        } else if shed.capacity.is_some_and(|cap| ready.len() >= cap) {
+                            match shed.order {
+                                ShedOrder::Tail => fates[i] = Some(JobFate::Shed),
+                                ShedOrder::HighestPriority => {
+                                    // First max wins on ties: deterministic.
+                                    let victim = ready.iter().enumerate().fold(
+                                        None,
+                                        |best: Option<(usize, usize)>, (pos, &j)| match best {
+                                            Some((_, b)) if priority[j] <= priority[b] => best,
+                                            _ => Some((pos, j)),
+                                        },
+                                    );
+                                    match victim {
+                                        Some((pos, j)) if priority[j] > priority[i] => {
+                                            ready.remove(pos);
+                                            fates[j] = Some(JobFate::Shed);
+                                            ready.push_back(i);
+                                        }
+                                        // Queue holds nothing worse than
+                                        // the arrival: shed the arrival.
+                                        _ => fates[i] = Some(JobFate::Shed),
+                                    }
+                                }
+                            }
                         } else {
                             ready.push_back(i);
                         }
@@ -571,6 +674,106 @@ mod tests {
                 (x, y) => assert_eq!(x, y),
             }
         }
+    }
+
+    #[test]
+    fn tail_drop_sheds_the_arrival_when_the_queue_is_full() {
+        // One server, queue capacity 1: job 0 runs, job 1 queues, job 2
+        // overflows and is tail-dropped.
+        let jobs: Vec<SimJob> = (0..3)
+            .map(|i| SimJob {
+                arrive_ms: i as f64 * 0.1,
+                slack_ms: 100.0,
+                actual_ms: 10.0,
+            })
+            .collect();
+        let r = simulate_shedding(
+            &jobs,
+            1,
+            RetryConfig::terminal(),
+            ShedConfig::bounded(1, ShedOrder::Tail),
+            &[],
+            |_, _, _| Decision::Admit,
+        );
+        assert!(matches!(r.fates[0], JobFate::Admitted { .. }));
+        assert!(matches!(r.fates[1], JobFate::Admitted { .. }));
+        assert_eq!(r.fates[2], JobFate::Shed);
+    }
+
+    #[test]
+    fn priority_shedding_evicts_the_most_uncertain_queued_job() {
+        // Same overload, but the queued job (1) carries a higher shed
+        // priority than the arrival (2): the queue evicts job 1 and keeps
+        // job 2, which then runs.
+        let jobs: Vec<SimJob> = (0..3)
+            .map(|i| SimJob {
+                arrive_ms: i as f64 * 0.1,
+                slack_ms: 100.0,
+                actual_ms: 10.0,
+            })
+            .collect();
+        let priority = [0.1, 5.0, 0.2];
+        let r = simulate_shedding(
+            &jobs,
+            1,
+            RetryConfig::terminal(),
+            ShedConfig::bounded(1, ShedOrder::HighestPriority),
+            &priority,
+            |_, _, _| Decision::Admit,
+        );
+        assert!(matches!(r.fates[0], JobFate::Admitted { .. }));
+        assert_eq!(r.fates[1], JobFate::Shed, "highest σ/μ goes first");
+        assert!(matches!(r.fates[2], JobFate::Admitted { .. }));
+    }
+
+    #[test]
+    fn priority_ties_shed_the_arrival_not_the_queue() {
+        let jobs: Vec<SimJob> = (0..3)
+            .map(|i| SimJob {
+                arrive_ms: i as f64 * 0.1,
+                slack_ms: 100.0,
+                actual_ms: 10.0,
+            })
+            .collect();
+        let priority = [1.0, 1.0, 1.0];
+        let r = simulate_shedding(
+            &jobs,
+            1,
+            RetryConfig::terminal(),
+            ShedConfig::bounded(1, ShedOrder::HighestPriority),
+            &priority,
+            |_, _, _| Decision::Admit,
+        );
+        assert_eq!(r.fates[2], JobFate::Shed, "strictly greater evicts");
+        assert!(matches!(r.fates[1], JobFate::Admitted { .. }));
+    }
+
+    #[test]
+    fn unbounded_shed_config_reproduces_simulate_exactly() {
+        let jobs: Vec<SimJob> = (0..30)
+            .map(|i| SimJob {
+                arrive_ms: i as f64 * 1.3,
+                slack_ms: 12.0 + (i % 5) as f64,
+                actual_ms: 4.0 + (i % 3) as f64,
+            })
+            .collect();
+        let decide = |_: usize, budget: f64, _: Consult| {
+            if budget > 6.0 {
+                Decision::Admit
+            } else {
+                Decision::Reject
+            }
+        };
+        let a = simulate(&jobs, 2, RetryConfig::bounded(2), decide);
+        let b = simulate_shedding(
+            &jobs,
+            2,
+            RetryConfig::bounded(2),
+            ShedConfig::unbounded(),
+            &[],
+            decide,
+        );
+        assert_eq!(a.fates, b.fates);
     }
 
     #[test]

@@ -147,6 +147,23 @@ impl Default for AdmissionPolicy {
     }
 }
 
+/// Shed priority of a queued request: its predicted *relative* variance
+/// (coefficient of variation, `σ/μ`). Under overload the shedder drops
+/// the highest-priority items first — the paper's uncertainty estimate
+/// used as an operational signal: among requests we cannot all serve,
+/// the ones whose runtime we are least sure about are the worst SLO
+/// bets per unit of capacity they consume. Dimensionless, so cheap
+/// short queries and expensive long ones compete fairly; a degenerate
+/// non-positive mean (no real prediction) sorts first — there is no
+/// evidence such a request can meet anything.
+pub fn shed_priority(prediction: &Prediction) -> f64 {
+    let mean = prediction.mean_ms();
+    if mean.is_nan() || mean <= 0.0 {
+        return f64::INFINITY;
+    }
+    prediction.std_dev_ms() / mean
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,6 +270,23 @@ mod tests {
         assert_eq!(prob, 0.0, "the effective budget is negative");
         // Without the queue the same call is a plain admit.
         assert_eq!(policy.decide_queued(&p, slack, 0.0).0, Decision::Admit);
+    }
+
+    #[test]
+    fn shed_priority_is_relative_variance_and_ranks_uncertainty() {
+        let p = prediction();
+        let rel = shed_priority(&p);
+        assert!((rel - p.std_dev_ms() / p.mean_ms()).abs() < 1e-12);
+        // Same mean, zero variance ⇒ zero priority (a sure thing is the
+        // last to shed); a zero-mean placeholder (degraded tier, no real
+        // evidence) sorts first.
+        let confident = Prediction::degraded(p.mean_ms(), 0.0);
+        assert_eq!(shed_priority(&confident), 0.0);
+        assert!(rel > shed_priority(&confident));
+        assert_eq!(
+            shed_priority(&Prediction::degraded(0.0, 0.0)),
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -23,11 +23,13 @@
 //! protected slot, so an ad-hoc scan cannot flush the recurring templates
 //! plain [`EvictionPolicy::Lru`] would sacrifice.
 
+use crate::fault::{Fault, FaultInjector, FaultSite};
+use crate::sync::lock_recover_with;
 use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use uaq_cost::{FitCache, FitSignature, NodeCostContext, NodeFits, SelEstCache};
 use uaq_selest::SelEstimates;
 
@@ -269,6 +271,7 @@ struct Counters {
     context_misses: AtomicU64,
     fit_hits: AtomicU64,
     fit_misses: AtomicU64,
+    poison_recoveries: AtomicU64,
 }
 
 /// A point-in-time snapshot of the service's cache counters. The
@@ -294,6 +297,12 @@ pub struct CacheStats {
     pub shape_evictions: u64,
     /// Instances evicted from the estimate cache since startup.
     pub sel_evictions: u64,
+    /// Times a cache lock was found poisoned (a holder panicked) and
+    /// recovered by invalidating the cache. Bit-transparency makes the
+    /// invalidation conservatively correct: the next miss recomputes
+    /// exactly what the dropped entries held. Sums both caches in the
+    /// service's merged snapshot.
+    pub poison_recoveries: u64,
 }
 
 impl CacheStats {
@@ -356,6 +365,7 @@ pub struct SharedFitCache {
     config: CacheConfig,
     map: Mutex<EvictingMap<String, ShapeEntry>>,
     counters: Counters,
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl SharedFitCache {
@@ -364,11 +374,35 @@ impl SharedFitCache {
             config,
             map: Mutex::new(EvictingMap::new(config.max_shapes, config.eviction)),
             counters: Counters::default(),
+            injector: None,
         }
     }
 
+    /// Test-only in spirit: wires a fault injector into the lookup paths
+    /// ([`FaultSite::FitCacheProbe`]) so the chaos harness can poison the
+    /// cache lock mid-probe and force misses.
+    pub fn with_injector(config: CacheConfig, injector: Arc<dyn FaultInjector>) -> Self {
+        Self {
+            injector: injector.active().then_some(injector),
+            ..Self::new(config)
+        }
+    }
+
+    /// Locks the map, recovering from poison by invalidating the whole
+    /// cache: the panicking holder may have died mid-update, and
+    /// bit-transparency makes drop-and-recompute always correct.
+    fn lock_map(&self) -> MutexGuard<'_, EvictingMap<String, ShapeEntry>> {
+        lock_recover_with(&self.map, &self.counters.poison_recoveries, |m| m.clear())
+    }
+
+    fn probe_fault(&self) -> Option<Fault> {
+        self.injector
+            .as_ref()
+            .and_then(|i| i.inject(FaultSite::FitCacheProbe, usize::MAX))
+    }
+
     pub fn stats(&self) -> CacheStats {
-        let map = self.map.lock().expect("cache lock");
+        let map = self.lock_map();
         CacheStats {
             context_hits: self.counters.context_hits.load(Ordering::Relaxed),
             context_misses: self.counters.context_misses.load(Ordering::Relaxed),
@@ -376,13 +410,14 @@ impl SharedFitCache {
             fit_misses: self.counters.fit_misses.load(Ordering::Relaxed),
             shapes: map.len(),
             shape_evictions: map.evictions(),
+            poison_recoveries: self.counters.poison_recoveries.load(Ordering::Relaxed),
             ..CacheStats::default()
         }
     }
 
     /// Drops every entry (counters are retained).
     pub fn clear(&self) {
-        self.map.lock().expect("cache lock").clear();
+        self.lock_map().clear();
     }
 
     fn empty_entry(&self) -> ShapeEntry {
@@ -401,8 +436,22 @@ impl Default for SharedFitCache {
 
 impl FitCache for SharedFitCache {
     fn get_contexts(&self, shape: &str) -> Option<Arc<Vec<NodeCostContext>>> {
-        let mut map = self.map.lock().expect("cache lock");
-        let hit = map.get(shape).and_then(|e| e.contexts.clone());
+        let mut map = self.lock_map();
+        let forced_miss = match self.probe_fault() {
+            Some(Fault::ProbeMiss) => true,
+            // A `Panic` fires while `map`'s guard is held, poisoning the
+            // lock — the scenario `lock_map` recovery exists for.
+            Some(f) => {
+                crate::fault::apply(f, FaultSite::FitCacheProbe);
+                false
+            }
+            None => false,
+        };
+        let hit = if forced_miss {
+            None
+        } else {
+            map.get(shape).and_then(|e| e.contexts.clone())
+        };
         drop(map);
         match &hit {
             Some(_) => self.counters.context_hits.fetch_add(1, Ordering::Relaxed),
@@ -412,7 +461,7 @@ impl FitCache for SharedFitCache {
     }
 
     fn put_contexts(&self, shape: &str, contexts: &Arc<Vec<NodeCostContext>>) {
-        let mut map = self.map.lock().expect("cache lock");
+        let mut map = self.lock_map();
         if let Some(entry) = map.peek_mut(shape) {
             entry.contexts.get_or_insert_with(|| Arc::clone(contexts));
         } else {
@@ -423,10 +472,21 @@ impl FitCache for SharedFitCache {
     }
 
     fn get_fits(&self, shape: &str, sig: &FitSignature) -> Option<Arc<NodeFits>> {
-        let mut map = self.map.lock().expect("cache lock");
-        let hit = map
-            .get(shape)
-            .and_then(|e| e.fits.get(sig).map(|f| Arc::clone(f)));
+        let mut map = self.lock_map();
+        let forced_miss = match self.probe_fault() {
+            Some(Fault::ProbeMiss) => true,
+            Some(f) => {
+                crate::fault::apply(f, FaultSite::FitCacheProbe);
+                false
+            }
+            None => false,
+        };
+        let hit = if forced_miss {
+            None
+        } else {
+            map.get(shape)
+                .and_then(|e| e.fits.get(sig).map(|f| Arc::clone(f)))
+        };
         drop(map);
         match &hit {
             Some(_) => self.counters.fit_hits.fetch_add(1, Ordering::Relaxed),
@@ -436,7 +496,7 @@ impl FitCache for SharedFitCache {
     }
 
     fn put_fits(&self, shape: &str, sig: &FitSignature, fits: &Arc<NodeFits>) {
-        let mut map = self.map.lock().expect("cache lock");
+        let mut map = self.lock_map();
         if !map.contains(shape) && !map.try_insert(shape.to_owned(), self.empty_entry()) {
             return;
         }
@@ -455,6 +515,8 @@ pub struct SelCacheStats {
     pub misses: u64,
     pub entries: usize,
     pub evictions: u64,
+    /// Poisoned-lock recoveries (see [`CacheStats::poison_recoveries`]).
+    pub poison_recoveries: u64,
 }
 
 /// Thread-safe selectivity-estimate cache: fully qualified instance key →
@@ -466,6 +528,8 @@ pub struct SharedSelEstCache {
     map: Mutex<EvictingMap<String, SelEstimates>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    poison_recoveries: AtomicU64,
+    injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl SharedSelEstCache {
@@ -474,22 +538,42 @@ impl SharedSelEstCache {
             map: Mutex::new(EvictingMap::new(max_entries, eviction)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
+            injector: None,
         }
     }
 
+    /// Wires a fault injector into the lookup path
+    /// ([`FaultSite::SelCacheProbe`]); see [`SharedFitCache::with_injector`].
+    pub fn with_injector(
+        max_entries: usize,
+        eviction: EvictionPolicy,
+        injector: Arc<dyn FaultInjector>,
+    ) -> Self {
+        Self {
+            injector: injector.active().then_some(injector),
+            ..Self::new(max_entries, eviction)
+        }
+    }
+
+    fn lock_map(&self) -> MutexGuard<'_, EvictingMap<String, SelEstimates>> {
+        lock_recover_with(&self.map, &self.poison_recoveries, |m| m.clear())
+    }
+
     pub fn stats(&self) -> SelCacheStats {
-        let map = self.map.lock().expect("cache lock");
+        let map = self.lock_map();
         SelCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: map.len(),
             evictions: map.evictions(),
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every entry (counters are retained).
     pub fn clear(&self) {
-        self.map.lock().expect("cache lock").clear();
+        self.lock_map().clear();
     }
 }
 
@@ -502,8 +586,25 @@ impl Default for SharedSelEstCache {
 
 impl SelEstCache for SharedSelEstCache {
     fn get(&self, key: &str) -> Option<SelEstimates> {
-        let mut map = self.map.lock().expect("cache lock");
-        let hit = map.get(key).map(|e| e.clone());
+        let mut map = self.lock_map();
+        let forced_miss = match self
+            .injector
+            .as_ref()
+            .and_then(|i| i.inject(FaultSite::SelCacheProbe, usize::MAX))
+        {
+            Some(Fault::ProbeMiss) => true,
+            // Fires while the guard is held: a `Panic` poisons the lock.
+            Some(f) => {
+                crate::fault::apply(f, FaultSite::SelCacheProbe);
+                false
+            }
+            None => false,
+        };
+        let hit = if forced_miss {
+            None
+        } else {
+            map.get(key).map(|e| e.clone())
+        };
         drop(map);
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -513,7 +614,7 @@ impl SelEstCache for SharedSelEstCache {
     }
 
     fn put(&self, key: &str, estimates: &SelEstimates) {
-        let mut map = self.map.lock().expect("cache lock");
+        let mut map = self.lock_map();
         if !map.contains(key) {
             map.try_insert(key.to_owned(), estimates.clone());
         }
@@ -785,6 +886,82 @@ mod tests {
             "queue grew unboundedly: {}",
             m.queues[0].len()
         );
+    }
+
+    #[test]
+    fn poisoned_fit_cache_recovers_by_invalidating() {
+        let cache = Arc::new(SharedFitCache::default());
+        cache.put_contexts("s1", &Arc::new(Vec::new()));
+        let poisoner = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let _guard = cache.lock_map();
+                panic!("poison the cache lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        // The next probe recovers: no panic, contents invalidated, counted.
+        assert!(cache.get_contexts("s1").is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.poison_recoveries, 1);
+        assert_eq!(stats.shapes, 0);
+        // And the cache is fully serviceable again.
+        cache.put_contexts("s1", &Arc::new(Vec::new()));
+        assert!(cache.get_contexts("s1").is_some());
+        assert_eq!(
+            cache.stats().poison_recoveries,
+            1,
+            "recovered once, not per lock"
+        );
+    }
+
+    #[test]
+    fn poisoned_sel_cache_recovers_by_invalidating() {
+        let sel = Arc::new(SharedSelEstCache::default());
+        sel.put("k", &SelEstimates::from_vec(Vec::new()));
+        let poisoner = {
+            let sel = Arc::clone(&sel);
+            std::thread::spawn(move || {
+                let _guard = sel.lock_map();
+                panic!("poison the sel cache lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(uaq_cost::SelEstCache::get(&*sel, "k").is_none());
+        let stats = sel.stats();
+        assert_eq!(stats.poison_recoveries, 1);
+        assert_eq!(stats.entries, 0);
+        sel.put("k", &SelEstimates::from_vec(Vec::new()));
+        assert!(uaq_cost::SelEstCache::get(&*sel, "k").is_some());
+    }
+
+    #[test]
+    fn injected_probe_miss_forces_misses_without_corrupting_contents() {
+        struct AlwaysMiss;
+        impl crate::fault::FaultInjector for AlwaysMiss {
+            fn inject(&self, _site: FaultSite, _worker: usize) -> Option<Fault> {
+                Some(Fault::ProbeMiss)
+            }
+        }
+        let cache = SharedFitCache::with_injector(CacheConfig::default(), Arc::new(AlwaysMiss));
+        cache.put_contexts("s1", &Arc::new(Vec::new()));
+        assert!(cache.get_contexts("s1").is_none(), "probe forced to miss");
+        assert_eq!(cache.stats().shapes, 1, "the entry itself is intact");
+
+        let sel =
+            SharedSelEstCache::with_injector(64, EvictionPolicy::default(), Arc::new(AlwaysMiss));
+        sel.put("k", &SelEstimates::from_vec(Vec::new()));
+        assert!(uaq_cost::SelEstCache::get(&sel, "k").is_none());
+        assert_eq!(sel.stats().entries, 1);
+    }
+
+    #[test]
+    fn inactive_injector_is_dropped_at_construction() {
+        let cache =
+            SharedFitCache::with_injector(CacheConfig::default(), Arc::new(crate::fault::NoFaults));
+        assert!(cache.injector.is_none(), "inactive injector adds no probes");
+        cache.put_contexts("s1", &Arc::new(Vec::new()));
+        assert!(cache.get_contexts("s1").is_some());
     }
 
     #[test]

@@ -1,0 +1,386 @@
+//! Deterministic fault injection for the serving layer.
+//!
+//! A [`FaultInjector`] is consulted at fixed probe points of the serving
+//! path (the [`FaultSite`]s) and may answer with a [`Fault`] to apply
+//! right there: a panic, artificial latency, or a forced cache miss. The
+//! production service runs with [`NoFaults`] — every probe is a single
+//! inlined `bool` check — while the chaos test suite threads a
+//! [`SeededFaultInjector`] through [`PredictionService::start_with_faults`]
+//! (and the engine's test-only sample-pass hook) to prove the supervision
+//! invariants under hundreds of seeded fault schedules:
+//!
+//! * **no lost or duplicate responses** — every accepted request gets
+//!   exactly one response, even when the worker serving it is killed
+//!   mid-request;
+//! * **no deadlocked shutdown** — `shutdown` completes while faults fire;
+//! * **bit-transparency survives recovery** — after the injector is
+//!   disarmed, warm cached predictions are bit-identical to uncached ones
+//!   (poisoned cache locks recover by invalidating, never by serving
+//!   suspect state).
+//!
+//! The schedule is *seeded*, not scripted: each probe draws from a
+//! counter-indexed splitmix64 stream, so a given seed reproduces the same
+//! fault density and mix while thread interleaving chooses which request
+//! each fault lands on. The invariants above are interleaving-independent
+//! by design, which is exactly what makes them worth asserting.
+//!
+//! [`PredictionService::start_with_faults`]: crate::PredictionService::start_with_faults
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Marker carried by every injected panic's message; the chaos suites use
+/// it to keep deliberate panics out of test output (see
+/// [`silence_injected_panics`]) without hiding genuine failures.
+pub const INJECTED_PANIC: &str = "injected fault";
+
+/// Where in the serving path a fault probe fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Top of a worker's loop iteration, between requests. A `Panic` here
+    /// is a worker kill (respawned by supervision); a `Delay` is a worker
+    /// stall.
+    WorkerLoop,
+    /// Immediately before the full prediction pipeline runs for a
+    /// request. Caught by the degradation ladder's tier-0 `catch_unwind`.
+    Predict,
+    /// Inside the engine's sample-pass execution (via the test-only
+    /// thread-local hook each worker installs). Also caught by tier 0.
+    SamplePass,
+    /// After the prediction, while the worker still holds the request —
+    /// a `Panic` here escapes the ladder and exercises the outer
+    /// supervision path: response-on-panic plus worker respawn.
+    MidRequest,
+    /// Inside a fit-cache probe, with the cache lock held. A `Panic`
+    /// poisons the lock (recovered by invalidation); a `ProbeMiss` forces
+    /// the probe to miss.
+    FitCacheProbe,
+    /// Inside a selectivity-estimate-cache probe, with the lock held.
+    SelCacheProbe,
+}
+
+/// The fault to apply at a probe point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Panic at the probe point (message tagged [`INJECTED_PANIC`]).
+    Panic,
+    /// Sleep for the given duration before continuing.
+    Delay(Duration),
+    /// Cache-probe sites only: report a miss regardless of contents.
+    ProbeMiss,
+}
+
+/// A fault source consulted at every [`FaultSite`] probe. `worker` is the
+/// consulting worker's id (`usize::MAX` from inside the shared caches,
+/// which have no worker context).
+pub trait FaultInjector: Send + Sync {
+    fn inject(&self, site: FaultSite, worker: usize) -> Option<Fault>;
+
+    /// `false` lets the service skip probe plumbing entirely (the
+    /// engine-hook install and per-iteration checks); [`NoFaults`]
+    /// overrides this so the production path pays one branch per probe.
+    fn active(&self) -> bool {
+        true
+    }
+}
+
+/// The production injector: never faults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {
+    fn inject(&self, _site: FaultSite, _worker: usize) -> Option<Fault> {
+        None
+    }
+
+    fn active(&self) -> bool {
+        false
+    }
+}
+
+/// Per-probe fault probabilities, in permille (0..=1000), per site. The
+/// default plan injects nothing; [`FaultPlan::chaos`] is the moderate mix
+/// the seeded chaos suite runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `Panic` at [`FaultSite::Predict`] (caught by the ladder).
+    pub predict_panic: u16,
+    /// `Delay` at [`FaultSite::Predict`] (artificial prediction latency).
+    pub predict_delay: u16,
+    /// `Panic` inside the engine sample pass ([`FaultSite::SamplePass`]).
+    pub sample_pass_panic: u16,
+    /// `Panic` inside a cache probe (poisons the cache lock).
+    pub cache_panic: u16,
+    /// Forced miss on a cache probe ([`Fault::ProbeMiss`]).
+    pub cache_miss: u16,
+    /// Worker kill at the loop top ([`FaultSite::WorkerLoop`] `Panic`).
+    pub worker_kill: u16,
+    /// Worker stall at the loop top ([`FaultSite::WorkerLoop`] `Delay`).
+    pub worker_stall: u16,
+    /// Mid-request kill ([`FaultSite::MidRequest`] `Panic` — escapes the
+    /// ladder, exercising response-on-panic + respawn).
+    pub mid_request_kill: u16,
+    /// Length of every injected `Delay`.
+    pub delay: Duration,
+}
+
+impl FaultPlan {
+    /// Injects nothing (every rate zero).
+    pub fn none() -> Self {
+        Self {
+            predict_panic: 0,
+            predict_delay: 0,
+            sample_pass_panic: 0,
+            cache_panic: 0,
+            cache_miss: 0,
+            worker_kill: 0,
+            worker_stall: 0,
+            mid_request_kill: 0,
+            delay: Duration::from_millis(1),
+        }
+    }
+
+    /// The chaos suite's moderate mix: every fault kind fires with a few
+    /// percent probability per probe, with short injected delays so a
+    /// schedule of hundreds of requests stays fast.
+    pub fn chaos() -> Self {
+        Self {
+            predict_panic: 40,
+            predict_delay: 30,
+            sample_pass_panic: 30,
+            cache_panic: 25,
+            cache_miss: 40,
+            worker_kill: 15,
+            worker_stall: 10,
+            mid_request_kill: 20,
+            delay: Duration::from_millis(1),
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A seeded, deterministic fault schedule: probe `n` at site `s` draws
+/// `splitmix64(seed ⊕ h(n, s))` and maps it to the [`FaultPlan`]'s rates.
+/// The stream is lock-free (one shared atomic counter) and can be
+/// [`disarm`](Self::disarm)ed, which the chaos tests use to check
+/// post-fault recovery on a now-healthy service.
+pub struct SeededFaultInjector {
+    seed: u64,
+    plan: FaultPlan,
+    probes: AtomicU64,
+    injected: AtomicU64,
+    armed: AtomicBool,
+}
+
+impl SeededFaultInjector {
+    pub fn new(seed: u64, plan: FaultPlan) -> Self {
+        Self {
+            seed,
+            plan,
+            probes: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            armed: AtomicBool::new(true),
+        }
+    }
+
+    /// Stops injecting (probes still count). Used by the chaos tests to
+    /// enter the post-fault recovery phase.
+    pub fn disarm(&self) {
+        self.armed.store(false, Ordering::SeqCst);
+    }
+
+    /// Resumes injecting after a [`disarm`](Self::disarm).
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::SeqCst);
+    }
+
+    /// Faults injected so far (schedules that fire nothing prove nothing).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Probes consulted so far.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+}
+
+impl FaultInjector for SeededFaultInjector {
+    fn inject(&self, site: FaultSite, _worker: usize) -> Option<Fault> {
+        let n = self.probes.fetch_add(1, Ordering::Relaxed);
+        if !self.armed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let h =
+            splitmix64(self.seed ^ n.wrapping_mul(0xA24B_AED4_963E_E407) ^ ((site as u64) << 56));
+        let roll = (h % 1000) as u16;
+        let p = &self.plan;
+        // Within a site, fault kinds occupy disjoint bands of the roll.
+        let fault = match site {
+            FaultSite::WorkerLoop => in_bands(
+                roll,
+                &[
+                    (p.worker_kill, Fault::Panic),
+                    (p.worker_stall, Fault::Delay(p.delay)),
+                ],
+            ),
+            FaultSite::Predict => in_bands(
+                roll,
+                &[
+                    (p.predict_panic, Fault::Panic),
+                    (p.predict_delay, Fault::Delay(p.delay)),
+                ],
+            ),
+            FaultSite::SamplePass => in_bands(roll, &[(p.sample_pass_panic, Fault::Panic)]),
+            FaultSite::MidRequest => in_bands(roll, &[(p.mid_request_kill, Fault::Panic)]),
+            FaultSite::FitCacheProbe | FaultSite::SelCacheProbe => in_bands(
+                roll,
+                &[
+                    (p.cache_panic, Fault::Panic),
+                    (p.cache_miss, Fault::ProbeMiss),
+                ],
+            ),
+        };
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        fault
+    }
+}
+
+fn in_bands(roll: u16, bands: &[(u16, Fault)]) -> Option<Fault> {
+    let mut lo = 0u16;
+    for &(width, fault) in bands {
+        if roll < lo + width {
+            return Some(fault);
+        }
+        lo += width;
+    }
+    None
+}
+
+/// Applies an injected fault at a non-cache probe point: panics (tagged
+/// [`INJECTED_PANIC`]) or sleeps. Used by the service's worker loop and
+/// ladder; cache probes interpret [`Fault::ProbeMiss`] themselves.
+pub(crate) fn apply(fault: Fault, site: FaultSite) {
+    match fault {
+        Fault::Panic => panic!("{INJECTED_PANIC}: {site:?}"),
+        Fault::Delay(d) => std::thread::sleep(d),
+        Fault::ProbeMiss => {}
+    }
+}
+
+/// Installs a process-wide panic hook that suppresses the backtrace spam
+/// of *injected* panics (message tagged [`INJECTED_PANIC`]) while leaving
+/// every other panic's report intact. Chaos suites inject hundreds of
+/// deliberate panics; without this, their output drowns real failures.
+/// Idempotent in effect (re-installation just re-wraps the current hook).
+pub fn silence_injected_panics() {
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message_is_injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .is_some_and(|m| m.contains(INJECTED_PANIC));
+        if !message_is_injected {
+            previous(info);
+        }
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_faults_is_inactive_and_never_fires() {
+        assert!(!NoFaults.active());
+        for site in [
+            FaultSite::WorkerLoop,
+            FaultSite::Predict,
+            FaultSite::MidRequest,
+        ] {
+            assert_eq!(NoFaults.inject(site, 0), None);
+        }
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<Option<Fault>> {
+            let inj = SeededFaultInjector::new(seed, FaultPlan::chaos());
+            (0..500)
+                .map(|_| inj.inject(FaultSite::Predict, 0))
+                .collect()
+        };
+        assert_eq!(run(42), run(42), "same seed, same schedule");
+        assert_ne!(run(42), run(43), "different seeds diverge");
+    }
+
+    #[test]
+    fn chaos_plan_fires_every_fault_kind() {
+        let inj = SeededFaultInjector::new(7, FaultPlan::chaos());
+        let mut saw_panic = [false; 3];
+        let mut saw_delay = false;
+        let mut saw_miss = false;
+        for _ in 0..4000 {
+            for (i, site) in [
+                FaultSite::WorkerLoop,
+                FaultSite::Predict,
+                FaultSite::MidRequest,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                match inj.inject(site, 0) {
+                    Some(Fault::Panic) => saw_panic[i] = true,
+                    Some(Fault::Delay(_)) => saw_delay = true,
+                    _ => {}
+                }
+            }
+            if inj.inject(FaultSite::SelCacheProbe, usize::MAX) == Some(Fault::ProbeMiss) {
+                saw_miss = true;
+            }
+        }
+        assert!(saw_panic.iter().all(|&s| s), "kills at every panic site");
+        assert!(saw_delay && saw_miss);
+        assert!(inj.injected() > 0);
+        assert!(inj.probes() >= inj.injected());
+    }
+
+    #[test]
+    fn disarm_stops_injection_and_arm_resumes_it() {
+        let inj = SeededFaultInjector::new(1, FaultPlan::chaos());
+        inj.disarm();
+        for _ in 0..2000 {
+            assert_eq!(inj.inject(FaultSite::Predict, 0), None);
+        }
+        assert_eq!(inj.injected(), 0);
+        inj.arm();
+        let fired = (0..2000)
+            .filter(|_| inj.inject(FaultSite::Predict, 0).is_some())
+            .count();
+        assert!(fired > 0, "re-armed injector fires again");
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let inj = SeededFaultInjector::new(9, FaultPlan::none());
+        for _ in 0..2000 {
+            assert_eq!(inj.inject(FaultSite::WorkerLoop, 0), None);
+        }
+    }
+}

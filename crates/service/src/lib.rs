@@ -57,12 +57,21 @@
 
 pub mod admission;
 pub mod cache;
+pub mod fault;
 pub mod queue;
 pub mod service;
+pub(crate) mod sync;
 
-pub use admission::{AdmissionMode, AdmissionPolicy, Decision};
+pub use admission::{shed_priority, AdmissionMode, AdmissionPolicy, Decision};
 pub use cache::{
     CacheConfig, CacheStats, EvictionPolicy, SelCacheStats, SharedFitCache, SharedSelEstCache,
 };
-pub use queue::{Popped, WorkQueue};
-pub use service::{PredictRequest, PredictResponse, PredictionService, RetryPolicy, ServiceConfig};
+pub use fault::{
+    silence_injected_panics, Fault, FaultInjector, FaultPlan, FaultSite, NoFaults,
+    SeededFaultInjector, INJECTED_PANIC,
+};
+pub use queue::{Popped, Pushed, WorkQueue};
+pub use service::{
+    PredictRequest, PredictResponse, PredictionService, RetryPolicy, RobustnessStats, ServedTier,
+    ServiceConfig, ShedPolicy,
+};

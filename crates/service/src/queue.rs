@@ -5,10 +5,17 @@
 //! sample-pass execution plus fitting — which is microseconds to
 //! milliseconds, so a single well-held lock around the deque is nowhere
 //! near contention. Lock-free MPMC would buy nothing here.
+//!
+//! The queue is poison-tolerant (a consumer that panics mid-pop must not
+//! take the whole service down — see [`crate::sync`]) and optionally
+//! bounded: [`WorkQueue::bounded`] plus [`WorkQueue::push_bounded`] give
+//! the service's overload control a high-water mark at which it can shed
+//! a *chosen* queued item instead of growing without bound.
 
+use crate::sync::lock_recover;
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 struct Inner<T> {
     items: VecDeque<T>,
@@ -26,28 +33,57 @@ pub enum Popped<T> {
     Closed,
 }
 
-/// Multi-producer multi-consumer FIFO queue with blocking pop and
-/// close-to-drain shutdown.
+/// Outcome of a [`WorkQueue::push_bounded`] against a capacity-limited
+/// queue. The non-`Queued` variants hand the displaced item back to the
+/// caller, who owes it a response.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pushed<T> {
+    /// The item was enqueued (possibly after shedding an older item —
+    /// that case is reported as `Shed` carrying the *victim*).
+    Queued,
+    /// The queue was at capacity: the carried item (either an older
+    /// queued victim displaced by the new item, or the new item itself)
+    /// was shed.
+    Shed(T),
+    /// The queue is closed; the new item is handed back untouched.
+    Closed(T),
+}
+
+/// Multi-producer multi-consumer FIFO queue with blocking pop,
+/// close-to-drain shutdown, and optional bounded capacity.
 pub struct WorkQueue<T> {
     inner: Mutex<Inner<T>>,
     ready: Condvar,
+    capacity: Option<usize>,
 }
 
 impl<T> WorkQueue<T> {
     pub fn new() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// A queue that holds at most `capacity` items; [`Self::push_bounded`]
+    /// sheds past that mark. Plain [`Self::push`] ignores the bound (the
+    /// caller opts into shedding per call site).
+    pub fn bounded(capacity: usize) -> Self {
+        Self::with_capacity(Some(capacity.max(1)))
+    }
+
+    fn with_capacity(capacity: Option<usize>) -> Self {
         Self {
             inner: Mutex::new(Inner {
                 items: VecDeque::new(),
                 closed: false,
             }),
             ready: Condvar::new(),
+            capacity,
         }
     }
 
     /// Enqueues one item. Returns `false` (dropping the item) if the queue
     /// has been closed.
     pub fn push(&self, item: T) -> bool {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return false;
         }
@@ -55,6 +91,41 @@ impl<T> WorkQueue<T> {
         drop(inner);
         self.ready.notify_one();
         true
+    }
+
+    /// Enqueues one item against the capacity bound. At the high-water
+    /// mark, `select_victim` inspects the queued items plus the incoming
+    /// one and names the queued index to shed — or `None` to shed the
+    /// incoming item itself. Either way the shed item is returned in
+    /// [`Pushed::Shed`] so the caller can answer it; nothing is silently
+    /// dropped. On an unbounded queue this is exactly [`Self::push`].
+    pub fn push_bounded(
+        &self,
+        item: T,
+        select_victim: impl FnOnce(&VecDeque<T>, &T) -> Option<usize>,
+    ) -> Pushed<T> {
+        let mut inner = lock_recover(&self.inner);
+        if inner.closed {
+            return Pushed::Closed(item);
+        }
+        if let Some(cap) = self.capacity {
+            if inner.items.len() >= cap {
+                match select_victim(&inner.items, &item) {
+                    Some(idx) if idx < inner.items.len() => {
+                        let victim = inner.items.remove(idx).expect("victim index in bounds");
+                        inner.items.push_back(item);
+                        drop(inner);
+                        self.ready.notify_one();
+                        return Pushed::Shed(victim);
+                    }
+                    _ => return Pushed::Shed(item),
+                }
+            }
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.ready.notify_one();
+        Pushed::Queued
     }
 
     /// Blocks until an item is available (FIFO) or the queue is closed
@@ -72,8 +143,15 @@ impl<T> WorkQueue<T> {
     /// elapsed with nothing to pop. The service's retry scheduler uses the
     /// bounded form as its fallback tick so deferred requests are
     /// re-decided even when no completion events occur.
+    ///
+    /// The bound is a *deadline*, not a per-wait budget: the deadline is
+    /// fixed once up front and each `wait_timeout` gets only the remaining
+    /// slice, so spurious wakeups cannot stretch the total wait beyond `d`
+    /// (re-waiting with the full original timeout after every wakeup
+    /// would).
     pub fn pop_timeout(&self, timeout: Option<Duration>) -> Popped<T> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let deadline = timeout.map(|d| Instant::now() + d);
+        let mut inner = lock_recover(&self.inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 return Popped::Item(item);
@@ -81,12 +159,21 @@ impl<T> WorkQueue<T> {
             if inner.closed {
                 return Popped::Closed;
             }
-            match timeout {
-                None => inner = self.ready.wait(inner).expect("queue lock"),
-                Some(d) => {
-                    let (guard, result) = self.ready.wait_timeout(inner, d).expect("queue lock");
+            match deadline {
+                None => inner = self.ready.wait(inner).unwrap_or_else(|p| p.into_inner()),
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        return Popped::TimedOut;
+                    }
+                    let (guard, result) = self
+                        .ready
+                        .wait_timeout(inner, remaining)
+                        .unwrap_or_else(|p| p.into_inner());
                     inner = guard;
-                    if result.timed_out() {
+                    if result.timed_out()
+                        && deadline.saturating_duration_since(Instant::now()).is_zero()
+                    {
                         // One last look under the lock before reporting the
                         // timeout (an item may have raced the wakeup).
                         return match inner.items.pop_front() {
@@ -103,18 +190,30 @@ impl<T> WorkQueue<T> {
     /// Closes the queue: pending items still drain, further pushes are
     /// rejected, and blocked poppers wake up.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        lock_recover(&self.inner).closed = true;
         self.ready.notify_all();
+    }
+
+    /// Whether [`Self::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        lock_recover(&self.inner).closed
     }
 
     /// Items currently waiting (diagnostics only — stale by the time the
     /// caller looks at it).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").items.len()
+        lock_recover(&self.inner).items.len()
     }
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Test-only: wake every waiter without delivering anything, to force
+    /// the spurious-wakeup path of [`Self::pop_timeout`].
+    #[cfg(test)]
+    pub(crate) fn notify_spuriously(&self) {
+        self.ready.notify_all();
     }
 }
 
@@ -144,6 +243,7 @@ mod tests {
         let q = WorkQueue::new();
         q.push(7);
         q.close();
+        assert!(q.is_closed());
         assert!(!q.push(8), "push after close must be rejected");
         assert_eq!(q.pop(), Some(7), "pending items drain after close");
         assert_eq!(q.pop(), None);
@@ -166,6 +266,85 @@ mod tests {
             q.pop_timeout(Some(std::time::Duration::from_millis(1))),
             Popped::Closed
         );
+    }
+
+    #[test]
+    fn spurious_wakeups_do_not_extend_the_timeout() {
+        let q: Arc<WorkQueue<u32>> = Arc::new(WorkQueue::new());
+        let waker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                // Hammer the condvar with empty wakeups for longer than the
+                // pop's deadline. With per-wait timeout restarts, each
+                // wakeup would rearm the full 50ms and the pop would hang
+                // until the hammering stops.
+                let end = Instant::now() + Duration::from_millis(400);
+                while Instant::now() < end {
+                    q.notify_spuriously();
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        let start = Instant::now();
+        let popped = q.pop_timeout(Some(Duration::from_millis(50)));
+        let waited = start.elapsed();
+        waker.join().expect("waker");
+        assert_eq!(popped, Popped::TimedOut);
+        assert!(
+            waited < Duration::from_millis(300),
+            "deadline must hold under spurious wakeups; waited {waited:?}"
+        );
+    }
+
+    #[test]
+    fn bounded_queue_sheds_selected_victim_or_incoming() {
+        let q: WorkQueue<u32> = WorkQueue::bounded(2);
+        assert_eq!(q.push_bounded(1, |_, _| None), Pushed::Queued);
+        assert_eq!(q.push_bounded(2, |_, _| None), Pushed::Queued);
+        // At capacity, selector declines: the incoming item is shed.
+        assert_eq!(q.push_bounded(3, |_, _| None), Pushed::Shed(3));
+        // Selector names a queued victim: it is displaced by the new item.
+        assert_eq!(
+            q.push_bounded(4, |items, _| {
+                assert_eq!(items.len(), 2);
+                Some(0)
+            }),
+            Pushed::Shed(1)
+        );
+        // An out-of-bounds victim index degrades to shedding the incoming.
+        assert_eq!(q.push_bounded(5, |_, _| Some(99)), Pushed::Shed(5));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(4));
+        q.close();
+        assert_eq!(q.push_bounded(6, |_, _| None), Pushed::Closed(6));
+    }
+
+    #[test]
+    fn unbounded_push_bounded_never_sheds() {
+        let q: WorkQueue<u32> = WorkQueue::new();
+        for i in 0..100 {
+            assert_eq!(q.push_bounded(i, |_, _| Some(0)), Pushed::Queued);
+        }
+        assert_eq!(q.len(), 100);
+    }
+
+    #[test]
+    fn queue_survives_a_poisoned_lock() {
+        let q: Arc<WorkQueue<u32>> = Arc::new(WorkQueue::new());
+        q.push(1);
+        let poisoner = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = lock_recover(&q.inner);
+                panic!("poison the queue lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(q.push(2), "push works through the poisoned lock");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.close();
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

@@ -45,11 +45,34 @@
 //! What bounded retries buy today is the guarantee itself: a final,
 //! observable verdict (`attempts`, `deferred_ms`) instead of a terminal
 //! `Defer` the client must re-submit by hand.
+//!
+//! ## Failure model
+//!
+//! The service survives worker panics instead of silently losing the
+//! request and the thread. Per-request handling runs under
+//! `catch_unwind` at two levels: the **degradation ladder** catches
+//! failures inside prediction and falls back tier by tier
+//! ([`ServedTier`]: full pipeline → cached estimates → mean-only shape
+//! profile → static heuristic), and an outer **supervisor** converts any
+//! panic that escapes the ladder into a static-tier response on the
+//! request's reply channel before letting the worker die — at which
+//! point it is respawned (unless the service is shutting down). Locks
+//! are poison-tolerant throughout ([`crate::sync`]), a bounded queue
+//! with variance-aware shedding ([`ShedPolicy`]) keeps overload from
+//! growing without bound, and the whole thing is provable because a
+//! [`FaultInjector`](crate::fault::FaultInjector) can be threaded
+//! through every probe point ([`PredictionService::start_with_faults`])
+//! — the chaos suite drives hundreds of seeded fault schedules against
+//! the exactly-one-response and cache-bit-transparency invariants.
 
-use crate::admission::{AdmissionPolicy, Decision};
+use crate::admission::{shed_priority, AdmissionPolicy, Decision};
 use crate::cache::{CacheConfig, CacheStats, SharedFitCache, SharedSelEstCache};
-use crate::queue::{Popped, WorkQueue};
-use std::collections::VecDeque;
+use crate::fault::{FaultInjector, FaultSite};
+use crate::queue::{Popped, Pushed, WorkQueue};
+use crate::sync::lock_recover;
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -70,6 +93,45 @@ pub struct PredictRequest {
     pub deadline_ms: Option<f64>,
 }
 
+/// Which rung of the degradation ladder produced a response. Recorded on
+/// every [`PredictResponse`] so admission quality per tier is measurable:
+/// a fleet serving mostly `Full` is healthy; a drift toward the lower
+/// tiers is the degradation signal itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ServedTier {
+    /// The full uncertainty pipeline ran (possibly cache-accelerated):
+    /// the response carries the real `N(E[t_q], Var[t_q])`.
+    Full,
+    /// The pipeline failed or was over budget, but the
+    /// selectivity-estimate cache held this exact query instance: the
+    /// cached estimates were re-fed through fitting + variance algebra,
+    /// producing a distribution bit-identical to a healthy sel-cache hit.
+    CachedEstimates,
+    /// Only the shape profile's last observed mean was available: the
+    /// prediction is a point mass at that mean (zero variance), so
+    /// admission degenerates to the mean-only check.
+    MeanOnly,
+    /// No usable estimate at all: the static heuristic admitted anything
+    /// with a non-negative (or absent) deadline. `prob_in_time` is NaN —
+    /// there is no distribution to integrate.
+    Static,
+    /// Never served: shed by overload control before reaching a worker.
+    /// Always paired with [`Decision::Reject`] and a NaN `prob_in_time`.
+    Shed,
+}
+
+impl ServedTier {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServedTier::Full => "full",
+            ServedTier::CachedEstimates => "cached-estimates",
+            ServedTier::MeanOnly => "mean-only",
+            ServedTier::Static => "static",
+            ServedTier::Shed => "shed",
+        }
+    }
+}
+
 /// The service's answer to one request.
 #[derive(Debug, Clone)]
 pub struct PredictResponse {
@@ -79,7 +141,8 @@ pub struct PredictResponse {
     /// `Pr(T ≤ deadline)` under the predicted distribution (1.0 when the
     /// request had no deadline). For retried requests this is the
     /// probability at the *final* re-decision, against the recomputed
-    /// budget.
+    /// budget. NaN for the [`ServedTier::Static`] and
+    /// [`ServedTier::Shed`] tiers, which have no distribution.
     pub prob_in_time: f64,
     /// Which worker served the request (diagnostics).
     pub worker: usize,
@@ -91,6 +154,8 @@ pub struct PredictResponse {
     pub attempts: u32,
     /// Milliseconds spent in the deferred queue (0 when `attempts == 1`).
     pub deferred_ms: f64,
+    /// Which degradation-ladder rung served this response.
+    pub tier: ServedTier,
 }
 
 /// What the service does with a `Defer` verdict.
@@ -138,6 +203,25 @@ impl Default for RetryPolicy {
     }
 }
 
+/// What a full bounded queue sheds when one more request arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Plain backpressure: the incoming request is rejected, the queue is
+    /// untouched (FIFO shedding — the baseline the overload experiment
+    /// compares against).
+    RejectNewest,
+    /// Uncertainty-aware: shed whichever request — queued or incoming —
+    /// has the highest *relative* predicted variance
+    /// ([`shed_priority`]), looked up from the shape profile of past
+    /// predictions. Highest-variance work is the worst SLO bet per unit
+    /// of capacity, so shedding it first minimizes expected violations
+    /// among what the service keeps. Unknown shapes (no profile yet)
+    /// carry infinite priority: with no evidence they can meet anything,
+    /// they are the first to go under pressure.
+    #[default]
+    HighestRelativeVariance,
+}
+
 /// Service configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -150,6 +234,19 @@ pub struct ServiceConfig {
     pub cache: CacheConfig,
     /// Deferred-request handling; see [`RetryPolicy`].
     pub retry: RetryPolicy,
+    /// Maximum requests waiting in the work queue; `None` is unbounded
+    /// (the pre-overload-control behaviour). At the mark, [`Self::shed`]
+    /// picks the victim, which gets an immediate [`Decision::Reject`] at
+    /// [`ServedTier::Shed`] — shedding is a response, never silence.
+    pub queue_capacity: Option<usize>,
+    /// Victim selection for a full queue; see [`ShedPolicy`].
+    pub shed: ShedPolicy,
+    /// Per-request compute budget for the degradation ladder: when the
+    /// full pipeline's last observed cost for this plan shape exceeds the
+    /// budget (or the attempt itself has already overrun it), the ladder
+    /// skips to cheaper tiers instead of spending further. `None` (the
+    /// default) never degrades on time, only on failure.
+    pub compute_budget: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -160,9 +257,88 @@ impl Default for ServiceConfig {
             cache_enabled: true,
             cache: CacheConfig::default(),
             retry: RetryPolicy::default(),
+            queue_capacity: None,
+            shed: ShedPolicy::default(),
+            compute_budget: None,
         }
     }
 }
+
+/// Point-in-time snapshot of the service's fault-handling counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustnessStats {
+    /// Panics caught *inside* the degradation ladder (the worker kept
+    /// running and served a lower tier).
+    pub ladder_panics_caught: u64,
+    /// Panics that escaped the ladder: the supervisor answered the
+    /// request with a static-tier response and let the worker die.
+    pub worker_panics: u64,
+    /// Workers respawned after a panic death.
+    pub workers_respawned: u64,
+    /// Requests shed by overload control (each got a `Reject` response).
+    pub shed: u64,
+    /// Responses served per ladder tier (shed responses are counted in
+    /// `shed`, not here; deferred requests count at park time under the
+    /// tier that produced their prediction).
+    pub served_full: u64,
+    pub served_cached_estimates: u64,
+    pub served_mean_only: u64,
+    pub served_static: u64,
+}
+
+#[derive(Debug, Default)]
+struct RobustnessCounters {
+    ladder_panics_caught: AtomicU64,
+    worker_panics: AtomicU64,
+    workers_respawned: AtomicU64,
+    shed: AtomicU64,
+    served_full: AtomicU64,
+    served_cached_estimates: AtomicU64,
+    served_mean_only: AtomicU64,
+    served_static: AtomicU64,
+}
+
+impl RobustnessCounters {
+    fn count_tier(&self, tier: ServedTier) {
+        let counter = match tier {
+            ServedTier::Full => &self.served_full,
+            ServedTier::CachedEstimates => &self.served_cached_estimates,
+            ServedTier::MeanOnly => &self.served_mean_only,
+            ServedTier::Static => &self.served_static,
+            ServedTier::Shed => &self.shed,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> RobustnessStats {
+        RobustnessStats {
+            ladder_panics_caught: self.ladder_panics_caught.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            served_full: self.served_full.load(Ordering::Relaxed),
+            served_cached_estimates: self.served_cached_estimates.load(Ordering::Relaxed),
+            served_mean_only: self.served_mean_only.load(Ordering::Relaxed),
+            served_static: self.served_static.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// What the shape profile remembers about the last completed real
+/// prediction (tier `Full`/`CachedEstimates`) for a plan shape. Feeds the
+/// mean-only ladder tier and the variance-aware shedder.
+#[derive(Debug, Clone, Copy)]
+struct ShapeProfile {
+    mean_ms: f64,
+    var_ms2: f64,
+    /// Wall-clock cost of producing that prediction, for the ladder's
+    /// compute-budget preflight.
+    predict_cost_ms: f64,
+}
+
+/// Entries the shape-profile map holds at most (bounds memory under
+/// adversarial shape churn; profiled shapes past the cap just miss).
+const PROFILE_CAP: usize = 4096;
 
 struct Job {
     request: PredictRequest,
@@ -181,6 +357,8 @@ struct DeferredJob {
     /// `Defer` re-decisions so far.
     retries: u32,
     service_seconds: f64,
+    /// Ladder tier that produced the parked prediction.
+    tier: ServedTier,
 }
 
 struct Shared {
@@ -194,6 +372,17 @@ struct Shared {
     cache_enabled: bool,
     retry: RetryPolicy,
     deferred: Mutex<VecDeque<DeferredJob>>,
+    shed: ShedPolicy,
+    compute_budget: Option<Duration>,
+    /// Last real prediction per plan shape; see [`ShapeProfile`].
+    profile: Mutex<HashMap<u64, ShapeProfile>>,
+    robustness: RobustnessCounters,
+    /// `None` in production ([`crate::fault::NoFaults`] is stripped at
+    /// start), so every probe point costs one branch.
+    injector: Option<Arc<dyn FaultInjector>>,
+    /// Workers respawned after panic deaths, joined at shutdown.
+    respawned: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_worker: AtomicUsize,
 }
 
 impl Shared {
@@ -203,7 +392,7 @@ impl Shared {
     /// at shutdown, where a still-deferring request gets a final `Reject`
     /// because no further events can ever resolve it.
     fn redecide_deferred(&self, worker: usize, final_pass: bool) {
-        let mut q = self.deferred.lock().expect("deferred lock");
+        let mut q = lock_recover(&self.deferred);
         let parked = q.len();
         for _ in 0..parked {
             let mut d = q.pop_front().expect("len checked");
@@ -231,12 +420,87 @@ impl Shared {
                 service_seconds: d.service_seconds,
                 attempts: d.retries + 1,
                 deferred_ms: waited_ms,
+                tier: d.tier,
             });
         }
     }
 
     fn has_deferred(&self) -> bool {
-        !self.deferred.lock().expect("deferred lock").is_empty()
+        !lock_recover(&self.deferred).is_empty()
+    }
+
+    fn probe(&self, site: FaultSite, worker: usize) {
+        if let Some(inj) = &self.injector {
+            if let Some(f) = inj.inject(site, worker) {
+                crate::fault::apply(f, site);
+            }
+        }
+    }
+
+    fn profile_for(&self, shape_hash: u64) -> Option<ShapeProfile> {
+        lock_recover(&self.profile).get(&shape_hash).copied()
+    }
+
+    /// Records a completed real prediction in the shape profile. Called
+    /// only when the sample pass actually ran (a warm sel-cache hit
+    /// changes nothing the profile holds), keeping the repeated-query hot
+    /// path free of this lock.
+    fn record_profile(&self, plan: &Plan, prediction: &Prediction, predict_cost_ms: f64) {
+        let mut profile = lock_recover(&self.profile);
+        let entry = ShapeProfile {
+            mean_ms: prediction.mean_ms(),
+            var_ms2: prediction.var(),
+            predict_cost_ms,
+        };
+        let key = plan.shape_hash();
+        if profile.contains_key(&key) || profile.len() < PROFILE_CAP {
+            profile.insert(key, entry);
+        }
+    }
+
+    /// Shed priority of a not-yet-predicted request, from the shape
+    /// profile: relative variance of the shape's last real prediction, or
+    /// +∞ for shapes never profiled (no evidence they can meet anything).
+    fn shed_priority_of(&self, plan: &Plan) -> f64 {
+        match self.profile_for(plan.shape_hash()) {
+            Some(p) => shed_priority(&Prediction::degraded(
+                p.mean_ms.max(0.0),
+                p.var_ms2.max(0.0),
+            )),
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Answers a request that never reached a worker: shed by overload
+    /// control, or left in the queue at shutdown after every worker died.
+    fn respond_unserved(&self, job: Job, tier: ServedTier, worker: usize) {
+        let decision = match tier {
+            ServedTier::Shed => Decision::Reject,
+            _ => static_decision(job.request.deadline_ms),
+        };
+        self.robustness.count_tier(tier);
+        let _ = job.reply.send(PredictResponse {
+            id: job.request.id,
+            prediction: Prediction::degraded(0.0, 0.0),
+            decision,
+            prob_in_time: f64::NAN,
+            worker,
+            service_seconds: 0.0,
+            attempts: 1,
+            deferred_ms: 0.0,
+            tier,
+        });
+    }
+}
+
+/// The static admit heuristic (bottom ladder tier): with no prediction at
+/// all, admit anything whose deadline has not already passed. Optimistic
+/// by design — a degraded service keeps serving rather than rejecting
+/// everything — and the served tier records the quality downgrade.
+fn static_decision(deadline_ms: Option<f64>) -> Decision {
+    match deadline_ms {
+        Some(d) if d < 0.0 => Decision::Reject,
+        _ => Decision::Admit,
     }
 }
 
@@ -256,24 +520,72 @@ impl PredictionService {
         samples: Arc<SampleCatalog>,
         config: ServiceConfig,
     ) -> Self {
-        let shared = Arc::new(Shared {
-            queue: WorkQueue::new(),
+        Self::start_with_faults(
             predictor,
             catalog,
             samples,
-            cache: SharedFitCache::new(config.cache),
-            sel_cache: SharedSelEstCache::new(config.cache.max_sel_entries, config.cache.eviction),
+            config,
+            Arc::new(crate::fault::NoFaults),
+        )
+    }
+
+    /// [`Self::start`] with a [`FaultInjector`] threaded through every
+    /// probe point: the worker loop, the prediction pipeline, both cache
+    /// lookup paths, and (via the engine's thread-local hook, installed
+    /// per worker) the sample pass. An inactive injector (`active() ==
+    /// false`, e.g. [`crate::fault::NoFaults`]) is stripped at
+    /// construction so the production path pays one branch per probe.
+    pub fn start_with_faults(
+        predictor: Predictor,
+        catalog: Arc<Catalog>,
+        samples: Arc<SampleCatalog>,
+        config: ServiceConfig,
+        injector: Arc<dyn FaultInjector>,
+    ) -> Self {
+        let injector = injector.active().then_some(injector);
+        let (cache, sel_cache) = match &injector {
+            Some(inj) => (
+                SharedFitCache::with_injector(config.cache, Arc::clone(inj)),
+                SharedSelEstCache::with_injector(
+                    config.cache.max_sel_entries,
+                    config.cache.eviction,
+                    Arc::clone(inj),
+                ),
+            ),
+            None => (
+                SharedFitCache::new(config.cache),
+                SharedSelEstCache::new(config.cache.max_sel_entries, config.cache.eviction),
+            ),
+        };
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            queue: match config.queue_capacity {
+                Some(cap) => WorkQueue::bounded(cap),
+                None => WorkQueue::new(),
+            },
+            predictor,
+            catalog,
+            samples,
+            cache,
+            sel_cache,
             policy: config.policy,
             cache_enabled: config.cache_enabled,
             retry: config.retry,
             deferred: Mutex::new(VecDeque::new()),
+            shed: config.shed,
+            compute_budget: config.compute_budget,
+            profile: Mutex::new(HashMap::new()),
+            robustness: RobustnessCounters::default(),
+            injector,
+            respawned: Mutex::new(Vec::new()),
+            next_worker: AtomicUsize::new(workers),
         });
-        let workers = (0..config.workers.max(1))
+        let workers = (0..workers)
             .map(|worker| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("uaq-service-{worker}"))
-                    .spawn(move || worker_loop(&shared, worker))
+                    .spawn(move || worker_entry(&shared, worker))
                     .expect("spawn service worker")
             })
             .collect();
@@ -284,16 +596,47 @@ impl PredictionService {
     ///
     /// Contract: every request accepted before shutdown receives exactly
     /// one response (deferred requests included — they are re-decided and
-    /// finally resolved at shutdown). Once shutdown has begun the queue is
+    /// finally resolved at shutdown; shed requests included — they are
+    /// rejected on the spot). Once shutdown has begun the queue is
     /// closed: the request is dropped together with its reply sender, so
     /// the returned receiver's `recv()` fails immediately with
     /// `RecvError` instead of blocking — submitting after shutdown never
     /// hangs and never panics.
     pub fn submit(&self, request: PredictRequest) -> mpsc::Receiver<PredictResponse> {
         let (reply, rx) = mpsc::channel();
-        // On a closed queue the job (and its reply sender) is dropped,
-        // disconnecting `rx` right away.
-        let _ = self.shared.queue.push(Job { request, reply });
+        let job = Job { request, reply };
+        let shared = &self.shared;
+        // The selector is only consulted at the high-water mark of a
+        // bounded queue.
+        let pushed = shared
+            .queue
+            .push_bounded(job, |queued, incoming| match shared.shed {
+                ShedPolicy::RejectNewest => None,
+                ShedPolicy::HighestRelativeVariance => {
+                    // Shed the single worst relative-variance request — but
+                    // only if it is strictly worse than the incoming one
+                    // (ties shed the newcomer: displacing queued work needs a
+                    // reason).
+                    let incoming_priority = shared.shed_priority_of(&incoming.request.plan);
+                    queued
+                        .iter()
+                        .enumerate()
+                        .map(|(i, j)| (i, shared.shed_priority_of(&j.request.plan)))
+                        .max_by(|a, b| a.1.total_cmp(&b.1))
+                        .filter(|&(_, p)| p > incoming_priority)
+                        .map(|(i, _)| i)
+                }
+            });
+        match pushed {
+            Pushed::Queued => {}
+            // The victim gets its Reject right here on the submitter's
+            // thread — overload control must not depend on a worker being
+            // free to say no.
+            Pushed::Shed(victim) => shared.respond_unserved(victim, ServedTier::Shed, usize::MAX),
+            // Closed queue: the job (and its reply sender) is dropped,
+            // disconnecting `rx` right away.
+            Pushed::Closed(_) => {}
+        }
         rx
     }
 
@@ -310,6 +653,7 @@ impl PredictionService {
 
     /// Snapshot of both shared caches' hit/miss counters: the fit cache's
     /// fields plus the selectivity-estimate cache's `sel_*` fields.
+    /// `poison_recoveries` sums both caches.
     pub fn cache_stats(&self) -> CacheStats {
         let mut stats = self.shared.cache.stats();
         let sel = self.shared.sel_cache.stats();
@@ -317,7 +661,14 @@ impl PredictionService {
         stats.sel_misses = sel.misses;
         stats.sel_entries = sel.entries;
         stats.sel_evictions = sel.evictions;
+        stats.poison_recoveries += sel.poison_recoveries;
         stats
+    }
+
+    /// Snapshot of the fault-handling counters: caught panics, respawns,
+    /// shed requests, and per-tier serve counts.
+    pub fn robustness_stats(&self) -> RobustnessStats {
+        self.shared.robustness.snapshot()
     }
 
     /// Requests currently queued (not yet picked up by a worker).
@@ -328,7 +679,7 @@ impl PredictionService {
     /// Requests currently parked in the deferred queue awaiting a
     /// re-decision (0 unless a [`RetryPolicy`] is enabled).
     pub fn deferred_backlog(&self) -> usize {
-        self.shared.deferred.lock().expect("deferred lock").len()
+        lock_recover(&self.shared.deferred).len()
     }
 
     /// Closes the queue, drains pending requests, joins the workers, and
@@ -341,6 +692,28 @@ impl PredictionService {
         self.shared.queue.close();
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // Workers respawned after panic deaths are joined too. A dying
+        // worker pushes its replacement's handle *before* its own join
+        // returns (the respawn happens in a drop guard during unwind),
+        // and a closed queue stops further respawns — so this loop
+        // observes every replacement and terminates.
+        loop {
+            let batch: Vec<_> = lock_recover(&self.shared.respawned).drain(..).collect();
+            if batch.is_empty() {
+                break;
+            }
+            for h in batch {
+                let _ = h.join();
+            }
+        }
+        // Pathological corner: every worker died panicking right at
+        // close (no respawns once the queue is closed), leaving requests
+        // in the queue with nobody to serve them. They still get a
+        // response — the contract survives total pool loss.
+        while let Popped::Item(job) = self.shared.queue.pop_timeout(Some(Duration::ZERO)) {
+            self.shared
+                .respond_unserved(job, ServedTier::Static, usize::MAX);
         }
         // Workers are gone: no further completion events or ticks can
         // resolve a parked request, so re-decide each one final time
@@ -355,15 +728,72 @@ impl Drop for PredictionService {
     }
 }
 
+/// Respawns the worker if its thread dies panicking. Armed for the whole
+/// worker lifetime; a normal loop exit (closed queue) disarms it, and a
+/// closed queue also vetoes respawning — shutdown must converge.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    armed: bool,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        if !self.armed || !std::thread::panicking() || self.shared.queue.is_closed() {
+            return;
+        }
+        let worker = self.shared.next_worker.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(&self.shared);
+        // `Builder::spawn` returns a Result instead of panicking — vital
+        // here: a panic inside this unwinding Drop would abort the
+        // process. If the OS refuses a thread, the pool just shrinks
+        // (shutdown still answers whatever the lost worker would have).
+        let spawned = std::thread::Builder::new()
+            .name(format!("uaq-service-{worker}"))
+            .spawn(move || worker_entry(&shared, worker));
+        if let Ok(handle) = spawned {
+            self.shared
+                .robustness
+                .workers_respawned
+                .fetch_add(1, Ordering::Relaxed);
+            lock_recover(&self.shared.respawned).push(handle);
+        }
+    }
+}
+
+/// Thread body of one worker: installs the per-thread engine fault hook
+/// (when an injector is active), arms the respawn guard, and runs the
+/// serve loop.
+fn worker_entry(shared: &Arc<Shared>, worker: usize) {
+    if let Some(inj) = &shared.injector {
+        // Thread-locals don't cross threads: every worker — initial or
+        // respawned — installs its own forwarder to the shared injector.
+        let inj = Arc::clone(inj);
+        uaq_engine::fault::install_sample_pass_hook(Box::new(move || {
+            if let Some(f) = inj.inject(FaultSite::SamplePass, worker) {
+                crate::fault::apply(f, FaultSite::SamplePass);
+            }
+        }));
+    }
+    let mut guard = RespawnGuard {
+        shared: Arc::clone(shared),
+        armed: true,
+    };
+    worker_loop(shared, worker);
+    guard.armed = false;
+}
+
 fn worker_loop(shared: &Shared, worker: usize) {
     loop {
+        // Worker-kill / worker-stall probe, between requests: a panic
+        // here unwinds into the respawn guard with no request in hand.
+        shared.probe(FaultSite::WorkerLoop, worker);
         // Bound the wait only while requests are parked: the tick is the
         // fallback re-decision event for a quiet pool.
         let timeout =
             (shared.retry.enabled() && shared.has_deferred()).then_some(shared.retry.idle_tick);
         match shared.queue.pop_timeout(timeout) {
             Popped::Item(job) => {
-                let completed = serve_job(shared, worker, job);
+                let completed = supervised_serve(shared, worker, job);
                 if completed {
                     // A completed request is the service's "server freed"
                     // event: offer the parked requests a re-decision.
@@ -376,38 +806,194 @@ fn worker_loop(shared: &Shared, worker: usize) {
     }
 }
 
-/// Serves one request. Returns `false` when the request was parked in the
-/// deferred queue (no response yet), `true` when a response was sent.
-fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
-    let t0 = Instant::now();
+/// Runs [`serve_job`] under the supervisor's `catch_unwind`: a panic that
+/// escapes the degradation ladder (a mid-request kill, or a bug in the
+/// decide/park/send path itself) still produces exactly one response —
+/// static tier, decided by the heuristic — before the panic resumes and
+/// the respawn guard replaces the worker. The `AssertUnwindSafe` is
+/// justified by the poison-tolerance design: everything `shared` guards
+/// recovers from a mid-update panic (see [`crate::sync`]).
+fn supervised_serve(shared: &Shared, worker: usize, job: Job) -> bool {
+    let id = job.request.id;
+    let deadline_ms = job.request.deadline_ms;
+    let reply = job.reply.clone();
+    match catch_unwind(AssertUnwindSafe(|| serve_job(shared, worker, job))) {
+        Ok(completed) => completed,
+        Err(payload) => {
+            shared
+                .robustness
+                .worker_panics
+                .fetch_add(1, Ordering::Relaxed);
+            shared.robustness.count_tier(ServedTier::Static);
+            // The original job (and its reply sender) died inside the
+            // closure, so this clone is the only sender left: at most one
+            // response can ever reach the client. `serve_job` sends or
+            // parks only as its final action, after every panic source —
+            // so a panic implies no response was sent and the request is
+            // not parked; this is the exactly-one response.
+            let _ = reply.send(PredictResponse {
+                id,
+                prediction: Prediction::degraded(0.0, 0.0),
+                decision: static_decision(deadline_ms),
+                prob_in_time: f64::NAN,
+                worker,
+                service_seconds: 0.0,
+                attempts: 1,
+                deferred_ms: 0.0,
+                tier: ServedTier::Static,
+            });
+            resume_unwind(payload)
+        }
+    }
+}
+
+/// Runs the degradation ladder for one request: each tier is attempted
+/// under its own `catch_unwind`, and a failing (or over-budget) tier
+/// falls through to the next cheaper one. Returns `None` only when even
+/// the shape profile is empty — the static tier, which needs no
+/// prediction.
+fn ladder_predict(
+    shared: &Shared,
+    worker: usize,
+    plan: &Arc<Plan>,
+) -> (Option<Prediction>, ServedTier) {
+    let attempt_started = Instant::now();
+    let over_budget = |t: Instant| {
+        shared
+            .compute_budget
+            .is_some_and(|budget| t.elapsed() > budget)
+    };
     let (fit_cache, sel_cache): (&dyn FitCache, &dyn SelEstCache) = if shared.cache_enabled {
         (&shared.cache, &shared.sel_cache)
     } else {
         (&NoFitCache, &NoSelEstCache)
     };
-    let prediction = shared.predictor.predict_with_caches(
-        &job.request.plan,
-        &shared.catalog,
-        &shared.samples,
-        fit_cache,
-        sel_cache,
-    );
+
+    // Tier 0 — the full pipeline. Preflight the compute budget against
+    // the shape profile's last observed cost: a shape known to blow the
+    // budget is not attempted at all.
+    let skip_full = shared.compute_budget.is_some_and(|budget| {
+        shared
+            .profile_for(plan.shape_hash())
+            .is_some_and(|p| p.predict_cost_ms > budget.as_secs_f64() * 1e3)
+    });
+    if !skip_full {
+        let full = catch_unwind(AssertUnwindSafe(|| {
+            shared.probe(FaultSite::Predict, worker);
+            shared.predictor.predict_with_caches(
+                &plan.clone(),
+                &shared.catalog,
+                &shared.samples,
+                fit_cache,
+                sel_cache,
+            )
+        }));
+        match full {
+            Ok(prediction) => {
+                // A fresh sample pass is new evidence for the profile (a
+                // warm sel-cache hit would only rewrite what it holds, so
+                // the repeated-query hot path skips the profile lock).
+                if prediction.sample_pass_seconds > 0.0 {
+                    let cost_ms = attempt_started.elapsed().as_secs_f64() * 1e3;
+                    shared.record_profile(plan, &prediction, cost_ms);
+                }
+                return (Some(prediction), ServedTier::Full);
+            }
+            Err(_) => {
+                shared
+                    .robustness
+                    .ladder_panics_caught
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // Tier 1 — cached estimates. No sample pass: only worth attempting
+    // when the sel cache might hold this exact instance, and skipped once
+    // the attempt is over budget (fitting is the expensive remainder).
+    if shared.cache_enabled && !over_budget(attempt_started) {
+        let cached = catch_unwind(AssertUnwindSafe(|| {
+            let key = shared
+                .predictor
+                .sel_instance_key(plan, &shared.catalog, &shared.samples);
+            sel_cache.get(&key).map(|estimates| {
+                shared
+                    .predictor
+                    .predict_from_estimates(plan, &shared.catalog, estimates, fit_cache)
+            })
+        }));
+        match cached {
+            Ok(Some(prediction)) => return (Some(prediction), ServedTier::CachedEstimates),
+            Ok(None) => {}
+            Err(_) => {
+                shared
+                    .robustness
+                    .ladder_panics_caught
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // Tier 2 — mean-only from the shape profile: a point mass at the
+    // shape's last observed mean. Tail-probability admission on a point
+    // mass degenerates to the mean-only check, which is exactly this
+    // tier's contract.
+    if let Some(p) = shared.profile_for(plan.shape_hash()) {
+        if p.mean_ms.is_finite() && p.mean_ms >= 0.0 {
+            return (
+                Some(Prediction::degraded(p.mean_ms, 0.0)),
+                ServedTier::MeanOnly,
+            );
+        }
+    }
+
+    // Tier 3 — static: no prediction at all.
+    (None, ServedTier::Static)
+}
+
+/// Serves one request. Returns `false` when the request was parked in the
+/// deferred queue (no response yet), `true` when a response was sent.
+/// Sending/parking is the **last** action — every panic source (the
+/// ladder's tiers re-panic only through injected `MidRequest` faults;
+/// tier internals are caught) runs before it, which is what lets the
+/// supervisor equate "panicked" with "no response sent yet".
+fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
+    let t0 = Instant::now();
+    let (prediction, tier) = ladder_predict(shared, worker, &job.request.plan);
+    // Mid-request kill probe: after the prediction, while the request is
+    // still unanswered — the panic escapes to the supervisor, which owns
+    // the response.
+    shared.probe(FaultSite::MidRequest, worker);
+    let Some(prediction) = prediction else {
+        // Static tier: heuristic decision, no distribution to defer on.
+        shared.robustness.count_tier(ServedTier::Static);
+        let _ = job.reply.send(PredictResponse {
+            id: job.request.id,
+            prediction: Prediction::degraded(0.0, 0.0),
+            decision: static_decision(job.request.deadline_ms),
+            prob_in_time: f64::NAN,
+            worker,
+            service_seconds: t0.elapsed().as_secs_f64(),
+            attempts: 1,
+            deferred_ms: 0.0,
+            tier: ServedTier::Static,
+        });
+        return true;
+    };
     let (decision, prob_in_time) = shared.policy.decide(&prediction, job.request.deadline_ms);
+    shared.robustness.count_tier(tier);
     if decision == Decision::Defer && shared.retry.enabled() {
         if let Some(deadline_ms) = job.request.deadline_ms {
-            shared
-                .deferred
-                .lock()
-                .expect("deferred lock")
-                .push_back(DeferredJob {
-                    id: job.request.id,
-                    deadline_ms,
-                    reply: job.reply,
-                    prediction,
-                    parked_at: Instant::now(),
-                    retries: 0,
-                    service_seconds: t0.elapsed().as_secs_f64(),
-                });
+            lock_recover(&shared.deferred).push_back(DeferredJob {
+                id: job.request.id,
+                deadline_ms,
+                reply: job.reply,
+                prediction,
+                parked_at: Instant::now(),
+                retries: 0,
+                service_seconds: t0.elapsed().as_secs_f64(),
+                tier,
+            });
             return false;
         }
     }
@@ -422,6 +1008,7 @@ fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
         service_seconds: t0.elapsed().as_secs_f64(),
         attempts: 1,
         deferred_ms: 0.0,
+        tier,
     });
     true
 }
@@ -429,6 +1016,7 @@ fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::Fault;
     use uaq_core::PredictorConfig;
     use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
     use uaq_engine::{PlanBuilder, Pred};
@@ -752,5 +1340,321 @@ mod tests {
             });
         }
         drop(service); // must drain + join without deadlock or panic
+    }
+
+    /// Test injector: fires `fault` at `site` while armed. `once` limits
+    /// it to a single firing (the first armed probe wins the swap).
+    struct FireAt {
+        site: FaultSite,
+        fault: Fault,
+        armed: std::sync::atomic::AtomicBool,
+        once: bool,
+    }
+
+    impl FireAt {
+        fn armed(site: FaultSite, fault: Fault, once: bool) -> Arc<Self> {
+            Arc::new(Self {
+                site,
+                fault,
+                armed: std::sync::atomic::AtomicBool::new(true),
+                once,
+            })
+        }
+
+        fn disarmed(site: FaultSite, fault: Fault) -> Arc<Self> {
+            Arc::new(Self {
+                site,
+                fault,
+                armed: std::sync::atomic::AtomicBool::new(false),
+                once: false,
+            })
+        }
+
+        fn arm(&self) {
+            self.armed.store(true, Ordering::SeqCst);
+        }
+
+        fn disarm(&self) {
+            self.armed.store(false, Ordering::SeqCst);
+        }
+    }
+
+    impl crate::fault::FaultInjector for FireAt {
+        fn inject(&self, site: FaultSite, _worker: usize) -> Option<Fault> {
+            if site != self.site {
+                return None;
+            }
+            let hit = if self.once {
+                self.armed.swap(false, Ordering::SeqCst)
+            } else {
+                self.armed.load(Ordering::SeqCst)
+            };
+            hit.then_some(self.fault)
+        }
+    }
+
+    #[test]
+    fn responses_carry_the_full_tier_on_the_healthy_path() {
+        let (predictor, catalog, samples, plan) = setup();
+        let service =
+            PredictionService::start(predictor, catalog, samples, ServiceConfig::default());
+        let cold = service.predict_blocking(Arc::clone(&plan), None);
+        let warm = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(cold.tier, ServedTier::Full);
+        assert_eq!(warm.tier, ServedTier::Full, "cache hits are still tier 0");
+        let stats = service.robustness_stats();
+        assert_eq!(stats.served_full, 2, "{stats:?}");
+        assert_eq!(stats.worker_panics + stats.ladder_panics_caught, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn predict_panic_degrades_to_cached_estimates_bit_identically() {
+        let (predictor, catalog, samples, plan) = setup();
+        let injector = FireAt::disarmed(FaultSite::Predict, Fault::Panic);
+        let service = PredictionService::start_with_faults(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig::default(),
+            Arc::clone(&injector) as Arc<dyn crate::fault::FaultInjector>,
+        );
+        // Healthy warm-up populates both cache levels.
+        let full = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(full.tier, ServedTier::Full);
+        // Now every full-pipeline attempt dies — the ladder must fall to
+        // the sel-cache tier and reproduce the prediction bit for bit.
+        injector.arm();
+        let degraded = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(degraded.tier, ServedTier::CachedEstimates);
+        assert_eq!(
+            degraded.prediction.mean_ms().to_bits(),
+            full.prediction.mean_ms().to_bits()
+        );
+        assert_eq!(
+            degraded.prediction.var().to_bits(),
+            full.prediction.var().to_bits()
+        );
+        assert_eq!(degraded.decision, Decision::Admit);
+        let stats = service.robustness_stats();
+        assert!(stats.ladder_panics_caught >= 1, "{stats:?}");
+        assert_eq!(stats.worker_panics, 0, "the ladder contained the panic");
+        assert_eq!(stats.served_cached_estimates, 1, "{stats:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn predict_panic_without_caches_degrades_to_mean_only_then_static() {
+        let (predictor, catalog, samples, plan) = setup();
+        let injector = FireAt::disarmed(FaultSite::Predict, Fault::Panic);
+        let service = PredictionService::start_with_faults(
+            predictor,
+            Arc::clone(&catalog),
+            Arc::clone(&samples),
+            ServiceConfig {
+                cache_enabled: false,
+                ..Default::default()
+            },
+            Arc::clone(&injector) as Arc<dyn crate::fault::FaultInjector>,
+        );
+        // Warm-up records the shape profile (every uncached serve runs a
+        // real sample pass).
+        let full = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(full.tier, ServedTier::Full);
+        injector.arm();
+        // No sel cache to fall back on ⇒ tier 2: a point mass at the
+        // shape's last observed mean.
+        let mean_only = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(mean_only.tier, ServedTier::MeanOnly);
+        assert_eq!(
+            mean_only.prediction.mean_ms(),
+            full.prediction.mean_ms(),
+            "profile holds the last real mean"
+        );
+        assert_eq!(mean_only.prediction.var(), 0.0);
+        assert_eq!(mean_only.decision, Decision::Admit);
+        // A shape never seen before has no profile either ⇒ tier 3:
+        // static admission, no prediction (NaN probability).
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("a", Value::Int(10)));
+        let fresh_shape = Arc::new(b.build(t));
+        let stat = service.predict_blocking(Arc::clone(&fresh_shape), Some(50.0));
+        assert_eq!(stat.tier, ServedTier::Static);
+        assert!(stat.prob_in_time.is_nan());
+        assert_eq!(stat.decision, Decision::Admit, "static admits d ≥ 0");
+        let rejected = service.predict_blocking(fresh_shape, Some(-1.0));
+        assert_eq!(rejected.decision, Decision::Reject, "static rejects d < 0");
+        let stats = service.robustness_stats();
+        assert_eq!(stats.served_mean_only, 1, "{stats:?}");
+        assert_eq!(stats.served_static, 2, "{stats:?}");
+        assert_eq!(stats.worker_panics, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn mid_request_kill_answers_exactly_once_and_respawns_the_worker() {
+        let (predictor, catalog, samples, plan) = setup();
+        let injector = FireAt::armed(FaultSite::MidRequest, Fault::Panic, true);
+        crate::fault::silence_injected_panics();
+        let service = PredictionService::start_with_faults(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            Arc::clone(&injector) as Arc<dyn crate::fault::FaultInjector>,
+        );
+        let rx = service.submit(PredictRequest {
+            id: 1,
+            plan: Arc::clone(&plan),
+            deadline_ms: None,
+        });
+        let resp = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("the supervisor answers for the killed worker");
+        assert_eq!(resp.tier, ServedTier::Static);
+        assert_eq!(resp.decision, Decision::Admit);
+        assert!(resp.prob_in_time.is_nan());
+        assert!(
+            rx.try_recv().is_err(),
+            "exactly one response per accepted request"
+        );
+        // The pool self-heals: the sole worker died, yet the next request
+        // is served normally by its replacement.
+        let next = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(next.tier, ServedTier::Full);
+        let stats = service.robustness_stats();
+        assert_eq!(stats.worker_panics, 1, "{stats:?}");
+        assert_eq!(stats.workers_respawned, 1, "{stats:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn worker_loop_kill_between_requests_is_invisible_to_clients() {
+        let (predictor, catalog, samples, plan) = setup();
+        let injector = FireAt::armed(FaultSite::WorkerLoop, Fault::Panic, true);
+        crate::fault::silence_injected_panics();
+        let service = PredictionService::start_with_faults(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                workers: 1,
+                ..Default::default()
+            },
+            Arc::clone(&injector) as Arc<dyn crate::fault::FaultInjector>,
+        );
+        // The sole worker dies on its very first loop probe, before any
+        // request exists; the respawn must pick up the queue.
+        let resp = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(resp.tier, ServedTier::Full);
+        let stats = service.robustness_stats();
+        assert_eq!(stats.workers_respawned, 1, "{stats:?}");
+        assert_eq!(stats.worker_panics, 0, "no request was in flight");
+        service.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_sheds_the_highest_relative_variance_request() {
+        let (predictor, catalog, samples, plan_a) = setup();
+        // Plan B scans a different column: a distinct, never-profiled
+        // shape whose shed priority is +∞.
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("a", Value::Int(10)));
+        let plan_b = Arc::new(b.build(t));
+        let injector = FireAt::disarmed(
+            FaultSite::Predict,
+            Fault::Delay(std::time::Duration::from_millis(150)),
+        );
+        let service = PredictionService::start_with_faults(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: Some(2),
+                shed: ShedPolicy::HighestRelativeVariance,
+                ..Default::default()
+            },
+            Arc::clone(&injector) as Arc<dyn crate::fault::FaultInjector>,
+        );
+        // Profile plan A with a healthy serve: finite shed priority.
+        let warm = service.predict_blocking(Arc::clone(&plan_a), None);
+        assert_eq!(warm.tier, ServedTier::Full);
+        // Stall the worker inside its next serve, then overfill the queue
+        // while it is busy.
+        injector.arm();
+        let rx_stalled = service.submit(PredictRequest {
+            id: 10,
+            plan: Arc::clone(&plan_a),
+            deadline_ms: None,
+        });
+        while service.backlog() > 0 {
+            std::thread::yield_now(); // worker picked up the stalled job
+        }
+        let rx_a = service.submit(PredictRequest {
+            id: 11,
+            plan: Arc::clone(&plan_a),
+            deadline_ms: Some(100.0),
+        });
+        let rx_b = service.submit(PredictRequest {
+            id: 12,
+            plan: Arc::clone(&plan_b),
+            deadline_ms: Some(100.0),
+        });
+        // Queue is at capacity [A, B]; another A arrives with a finite
+        // profiled priority. B's ∞ priority makes it the victim.
+        let rx_a2 = service.submit(PredictRequest {
+            id: 13,
+            plan: Arc::clone(&plan_a),
+            deadline_ms: Some(100.0),
+        });
+        let shed = rx_b
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("the victim is answered on the submitter's thread");
+        assert_eq!(shed.id, 12);
+        assert_eq!(shed.tier, ServedTier::Shed);
+        assert_eq!(shed.decision, Decision::Reject);
+        assert!(shed.prob_in_time.is_nan());
+        // Every queued request still resolves once the worker unstalls.
+        injector.disarm();
+        for rx in [rx_stalled, rx_a, rx_a2] {
+            let resp = rx
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("queued requests survive the shed");
+            assert_ne!(resp.tier, ServedTier::Shed);
+        }
+        let stats = service.robustness_stats();
+        assert_eq!(stats.shed, 1, "{stats:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn compute_budget_preflight_skips_a_shape_known_to_blow_it() {
+        let (predictor, catalog, samples, plan) = setup();
+        let service = PredictionService::start(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                cache_enabled: false,
+                // Any real prediction costs more than a nanosecond, so
+                // the profile's recorded cost vetoes tier 0 on repeat.
+                compute_budget: Some(std::time::Duration::from_nanos(1)),
+                ..Default::default()
+            },
+        );
+        let first = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(first.tier, ServedTier::Full, "no profile yet: must try");
+        let second = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(
+            second.tier,
+            ServedTier::MeanOnly,
+            "profiled cost over budget: straight to the cheap tier"
+        );
+        assert_eq!(second.prediction.mean_ms(), first.prediction.mean_ms());
+        service.shutdown();
     }
 }

@@ -1,0 +1,275 @@
+//! Seeded chaos suite: the supervision invariants under fault schedules.
+//!
+//! Each test drives the full `PredictionService` with a
+//! [`SeededFaultInjector`] firing panics, delays, and cache-probe faults
+//! at every probe site, and asserts the invariants that make the serving
+//! layer trustworthy under partial failure:
+//!
+//! * **exactly one response** per accepted request — never lost (a killed
+//!   worker's request is answered by the supervisor), never duplicated;
+//! * **no deadlocked shutdown** — `shutdown` completes while faults fire,
+//!   and every request still in the pipeline gets a final verdict;
+//! * **bit-transparent recovery** — once the injector is disarmed, warm
+//!   cached predictions are bit-identical to uncached references: poisoned
+//!   cache locks recovered by invalidation, never by serving suspect
+//!   state.
+//!
+//! The schedules are seeded (same seed ⇒ same fault stream), and the
+//! invariants are interleaving-independent, so the suite is deterministic
+//! in what it asserts while still exploring hundreds of distinct fault
+//! mixes.
+
+use std::sync::Arc;
+use std::time::Duration;
+use uaq_core::{Predictor, PredictorConfig};
+use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
+use uaq_engine::{Plan, PlanBuilder, Pred};
+use uaq_service::{
+    silence_injected_panics, FaultInjector, FaultPlan, PredictRequest, PredictionService,
+    SeededFaultInjector, ServedTier, ServiceConfig,
+};
+use uaq_stats::Rng;
+use uaq_storage::{Catalog, SampleCatalog, Value};
+
+fn setup() -> (Predictor, Arc<Catalog>, Arc<SampleCatalog>) {
+    use uaq_storage::{Column, Schema, Table};
+    let mut c = Catalog::new();
+    let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+    let rows = (0..4000)
+        .map(|i| vec![Value::Int((i % 50) as i64), Value::Int(i as i64)])
+        .collect();
+    c.add_table(Table::new("t", s, rows));
+    let s2 = Schema::new(vec![Column::int("x"), Column::int("y")]);
+    let rows2 = (0..2000)
+        .map(|i| vec![Value::Int((i % 50) as i64), Value::Int(i as i64)])
+        .collect();
+    c.add_table(Table::new("u", s2, rows2));
+    let mut rng = Rng::new(19);
+    let units = calibrate(
+        &HardwareProfile::pc2(),
+        &CalibrationConfig::default(),
+        &mut rng,
+    );
+    let samples = c.draw_samples(0.05, 1, &mut rng);
+    (
+        Predictor::new(units, PredictorConfig::default()),
+        Arc::new(c),
+        Arc::new(samples),
+    )
+}
+
+/// Two scan shapes, one join, one filter: enough shape/instance variety to
+/// exercise both cache levels and the shape profile under faults.
+fn plans() -> Vec<Arc<Plan>> {
+    let scan_t = {
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("b", Value::Int(2000)));
+        Arc::new(b.build(t))
+    };
+    let scan_u = {
+        let mut b = PlanBuilder::new();
+        let u = b.seq_scan("u", Pred::ge("y", Value::Int(700)));
+        Arc::new(b.build(u))
+    };
+    let join = {
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("b", Value::Int(1500)));
+        let u = b.seq_scan("u", Pred::True);
+        let j = b.hash_join(t, u, "a", "x");
+        Arc::new(b.build(j))
+    };
+    let filtered = {
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::True);
+        let f = b.filter(t, Pred::between("a", Value::Int(5), Value::Int(45)));
+        Arc::new(b.build(f))
+    };
+    vec![scan_t, scan_u, join, filtered]
+}
+
+/// The headline invariant, across 200 seeded fault schedules: every
+/// accepted request gets exactly one response, and shutdown always
+/// completes. Aggregated over all schedules the chaos must have actually
+/// bitten — faults injected, workers respawned, degraded tiers served —
+/// otherwise the suite proves nothing.
+#[test]
+fn two_hundred_seeded_schedules_never_lose_or_duplicate_a_response() {
+    silence_injected_panics();
+    let (predictor, catalog, samples) = setup();
+    let plans = plans();
+
+    let mut total_injected = 0u64;
+    let mut total_respawned = 0u64;
+    let mut total_degraded = 0u64;
+    let mut total_panics = 0u64;
+    for seed in 0..200u64 {
+        let injector = Arc::new(SeededFaultInjector::new(seed, FaultPlan::chaos()));
+        let service = PredictionService::start_with_faults(
+            predictor.clone(),
+            Arc::clone(&catalog),
+            Arc::clone(&samples),
+            ServiceConfig {
+                workers: 3,
+                ..Default::default()
+            },
+            Arc::clone(&injector) as Arc<dyn FaultInjector>,
+        );
+        // 12 requests over 4 plans, deadlines mixed (None / generous /
+        // already-blown) — every decision path under fire.
+        let n = 12u64;
+        let receivers: Vec<_> = (0..n)
+            .map(|i| {
+                let deadline = match i % 3 {
+                    0 => None,
+                    1 => Some(1e6),
+                    _ => Some(-1.0),
+                };
+                service.submit(PredictRequest {
+                    id: seed * 1000 + i,
+                    plan: Arc::clone(&plans[(i as usize) % plans.len()]),
+                    deadline_ms: deadline,
+                })
+            })
+            .collect();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let resp = rx
+                .recv_timeout(Duration::from_secs(30))
+                .unwrap_or_else(|e| panic!("seed {seed}: request {i} lost ({e})"));
+            assert_eq!(resp.id, seed * 1000 + i as u64, "seed {seed}: id mixup");
+            assert!(
+                rx.try_recv().is_err(),
+                "seed {seed}: request {i} answered twice"
+            );
+            if resp.tier != ServedTier::Full {
+                total_degraded += 1;
+            }
+        }
+        let stats = service.robustness_stats();
+        total_respawned += stats.workers_respawned;
+        total_panics += stats.worker_panics + stats.ladder_panics_caught;
+        total_injected += injector.injected();
+        // Shutdown under a still-armed injector must terminate.
+        service.shutdown();
+    }
+    assert!(total_injected > 0, "chaos schedules must inject faults");
+    assert!(total_panics > 0, "some schedules must panic somewhere");
+    assert!(total_respawned > 0, "some schedules must kill workers");
+    assert!(total_degraded > 0, "some requests must serve degraded");
+}
+
+/// Bit-transparency survives recovery: after a chaos phase (poisoned
+/// cache locks, killed workers, forced misses), disarming the injector
+/// returns the service to full-tier serving whose predictions are
+/// bit-identical to the inline uncached reference — recovered caches hold
+/// nothing suspect.
+#[test]
+fn caches_serve_bit_identical_predictions_after_recovery() {
+    silence_injected_panics();
+    let (predictor, catalog, samples) = setup();
+    let plans = plans();
+    let injector = Arc::new(SeededFaultInjector::new(0xFA11, FaultPlan::chaos()));
+    let service = PredictionService::start_with_faults(
+        predictor.clone(),
+        Arc::clone(&catalog),
+        Arc::clone(&samples),
+        ServiceConfig {
+            workers: 4,
+            ..Default::default()
+        },
+        Arc::clone(&injector) as Arc<dyn FaultInjector>,
+    );
+    // Chaos phase: enough traffic to poison and recover the caches.
+    let receivers: Vec<_> = (0..80u64)
+        .map(|i| {
+            service.submit(PredictRequest {
+                id: i,
+                plan: Arc::clone(&plans[(i as usize) % plans.len()]),
+                deadline_ms: None,
+            })
+        })
+        .collect();
+    for rx in receivers {
+        rx.recv_timeout(Duration::from_secs(30)).expect("answered");
+    }
+    assert!(injector.injected() > 0, "the chaos phase must inject");
+
+    // Recovery phase: healthy service, warm caches.
+    injector.disarm();
+    for (i, plan) in plans.iter().enumerate() {
+        let reference = predictor.predict(plan, &catalog, &samples);
+        let first = service.predict_blocking(Arc::clone(plan), None);
+        let second = service.predict_blocking(Arc::clone(plan), None);
+        for (label, resp) in [("first", &first), ("second", &second)] {
+            assert_eq!(
+                resp.tier,
+                ServedTier::Full,
+                "plan {i} {label}: healthy service serves tier 0"
+            );
+            assert_eq!(
+                resp.prediction.mean_ms().to_bits(),
+                reference.mean_ms().to_bits(),
+                "plan {i} {label}: mean drifted after recovery"
+            );
+            assert_eq!(
+                resp.prediction.var().to_bits(),
+                reference.var().to_bits(),
+                "plan {i} {label}: variance drifted after recovery"
+            );
+            assert_eq!(
+                resp.prediction.sel_estimates.canonical_bytes(),
+                reference.sel_estimates.canonical_bytes(),
+                "plan {i} {label}: selectivity traces drifted after recovery"
+            );
+        }
+        assert_eq!(
+            second.prediction.sample_pass_seconds, 0.0,
+            "plan {i}: the repeat must be served warm"
+        );
+    }
+    service.shutdown();
+}
+
+/// Shutdown while faults fire: a burst of fire-and-forget requests is
+/// followed immediately by `shutdown()`. It must terminate (killed
+/// workers may not strand the drain) and every accepted request must
+/// still receive exactly one final verdict.
+#[test]
+fn shutdown_under_fire_answers_every_accepted_request() {
+    silence_injected_panics();
+    let (predictor, catalog, samples) = setup();
+    let plans = plans();
+    for seed in 200..224u64 {
+        let injector = Arc::new(SeededFaultInjector::new(seed, FaultPlan::chaos()));
+        let service = PredictionService::start_with_faults(
+            predictor.clone(),
+            Arc::clone(&catalog),
+            Arc::clone(&samples),
+            ServiceConfig {
+                workers: 3,
+                ..Default::default()
+            },
+            Arc::clone(&injector) as Arc<dyn FaultInjector>,
+        );
+        let receivers: Vec<_> = (0..40u64)
+            .map(|i| {
+                service.submit(PredictRequest {
+                    id: i,
+                    plan: Arc::clone(&plans[(i as usize) % plans.len()]),
+                    deadline_ms: (i % 2 == 0).then_some(50.0),
+                })
+            })
+            .collect();
+        // No draining, no waiting: shut down into the backlog.
+        service.shutdown();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let resp = rx
+                .recv_timeout(Duration::from_secs(30))
+                .unwrap_or_else(|e| panic!("seed {seed}: request {i} lost at shutdown ({e})"));
+            assert_eq!(resp.id, i as u64);
+            assert!(
+                rx.try_recv().is_err(),
+                "seed {seed}: request {i} answered twice"
+            );
+        }
+    }
+}

@@ -533,3 +533,129 @@ fn stress_concurrent_hit_miss_evict_matches_single_threaded_replay() {
         "stress must exercise misses: {stats:?}"
     );
 }
+
+/// Worker-kill stress: the same differential discipline with a seeded
+/// kill schedule (worker kills between requests, mid-request kills that
+/// strike with the request in hand). Invariants: every request is
+/// answered exactly once; responses served at a prediction-bearing tier
+/// are bit-identical to the uncached reference; and once the injector is
+/// disarmed, the recovered service serves every instance warm and
+/// bit-identical — kills may cost tiers, never correctness. `#[ignore]`-
+/// gated like the concurrency stress; CI's service step runs it.
+#[test]
+#[ignore = "stress test: run explicitly (CI service step) with -- --ignored"]
+fn stress_worker_kills_preserve_exactly_one_response_and_bit_identity() {
+    use uaq_service::{
+        silence_injected_panics, FaultInjector, FaultPlan, SeededFaultInjector, ServedTier,
+    };
+
+    silence_injected_panics();
+    let (predictor, catalog, samples) = small_setup();
+    let instances: Vec<Arc<Plan>> = (0..4i64)
+        .flat_map(|v| {
+            let cut = 400 + v * 700;
+            let scan = {
+                let mut b = PlanBuilder::new();
+                let t = b.seq_scan("t", Pred::lt("b", Value::Int(cut)));
+                Arc::new(b.build(t))
+            };
+            let join = {
+                let mut b = PlanBuilder::new();
+                let t = b.seq_scan("t", Pred::lt("b", Value::Int(cut)));
+                let u = b.seq_scan("u", Pred::True);
+                let j = b.hash_join(t, u, "a", "x");
+                Arc::new(b.build(j))
+            };
+            [scan, join]
+        })
+        .collect();
+    let references: Vec<Prediction> = instances
+        .iter()
+        .map(|p| predictor.predict(p, &catalog, &samples))
+        .collect();
+
+    // Kills only — no forced misses or delays — so every answered tier
+    // above the floor must be exact.
+    let plan = FaultPlan {
+        worker_kill: 30,
+        mid_request_kill: 25,
+        ..FaultPlan::none()
+    };
+    let injector = Arc::new(SeededFaultInjector::new(0x4B1D, plan));
+    let catalog = Arc::new(catalog);
+    let samples = Arc::new(samples);
+    let service = Arc::new(PredictionService::start_with_faults(
+        predictor,
+        Arc::clone(&catalog),
+        Arc::clone(&samples),
+        ServiceConfig {
+            workers: 4,
+            ..Default::default()
+        },
+        Arc::clone(&injector) as Arc<dyn FaultInjector>,
+    ));
+
+    let clients = 4usize;
+    let per_client = 100usize;
+    let mut handles = Vec::new();
+    for client in 0..clients {
+        let service = Arc::clone(&service);
+        let instances = instances.clone();
+        let references: Vec<(u64, u64)> = references
+            .iter()
+            .map(|r| (r.mean_ms().to_bits(), r.var().to_bits()))
+            .collect();
+        handles.push(std::thread::spawn(move || {
+            let mut rng = Rng::new(0xD1E ^ client as u64);
+            let mut degraded = 0usize;
+            for n in 0..per_client {
+                let i = rng.usize_below(instances.len());
+                let rx = service.submit(PredictRequest {
+                    id: (client * per_client + n) as u64,
+                    plan: Arc::clone(&instances[i]),
+                    deadline_ms: Some(100.0),
+                });
+                let r = rx
+                    .recv_timeout(std::time::Duration::from_secs(30))
+                    .expect("exactly one response: never lost");
+                assert!(rx.try_recv().is_err(), "never duplicated");
+                match r.tier {
+                    ServedTier::Full | ServedTier::CachedEstimates => {
+                        assert_eq!(
+                            (
+                                r.prediction.mean_ms().to_bits(),
+                                r.prediction.var().to_bits()
+                            ),
+                            references[i],
+                            "client {client} req {n}: prediction-bearing tier must be exact"
+                        );
+                    }
+                    _ => degraded += 1,
+                }
+            }
+            degraded
+        }));
+    }
+    let degraded: usize = handles.into_iter().map(|h| h.join().expect("client")).sum();
+    let stats = service.robustness_stats();
+    assert!(
+        stats.workers_respawned > 0,
+        "the kill schedule must actually kill: {stats:?}"
+    );
+    assert_eq!(
+        degraded as u64, stats.worker_panics,
+        "under a kills-only plan, degraded responses are exactly the mid-request kills: {stats:?}"
+    );
+
+    // Post-recovery: disarmed, every instance serves warm and exact.
+    injector.disarm();
+    for (i, (instance, reference)) in instances.iter().zip(&references).enumerate() {
+        let resp = service.predict_blocking(Arc::clone(instance), None);
+        assert_eq!(resp.tier, ServedTier::Full, "instance {i}");
+        assert_bit_identical(
+            reference,
+            &resp.prediction,
+            &format!("instance {i} post-recovery"),
+        );
+    }
+}

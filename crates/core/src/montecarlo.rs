@@ -105,6 +105,19 @@ pub fn monte_carlo_prediction(
     runs: usize,
     rng: &mut Rng,
 ) -> EmpiricalPrediction {
+    uaq_telemetry::span::timed(uaq_telemetry::span::Stage::MonteCarlo, || {
+        monte_carlo_inner(predictor, plan, catalog, sampling_ratio, runs, rng)
+    })
+}
+
+fn monte_carlo_inner(
+    predictor: &Predictor,
+    plan: &Plan,
+    catalog: &Catalog,
+    sampling_ratio: f64,
+    runs: usize,
+    rng: &mut Rng,
+) -> EmpiricalPrediction {
     assert!(runs >= 2, "need at least two sample draws");
     let contexts = NodeCostContext::build_all(plan, catalog);
     let estimate_one = |samples: &uaq_storage::SampleCatalog| -> f64 {

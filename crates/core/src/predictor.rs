@@ -15,7 +15,6 @@
 use crate::terms::{resolve_term, CovEnv, VarTerm};
 use crate::variant::Variant;
 use std::sync::Arc;
-use std::time::Instant;
 use uaq_cost::{
     fit_node, CostUnit, FitCache, FitConfig, FitSignature, FittedCost, NoFitCache, NoSelEstCache,
     NodeCostContext, NodeFits, SelEstCache, UnitDists,
@@ -24,6 +23,7 @@ use uaq_engine::{NodeId, Plan};
 use uaq_selest::{AggCardinalitySource, SelEstimates};
 use uaq_stats::Normal;
 use uaq_storage::{Catalog, SampleCatalog};
+use uaq_telemetry::span::{self, Stage};
 
 /// Predictor configuration.
 #[derive(Debug, Clone, Copy, Default)]
@@ -68,13 +68,13 @@ pub struct Prediction {
     /// Per-operator selectivity estimates (inputs to Tables 6–9), shared
     /// with the selectivity-estimate cache when one is in play.
     pub sel_estimates: SelEstimates,
-    /// Wall-clock seconds of the sample-pass stage: plan execution over the
-    /// samples plus Algorithm 1 (the numerator of the paper's
-    /// relative-overhead metric, §6.4). Exactly 0.0 when the stage was
-    /// skipped by a selectivity-estimate cache hit.
-    pub sample_pass_seconds: f64,
-    /// Wall-clock seconds spent on fitting + variance algebra.
-    pub inference_seconds: f64,
+    /// Whether the sample-pass stage actually executed (`false` when a
+    /// selectivity-estimate cache hit skipped it). A deterministic
+    /// indicator: a `Prediction` carries **no wall-clock fields**, so two
+    /// runs of the same inputs are bit-identical structs. Stage durations
+    /// (the paper's §6.4 relative-overhead numerator included) are
+    /// captured by `uaq_telemetry::span` when a recorder is active.
+    pub sample_pass_ran: bool,
 }
 
 impl Prediction {
@@ -122,8 +122,8 @@ impl Prediction {
     }
 
     /// A placeholder prediction for degraded serving tiers: a bare
-    /// `N(mean_ms, var_ms2)` with no breakdown, no per-operator estimates,
-    /// and zero timings. With `var_ms2 = 0` the distribution collapses to
+    /// `N(mean_ms, var_ms2)` with no breakdown and no per-operator
+    /// estimates. With `var_ms2 = 0` the distribution collapses to
     /// a point, so tail-probability admission on it degenerates to exactly
     /// the mean-only check `mean ≤ budget` (the CDF of a point mass is a
     /// step) — which is precisely what a mean-only fallback tier should
@@ -135,8 +135,7 @@ impl Prediction {
             distribution: Normal::new(mean_ms, var_ms2),
             breakdown: VarianceBreakdown::default(),
             sel_estimates: SelEstimates::from_vec(Vec::new()),
-            sample_pass_seconds: 0.0,
-            inference_seconds: 0.0,
+            sample_pass_ran: false,
         }
     }
 }
@@ -199,7 +198,8 @@ impl Predictor {
     /// with a fit hit, a repeated query instance pays only the variance
     /// algebra. Estimates are pure functions of everything the key
     /// captures, so cached and uncached predictions are bit-identical at
-    /// both cache levels (only the wall-clock timing fields differ).
+    /// both cache levels (only the [`Prediction::sample_pass_ran`]
+    /// indicator differs).
     pub fn predict_with_caches(
         &self,
         plan: &Plan,
@@ -222,30 +222,34 @@ impl Predictor {
         //       selectivity distributions per operator (Algorithm 1) —
         //       unless the estimate cache already holds this exact query
         //       instance over this exact sample set.
-        let (raw_estimates, sample_pass_seconds) = if sel_cache.enabled() {
+        let (raw_estimates, sample_pass_ran) = if sel_cache.enabled() {
             let key = Self::sel_key_for_shape(
                 shape.as_deref().expect("shape computed when a cache is on"),
                 plan,
                 samples,
                 self.config.agg_source,
             );
-            match sel_cache.get(&key) {
-                Some(estimates) => (estimates, 0.0),
+            match span::timed(Stage::SelCacheProbe, || sel_cache.get(&key)) {
+                Some(estimates) => (estimates, false),
                 None => {
-                    let (estimates, seconds) =
-                        SelEstimates::compute(plan, samples, catalog, self.config.agg_source);
-                    sel_cache.put(&key, &estimates);
-                    (estimates, seconds)
+                    let estimates = span::timed(Stage::SamplePass, || {
+                        SelEstimates::compute(plan, samples, catalog, self.config.agg_source)
+                    });
+                    span::timed(Stage::SelCacheProbe, || sel_cache.put(&key, &estimates));
+                    (estimates, true)
                 }
             }
         } else {
-            SelEstimates::compute(plan, samples, catalog, self.config.agg_source)
+            let estimates = span::timed(Stage::SamplePass, || {
+                SelEstimates::compute(plan, samples, catalog, self.config.agg_source)
+            });
+            (estimates, true)
         };
         self.finish_prediction(
             plan,
             catalog,
             raw_estimates,
-            sample_pass_seconds,
+            sample_pass_ran,
             fit_cache,
             shape.as_deref(),
         )
@@ -268,7 +272,7 @@ impl Predictor {
         fit_cache: &dyn FitCache,
     ) -> Prediction {
         let shape = fit_cache.enabled().then(|| Self::shape_key(plan, catalog));
-        self.finish_prediction(plan, catalog, estimates, 0.0, fit_cache, shape.as_deref())
+        self.finish_prediction(plan, catalog, estimates, false, fit_cache, shape.as_deref())
     }
 
     /// The cache key under which [`Self::predict_with_caches`] stores this
@@ -291,7 +295,10 @@ impl Predictor {
         )
     }
 
-    fn shape_key(plan: &Plan, catalog: &Catalog) -> String {
+    /// The plan-shape key both cache levels group by (shape signature plus
+    /// catalog fingerprint). Public so the observability layer can label
+    /// per-shape metrics with the exact grouping the caches use.
+    pub fn shape_key(plan: &Plan, catalog: &Catalog) -> String {
         format!(
             "{}#cat{:016x}",
             plan.shape_signature(),
@@ -325,7 +332,7 @@ impl Predictor {
         plan: &Plan,
         catalog: &Catalog,
         raw_estimates: SelEstimates,
-        sample_pass_seconds: f64,
+        sample_pass_ran: bool,
         fit_cache: &dyn FitCache,
         shape: Option<&str>,
     ) -> Prediction {
@@ -337,33 +344,42 @@ impl Predictor {
             raw_estimates
         };
 
-        let t1 = Instant::now();
         let dists: Vec<Normal> = estimates.distributions();
 
         // 3. Fit the logical cost functions per (operator, unit),
         //    consulting the fit cache at both levels (contexts, fits).
+        //    Span attribution: cache traffic → FitCacheProbe, the context
+        //    build + grid fits + variance algebra → Fit.
         let fits = if fit_cache.enabled() {
             let shape = shape.expect("shape computed when a cache is on");
             let sig = FitSignature::new(self.config.fit.grid_w, &dists);
-            match fit_cache.get_fits(shape, &sig) {
+            match span::timed(Stage::FitCacheProbe, || fit_cache.get_fits(shape, &sig)) {
                 Some(fits) => fits,
                 None => {
-                    let contexts = match fit_cache.get_contexts(shape) {
+                    let contexts = match span::timed(Stage::FitCacheProbe, || {
+                        fit_cache.get_contexts(shape)
+                    }) {
                         Some(c) => c,
                         None => {
-                            let c = Arc::new(NodeCostContext::build_all(plan, catalog));
-                            fit_cache.put_contexts(shape, &c);
+                            let c = span::timed(Stage::Fit, || {
+                                Arc::new(NodeCostContext::build_all(plan, catalog))
+                            });
+                            span::timed(Stage::FitCacheProbe, || fit_cache.put_contexts(shape, &c));
                             c
                         }
                     };
-                    let f = Arc::new(self.fit_all(plan, &contexts, &dists));
-                    fit_cache.put_fits(shape, &sig, &f);
+                    let f = span::timed(Stage::Fit, || {
+                        Arc::new(self.fit_all(plan, &contexts, &dists))
+                    });
+                    span::timed(Stage::FitCacheProbe, || fit_cache.put_fits(shape, &sig, &f));
                     f
                 }
             }
         } else {
-            let contexts = NodeCostContext::build_all(plan, catalog);
-            Arc::new(self.fit_all(plan, &contexts, &dists))
+            span::timed(Stage::Fit, || {
+                let contexts = NodeCostContext::build_all(plan, catalog);
+                Arc::new(self.fit_all(plan, &contexts, &dists))
+            })
         };
 
         // 4. Combine (Algorithm 3).
@@ -373,15 +389,15 @@ impl Predictor {
             estimates: &estimates,
             drop_cross_covariances: self.config.variant == Variant::NoCovariance,
         };
-        let (mean, breakdown) = self.mean_and_variance(plan, &fits, &dists, &env);
-        let inference_seconds = t1.elapsed().as_secs_f64();
+        let (mean, breakdown) = span::timed(Stage::Fit, || {
+            self.mean_and_variance(plan, &fits, &dists, &env)
+        });
 
         Prediction {
             distribution: Normal::new(mean, breakdown.total().max(0.0)),
             breakdown,
             sel_estimates: estimates,
-            sample_pass_seconds,
-            inference_seconds,
+            sample_pass_ran,
         }
     }
 
@@ -707,15 +723,16 @@ mod tests {
         let mut rng = Rng::new(65);
         let samples = c.draw_samples(0.05, 1, &mut rng);
         let full = predictor.predict(&plan, &c, &samples);
-        let (estimates, _) =
+        let estimates =
             SelEstimates::compute(&plan, &samples, &c, PredictorConfig::default().agg_source);
         let from_est = predictor.predict_from_estimates(&plan, &c, estimates, &NoFitCache);
         assert_eq!(full.mean_ms().to_bits(), from_est.mean_ms().to_bits());
         assert_eq!(full.var().to_bits(), from_est.var().to_bits());
-        assert_eq!(
-            from_est.sample_pass_seconds, 0.0,
-            "the skipped stage reports zero"
+        assert!(
+            !from_est.sample_pass_ran,
+            "the skipped stage reports that it was skipped"
         );
+        assert!(full.sample_pass_ran);
     }
 
     #[test]
@@ -731,16 +748,73 @@ mod tests {
     }
 
     #[test]
-    fn timings_are_recorded() {
+    fn span_recording_captures_stages_without_perturbing_the_prediction() {
         let c = catalog();
         let plan = join_plan();
         let units = calibrated_units(&HardwareProfile::pc1(), 62);
         let predictor = Predictor::new(units, PredictorConfig::default());
         let mut rng = Rng::new(63);
         let samples = c.draw_samples(0.05, 1, &mut rng);
-        let p = predictor.predict(&plan, &c, &samples);
-        assert!(p.sample_pass_seconds >= 0.0);
-        assert!(p.inference_seconds > 0.0);
-        assert_eq!(p.sel_estimates.len(), plan.len());
+
+        // Baseline: no recorder active.
+        let plain = predictor.predict(&plan, &c, &samples);
+        assert_eq!(plain.sel_estimates.len(), plan.len());
+
+        // Same inputs with a recorder active: the prediction is
+        // bit-identical (the span layer only observes; it never feeds
+        // wall-clock values back into the result), and the pipeline
+        // stages show up in the timings.
+        let span = uaq_telemetry::span::SpanRecorder::begin();
+        let recorded = predictor.predict(&plan, &c, &samples);
+        let timings = span.finish();
+        assert_eq!(plain.mean_ms().to_bits(), recorded.mean_ms().to_bits());
+        assert_eq!(plain.var().to_bits(), recorded.var().to_bits());
+        assert_eq!(plain.sample_pass_ran, recorded.sample_pass_ran);
+        assert!(timings.get(Stage::SamplePass) > 0.0);
+        assert!(timings.get(Stage::Fit) > 0.0);
+        // The engine's executor stage nests inside the sample pass.
+        assert!(timings.get(Stage::Exec) > 0.0);
+        assert!(timings.get(Stage::Exec) <= timings.get(Stage::SamplePass));
+        // No caches in play: the probe stages never ran.
+        assert_eq!(timings.get(Stage::SelCacheProbe), 0.0);
+        assert_eq!(timings.get(Stage::FitCacheProbe), 0.0);
+    }
+
+    /// The satellite-1 pin: a `Prediction` must carry no wall-clock
+    /// fields, so two runs of the identical inputs are bit-identical
+    /// structs — not just close, *identical* — field by field.
+    #[test]
+    fn predictions_are_bit_deterministic_across_runs() {
+        let c = catalog();
+        let plan = join_plan();
+        let units = calibrated_units(&HardwareProfile::pc1(), 66);
+        let predictor = Predictor::new(units, PredictorConfig::default());
+        let mut rng = Rng::new(67);
+        let samples = c.draw_samples(0.05, 1, &mut rng);
+        let a = predictor.predict(&plan, &c, &samples);
+        let b = predictor.predict(&plan, &c, &samples);
+        assert_eq!(a.mean_ms().to_bits(), b.mean_ms().to_bits());
+        assert_eq!(a.var().to_bits(), b.var().to_bits());
+        assert_eq!(
+            a.breakdown.unit_variance.to_bits(),
+            b.breakdown.unit_variance.to_bits()
+        );
+        assert_eq!(
+            a.breakdown.selectivity_exact.to_bits(),
+            b.breakdown.selectivity_exact.to_bits()
+        );
+        assert_eq!(
+            a.breakdown.covariance_bounds.to_bits(),
+            b.breakdown.covariance_bounds.to_bits()
+        );
+        assert_eq!(
+            a.breakdown.interaction.to_bits(),
+            b.breakdown.interaction.to_bits()
+        );
+        assert_eq!(a.sample_pass_ran, b.sample_pass_ran);
+        assert_eq!(
+            a.sel_estimates.canonical_bytes(),
+            b.sel_estimates.canonical_bytes()
+        );
     }
 }

@@ -251,13 +251,15 @@ struct Executor<'a> {
 /// Executes a plan against the base tables. The returned outcome is
 /// columnar; no row is materialized unless the caller asks.
 pub fn execute_full(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
-    let mut ex = Executor {
-        plan,
-        source: Source::Full(catalog),
-        traces: vec![NodeTrace::default(); plan.len()],
-    };
-    let batch = ex.exec(plan.root());
-    ExecOutcome::columnar(batch.schema, batch.cols, batch.len, ex.traces)
+    uaq_telemetry::span::timed(uaq_telemetry::span::Stage::Exec, || {
+        let mut ex = Executor {
+            plan,
+            source: Source::Full(catalog),
+            traces: vec![NodeTrace::default(); plan.len()],
+        };
+        let batch = ex.exec(plan.root());
+        ExecOutcome::columnar(batch.schema, batch.cols, batch.len, ex.traces)
+    })
 }
 
 /// Executes a plan against sample tables, tracking provenance. Row-free:
@@ -265,13 +267,15 @@ pub fn execute_full(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
 /// materialization is gone from the prediction path entirely.
 pub fn execute_on_samples(plan: &Plan, samples: &SampleCatalog) -> ExecOutcome {
     crate::fault::fire_sample_pass_hook();
-    let mut ex = Executor {
-        plan,
-        source: Source::Samples(samples),
-        traces: vec![NodeTrace::default(); plan.len()],
-    };
-    let batch = ex.exec(plan.root());
-    ExecOutcome::columnar(batch.schema, batch.cols, batch.len, ex.traces)
+    uaq_telemetry::span::timed(uaq_telemetry::span::Stage::Exec, || {
+        let mut ex = Executor {
+            plan,
+            source: Source::Samples(samples),
+            traces: vec![NodeTrace::default(); plan.len()],
+        };
+        let batch = ex.exec(plan.root());
+        ExecOutcome::columnar(batch.schema, batch.cols, batch.len, ex.traces)
+    })
 }
 
 /// Borrowed join-key view of one cell, mirroring `Value`'s equality and

@@ -35,6 +35,7 @@ use uaq_service::{
     AdmissionPolicy, CacheStats, Decision, PredictRequest, PredictionService, ServiceConfig,
 };
 use uaq_stats::Rng;
+use uaq_telemetry::{CalibrationMonitor, Observation, ShapeCalibration};
 use uaq_workloads::Benchmark;
 
 /// How inter-arrival gaps are drawn.
@@ -172,6 +173,12 @@ pub struct DeadlineReport {
     pub cache: CacheStats,
     /// Outcomes in policy order: admit-all, mean-only, uncertainty-aware.
     pub outcomes: Vec<PolicyOutcome>,
+    /// Per-shape calibration of the predicted distributions against the
+    /// stream's simulated actual times: interval coverage, mean PIT, and
+    /// predicted vs observed `Pr(T > slack)`. Policy-independent (every
+    /// policy replays the same arrivals), deterministic, and also exported
+    /// as `uaq_calibration_*` gauges on the prediction service's registry.
+    pub calibration: Vec<ShapeCalibration>,
 }
 
 fn fmt_rate(rate: f64) -> String {
@@ -245,7 +252,38 @@ impl DeadlineReport {
                 o.p95_sojourn_ms,
             );
         }
+        if !self.calibration.is_empty() {
+            let _ = writeln!(
+                out,
+                "calibration (predicted distribution vs simulated actual):"
+            );
+            out.push_str(&ShapeCalibration::render_table(&self.calibration));
+        }
         out
+    }
+
+    /// Arrival-weighted empirical coverage of the predicted central
+    /// interval at `level` ∈ {50, 90, 99}, across all shapes. `NaN` when
+    /// the report carries no calibration data.
+    pub fn overall_coverage(&self, level: u32) -> f64 {
+        let total: u64 = self.calibration.iter().map(|s| s.n).sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let covered: f64 = self
+            .calibration
+            .iter()
+            .map(|s| {
+                s.n as f64
+                    * match level {
+                        50 => s.coverage50,
+                        90 => s.coverage90,
+                        99 => s.coverage99,
+                        _ => panic!("coverage level must be 50, 90, or 99"),
+                    }
+            })
+            .sum();
+        covered / total as f64
     }
 }
 
@@ -288,6 +326,9 @@ pub(crate) struct PooledQuery {
     pub(crate) plan: Arc<Plan>,
     contexts: Vec<NodeCostContext>,
     traces: Vec<NodeTrace>,
+    /// Compact calibration label (`shape-<shape_hash>`); literal-insensitive,
+    /// so repeated template instances tally into one row.
+    shape: String,
     /// Filled by the first arrival of this query in the stream (queries the
     /// stream never draws stay unpredicted).
     pub(crate) prediction: Option<Prediction>,
@@ -351,6 +392,7 @@ pub(crate) fn prepare(config: &DeadlineConfig) -> Prepared {
             let out = execute_full(&plan, &catalog);
             let contexts = NodeCostContext::build_all(&plan, &catalog);
             PooledQuery {
+                shape: format!("shape-{:016x}", plan.shape_hash()),
                 plan,
                 contexts,
                 traces: out.traces,
@@ -489,9 +531,43 @@ pub(crate) fn generate_arrivals(prepared: &mut Prepared, config: &DeadlineConfig
         .collect()
 }
 
+/// Digests one arrival stream into per-shape calibration tallies: PIT and
+/// central-interval membership of the simulated actual time under each
+/// arrival's predicted `N(E[t_q], Var[t_q])`, plus predicted vs observed
+/// `Pr(T > slack)` — the quoted-deadline miss rate with no queueing, the
+/// policy-independent half of the SLO question.
+pub(crate) fn calibrate_stream(arrivals: &[Arrival], pool: &[PooledQuery]) -> CalibrationMonitor {
+    let monitor = CalibrationMonitor::new();
+    for a in arrivals {
+        let q = &pool[a.query];
+        let dist = q
+            .prediction
+            .as_ref()
+            .expect("arrived ⇒ predicted")
+            .distribution();
+        let pit = dist.cdf(a.actual_ms);
+        monitor.record(&Observation {
+            shape: q.shape.clone(),
+            observed_ms: a.actual_ms,
+            pit,
+            // Inside the central p-interval ⇔ the PIT lands within p/2 of
+            // the median.
+            in50: (pit - 0.5).abs() <= 0.25,
+            in90: (pit - 0.5).abs() <= 0.45,
+            in99: (pit - 0.5).abs() <= 0.495,
+            predicted_violation: Some(1.0 - dist.cdf(a.slack_ms)),
+            violated: Some(a.actual_ms > a.slack_ms),
+        });
+    }
+    monitor
+}
+
 fn run_prepared(prepared: &mut Prepared, config: &DeadlineConfig) -> DeadlineReport {
     let arrivals = generate_arrivals(prepared, config);
     let cache = prepared.service.cache_stats();
+    let monitor = calibrate_stream(&arrivals, &prepared.pool);
+    monitor.export_gauges(prepared.service.registry());
+    let calibration = monitor.report();
 
     let policies: Vec<(String, Option<AdmissionPolicy>)> = vec![
         ("admit-all".into(), None),
@@ -522,6 +598,7 @@ fn run_prepared(prepared: &mut Prepared, config: &DeadlineConfig) -> DeadlineRep
         utilization: config.utilization,
         cache,
         outcomes,
+        calibration,
     }
 }
 
@@ -714,6 +791,23 @@ mod tests {
             assert_eq!(x.p50_sojourn_ms.to_bits(), y.p50_sojourn_ms.to_bits());
             assert_eq!(x.p95_sojourn_ms.to_bits(), y.p95_sojourn_ms.to_bits());
         }
+        assert_eq!(a.calibration.len(), b.calibration.len());
+        for (x, y) in a.calibration.iter().zip(&b.calibration) {
+            assert_eq!(x.shape, y.shape);
+            assert_eq!(x.n, y.n);
+            assert_eq!(x.coverage50.to_bits(), y.coverage50.to_bits());
+            assert_eq!(x.coverage90.to_bits(), y.coverage90.to_bits());
+            assert_eq!(x.coverage99.to_bits(), y.coverage99.to_bits());
+            assert_eq!(x.mean_pit.to_bits(), y.mean_pit.to_bits());
+            assert_eq!(
+                x.predicted_violation_rate.to_bits(),
+                y.predicted_violation_rate.to_bits()
+            );
+            assert_eq!(
+                x.observed_violation_rate.to_bits(),
+                y.observed_violation_rate.to_bits()
+            );
+        }
     }
 
     #[test]
@@ -875,6 +969,53 @@ mod tests {
             report.cache
         );
         assert!(report.cache.sel_entries > 0);
+    }
+
+    #[test]
+    fn ninety_percent_interval_coverage_is_in_the_tolerance_band() {
+        // The calibration headline, over the default 400-arrival stream:
+        // the predicted 90% central intervals must actually cover the
+        // simulated actual times at roughly the nominal rate. The band is
+        // wide — the simulated "actual" generator shares the cost model
+        // but draws its own noise — yet tight enough to catch a predictor
+        // whose variance collapses (coverage → low) or explodes
+        // (coverage → 1.0 with a degenerate PIT).
+        let config = DeadlineConfig::default();
+        let mut prepared = prepare(&config);
+        let report = run_prepared(&mut prepared, &config);
+        assert!(!report.calibration.is_empty());
+        let total: u64 = report.calibration.iter().map(|s| s.n).sum();
+        assert_eq!(total as usize, report.arrivals);
+        let cov90 = report.overall_coverage(90);
+        assert!(
+            (0.70..=1.0).contains(&cov90),
+            "90% interval coverage {cov90} out of tolerance\n{}",
+            report.render()
+        );
+        // Coverage must be monotone in the nominal level.
+        let (cov50, cov99) = (report.overall_coverage(50), report.overall_coverage(99));
+        assert!(
+            cov50 <= cov90 && cov90 <= cov99,
+            "coverage not monotone: {cov50} / {cov90} / {cov99}"
+        );
+        // The same numbers landed as gauges on the service registry, so
+        // `PredictionService::telemetry()` is the one-stop snapshot.
+        let snap = prepared.service.telemetry();
+        let s = &report.calibration[0];
+        assert_eq!(
+            snap.gauge(
+                "uaq_calibration_coverage",
+                &[("interval", "90"), ("shape", s.shape.as_str())],
+            ),
+            Some(s.coverage90)
+        );
+        assert_eq!(
+            snap.gauge(
+                "uaq_calibration_observations",
+                &[("shape", s.shape.as_str())]
+            ),
+            Some(s.n as f64)
+        );
     }
 
     #[test]

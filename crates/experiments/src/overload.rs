@@ -29,10 +29,11 @@
 //! deadline scenario) replayed verbatim under every row.
 
 use crate::deadline::{
-    generate_arrivals, percentile, prepare, Arrival, DeadlineConfig, PooledQuery,
+    calibrate_stream, generate_arrivals, percentile, prepare, Arrival, DeadlineConfig, PooledQuery,
 };
 use crate::sim::{simulate_shedding, Consult, JobFate, RetryConfig, ShedConfig, ShedOrder, SimJob};
 use uaq_service::{shed_priority, AdmissionPolicy, Decision};
+use uaq_telemetry::ShapeCalibration;
 
 /// Scenario knobs: the deadline scenario's workload machinery pushed past
 /// saturation, plus the queue bound.
@@ -96,6 +97,9 @@ pub struct OverloadReport {
     /// Row order: admit-all {unbounded, fifo-shed, variance-shed}, then
     /// uncertainty {fifo-shed, variance-shed}.
     pub outcomes: Vec<OverloadOutcome>,
+    /// Per-shape calibration of the stream's predicted distributions
+    /// (same policy-independent digest as the deadline scenario's).
+    pub calibration: Vec<ShapeCalibration>,
 }
 
 impl OverloadReport {
@@ -142,6 +146,13 @@ impl OverloadReport {
                 o.p50_sojourn_ms,
                 o.p95_sojourn_ms,
             );
+        }
+        if !self.calibration.is_empty() {
+            let _ = writeln!(
+                out,
+                "calibration (predicted distribution vs simulated actual):"
+            );
+            out.push_str(&ShapeCalibration::render_table(&self.calibration));
         }
         out
     }
@@ -283,6 +294,7 @@ pub fn run_overload_scenario(config: &OverloadConfig) -> OverloadReport {
         utilization: config.base.utilization,
         queue_capacity: config.queue_capacity,
         outcomes,
+        calibration: calibrate_stream(&arrivals, &prepared.pool).report(),
     }
 }
 

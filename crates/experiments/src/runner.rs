@@ -56,7 +56,9 @@ pub struct QueryRecord {
     pub actual_ms: f64,
     /// Wall-clock seconds of the real full execution.
     pub full_pass_seconds: f64,
-    /// Wall-clock seconds of the sample pass inside prediction.
+    /// Wall-clock seconds of the sample pass inside prediction, measured
+    /// by the lab via a [`uaq_telemetry::span::SpanRecorder`] around each
+    /// predict call (the `Prediction` itself carries no wall-clock fields).
     pub sample_pass_seconds: f64,
     /// Per-operator selectivity observations (sampled operators only).
     pub sels: Vec<SelRecord>,
@@ -265,12 +267,18 @@ impl Lab {
         // `parallel` feature). The actual-time simulation stays sequential
         // because it consumes the cell's RNG stream in query order.
         let predictions = uaq_stats::parallel_map(prepared, |pq| {
-            predictor.predict(&pq.plan, catalog, &samples)
+            // The recorder is per-thread, so each parallel worker times its
+            // own sample passes; the prediction itself stays bit-identical
+            // with or without the recorder.
+            let span = uaq_telemetry::span::SpanRecorder::begin();
+            let prediction = predictor.predict(&pq.plan, catalog, &samples);
+            let sample_secs = span.finish().get(uaq_telemetry::span::Stage::SamplePass);
+            (prediction, sample_secs)
         });
         let records = prepared
             .iter()
             .zip(predictions)
-            .map(|(pq, prediction)| {
+            .map(|(pq, (prediction, sample_secs))| {
                 let actual = simulate_actual_time(
                     &pq.plan,
                     &pq.contexts,
@@ -296,7 +304,7 @@ impl Lab {
                     predicted_std_ms: prediction.std_dev_ms(),
                     actual_ms: actual.mean_ms,
                     full_pass_seconds: pq.full_seconds,
-                    sample_pass_seconds: prediction.sample_pass_seconds,
+                    sample_pass_seconds: sample_secs,
                     sels,
                 }
             })

@@ -13,7 +13,6 @@
 use crate::estimator::{estimate_selectivities_with, AggCardinalitySource, SelEstimate, SelSource};
 use std::ops::Deref;
 use std::sync::Arc;
-use std::time::Instant;
 use uaq_engine::{execute_on_samples, Plan};
 use uaq_stats::Normal;
 use uaq_storage::{Catalog, SampleCatalog};
@@ -28,22 +27,20 @@ pub struct SelEstimates {
 
 impl SelEstimates {
     /// Runs the provenance-tracked sample pass (`execute_on_samples`) and
-    /// Algorithm 1 end-to-end. Returns the estimates plus the wall-clock
-    /// seconds of the whole stage (execution over the samples plus the
-    /// `ρ_n`/`S_n²` arithmetic) — the numerator of the paper's
-    /// relative-overhead metric, reported separately so a cache hit can
-    /// honestly report 0.0 for the stage it skipped.
+    /// Algorithm 1 end-to-end. Pure: this crate never reads the clock, so
+    /// the result is a function of its inputs alone. Wall-clock cost of
+    /// the stage — the numerator of the paper's relative-overhead metric —
+    /// is captured by callers through `uaq_telemetry::span` when a
+    /// recorder is active.
     pub fn compute(
         plan: &Plan,
         samples: &SampleCatalog,
         catalog: &Catalog,
         agg_source: AggCardinalitySource,
-    ) -> (Self, f64) {
-        let t0 = Instant::now();
+    ) -> Self {
         let outcome = execute_on_samples(plan, samples);
         let estimates = estimate_selectivities_with(plan, &outcome, samples, catalog, agg_source);
-        let sample_pass_seconds = t0.elapsed().as_secs_f64();
-        (Self::from_vec(estimates), sample_pass_seconds)
+        Self::from_vec(estimates)
     }
 
     /// Wraps an already-computed estimate vector.
@@ -141,9 +138,7 @@ mod tests {
     #[test]
     fn compute_matches_direct_estimation() {
         let (c, samples, plan) = setup();
-        let (est, secs) =
-            SelEstimates::compute(&plan, &samples, &c, AggCardinalitySource::Optimizer);
-        assert!(secs >= 0.0);
+        let est = SelEstimates::compute(&plan, &samples, &c, AggCardinalitySource::Optimizer);
         let outcome = execute_on_samples(&plan, &samples);
         let direct = estimate_selectivities_with(
             &plan,
@@ -158,8 +153,7 @@ mod tests {
             assert_eq!(a.var.to_bits(), b.var.to_bits());
         }
         // Recomputing is deterministic down to the bytes.
-        let (again, _) =
-            SelEstimates::compute(&plan, &samples, &c, AggCardinalitySource::Optimizer);
+        let again = SelEstimates::compute(&plan, &samples, &c, AggCardinalitySource::Optimizer);
         assert_eq!(est.canonical_bytes(), again.canonical_bytes());
         assert!(!est.ptr_eq(&again));
     }
@@ -167,7 +161,7 @@ mod tests {
     #[test]
     fn clones_share_the_allocation() {
         let (c, samples, plan) = setup();
-        let (est, _) = SelEstimates::compute(&plan, &samples, &c, AggCardinalitySource::Optimizer);
+        let est = SelEstimates::compute(&plan, &samples, &c, AggCardinalitySource::Optimizer);
         let clone = est.clone();
         assert!(est.ptr_eq(&clone));
         assert_eq!(est.canonical_bytes(), clone.canonical_bytes());
@@ -176,7 +170,7 @@ mod tests {
     #[test]
     fn zero_variance_copy_leaves_original_untouched() {
         let (c, samples, plan) = setup();
-        let (est, _) = SelEstimates::compute(&plan, &samples, &c, AggCardinalitySource::Optimizer);
+        let est = SelEstimates::compute(&plan, &samples, &c, AggCardinalitySource::Optimizer);
         assert!(est[0].var > 0.0);
         let zeroed = est.with_zero_variance();
         assert!(!est.ptr_eq(&zeroed));

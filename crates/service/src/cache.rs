@@ -28,10 +28,10 @@ use crate::sync::lock_recover_with;
 use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use uaq_cost::{FitCache, FitSignature, NodeCostContext, NodeFits, SelEstCache};
 use uaq_selest::SelEstimates;
+use uaq_telemetry::{Counter, Registry};
 
 /// What happens when a bounded cache is full and a new entry arrives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -264,14 +264,40 @@ impl<K: Hash + Eq + Clone, V> EvictingMap<K, V> {
     }
 }
 
-/// Hit/miss counters, cheap enough to keep always-on (relaxed atomics).
+/// Hit/miss counters, cheap enough to keep always-on: each is a
+/// [`uaq_telemetry::Counter`] (a relaxed atomic under the hood), detached
+/// for standalone caches and registry-bound when the owning service
+/// constructs the cache with [`SharedFitCache::instrumented`] — the same
+/// cells then feed `PredictionService::telemetry()` with zero extra work
+/// on the probe path.
 #[derive(Debug, Default)]
 struct Counters {
-    context_hits: AtomicU64,
-    context_misses: AtomicU64,
-    fit_hits: AtomicU64,
-    fit_misses: AtomicU64,
-    poison_recoveries: AtomicU64,
+    context_hits: Counter,
+    context_misses: Counter,
+    fit_hits: Counter,
+    fit_misses: Counter,
+    poison_recoveries: Counter,
+}
+
+impl Counters {
+    /// Counters registered under `uaq_cache_probes_total{cache,outcome}`
+    /// and `uaq_cache_poison_recoveries_total{cache}`.
+    fn registered(registry: &Registry) -> Self {
+        let probe = |cache: &str, outcome: &str| {
+            registry.counter(
+                "uaq_cache_probes_total",
+                &[("cache", cache), ("outcome", outcome)],
+            )
+        };
+        Self {
+            context_hits: probe("fit_context", "hit"),
+            context_misses: probe("fit_context", "miss"),
+            fit_hits: probe("fit", "hit"),
+            fit_misses: probe("fit", "miss"),
+            poison_recoveries: registry
+                .counter("uaq_cache_poison_recoveries_total", &[("cache", "fit")]),
+        }
+    }
 }
 
 /// A point-in-time snapshot of the service's cache counters. The
@@ -388,6 +414,15 @@ impl SharedFitCache {
         }
     }
 
+    /// Rebinds the probe counters onto `registry` (series
+    /// `uaq_cache_probes_total{cache="fit"|"fit_context"}`). Call right
+    /// after construction, before any probes — earlier counts stay on the
+    /// detached cells and are lost.
+    pub fn instrumented(mut self, registry: &Registry) -> Self {
+        self.counters = Counters::registered(registry);
+        self
+    }
+
     /// Locks the map, recovering from poison by invalidating the whole
     /// cache: the panicking holder may have died mid-update, and
     /// bit-transparency makes drop-and-recompute always correct.
@@ -404,13 +439,13 @@ impl SharedFitCache {
     pub fn stats(&self) -> CacheStats {
         let map = self.lock_map();
         CacheStats {
-            context_hits: self.counters.context_hits.load(Ordering::Relaxed),
-            context_misses: self.counters.context_misses.load(Ordering::Relaxed),
-            fit_hits: self.counters.fit_hits.load(Ordering::Relaxed),
-            fit_misses: self.counters.fit_misses.load(Ordering::Relaxed),
+            context_hits: self.counters.context_hits.get(),
+            context_misses: self.counters.context_misses.get(),
+            fit_hits: self.counters.fit_hits.get(),
+            fit_misses: self.counters.fit_misses.get(),
             shapes: map.len(),
             shape_evictions: map.evictions(),
-            poison_recoveries: self.counters.poison_recoveries.load(Ordering::Relaxed),
+            poison_recoveries: self.counters.poison_recoveries.get(),
             ..CacheStats::default()
         }
     }
@@ -454,8 +489,8 @@ impl FitCache for SharedFitCache {
         };
         drop(map);
         match &hit {
-            Some(_) => self.counters.context_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.counters.context_misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.counters.context_hits.inc(),
+            None => self.counters.context_misses.inc(),
         };
         hit
     }
@@ -489,8 +524,8 @@ impl FitCache for SharedFitCache {
         };
         drop(map);
         match &hit {
-            Some(_) => self.counters.fit_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.counters.fit_misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.counters.fit_hits.inc(),
+            None => self.counters.fit_misses.inc(),
         };
         hit
     }
@@ -526,9 +561,9 @@ pub struct SelCacheStats {
 /// share across catalogs, sample sets, and predictor configs.
 pub struct SharedSelEstCache {
     map: Mutex<EvictingMap<String, SelEstimates>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    poison_recoveries: AtomicU64,
+    hits: Counter,
+    misses: Counter,
+    poison_recoveries: Counter,
     injector: Option<Arc<dyn FaultInjector>>,
 }
 
@@ -536,9 +571,9 @@ impl SharedSelEstCache {
     pub fn new(max_entries: usize, eviction: EvictionPolicy) -> Self {
         Self {
             map: Mutex::new(EvictingMap::new(max_entries, eviction)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            poison_recoveries: AtomicU64::new(0),
+            hits: Counter::detached(),
+            misses: Counter::detached(),
+            poison_recoveries: Counter::detached(),
             injector: None,
         }
     }
@@ -556,6 +591,23 @@ impl SharedSelEstCache {
         }
     }
 
+    /// Rebinds the probe counters onto `registry` (series
+    /// `uaq_cache_probes_total{cache="selest"}`); see
+    /// [`SharedFitCache::instrumented`].
+    pub fn instrumented(mut self, registry: &Registry) -> Self {
+        let probe = |outcome: &str| {
+            registry.counter(
+                "uaq_cache_probes_total",
+                &[("cache", "selest"), ("outcome", outcome)],
+            )
+        };
+        self.hits = probe("hit");
+        self.misses = probe("miss");
+        self.poison_recoveries =
+            registry.counter("uaq_cache_poison_recoveries_total", &[("cache", "selest")]);
+        self
+    }
+
     fn lock_map(&self) -> MutexGuard<'_, EvictingMap<String, SelEstimates>> {
         lock_recover_with(&self.map, &self.poison_recoveries, |m| m.clear())
     }
@@ -563,11 +615,11 @@ impl SharedSelEstCache {
     pub fn stats(&self) -> SelCacheStats {
         let map = self.lock_map();
         SelCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries: map.len(),
             evictions: map.evictions(),
-            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
+            poison_recoveries: self.poison_recoveries.get(),
         }
     }
 
@@ -607,8 +659,8 @@ impl SelEstCache for SharedSelEstCache {
         };
         drop(map);
         match &hit {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
         };
         hit
     }
@@ -962,6 +1014,31 @@ mod tests {
         assert!(cache.injector.is_none(), "inactive injector adds no probes");
         cache.put_contexts("s1", &Arc::new(Vec::new()));
         assert!(cache.get_contexts("s1").is_some());
+    }
+
+    #[test]
+    fn instrumented_caches_count_into_the_registry() {
+        let registry = Registry::new();
+        let cache = SharedFitCache::default().instrumented(&registry);
+        let sel = SharedSelEstCache::default().instrumented(&registry);
+        assert!(cache.get_contexts("s1").is_none());
+        cache.put_contexts("s1", &Arc::new(Vec::new()));
+        assert!(cache.get_contexts("s1").is_some());
+        sel.put("k", &SelEstimates::from_vec(Vec::new()));
+        assert!(uaq_cost::SelEstCache::get(&sel, "k").is_some());
+        let snap = registry.snapshot();
+        let probe = |cache: &str, outcome: &str| {
+            snap.counter(
+                "uaq_cache_probes_total",
+                &[("cache", cache), ("outcome", outcome)],
+            )
+        };
+        assert_eq!(probe("fit_context", "hit"), Some(1));
+        assert_eq!(probe("fit_context", "miss"), Some(1));
+        assert_eq!(probe("selest", "hit"), Some(1));
+        // The same cells back `stats()` — no second bookkeeping path.
+        assert_eq!(cache.stats().context_hits, 1);
+        assert_eq!(sel.stats().hits, 1);
     }
 
     #[test]

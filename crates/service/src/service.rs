@@ -72,7 +72,7 @@ use crate::queue::{Popped, Pushed, WorkQueue};
 use crate::sync::lock_recover;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -80,6 +80,8 @@ use uaq_core::{Prediction, Predictor};
 use uaq_cost::{FitCache, NoFitCache, NoSelEstCache, SelEstCache};
 use uaq_engine::Plan;
 use uaq_storage::{Catalog, SampleCatalog};
+use uaq_telemetry::span::{self, SpanRecorder, Stage};
+use uaq_telemetry::{Counter, HistogramConfig, Registry, Snapshot, StageTimings};
 
 /// One prediction request.
 #[derive(Clone)]
@@ -156,6 +158,11 @@ pub struct PredictResponse {
     pub deferred_ms: f64,
     /// Which degradation-ladder rung served this response.
     pub tier: ServedTier,
+    /// Per-stage wall-clock breakdown of this request, captured only when
+    /// [`ServiceConfig::record_spans`] is on — deliberately *outside* the
+    /// bit-deterministic prediction fields. `None` with spans off and on
+    /// paths that never ran the pipeline (supervisor fallback, shed).
+    pub stage_timings: Option<StageTimings>,
 }
 
 /// What the service does with a `Defer` verdict.
@@ -247,6 +254,13 @@ pub struct ServiceConfig {
     /// skips to cheaper tiers instead of spending further. `None` (the
     /// default) never degrades on time, only on failure.
     pub compute_budget: Option<Duration>,
+    /// When true, every served request runs under a
+    /// [`uaq_telemetry::span::SpanRecorder`]: the response carries
+    /// [`PredictResponse::stage_timings`] and the per-stage histograms
+    /// (`uaq_stage_seconds{stage,tier}`) fill in. Off by default — a warm
+    /// cached predict is microseconds, and the recorder's clock reads are
+    /// measurable at that scale; counters stay on either way.
+    pub record_spans: bool,
 }
 
 impl Default for ServiceConfig {
@@ -260,6 +274,7 @@ impl Default for ServiceConfig {
             queue_capacity: None,
             shed: ShedPolicy::default(),
             compute_budget: None,
+            record_spans: false,
         }
     }
 }
@@ -286,19 +301,39 @@ pub struct RobustnessStats {
     pub served_static: u64,
 }
 
+/// The fault-handling counters, as [`uaq_telemetry::Counter`] handles
+/// registered on the service's registry: the same atomic cells back both
+/// [`RobustnessStats`] (via [`Self::snapshot`]) and the
+/// `uaq_requests_served_total{tier}` / `uaq_panics_total{scope}` series in
+/// `PredictionService::telemetry()`.
 #[derive(Debug, Default)]
 struct RobustnessCounters {
-    ladder_panics_caught: AtomicU64,
-    worker_panics: AtomicU64,
-    workers_respawned: AtomicU64,
-    shed: AtomicU64,
-    served_full: AtomicU64,
-    served_cached_estimates: AtomicU64,
-    served_mean_only: AtomicU64,
-    served_static: AtomicU64,
+    ladder_panics_caught: Counter,
+    worker_panics: Counter,
+    workers_respawned: Counter,
+    shed: Counter,
+    served_full: Counter,
+    served_cached_estimates: Counter,
+    served_mean_only: Counter,
+    served_static: Counter,
 }
 
 impl RobustnessCounters {
+    fn registered(registry: &Registry) -> Self {
+        let tier =
+            |t: ServedTier| registry.counter("uaq_requests_served_total", &[("tier", t.label())]);
+        Self {
+            ladder_panics_caught: registry.counter("uaq_panics_total", &[("scope", "ladder")]),
+            worker_panics: registry.counter("uaq_panics_total", &[("scope", "worker")]),
+            workers_respawned: registry.counter("uaq_workers_respawned_total", &[]),
+            shed: tier(ServedTier::Shed),
+            served_full: tier(ServedTier::Full),
+            served_cached_estimates: tier(ServedTier::CachedEstimates),
+            served_mean_only: tier(ServedTier::MeanOnly),
+            served_static: tier(ServedTier::Static),
+        }
+    }
+
     fn count_tier(&self, tier: ServedTier) {
         let counter = match tier {
             ServedTier::Full => &self.served_full,
@@ -307,19 +342,19 @@ impl RobustnessCounters {
             ServedTier::Static => &self.served_static,
             ServedTier::Shed => &self.shed,
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        counter.inc();
     }
 
     fn snapshot(&self) -> RobustnessStats {
         RobustnessStats {
-            ladder_panics_caught: self.ladder_panics_caught.load(Ordering::Relaxed),
-            worker_panics: self.worker_panics.load(Ordering::Relaxed),
-            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
-            served_full: self.served_full.load(Ordering::Relaxed),
-            served_cached_estimates: self.served_cached_estimates.load(Ordering::Relaxed),
-            served_mean_only: self.served_mean_only.load(Ordering::Relaxed),
-            served_static: self.served_static.load(Ordering::Relaxed),
+            ladder_panics_caught: self.ladder_panics_caught.get(),
+            worker_panics: self.worker_panics.get(),
+            workers_respawned: self.workers_respawned.get(),
+            shed: self.shed.get(),
+            served_full: self.served_full.get(),
+            served_cached_estimates: self.served_cached_estimates.get(),
+            served_mean_only: self.served_mean_only.get(),
+            served_static: self.served_static.get(),
         }
     }
 }
@@ -343,6 +378,9 @@ const PROFILE_CAP: usize = 4096;
 struct Job {
     request: PredictRequest,
     reply: mpsc::Sender<PredictResponse>,
+    /// Submit-time stamp; the span layer turns it into the
+    /// [`Stage::QueueWait`] interval at dequeue.
+    enqueued_at: Instant,
 }
 
 /// A parked request: decided `Defer`, waiting for a re-decision event.
@@ -359,6 +397,9 @@ struct DeferredJob {
     service_seconds: f64,
     /// Ladder tier that produced the parked prediction.
     tier: ServedTier,
+    /// Timings captured up to the park (spans on only); attached to the
+    /// final response when the request resolves.
+    stage_timings: Option<StageTimings>,
 }
 
 struct Shared {
@@ -377,6 +418,13 @@ struct Shared {
     /// Last real prediction per plan shape; see [`ShapeProfile`].
     profile: Mutex<HashMap<u64, ShapeProfile>>,
     robustness: RobustnessCounters,
+    /// The one registry every counter, gauge, and histogram the service
+    /// owns lives on; `PredictionService::telemetry()` snapshots it.
+    registry: Arc<Registry>,
+    record_spans: bool,
+    requests_total: Counter,
+    deferred_parked: Counter,
+    deferred_redecisions: Counter,
     /// `None` in production ([`crate::fault::NoFaults`] is stripped at
     /// start), so every probe point costs one branch.
     injector: Option<Arc<dyn FaultInjector>>,
@@ -400,6 +448,7 @@ impl Shared {
             let budget = d.deadline_ms - waited_ms;
             let (decision, prob) = self.policy.decide(&d.prediction, Some(budget));
             d.retries += 1;
+            self.deferred_redecisions.inc();
             let exhausted = final_pass || d.retries >= self.retry.max_retries;
             let verdict = match decision {
                 Decision::Defer if !exhausted => {
@@ -421,6 +470,7 @@ impl Shared {
                 attempts: d.retries + 1,
                 deferred_ms: waited_ms,
                 tier: d.tier,
+                stage_timings: d.stage_timings,
             });
         }
     }
@@ -489,7 +539,32 @@ impl Shared {
             attempts: 1,
             deferred_ms: 0.0,
             tier,
+            stage_timings: None,
         });
+    }
+
+    /// Feeds one finished request's timings into the aggregate histograms:
+    /// per-stage `uaq_stage_seconds{stage,tier}` plus the per-shape
+    /// end-to-end `uaq_request_seconds{shape}` (labeled with the exact
+    /// shape key the caches group by). Only called with spans on.
+    fn observe_timings(&self, timings: &StageTimings, tier: ServedTier, plan: &Plan) {
+        for (stage, secs) in timings.iter() {
+            self.registry
+                .histogram(
+                    "uaq_stage_seconds",
+                    &[("stage", stage.label()), ("tier", tier.label())],
+                    HistogramConfig::default(),
+                )
+                .record(secs);
+        }
+        let shape = Predictor::shape_key(plan, &self.catalog);
+        self.registry
+            .histogram(
+                "uaq_request_seconds",
+                &[("shape", &shape)],
+                HistogramConfig::default(),
+            )
+            .record(timings.get(Stage::Total));
     }
 }
 
@@ -543,6 +618,7 @@ impl PredictionService {
         injector: Arc<dyn FaultInjector>,
     ) -> Self {
         let injector = injector.active().then_some(injector);
+        let registry = Arc::new(Registry::new());
         let (cache, sel_cache) = match &injector {
             Some(inj) => (
                 SharedFitCache::with_injector(config.cache, Arc::clone(inj)),
@@ -557,6 +633,8 @@ impl PredictionService {
                 SharedSelEstCache::new(config.cache.max_sel_entries, config.cache.eviction),
             ),
         };
+        let cache = cache.instrumented(&registry);
+        let sel_cache = sel_cache.instrumented(&registry);
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             queue: match config.queue_capacity {
@@ -575,7 +653,12 @@ impl PredictionService {
             shed: config.shed,
             compute_budget: config.compute_budget,
             profile: Mutex::new(HashMap::new()),
-            robustness: RobustnessCounters::default(),
+            robustness: RobustnessCounters::registered(&registry),
+            requests_total: registry.counter("uaq_requests_total", &[]),
+            deferred_parked: registry.counter("uaq_deferred_parked_total", &[]),
+            deferred_redecisions: registry.counter("uaq_deferred_redecisions_total", &[]),
+            registry,
+            record_spans: config.record_spans,
             injector,
             respawned: Mutex::new(Vec::new()),
             next_worker: AtomicUsize::new(workers),
@@ -604,8 +687,13 @@ impl PredictionService {
     /// hangs and never panics.
     pub fn submit(&self, request: PredictRequest) -> mpsc::Receiver<PredictResponse> {
         let (reply, rx) = mpsc::channel();
-        let job = Job { request, reply };
+        let job = Job {
+            request,
+            reply,
+            enqueued_at: Instant::now(),
+        };
         let shared = &self.shared;
+        shared.requests_total.inc();
         // The selector is only consulted at the high-water mark of a
         // bounded queue.
         let pushed = shared
@@ -669,6 +757,40 @@ impl PredictionService {
     /// shed requests, and per-tier serve counts.
     pub fn robustness_stats(&self) -> RobustnessStats {
         self.shared.robustness.snapshot()
+    }
+
+    /// One coherent snapshot of everything the service measures: request
+    /// and per-tier serve counters, panic/respawn counters, cache probe
+    /// counters, retry counters, queue-occupancy gauges, and — with
+    /// [`ServiceConfig::record_spans`] on — the per-stage and per-shape
+    /// latency histograms. Occupancy gauges (`uaq_queue_depth`,
+    /// `uaq_cache_entries`, …) are refreshed here rather than maintained
+    /// on the hot path; everything else is whatever the always-on atomic
+    /// counters have accumulated. Export with
+    /// [`Snapshot::to_prometheus`] or [`Snapshot::to_json`].
+    pub fn telemetry(&self) -> Snapshot {
+        let r = &self.shared.registry;
+        r.gauge("uaq_queue_depth", &[]).set(self.backlog() as f64);
+        r.gauge("uaq_deferred_depth", &[])
+            .set(self.deferred_backlog() as f64);
+        let stats = self.cache_stats();
+        let occupancy = [
+            ("uaq_cache_entries", "fit", stats.shapes as f64),
+            ("uaq_cache_entries", "selest", stats.sel_entries as f64),
+            ("uaq_cache_evictions", "fit", stats.shape_evictions as f64),
+            ("uaq_cache_evictions", "selest", stats.sel_evictions as f64),
+        ];
+        for (name, cache, value) in occupancy {
+            r.gauge(name, &[("cache", cache)]).set(value);
+        }
+        r.snapshot()
+    }
+
+    /// The registry behind [`Self::telemetry`], for callers that want to
+    /// hang their own series (e.g. calibration gauges) off the same
+    /// snapshot.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
     }
 
     /// Requests currently queued (not yet picked up by a worker).
@@ -751,10 +873,7 @@ impl Drop for RespawnGuard {
             .name(format!("uaq-service-{worker}"))
             .spawn(move || worker_entry(&shared, worker));
         if let Ok(handle) = spawned {
-            self.shared
-                .robustness
-                .workers_respawned
-                .fetch_add(1, Ordering::Relaxed);
+            self.shared.robustness.workers_respawned.inc();
             lock_recover(&self.shared.respawned).push(handle);
         }
     }
@@ -820,10 +939,7 @@ fn supervised_serve(shared: &Shared, worker: usize, job: Job) -> bool {
     match catch_unwind(AssertUnwindSafe(|| serve_job(shared, worker, job))) {
         Ok(completed) => completed,
         Err(payload) => {
-            shared
-                .robustness
-                .worker_panics
-                .fetch_add(1, Ordering::Relaxed);
+            shared.robustness.worker_panics.inc();
             shared.robustness.count_tier(ServedTier::Static);
             // The original job (and its reply sender) died inside the
             // closure, so this clone is the only sender left: at most one
@@ -841,6 +957,7 @@ fn supervised_serve(shared: &Shared, worker: usize, job: Job) -> bool {
                 attempts: 1,
                 deferred_ms: 0.0,
                 tier: ServedTier::Static,
+                stage_timings: None,
             });
             resume_unwind(payload)
         }
@@ -893,17 +1010,14 @@ fn ladder_predict(
                 // A fresh sample pass is new evidence for the profile (a
                 // warm sel-cache hit would only rewrite what it holds, so
                 // the repeated-query hot path skips the profile lock).
-                if prediction.sample_pass_seconds > 0.0 {
+                if prediction.sample_pass_ran {
                     let cost_ms = attempt_started.elapsed().as_secs_f64() * 1e3;
                     shared.record_profile(plan, &prediction, cost_ms);
                 }
                 return (Some(prediction), ServedTier::Full);
             }
             Err(_) => {
-                shared
-                    .robustness
-                    .ladder_panics_caught
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.robustness.ladder_panics_caught.inc();
             }
         }
     }
@@ -926,10 +1040,7 @@ fn ladder_predict(
             Ok(Some(prediction)) => return (Some(prediction), ServedTier::CachedEstimates),
             Ok(None) => {}
             Err(_) => {
-                shared
-                    .robustness
-                    .ladder_panics_caught
-                    .fetch_add(1, Ordering::Relaxed);
+                shared.robustness.ladder_panics_caught.inc();
             }
         }
     }
@@ -959,6 +1070,27 @@ fn ladder_predict(
 /// supervisor equate "panicked" with "no response sent yet".
 fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
     let t0 = Instant::now();
+    // Spans on: install the per-thread recorder so every `span::timed`
+    // site down the pipeline (cache probes, sample pass, fitting)
+    // accrues. The queue wait is already over — credit it from the
+    // enqueue stamp. `begin` replaces any recorder a panicking previous
+    // request left behind.
+    let recorder = shared.record_spans.then(|| {
+        let r = SpanRecorder::begin();
+        span::record(
+            Stage::QueueWait,
+            t0.duration_since(job.enqueued_at).as_secs_f64(),
+        );
+        r
+    });
+    // Harvests the recorder at response time: `Total` is end-to-end from
+    // submit, and the aggregate histograms get fed under the serving tier.
+    let harvest = |r: SpanRecorder, tier: ServedTier| {
+        span::record(Stage::Total, job.enqueued_at.elapsed().as_secs_f64());
+        let timings = r.finish();
+        shared.observe_timings(&timings, tier, &job.request.plan);
+        timings
+    };
     let (prediction, tier) = ladder_predict(shared, worker, &job.request.plan);
     // Mid-request kill probe: after the prediction, while the request is
     // still unanswered — the panic escapes to the supervisor, which owns
@@ -967,6 +1099,7 @@ fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
     let Some(prediction) = prediction else {
         // Static tier: heuristic decision, no distribution to defer on.
         shared.robustness.count_tier(ServedTier::Static);
+        let stage_timings = recorder.map(|r| harvest(r, ServedTier::Static));
         let _ = job.reply.send(PredictResponse {
             id: job.request.id,
             prediction: Prediction::degraded(0.0, 0.0),
@@ -977,13 +1110,18 @@ fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
             attempts: 1,
             deferred_ms: 0.0,
             tier: ServedTier::Static,
+            stage_timings,
         });
         return true;
     };
-    let (decision, prob_in_time) = shared.policy.decide(&prediction, job.request.deadline_ms);
+    let (decision, prob_in_time) = span::timed(Stage::Admission, || {
+        shared.policy.decide(&prediction, job.request.deadline_ms)
+    });
     shared.robustness.count_tier(tier);
+    let stage_timings = recorder.map(|r| harvest(r, tier));
     if decision == Decision::Defer && shared.retry.enabled() {
         if let Some(deadline_ms) = job.request.deadline_ms {
+            shared.deferred_parked.inc();
             lock_recover(&shared.deferred).push_back(DeferredJob {
                 id: job.request.id,
                 deadline_ms,
@@ -993,6 +1131,7 @@ fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
                 retries: 0,
                 service_seconds: t0.elapsed().as_secs_f64(),
                 tier,
+                stage_timings,
             });
             return false;
         }
@@ -1009,6 +1148,7 @@ fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
         attempts: 1,
         deferred_ms: 0.0,
         tier,
+        stage_timings,
     });
     true
 }
@@ -1077,8 +1217,8 @@ mod tests {
         // The repeat also skipped the sample pass entirely.
         assert_eq!(stats.sel_hits, 1, "{stats:?}");
         assert_eq!(stats.sel_misses, 1, "{stats:?}");
-        assert!(first.prediction.sample_pass_seconds > 0.0);
-        assert_eq!(second.prediction.sample_pass_seconds, 0.0);
+        assert!(first.prediction.sample_pass_ran);
+        assert!(!second.prediction.sample_pass_ran);
         service.shutdown();
     }
 
@@ -1628,6 +1768,177 @@ mod tests {
         }
         let stats = service.robustness_stats();
         assert_eq!(stats.shed, 1, "{stats:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn telemetry_snapshot_is_coherent_and_round_trips() {
+        let (predictor, catalog, samples, plan) = setup();
+        let service =
+            PredictionService::start(predictor, catalog, samples, ServiceConfig::default());
+        let n = 5;
+        for i in 0..n {
+            let resp = service.predict_blocking(Arc::clone(&plan), None);
+            assert_eq!(resp.tier, ServedTier::Full);
+            assert!(resp.stage_timings.is_none(), "spans are off by default");
+            let _ = i;
+        }
+        let snap = service.telemetry();
+        assert_eq!(snap.counter("uaq_requests_total", &[]), Some(n));
+        assert_eq!(
+            snap.counter_total("uaq_requests_served_total"),
+            n,
+            "one tier count per response"
+        );
+        assert_eq!(
+            snap.counter("uaq_requests_served_total", &[("tier", "full")]),
+            Some(n)
+        );
+        // Cache counters live on the same registry: 1 miss + (n-1) hits
+        // at the sel level.
+        assert_eq!(
+            snap.counter(
+                "uaq_cache_probes_total",
+                &[("cache", "selest"), ("outcome", "hit")]
+            ),
+            Some(n - 1)
+        );
+        assert_eq!(snap.gauge("uaq_queue_depth", &[]), Some(0.0));
+        assert_eq!(
+            snap.gauge("uaq_cache_entries", &[("cache", "selest")]),
+            Some(1.0)
+        );
+        // Both export formats reconstruct the exact snapshot.
+        let prom = Snapshot::from_prometheus(&snap.to_prometheus()).expect("parses");
+        assert_eq!(prom, snap);
+        let json = Snapshot::from_json(&snap.to_json()).expect("parses");
+        assert_eq!(json, snap);
+        service.shutdown();
+    }
+
+    #[test]
+    fn spans_attach_timings_and_fill_stage_histograms() {
+        let (predictor, catalog, samples, plan) = setup();
+        let reference = predictor.predict(&plan, &catalog, &samples);
+        let service = PredictionService::start(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                record_spans: true,
+                ..Default::default()
+            },
+        );
+        let cold = service.predict_blocking(Arc::clone(&plan), None);
+        // Recording must not perturb the prediction itself.
+        assert_eq!(
+            cold.prediction.mean_ms().to_bits(),
+            reference.mean_ms().to_bits()
+        );
+        let t = cold.stage_timings.as_ref().expect("spans on");
+        assert!(t.get(Stage::SamplePass) > 0.0, "{t:?}");
+        assert!(t.get(Stage::Fit) > 0.0, "{t:?}");
+        assert!(t.get(Stage::Total) > 0.0, "{t:?}");
+        assert!(t.get(Stage::Total) >= t.get(Stage::SamplePass), "{t:?}");
+        let warm = service.predict_blocking(Arc::clone(&plan), None);
+        let w = warm.stage_timings.as_ref().expect("spans on");
+        assert_eq!(w.get(Stage::SamplePass), 0.0, "sel-cache hit skips it");
+        assert!(w.get(Stage::SelCacheProbe) > 0.0, "{w:?}");
+        let snap = service.telemetry();
+        let hist = snap
+            .histogram(
+                "uaq_stage_seconds",
+                &[("stage", "sample_pass"), ("tier", "full")],
+            )
+            .expect("populated");
+        assert_eq!(hist.count(), 1, "one cold serve ran the sample pass");
+        let total = snap
+            .histogram("uaq_stage_seconds", &[("stage", "total"), ("tier", "full")])
+            .expect("populated");
+        assert_eq!(total.count(), 2);
+        assert_eq!(
+            snap.samples
+                .iter()
+                .filter(|s| s.name == "uaq_request_seconds")
+                .count(),
+            1,
+            "one shape served → one per-shape series"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn stage_histograms_cover_every_served_tier() {
+        // Drive the ladder through all four served tiers with spans on and
+        // check each one landed its own labeled histogram series.
+        let (predictor, catalog, samples, plan) = setup();
+        let injector = FireAt::disarmed(FaultSite::Predict, Fault::Panic);
+        let spans_on = |cache_enabled| ServiceConfig {
+            cache_enabled,
+            record_spans: true,
+            ..Default::default()
+        };
+        // Caches on: Full, then (predict panics) CachedEstimates.
+        let service = PredictionService::start_with_faults(
+            predictor.clone(),
+            Arc::clone(&catalog),
+            Arc::clone(&samples),
+            spans_on(true),
+            Arc::clone(&injector) as Arc<dyn crate::fault::FaultInjector>,
+        );
+        assert_eq!(
+            service.predict_blocking(Arc::clone(&plan), None).tier,
+            ServedTier::Full
+        );
+        injector.arm();
+        assert_eq!(
+            service.predict_blocking(Arc::clone(&plan), None).tier,
+            ServedTier::CachedEstimates
+        );
+        let snap = service.telemetry();
+        for tier in ["full", "cached-estimates"] {
+            assert!(
+                snap.histogram("uaq_stage_seconds", &[("stage", "total"), ("tier", tier)])
+                    .is_some_and(|h| h.count() == 1),
+                "missing total histogram for tier {tier}"
+            );
+        }
+        injector.disarm();
+        service.shutdown();
+        // Caches off: Full, then (predict panics) MeanOnly, then a fresh
+        // shape with no profile → Static.
+        let injector = FireAt::disarmed(FaultSite::Predict, Fault::Panic);
+        let service = PredictionService::start_with_faults(
+            predictor,
+            catalog,
+            samples,
+            spans_on(false),
+            Arc::clone(&injector) as Arc<dyn crate::fault::FaultInjector>,
+        );
+        assert_eq!(
+            service.predict_blocking(Arc::clone(&plan), None).tier,
+            ServedTier::Full
+        );
+        injector.arm();
+        let mean_only = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(mean_only.tier, ServedTier::MeanOnly);
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("a", Value::Int(10)));
+        let fresh_shape = Arc::new(b.build(t));
+        let stat = service.predict_blocking(fresh_shape, None);
+        assert_eq!(stat.tier, ServedTier::Static);
+        assert!(
+            stat.stage_timings.is_some(),
+            "ladder-served static tier still carries timings"
+        );
+        let snap = service.telemetry();
+        for tier in ["full", "mean-only", "static"] {
+            assert!(
+                snap.histogram("uaq_stage_seconds", &[("stage", "total"), ("tier", tier)])
+                    .is_some_and(|h| h.count() == 1),
+                "missing total histogram for tier {tier}"
+            );
+        }
         service.shutdown();
     }
 

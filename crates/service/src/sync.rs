@@ -18,8 +18,8 @@
 //! sanctioned way to take a lock inside `crates/service`; CI greps for raw
 //! `.lock().unwrap()` / `.lock().expect(` to keep it that way.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+use uaq_telemetry::Counter;
 
 /// Locks `m`, recovering the guard if a previous holder panicked. Use for
 /// structures whose invariants hold after any single-statement update
@@ -33,13 +33,13 @@ pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// and clears the poison flag so later lockers take the fast path again.
 pub(crate) fn lock_recover_with<'a, T>(
     m: &'a Mutex<T>,
-    recoveries: &AtomicU64,
+    recoveries: &Counter,
     on_poison: impl FnOnce(&mut T),
 ) -> MutexGuard<'a, T> {
     match m.lock() {
         Ok(guard) => guard,
         Err(poisoned) => {
-            recoveries.fetch_add(1, Ordering::Relaxed);
+            recoveries.inc();
             m.clear_poison();
             let mut guard = poisoned.into_inner();
             on_poison(&mut guard);
@@ -52,7 +52,6 @@ pub(crate) fn lock_recover_with<'a, T>(
 mod tests {
     use super::*;
     use std::panic::{catch_unwind, AssertUnwindSafe};
-    use std::sync::atomic::Ordering;
 
     fn poison(m: &Mutex<Vec<u32>>) {
         let result = catch_unwind(AssertUnwindSafe(|| {
@@ -74,23 +73,23 @@ mod tests {
     #[test]
     fn lock_recover_with_counts_and_clears_poison() {
         let m = Mutex::new(vec![1, 2, 3]);
-        let recoveries = AtomicU64::new(0);
+        let recoveries = Counter::detached();
         {
             let guard = lock_recover_with(&m, &recoveries, |v| v.clear());
             assert_eq!(*guard, vec![1, 2, 3], "healthy lock: on_poison not run");
         }
-        assert_eq!(recoveries.load(Ordering::Relaxed), 0, "no poison, no count");
+        assert_eq!(recoveries.get(), 0, "no poison, no count");
         poison(&m);
         {
             let guard = lock_recover_with(&m, &recoveries, |v| v.clear());
             assert!(guard.is_empty(), "on_poison invalidated the state");
         }
-        assert_eq!(recoveries.load(Ordering::Relaxed), 1);
+        assert_eq!(recoveries.get(), 1);
         assert!(!m.is_poisoned(), "poison flag cleared after recovery");
         // The next lock is an ordinary fast-path lock.
         let _guard = lock_recover_with(&m, &recoveries, |_| {
             panic!("on_poison must not run on a healthy lock")
         });
-        assert_eq!(recoveries.load(Ordering::Relaxed), 1);
+        assert_eq!(recoveries.get(), 1);
     }
 }

@@ -1,0 +1,295 @@
+//! Calibration monitor: does reality land where the predictor said?
+//!
+//! The stack predicts *distributions*; this module tallies how often
+//! observed runtimes fall inside the predicted 50%/90%/99% central
+//! intervals, the mean probability-integral-transform (PIT) value, and
+//! the predicted vs observed deadline-violation rates — per workload
+//! shape, so one drifting shape can't hide inside a healthy aggregate.
+//!
+//! The monitor is deliberately math-free: callers compute interval
+//! membership, PIT, and violation probabilities from their own
+//! distribution type and hand over an [`Observation`]. That keeps this
+//! crate zero-dependency and keeps the tallies trivially deterministic
+//! (sums and counts of caller-provided values, keyed through a
+//! `BTreeMap`).
+//!
+//! Reading the numbers: a well-calibrated shape has coverage ≈ the
+//! nominal level and mean PIT ≈ 0.5. Coverage *below* nominal means the
+//! predicted intervals are too narrow (overconfident variance); mean PIT
+//! away from 0.5 means the mean is biased. These are exactly the signals
+//! ROADMAP item 4's online recalibration will act on.
+
+use std::sync::{Mutex, PoisonError};
+
+use crate::registry::Registry;
+
+/// One (predicted distribution, observed runtime) pair, pre-digested by
+/// the caller.
+#[derive(Debug, Clone)]
+pub struct Observation {
+    /// Workload shape label (plan shape key or scenario query name).
+    pub shape: String,
+    pub observed_ms: f64,
+    /// CDF of the predicted distribution at the observed value.
+    pub pit: f64,
+    /// Observed value inside the predicted 50% central interval?
+    pub in50: bool,
+    pub in90: bool,
+    pub in99: bool,
+    /// Predicted `Pr(T > deadline)` and what actually happened, when the
+    /// request carried a deadline.
+    pub predicted_violation: Option<f64>,
+    pub violated: Option<bool>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Tally {
+    n: u64,
+    in50: u64,
+    in90: u64,
+    in99: u64,
+    pit_sum: f64,
+    deadline_n: u64,
+    predicted_violation_sum: f64,
+    violations: u64,
+}
+
+/// Per-shape calibration statistics, in snapshot form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShapeCalibration {
+    pub shape: String,
+    pub n: u64,
+    /// Empirical coverage of the predicted 50/90/99% central intervals.
+    pub coverage50: f64,
+    pub coverage90: f64,
+    pub coverage99: f64,
+    /// Mean PIT value (0.5 when the predicted location is unbiased).
+    pub mean_pit: f64,
+    /// Deadline-carrying observations only (`NaN` if none).
+    pub predicted_violation_rate: f64,
+    pub observed_violation_rate: f64,
+}
+
+impl ShapeCalibration {
+    /// Table rendering shared by the scenario reports.
+    pub fn render_table(shapes: &[ShapeCalibration]) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>5} {:>7} {:>7} {:>7} {:>8} {:>10} {:>10}",
+            "shape", "n", "cov50", "cov90", "cov99", "mean-PIT", "pred-viol", "obs-viol"
+        );
+        let pct = |v: f64| {
+            if v.is_nan() {
+                "n/a".to_owned()
+            } else {
+                format!("{:.1}%", 100.0 * v)
+            }
+        };
+        for s in shapes {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>5} {:>7} {:>7} {:>7} {:>8.3} {:>10} {:>10}",
+                s.shape,
+                s.n,
+                pct(s.coverage50),
+                pct(s.coverage90),
+                pct(s.coverage99),
+                s.mean_pit,
+                pct(s.predicted_violation_rate),
+                pct(s.observed_violation_rate),
+            );
+        }
+        out
+    }
+}
+
+/// Aggregates [`Observation`]s into per-shape tallies. Shareable across
+/// threads; `record` takes a short mutex (observation feeds are scenario
+/// or completion paths, not the warm predict path).
+#[derive(Debug, Default)]
+pub struct CalibrationMonitor {
+    shapes: Mutex<std::collections::BTreeMap<String, Tally>>,
+}
+
+impl CalibrationMonitor {
+    pub fn new() -> CalibrationMonitor {
+        CalibrationMonitor::default()
+    }
+
+    pub fn record(&self, obs: &Observation) {
+        let mut shapes = self.shapes.lock().unwrap_or_else(PoisonError::into_inner);
+        let t = shapes.entry(obs.shape.clone()).or_default();
+        t.n += 1;
+        t.in50 += obs.in50 as u64;
+        t.in90 += obs.in90 as u64;
+        t.in99 += obs.in99 as u64;
+        t.pit_sum += obs.pit;
+        if let Some(p) = obs.predicted_violation {
+            t.deadline_n += 1;
+            t.predicted_violation_sum += p;
+            t.violations += obs.violated.unwrap_or(false) as u64;
+        }
+    }
+
+    /// Per-shape statistics, sorted by shape label.
+    pub fn report(&self) -> Vec<ShapeCalibration> {
+        let shapes = self.shapes.lock().unwrap_or_else(PoisonError::into_inner);
+        shapes
+            .iter()
+            .map(|(shape, t)| {
+                let n = t.n as f64;
+                ShapeCalibration {
+                    shape: shape.clone(),
+                    n: t.n,
+                    coverage50: t.in50 as f64 / n,
+                    coverage90: t.in90 as f64 / n,
+                    coverage99: t.in99 as f64 / n,
+                    mean_pit: t.pit_sum / n,
+                    predicted_violation_rate: if t.deadline_n == 0 {
+                        f64::NAN
+                    } else {
+                        t.predicted_violation_sum / t.deadline_n as f64
+                    },
+                    observed_violation_rate: if t.deadline_n == 0 {
+                        f64::NAN
+                    } else {
+                        t.violations as f64 / t.deadline_n as f64
+                    },
+                }
+            })
+            .collect()
+    }
+
+    /// Exports the report as gauges:
+    /// `uaq_calibration_coverage{shape,interval}`,
+    /// `uaq_calibration_pit_mean{shape}`,
+    /// `uaq_calibration_violation_rate{shape,kind}` and
+    /// `uaq_calibration_observations{shape}`.
+    pub fn export_gauges(&self, registry: &Registry) {
+        for s in self.report() {
+            let shape = s.shape.as_str();
+            for (interval, v) in [
+                ("50", s.coverage50),
+                ("90", s.coverage90),
+                ("99", s.coverage99),
+            ] {
+                registry
+                    .gauge(
+                        "uaq_calibration_coverage",
+                        &[("interval", interval), ("shape", shape)],
+                    )
+                    .set(v);
+            }
+            registry
+                .gauge("uaq_calibration_pit_mean", &[("shape", shape)])
+                .set(s.mean_pit);
+            registry
+                .gauge("uaq_calibration_observations", &[("shape", shape)])
+                .set(s.n as f64);
+            for (kind, v) in [
+                ("predicted", s.predicted_violation_rate),
+                ("observed", s.observed_violation_rate),
+            ] {
+                if !v.is_nan() {
+                    registry
+                        .gauge(
+                            "uaq_calibration_violation_rate",
+                            &[("kind", kind), ("shape", shape)],
+                        )
+                        .set(v);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(shape: &str, pit: f64, in50: bool, in90: bool) -> Observation {
+        Observation {
+            shape: shape.to_owned(),
+            observed_ms: 10.0,
+            pit,
+            in50,
+            in90,
+            in99: true,
+            predicted_violation: None,
+            violated: None,
+        }
+    }
+
+    #[test]
+    fn tallies_coverage_per_shape() {
+        let m = CalibrationMonitor::new();
+        m.record(&obs("scan", 0.4, true, true));
+        m.record(&obs("scan", 0.9, false, true));
+        m.record(&obs("join", 0.5, true, true));
+        let report = m.report();
+        assert_eq!(report.len(), 2);
+        // BTreeMap order: join before scan.
+        assert_eq!(report[0].shape, "join");
+        let scan = &report[1];
+        assert_eq!(scan.n, 2);
+        assert_eq!(scan.coverage50, 0.5);
+        assert_eq!(scan.coverage90, 1.0);
+        assert_eq!(scan.coverage99, 1.0);
+        assert!((scan.mean_pit - 0.65).abs() < 1e-12);
+        assert!(scan.predicted_violation_rate.is_nan());
+    }
+
+    #[test]
+    fn violation_rates_only_count_deadline_observations() {
+        let m = CalibrationMonitor::new();
+        let mut with_deadline = obs("scan", 0.5, true, true);
+        with_deadline.predicted_violation = Some(0.2);
+        with_deadline.violated = Some(true);
+        m.record(&with_deadline);
+        m.record(&obs("scan", 0.5, true, true)); // no deadline
+        let s = &m.report()[0];
+        assert_eq!(s.n, 2);
+        assert_eq!(s.predicted_violation_rate, 0.2);
+        assert_eq!(s.observed_violation_rate, 1.0);
+    }
+
+    #[test]
+    fn gauges_export_the_report() {
+        let m = CalibrationMonitor::new();
+        m.record(&obs("scan", 0.5, true, true));
+        let r = Registry::new();
+        m.export_gauges(&r);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.gauge(
+                "uaq_calibration_coverage",
+                &[("interval", "90"), ("shape", "scan")]
+            ),
+            Some(1.0)
+        );
+        assert_eq!(
+            snap.gauge("uaq_calibration_observations", &[("shape", "scan")]),
+            Some(1.0)
+        );
+        // NaN rates are skipped, not exported as NaN.
+        assert_eq!(
+            snap.gauge(
+                "uaq_calibration_violation_rate",
+                &[("kind", "observed"), ("shape", "scan")]
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn render_table_lists_every_shape() {
+        let m = CalibrationMonitor::new();
+        m.record(&obs("scan", 0.5, true, true));
+        m.record(&obs("join", 0.5, true, true));
+        let text = ShapeCalibration::render_table(&m.report());
+        assert!(text.contains("scan") && text.contains("join"));
+        assert!(text.contains("cov90"));
+    }
+}

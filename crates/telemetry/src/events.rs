@@ -1,0 +1,393 @@
+//! A minimal JSON value plus a JSONL event builder.
+//!
+//! No serde in this environment, so the crate carries its own JSON:
+//! enough to emit the registry's JSON export, parse it back (the
+//! round-trip contract the exports are tested against), and write
+//! one-line-per-request structured events that `grep`/`jq` can chew on.
+//!
+//! Numbers keep their *raw text* ([`Json::Num`] wraps the printed form):
+//! `u64` counters stay exact past 2^53 and `f64` gauges round-trip
+//! bit-identically through Rust's shortest-representation `Display`.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Numbers are stored as raw text (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub fn u64(v: u64) -> Json {
+        Json::Num(v.to_string())
+    }
+
+    /// Finite floats print via `Display` (shortest round-trip form);
+    /// NaN/inf have no JSON spelling and become `null`.
+    pub fn f64(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(format!("{v}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    pub fn str(v: impl Into<String>) -> Json {
+        Json::Str(v.into())
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn render(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(raw) => out.push_str(raw),
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out);
+        out
+    }
+
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing bytes at offset {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    let Some(&b) = bytes.get(*pos) else {
+        return Err("unexpected end of input".into());
+    };
+    match b {
+        b'n' => parse_lit(bytes, pos, "null", Json::Null),
+        b't' => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        b'f' => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        b'"' => parse_string(bytes, pos).map(Json::Str),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => {
+            let start = *pos;
+            *pos += 1;
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let raw = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            raw.parse::<f64>()
+                .map_err(|e| format!("bad number {raw:?}: {e}"))?;
+            Ok(Json::Num(raw.to_owned()))
+        }
+        other => Err(format!(
+            "unexpected byte {:?} at offset {pos}",
+            other as char
+        )),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected {lit} at offset {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at offset {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err("unterminated string".into());
+        };
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                let Some(&esc) = bytes.get(*pos) else {
+                    return Err("unterminated escape".into());
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("\\u{hex}: {e}"))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).ok_or("non-scalar \\u escape")?);
+                    }
+                    other => return Err(format!("unknown escape \\{}", other as char)),
+                }
+            }
+            _ => {
+                // Consume one UTF-8 scalar starting here.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("empty string tail")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Builder for one structured event, rendered as a single JSONL line.
+/// Field order is the insertion order, so event streams stay stable and
+/// diff-able across runs.
+#[derive(Debug, Clone, Default)]
+pub struct Event {
+    fields: Vec<(String, Json)>,
+}
+
+impl Event {
+    pub fn new(kind: &str) -> Event {
+        Event {
+            fields: vec![("event".to_owned(), Json::str(kind))],
+        }
+    }
+
+    pub fn field(mut self, name: &str, value: Json) -> Event {
+        self.fields.push((name.to_owned(), value));
+        self
+    }
+
+    pub fn str(self, name: &str, value: impl Into<String>) -> Event {
+        self.field(name, Json::str(value))
+    }
+
+    pub fn u64(self, name: &str, value: u64) -> Event {
+        self.field(name, Json::u64(value))
+    }
+
+    pub fn f64(self, name: &str, value: f64) -> Event {
+        self.field(name, Json::f64(value))
+    }
+
+    pub fn bool(self, name: &str, value: bool) -> Event {
+        self.field(name, Json::Bool(value))
+    }
+
+    /// The event as one newline-free JSON line (no trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        Json::Obj(self.fields.clone()).to_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trips_every_value_kind() {
+        let v = Json::Obj(vec![
+            ("null".into(), Json::Null),
+            ("yes".into(), Json::Bool(true)),
+            ("count".into(), Json::u64(u64::MAX)),
+            ("ratio".into(), Json::f64(0.1 + 0.2)),
+            (
+                "name".into(),
+                Json::str("a \"quoted\"\\ line\nwith\tctrl \u{1}"),
+            ),
+            ("arr".into(), Json::Arr(vec![Json::u64(1), Json::f64(2.5)])),
+        ]);
+        let text = v.to_text();
+        let back = Json::parse(&text).expect("parse");
+        assert_eq!(back, v);
+        // u64 exactness past 2^53.
+        assert_eq!(back.get("count").unwrap().as_u64(), Some(u64::MAX));
+        // f64 bit-exactness via shortest-repr Display.
+        let r = back.get("ratio").unwrap().as_f64().unwrap();
+        assert_eq!(r.to_bits(), (0.1f64 + 0.2).to_bits());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(Json::f64(f64::NAN), Json::Null);
+        assert_eq!(Json::f64(f64::INFINITY), Json::Null);
+    }
+
+    #[test]
+    fn event_lines_are_single_line_json() {
+        let line = Event::new("request")
+            .str("tier", "full")
+            .u64("id", 7)
+            .f64("predicted_ms", 12.25)
+            .bool("admitted", true)
+            .to_jsonl();
+        assert!(!line.contains('\n'));
+        let v = Json::parse(&line).expect("parse");
+        assert_eq!(v.get("event").unwrap().as_str(), Some("request"));
+        assert_eq!(v.get("tier").unwrap().as_str(), Some("full"));
+        assert_eq!(v.get("id").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("predicted_ms").unwrap().as_f64(), Some(12.25));
+        assert_eq!(v.get("admitted"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(Json::parse("{} x").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+}

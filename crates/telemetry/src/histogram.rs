@@ -1,0 +1,297 @@
+//! Log-linear-bucket histogram with atomic counters on the record path.
+//!
+//! Bucket boundaries follow the HDR discipline: each power-of-two range
+//! `[p, 2p)` between `min` and `max` is split into `sub_buckets` equal
+//! linear steps, so relative error is bounded (~`1/sub_buckets`) at every
+//! magnitude while the bucket count stays logarithmic in the dynamic
+//! range. Boundaries are precomputed once; `record` is a binary search
+//! plus one `fetch_add` and one compare-and-swap (the f64 running sum).
+//!
+//! Bucket semantics (shared with the Prometheus exposition): bucket `i`
+//! counts values `v <= bounds[i]` not counted by an earlier bucket;
+//! values below `bounds[0]` land in bucket 0, values above the last
+//! bound land in the trailing overflow bucket (`le="+Inf"`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket layout. The defaults cover 1 µs … ~1000 s in seconds — the
+/// stage-timing range — at ≤ 25% relative error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramConfig {
+    /// Lower edge of the first power-of-two range (must be > 0).
+    pub min: f64,
+    /// Boundary generation stops once a bound reaches `max`.
+    pub max: f64,
+    /// Linear subdivisions per power-of-two range (must be ≥ 1).
+    pub sub_buckets: usize,
+}
+
+impl Default for HistogramConfig {
+    fn default() -> Self {
+        HistogramConfig {
+            min: 1e-6,
+            max: 1e3,
+            sub_buckets: 4,
+        }
+    }
+}
+
+impl HistogramConfig {
+    /// The precomputed upper bounds (strictly increasing, ends ≥ `max`).
+    pub fn bounds(&self) -> Vec<f64> {
+        assert!(self.min > 0.0 && self.max > self.min && self.sub_buckets >= 1);
+        let mut bounds = Vec::new();
+        let mut lo = self.min;
+        loop {
+            let hi = lo * 2.0;
+            let step = (hi - lo) / self.sub_buckets as f64;
+            for i in 1..=self.sub_buckets {
+                let b = lo + step * i as f64;
+                bounds.push(b);
+                if b >= self.max {
+                    return bounds;
+                }
+            }
+            lo = hi;
+        }
+    }
+}
+
+/// Concurrent histogram. Cheap to record into from many threads;
+/// `snapshot()` is the read side.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` slots; the last is the overflow bucket.
+    counts: Vec<AtomicU64>,
+    /// Running sum of recorded values, stored as f64 bits.
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    pub fn new(config: HistogramConfig) -> Histogram {
+        let bounds = config.bounds();
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Index of the bucket that counts `v`.
+    fn bucket_of(&self, v: f64) -> usize {
+        self.bounds.partition_point(|&b| b < v)
+    }
+
+    /// Records one value. NaN is dropped (it has no ordering).
+    pub fn record(&self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.counts[self.bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of a histogram: the in-memory model behind both
+/// exports and the quantile estimator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub bounds: Vec<f64>,
+    /// `bounds.len() + 1` entries; trailing entry is the overflow bucket.
+    pub counts: Vec<u64>,
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            f64::NAN
+        } else {
+            self.sum / n as f64
+        }
+    }
+
+    /// Merges another snapshot recorded with the same bucket layout.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merge requires one bucket layout"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// Quantile estimate (`q` in [0, 1]) by cumulative walk with linear
+    /// interpolation inside the landing bucket. The overflow bucket has
+    /// no upper edge, so it reports the last finite bound — a documented
+    /// floor, not an extrapolation. NaN on an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * total as f64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let upto = seen + c;
+            if (upto as f64) >= target {
+                let last = self.bounds.len() - 1;
+                let (lo, hi) = if i == 0 {
+                    (0.0, self.bounds[0])
+                } else if i > last {
+                    return self.bounds[last];
+                } else {
+                    (self.bounds[i - 1], self.bounds[i])
+                };
+                let into = (target - seen as f64).max(0.0) / c as f64;
+                return lo + (hi - lo) * into;
+            }
+            seen = upto;
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_are_log_linear_and_strictly_increasing() {
+        let cfg = HistogramConfig {
+            min: 1.0,
+            max: 8.0,
+            sub_buckets: 2,
+        };
+        // [1,2) split in 2 → 1.5, 2; [2,4) → 3, 4; [4,8) → 6, 8 (stop).
+        assert_eq!(cfg.bounds(), vec![1.5, 2.0, 3.0, 4.0, 6.0, 8.0]);
+        let default_bounds = HistogramConfig::default().bounds();
+        assert!(default_bounds.windows(2).all(|w| w[0] < w[1]));
+        assert!(*default_bounds.last().unwrap() >= 1e3);
+        // Logarithmic in the dynamic range: 30 doublings × 4 sub-buckets.
+        assert!(default_bounds.len() < 140, "{}", default_bounds.len());
+    }
+
+    #[test]
+    fn values_land_in_the_documented_buckets() {
+        let h = Histogram::new(HistogramConfig {
+            min: 1.0,
+            max: 8.0,
+            sub_buckets: 2,
+        });
+        // bounds: [1.5, 2, 3, 4, 6, 8] + overflow
+        h.record(0.1); // underflow → bucket 0 (≤ 1.5)
+        h.record(1.5); // exactly on a bound → that bucket (le semantics)
+        h.record(1.6); // → bucket 1 (≤ 2)
+        h.record(5.0); // → bucket 4 (≤ 6)
+        h.record(8.0); // last finite bucket
+        h.record(9.0); // overflow
+        h.record(f64::NAN); // dropped
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![2, 1, 0, 0, 1, 1, 1]);
+        assert_eq!(s.count(), 6);
+        assert!((s.sum - 25.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sums() {
+        let cfg = HistogramConfig {
+            min: 1.0,
+            max: 8.0,
+            sub_buckets: 2,
+        };
+        let a = Histogram::new(cfg);
+        let b = Histogram::new(cfg);
+        for v in [0.5, 2.0, 7.0] {
+            a.record(v);
+        }
+        for v in [2.5, 100.0] {
+            b.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 5);
+        assert!((merged.sum - 112.0).abs() < 1e-12);
+        let manual = Histogram::new(cfg);
+        for v in [0.5, 2.0, 7.0, 2.5, 100.0] {
+            manual.record(v);
+        }
+        assert_eq!(merged.counts, manual.snapshot().counts);
+    }
+
+    #[test]
+    fn quantile_estimates_are_monotone_in_q() {
+        let h = Histogram::new(HistogramConfig::default());
+        // A deterministic spread across several magnitudes.
+        let mut v = 1.3e-6;
+        for _ in 0..500 {
+            h.record(v);
+            v *= 1.037;
+        }
+        let s = h.snapshot();
+        let qs: Vec<f64> = (0..=20).map(|i| s.quantile(i as f64 / 20.0)).collect();
+        for w in qs.windows(2) {
+            assert!(
+                w[0] <= w[1],
+                "quantile estimate must be monotone: {} > {}",
+                w[0],
+                w[1]
+            );
+        }
+        // And roughly located: the median of the geometric ramp sits
+        // between the extremes, not pinned at either end.
+        assert!(qs[10] > s.quantile(0.0) && qs[10] < s.quantile(1.0));
+    }
+
+    #[test]
+    fn quantile_handles_empty_and_overflow() {
+        let h = Histogram::new(HistogramConfig {
+            min: 1.0,
+            max: 8.0,
+            sub_buckets: 2,
+        });
+        assert!(h.snapshot().quantile(0.5).is_nan());
+        h.record(1e9); // everything in overflow
+        let s = h.snapshot();
+        // Overflow has no upper edge: the estimate floors at the last
+        // finite bound.
+        assert_eq!(s.quantile(0.99), 8.0);
+    }
+}

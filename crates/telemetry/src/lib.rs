@@ -1,0 +1,39 @@
+//! # uaq_telemetry — the observability plane
+//!
+//! A std-only (zero-dependency) subsystem the rest of the stack threads
+//! through: it must never pull math, I/O, or concurrency machinery into
+//! the bit-deterministic prediction path, and it must never *be* the
+//! reason a prediction differs between two runs.
+//!
+//! Four pieces:
+//!
+//! * [`registry`] — a lock-cheap [`registry::Registry`] of named
+//!   counters, gauges, and histograms. Registration takes a lock;
+//!   increments are plain atomics on clone-cheap handles. A
+//!   [`registry::Snapshot`] is the in-memory model, exportable as
+//!   Prometheus text exposition or JSON, and both exports parse back
+//!   (round-trip tested).
+//! * [`span`] — a thread-local per-request [`span::SpanRecorder`]
+//!   capturing the pipeline breakdown (queue wait, admission, cache
+//!   probes, sample pass, fit, Monte-Carlo, total). **This module is the
+//!   only sanctioned home of `Instant::now` for the deterministic
+//!   prediction path**; CI greps the predictor crates to keep wall-clock
+//!   reads out of result values.
+//! * [`calibration`] — per-shape PIT/coverage tallies over (predicted
+//!   distribution, observed runtime) pairs. The monitor is math-free:
+//!   callers hand it precomputed interval membership and PIT values, so
+//!   the crate stays zero-dependency.
+//! * [`events`] — a hand-rolled JSON value (used by the registry's JSON
+//!   export) plus a JSONL structured-event builder for scenario runs.
+
+pub mod calibration;
+pub mod events;
+pub mod histogram;
+pub mod registry;
+pub mod span;
+
+pub use calibration::{CalibrationMonitor, Observation, ShapeCalibration};
+pub use events::{Event, Json};
+pub use histogram::{Histogram, HistogramConfig, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricValue, Registry, Snapshot};
+pub use span::{Stage, StageTimings};

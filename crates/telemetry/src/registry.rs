@@ -1,0 +1,742 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Lock discipline: registration (`counter`/`gauge`/`histogram`) takes
+//! the registry mutex once and hands back a clone-cheap *handle* whose
+//! increments are plain atomics — the hot path never locks. Handles
+//! outlive the registry lookup; two registrations of the same
+//! (name, labels) share one underlying cell, so a cache constructed
+//! before the service and a snapshot taken after see the same numbers.
+//!
+//! `snapshot()` materializes the in-memory model ([`Snapshot`]), which
+//! exports as Prometheus text exposition or JSON — and both formats
+//! parse back into an equal `Snapshot` (round-trip tested), so dumps are
+//! lossless.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::events::Json;
+use crate::histogram::{Histogram, HistogramConfig, HistogramSnapshot};
+
+/// Monotone counter handle. Clone-cheap; clones share the cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter bound to no registry — for standalone components
+    /// (e.g. a cache constructed outside a service).
+    pub fn detached() -> Counter {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Gauge handle: an f64 cell (stored as bits). Clone-cheap.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    pub fn detached() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative) with a CAS loop.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Arc<Histogram>),
+}
+
+type Key = (String, Vec<(String, String)>);
+
+fn key_of(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut ls: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    ls.sort();
+    (name.to_owned(), ls)
+}
+
+/// The registry. Keyed by (name, sorted labels) in a `BTreeMap`, so
+/// snapshots and exports come out in one deterministic order.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<Key, Metric>>,
+}
+
+impl Registry {
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<Key, Metric>> {
+        // A poisoned map only means some thread died mid-registration;
+        // the map itself is always structurally sound.
+        self.metrics.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Gets or registers a counter. On a kind collision (the name is
+    /// already a gauge/histogram) returns a detached handle rather than
+    /// panicking: telemetry must never take the serving path down.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self
+            .lock()
+            .entry(key_of(name, labels))
+            .or_insert_with(|| Metric::Counter(Counter::default()))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => Counter::detached(),
+        }
+    }
+
+    /// Gets or registers a gauge (detached handle on kind collision).
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self
+            .lock()
+            .entry(key_of(name, labels))
+            .or_insert_with(|| Metric::Gauge(Gauge::default()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => Gauge::detached(),
+        }
+    }
+
+    /// Gets or registers a histogram. The config only applies on first
+    /// registration; later calls return the existing instance.
+    pub fn histogram(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        config: HistogramConfig,
+    ) -> Arc<Histogram> {
+        match self
+            .lock()
+            .entry(key_of(name, labels))
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new(config))))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => Arc::new(Histogram::new(config)),
+        }
+    }
+
+    pub fn snapshot(&self) -> Snapshot {
+        let samples = self
+            .lock()
+            .iter()
+            .map(|((name, labels), metric)| MetricSample {
+                name: name.clone(),
+                labels: labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        Snapshot { samples }
+    }
+}
+
+/// One metric's point-in-time value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramSnapshot),
+}
+
+/// One (name, labels) series in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    pub name: String,
+    /// Sorted by label key.
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+/// The in-memory export model: every series, sorted by (name, labels).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    pub samples: Vec<MetricSample>,
+}
+
+impl Snapshot {
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSample> {
+        let key = key_of(name, labels);
+        self.samples
+            .iter()
+            .find(|s| s.name == key.0 && s.labels == key.1)
+    }
+
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.find(name, labels)?.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Sum of a counter across all its label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .filter_map(|s| match s.value {
+                MetricValue::Counter(v) => Some(v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.find(name, labels)?.value {
+            MetricValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Prometheus text exposition (format version 0.0.4).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for s in &self.samples {
+            if s.name != last_name {
+                let kind = match s.value {
+                    MetricValue::Counter(_) => "counter",
+                    MetricValue::Gauge(_) => "gauge",
+                    MetricValue::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {}", s.name, kind);
+                last_name = &s.name;
+            }
+            match &s.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, prom_labels(&s.labels, None), v);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{}{} {}", s.name, prom_labels(&s.labels, None), v);
+                }
+                MetricValue::Histogram(h) => {
+                    let mut cum = 0u64;
+                    for (i, b) in h.bounds.iter().enumerate() {
+                        cum += h.counts[i];
+                        let le = format!("{b}");
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            s.name,
+                            prom_labels(&s.labels, Some(&le)),
+                            cum
+                        );
+                    }
+                    cum += h.counts[h.bounds.len()];
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {}",
+                        s.name,
+                        prom_labels(&s.labels, Some("+Inf")),
+                        cum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        s.name,
+                        prom_labels(&s.labels, None),
+                        h.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        s.name,
+                        prom_labels(&s.labels, None),
+                        cum
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses text produced by [`Snapshot::to_prometheus`] back into an
+    /// equal snapshot.
+    pub fn from_prometheus(text: &str) -> Result<Snapshot, String> {
+        let mut kinds: BTreeMap<String, &str> = BTreeMap::new();
+        // (name, labels) → partial histogram state.
+        struct HistAcc {
+            bounds: Vec<f64>,
+            cum: Vec<u64>,
+            inf: u64,
+            sum: f64,
+        }
+        let mut hists: BTreeMap<Key, HistAcc> = BTreeMap::new();
+        let mut scalars: BTreeMap<Key, MetricValue> = BTreeMap::new();
+
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().ok_or("bare # TYPE line")?;
+                let kind = it.next().ok_or("missing kind in # TYPE")?;
+                let kind = match kind {
+                    "counter" => "counter",
+                    "gauge" => "gauge",
+                    "histogram" => "histogram",
+                    other => return Err(format!("unknown metric kind {other}")),
+                };
+                kinds.insert(name.to_owned(), kind);
+                continue;
+            }
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("no value on line {line:?}"))?;
+            let (name, mut labels) = parse_series(series)?;
+            // Histogram sub-series route to their accumulator.
+            let (base, part) = if let Some(b) = name.strip_suffix("_bucket") {
+                (b.to_owned(), "bucket")
+            } else if let Some(b) = name
+                .strip_suffix("_sum")
+                .filter(|b| kinds.get(*b) == Some(&"histogram"))
+            {
+                (b.to_owned(), "sum")
+            } else if let Some(b) = name
+                .strip_suffix("_count")
+                .filter(|b| kinds.get(*b) == Some(&"histogram"))
+            {
+                (b.to_owned(), "count")
+            } else {
+                (name.clone(), "scalar")
+            };
+            if part == "scalar" {
+                let value = match kinds.get(&name).copied() {
+                    Some("counter") => MetricValue::Counter(
+                        value.parse().map_err(|e| format!("counter {name}: {e}"))?,
+                    ),
+                    Some("gauge") => {
+                        MetricValue::Gauge(value.parse().map_err(|e| format!("gauge {name}: {e}"))?)
+                    }
+                    _ => return Err(format!("sample {name} has no # TYPE")),
+                };
+                scalars.insert((name, labels), value);
+                continue;
+            }
+            let le = if part == "bucket" {
+                let i = labels
+                    .iter()
+                    .position(|(k, _)| k == "le")
+                    .ok_or_else(|| format!("{base}_bucket without le"))?;
+                Some(labels.remove(i).1)
+            } else {
+                None
+            };
+            let acc = hists.entry((base, labels)).or_insert(HistAcc {
+                bounds: Vec::new(),
+                cum: Vec::new(),
+                inf: 0,
+                sum: 0.0,
+            });
+            match part {
+                "bucket" => {
+                    let c: u64 = value.parse().map_err(|e| format!("bucket count: {e}"))?;
+                    let le = le.expect("bucket has le");
+                    if le == "+Inf" {
+                        acc.inf = c;
+                    } else {
+                        acc.bounds
+                            .push(le.parse().map_err(|e| format!("le bound: {e}"))?);
+                        acc.cum.push(c);
+                    }
+                }
+                "sum" => acc.sum = value.parse().map_err(|e| format!("sum: {e}"))?,
+                "count" => {} // redundant with the +Inf bucket
+                _ => unreachable!(),
+            }
+        }
+
+        let mut samples: Vec<MetricSample> = scalars
+            .into_iter()
+            .map(|((name, labels), value)| MetricSample {
+                name,
+                labels,
+                value,
+            })
+            .collect();
+        for ((name, labels), acc) in hists {
+            // Decumulate the bucket series back to per-bucket counts.
+            let mut counts = Vec::with_capacity(acc.cum.len() + 1);
+            let mut prev = 0u64;
+            for &c in &acc.cum {
+                counts.push(c.checked_sub(prev).ok_or("non-monotone bucket series")?);
+                prev = c;
+            }
+            counts.push(
+                acc.inf
+                    .checked_sub(prev)
+                    .ok_or("non-monotone +Inf bucket")?,
+            );
+            samples.push(MetricSample {
+                name,
+                labels,
+                value: MetricValue::Histogram(HistogramSnapshot {
+                    bounds: acc.bounds,
+                    counts,
+                    sum: acc.sum,
+                }),
+            });
+        }
+        samples.sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+        Ok(Snapshot { samples })
+    }
+
+    /// JSON dump of the full model.
+    pub fn to_json(&self) -> String {
+        let metrics: Vec<Json> = self
+            .samples
+            .iter()
+            .map(|s| {
+                let mut fields = vec![
+                    ("name".to_owned(), Json::str(&s.name)),
+                    (
+                        "labels".to_owned(),
+                        Json::Obj(
+                            s.labels
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::str(v)))
+                                .collect(),
+                        ),
+                    ),
+                ];
+                match &s.value {
+                    MetricValue::Counter(v) => {
+                        fields.push(("type".to_owned(), Json::str("counter")));
+                        fields.push(("value".to_owned(), Json::u64(*v)));
+                    }
+                    MetricValue::Gauge(v) => {
+                        fields.push(("type".to_owned(), Json::str("gauge")));
+                        fields.push(("value".to_owned(), Json::f64(*v)));
+                    }
+                    MetricValue::Histogram(h) => {
+                        fields.push(("type".to_owned(), Json::str("histogram")));
+                        fields.push((
+                            "bounds".to_owned(),
+                            Json::Arr(h.bounds.iter().map(|&b| Json::f64(b)).collect()),
+                        ));
+                        fields.push((
+                            "counts".to_owned(),
+                            Json::Arr(h.counts.iter().map(|&c| Json::u64(c)).collect()),
+                        ));
+                        fields.push(("sum".to_owned(), Json::f64(h.sum)));
+                    }
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        Json::Obj(vec![("metrics".to_owned(), Json::Arr(metrics))]).to_text()
+    }
+
+    /// Parses [`Snapshot::to_json`] output back into an equal snapshot.
+    pub fn from_json(text: &str) -> Result<Snapshot, String> {
+        let root = Json::parse(text)?;
+        let metrics = root
+            .get("metrics")
+            .and_then(Json::as_arr)
+            .ok_or("missing metrics array")?;
+        let mut samples = Vec::with_capacity(metrics.len());
+        for m in metrics {
+            let name = m
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("metric without name")?
+                .to_owned();
+            let labels = match m.get("labels") {
+                Some(Json::Obj(fields)) => fields
+                    .iter()
+                    .map(|(k, v)| {
+                        Ok((
+                            k.clone(),
+                            v.as_str().ok_or("non-string label value")?.to_owned(),
+                        ))
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+                _ => return Err(format!("metric {name} without labels object")),
+            };
+            let kind = m.get("type").and_then(Json::as_str).unwrap_or("");
+            let err = |what: &str| format!("metric {name}: bad {what}");
+            let value = match kind {
+                "counter" => MetricValue::Counter(
+                    m.get("value")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| err("counter value"))?,
+                ),
+                "gauge" => MetricValue::Gauge(
+                    m.get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| err("gauge value"))?,
+                ),
+                "histogram" => {
+                    let nums = |field: &str| -> Result<Vec<Json>, String> {
+                        Ok(m.get(field)
+                            .and_then(Json::as_arr)
+                            .ok_or_else(|| err(field))?
+                            .to_vec())
+                    };
+                    MetricValue::Histogram(HistogramSnapshot {
+                        bounds: nums("bounds")?
+                            .iter()
+                            .map(|j| j.as_f64().ok_or_else(|| err("bound")))
+                            .collect::<Result<_, _>>()?,
+                        counts: nums("counts")?
+                            .iter()
+                            .map(|j| j.as_u64().ok_or_else(|| err("count")))
+                            .collect::<Result<_, _>>()?,
+                        sum: m
+                            .get("sum")
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| err("sum"))?,
+                    })
+                }
+                other => return Err(format!("metric {name}: unknown type {other:?}")),
+            };
+            samples.push(MetricSample {
+                name,
+                labels,
+                value,
+            });
+        }
+        Ok(Snapshot { samples })
+    }
+}
+
+/// `{k="v",...}` with optional `le`, empty string for no labels.
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .chain(le.map(|le| ("le", le)))
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Parses `name{k="v",...}` (labels optional) from an exposition line.
+fn parse_series(series: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let Some(brace) = series.find('{') else {
+        return Ok((series.to_owned(), Vec::new()));
+    };
+    let name = series[..brace].to_owned();
+    let body = series[brace + 1..]
+        .strip_suffix('}')
+        .ok_or_else(|| format!("unterminated labels in {series:?}"))?;
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    while chars.peek().is_some() {
+        let key: String = chars.by_ref().take_while(|&c| c != '=').collect();
+        if chars.next() != Some('"') {
+            return Err(format!("expected '\"' after {key}= in {series:?}"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in {series:?}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated label value in {series:?}")),
+            }
+        }
+        labels.push((key, value));
+        if chars.peek() == Some(&',') {
+            chars.next();
+        }
+    }
+    Ok((name, labels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated() -> Registry {
+        let r = Registry::new();
+        r.counter("uaq_requests_total", &[("tier", "full")]).add(12);
+        r.counter("uaq_requests_total", &[("tier", "static")]).inc();
+        r.gauge("uaq_queue_depth", &[]).set(3.0);
+        r.gauge("uaq_coverage", &[("shape", "scan"), ("interval", "90")])
+            .set(0.8925);
+        let h = r.histogram(
+            "uaq_stage_seconds",
+            &[("stage", "fit"), ("tier", "full")],
+            HistogramConfig {
+                min: 1e-6,
+                max: 1.0,
+                sub_buckets: 2,
+            },
+        );
+        for v in [1e-5, 2e-4, 0.3, 7.0] {
+            h.record(v);
+        }
+        r
+    }
+
+    #[test]
+    fn handles_share_one_cell_across_registrations() {
+        let r = Registry::new();
+        let a = r.counter("hits", &[("level", "fit")]);
+        let b = r.counter("hits", &[("level", "fit")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.snapshot().counter("hits", &[("level", "fit")]), Some(3));
+        // Label order does not split the series.
+        let c = r.counter("multi", &[("b", "2"), ("a", "1")]);
+        let d = r.counter("multi", &[("a", "1"), ("b", "2")]);
+        c.inc();
+        assert_eq!(d.get(), 1);
+    }
+
+    #[test]
+    fn kind_collisions_return_detached_handles() {
+        let r = Registry::new();
+        r.counter("thing", &[]).inc();
+        let g = r.gauge("thing", &[]);
+        g.set(9.0); // goes nowhere visible
+        assert_eq!(r.snapshot().counter("thing", &[]), Some(1));
+        assert_eq!(r.snapshot().gauge("thing", &[]), None);
+    }
+
+    #[test]
+    fn gauge_add_is_signed() {
+        let g = Gauge::detached();
+        g.add(2.5);
+        g.add(-1.0);
+        assert_eq!(g.get(), 1.5);
+    }
+
+    #[test]
+    fn counter_total_sums_label_sets() {
+        let s = populated().snapshot();
+        assert_eq!(s.counter_total("uaq_requests_total"), 13);
+        assert_eq!(s.counter_total("absent"), 0);
+    }
+
+    #[test]
+    fn prometheus_export_round_trips() {
+        let snap = populated().snapshot();
+        let text = snap.to_prometheus();
+        assert!(text.contains("# TYPE uaq_requests_total counter"));
+        assert!(text.contains("uaq_requests_total{tier=\"full\"} 12"));
+        assert!(text.contains("# TYPE uaq_stage_seconds histogram"));
+        assert!(text.contains("le=\"+Inf\""));
+        let back = Snapshot::from_prometheus(&text).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn json_export_round_trips() {
+        let snap = populated().snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn exports_survive_hostile_label_values() {
+        let r = Registry::new();
+        r.counter("odd", &[("k", "a\"b\\c\nd,e={}")]).add(5);
+        let snap = r.snapshot();
+        assert_eq!(
+            Snapshot::from_prometheus(&snap.to_prometheus()).expect("prom"),
+            snap
+        );
+        assert_eq!(Snapshot::from_json(&snap.to_json()).expect("json"), snap);
+    }
+
+    #[test]
+    fn histogram_quantiles_survive_the_round_trip() {
+        let snap = populated().snapshot();
+        let back = Snapshot::from_prometheus(&snap.to_prometheus()).expect("parse");
+        let labels = [("stage", "fit"), ("tier", "full")];
+        let orig = snap.histogram("uaq_stage_seconds", &labels).expect("hist");
+        let hist = back.histogram("uaq_stage_seconds", &labels).expect("hist");
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.quantile(0.5).to_bits(), orig.quantile(0.5).to_bits());
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-request pipeline spans.
+//!
+//! **This module is the only sanctioned home of `Instant::now` for the
+//! deterministic prediction path.** The predictor crates (core, selest,
+//! engine, cost, stats, storage) never read the clock themselves — they
+//! wrap work in [`timed`], which is a no-op unless a recorder is active
+//! on the current thread. CI greps those crates to keep it that way, so
+//! wall-clock values can never leak into bit-deterministic results
+//! again (the PR 7 fix for `Prediction::sample_pass_seconds`).
+//!
+//! The recorder is thread-local (the service runs one request per worker
+//! thread at a time), accumulating seconds per [`Stage`]. Stages nest:
+//! `Exec` (engine-level) accrues inside `SamplePass` (predictor-level),
+//! and everything accrues inside `Total`; no exclusivity is implied.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Pipeline stages, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Submit → worker pickup (service-level).
+    QueueWait,
+    /// Admission decision (policy math).
+    Admission,
+    /// Selectivity-estimate cache probe.
+    SelCacheProbe,
+    /// Sample pass: plan execution over sample tables + estimation.
+    SamplePass,
+    /// Engine executor proper (nested inside `SamplePass` on the
+    /// prediction path; standalone for full executions).
+    Exec,
+    /// Fit cache probe (get/put at both shape levels).
+    FitCacheProbe,
+    /// Cost-function fitting + variance algebra.
+    Fit,
+    /// Monte-Carlo propagation.
+    MonteCarlo,
+    /// End-to-end request service time.
+    Total,
+}
+
+impl Stage {
+    pub const ALL: [Stage; 9] = [
+        Stage::QueueWait,
+        Stage::Admission,
+        Stage::SelCacheProbe,
+        Stage::SamplePass,
+        Stage::Exec,
+        Stage::FitCacheProbe,
+        Stage::Fit,
+        Stage::MonteCarlo,
+        Stage::Total,
+    ];
+
+    fn idx(self) -> usize {
+        match self {
+            Stage::QueueWait => 0,
+            Stage::Admission => 1,
+            Stage::SelCacheProbe => 2,
+            Stage::SamplePass => 3,
+            Stage::Exec => 4,
+            Stage::FitCacheProbe => 5,
+            Stage::Fit => 6,
+            Stage::MonteCarlo => 7,
+            Stage::Total => 8,
+        }
+    }
+
+    /// Stable label used in metric names, JSONL events, and exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::QueueWait => "queue_wait",
+            Stage::Admission => "admission",
+            Stage::SelCacheProbe => "sel_cache_probe",
+            Stage::SamplePass => "sample_pass",
+            Stage::Exec => "exec",
+            Stage::FitCacheProbe => "fit_cache_probe",
+            Stage::Fit => "fit",
+            Stage::MonteCarlo => "monte_carlo",
+            Stage::Total => "total",
+        }
+    }
+}
+
+/// Accumulated seconds per stage for one request. Attached to
+/// `PredictResponse` when span recording is on — deliberately *outside*
+/// the bit-deterministic result fields.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageTimings {
+    seconds: [f64; 9],
+}
+
+impl StageTimings {
+    pub fn get(&self, stage: Stage) -> f64 {
+        self.seconds[stage.idx()]
+    }
+
+    pub fn add(&mut self, stage: Stage, seconds: f64) {
+        self.seconds[stage.idx()] += seconds;
+    }
+
+    /// Stages with nonzero accumulated time, in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, f64)> + '_ {
+        Stage::ALL
+            .iter()
+            .map(|&s| (s, self.get(s)))
+            .filter(|&(_, v)| v > 0.0)
+    }
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<StageTimings>> = const { RefCell::new(None) };
+}
+
+/// The per-thread recorder. Constructed by [`SpanRecorder::begin`],
+/// harvested by [`SpanRecorder::finish`]; dropping it without finishing
+/// discards the partial timings (panic-safe by construction — the
+/// thread-local is simply overwritten by the next request).
+pub struct SpanRecorder(());
+
+impl SpanRecorder {
+    /// Installs a fresh recorder on this thread, replacing any stale one.
+    pub fn begin() -> SpanRecorder {
+        ACTIVE.with(|a| *a.borrow_mut() = Some(StageTimings::default()));
+        SpanRecorder(())
+    }
+
+    /// Uninstalls the recorder and returns what it captured.
+    pub fn finish(self) -> StageTimings {
+        ACTIVE.with(|a| a.borrow_mut().take()).unwrap_or_default()
+    }
+}
+
+/// True if a recorder is active on this thread.
+pub fn active() -> bool {
+    ACTIVE.with(|a| a.borrow().is_some())
+}
+
+/// Adds pre-measured seconds to a stage (used where the caller already
+/// holds the interval, e.g. queue wait measured from the enqueue stamp).
+pub fn record(stage: Stage, seconds: f64) {
+    ACTIVE.with(|a| {
+        if let Some(t) = a.borrow_mut().as_mut() {
+            t.add(stage, seconds);
+        }
+    });
+}
+
+/// Runs `f`, attributing its wall-clock time to `stage` if a recorder is
+/// active. Inactive cost is one thread-local flag check — no clock read,
+/// no allocation — so instrumented code stays on budget with spans off.
+/// Nesting is fine: the borrow is not held across `f`.
+pub fn timed<T>(stage: Stage, f: impl FnOnce() -> T) -> T {
+    if !active() {
+        return f();
+    }
+    let t0 = Instant::now();
+    let out = f();
+    record(stage, t0.elapsed().as_secs_f64());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_is_transparent_without_a_recorder() {
+        assert!(!active());
+        let v = timed(Stage::SamplePass, || 41 + 1);
+        assert_eq!(v, 42);
+        assert!(!active());
+    }
+
+    #[test]
+    fn recorder_captures_nested_stages() {
+        let span = SpanRecorder::begin();
+        assert!(active());
+        let v = timed(Stage::SamplePass, || {
+            timed(Stage::Exec, || std::hint::black_box(1 + 1))
+        });
+        assert_eq!(v, 2);
+        record(Stage::QueueWait, 0.25);
+        let t = span.finish();
+        assert!(!active());
+        assert!(t.get(Stage::SamplePass) > 0.0);
+        assert!(t.get(Stage::Exec) > 0.0);
+        // Nested: exec accrues inside the sample pass, never above it.
+        assert!(t.get(Stage::Exec) <= t.get(Stage::SamplePass));
+        assert_eq!(t.get(Stage::QueueWait), 0.25);
+        assert_eq!(t.get(Stage::Fit), 0.0);
+        let stages: Vec<Stage> = t.iter().map(|(s, _)| s).collect();
+        assert_eq!(
+            stages,
+            vec![Stage::QueueWait, Stage::SamplePass, Stage::Exec]
+        );
+    }
+
+    #[test]
+    fn begin_replaces_a_stale_recorder() {
+        let _stale = SpanRecorder::begin();
+        record(Stage::Total, 123.0);
+        let fresh = SpanRecorder::begin();
+        let t = fresh.finish();
+        assert_eq!(t.get(Stage::Total), 0.0);
+        assert!(!active());
+    }
+}

@@ -1,0 +1,138 @@
+//! One stop for the observability plane: drive the prediction service
+//! with request spans on, emit a JSONL event stream (one line per
+//! request), and dump the unified telemetry snapshot in both export
+//! formats.
+//!
+//! ```sh
+//! cargo run --release --example telemetry_dump            # everything to stdout
+//! cargo run --release --example telemetry_dump > run.jsonl
+//! grep '"event":"request"' run.jsonl | head               # the event stream
+//! ```
+//!
+//! The event lines carry the served tier, the admission verdict, the
+//! per-stage wall-clock breakdown captured by `uaq_telemetry::span`, and
+//! predicted vs (simulated) observed milliseconds — everything a log
+//! pipeline needs to reconstruct a serving trace. The snapshot at the end
+//! is `PredictionService::telemetry()`: queue/cache/tier/fault counters,
+//! stage histograms, and the calibration gauges, exportable as Prometheus
+//! text exposition or JSON.
+
+use std::sync::Arc;
+use uaq::prelude::*;
+use uaq::service::{Decision, PredictionService};
+use uaq::telemetry::{CalibrationMonitor, Event, Observation};
+
+fn verdict(d: Decision) -> &'static str {
+    match d {
+        Decision::Admit => "admit",
+        Decision::Defer => "defer",
+        Decision::Reject => "reject",
+    }
+}
+
+fn main() {
+    let catalog = Arc::new(GenConfig::new(0.002, 0.0, 42).build());
+    let mut rng = Rng::new(7);
+    let units = calibrate(
+        &HardwareProfile::pc1(),
+        &CalibrationConfig::default(),
+        &mut rng,
+    );
+    let samples = Arc::new(catalog.draw_samples(0.05, 2, &mut rng));
+    let predictor = Predictor::new(units, PredictorConfig::default());
+
+    // Spans on: each response carries its stage breakdown. (Off by
+    // default in production configs — the recorder costs two clock reads
+    // per stage on the warm path.)
+    let service = PredictionService::start(
+        predictor,
+        Arc::clone(&catalog),
+        Arc::clone(&samples),
+        ServiceConfig {
+            workers: 2,
+            record_spans: true,
+            ..Default::default()
+        },
+    );
+
+    // Mixed MICRO traffic, every third request under a deadline, each
+    // template submitted twice so the second pass hits the warm caches.
+    let specs = Benchmark::Micro.queries(&catalog, 1, &mut rng);
+    let specs: Vec<_> = specs.iter().step_by(6).collect();
+    let monitor = CalibrationMonitor::new();
+    let mut id = 0u64;
+    for round in 0..2 {
+        for spec in &specs {
+            let plan = Arc::new(plan_query(spec, &catalog));
+            let deadline_ms = id.is_multiple_of(3).then_some(150.0);
+            let rx = service.submit(PredictRequest {
+                id,
+                plan: Arc::clone(&plan),
+                deadline_ms,
+            });
+            let resp = rx.recv().expect("service worker alive");
+
+            // Ground truth for "observed": the simulated actual runtime
+            // the experiments use (a real deployment would feed back the
+            // measured execution time here).
+            let outcome = execute_full(&plan, &catalog);
+            let contexts = NodeCostContext::build_all(&plan, &catalog);
+            let observed_ms = simulate_actual_time(
+                &plan,
+                &contexts,
+                &outcome.traces,
+                &HardwareProfile::pc1(),
+                &SimConfig::default(),
+                &mut rng,
+            )
+            .mean_ms;
+
+            let mut event = Event::new("request")
+                .u64("id", resp.id)
+                .str("query", spec.name.clone())
+                .u64("round", round)
+                .str("tier", resp.tier.label())
+                .str("verdict", verdict(resp.decision))
+                .bool("warm", !resp.prediction.sample_pass_ran)
+                .f64("predicted_ms", resp.prediction.mean_ms())
+                .f64("predicted_std_ms", resp.prediction.std_dev_ms())
+                .f64("observed_ms", observed_ms)
+                .f64("prob_in_time", resp.prob_in_time);
+            if let Some(timings) = &resp.stage_timings {
+                for (stage, secs) in timings.iter() {
+                    if secs > 0.0 {
+                        event = event.f64(&format!("{}_s", stage.label()), secs);
+                    }
+                }
+            }
+            println!("{}", event.to_jsonl());
+
+            // Feed the calibration monitor with the same pair the event
+            // carries, so the final snapshot grades these predictions.
+            let dist = resp.prediction.distribution();
+            let pit = dist.cdf(observed_ms);
+            monitor.record(&Observation {
+                shape: spec.name.clone(),
+                observed_ms,
+                pit,
+                in50: (pit - 0.5).abs() <= 0.25,
+                in90: (pit - 0.5).abs() <= 0.45,
+                in99: (pit - 0.5).abs() <= 0.495,
+                predicted_violation: deadline_ms.map(|d| 1.0 - dist.cdf(d)),
+                violated: deadline_ms.map(|d| observed_ms > d),
+            });
+            id += 1;
+        }
+    }
+
+    monitor.export_gauges(service.registry());
+    let snap = service.telemetry();
+    println!();
+    println!("# ---- Prometheus text exposition ----");
+    print!("{}", snap.to_prometheus());
+    println!();
+    println!("# ---- JSON dump ----");
+    println!("{}", snap.to_json());
+
+    service.shutdown();
+}

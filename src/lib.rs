@@ -34,6 +34,7 @@
 //! | [`workloads`] | MICRO / SELJOIN / TPCH benchmarks |
 //! | [`experiments`] | experiment matrix, metrics, paper table/figure renderers |
 //! | [`service`] | concurrent prediction service: worker pool, plan-shape fit cache, deadline-aware admission |
+//! | [`telemetry`] | metrics registry, request spans, calibration monitor, JSONL events |
 //!
 //! ## Quickstart
 //!
@@ -74,6 +75,7 @@ pub use uaq_selest as selest;
 pub use uaq_service as service;
 pub use uaq_stats as stats;
 pub use uaq_storage as storage;
+pub use uaq_telemetry as telemetry;
 pub use uaq_workloads as workloads;
 
 /// The most common imports in one place.

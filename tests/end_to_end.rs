@@ -120,8 +120,9 @@ fn sampling_overhead_is_small() {
         let t0 = std::time::Instant::now();
         let _ = execute_full(&plan, &catalog);
         total_full += t0.elapsed().as_secs_f64();
-        let prediction = predictor.predict(&plan, &catalog, &samples);
-        total_sample += prediction.sample_pass_seconds;
+        let span = uaq::telemetry::span::SpanRecorder::begin();
+        let _ = predictor.predict(&plan, &catalog, &samples);
+        total_sample += span.finish().get(uaq::telemetry::span::Stage::SamplePass);
     }
     let overhead = total_sample / total_full;
     assert!(overhead < 0.6, "relative sampling overhead {overhead}");

@@ -22,7 +22,7 @@ use uaq_datagen::GenConfig;
 use uaq_engine::{plan_query, JoinStep, Plan, Pred, QuerySpec, TableRef};
 use uaq_service::{
     PredictRequest, PredictionService, RetryPolicy, ServiceConfig, SharedFitCache,
-    SharedSelEstCache,
+    SharedSelEstCache, TenantId,
 };
 use uaq_stats::Rng;
 use uaq_storage::{Catalog, SampleCatalog, Value};
@@ -167,6 +167,7 @@ fn bench_throughput(c: &mut Criterion) {
                             id: i as u64,
                             plan: Arc::clone(plan),
                             deadline_ms: Some(100.0),
+                            tenant: TenantId::default(),
                         })
                     })
                     .collect();
@@ -237,6 +238,7 @@ fn bench_retry(c: &mut Criterion) {
                             id: i as u64,
                             plan: Arc::clone(plan),
                             deadline_ms: Some(deadline),
+                            tenant: TenantId::default(),
                         })
                     })
                     .collect();
@@ -252,5 +254,83 @@ fn bench_retry(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_throughput, bench_retry);
+/// PR 8 shard scaling: a warm 256-request batch submitted by 4 client
+/// threads against the fully sharded configuration (per-worker queue
+/// shards, sharded caches, snapshot-served warm path), per worker count.
+/// Both cache levels are pre-warmed, so every serve takes the
+/// no-contended-locks warm path — the configuration whose throughput the
+/// sharding work is supposed to move.
+fn bench_shard_scaling(c: &mut Criterion) {
+    let s = setup();
+    let mut group = c.benchmark_group("service");
+    group
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(15);
+    let clients = 4usize;
+    let per_client = 64usize;
+    for workers in [1usize, 2, 4] {
+        let service = Arc::new(PredictionService::start(
+            s.predictor.clone(),
+            Arc::clone(&s.catalog),
+            Arc::clone(&s.samples),
+            ServiceConfig {
+                workers,
+                queue_shards: 0, // per-worker shards
+                ..Default::default()
+            },
+        ));
+        // Pre-warm both cache levels for both shapes.
+        for plan in [&s.scan, &s.join3] {
+            service.predict_blocking(Arc::clone(plan), None);
+            service.predict_blocking(Arc::clone(plan), None);
+        }
+        group.bench_function(BenchmarkId::new("pr8_shard_scaling", workers), |b| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|client| {
+                        let service = Arc::clone(&service);
+                        let scan = Arc::clone(&s.scan);
+                        let join3 = Arc::clone(&s.join3);
+                        std::thread::spawn(move || {
+                            let receivers: Vec<_> = (0..per_client)
+                                .map(|i| {
+                                    let plan = if i % 2 == 0 { &scan } else { &join3 };
+                                    service.submit(PredictRequest {
+                                        id: (client * per_client + i) as u64,
+                                        plan: Arc::clone(plan),
+                                        deadline_ms: Some(100.0),
+                                        tenant: TenantId::default(),
+                                    })
+                                })
+                                .collect();
+                            let mut served = 0usize;
+                            for rx in receivers {
+                                rx.recv().expect("response");
+                                served += 1;
+                            }
+                            served
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .sum::<usize>()
+            })
+        });
+        if let Ok(service) = Arc::try_unwrap(service) {
+            service.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_throughput,
+    bench_retry,
+    bench_shard_scaling
+);
 criterion_main!(benches);

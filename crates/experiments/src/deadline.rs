@@ -33,6 +33,7 @@ use uaq_datagen::DbPreset;
 use uaq_engine::{execute_full, plan_query, NodeTrace, Plan};
 use uaq_service::{
     AdmissionPolicy, CacheStats, Decision, PredictRequest, PredictionService, ServiceConfig,
+    TenantId,
 };
 use uaq_stats::Rng;
 use uaq_telemetry::{CalibrationMonitor, Observation, ShapeCalibration};
@@ -181,7 +182,10 @@ pub struct DeadlineReport {
     pub calibration: Vec<ShapeCalibration>,
 }
 
-fn fmt_rate(rate: f64) -> String {
+/// Renders a zero-to-one rate for the report tables: `NaN` (the unified
+/// "zero denominator, no data" convention shared by `violation_rate`,
+/// `fit_hit_rate`, and `sel_hit_rate`) prints as `n/a`, never as `NaN%`.
+pub(crate) fn fmt_rate(rate: f64) -> String {
     if rate.is_nan() {
         "n/a".to_owned()
     } else {
@@ -207,19 +211,19 @@ impl DeadlineReport {
         );
         let _ = writeln!(
             out,
-            "fit cache: {} fit hits / {} misses ({:.0}% warm), {} context hits, {} shapes",
+            "fit cache: {} fit hits / {} misses ({} warm), {} context hits, {} shapes",
             self.cache.fit_hits,
             self.cache.fit_misses,
-            100.0 * self.cache.fit_hit_rate(),
+            fmt_rate(self.cache.fit_hit_rate()),
             self.cache.context_hits,
             self.cache.shapes
         );
         let _ = writeln!(
             out,
-            "sel-est cache: {} hits / {} misses ({:.0}% sample passes skipped), {} instances",
+            "sel-est cache: {} hits / {} misses ({} sample passes skipped), {} instances",
             self.cache.sel_hits,
             self.cache.sel_misses,
-            100.0 * self.cache.sel_hit_rate(),
+            fmt_rate(self.cache.sel_hit_rate()),
             self.cache.sel_entries
         );
         let _ = writeln!(
@@ -339,6 +343,7 @@ fn request(id: u64, q: &PooledQuery) -> PredictRequest {
         id,
         plan: Arc::clone(&q.plan),
         deadline_ms: None,
+        tenant: TenantId::default(),
     }
 }
 

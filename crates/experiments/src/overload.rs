@@ -29,10 +29,11 @@
 //! deadline scenario) replayed verbatim under every row.
 
 use crate::deadline::{
-    calibrate_stream, generate_arrivals, percentile, prepare, Arrival, DeadlineConfig, PooledQuery,
+    calibrate_stream, fmt_rate, generate_arrivals, percentile, prepare, Arrival, DeadlineConfig,
+    PooledQuery,
 };
 use crate::sim::{simulate_shedding, Consult, JobFate, RetryConfig, ShedConfig, ShedOrder, SimJob};
-use uaq_service::{shed_priority, AdmissionPolicy, Decision};
+use uaq_service::{shed_priority, weighted_shed_priority, AdmissionPolicy, Decision};
 use uaq_telemetry::ShapeCalibration;
 
 /// Scenario knobs: the deadline scenario's workload machinery pushed past
@@ -74,6 +75,10 @@ pub struct OverloadOutcome {
     pub violations: usize,
     pub p50_sojourn_ms: f64,
     pub p95_sojourn_ms: f64,
+    /// Per-tenant shed counts (tenant id → sheds) for the weighted-fair
+    /// rows; empty when the row runs without tenant classes. Invariant:
+    /// the counts sum to `shed`.
+    pub shed_by_tenant: Vec<(u32, usize)>,
 }
 
 impl OverloadOutcome {
@@ -129,11 +134,6 @@ impl OverloadReport {
             "p95 ms"
         );
         for o in &self.outcomes {
-            let rate = if o.violation_rate().is_nan() {
-                "n/a".to_owned()
-            } else {
-                format!("{:.1}%", 100.0 * o.violation_rate())
-            };
             let _ = writeln!(
                 out,
                 "{:<34} {:>6} {:>5} {:>7} {:>5} {:>9} {:>9.1} {:>9.1}",
@@ -142,10 +142,13 @@ impl OverloadReport {
                 o.shed,
                 o.rejected,
                 o.violations,
-                rate,
+                fmt_rate(o.violation_rate()),
                 o.p50_sojourn_ms,
                 o.p95_sojourn_ms,
             );
+            for (tenant, shed) in &o.shed_by_tenant {
+                let _ = writeln!(out, "{:<34} tenant {tenant}: {shed} shed", "");
+            }
         }
         if !self.calibration.is_empty() {
             let _ = writeln!(
@@ -159,6 +162,8 @@ impl OverloadReport {
 }
 
 /// Replays the stream under one (admission policy, shed config) pair.
+/// `tenants`, when present, maps each arrival to its tenant id so the
+/// outcome carries the per-tenant shed breakdown.
 #[allow(clippy::too_many_arguments)]
 fn replay(
     label: &str,
@@ -169,6 +174,7 @@ fn replay(
     priority: &[f64],
     servers: usize,
     retry: RetryConfig,
+    tenants: Option<&[u32]>,
 ) -> OverloadOutcome {
     let jobs: Vec<SimJob> = arrivals
         .iter()
@@ -209,9 +215,11 @@ fn replay(
         violations: 0,
         p50_sojourn_ms: f64::NAN,
         p95_sojourn_ms: f64::NAN,
+        shed_by_tenant: Vec::new(),
     };
     let mut sojourns = Vec::new();
-    for fate in &result.fates {
+    let mut shed_by_tenant = std::collections::BTreeMap::new();
+    for (i, fate) in result.fates.iter().enumerate() {
         match *fate {
             JobFate::Admitted {
                 sojourn_ms,
@@ -225,9 +233,15 @@ fn replay(
                 }
             }
             JobFate::Rejected { .. } | JobFate::Dropped => outcome.rejected += 1,
-            JobFate::Shed => outcome.shed += 1,
+            JobFate::Shed => {
+                outcome.shed += 1;
+                if let Some(tenants) = tenants {
+                    *shed_by_tenant.entry(tenants[i]).or_insert(0usize) += 1;
+                }
+            }
         }
     }
+    outcome.shed_by_tenant = shed_by_tenant.into_iter().collect();
     sojourns.sort_by(|a, b| a.total_cmp(b));
     outcome.p50_sojourn_ms = percentile(&sojourns, 0.50);
     outcome.p95_sojourn_ms = percentile(&sojourns, 0.95);
@@ -252,38 +266,90 @@ pub fn run_overload_scenario(config: &OverloadConfig) -> OverloadReport {
         })
         .collect();
 
+    // Weighted-fair variant: every third arrival belongs to a quarter-
+    // weight tenant class (a best-effort contract tier); its weighted
+    // priority is 4× the anonymous tenant's at equal uncertainty, so the
+    // shed pain concentrates there by design.
+    let tenants: Vec<u32> = (0..arrivals.len() as u32)
+        .map(|i| u32::from(i % 3 == 0))
+        .collect();
+    const LIGHT_WEIGHT: f64 = 0.25;
+    let weighted: Vec<f64> = arrivals
+        .iter()
+        .zip(&tenants)
+        .map(|(a, &tenant)| {
+            let prediction = prepared.pool[a.query]
+                .prediction
+                .as_ref()
+                .expect("arrived ⇒ predicted");
+            let weight = if tenant == 1 { LIGHT_WEIGHT } else { 1.0 };
+            weighted_shed_priority(prediction, weight)
+        })
+        .collect();
+
     let theta_label = format!("uncertainty (θ={})", config.base.theta);
     let theta = AdmissionPolicy::uncertainty_aware(config.base.theta);
     let fifo = ShedConfig::bounded(config.queue_capacity, ShedOrder::Tail);
     let variance = ShedConfig::bounded(config.queue_capacity, ShedOrder::HighestPriority);
-    let rows: Vec<(String, Option<AdmissionPolicy>, ShedConfig)> = vec![
+    type Row<'a> = (
+        String,
+        Option<AdmissionPolicy>,
+        ShedConfig,
+        &'a [f64],
+        Option<&'a [u32]>,
+    );
+    let rows: Vec<Row> = vec![
         (
             "admit-all / unbounded".into(),
             None,
             ShedConfig::unbounded(),
+            &priority[..],
+            None,
         ),
-        ("admit-all / fifo-shed".into(), None, fifo),
-        ("admit-all / variance-shed".into(), None, variance),
-        (format!("{theta_label} / fifo-shed"), Some(theta), fifo),
+        ("admit-all / fifo-shed".into(), None, fifo, &priority, None),
+        (
+            "admit-all / variance-shed".into(),
+            None,
+            variance,
+            &priority,
+            None,
+        ),
+        (
+            "admit-all / weighted-variance-shed".into(),
+            None,
+            variance,
+            &weighted,
+            Some(&tenants),
+        ),
+        (
+            format!("{theta_label} / fifo-shed"),
+            Some(theta),
+            fifo,
+            &priority,
+            None,
+        ),
         (
             format!("{theta_label} / variance-shed"),
             Some(theta),
             variance,
+            &priority,
+            None,
         ),
     ];
 
     let outcomes = rows
         .into_iter()
-        .map(|(label, policy, shed)| {
+        .map(|(label, policy, shed, priority, tenants)| {
             replay(
                 &label,
                 policy,
                 shed,
                 &arrivals,
                 &prepared.pool,
-                &priority,
+                priority,
                 config.base.servers,
                 config.base.retry,
+                tenants,
             )
         })
         .collect();
@@ -377,6 +443,37 @@ mod tests {
         for o in [fifo, var] {
             assert_eq!(o.admitted + o.shed + o.rejected, report.arrivals);
         }
+    }
+
+    #[test]
+    fn weighted_shedding_concentrates_pain_on_the_light_tenant() {
+        let report = run_overload_scenario(&small_config());
+        let weighted = report
+            .outcome("admit-all / weighted-variance-shed")
+            .expect("row");
+        assert!(weighted.shed > 0, "overload must shed: {weighted:?}");
+        let total: usize = weighted.shed_by_tenant.iter().map(|&(_, n)| n).sum();
+        assert_eq!(
+            total, weighted.shed,
+            "per-tenant sheds must sum to the total: {weighted:?}"
+        );
+        // The quarter-weight tenant sends a third of the traffic but its
+        // 4× weighted priority draws a disproportionate shed share.
+        let light = weighted
+            .shed_by_tenant
+            .iter()
+            .find(|&&(t, _)| t == 1)
+            .map(|&(_, n)| n)
+            .unwrap_or(0);
+        assert!(
+            (light as f64) / (total as f64) > 1.0 / 3.0,
+            "light tenant must absorb more than its traffic share: \
+             {light}/{total} sheds ({:?})",
+            weighted.shed_by_tenant
+        );
+        // The unweighted rows carry no tenant breakdown.
+        let plain = report.outcome("admit-all / variance-shed").expect("row");
+        assert!(plain.shed_by_tenant.is_empty());
     }
 
     #[test]

@@ -147,6 +147,59 @@ impl Default for AdmissionPolicy {
     }
 }
 
+/// A tenant (workload class) identifier carried on every request.
+/// `TenantId::default()` (tenant 0) is the anonymous tenant: requests
+/// that never opted into a class get the service-wide defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// Label value used for per-tenant telemetry series.
+    pub fn label(&self) -> String {
+        self.0.to_string()
+    }
+}
+
+/// Per-tenant serving class: an optional θ-admission override, an
+/// optional default deadline applied when a request carries none, and a
+/// weighted-fair shed share. The cloud scenario from the paper's lineage
+/// (per-tenant slot-time SLOs under shared capacity): one θ per contract
+/// tier, and overload pain distributed by weight instead of uniformly.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantClass {
+    /// Admission policy override; `None` uses the service-wide policy.
+    pub policy: Option<AdmissionPolicy>,
+    /// Deadline applied to the tenant's requests that carry none.
+    pub default_deadline_ms: Option<f64>,
+    /// Weighted-fair shed share. Under overload a request's effective
+    /// shed priority is `shed_priority / weight`, so a tenant with
+    /// weight 2 takes half the shedding pressure of a weight-1 tenant at
+    /// equal predicted uncertainty. Non-positive or NaN weights are
+    /// treated as 1.0.
+    pub shed_weight: f64,
+}
+
+impl Default for TenantClass {
+    fn default() -> Self {
+        Self {
+            policy: None,
+            default_deadline_ms: None,
+            shed_weight: 1.0,
+        }
+    }
+}
+
+impl TenantClass {
+    /// The shed weight with degenerate values normalized away.
+    pub fn effective_weight(&self) -> f64 {
+        if self.shed_weight.is_finite() && self.shed_weight > 0.0 {
+            self.shed_weight
+        } else {
+            1.0
+        }
+    }
+}
+
 /// Shed priority of a queued request: its predicted *relative* variance
 /// (coefficient of variation, `σ/μ`). Under overload the shedder drops
 /// the highest-priority items first — the paper's uncertainty estimate
@@ -162,6 +215,21 @@ pub fn shed_priority(prediction: &Prediction) -> f64 {
         return f64::INFINITY;
     }
     prediction.std_dev_ms() / mean
+}
+
+/// [`shed_priority`] scaled by a tenant's weighted-fair share: a heavier
+/// weight divides the priority, sheltering that tenant's requests under
+/// overload at equal predicted uncertainty. Infinite priorities stay
+/// infinite — a request with no real prediction is the first to shed
+/// regardless of tenant weight. Degenerate weights (non-positive, NaN,
+/// infinite) fall back to 1.0.
+pub fn weighted_shed_priority(prediction: &Prediction, weight: f64) -> f64 {
+    let w = if weight.is_finite() && weight > 0.0 {
+        weight
+    } else {
+        1.0
+    };
+    shed_priority(prediction) / w
 }
 
 #[cfg(test)]
@@ -287,6 +355,28 @@ mod tests {
             shed_priority(&Prediction::degraded(0.0, 0.0)),
             f64::INFINITY
         );
+    }
+
+    #[test]
+    fn tenant_weights_scale_shed_priority_but_not_infinity() {
+        let p = prediction();
+        let base = shed_priority(&p);
+        assert!((weighted_shed_priority(&p, 2.0) - base / 2.0).abs() < 1e-15);
+        assert_eq!(weighted_shed_priority(&p, 1.0), base);
+        // Degenerate weights normalize to 1.0.
+        for w in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(weighted_shed_priority(&p, w), base, "weight {w}");
+        }
+        // A no-evidence prediction sheds first for every tenant.
+        let hopeless = Prediction::degraded(0.0, 0.0);
+        assert_eq!(weighted_shed_priority(&hopeless, 100.0), f64::INFINITY);
+        // TenantClass mirrors the same normalization.
+        let class = TenantClass {
+            shed_weight: -1.0,
+            ..TenantClass::default()
+        };
+        assert_eq!(class.effective_weight(), 1.0);
+        assert_eq!(TenantClass::default().effective_weight(), 1.0);
     }
 
     #[test]

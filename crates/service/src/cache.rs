@@ -24,7 +24,7 @@
 //! plain [`EvictionPolicy::Lru`] would sacrifice.
 
 use crate::fault::{Fault, FaultInjector, FaultSite};
-use crate::sync::lock_recover_with;
+use crate::sync::{lock_recover_with, Published};
 use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
@@ -138,6 +138,22 @@ impl<K: Hash + Eq + Clone, V> EvictingMap<K, V> {
             self.stamp(owned);
         }
         self.map.get_mut(key).map(|slot| &mut slot.value)
+    }
+
+    /// Looks an entry up without recording a touch or needing `&mut` —
+    /// the snapshot builder reads entries through this without disturbing
+    /// recency.
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.map.get(key).map(|slot| &slot.value)
+    }
+
+    /// Iterates entries in arbitrary order, touching nothing.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, slot)| (k, &slot.value))
     }
 
     /// Looks an entry up **without** recording a touch. For fill paths
@@ -332,21 +348,26 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Fraction of fit lookups that skipped the grid fits.
+    /// Fraction of fit lookups that skipped the grid fits. NaN when no
+    /// probe has happened — the same zero-denominator convention as the
+    /// experiment crate's `violation_rate` ("no data" is not "0%"); render
+    /// with a NaN-aware formatter (`n/a`), and clamp before exporting to
+    /// a gauge so NaN never reaches the Prometheus text path.
     pub fn fit_hit_rate(&self) -> f64 {
         let total = self.fit_hits + self.fit_misses;
         if total == 0 {
-            0.0
+            f64::NAN
         } else {
             self.fit_hits as f64 / total as f64
         }
     }
 
-    /// Fraction of estimate lookups that skipped the sample pass.
+    /// Fraction of estimate lookups that skipped the sample pass. NaN on
+    /// zero probes; see [`Self::fit_hit_rate`].
     pub fn sel_hit_rate(&self) -> f64 {
         let total = self.sel_hits + self.sel_misses;
         if total == 0 {
-            0.0
+            f64::NAN
         } else {
             self.sel_hits as f64 / total as f64
         }
@@ -371,6 +392,11 @@ pub struct CacheConfig {
     pub max_sel_entries: usize,
     /// Eviction policy applied to every bounded level.
     pub eviction: EvictionPolicy,
+    /// Requested shard count for both shared caches. The effective count
+    /// is clamped so every shard keeps at least [`MIN_KEYS_PER_SHARD`]
+    /// slots (tiny caches collapse to one shard and behave exactly like
+    /// the unsharded PR 7 code, eviction order included).
+    pub shards: usize,
 }
 
 impl Default for CacheConfig {
@@ -380,25 +406,117 @@ impl Default for CacheConfig {
             max_fits_per_shape: 64,
             max_sel_entries: 16384,
             eviction: EvictionPolicy::default(),
+            shards: DEFAULT_SHARDS,
         }
     }
 }
 
-/// Thread-safe fit cache. Safe to share across catalogs and predictor
-/// configs: the predictor keys entries on (plan shape, catalog
-/// fingerprint) and fits additionally on everything they depend on.
+/// Default requested shard count for the shared caches.
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// Sharding is only worth its per-shard eviction state when shards stay
+/// reasonably full; below this many slots per shard the cache collapses
+/// toward one shard.
+const MIN_KEYS_PER_SHARD: usize = 64;
+
+/// Locked hits accumulated in a shard before its warm snapshot is
+/// republished. The first hit after an empty snapshot publishes
+/// immediately so a newly warm key reaches the lock-free path at once.
+const PUBLISH_BATCH: usize = 4;
+
+/// Shard count actually used for a cache of `capacity` total slots.
+fn effective_shards(requested: usize, capacity: usize) -> usize {
+    requested.max(1).min((capacity / MIN_KEYS_PER_SHARD).max(1))
+}
+
+/// FNV-1a over the key bytes — the shard router. Stable across platforms
+/// and process runs (unlike `RandomState`), so a key's shard is a pure
+/// function of the key and the shard count; the golden differential tests
+/// lean on that.
+fn shard_of(key: &str, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// Read-only copy of one shape's cached state, owned by a warm snapshot.
+#[derive(Default)]
+struct ShapeSnap {
+    contexts: Option<Arc<Vec<NodeCostContext>>>,
+    fits: HashMap<FitSignature, Arc<NodeFits>>,
+}
+
+/// An immutable published view of a fit shard's hot entries. Readers get
+/// it via [`Published::load`] — a refcount bump, never the shard's map
+/// lock — so a warm predict takes zero contended locks.
+#[derive(Default)]
+struct FitSnapshot {
+    shapes: HashMap<String, ShapeSnap>,
+}
+
+/// One fit-cache shard: the mutable map behind its own mutex, plus the
+/// lock-free-read warm snapshot. Lock order is map before snapshot slot;
+/// snapshot loads take only the slot.
+struct FitShard {
+    map: Mutex<FitShardInner>,
+    warm: Published<FitSnapshot>,
+}
+
+struct FitShardInner {
+    map: EvictingMap<String, ShapeEntry>,
+    /// Shapes that took a locked hit since the last publish — the
+    /// candidates to add to the next snapshot.
+    pending: Vec<String>,
+    /// Shape count of the currently published snapshot (0 after clear or
+    /// poison recovery, which is what forces an eager republish).
+    snapshot_len: usize,
+}
+
+impl FitShardInner {
+    fn invalidate(&mut self) {
+        self.map.clear();
+        self.pending.clear();
+        self.snapshot_len = 0;
+    }
+}
+
+/// Thread-safe fit cache, sharded by FNV-1a of the shape signature. Safe
+/// to share across catalogs and predictor configs: the predictor keys
+/// entries on (plan shape, catalog fingerprint) and fits additionally on
+/// everything they depend on.
+///
+/// Each shard evicts independently (a hot shard can evict while a cold
+/// one has room — the price of independent locks), and each publishes a
+/// read-only snapshot of its hot entries so warm lookups bypass the map
+/// lock entirely. Snapshots lag the map by design; bit-transparency means
+/// a stale snapshot can only miss or serve the exact value a fresh
+/// computation would produce, never a wrong one.
 pub struct SharedFitCache {
     config: CacheConfig,
-    map: Mutex<EvictingMap<String, ShapeEntry>>,
+    shards: Vec<FitShard>,
     counters: Counters,
     injector: Option<Arc<dyn FaultInjector>>,
 }
 
 impl SharedFitCache {
     pub fn new(config: CacheConfig) -> Self {
+        let n = effective_shards(config.shards, config.max_shapes);
+        let per_shard = config.max_shapes.div_ceil(n);
         Self {
             config,
-            map: Mutex::new(EvictingMap::new(config.max_shapes, config.eviction)),
+            shards: (0..n)
+                .map(|_| FitShard {
+                    map: Mutex::new(FitShardInner {
+                        map: EvictingMap::new(per_shard, config.eviction),
+                        pending: Vec::new(),
+                        snapshot_len: 0,
+                    }),
+                    warm: Published::new(FitSnapshot::default()),
+                })
+                .collect(),
             counters: Counters::default(),
             injector: None,
         }
@@ -423,11 +541,32 @@ impl SharedFitCache {
         self
     }
 
-    /// Locks the map, recovering from poison by invalidating the whole
-    /// cache: the panicking holder may have died mid-update, and
-    /// bit-transparency makes drop-and-recompute always correct.
-    fn lock_map(&self) -> MutexGuard<'_, EvictingMap<String, ShapeEntry>> {
-        lock_recover_with(&self.map, &self.counters.poison_recoveries, |m| m.clear())
+    /// The shard owning `shape`.
+    fn shard(&self, shape: &str) -> &FitShard {
+        &self.shards[shard_of(shape, self.shards.len())]
+    }
+
+    /// Locks one shard's map, recovering from poison by invalidating that
+    /// shard (map, pending, and published snapshot): the panicking holder
+    /// may have died mid-update, and bit-transparency makes
+    /// drop-and-recompute always correct.
+    fn lock_shard<'a>(&'a self, shard: &'a FitShard) -> MutexGuard<'a, FitShardInner> {
+        lock_recover_with(&shard.map, &self.counters.poison_recoveries, |inner| {
+            inner.invalidate();
+            shard.warm.store(Arc::new(FitSnapshot::default()));
+        })
+    }
+
+    /// Test-only seam: locks the shard owning `shape` (the poison tests
+    /// hold this guard across a panic).
+    #[cfg(test)]
+    fn lock_map_for(&self, shape: &str) -> MutexGuard<'_, FitShardInner> {
+        self.lock_shard(self.shard(shape))
+    }
+
+    /// Exposed for the service/tests: how many shards this cache runs.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
     fn probe_fault(&self) -> Option<Fault> {
@@ -436,23 +575,79 @@ impl SharedFitCache {
             .and_then(|i| i.inject(FaultSite::FitCacheProbe, usize::MAX))
     }
 
+    /// Records a locked hit on `shape` and republishes the shard's warm
+    /// snapshot when enough hits accumulated (or eagerly while the
+    /// snapshot is empty). Skipped entirely when a fault injector is
+    /// wired in: the chaos schedules predate snapshots and their replay
+    /// determinism depends on every probe taking the locked path.
+    fn note_warm_hit(&self, shard: &FitShard, inner: &mut FitShardInner, shape: &str) {
+        if self.injector.is_some() {
+            return;
+        }
+        if !inner.pending.iter().any(|p| p == shape) {
+            inner.pending.push(shape.to_owned());
+        }
+        if inner.pending.len() >= PUBLISH_BATCH || inner.snapshot_len == 0 {
+            self.publish_locked(shard, inner);
+        }
+    }
+
+    /// Rebuilds and swaps in the shard's snapshot: previous snapshot keys
+    /// plus pending hits, filtered to what the map still holds (so the
+    /// snapshot size is bounded by the shard capacity).
+    fn publish_locked(&self, shard: &FitShard, inner: &mut FitShardInner) {
+        let prev = shard.warm.load();
+        let mut shapes: HashMap<String, ShapeSnap> = HashMap::new();
+        for key in prev.shapes.keys().chain(inner.pending.iter()) {
+            if shapes.contains_key(key) {
+                continue;
+            }
+            if let Some(entry) = inner.map.peek(key) {
+                shapes.insert(
+                    key.clone(),
+                    ShapeSnap {
+                        contexts: entry.contexts.clone(),
+                        fits: entry
+                            .fits
+                            .iter()
+                            .map(|(s, f)| (s.clone(), Arc::clone(f)))
+                            .collect(),
+                    },
+                );
+            }
+        }
+        inner.pending.clear();
+        inner.snapshot_len = shapes.len();
+        shard.warm.store(Arc::new(FitSnapshot { shapes }));
+    }
+
     pub fn stats(&self) -> CacheStats {
-        let map = self.lock_map();
+        let (mut shapes, mut evictions) = (0, 0);
+        for shard in &self.shards {
+            let inner = self.lock_shard(shard);
+            shapes += inner.map.len();
+            evictions += inner.map.evictions();
+        }
         CacheStats {
             context_hits: self.counters.context_hits.get(),
             context_misses: self.counters.context_misses.get(),
             fit_hits: self.counters.fit_hits.get(),
             fit_misses: self.counters.fit_misses.get(),
-            shapes: map.len(),
-            shape_evictions: map.evictions(),
+            shapes,
+            shape_evictions: evictions,
             poison_recoveries: self.counters.poison_recoveries.get(),
             ..CacheStats::default()
         }
     }
 
-    /// Drops every entry (counters are retained).
+    /// Drops every entry and every published snapshot (counters are
+    /// retained).
     pub fn clear(&self) {
-        self.lock_map().clear();
+        for shard in &self.shards {
+            let mut inner = self.lock_shard(shard);
+            inner.invalidate();
+            shard.warm.store(Arc::new(FitSnapshot::default()));
+        }
     }
 
     fn empty_entry(&self) -> ShapeEntry {
@@ -471,11 +666,27 @@ impl Default for SharedFitCache {
 
 impl FitCache for SharedFitCache {
     fn get_contexts(&self, shape: &str) -> Option<Arc<Vec<NodeCostContext>>> {
-        let mut map = self.lock_map();
+        let shard = self.shard(shape);
+        // Warm path: the published snapshot, no map lock. Disabled under
+        // a fault injector so chaos replays keep their locked-path
+        // schedules.
+        if self.injector.is_none() {
+            if let Some(ctxs) = shard
+                .warm
+                .load()
+                .shapes
+                .get(shape)
+                .and_then(|s| s.contexts.clone())
+            {
+                self.counters.context_hits.inc();
+                return Some(ctxs);
+            }
+        }
+        let mut inner = self.lock_shard(shard);
         let forced_miss = match self.probe_fault() {
             Some(Fault::ProbeMiss) => true,
-            // A `Panic` fires while `map`'s guard is held, poisoning the
-            // lock — the scenario `lock_map` recovery exists for.
+            // A `Panic` fires while the guard is held, poisoning the
+            // lock — the scenario `lock_shard` recovery exists for.
             Some(f) => {
                 crate::fault::apply(f, FaultSite::FitCacheProbe);
                 false
@@ -485,9 +696,12 @@ impl FitCache for SharedFitCache {
         let hit = if forced_miss {
             None
         } else {
-            map.get(shape).and_then(|e| e.contexts.clone())
+            inner.map.get(shape).and_then(|e| e.contexts.clone())
         };
-        drop(map);
+        if hit.is_some() {
+            self.note_warm_hit(shard, &mut inner, shape);
+        }
+        drop(inner);
         match &hit {
             Some(_) => self.counters.context_hits.inc(),
             None => self.counters.context_misses.inc(),
@@ -496,18 +710,32 @@ impl FitCache for SharedFitCache {
     }
 
     fn put_contexts(&self, shape: &str, contexts: &Arc<Vec<NodeCostContext>>) {
-        let mut map = self.lock_map();
-        if let Some(entry) = map.peek_mut(shape) {
+        let shard = self.shard(shape);
+        let mut inner = self.lock_shard(shard);
+        if let Some(entry) = inner.map.peek_mut(shape) {
             entry.contexts.get_or_insert_with(|| Arc::clone(contexts));
         } else {
             let mut entry = self.empty_entry();
             entry.contexts = Some(Arc::clone(contexts));
-            map.try_insert(shape.to_owned(), entry);
+            inner.map.try_insert(shape.to_owned(), entry);
         }
     }
 
     fn get_fits(&self, shape: &str, sig: &FitSignature) -> Option<Arc<NodeFits>> {
-        let mut map = self.lock_map();
+        let shard = self.shard(shape);
+        if self.injector.is_none() {
+            if let Some(fits) = shard
+                .warm
+                .load()
+                .shapes
+                .get(shape)
+                .and_then(|s| s.fits.get(sig).cloned())
+            {
+                self.counters.fit_hits.inc();
+                return Some(fits);
+            }
+        }
+        let mut inner = self.lock_shard(shard);
         let forced_miss = match self.probe_fault() {
             Some(Fault::ProbeMiss) => true,
             Some(f) => {
@@ -519,10 +747,15 @@ impl FitCache for SharedFitCache {
         let hit = if forced_miss {
             None
         } else {
-            map.get(shape)
+            inner
+                .map
+                .get(shape)
                 .and_then(|e| e.fits.get(sig).map(|f| Arc::clone(f)))
         };
-        drop(map);
+        if hit.is_some() {
+            self.note_warm_hit(shard, &mut inner, shape);
+        }
+        drop(inner);
         match &hit {
             Some(_) => self.counters.fit_hits.inc(),
             None => self.counters.fit_misses.inc(),
@@ -531,11 +764,13 @@ impl FitCache for SharedFitCache {
     }
 
     fn put_fits(&self, shape: &str, sig: &FitSignature, fits: &Arc<NodeFits>) {
-        let mut map = self.lock_map();
-        if !map.contains(shape) && !map.try_insert(shape.to_owned(), self.empty_entry()) {
+        let shard = self.shard(shape);
+        let mut inner = self.lock_shard(shard);
+        if !inner.map.contains(shape) && !inner.map.try_insert(shape.to_owned(), self.empty_entry())
+        {
             return;
         }
-        if let Some(entry) = map.peek_mut(shape) {
+        if let Some(entry) = inner.map.peek_mut(shape) {
             if !entry.fits.contains(sig) {
                 entry.fits.try_insert(sig.clone(), Arc::clone(fits));
             }
@@ -554,13 +789,37 @@ pub struct SelCacheStats {
     pub poison_recoveries: u64,
 }
 
+/// One sel-cache shard; mirrors [`FitShard`].
+struct SelShard {
+    map: Mutex<SelShardInner>,
+    warm: Published<HashMap<String, SelEstimates>>,
+}
+
+struct SelShardInner {
+    map: EvictingMap<String, SelEstimates>,
+    pending: Vec<String>,
+    snapshot_len: usize,
+}
+
+impl SelShardInner {
+    fn invalidate(&mut self) {
+        self.map.clear();
+        self.pending.clear();
+        self.snapshot_len = 0;
+    }
+}
+
 /// Thread-safe selectivity-estimate cache: fully qualified instance key →
 /// [`SelEstimates`]. The key already encodes shape, catalog fingerprint,
 /// literal key, sample fingerprint, and the aggregate-cardinality source
 /// (built by `Predictor::predict_with_caches`), so one instance is safe to
 /// share across catalogs, sample sets, and predictor configs.
+///
+/// Sharded by FNV-1a of the instance key, with a per-shard published
+/// snapshot serving warm reads without the map lock — the same layout and
+/// caveats as [`SharedFitCache`].
 pub struct SharedSelEstCache {
-    map: Mutex<EvictingMap<String, SelEstimates>>,
+    shards: Vec<SelShard>,
     hits: Counter,
     misses: Counter,
     poison_recoveries: Counter,
@@ -569,8 +828,25 @@ pub struct SharedSelEstCache {
 
 impl SharedSelEstCache {
     pub fn new(max_entries: usize, eviction: EvictionPolicy) -> Self {
+        Self::sharded(max_entries, eviction, DEFAULT_SHARDS)
+    }
+
+    /// Builds the cache with an explicit requested shard count (clamped
+    /// exactly like [`SharedFitCache`]); `new` uses [`DEFAULT_SHARDS`].
+    pub fn sharded(max_entries: usize, eviction: EvictionPolicy, shards: usize) -> Self {
+        let n = effective_shards(shards, max_entries);
+        let per_shard = max_entries.div_ceil(n);
         Self {
-            map: Mutex::new(EvictingMap::new(max_entries, eviction)),
+            shards: (0..n)
+                .map(|_| SelShard {
+                    map: Mutex::new(SelShardInner {
+                        map: EvictingMap::new(per_shard, eviction),
+                        pending: Vec::new(),
+                        snapshot_len: 0,
+                    }),
+                    warm: Published::new(HashMap::new()),
+                })
+                .collect(),
             hits: Counter::detached(),
             misses: Counter::detached(),
             poison_recoveries: Counter::detached(),
@@ -608,24 +884,78 @@ impl SharedSelEstCache {
         self
     }
 
-    fn lock_map(&self) -> MutexGuard<'_, EvictingMap<String, SelEstimates>> {
-        lock_recover_with(&self.map, &self.poison_recoveries, |m| m.clear())
+    /// The shard owning `key`.
+    fn shard(&self, key: &str) -> &SelShard {
+        &self.shards[shard_of(key, self.shards.len())]
+    }
+
+    fn lock_shard<'a>(&'a self, shard: &'a SelShard) -> MutexGuard<'a, SelShardInner> {
+        lock_recover_with(&shard.map, &self.poison_recoveries, |inner| {
+            inner.invalidate();
+            shard.warm.store(Arc::new(HashMap::new()));
+        })
+    }
+
+    /// Test-only seam: locks the shard owning `key`.
+    #[cfg(test)]
+    fn lock_map_for(&self, key: &str) -> MutexGuard<'_, SelShardInner> {
+        self.lock_shard(self.shard(key))
+    }
+
+    /// Exposed for the service/tests: how many shards this cache runs.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// See [`SharedFitCache::note_warm_hit`].
+    fn note_warm_hit(&self, shard: &SelShard, inner: &mut SelShardInner, key: &str) {
+        if self.injector.is_some() {
+            return;
+        }
+        if !inner.pending.iter().any(|p| p == key) {
+            inner.pending.push(key.to_owned());
+        }
+        if inner.pending.len() >= PUBLISH_BATCH || inner.snapshot_len == 0 {
+            let prev = shard.warm.load();
+            let mut snap: HashMap<String, SelEstimates> = HashMap::new();
+            for k in prev.keys().chain(inner.pending.iter()) {
+                if snap.contains_key(k) {
+                    continue;
+                }
+                if let Some(est) = inner.map.peek(k) {
+                    snap.insert(k.clone(), est.clone());
+                }
+            }
+            inner.pending.clear();
+            inner.snapshot_len = snap.len();
+            shard.warm.store(Arc::new(snap));
+        }
     }
 
     pub fn stats(&self) -> SelCacheStats {
-        let map = self.lock_map();
+        let (mut entries, mut evictions) = (0, 0);
+        for shard in &self.shards {
+            let inner = self.lock_shard(shard);
+            entries += inner.map.len();
+            evictions += inner.map.evictions();
+        }
         SelCacheStats {
             hits: self.hits.get(),
             misses: self.misses.get(),
-            entries: map.len(),
-            evictions: map.evictions(),
+            entries,
+            evictions,
             poison_recoveries: self.poison_recoveries.get(),
         }
     }
 
-    /// Drops every entry (counters are retained).
+    /// Drops every entry and every published snapshot (counters are
+    /// retained).
     pub fn clear(&self) {
-        self.lock_map().clear();
+        for shard in &self.shards {
+            let mut inner = self.lock_shard(shard);
+            inner.invalidate();
+            shard.warm.store(Arc::new(HashMap::new()));
+        }
     }
 }
 
@@ -638,7 +968,16 @@ impl Default for SharedSelEstCache {
 
 impl SelEstCache for SharedSelEstCache {
     fn get(&self, key: &str) -> Option<SelEstimates> {
-        let mut map = self.lock_map();
+        let shard = self.shard(key);
+        // Warm path: the published snapshot, no map lock (disabled under
+        // a fault injector — see `SharedFitCache`).
+        if self.injector.is_none() {
+            if let Some(est) = shard.warm.load().get(key).cloned() {
+                self.hits.inc();
+                return Some(est);
+            }
+        }
+        let mut inner = self.lock_shard(shard);
         let forced_miss = match self
             .injector
             .as_ref()
@@ -655,9 +994,12 @@ impl SelEstCache for SharedSelEstCache {
         let hit = if forced_miss {
             None
         } else {
-            map.get(key).map(|e| e.clone())
+            inner.map.get(key).map(|e| e.clone())
         };
-        drop(map);
+        if hit.is_some() {
+            self.note_warm_hit(shard, &mut inner, key);
+        }
+        drop(inner);
         match &hit {
             Some(_) => self.hits.inc(),
             None => self.misses.inc(),
@@ -666,9 +1008,10 @@ impl SelEstCache for SharedSelEstCache {
     }
 
     fn put(&self, key: &str, estimates: &SelEstimates) {
-        let mut map = self.lock_map();
-        if !map.contains(key) {
-            map.try_insert(key.to_owned(), estimates.clone());
+        let shard = self.shard(key);
+        let mut inner = self.lock_shard(shard);
+        if !inner.map.contains(key) {
+            inner.map.try_insert(key.to_owned(), estimates.clone());
         }
     }
 }
@@ -947,7 +1290,7 @@ mod tests {
         let poisoner = {
             let cache = Arc::clone(&cache);
             std::thread::spawn(move || {
-                let _guard = cache.lock_map();
+                let _guard = cache.lock_map_for("s1");
                 panic!("poison the cache lock");
             })
         };
@@ -974,7 +1317,7 @@ mod tests {
         let poisoner = {
             let sel = Arc::clone(&sel);
             std::thread::spawn(move || {
-                let _guard = sel.lock_map();
+                let _guard = sel.lock_map_for("k");
                 panic!("poison the sel cache lock");
             })
         };
@@ -1061,5 +1404,136 @@ mod tests {
             }
         });
         assert_eq!(cache.stats().shapes, 10);
+    }
+
+    #[test]
+    fn hit_rates_are_nan_on_zero_probes() {
+        // The unified zero-denominator convention: "no probes yet" is not
+        // "0% hit rate" — it renders as n/a, matching violation_rate.
+        let stats = CacheStats::default();
+        assert!(stats.fit_hit_rate().is_nan());
+        assert!(stats.sel_hit_rate().is_nan());
+        let one_miss = CacheStats {
+            fit_misses: 1,
+            sel_misses: 1,
+            ..CacheStats::default()
+        };
+        assert_eq!(one_miss.fit_hit_rate(), 0.0, "a real 0% stays 0%");
+        assert_eq!(one_miss.sel_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn shard_counts_follow_capacity_clamp() {
+        assert_eq!(SharedFitCache::default().shard_count(), DEFAULT_SHARDS);
+        assert_eq!(fit_cache(EvictionPolicy::Lru, 2).shard_count(), 1);
+        assert_eq!(fit_cache(EvictionPolicy::Lru, 0).shard_count(), 1);
+        assert_eq!(SharedSelEstCache::default().shard_count(), DEFAULT_SHARDS);
+        assert_eq!(
+            SharedSelEstCache::new(2, EvictionPolicy::Lru).shard_count(),
+            1
+        );
+        assert_eq!(
+            SharedSelEstCache::sharded(16384, EvictionPolicy::Lru, 3).shard_count(),
+            3
+        );
+        // Routing is deterministic and in range for every shard count.
+        for shards in 1..=16 {
+            let a = shard_of("shape-a", shards);
+            assert!(a < shards);
+            assert_eq!(a, shard_of("shape-a", shards), "routing is stable");
+        }
+    }
+
+    #[test]
+    fn warm_snapshot_serves_after_a_locked_hit_without_the_map_lock() {
+        let cache = SharedFitCache::default();
+        let ctxs = Arc::new(Vec::new());
+        cache.put_contexts("s1", &ctxs);
+        // First get: locked hit — publishes eagerly (snapshot was empty).
+        assert!(cache.get_contexts("s1").is_some());
+        // The snapshot now holds the shape: a warm read succeeds even
+        // while another thread wedges the shard's map lock.
+        let shard = cache.shard("s1");
+        let _wedge = cache.lock_shard(shard);
+        let snap = shard.warm.load();
+        assert!(
+            snap.shapes
+                .get("s1")
+                .and_then(|s| s.contexts.clone())
+                .is_some(),
+            "published snapshot must hold the warm shape"
+        );
+        assert!(
+            Arc::ptr_eq(&snap.shapes["s1"].contexts.clone().unwrap(), &ctxs),
+            "snapshot shares the cached allocation"
+        );
+    }
+
+    #[test]
+    fn sel_warm_snapshot_publishes_and_clear_invalidates_it() {
+        let sel = SharedSelEstCache::default();
+        let est = SelEstimates::from_vec(Vec::new());
+        sel.put("k1", &est);
+        assert!(uaq_cost::SelEstCache::get(&sel, "k1").is_some()); // publish
+        let shard = sel.shard("k1");
+        assert!(
+            shard.warm.load().get("k1").is_some(),
+            "snapshot published after first locked hit"
+        );
+        // A warm hit shares the cached allocation and counts as a hit.
+        let hit = uaq_cost::SelEstCache::get(&sel, "k1").expect("warm hit");
+        assert!(hit.ptr_eq(&est));
+        assert_eq!(sel.stats().hits, 2);
+        sel.clear();
+        assert!(
+            shard.warm.load().get("k1").is_none(),
+            "clear must invalidate published snapshots too"
+        );
+        assert!(uaq_cost::SelEstCache::get(&sel, "k1").is_none());
+    }
+
+    #[test]
+    fn poison_recovery_invalidates_the_published_snapshot() {
+        let cache = Arc::new(SharedFitCache::default());
+        cache.put_contexts("s1", &Arc::new(Vec::new()));
+        assert!(cache.get_contexts("s1").is_some()); // publish snapshot
+        let poisoner = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let _guard = cache.lock_map_for("s1");
+                panic!("poison the shard lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        // Until someone takes the poisoned lock, the immutable snapshot
+        // keeps serving — it was published before the panic, so its
+        // values are exactly what a fresh computation would produce.
+        assert!(
+            cache.get_contexts("s1").is_some(),
+            "pre-panic snapshot is still bit-correct"
+        );
+        // The next lock acquisition (stats locks every shard) runs
+        // recovery, which must drop the snapshot along with the map.
+        assert_eq!(cache.stats().poison_recoveries, 1);
+        assert!(
+            cache.get_contexts("s1").is_none(),
+            "warm path must not outlive the poison invalidation"
+        );
+    }
+
+    #[test]
+    fn sharded_fit_cache_counts_consistently_across_shards() {
+        // Spread keys across all shards; per-shard stats must aggregate.
+        let cache = SharedFitCache::default();
+        assert_eq!(cache.shard_count(), DEFAULT_SHARDS);
+        for i in 0..64 {
+            let shape = format!("shape-{i}");
+            cache.put_contexts(&shape, &Arc::new(Vec::new()));
+            assert!(cache.get_contexts(&shape).is_some());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.shapes, 64);
+        assert_eq!(stats.context_hits, 64);
+        assert_eq!(stats.context_misses, 0);
     }
 }

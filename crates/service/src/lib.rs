@@ -7,10 +7,12 @@
 //!
 //! Four pieces:
 //!
-//! * [`PredictionService`] — an MPMC [`WorkQueue`] feeding a pool of worker
-//!   threads that share one [`Predictor`](uaq_core::Predictor), catalog,
-//!   and sample set behind `Arc`s; each [`PredictRequest`] (plan +
-//!   optional deadline) yields a [`PredictResponse`] carrying the full
+//! * [`PredictionService`] — a [`ShardedWorkQueue`] (per-worker deques
+//!   with seeded work stealing; one shard reproduces the single MPMC
+//!   [`WorkQueue`] exactly) feeding a pool of worker threads that share
+//!   one [`Predictor`](uaq_core::Predictor), catalog, and sample set
+//!   behind `Arc`s; each [`PredictRequest`] (plan + optional deadline +
+//!   [`TenantId`]) yields a [`PredictResponse`] carrying the full
 //!   [`Prediction`](uaq_core::Prediction) and an admission [`Decision`].
 //! * [`SharedSelEstCache`] — the concurrent selectivity-estimate cache
 //!   (implementing [`uaq_cost::SelEstCache`]): keyed on the full query
@@ -49,8 +51,14 @@
 //! # let catalog: std::sync::Arc<uaq_storage::Catalog> = unimplemented!();
 //! # let samples: std::sync::Arc<uaq_storage::SampleCatalog> = unimplemented!();
 //! # let plan: std::sync::Arc<uaq_engine::Plan> = unimplemented!();
+//! use uaq_service::TenantId;
 //! let service = PredictionService::start(predictor, catalog, samples, ServiceConfig::default());
-//! let rx = service.submit(PredictRequest { id: 1, plan, deadline_ms: Some(100.0) });
+//! let rx = service.submit(PredictRequest {
+//!     id: 1,
+//!     plan,
+//!     deadline_ms: Some(100.0),
+//!     tenant: TenantId::default(),
+//! });
 //! let resp = rx.recv().unwrap();
 //! println!("{}: Pr(in time) = {:.3}", resp.decision.label(), resp.prob_in_time);
 //! ```
@@ -62,15 +70,19 @@ pub mod queue;
 pub mod service;
 pub(crate) mod sync;
 
-pub use admission::{shed_priority, AdmissionMode, AdmissionPolicy, Decision};
+pub use admission::{
+    shed_priority, weighted_shed_priority, AdmissionMode, AdmissionPolicy, Decision, TenantClass,
+    TenantId,
+};
 pub use cache::{
     CacheConfig, CacheStats, EvictionPolicy, SelCacheStats, SharedFitCache, SharedSelEstCache,
+    DEFAULT_SHARDS,
 };
 pub use fault::{
     silence_injected_panics, Fault, FaultInjector, FaultPlan, FaultSite, NoFaults,
     SeededFaultInjector, INJECTED_PANIC,
 };
-pub use queue::{Popped, Pushed, WorkQueue};
+pub use queue::{Popped, Pushed, ShardedWorkQueue, WorkQueue};
 pub use service::{
     PredictRequest, PredictResponse, PredictionService, RetryPolicy, RobustnessStats, ServedTier,
     ServiceConfig, ShedPolicy,

@@ -65,14 +65,14 @@
 //! — the chaos suite drives hundreds of seeded fault schedules against
 //! the exactly-one-response and cache-bit-transparency invariants.
 
-use crate::admission::{shed_priority, AdmissionPolicy, Decision};
+use crate::admission::{shed_priority, AdmissionPolicy, Decision, TenantClass, TenantId};
 use crate::cache::{CacheConfig, CacheStats, SharedFitCache, SharedSelEstCache};
 use crate::fault::{FaultInjector, FaultSite};
-use crate::queue::{Popped, Pushed, WorkQueue};
+use crate::queue::{Popped, Pushed, ShardedWorkQueue};
 use crate::sync::lock_recover;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -91,8 +91,12 @@ pub struct PredictRequest {
     pub plan: Arc<Plan>,
     /// Remaining time budget for the deadline SLO, in milliseconds
     /// (deadline minus whatever wait the caller already accounts for).
-    /// `None` means no deadline.
+    /// `None` means no deadline — unless the request's tenant class
+    /// carries a default deadline, which `submit` applies.
     pub deadline_ms: Option<f64>,
+    /// The tenant (workload class) this request belongs to;
+    /// `TenantId::default()` gets the service-wide policy and weight 1.
+    pub tenant: TenantId,
 }
 
 /// Which rung of the degradation ladder produced a response. Recorded on
@@ -230,10 +234,19 @@ pub enum ShedPolicy {
 }
 
 /// Service configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Worker threads. 0 is clamped to 1.
     pub workers: usize,
+    /// Work-queue shards. `0` (the default) uses one shard per worker —
+    /// each worker drains its home shard and steals from the others in a
+    /// seeded random order. `1` reproduces the single-queue FIFO exactly.
+    pub queue_shards: usize,
+    /// Per-tenant serving classes ([`TenantClass`]: θ-policy override,
+    /// default deadline, weighted-fair shed share). Tenants not listed —
+    /// including the anonymous [`TenantId::default()`] — get the
+    /// service-wide policy and weight 1.
+    pub tenants: Vec<(TenantId, TenantClass)>,
     pub policy: AdmissionPolicy,
     /// When false, workers predict with [`NoFitCache`] — the A/B switch the
     /// cold-vs-warm benchmarks and golden tests use.
@@ -267,6 +280,8 @@ impl Default for ServiceConfig {
     fn default() -> Self {
         Self {
             workers: 4,
+            queue_shards: 0,
+            tenants: Vec::new(),
             policy: AdmissionPolicy::default(),
             cache_enabled: true,
             cache: CacheConfig::default(),
@@ -381,12 +396,22 @@ struct Job {
     /// Submit-time stamp; the span layer turns it into the
     /// [`Stage::QueueWait`] interval at dequeue.
     enqueued_at: Instant,
+    /// Global arrival sequence number, assigned at submit. The shed
+    /// tie-breaker: among equal shed priorities (including the all-∞
+    /// unprofiled case) the *newest* arrival is the victim, which extends
+    /// "ties shed the newcomer" into the queued population and — because
+    /// (priority, seq) is intrinsic to the job, not its queue position —
+    /// makes victim selection bit-reproducible across shard counts.
+    seq: u64,
 }
 
 /// A parked request: decided `Defer`, waiting for a re-decision event.
 struct DeferredJob {
     id: u64,
     deadline_ms: f64,
+    /// The admission policy that parked it (per-tenant override already
+    /// resolved), so re-decisions apply the same θ.
+    policy: AdmissionPolicy,
     reply: mpsc::Sender<PredictResponse>,
     prediction: Prediction,
     /// When the deferring decision was made (re-decisions recompute the
@@ -403,13 +428,18 @@ struct DeferredJob {
 }
 
 struct Shared {
-    queue: WorkQueue<Job>,
+    queue: ShardedWorkQueue<Job>,
     predictor: Predictor,
     catalog: Arc<Catalog>,
     samples: Arc<SampleCatalog>,
     cache: SharedFitCache,
     sel_cache: SharedSelEstCache,
     policy: AdmissionPolicy,
+    /// Per-tenant class overrides; requests from unlisted tenants use the
+    /// service-wide defaults.
+    tenants: HashMap<TenantId, TenantClass>,
+    /// Arrival sequence counter backing [`Job::seq`].
+    next_seq: AtomicU64,
     cache_enabled: bool,
     retry: RetryPolicy,
     deferred: Mutex<VecDeque<DeferredJob>>,
@@ -446,7 +476,7 @@ impl Shared {
             let mut d = q.pop_front().expect("len checked");
             let waited_ms = d.parked_at.elapsed().as_secs_f64() * 1e3;
             let budget = d.deadline_ms - waited_ms;
-            let (decision, prob) = self.policy.decide(&d.prediction, Some(budget));
+            let (decision, prob) = d.policy.decide(&d.prediction, Some(budget));
             d.retries += 1;
             self.deferred_redecisions.inc();
             let exhausted = final_pass || d.retries >= self.retry.max_retries;
@@ -491,6 +521,16 @@ impl Shared {
         lock_recover(&self.profile).get(&shape_hash).copied()
     }
 
+    /// The tenant's class, or the all-defaults class for unlisted tenants.
+    fn tenant_class(&self, tenant: TenantId) -> TenantClass {
+        self.tenants.get(&tenant).copied().unwrap_or_default()
+    }
+
+    /// The admission policy a request of `tenant` is decided under.
+    fn policy_for(&self, tenant: TenantId) -> AdmissionPolicy {
+        self.tenant_class(tenant).policy.unwrap_or(self.policy)
+    }
+
     /// Records a completed real prediction in the shape profile. Called
     /// only when the sample pass actually ran (a warm sel-cache hit
     /// changes nothing the profile holds), keeping the repeated-query hot
@@ -521,6 +561,15 @@ impl Shared {
         }
     }
 
+    /// Weighted-fair shed priority of a queued job: the shape's relative
+    /// variance divided by the tenant's shed weight (a weight-2 tenant
+    /// takes half the shedding pressure at equal uncertainty). Infinite
+    /// priorities stay infinite for every weight.
+    fn shed_priority_of_job(&self, job: &Job) -> f64 {
+        self.shed_priority_of(&job.request.plan)
+            / self.tenant_class(job.request.tenant).effective_weight()
+    }
+
     /// Answers a request that never reached a worker: shed by overload
     /// control, or left in the queue at shutdown after every worker died.
     fn respond_unserved(&self, job: Job, tier: ServedTier, worker: usize) {
@@ -529,6 +578,16 @@ impl Shared {
             _ => static_decision(job.request.deadline_ms),
         };
         self.robustness.count_tier(tier);
+        if tier == ServedTier::Shed {
+            // Per-tenant shed accounting: these series sum to the total
+            // shed count (`uaq_requests_served_total{tier="shed"}`).
+            self.registry
+                .counter(
+                    "uaq_requests_shed_total",
+                    &[("tenant", &job.request.tenant.label())],
+                )
+                .inc();
+        }
         let _ = job.reply.send(PredictResponse {
             id: job.request.id,
             prediction: Prediction::degraded(0.0, 0.0),
@@ -630,16 +689,25 @@ impl PredictionService {
             ),
             None => (
                 SharedFitCache::new(config.cache),
-                SharedSelEstCache::new(config.cache.max_sel_entries, config.cache.eviction),
+                SharedSelEstCache::sharded(
+                    config.cache.max_sel_entries,
+                    config.cache.eviction,
+                    config.cache.shards,
+                ),
             ),
         };
         let cache = cache.instrumented(&registry);
         let sel_cache = sel_cache.instrumented(&registry);
         let workers = config.workers.max(1);
+        let queue_shards = if config.queue_shards == 0 {
+            workers
+        } else {
+            config.queue_shards
+        };
         let shared = Arc::new(Shared {
             queue: match config.queue_capacity {
-                Some(cap) => WorkQueue::bounded(cap),
-                None => WorkQueue::new(),
+                Some(cap) => ShardedWorkQueue::bounded(queue_shards, cap),
+                None => ShardedWorkQueue::new(queue_shards),
             },
             predictor,
             catalog,
@@ -647,6 +715,8 @@ impl PredictionService {
             cache,
             sel_cache,
             policy: config.policy,
+            tenants: config.tenants.iter().copied().collect(),
+            next_seq: AtomicU64::new(0),
             cache_enabled: config.cache_enabled,
             retry: config.retry,
             deferred: Mutex::new(VecDeque::new()),
@@ -685,14 +755,20 @@ impl PredictionService {
     /// the returned receiver's `recv()` fails immediately with
     /// `RecvError` instead of blocking — submitting after shutdown never
     /// hangs and never panics.
-    pub fn submit(&self, request: PredictRequest) -> mpsc::Receiver<PredictResponse> {
+    pub fn submit(&self, mut request: PredictRequest) -> mpsc::Receiver<PredictResponse> {
+        let shared = &self.shared;
+        // Tenant-class deadline default: applied once at the door, so
+        // admission, deferral, and shedding all see the same deadline.
+        if request.deadline_ms.is_none() {
+            request.deadline_ms = shared.tenant_class(request.tenant).default_deadline_ms;
+        }
         let (reply, rx) = mpsc::channel();
         let job = Job {
             request,
             reply,
             enqueued_at: Instant::now(),
+            seq: shared.next_seq.fetch_add(1, Ordering::Relaxed),
         };
-        let shared = &self.shared;
         shared.requests_total.inc();
         // The selector is only consulted at the high-water mark of a
         // bounded queue.
@@ -701,18 +777,22 @@ impl PredictionService {
             .push_bounded(job, |queued, incoming| match shared.shed {
                 ShedPolicy::RejectNewest => None,
                 ShedPolicy::HighestRelativeVariance => {
-                    // Shed the single worst relative-variance request — but
-                    // only if it is strictly worse than the incoming one
-                    // (ties shed the newcomer: displacing queued work needs a
-                    // reason).
-                    let incoming_priority = shared.shed_priority_of(&incoming.request.plan);
+                    // Shed the single worst weighted relative-variance
+                    // request — but only if it is strictly worse than the
+                    // incoming one (ties shed the newcomer: displacing
+                    // queued work needs a reason). Equal priorities among
+                    // the queued (the all-∞ unprofiled case included)
+                    // break on arrival seq, newest first — an ordering
+                    // intrinsic to the jobs, so the victim is the same
+                    // for every shard count.
+                    let incoming_priority = shared.shed_priority_of_job(incoming);
                     queued
                         .iter()
                         .enumerate()
-                        .map(|(i, j)| (i, shared.shed_priority_of(&j.request.plan)))
-                        .max_by(|a, b| a.1.total_cmp(&b.1))
-                        .filter(|&(_, p)| p > incoming_priority)
-                        .map(|(i, _)| i)
+                        .map(|(i, j)| (i, shared.shed_priority_of_job(j), j.seq))
+                        .max_by(|a, b| a.1.total_cmp(&b.1).then(a.2.cmp(&b.2)))
+                        .filter(|&(_, p, _)| p > incoming_priority)
+                        .map(|(i, _, _)| i)
                 }
             });
         match pushed {
@@ -734,6 +814,7 @@ impl PredictionService {
             id: 0,
             plan,
             deadline_ms,
+            tenant: TenantId::default(),
         })
         .recv()
         .expect("service workers alive")
@@ -782,6 +863,19 @@ impl PredictionService {
         ];
         for (name, cache, value) in occupancy {
             r.gauge(name, &[("cache", cache)]).set(value);
+        }
+        // Hit-rate gauges. The stats methods return NaN on zero probes
+        // (the unified "no data" convention); the exposition is kept
+        // NaN-free by clamping non-finite rates to 0 here — the probe
+        // counters on the same snapshot disambiguate "no probes yet"
+        // from a true 0%.
+        let rates = [
+            ("fit", stats.fit_hit_rate()),
+            ("selest", stats.sel_hit_rate()),
+        ];
+        for (cache, rate) in rates {
+            r.gauge("uaq_cache_hit_rate", &[("cache", cache)])
+                .set(if rate.is_finite() { rate } else { 0.0 });
         }
         r.snapshot()
     }
@@ -833,7 +927,12 @@ impl PredictionService {
         // close (no respawns once the queue is closed), leaving requests
         // in the queue with nobody to serve them. They still get a
         // response — the contract survives total pool loss.
-        while let Popped::Item(job) = self.shared.queue.pop_timeout(Some(Duration::ZERO)) {
+        let mut drain_rng = 0;
+        while let Popped::Item(job) =
+            self.shared
+                .queue
+                .pop_timeout(0, &mut drain_rng, Some(Duration::ZERO))
+        {
             self.shared
                 .respond_unserved(job, ServedTier::Static, usize::MAX);
         }
@@ -902,6 +1001,12 @@ fn worker_entry(shared: &Arc<Shared>, worker: usize) {
 }
 
 fn worker_loop(shared: &Shared, worker: usize) {
+    // Steal order is a pure function of this seed (see
+    // [`crate::queue::ShardedWorkQueue`]), so a replayed schedule visits
+    // victim shards in the same order every run. A respawned worker
+    // reuses its slot's seed, keeping replays deterministic across
+    // panics too.
+    let mut steal_rng = 0x9E37_79B9_7F4A_7C15u64 ^ worker as u64;
     loop {
         // Worker-kill / worker-stall probe, between requests: a panic
         // here unwinds into the respawn guard with no request in hand.
@@ -910,7 +1015,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
         // fallback re-decision event for a quiet pool.
         let timeout =
             (shared.retry.enabled() && shared.has_deferred()).then_some(shared.retry.idle_tick);
-        match shared.queue.pop_timeout(timeout) {
+        match shared.queue.pop_timeout(worker, &mut steal_rng, timeout) {
             Popped::Item(job) => {
                 let completed = supervised_serve(shared, worker, job);
                 if completed {
@@ -1114,8 +1219,9 @@ fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
         });
         return true;
     };
+    let policy = shared.policy_for(job.request.tenant);
     let (decision, prob_in_time) = span::timed(Stage::Admission, || {
-        shared.policy.decide(&prediction, job.request.deadline_ms)
+        policy.decide(&prediction, job.request.deadline_ms)
     });
     shared.robustness.count_tier(tier);
     let stage_timings = recorder.map(|r| harvest(r, tier));
@@ -1125,6 +1231,7 @@ fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
             lock_recover(&shared.deferred).push_back(DeferredJob {
                 id: job.request.id,
                 deadline_ms,
+                policy,
                 reply: job.reply,
                 prediction,
                 parked_at: Instant::now(),
@@ -1325,6 +1432,7 @@ mod tests {
             id: 99,
             plan: Arc::clone(&plan),
             deadline_ms: None,
+            tenant: TenantId::default(),
         });
         // The request was dropped with its reply sender: recv fails
         // immediately instead of blocking forever.
@@ -1355,6 +1463,7 @@ mod tests {
             id: 7,
             plan: Arc::clone(&plan),
             deadline_ms: Some(border),
+            tenant: TenantId::default(),
         });
         for i in 0..8 {
             let _ = service
@@ -1362,6 +1471,7 @@ mod tests {
                     id: 100 + i,
                     plan: Arc::clone(&plan),
                     deadline_ms: None,
+                    tenant: TenantId::default(),
                 })
                 .recv()
                 .expect("worker alive");
@@ -1404,6 +1514,7 @@ mod tests {
             id: 1,
             plan: Arc::clone(&plan),
             deadline_ms: Some(border),
+            tenant: TenantId::default(),
         });
         let resp = rx
             .recv_timeout(std::time::Duration::from_secs(10))
@@ -1437,6 +1548,7 @@ mod tests {
             id: 3,
             plan: Arc::clone(&plan),
             deadline_ms: Some(border),
+            tenant: TenantId::default(),
         });
         // Give the worker a moment to park it, then shut down.
         while service.backlog() > 0 {
@@ -1477,6 +1589,7 @@ mod tests {
                 id: i,
                 plan: Arc::clone(&plan),
                 deadline_ms: None,
+                tenant: TenantId::default(),
             });
         }
         drop(service); // must drain + join without deadlock or panic
@@ -1650,6 +1763,7 @@ mod tests {
             id: 1,
             plan: Arc::clone(&plan),
             deadline_ms: None,
+            tenant: TenantId::default(),
         });
         let resp = rx
             .recv_timeout(std::time::Duration::from_secs(10))
@@ -1730,6 +1844,7 @@ mod tests {
             id: 10,
             plan: Arc::clone(&plan_a),
             deadline_ms: None,
+            tenant: TenantId::default(),
         });
         while service.backlog() > 0 {
             std::thread::yield_now(); // worker picked up the stalled job
@@ -1738,11 +1853,13 @@ mod tests {
             id: 11,
             plan: Arc::clone(&plan_a),
             deadline_ms: Some(100.0),
+            tenant: TenantId::default(),
         });
         let rx_b = service.submit(PredictRequest {
             id: 12,
             plan: Arc::clone(&plan_b),
             deadline_ms: Some(100.0),
+            tenant: TenantId::default(),
         });
         // Queue is at capacity [A, B]; another A arrives with a finite
         // profiled priority. B's ∞ priority makes it the victim.
@@ -1750,6 +1867,7 @@ mod tests {
             id: 13,
             plan: Arc::clone(&plan_a),
             deadline_ms: Some(100.0),
+            tenant: TenantId::default(),
         });
         let shed = rx_b
             .recv_timeout(std::time::Duration::from_secs(5))
@@ -1966,6 +2084,336 @@ mod tests {
             "profiled cost over budget: straight to the cheap tier"
         );
         assert_eq!(second.prediction.mean_ms(), first.prediction.mean_ms());
+        service.shutdown();
+    }
+
+    #[test]
+    fn shed_ties_break_on_arrival_seq_at_every_shard_count() {
+        // Two queued never-profiled requests share the maximum (infinite)
+        // shed priority; the tie must fall to the newest arrival (highest
+        // seq) — and because seq is intrinsic to the job, the victim must
+        // be the same id no matter how the queue is sharded.
+        let (predictor, catalog, samples, plan_a) = setup();
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan("t", Pred::lt("a", Value::Int(10)));
+        let plan_b = Arc::new(b.build(t));
+        for queue_shards in [1usize, 2, 4] {
+            let injector = FireAt::disarmed(
+                FaultSite::Predict,
+                Fault::Delay(std::time::Duration::from_millis(150)),
+            );
+            let service = PredictionService::start_with_faults(
+                predictor.clone(),
+                Arc::clone(&catalog),
+                Arc::clone(&samples),
+                ServiceConfig {
+                    workers: 1,
+                    queue_shards,
+                    queue_capacity: Some(2),
+                    shed: ShedPolicy::HighestRelativeVariance,
+                    ..Default::default()
+                },
+                Arc::clone(&injector) as Arc<dyn crate::fault::FaultInjector>,
+            );
+            // Profile plan A so later A-submissions carry a finite priority.
+            assert_eq!(
+                service.predict_blocking(Arc::clone(&plan_a), None).tier,
+                ServedTier::Full
+            );
+            injector.arm();
+            let rx_stalled = service.submit(PredictRequest {
+                id: 10,
+                plan: Arc::clone(&plan_a),
+                deadline_ms: None,
+                tenant: TenantId::default(),
+            });
+            while service.backlog() > 0 {
+                std::thread::yield_now();
+            }
+            // Queue: two B's (both ∞ priority), tie on priority alone.
+            let rx_b1 = service.submit(PredictRequest {
+                id: 11,
+                plan: Arc::clone(&plan_b),
+                deadline_ms: Some(100.0),
+                tenant: TenantId::default(),
+            });
+            let rx_b2 = service.submit(PredictRequest {
+                id: 12,
+                plan: Arc::clone(&plan_b),
+                deadline_ms: Some(100.0),
+                tenant: TenantId::default(),
+            });
+            // A finite-priority A arrives at the high-water mark: the
+            // victim among the tied ∞ pair is the newest, id 12.
+            let rx_a = service.submit(PredictRequest {
+                id: 13,
+                plan: Arc::clone(&plan_a),
+                deadline_ms: Some(100.0),
+                tenant: TenantId::default(),
+            });
+            let shed = rx_b2
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .expect("victim answered on the submitter's thread");
+            assert_eq!(shed.id, 12, "shards={queue_shards}: newest tied job");
+            assert_eq!(shed.tier, ServedTier::Shed);
+            injector.disarm();
+            for rx in [rx_stalled, rx_b1, rx_a] {
+                let resp = rx
+                    .recv_timeout(std::time::Duration::from_secs(10))
+                    .expect("survivors resolve");
+                assert_ne!(resp.tier, ServedTier::Shed, "shards={queue_shards}");
+            }
+            service.shutdown();
+        }
+    }
+
+    #[test]
+    fn tenant_classes_override_policy_and_default_deadline() {
+        let (predictor, catalog, samples, plan) = setup();
+        let reference = predictor.predict(&plan, &catalog, &samples);
+        let border = reference.mean_ms() + 0.5 * reference.std_dev_ms();
+        let hopeless = (reference.mean_ms() - 10.0 * reference.std_dev_ms()).max(0.0);
+        let lenient = TenantId(1);
+        let strict = TenantId(2);
+        let service = PredictionService::start(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                tenants: vec![
+                    (
+                        lenient,
+                        TenantClass {
+                            policy: Some(AdmissionPolicy::mean_only()),
+                            ..TenantClass::default()
+                        },
+                    ),
+                    (
+                        strict,
+                        TenantClass {
+                            default_deadline_ms: Some(hopeless),
+                            ..TenantClass::default()
+                        },
+                    ),
+                ],
+                ..Default::default()
+            },
+        );
+        let ask = |tenant: TenantId, deadline_ms: Option<f64>| {
+            let rx = service.submit(PredictRequest {
+                id: 0,
+                plan: Arc::clone(&plan),
+                deadline_ms,
+                tenant,
+            });
+            rx.recv_timeout(std::time::Duration::from_secs(10))
+                .expect("served")
+        };
+        // Anonymous tenant, service-wide θ: the border deadline defers.
+        assert_eq!(
+            ask(TenantId::default(), Some(border)).decision,
+            Decision::Defer
+        );
+        // Lenient class swaps in mean-only admission: border > mean admits.
+        assert_eq!(ask(lenient, Some(border)).decision, Decision::Admit);
+        // Strict class fills in a hopeless default deadline when the
+        // request carries none; the service-wide θ then rejects it.
+        assert_eq!(ask(strict, None).decision, Decision::Reject);
+        // The default applies only to deadline-less requests.
+        assert_eq!(ask(strict, Some(border)).decision, Decision::Defer);
+        // And the anonymous tenant keeps its no-deadline unconditional admit.
+        assert_eq!(ask(TenantId::default(), None).decision, Decision::Admit);
+        service.shutdown();
+    }
+
+    #[test]
+    fn weighted_shed_targets_low_weight_tenants_and_counters_sum() {
+        let (predictor, catalog, samples, plan) = setup();
+        let light = TenantId(9); // quarter-weight: 4× the shedding pressure
+        let injector = FireAt::disarmed(
+            FaultSite::Predict,
+            Fault::Delay(std::time::Duration::from_millis(150)),
+        );
+        let service = PredictionService::start_with_faults(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: Some(2),
+                shed: ShedPolicy::HighestRelativeVariance,
+                tenants: vec![(
+                    light,
+                    TenantClass {
+                        shed_weight: 0.25,
+                        ..TenantClass::default()
+                    },
+                )],
+                ..Default::default()
+            },
+            Arc::clone(&injector) as Arc<dyn crate::fault::FaultInjector>,
+        );
+        // Profile the shape: every request below carries the same finite
+        // relative variance, so only the tenant weights differ.
+        assert_eq!(
+            service.predict_blocking(Arc::clone(&plan), None).tier,
+            ServedTier::Full
+        );
+        injector.arm();
+        let rx_stalled = service.submit(PredictRequest {
+            id: 10,
+            plan: Arc::clone(&plan),
+            deadline_ms: None,
+            tenant: TenantId::default(),
+        });
+        while service.backlog() > 0 {
+            std::thread::yield_now();
+        }
+        let rx_anon = service.submit(PredictRequest {
+            id: 11,
+            plan: Arc::clone(&plan),
+            deadline_ms: Some(100.0),
+            tenant: TenantId::default(),
+        });
+        let rx_light = service.submit(PredictRequest {
+            id: 12,
+            plan: Arc::clone(&plan),
+            deadline_ms: Some(100.0),
+            tenant: light,
+        });
+        // Same shape everywhere: the quarter-weight tenant's job is the
+        // one shed when a full-weight request hits the high-water mark.
+        let rx_anon2 = service.submit(PredictRequest {
+            id: 13,
+            plan: Arc::clone(&plan),
+            deadline_ms: Some(100.0),
+            tenant: TenantId::default(),
+        });
+        let shed = rx_light
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("low-weight victim answered");
+        assert_eq!(shed.id, 12);
+        assert_eq!(shed.tier, ServedTier::Shed);
+        // Equal weights tie ⇒ the newcomer sheds itself (anonymous tenant).
+        let rx_anon3 = service.submit(PredictRequest {
+            id: 14,
+            plan: Arc::clone(&plan),
+            deadline_ms: Some(100.0),
+            tenant: TenantId::default(),
+        });
+        let self_shed = rx_anon3
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("tied newcomer answered");
+        assert_eq!(self_shed.tier, ServedTier::Shed);
+        injector.disarm();
+        for rx in [rx_stalled, rx_anon, rx_anon2] {
+            let resp = rx
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("queued requests survive");
+            assert_ne!(resp.tier, ServedTier::Shed);
+        }
+        // Per-tenant shed series sum to the total shed count.
+        let stats = service.robustness_stats();
+        assert_eq!(stats.shed, 2, "{stats:?}");
+        let snap = service.telemetry();
+        assert_eq!(
+            snap.counter("uaq_requests_shed_total", &[("tenant", "9")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter("uaq_requests_shed_total", &[("tenant", "0")]),
+            Some(1)
+        );
+        assert_eq!(
+            snap.counter_total("uaq_requests_shed_total"),
+            stats.shed as u64
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn hostile_shape_labels_round_trip_through_prometheus() {
+        // A table name carrying every character the exposition format
+        // must escape (backslash, quote, newline) flows into the shape
+        // key, the `uaq_request_seconds{shape}` label, and back out of
+        // the text format bit-identically.
+        let hostile_table = "e\\v\"i\nl";
+        let mut c = Catalog::new();
+        let s = Schema::new(vec![Column::int("a"), Column::int("b")]);
+        let rows = (0..500)
+            .map(|i| vec![Value::Int((i % 50) as i64), Value::Int(i as i64)])
+            .collect();
+        c.add_table(Table::new(hostile_table, s, rows));
+        let mut rng = Rng::new(11);
+        let units = calibrate(
+            &HardwareProfile::pc1(),
+            &CalibrationConfig::default(),
+            &mut rng,
+        );
+        let samples = c.draw_samples(0.1, 1, &mut rng);
+        let mut b = PlanBuilder::new();
+        let t = b.seq_scan(hostile_table, Pred::lt("b", Value::Int(100)));
+        let plan = Arc::new(b.build(t));
+        let catalog = Arc::new(c);
+        let shape = Predictor::shape_key(&plan, &catalog);
+        assert!(shape.contains(hostile_table), "key embeds the raw name");
+        let service = PredictionService::start(
+            Predictor::new(units, PredictorConfig::default()),
+            Arc::clone(&catalog),
+            Arc::new(samples),
+            ServiceConfig {
+                record_spans: true,
+                ..Default::default()
+            },
+        );
+        let resp = service.predict_blocking(Arc::clone(&plan), None);
+        assert_eq!(resp.tier, ServedTier::Full);
+        let snap = service.telemetry();
+        let hist = snap
+            .histogram("uaq_request_seconds", &[("shape", &shape)])
+            .expect("per-shape series recorded under the hostile label");
+        assert_eq!(hist.count(), 1);
+        let text = snap.to_prometheus();
+        assert!(text.contains("\\\\"), "backslash escaped on export");
+        assert!(text.contains("\\\""), "quote escaped on export");
+        assert!(text.contains("\\n"), "newline escaped on export");
+        let round = Snapshot::from_prometheus(&text).expect("parses");
+        assert_eq!(round, snap, "hostile labels survive the round trip");
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_probe_hit_rates_export_as_zero_never_nan() {
+        // With caches disabled there are zero probes: the stats-level
+        // convention is NaN ("no data"), but the Prometheus gauge clamps
+        // to 0.0 so no NaN ever reaches the text exposition.
+        let (predictor, catalog, samples, plan) = setup();
+        let service = PredictionService::start(
+            predictor,
+            catalog,
+            samples,
+            ServiceConfig {
+                cache_enabled: false,
+                ..Default::default()
+            },
+        );
+        let _ = service.predict_blocking(Arc::clone(&plan), None);
+        let stats = service.cache_stats();
+        assert!(stats.fit_hit_rate().is_nan(), "zero probes: NaN at the API");
+        assert!(stats.sel_hit_rate().is_nan());
+        let snap = service.telemetry();
+        assert_eq!(
+            snap.gauge("uaq_cache_hit_rate", &[("cache", "fit")]),
+            Some(0.0)
+        );
+        assert_eq!(
+            snap.gauge("uaq_cache_hit_rate", &[("cache", "selest")]),
+            Some(0.0)
+        );
+        assert!(
+            !snap.to_prometheus().contains("NaN"),
+            "no NaN in the exposition"
+        );
         service.shutdown();
     }
 }

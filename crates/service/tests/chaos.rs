@@ -25,8 +25,8 @@ use uaq_core::{Predictor, PredictorConfig};
 use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
 use uaq_engine::{Plan, PlanBuilder, Pred};
 use uaq_service::{
-    silence_injected_panics, FaultInjector, FaultPlan, PredictRequest, PredictionService,
-    SeededFaultInjector, ServedTier, ServiceConfig,
+    silence_injected_panics, CacheConfig, FaultInjector, FaultPlan, PredictRequest,
+    PredictionService, SeededFaultInjector, ServedTier, ServiceConfig, TenantClass, TenantId,
 };
 use uaq_stats::Rng;
 use uaq_storage::{Catalog, SampleCatalog, Value};
@@ -128,6 +128,7 @@ fn two_hundred_seeded_schedules_never_lose_or_duplicate_a_response() {
                     id: seed * 1000 + i,
                     plan: Arc::clone(&plans[(i as usize) % plans.len()]),
                     deadline_ms: deadline,
+                    tenant: TenantId::default(),
                 })
             })
             .collect();
@@ -199,6 +200,7 @@ fn caches_serve_bit_identical_predictions_after_recovery() {
                 id: i,
                 plan: Arc::clone(&plans[(i as usize) % plans.len()]),
                 deadline_ms: None,
+                tenant: TenantId::default(),
             })
         })
         .collect();
@@ -243,6 +245,113 @@ fn caches_serve_bit_identical_predictions_after_recovery() {
     service.shutdown();
 }
 
+/// PR 8: the chaos invariants are shard-count independent. Seeded
+/// schedules run against the fully sharded configuration (3 queue shards ×
+/// 3 workers, 4 cache shards, a half-weight tenant class in the traffic):
+/// exactly one response per request, tier counters sum to responses,
+/// per-tenant shed counters sum to the total shed count, and once the
+/// injector disarms the warm path serves bit-identical to the inline
+/// unsharded reference.
+#[test]
+fn sharded_config_preserves_every_chaos_invariant() {
+    silence_injected_panics();
+    let (predictor, catalog, samples) = setup();
+    let plans = plans();
+    let light = TenantId(1);
+    let mut total_shed = 0u64;
+    for seed in 300..324u64 {
+        let injector = Arc::new(SeededFaultInjector::new(seed, FaultPlan::chaos()));
+        let service = PredictionService::start_with_faults(
+            predictor.clone(),
+            Arc::clone(&catalog),
+            Arc::clone(&samples),
+            ServiceConfig {
+                workers: 3,
+                queue_shards: 3,
+                queue_capacity: Some(4),
+                cache: CacheConfig {
+                    shards: 4,
+                    ..Default::default()
+                },
+                tenants: vec![(
+                    light,
+                    TenantClass {
+                        shed_weight: 0.5,
+                        ..TenantClass::default()
+                    },
+                )],
+                ..Default::default()
+            },
+            Arc::clone(&injector) as Arc<dyn FaultInjector>,
+        );
+        let n = 24u64;
+        let receivers: Vec<_> = (0..n)
+            .map(|i| {
+                service.submit(PredictRequest {
+                    id: i,
+                    plan: Arc::clone(&plans[(i as usize) % plans.len()]),
+                    deadline_ms: (i % 2 == 0).then_some(50.0),
+                    tenant: if i % 3 == 0 {
+                        light
+                    } else {
+                        TenantId::default()
+                    },
+                })
+            })
+            .collect();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let resp = rx
+                .recv_timeout(Duration::from_secs(30))
+                .unwrap_or_else(|e| panic!("seed {seed}: request {i} lost ({e})"));
+            assert_eq!(resp.id, i as u64, "seed {seed}: id mixup");
+            assert!(
+                rx.try_recv().is_err(),
+                "seed {seed}: request {i} answered twice"
+            );
+        }
+        let snap = service.telemetry();
+        assert_eq!(
+            snap.counter_total("uaq_requests_served_total"),
+            n,
+            "seed {seed}: tier counters must sum to responses"
+        );
+        let shed = snap
+            .counter("uaq_requests_served_total", &[("tier", "shed")])
+            .unwrap_or(0);
+        assert_eq!(
+            snap.counter_total("uaq_requests_shed_total"),
+            shed,
+            "seed {seed}: per-tenant shed series must sum to total sheds"
+        );
+        total_shed += shed;
+        // Recovery: the sharded warm path is bit-transparent too.
+        injector.disarm();
+        for (i, plan) in plans.iter().enumerate() {
+            let reference = predictor.predict(plan, &catalog, &samples);
+            let first = service.predict_blocking(Arc::clone(plan), None);
+            let second = service.predict_blocking(Arc::clone(plan), None);
+            for (label, resp) in [("first", &first), ("second", &second)] {
+                assert_eq!(resp.tier, ServedTier::Full, "seed {seed} plan {i} {label}");
+                assert_eq!(
+                    resp.prediction.mean_ms().to_bits(),
+                    reference.mean_ms().to_bits(),
+                    "seed {seed} plan {i} {label}: mean drifted"
+                );
+                assert_eq!(
+                    resp.prediction.var().to_bits(),
+                    reference.var().to_bits(),
+                    "seed {seed} plan {i} {label}: variance drifted"
+                );
+            }
+        }
+        service.shutdown();
+    }
+    assert!(
+        total_shed > 0,
+        "the sharded schedules must actually shed somewhere"
+    );
+}
+
 /// Shutdown while faults fire: a burst of fire-and-forget requests is
 /// followed immediately by `shutdown()`. It must terminate (killed
 /// workers may not strand the drain) and every accepted request must
@@ -270,6 +379,7 @@ fn shutdown_under_fire_answers_every_accepted_request() {
                     id: i,
                     plan: Arc::clone(&plans[(i as usize) % plans.len()]),
                     deadline_ms: (i % 2 == 0).then_some(50.0),
+                    tenant: TenantId::default(),
                 })
             })
             .collect();

@@ -10,7 +10,10 @@ use std::sync::Arc;
 use uaq_core::{Predictor, PredictorConfig};
 use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
 use uaq_engine::{plan_query, Plan};
-use uaq_service::{AdmissionPolicy, Decision, PredictRequest, PredictionService, ServiceConfig};
+use uaq_service::{
+    AdmissionPolicy, CacheConfig, Decision, PredictRequest, PredictionService, ServiceConfig,
+    TenantId,
+};
 use uaq_stats::Rng;
 use uaq_storage::{Catalog, SampleCatalog};
 use uaq_workloads::Benchmark;
@@ -113,6 +116,7 @@ fn concurrent_clients_get_deterministic_decisions() {
                                 id,
                                 plan: Arc::clone(plan),
                                 deadline_ms: deadline_for(&means, i),
+                                tenant: TenantId::default(),
                             }),
                         )
                     })
@@ -148,6 +152,58 @@ fn concurrent_clients_get_deterministic_decisions() {
         stats.fit_hits > stats.fit_misses,
         "repeated identical requests should be fit hits: {stats:?}"
     );
+}
+
+/// PR 8 golden differential: the sharded configuration (work-stealing
+/// queue shards, sharded caches, warm snapshots) must serve bit-identical
+/// predictions and decisions to the unsharded baseline on both the cold
+/// and the warm pass, across MICRO, SELJOIN, and TPCH shapes.
+#[test]
+fn sharded_and_unsharded_serving_are_bit_identical() {
+    let (predictor, catalog, samples, mut plans) = setup();
+    let mut rng = Rng::new(SEED ^ 0x7C);
+    for spec in Benchmark::Tpch
+        .queries(&catalog, 1, &mut rng)
+        .iter()
+        .step_by(3)
+    {
+        plans.push(Arc::new(plan_query(spec, &catalog)));
+    }
+    let run = |workers: usize, queue_shards: usize, cache_shards: usize| {
+        let service = PredictionService::start(
+            predictor.clone(),
+            Arc::clone(&catalog),
+            Arc::clone(&samples),
+            ServiceConfig {
+                workers,
+                queue_shards,
+                cache: CacheConfig {
+                    shards: cache_shards,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        // Two passes: the first is all cache misses, the second is the
+        // snapshot-served warm path.
+        let mut out: Vec<(Decision, u64, u64, u64)> = Vec::new();
+        for _pass in 0..2 {
+            for p in &plans {
+                let r = service.predict_blocking(Arc::clone(p), Some(60.0));
+                out.push((
+                    r.decision,
+                    r.prob_in_time.to_bits(),
+                    r.prediction.mean_ms().to_bits(),
+                    r.prediction.var().to_bits(),
+                ));
+            }
+        }
+        service.shutdown();
+        out
+    };
+    let baseline = run(1, 1, 1);
+    assert_eq!(baseline, run(4, 0, 8), "per-worker sharding drifted");
+    assert_eq!(baseline, run(2, 3, 2), "odd shard counts drifted");
 }
 
 #[test]

@@ -15,7 +15,7 @@ use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile, SelEstCache};
 use uaq_engine::{plan_query, Plan, PlanBuilder, Pred};
 use uaq_service::{
     CacheConfig, EvictionPolicy, PredictRequest, PredictionService, ServiceConfig, SharedFitCache,
-    SharedSelEstCache,
+    SharedSelEstCache, TenantId,
 };
 use uaq_stats::Rng;
 use uaq_storage::{Catalog, SampleCatalog, Value};
@@ -226,6 +226,7 @@ fn predictions_stay_bit_identical_across_eviction_and_refill() {
             max_fits_per_shape: 2,
             max_sel_entries: 2,
             eviction: policy,
+            shards: 1,
         });
         let sel_cache = SharedSelEstCache::new(2, policy);
         // Three round-robin rounds over 6 instances against capacity 2:
@@ -396,9 +397,12 @@ fn works_through_dyn_object() {
 /// Concurrency stress: N client threads hammer one service with
 /// interleaved hit/miss/evict traffic (tiny cache capacities force
 /// constant eviction), and every response must equal a single-threaded
-/// replay of the same request sequence bit-for-bit. `#[ignore]`-gated;
-/// CI's service step runs it explicitly (`cargo test -p uaq-service --
-/// --ignored`).
+/// replay of the same request sequence bit-for-bit. The replay runs the
+/// single-shard configuration (1 worker, 1 queue shard, 1 cache shard)
+/// while the concurrent run uses per-worker queue shards and sharded
+/// caches, so the differential also pins sharded ≡ unsharded under
+/// eviction pressure. `#[ignore]`-gated; CI's service step runs it
+/// explicitly (`cargo test -p uaq-service -- --ignored`).
 #[test]
 #[ignore = "stress test: run explicitly (CI service step) with -- --ignored"]
 fn stress_concurrent_hit_miss_evict_matches_single_threaded_replay() {
@@ -442,6 +446,7 @@ fn stress_concurrent_hit_miss_evict_matches_single_threaded_replay() {
             max_fits_per_shape: 2,
             max_sel_entries: 8,
             eviction: EvictionPolicy::Segmented,
+            shards: 2,
         },
         ..Default::default()
     };
@@ -461,15 +466,20 @@ fn stress_concurrent_hit_miss_evict_matches_single_threaded_replay() {
     let catalog = Arc::new(catalog);
     let samples = Arc::new(samples);
 
-    // Single-threaded replay: the same sequences through a 1-worker
-    // service with the same tiny caches.
+    // Single-threaded, single-shard replay: the same sequences through a
+    // 1-worker service with the same tiny caches and no sharding at all.
     let replay_service = PredictionService::start(
         predictor.clone(),
         Arc::clone(&catalog),
         Arc::clone(&samples),
         ServiceConfig {
             workers: 1,
-            ..config
+            queue_shards: 1,
+            cache: CacheConfig {
+                shards: 1,
+                ..config.cache
+            },
+            ..config.clone()
         },
     );
     let mut replay: Vec<Vec<(u64, u64)>> = Vec::new();
@@ -504,6 +514,7 @@ fn stress_concurrent_hit_miss_evict_matches_single_threaded_replay() {
                             id: (client * per_client + n) as u64,
                             plan: Arc::clone(&instances[i]),
                             deadline_ms: Some(75.0),
+                            tenant: TenantId::default(),
                         })
                         .recv()
                         .expect("worker alive");
@@ -614,6 +625,7 @@ fn stress_worker_kills_preserve_exactly_one_response_and_bit_identity() {
                     id: (client * per_client + n) as u64,
                     plan: Arc::clone(&instances[i]),
                     deadline_ms: Some(100.0),
+                    tenant: TenantId::default(),
                 });
                 let r = rx
                     .recv_timeout(std::time::Duration::from_secs(30))

@@ -80,6 +80,21 @@ impl Histogram {
     }
 
     /// Index of the bucket that counts `v`.
+    ///
+    /// The contract, in full (each case has a boundary test):
+    ///
+    /// * `v` strictly between two bounds → the bucket of the *upper*
+    ///   bound (`le` semantics, matching the Prometheus exposition);
+    /// * `v` exactly on `bounds[i]` → bucket `i` (a bound is inclusive
+    ///   on its own bucket, never the next one);
+    /// * `v <= bounds[0]` — including `0.0`, `-0.0`, negatives, and
+    ///   `f64::NEG_INFINITY` — → bucket 0;
+    /// * `v > bounds[last]` — including `f64::INFINITY` — → the
+    ///   trailing overflow bucket (`bounds.len()`, exposed as
+    ///   `le="+Inf"`).
+    ///
+    /// NaN never reaches this function: `record` drops it first (NaN
+    /// has no ordering, so no bucket could be deterministic).
     fn bucket_of(&self, v: f64) -> usize {
         self.bounds.partition_point(|&b| b < v)
     }
@@ -228,6 +243,42 @@ mod tests {
         assert_eq!(s.counts, vec![2, 1, 0, 0, 1, 1, 1]);
         assert_eq!(s.count(), 6);
         assert!((s.sum - 25.2).abs() < 1e-12);
+    }
+
+    /// The full `bucket_of` edge contract: every boundary value lands in
+    /// the documented bucket, deterministically.
+    #[test]
+    fn bucket_edges_are_deterministic_and_documented() {
+        let h = Histogram::new(HistogramConfig {
+            min: 1.0,
+            max: 8.0,
+            sub_buckets: 2,
+        });
+        // bounds: [1.5, 2, 3, 4, 6, 8] + overflow (7 slots)
+        // Every bound exactly: bucket i, never i+1.
+        for b in [1.5, 2.0, 3.0, 4.0, 6.0, 8.0] {
+            h.record(b);
+        }
+        assert_eq!(h.snapshot().counts, vec![1, 1, 1, 1, 1, 1, 0]);
+        // Underflow family: 0.0, -0.0, negatives, -inf → bucket 0.
+        for v in [0.0, -0.0, -3.5, f64::NEG_INFINITY] {
+            h.record(v);
+        }
+        assert_eq!(h.snapshot().counts, vec![5, 1, 1, 1, 1, 1, 0]);
+        // Overflow family: past the last bound, +inf → trailing bucket.
+        for v in [8.0000001, 1e308, f64::INFINITY] {
+            h.record(v);
+        }
+        assert_eq!(h.snapshot().counts, vec![5, 1, 1, 1, 1, 1, 3]);
+        // Just under / just over a bound straddle it.
+        h.record(2.0 - 1e-12);
+        h.record(2.0 + 1e-12);
+        assert_eq!(h.snapshot().counts, vec![5, 2, 2, 1, 1, 1, 3]);
+        // NaN is dropped before bucketing: counts and sum are untouched.
+        let before = h.snapshot();
+        h.record(f64::NAN);
+        assert_eq!(h.snapshot().counts, before.counts);
+        assert_eq!(h.snapshot().sum.to_bits(), before.sum.to_bits());
     }
 
     #[test]

@@ -69,6 +69,7 @@ fn main() {
                 id,
                 plan: Arc::clone(&plan),
                 deadline_ms,
+                tenant: uaq::service::TenantId::default(),
             });
             let resp = rx.recv().expect("service worker alive");
 

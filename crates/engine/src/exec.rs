@@ -20,7 +20,8 @@
 //! per-row `Vec<Vec<u32>>`. The operator kernels work on row *indices*:
 //!
 //! * **selection** produces an index vector via vectorized typed-column
-//!   loops ([`crate::expr::BoundPred::filter_columns`]) and gathers;
+//!   loops ([`crate::expr::BoundPred::filter_slices`]) that becomes a
+//!   shared selection layer — no gather;
 //! * **hash join** builds its hash table on borrowed keys (primitive `i64`
 //!   fast path, or a [`JoinKey`]-style borrowed view mirroring `Value`
 //!   equality) with row-index payloads — no row is cloned until the final
@@ -30,23 +31,35 @@
 //! * **provenance** is carried end-to-end as the flat `arity × rows` matrix
 //!   the estimator already consumes, so per-node traces are a plain clone.
 //!
-//! # Zero-copy columns and lazy rows
+//! # Zero-copy columns, selection vectors, and lazy rows
 //!
-//! Columns travel as [`uaq_storage::ColumnRef`] — `Arc`-shared handles — so
-//! an operator that passes a column through unchanged (an unfiltered scan,
-//! a keep-everything filter, a materialize) shares the payload with its
-//! input for the price of a refcount bump. One mechanism covers base
-//! tables, sample tables, and intermediate batches alike; there is no
-//! borrowed-scan special case.
+//! Columns travel as [`uaq_storage::ColumnSlice`] — an `Arc`-shared base
+//! column ([`uaq_storage::ColumnRef`]) behind an optional chain of
+//! `Arc`-shared selection vectors. A pass-through operator (an unfiltered
+//! scan, a keep-everything filter, a materialize) shares payloads for the
+//! price of a refcount bump; a *selective* operator (filter, join output,
+//! sort) layers **one shared selection vector** over all of its input's
+//! columns and copies nothing. Selection-over-selection composes, and
+//! chains deeper than [`uaq_storage::MAX_SELECTION_DEPTH`] are flattened
+//! into one composed vector so reads stay cache-friendly.
 //!
-//! [`ExecOutcome`] is columnar: schema, shared root columns, and traces.
+//! Gathers are deferred to the consumers that genuinely need dense cells:
+//! aggregation state build and sort keys densify the columns they read
+//! (only those), schema-changing ops emit fresh columns by construction,
+//! and [`ExecOutcome::columns`] densifies at the edge on demand.
+//! [`ProvData`] follows the same discipline — an `Arc`-shared matrix
+//! behind an optional row selection — so per-operator provenance tracking
+//! and per-node trace storage are handle copies, not `arity × rows`
+//! gathers.
+//!
+//! [`ExecOutcome`] is columnar: schema, shared root slices, and traces.
 //! **Rows are opt-in at the edge** via [`ExecOutcome::rows`] /
-//! [`ExecOutcome::row_iter`] — the prediction path (selectivity estimation,
-//! cost fitting, experiments) reads only traces and never pays for row
-//! materialization. The row-based reference executor ([`crate::exec_row`])
-//! and the golden equivalence tests are the only row-eager consumers left,
-//! which is exactly what proves the zero-copy plane changes nothing
-//! observable.
+//! [`ExecOutcome::row_iter`] / the paged [`ExecOutcome::row_pages`] — the
+//! prediction path (selectivity estimation, cost fitting, experiments)
+//! reads only traces and never pays for row materialization. The row-based
+//! reference executor ([`crate::exec_row`]) and the golden equivalence
+//! tests are the only row-eager consumers left, which is exactly what
+//! proves the zero-copy plane changes nothing observable.
 
 use crate::expr::cell_pair_eq;
 use crate::plan::{AggFunc, NodeId, Op, Plan, SortOrder};
@@ -55,37 +68,113 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::{Arc, OnceLock};
 use uaq_storage::{
-    rows_from_columns, Catalog, ColumnData, ColumnRef, Row, SampleCatalog, Schema, Value,
+    rows_from_columns, Catalog, ColumnData, ColumnRef, ColumnSlice, Row, SampleCatalog, Schema,
+    Value,
 };
 
 /// Flattened provenance matrix of one operator's sample-mode output:
 /// `arity` step indices per output row, aligned with the node's
 /// `leaf_tables` order.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Late-materialized like the columns it travels with: the backing matrix
+/// is `Arc`-shared (a per-node trace stores a handle, not a copy) behind an
+/// optional selection over its rows, so a selective filter/sort re-selects
+/// provenance for the price of one index vector instead of re-gathering
+/// `arity × rows` entries. Re-selection composes eagerly — the selection
+/// depth never exceeds one. Logical accessors ([`ProvData::row`],
+/// [`ProvData::for_each_leaf_step`], `PartialEq`) read through the
+/// indirection, so consumers cannot observe the representation.
+#[derive(Debug, Clone, Default)]
 pub struct ProvData {
-    pub arity: usize,
-    pub data: Vec<u32>,
+    arity: usize,
+    data: Arc<Vec<u32>>,
+    sel: Option<Arc<Vec<u32>>>,
 }
 
 impl ProvData {
+    /// Wraps a freshly built dense matrix (row-major, `arity` per row).
+    pub fn new(arity: usize, data: Vec<u32>) -> Self {
+        Self {
+            arity,
+            data: Arc::new(data),
+            sel: None,
+        }
+    }
+
+    /// Arity-1 matrix sharing an existing index vector — a scan's
+    /// provenance *is* its selection vector, one allocation for both.
+    pub fn from_shared(arity: usize, data: Arc<Vec<u32>>) -> Self {
+        Self {
+            arity,
+            data,
+            sel: None,
+        }
+    }
+
+    /// Step indices per row (the number of leaf relations of the subtree).
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
     pub fn rows(&self) -> usize {
-        self.data.len().checked_div(self.arity).unwrap_or(0)
+        match &self.sel {
+            Some(sel) => sel.len(),
+            None => self.data.len().checked_div(self.arity).unwrap_or(0),
+        }
     }
 
     pub fn row(&self, i: usize) -> &[u32] {
-        &self.data[i * self.arity..(i + 1) * self.arity]
+        let p = match &self.sel {
+            Some(sel) => sel[i] as usize,
+            None => i,
+        };
+        &self.data[p * self.arity..(p + 1) * self.arity]
     }
 
-    /// New matrix containing rows `idx[0], idx[1], …` of `self`.
+    /// Streams column `k` of the matrix — leaf `k`'s step index for every
+    /// logical row, in row order — to `f`. The estimator's counting pass:
+    /// depth-specialized (strided scan when dense, indexed loads when
+    /// selected) so it never materializes rows.
+    pub fn for_each_leaf_step(&self, k: usize, mut f: impl FnMut(u32)) {
+        match &self.sel {
+            None => {
+                if self.data.is_empty() {
+                    return;
+                }
+                for &step in self.data[k..].iter().step_by(self.arity.max(1)) {
+                    f(step);
+                }
+            }
+            Some(sel) => {
+                for &r in sel.iter() {
+                    f(self.data[r as usize * self.arity + k]);
+                }
+            }
+        }
+    }
+
+    /// Re-selects logical rows `sel[0], sel[1], …` — shares the backing
+    /// matrix and composes with any existing selection (depth stays ≤ 1).
+    pub fn select(&self, sel: &Arc<Vec<u32>>) -> ProvData {
+        let composed = match &self.sel {
+            None => sel.clone(),
+            Some(cur) => Arc::new(sel.iter().map(|&i| cur[i as usize]).collect()),
+        };
+        ProvData {
+            arity: self.arity,
+            data: self.data.clone(),
+            sel: Some(composed),
+        }
+    }
+
+    /// New *dense* matrix containing rows `idx[0], idx[1], …` of `self`
+    /// (an eager copy; operators use [`ProvData::select`] instead).
     pub fn gather_rows(&self, idx: &[u32]) -> ProvData {
         let mut data = Vec::with_capacity(idx.len() * self.arity);
         for &i in idx {
             data.extend_from_slice(self.row(i as usize));
         }
-        ProvData {
-            arity: self.arity,
-            data,
-        }
+        ProvData::new(self.arity, data)
     }
 
     /// Row-wise concatenation: output row `k` is `left.row(li[k]) ++
@@ -98,9 +187,21 @@ impl ProvData {
             data.extend_from_slice(left.row(l as usize));
             data.extend_from_slice(right.row(r as usize));
         }
-        ProvData { arity, data }
+        ProvData::new(arity, data)
     }
 }
+
+/// Logical equality: same arity and the same step indices row by row,
+/// regardless of how each matrix is represented (dense vs selected).
+impl PartialEq for ProvData {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity
+            && self.rows() == other.rows()
+            && (0..self.rows()).all(|i| self.row(i) == other.row(i))
+    }
+}
+
+impl Eq for ProvData {}
 
 /// Per-operator execution observations.
 #[derive(Debug, Clone, Default)]
@@ -129,11 +230,14 @@ pub struct NodeTrace {
 pub struct ExecOutcome {
     /// Output schema of the root operator.
     pub schema: Schema,
-    /// Root output columns, shared (not copied) from the producing
-    /// operator. Seeded eagerly by the columnar executor; built lazily
-    /// from the row mirror for the row-based reference executor. Exactly
-    /// one of `columns`/`rows` is seeded at construction, so the accessors
-    /// can always derive the other.
+    /// Root output slices exactly as the executor produced them — possibly
+    /// selection views over shared base columns, never densified just to
+    /// be stored. `None` for rows-seeded outcomes (the row-based reference
+    /// executor).
+    slices: Option<Vec<ColumnSlice>>,
+    /// Lazy dense mirror, built from `slices` on first
+    /// [`ExecOutcome::columns`] call (or from the row mirror for a
+    /// rows-seeded outcome).
     columns: OnceLock<Vec<ColumnRef>>,
     /// Root output cardinality.
     num_rows: usize,
@@ -147,14 +251,15 @@ pub struct ExecOutcome {
 impl ExecOutcome {
     fn columnar(
         schema: Schema,
-        columns: Vec<ColumnRef>,
+        slices: Vec<ColumnSlice>,
         num_rows: usize,
         traces: Vec<NodeTrace>,
     ) -> Self {
-        debug_assert!(columns.iter().all(|c| c.len() == num_rows));
+        debug_assert!(slices.iter().all(|c| c.len() == num_rows));
         Self {
             schema,
-            columns: OnceLock::from(columns),
+            slices: Some(slices),
+            columns: OnceLock::new(),
             num_rows,
             rows: OnceLock::new(),
             traces,
@@ -167,6 +272,7 @@ impl ExecOutcome {
     pub(crate) fn from_rows(schema: Schema, rows: Vec<Row>, traces: Vec<NodeTrace>) -> Self {
         Self {
             schema,
+            slices: None,
             columns: OnceLock::new(),
             num_rows: rows.len(),
             rows: OnceLock::from(rows),
@@ -183,48 +289,135 @@ impl ExecOutcome {
         self.num_rows == 0
     }
 
-    /// Column-major view of the root output: `Arc`-shared handles, not
-    /// copies. For a row-executor outcome the mirror is built (and cached)
-    /// on first call.
+    /// The root output as the executor's late-materialized slices — shared
+    /// base columns behind selection chains, no payload copies. `None` for
+    /// a rows-seeded (reference-executor) outcome. Lets tests observe
+    /// deferral: sharing, chain depth, and the flatten bound.
+    pub fn slices(&self) -> Option<&[ColumnSlice]> {
+        self.slices.as_deref()
+    }
+
+    /// Column-major *dense* view of the root output, built (and cached) on
+    /// first call. A pass-through plan densifies for free — its slices are
+    /// dense and the base handles are shared, not copied; selective plans
+    /// pay their one deferred gather here.
     pub fn columns(&self) -> &[ColumnRef] {
-        self.columns.get_or_init(|| {
-            let rows = self.rows.get().expect("either columns or rows seeded");
-            uaq_storage::columns_from_rows(&self.schema, rows)
-                .into_iter()
-                .map(ColumnRef::new)
-                .collect()
+        self.columns.get_or_init(|| match &self.slices {
+            Some(slices) => slices.iter().map(ColumnSlice::to_dense).collect(),
+            None => {
+                let rows = self.rows.get().expect("either slices or rows seeded");
+                uaq_storage::columns_from_rows(&self.schema, rows)
+                    .into_iter()
+                    .map(ColumnRef::new)
+                    .collect()
+            }
         })
     }
 
     /// Row-major view of the root output, materialized (and cached) on
     /// first call — the explicit opt-in for edge consumers that really
-    /// need rows.
+    /// need all rows at once. Prefer [`ExecOutcome::row_pages`] when the
+    /// result may be huge.
     pub fn rows(&self) -> &[Row] {
-        self.rows.get_or_init(|| {
-            let columns = self.columns.get().expect("either columns or rows seeded");
-            rows_from_columns(columns, self.num_rows)
+        self.rows.get_or_init(|| match &self.slices {
+            Some(slices) => (0..self.num_rows)
+                .map(|i| slices.iter().map(|s| s.value(i)).collect())
+                .collect(),
+            None => {
+                let columns = self.columns.get().expect("either slices or rows seeded");
+                rows_from_columns(columns, self.num_rows)
+            }
         })
+    }
+
+    /// Whether the full row mirror has been built (tests use this to prove
+    /// that paged consumption never materializes it).
+    pub fn rows_materialized(&self) -> bool {
+        self.rows.get().is_some()
     }
 
     /// Iterator adapter yielding one [`Row`] at a time — streaming
     /// consumption without building the full mirror. Serves from whichever
     /// representation is already materialized: seeded rows are cloned
-    /// per-item, otherwise rows are assembled from the shared columns.
+    /// per-item, otherwise rows are assembled through the shared slices.
     pub fn row_iter(&self) -> Box<dyn Iterator<Item = Row> + '_> {
         if let Some(rows) = self.rows.get() {
             return Box::new(rows.iter().cloned());
         }
+        if let Some(slices) = &self.slices {
+            return Box::new(
+                (0..self.num_rows).map(move |i| slices.iter().map(|s| s.value(i)).collect()),
+            );
+        }
         let columns = self.columns();
         Box::new((0..self.num_rows).map(move |i| columns.iter().map(|c| c.value(i)).collect()))
     }
+
+    /// Streams the result as pages of at most `page_size` rows (the last
+    /// page may be shorter), materializing one page at a time — the
+    /// service edge for results too large to hold as rows all at once.
+    /// Never populates the full-row cache, though it serves from it when
+    /// some other consumer already built it. A `page_size` of 0 is clamped
+    /// to 1.
+    pub fn row_pages(&self, page_size: usize) -> RowPages<'_> {
+        RowPages {
+            outcome: self,
+            next: 0,
+            page_size: page_size.max(1),
+        }
+    }
 }
 
+/// Iterator over an [`ExecOutcome`]'s rows in fixed-size pages; see
+/// [`ExecOutcome::row_pages`]. Peak resident row memory is one page.
+#[derive(Debug)]
+pub struct RowPages<'a> {
+    outcome: &'a ExecOutcome,
+    next: usize,
+    page_size: usize,
+}
+
+impl Iterator for RowPages<'_> {
+    type Item = Vec<Row>;
+
+    fn next(&mut self) -> Option<Vec<Row>> {
+        if self.next >= self.outcome.num_rows {
+            return None;
+        }
+        let end = (self.next + self.page_size).min(self.outcome.num_rows);
+        let page: Vec<Row> = if let Some(rows) = self.outcome.rows.get() {
+            rows[self.next..end].to_vec()
+        } else if let Some(slices) = &self.outcome.slices {
+            (self.next..end)
+                .map(|i| slices.iter().map(|s| s.value(i)).collect())
+                .collect()
+        } else {
+            let columns = self.outcome.columns();
+            (self.next..end)
+                .map(|i| columns.iter().map(|c| c.value(i)).collect())
+                .collect()
+        };
+        self.next = end;
+        Some(page)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.outcome.num_rows - self.next;
+        let pages = remaining.div_ceil(self.page_size);
+        (pages, Some(pages))
+    }
+}
+
+impl ExactSizeIterator for RowPages<'_> {}
+
 /// Intermediate columnar batch flowing between operators. Columns are
-/// `Arc`-shared [`ColumnRef`]s: a pass-through operator clones handles
-/// (O(1)), and only gathers allocate new payloads.
+/// late-materialized [`ColumnSlice`]s — `Arc`-shared base payloads behind
+/// `Arc`-shared selection chains: a pass-through operator clones handles
+/// (O(1)), a selective operator layers one shared index vector over all
+/// columns, and payloads are copied only where a consumer densifies.
 struct Batch {
     schema: Schema,
-    cols: Vec<ColumnRef>,
+    cols: Vec<ColumnSlice>,
     len: usize,
     /// Flat provenance matrix (sample mode only; dropped above aggregates
     /// because grouped rows have no single lineage).
@@ -232,8 +425,8 @@ struct Batch {
 }
 
 impl Batch {
-    fn col(&self, i: usize) -> &ColumnData {
-        self.cols[i].as_ref()
+    fn col(&self, i: usize) -> &ColumnSlice {
+        &self.cols[i]
     }
 }
 
@@ -407,8 +600,9 @@ impl Executor<'_> {
         };
         self.traces[id].output_rows = batch.len;
         if let Some(prov) = &batch.prov {
-            debug_assert_eq!(prov.arity, self.plan.meta(id).leaf_tables.len());
+            debug_assert_eq!(prov.arity(), self.plan.meta(id).leaf_tables.len());
             debug_assert_eq!(prov.rows(), batch.len);
+            // Handle copy: the trace shares the batch's backing matrix.
             self.traces[id].prov = Some(prov.clone());
         }
         batch
@@ -430,19 +624,24 @@ impl Executor<'_> {
         self.traces[id].left_input_rows = input_len;
         let bound = predicate.bind(&schema);
         let sel = bound.filter_columns(cols, input_len);
-        let out_cols: Vec<ColumnRef> = if sel.len() == input_len {
+        let len = sel.len();
+        let (out_cols, prov) = if len == input_len {
             // Nothing filtered: share the table's columns (refcount bumps).
-            cols.to_vec()
+            let out = cols.iter().cloned().map(ColumnSlice::dense).collect();
+            (out, with_prov.then(|| ProvData::new(1, sel)))
         } else {
-            cols.iter().map(|c| c.gather(&sel)).collect()
+            // One shared selection over every column — and the scan's
+            // provenance *is* that selection, so it shares the same `Arc`.
+            let sel = Arc::new(sel);
+            let out = cols
+                .iter()
+                .map(|c| ColumnSlice::selected(c.clone(), sel.clone()))
+                .collect();
+            (out, with_prov.then(|| ProvData::from_shared(1, sel)))
         };
-        let prov = with_prov.then(|| ProvData {
-            arity: 1,
-            data: sel.clone(),
-        });
         Batch {
             schema,
-            len: sel.len(),
+            len,
             cols: out_cols,
             prov,
         }
@@ -451,35 +650,41 @@ impl Executor<'_> {
     fn filter(&mut self, id: NodeId, child: Batch, predicate: &crate::expr::Pred) -> Batch {
         self.traces[id].left_input_rows = child.len;
         let bound = predicate.bind(&child.schema);
-        let sel = bound.filter_columns(&child.cols, child.len);
+        let sel = bound.filter_slices(&child.cols, child.len);
         if sel.len() == child.len {
             // Keep-everything filter: the child's column handles pass
             // through shared, no copy.
             return child;
         }
-        let cols = child.cols.iter().map(|c| c.gather(&sel)).collect();
-        let prov = child.prov.as_ref().map(|p| p.gather_rows(&sel));
+        let len = sel.len();
+        let sel = Arc::new(sel);
+        let cols = ColumnSlice::select_all(&child.cols, &sel);
+        let prov = child.prov.as_ref().map(|p| p.select(&sel));
         Batch {
             schema: child.schema,
             cols,
-            len: sel.len(),
+            len,
             prov,
         }
     }
 
     fn sort(&mut self, id: NodeId, child: Batch, keys: &[(String, SortOrder)]) -> Batch {
         self.traces[id].left_input_rows = child.len;
-        let key_cols: Vec<(&ColumnData, SortOrder)> = keys
+        // Densify only the key columns (free when already dense): the
+        // comparator runs hot and must not walk a selection chain per
+        // probe. Payload columns stay lazy — the permutation is just one
+        // more shared selection layer.
+        let key_cols: Vec<(ColumnRef, SortOrder)> = keys
             .iter()
-            .map(|(k, o)| (child.col(child.schema.expect_index(k)), *o))
+            .map(|(k, o)| (child.col(child.schema.expect_index(k)).to_dense(), *o))
             .collect();
         let mut order: Vec<u32> = (0..child.len as u32).collect();
         // Stable sort, same comparator semantics as `Value::cmp` per column
         // (columns are monotype, so only the same-type arms apply).
         order.sort_by(|&a, &b| {
-            for &(col, dir) in &key_cols {
+            for (col, dir) in &key_cols {
                 let cmp = cell_cmp_same(col, a as usize, b as usize);
-                let cmp = if dir == SortOrder::Desc {
+                let cmp = if *dir == SortOrder::Desc {
                     cmp.reverse()
                 } else {
                     cmp
@@ -490,8 +695,9 @@ impl Executor<'_> {
             }
             Ordering::Equal
         });
-        let cols = child.cols.iter().map(|c| c.gather(&order)).collect();
-        let prov = child.prov.as_ref().map(|p| p.gather_rows(&order));
+        let order = Arc::new(order);
+        let cols = ColumnSlice::select_all(&child.cols, &order);
+        let prov = child.prov.as_ref().map(|p| p.select(&order));
         Batch {
             schema: child.schema,
             cols,
@@ -521,25 +727,32 @@ impl Executor<'_> {
         // mirroring `Value` equality); payloads are row indices.
         let mut li_out: Vec<u32> = Vec::new();
         let mut ri_out: Vec<u32> = Vec::new();
-        match (left.col(lk), right.col(rk)) {
-            // Fast path: integer keys on both sides hash and compare as i64.
-            (ColumnData::Int(lv), ColumnData::Int(rv)) => {
-                let (ids, csr) = build_csr(rv.len(), |i| rv[i]);
-                for (li, k) in lv.iter().enumerate() {
-                    if let Some(&id) = ids.get(k) {
-                        let matches = csr.group(id);
-                        li_out.extend(std::iter::repeat_n(li as u32, matches.len()));
-                        ri_out.extend_from_slice(matches);
-                    }
+        {
+            let (lslice, rslice) = (left.col(lk), right.col(rk));
+            match (lslice.base().as_ref(), rslice.base().as_ref()) {
+                // Fast path: integer keys on both sides hash and compare as
+                // i64, read through the selection chains without densifying.
+                (ColumnData::Int(lv), ColumnData::Int(rv)) => {
+                    let (ids, csr) = build_csr(right.len, |i| rv[rslice.physical(i)]);
+                    let mut li: u32 = 0;
+                    lslice.for_each_physical(|lp| {
+                        if let Some(&id) = ids.get(&lv[lp]) {
+                            let matches = csr.group(id);
+                            li_out.extend(std::iter::repeat_n(li, matches.len()));
+                            ri_out.extend_from_slice(matches);
+                        }
+                        li += 1;
+                    });
                 }
-            }
-            (lcol, rcol) => {
-                let (ids, csr) = build_csr(right.len, |i| join_key_at(rcol, i));
-                for li in 0..left.len {
-                    if let Some(&id) = ids.get(&join_key_at(lcol, li)) {
-                        let matches = csr.group(id);
-                        li_out.extend(std::iter::repeat_n(li as u32, matches.len()));
-                        ri_out.extend_from_slice(matches);
+                (lcol, rcol) => {
+                    let (ids, csr) =
+                        build_csr(right.len, |i| join_key_at(rcol, rslice.physical(i)));
+                    for li in 0..left.len {
+                        if let Some(&id) = ids.get(&join_key_at(lcol, lslice.physical(li))) {
+                            let matches = csr.group(id);
+                            li_out.extend(std::iter::repeat_n(li as u32, matches.len()));
+                            ri_out.extend_from_slice(matches);
+                        }
                     }
                 }
             }
@@ -559,27 +772,35 @@ impl Executor<'_> {
         self.traces[id].right_input_rows = right.len;
         let lk = left.schema.expect_index(left_key);
         let rk = right.schema.expect_index(right_key);
-        let (lcol, rcol) = (left.col(lk), right.col(rk));
 
         let mut li_out: Vec<u32> = Vec::new();
         let mut ri_out: Vec<u32> = Vec::new();
-        for li in 0..left.len {
-            for ri in 0..right.len {
-                if cell_pair_eq(lcol, li, rcol, ri) {
-                    li_out.push(li as u32);
-                    ri_out.push(ri as u32);
+        {
+            let (lslice, rslice) = (left.col(lk), right.col(rk));
+            let (lcol, rcol) = (lslice.base().as_ref(), rslice.base().as_ref());
+            for li in 0..left.len {
+                let lp = lslice.physical(li);
+                for ri in 0..right.len {
+                    if cell_pair_eq(lcol, lp, rcol, rslice.physical(ri)) {
+                        li_out.push(li as u32);
+                        ri_out.push(ri as u32);
+                    }
                 }
             }
         }
         self.join_output(left, right, li_out, ri_out)
     }
 
-    /// Materializes a join result from matched (left, right) index pairs.
+    /// Assembles a join result from matched (left, right) index pairs —
+    /// as selection layers over the input slices, not fresh payloads: the
+    /// match vectors become one shared selection per side.
     fn join_output(&self, left: Batch, right: Batch, li: Vec<u32>, ri: Vec<u32>) -> Batch {
         let schema = left.schema.concat(&right.schema);
+        let len = li.len();
+        let (li, ri) = (Arc::new(li), Arc::new(ri));
         let mut cols = Vec::with_capacity(left.cols.len() + right.cols.len());
-        cols.extend(left.cols.iter().map(|c| c.gather(&li)));
-        cols.extend(right.cols.iter().map(|c| c.gather(&ri)));
+        cols.extend(ColumnSlice::select_all(&left.cols, &li));
+        cols.extend(ColumnSlice::select_all(&right.cols, &ri));
         let prov = match (&left.prov, &right.prov) {
             (Some(lp), Some(rp)) => Some(ProvData::join_rows(lp, &li, rp, &ri)),
             _ => None,
@@ -587,7 +808,7 @@ impl Executor<'_> {
         Batch {
             schema,
             cols,
-            len: li.len(),
+            len,
             prov,
         }
     }
@@ -600,16 +821,24 @@ impl Executor<'_> {
         aggs: &[(String, AggFunc)],
     ) -> Batch {
         self.traces[id].left_input_rows = child.len;
-        let group_cols: Vec<&ColumnData> = group_by
+        // The grouping/state loops index cells row-at-a-time and hot; this
+        // is one of the sanctioned densification points — but only for the
+        // columns the aggregate actually reads, never the whole batch.
+        let group_dense: Vec<ColumnRef> = group_by
             .iter()
-            .map(|g| child.col(child.schema.expect_index(g)))
+            .map(|g| child.col(child.schema.expect_index(g)).to_dense())
             .collect();
-        let agg_cols: Vec<Option<&ColumnData>> = aggs
+        let group_cols: Vec<&ColumnData> = group_dense.iter().map(|c| c.as_ref()).collect();
+        let agg_dense: Vec<Option<ColumnRef>> = aggs
             .iter()
             .map(|(_, f)| {
                 f.input_column()
-                    .map(|c| child.col(child.schema.expect_index(c)))
+                    .map(|c| child.col(child.schema.expect_index(c)).to_dense())
             })
+            .collect();
+        let agg_cols: Vec<Option<&ColumnData>> = agg_dense
+            .iter()
+            .map(|o| o.as_ref().map(|c| c.as_ref()))
             .collect();
 
         #[derive(Clone)]
@@ -749,7 +978,7 @@ impl Executor<'_> {
         // Provenance cannot flow through grouping (Algorithm 1's Agg case).
         Batch {
             schema,
-            cols: cols.into_iter().map(ColumnRef::new).collect(),
+            cols: cols.into_iter().map(ColumnSlice::from).collect(),
             len: n_groups,
             prov: None,
         }

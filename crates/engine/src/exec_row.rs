@@ -114,7 +114,7 @@ impl<'a> Executor<'a> {
                 debug_assert_eq!(p.len(), arity);
                 data.extend_from_slice(p);
             }
-            self.traces[id].prov = Some(ProvData { arity, data });
+            self.traces[id].prov = Some(ProvData::new(arity, data));
         }
         batch
     }

@@ -8,7 +8,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
-use uaq_storage::{ColumnData, Row, Schema, Value};
+use uaq_storage::{ColumnData, ColumnSlice, Row, Schema, Value};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -463,6 +463,109 @@ impl BoundPred {
             .filter(|&i| self.eval_columns(cols, i as usize))
             .collect()
     }
+
+    /// Evaluates the predicate on logical row `i` of a batch of
+    /// [`ColumnSlice`]s, reading through each column's selection chain.
+    /// Mirrors [`BoundPred::eval`] exactly; note that with per-column
+    /// selection views the *physical* index may differ between columns even
+    /// though the logical row is the same.
+    pub fn eval_slices(&self, cols: &[ColumnSlice], i: usize) -> bool {
+        match self {
+            BoundPred::True => true,
+            BoundPred::Cmp { idx, op, value } => {
+                let s = &cols[*idx];
+                cmp_cell_value(*op, s.base().as_ref(), s.physical(i), value)
+            }
+            BoundPred::ColCmp { left, op, right } => {
+                let (l, r) = (&cols[*left], &cols[*right]);
+                cmp_cell_pair(
+                    *op,
+                    l.base().as_ref(),
+                    l.physical(i),
+                    r.base().as_ref(),
+                    r.physical(i),
+                )
+            }
+            BoundPred::Between { idx, lo, hi } => {
+                let s = &cols[*idx];
+                let (c, p) = (s.base().as_ref(), s.physical(i));
+                cell_value_cmp(c, p, lo) != Ordering::Less
+                    && cell_value_cmp(c, p, hi) != Ordering::Greater
+            }
+            BoundPred::InList { idx, values } => {
+                let s = &cols[*idx];
+                let (c, p) = (s.base().as_ref(), s.physical(i));
+                values.iter().any(|v| cell_value_eq(c, p, v))
+            }
+            BoundPred::And(ps) => ps.iter().all(|p| p.eval_slices(cols, i)),
+            BoundPred::Or(ps) => ps.iter().any(|p| p.eval_slices(cols, i)),
+        }
+    }
+
+    /// Vectorized selection over a batch of [`ColumnSlice`]s: *logical* row
+    /// indices in `0..len` satisfying the predicate, in logical order. The
+    /// slice counterpart of [`BoundPred::filter_columns`]: the same typed
+    /// fast paths, with physical indices streamed through the selection
+    /// chain ([`ColumnSlice::for_each_physical`]) instead of enumerated.
+    pub fn filter_slices(&self, cols: &[ColumnSlice], len: usize) -> Vec<u32> {
+        match self {
+            BoundPred::True => (0..len as u32).collect(),
+            BoundPred::Cmp { idx, op, value } => {
+                let s = &cols[*idx];
+                match (s.base().as_ref(), value) {
+                    (ColumnData::Int(v), Value::Int(c)) => {
+                        let c = *c;
+                        match op {
+                            CmpOp::Eq => select_slice(v, s, |x| x == c),
+                            CmpOp::Ne => select_slice(v, s, |x| x != c),
+                            CmpOp::Lt => select_slice(v, s, |x| x < c),
+                            CmpOp::Le => select_slice(v, s, |x| x <= c),
+                            CmpOp::Gt => select_slice(v, s, |x| x > c),
+                            CmpOp::Ge => select_slice(v, s, |x| x >= c),
+                        }
+                    }
+                    (ColumnData::Float(v), Value::Float(c)) => select_slice_float(v, s, *op, *c),
+                    (ColumnData::Float(v), Value::Int(c)) => {
+                        select_slice_float(v, s, *op, *c as f64)
+                    }
+                    _ => self.select_generic_slices(cols, len),
+                }
+            }
+            BoundPred::Between { idx, lo, hi } => {
+                let s = &cols[*idx];
+                match (s.base().as_ref(), lo, hi) {
+                    (ColumnData::Int(v), Value::Int(lo), Value::Int(hi)) => {
+                        let (lo, hi) = (*lo, *hi);
+                        select_slice(v, s, |x| x >= lo && x <= hi)
+                    }
+                    (ColumnData::Float(v), Value::Float(lo), Value::Float(hi)) => {
+                        let (lo, hi) = (*lo, *hi);
+                        select_slice(v, s, |x| {
+                            x.partial_cmp(&lo).expect("NaN in ordered value") != Ordering::Less
+                                && x.partial_cmp(&hi).expect("NaN in ordered value")
+                                    != Ordering::Greater
+                        })
+                    }
+                    _ => self.select_generic_slices(cols, len),
+                }
+            }
+            BoundPred::And(ps) if !ps.is_empty() => {
+                // Filter by the first conjunct vectorized, then refine.
+                let mut sel = ps[0].filter_slices(cols, len);
+                for p in &ps[1..] {
+                    sel.retain(|&i| p.eval_slices(cols, i as usize));
+                }
+                sel
+            }
+            _ => self.select_generic_slices(cols, len),
+        }
+    }
+
+    fn select_generic_slices(&self, cols: &[ColumnSlice], len: usize) -> Vec<u32> {
+        (0..len as u32)
+            .filter(|&i| self.eval_slices(cols, i as usize))
+            .collect()
+    }
 }
 
 fn select<T: Copy>(col: &[T], pred: impl Fn(T) -> bool) -> Vec<u32> {
@@ -470,6 +573,41 @@ fn select<T: Copy>(col: &[T], pred: impl Fn(T) -> bool) -> Vec<u32> {
         .enumerate()
         .filter_map(|(i, &x)| pred(x).then_some(i as u32))
         .collect()
+}
+
+/// [`select`] through a slice's selection chain: `pred` sees physical
+/// cells, the output indices are logical.
+fn select_slice<T: Copy>(v: &[T], slice: &ColumnSlice, pred: impl Fn(T) -> bool) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut i = 0u32;
+    slice.for_each_physical(|p| {
+        if pred(v[p]) {
+            out.push(i);
+        }
+        i += 1;
+    });
+    out
+}
+
+fn select_slice_float(v: &[f64], s: &ColumnSlice, op: CmpOp, c: f64) -> Vec<u32> {
+    match op {
+        // Float equality is bit equality (Value semantics: NaN == NaN,
+        // -0.0 != 0.0), not numeric equality.
+        CmpOp::Eq => select_slice(v, s, |x| x.to_bits() == c.to_bits()),
+        CmpOp::Ne => select_slice(v, s, |x| x.to_bits() != c.to_bits()),
+        CmpOp::Lt => select_slice(v, s, |x| {
+            x.partial_cmp(&c).expect("NaN in ordered value") == Ordering::Less
+        }),
+        CmpOp::Le => select_slice(v, s, |x| {
+            x.partial_cmp(&c).expect("NaN in ordered value") != Ordering::Greater
+        }),
+        CmpOp::Gt => select_slice(v, s, |x| {
+            x.partial_cmp(&c).expect("NaN in ordered value") == Ordering::Greater
+        }),
+        CmpOp::Ge => select_slice(v, s, |x| {
+            x.partial_cmp(&c).expect("NaN in ordered value") != Ordering::Less
+        }),
+    }
 }
 
 fn select_float(v: &[f64], op: CmpOp, c: f64) -> Vec<u32> {
@@ -505,13 +643,20 @@ fn cmp_cell_value(op: CmpOp, col: &ColumnData, i: usize, v: &Value) -> bool {
 }
 
 fn cmp_cell_cell(op: CmpOp, l: &ColumnData, r: &ColumnData, i: usize) -> bool {
+    cmp_cell_pair(op, l, i, r, i)
+}
+
+/// [`cmp_cell_cell`] generalized to independent cell indices — needed when
+/// the two columns sit behind different selection chains, so one logical
+/// row maps to different physical indices per column.
+fn cmp_cell_pair(op: CmpOp, l: &ColumnData, li: usize, r: &ColumnData, ri: usize) -> bool {
     match op {
-        CmpOp::Eq => cell_cell_eq(l, r, i),
-        CmpOp::Ne => !cell_cell_eq(l, r, i),
-        CmpOp::Lt => cell_cell_cmp(l, r, i) == Ordering::Less,
-        CmpOp::Le => cell_cell_cmp(l, r, i) != Ordering::Greater,
-        CmpOp::Gt => cell_cell_cmp(l, r, i) == Ordering::Greater,
-        CmpOp::Ge => cell_cell_cmp(l, r, i) != Ordering::Less,
+        CmpOp::Eq => cell_pair_eq(l, li, r, ri),
+        CmpOp::Ne => !cell_pair_eq(l, li, r, ri),
+        CmpOp::Lt => cell_pair_cmp(l, li, r, ri) == Ordering::Less,
+        CmpOp::Le => cell_pair_cmp(l, li, r, ri) != Ordering::Greater,
+        CmpOp::Gt => cell_pair_cmp(l, li, r, ri) == Ordering::Greater,
+        CmpOp::Ge => cell_pair_cmp(l, li, r, ri) != Ordering::Less,
     }
 }
 
@@ -547,11 +692,6 @@ fn cell_value_cmp(col: &ColumnData, i: usize, v: &Value) -> Ordering {
     }
 }
 
-/// Mirrors `Value::eq` between cells `i` of two columns.
-pub(crate) fn cell_cell_eq(l: &ColumnData, r: &ColumnData, i: usize) -> bool {
-    cell_pair_eq(l, i, r, i)
-}
-
 /// Mirrors `Value::eq` between cell `li` of one column and `ri` of another.
 pub(crate) fn cell_pair_eq(l: &ColumnData, li: usize, r: &ColumnData, ri: usize) -> bool {
     match (l, r) {
@@ -564,18 +704,19 @@ pub(crate) fn cell_pair_eq(l: &ColumnData, li: usize, r: &ColumnData, ri: usize)
     }
 }
 
-fn cell_cell_cmp(l: &ColumnData, r: &ColumnData, i: usize) -> Ordering {
+/// Mirrors `Value::cmp` between cell `li` of one column and `ri` of another.
+fn cell_pair_cmp(l: &ColumnData, li: usize, r: &ColumnData, ri: usize) -> Ordering {
     match (l, r) {
-        (ColumnData::Int(a), ColumnData::Int(b)) => a[i].cmp(&b[i]),
-        (ColumnData::Str(a), ColumnData::Str(b)) => a[i].cmp(&b[i]),
-        (ColumnData::Int(a), ColumnData::Float(b)) => (a[i] as f64)
-            .partial_cmp(&b[i])
+        (ColumnData::Int(a), ColumnData::Int(b)) => a[li].cmp(&b[ri]),
+        (ColumnData::Str(a), ColumnData::Str(b)) => a[li].cmp(&b[ri]),
+        (ColumnData::Int(a), ColumnData::Float(b)) => (a[li] as f64)
+            .partial_cmp(&b[ri])
             .expect("NaN in ordered value"),
         (ColumnData::Float(a), ColumnData::Float(b)) => {
-            a[i].partial_cmp(&b[i]).expect("NaN in ordered value")
+            a[li].partial_cmp(&b[ri]).expect("NaN in ordered value")
         }
-        (ColumnData::Float(a), ColumnData::Int(b)) => a[i]
-            .partial_cmp(&(b[i] as f64))
+        (ColumnData::Float(a), ColumnData::Int(b)) => a[li]
+            .partial_cmp(&(b[ri] as f64))
             .expect("NaN in ordered value"),
         (a, b) => panic!("cannot order {:?} cell vs {:?} cell", a.ty(), b.ty()),
     }

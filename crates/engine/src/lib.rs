@@ -15,7 +15,7 @@ pub mod plan;
 pub mod planner;
 
 pub use cardest::{estimate_cardinalities, predicate_selectivity};
-pub use exec::{execute_full, execute_on_samples, ExecOutcome, NodeTrace, ProvData};
+pub use exec::{execute_full, execute_on_samples, ExecOutcome, NodeTrace, ProvData, RowPages};
 pub use exec_row::{execute_full_rows, execute_on_samples_rows};
 pub use expr::{BoundPred, CmpOp, Pred};
 pub use plan::{AggFunc, LeafRef, NodeId, NodeMeta, Op, Plan, PlanBuilder, SelKind, SortOrder};

@@ -46,8 +46,11 @@ fn assert_outcomes_equal(cols: &ExecOutcome, rows: &ExecOutcome, label: &str) {
         match (&a.prov, &b.prov) {
             (None, None) => {}
             (Some(pa), Some(pb)) => {
-                assert_eq!(pa.arity, pb.arity, "{label}: node {id} prov arity");
-                assert_eq!(pa.data, pb.data, "{label}: node {id} prov data");
+                assert_eq!(pa.arity(), pb.arity(), "{label}: node {id} prov arity");
+                // Logical equality: `ProvData::eq` reads row-by-row through
+                // any selection indirection, so a selection-backed matrix
+                // must carry bit-identical step indices to the dense one.
+                assert_eq!(pa, pb, "{label}: node {id} prov data");
             }
             _ => panic!("{label}: node {id} prov presence mismatch"),
         }

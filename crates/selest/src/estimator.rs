@@ -213,7 +213,11 @@ fn estimate_sampled(
         .unwrap_or_else(|| panic!("node {id} has no provenance; was the plan run on samples?"));
     let sizes = leaf_sizes(plan, id, samples);
     let arity = sizes.len();
-    assert_eq!(prov.arity, arity, "provenance arity mismatch at node {id}");
+    assert_eq!(
+        prov.arity(),
+        arity,
+        "provenance arity mismatch at node {id}"
+    );
 
     let denom: f64 = sizes.iter().map(|&n| n as f64).product();
     let count = prov.rows() as f64;
@@ -246,7 +250,9 @@ fn estimate_sampled(
     // Q_{k,j,n}: for each leaf k, how many output tuples involve sample step
     // j of that leaf (§3.2.2). The step domain is exactly `0..n_k` (sample
     // table row positions), so the counters live in a dense vector — one
-    // contiguous strided pass down column k of the flat provenance matrix,
+    // strided pass down column k of the flat provenance matrix (indexed
+    // loads when the matrix sits behind a selection vector — see
+    // `ProvData::for_each_leaf_step`),
     // no hashing, and the Σ_j loop visits steps in index order, keeping the
     // float summation order deterministic (bit-reproducible experiments).
     let mut per_leaf_var = Vec::with_capacity(arity);
@@ -258,9 +264,7 @@ fn estimate_sampled(
         }
         q.clear();
         q.resize(n_k, 0);
-        for &step in prov.data[k..].iter().step_by(arity.max(1)) {
-            q[step as usize] += 1;
-        }
+        prov.for_each_leaf_step(k, |step| q[step as usize] += 1);
         // D_k = ∏_{k' ≠ k} n_{k'} — the normaliser `n^{K−1}` of Eq. 5.
         let d_k = denom / n_k as f64;
         // Σ_j (Q_j/D_k − ρ)² over all n_k steps (never-seen steps
@@ -447,7 +451,7 @@ mod tests {
                 rows.push(vec![Value::Int(v)]);
             }
         }
-        c.add_table(Table::new("t", s.clone(), rows));
+        c.add_table(Table::new("t", s, rows));
         // u.x: value v appears (v+1) times.
         let s2 = Schema::new(vec![Column::int("x")]);
         let mut rows2 = Vec::new();

@@ -14,7 +14,9 @@ pub mod table;
 pub mod value;
 
 pub use catalog::{Catalog, SampleCatalog, TableStats};
-pub use column::{columns_from_rows, rows_from_columns, ColumnData, ColumnRef};
+pub use column::{
+    columns_from_rows, rows_from_columns, ColumnData, ColumnRef, ColumnSlice, MAX_SELECTION_DEPTH,
+};
 pub use histogram::Histogram;
 pub use sample::{sample_size_for_ratio, SampleTable};
 pub use schema::{Column, ColumnType, Schema};

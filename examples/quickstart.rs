@@ -106,5 +106,13 @@ fn main() {
         err,
         err / prediction.std_dev_ms()
     );
-    println!("query returned {} rows", outcome.num_rows());
+    // Stream the result out in pages: each page is densified on demand from
+    // the executor's selection vectors, so the full row mirror is never built.
+    let mut pages = 0usize;
+    let mut streamed = 0usize;
+    for page in outcome.row_pages(4096) {
+        pages += 1;
+        streamed += page.len();
+    }
+    println!("query returned {streamed} rows in {pages} pages of ≤ 4096");
 }

@@ -444,6 +444,7 @@ struct Executor<'a> {
 /// Executes a plan against the base tables. The returned outcome is
 /// columnar; no row is materialized unless the caller asks.
 pub fn execute_full(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
+    crate::validate::debug_check(plan, Some(catalog), None);
     uaq_telemetry::span::timed(uaq_telemetry::span::Stage::Exec, || {
         let mut ex = Executor {
             plan,
@@ -459,6 +460,7 @@ pub fn execute_full(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
 /// the estimator consumes only the traces, so the former root-row
 /// materialization is gone from the prediction path entirely.
 pub fn execute_on_samples(plan: &Plan, samples: &SampleCatalog) -> ExecOutcome {
+    crate::validate::debug_check(plan, None, Some(samples));
     crate::fault::fire_sample_pass_hook();
     uaq_telemetry::span::timed(uaq_telemetry::span::Stage::Exec, || {
         let mut ex = Executor {

@@ -35,6 +35,7 @@ struct Executor<'a> {
 
 /// Row-based reference: executes a plan against the base tables.
 pub fn execute_full_rows(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
+    crate::validate::debug_check(plan, Some(catalog), None);
     let mut ex = Executor {
         plan,
         source: Source::Full(catalog),
@@ -47,6 +48,7 @@ pub fn execute_full_rows(plan: &Plan, catalog: &Catalog) -> ExecOutcome {
 /// Row-based reference: executes a plan against sample tables, tracking
 /// provenance.
 pub fn execute_on_samples_rows(plan: &Plan, samples: &SampleCatalog) -> ExecOutcome {
+    crate::validate::debug_check(plan, None, Some(samples));
     let mut ex = Executor {
         plan,
         source: Source::Samples(samples),

@@ -13,6 +13,7 @@ pub mod expr;
 pub mod fault;
 pub mod plan;
 pub mod planner;
+pub mod validate;
 
 pub use cardest::{estimate_cardinalities, predicate_selectivity};
 pub use exec::{execute_full, execute_on_samples, ExecOutcome, NodeTrace, ProvData, RowPages};
@@ -20,3 +21,7 @@ pub use exec_row::{execute_full_rows, execute_on_samples_rows};
 pub use expr::{BoundPred, CmpOp, Pred};
 pub use plan::{AggFunc, LeafRef, NodeId, NodeMeta, Op, Plan, PlanBuilder, SelKind, SortOrder};
 pub use planner::{plan_query, JoinStep, QuerySpec, TableRef};
+pub use validate::{
+    validate, validate_cached, validate_cached_on_samples, validate_on_samples, PlanError,
+    MAX_PLAN_DEPTH,
+};

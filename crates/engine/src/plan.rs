@@ -189,6 +189,10 @@ struct PlanKeys {
     shape_signature: std::sync::OnceLock<String>,
     literal_key: std::sync::OnceLock<String>,
     shape_hash: std::sync::OnceLock<u64>,
+    /// Memoized [`crate::validate`] verdict, keyed by the catalog
+    /// fingerprint it was computed against. `None` in the payload means
+    /// the plan validated clean.
+    validation: std::sync::OnceLock<(u64, Option<crate::validate::PlanError>)>,
 }
 
 impl Clone for Plan {
@@ -208,6 +212,10 @@ impl Clone for Plan {
                 literal_key: seed(&self.keys.literal_key),
                 shape_hash: match self.keys.shape_hash.get() {
                     Some(&v) => std::sync::OnceLock::from(v),
+                    None => std::sync::OnceLock::new(),
+                },
+                validation: match self.keys.validation.get() {
+                    Some(v) => std::sync::OnceLock::from(v.clone()),
                     None => std::sync::OnceLock::new(),
                 },
             },
@@ -566,6 +574,16 @@ impl Plan {
             }
             h
         })
+    }
+
+    /// The interned [`crate::validate`] verdict slot. Owned by
+    /// [`crate::validate::validate_cached`]; lives in [`PlanKeys`] so the
+    /// manual `Clone` carries a served plan's verdict over with its other
+    /// memos.
+    pub(crate) fn validation_memo(
+        &self,
+    ) -> &std::sync::OnceLock<(u64, Option<crate::validate::PlanError>)> {
+        &self.keys.validation
     }
 
     /// Multi-line indented plan rendering (EXPLAIN-style).

@@ -1,0 +1,204 @@
+//! The allowlist: per-site justifications with ratchet counts.
+//!
+//! `lint-allowlist.txt` at the workspace root carries one entry per line:
+//!
+//! ```text
+//! rule | file | pattern | max | justification
+//! ```
+//!
+//! - `rule`: a rule name from `--list-rules`;
+//! - `file`: workspace-relative path the entry applies to;
+//! - `pattern`: substring matched against the diagnostic snippet (`*`
+//!   matches any snippet from that rule+file);
+//! - `max`: the ratchet — the largest number of matching sites allowed.
+//!   New code pushing the count past `max` fails CI; shrinking the count is
+//!   always legal (tighten the number when you remove sites);
+//! - `justification`: one line of *why* these sites cannot panic / must
+//!   copy, carried next to the budget it excuses.
+//!
+//! Entries that match nothing are themselves errors ("stale entry"), so the
+//! file can only shrink as the code improves — it cannot quietly rot.
+
+use crate::diag::{Diagnostic, RuleId};
+
+#[derive(Debug, Clone)]
+pub struct Entry {
+    pub rule: RuleId,
+    pub file: String,
+    pub pattern: String,
+    pub max: usize,
+    pub justification: String,
+    /// 1-based line in the allowlist file, for error reporting.
+    pub line: u32,
+}
+
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<Entry>,
+}
+
+/// The outcome of filtering diagnostics through the allowlist.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Diagnostics not excused by any entry — these fail the build.
+    pub violations: Vec<Diagnostic>,
+    /// Diagnostics excused by an entry.
+    pub allowed: Vec<Diagnostic>,
+    /// Human-readable allowlist problems: budget overruns and stale entries.
+    pub errors: Vec<String>,
+}
+
+impl Allowlist {
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.splitn(5, '|').map(str::trim).collect();
+            if parts.len() != 5 {
+                return Err(format!(
+                    "allowlist line {}: expected `rule | file | pattern | max | justification`",
+                    idx + 1
+                ));
+            }
+            let rule = RuleId::parse(parts[0]).ok_or_else(|| {
+                format!("allowlist line {}: unknown rule {:?}", idx + 1, parts[0])
+            })?;
+            let max: usize = parts[3]
+                .parse()
+                .map_err(|_| format!("allowlist line {}: bad max {:?}", idx + 1, parts[3]))?;
+            if parts[4].is_empty() {
+                return Err(format!("allowlist line {}: empty justification", idx + 1));
+            }
+            entries.push(Entry {
+                rule,
+                file: parts[1].to_string(),
+                pattern: parts[2].to_string(),
+                max,
+                justification: parts[4].to_string(),
+                line: (idx + 1) as u32,
+            });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Splits `diags` into allowed and violating, enforcing ratchets. Each
+    /// diagnostic is claimed by the first entry (in file order) whose rule,
+    /// file, and pattern match it.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> Applied {
+        let mut out = Applied::default();
+        let mut match_counts = vec![0usize; self.entries.len()];
+        for d in diags {
+            let hit = self.entries.iter().position(|e| {
+                e.rule == d.rule
+                    && d.file.to_string_lossy() == e.file.as_str()
+                    && (e.pattern == "*" || d.snippet.contains(&e.pattern))
+            });
+            match hit {
+                Some(i) => {
+                    match_counts[i] += 1;
+                    out.allowed.push(d);
+                }
+                None => out.violations.push(d),
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if match_counts[i] == 0 {
+                out.errors.push(format!(
+                    "stale allowlist entry (line {}): `{} | {} | {}` matches no site — delete it",
+                    e.line, e.rule, e.file, e.pattern
+                ));
+            } else if match_counts[i] > e.max {
+                out.errors.push(format!(
+                    "allowlist budget exceeded (line {}): `{} | {} | {}` allows {} site(s), \
+                     found {} — remove the new site or raise the ratchet with a review",
+                    e.line, e.rule, e.file, e.pattern, e.max, match_counts[i]
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn diag(rule: RuleId, file: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: PathBuf::from(file),
+            line: 1,
+            snippet: snippet.to_string(),
+            message: String::new(),
+        }
+    }
+
+    const LIST: &str = "\
+# comment\n\
+panic-discipline | crates/engine/src/expr.rs | expect( | 2 | NaN screened at ingest\n\
+alloc-hygiene | crates/engine/src/exec.rs | * | 1 | page boundary copy\n";
+
+    #[test]
+    fn parse_apply_and_ratchet() {
+        let al = Allowlist::parse(LIST).unwrap();
+        assert_eq!(al.entries.len(), 2);
+        let a = al.apply(vec![
+            diag(
+                RuleId::PanicDiscipline,
+                "crates/engine/src/expr.rs",
+                "x.expect(\"NaN\")",
+            ),
+            diag(
+                RuleId::PanicDiscipline,
+                "crates/engine/src/expr.rs",
+                "y.unwrap()",
+            ),
+            diag(
+                RuleId::AllocHygiene,
+                "crates/engine/src/exec.rs",
+                "rows.to_vec()",
+            ),
+        ]);
+        assert_eq!(a.allowed.len(), 2);
+        assert_eq!(a.violations.len(), 1);
+        assert!(a.violations[0].snippet.contains("unwrap"));
+        assert!(a.errors.is_empty());
+    }
+
+    #[test]
+    fn budget_overrun_and_stale_entries_error() {
+        let al = Allowlist::parse(LIST).unwrap();
+        let a = al.apply(vec![
+            diag(
+                RuleId::PanicDiscipline,
+                "crates/engine/src/expr.rs",
+                "a.expect(\"1\")",
+            ),
+            diag(
+                RuleId::PanicDiscipline,
+                "crates/engine/src/expr.rs",
+                "b.expect(\"2\")",
+            ),
+            diag(
+                RuleId::PanicDiscipline,
+                "crates/engine/src/expr.rs",
+                "c.expect(\"3\")",
+            ),
+        ]);
+        assert_eq!(a.errors.len(), 2); // overrun + stale alloc entry
+        assert!(a.errors[0].contains("stale") || a.errors[1].contains("stale"));
+        assert!(a.errors.iter().any(|e| e.contains("exceeded")));
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        assert!(Allowlist::parse("nope | x.rs | * | 1").is_err());
+        assert!(Allowlist::parse("bad-rule | x.rs | * | 1 | why").is_err());
+        assert!(Allowlist::parse("determinism | x.rs | * | many | why").is_err());
+        assert!(Allowlist::parse("determinism | x.rs | * | 1 |").is_err());
+    }
+}

@@ -1,0 +1,338 @@
+//! Shared diagnostics: rule identities, findings with file:line spans, and
+//! the lexed view of a source file the rules pattern-match against.
+//!
+//! Both analyses in this PR — the workspace linter and the plan validator
+//! in `uaq_engine::validate` — report through the same `file:line: [rule]`
+//! shape so CI output and editor jump-to-location work identically.
+
+use crate::lexer::{self, Token, TokenKind};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Identity of a lint rule; stable ids appear in CI output, `--deny`/
+/// `--allow` arguments and allowlist lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    Determinism,
+    PoisonSafety,
+    PanicDiscipline,
+    AllocHygiene,
+}
+
+impl RuleId {
+    pub const ALL: [RuleId; 4] = [
+        RuleId::Determinism,
+        RuleId::PoisonSafety,
+        RuleId::PanicDiscipline,
+        RuleId::AllocHygiene,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::Determinism => "determinism",
+            RuleId::PoisonSafety => "poison-safety",
+            RuleId::PanicDiscipline => "panic-discipline",
+            RuleId::AllocHygiene => "alloc-hygiene",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.name() == s)
+    }
+
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::Determinism => {
+                "wall-clock reads (Instant::now / SystemTime::now / UNIX_EPOCH, including \
+                 aliased imports) in the prediction crates; timing belongs to telemetry::span"
+            }
+            RuleId::PoisonSafety => {
+                ".lock().unwrap()/.expect(…) in uaq-service outside src/sync.rs, including \
+                 unwraps reached through let-bound lock results"
+            }
+            RuleId::PanicDiscipline => {
+                "unwrap/expect/slice-index sites in non-test code of the prediction crates; \
+                 every surviving site carries a justification in lint-allowlist.txt"
+            }
+            RuleId::AllocHygiene => {
+                "per-row/per-batch buffer copies (.to_vec(), .as_ref().clone(), \
+                 .iter().cloned().collect()) in engine/storage hot modules where handle \
+                 reuse is the contract"
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One finding: where, which rule, what the offending tokens spell.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    pub rule: RuleId,
+    pub file: PathBuf,
+    pub line: u32,
+    /// The offending token run, whitespace-normalized — what allowlist
+    /// patterns match against.
+    pub snippet: String,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {} — `{}`",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message,
+            self.snippet
+        )
+    }
+}
+
+/// A lexed source file plus the derived views rules need: the significant
+/// (non-trivia) token indices and the byte ranges of test-only items.
+pub struct SourceFile {
+    /// Path relative to the workspace root, '/'-separated.
+    pub rel: String,
+    pub src: String,
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-whitespace, non-comment tokens.
+    pub sig: Vec<usize>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    test_regions: Vec<(usize, usize)>,
+    pub lex_errors: Vec<lexer::LexError>,
+}
+
+impl SourceFile {
+    pub fn parse(rel: String, src: String) -> SourceFile {
+        let (tokens, lex_errors) = lexer::lex(&src);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        let test_regions = find_test_regions(&src, &tokens, &sig);
+        SourceFile {
+            rel,
+            src,
+            tokens,
+            sig,
+            test_regions,
+            lex_errors,
+        }
+    }
+
+    /// Text of the `i`-th significant token.
+    pub fn sig_text(&self, i: usize) -> &str {
+        self.tokens[self.sig[i]].text(&self.src)
+    }
+
+    pub fn sig_kind(&self, i: usize) -> TokenKind {
+        self.tokens[self.sig[i]].kind
+    }
+
+    pub fn sig_line(&self, i: usize) -> u32 {
+        self.tokens[self.sig[i]].line
+    }
+
+    /// Whether the `i`-th significant token lies inside a `#[cfg(test)]`
+    /// module or `#[test]` function.
+    pub fn in_test_code(&self, i: usize) -> bool {
+        let pos = self.tokens[self.sig[i]].start;
+        self.test_regions.iter().any(|&(s, e)| pos >= s && pos < e)
+    }
+
+    /// Whitespace-normalized text of significant tokens `[from, to)` — the
+    /// snippet diagnostics carry and allowlist patterns match.
+    pub fn snippet(&self, from: usize, to: usize) -> String {
+        let mut out = String::new();
+        for i in from..to.min(self.sig.len()) {
+            let text = self.sig_text(i);
+            // Keep idents separated so `let g` doesn't render `letg`.
+            if !out.is_empty()
+                && out
+                    .as_bytes()
+                    .last()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                && text
+                    .as_bytes()
+                    .first()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            {
+                out.push(' ');
+            }
+            out.push_str(text);
+        }
+        out
+    }
+
+    pub fn diagnostic(&self, rule: RuleId, at: usize, len: usize, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            file: PathBuf::from(&self.rel),
+            line: self.sig_line(at),
+            snippet: self.snippet(at, at + len),
+            message,
+        }
+    }
+}
+
+/// Finds the byte ranges of items annotated `#[cfg(test)]` or `#[test]`
+/// (including `#[cfg(any(test, …))]`): from the attribute's `#` through the
+/// end of the following item (its balanced `{…}` block or terminating `;`).
+fn find_test_regions(src: &str, tokens: &[Token], sig: &[usize]) -> Vec<(usize, usize)> {
+    let text = |i: usize| tokens[sig[i]].text(src);
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i + 1 < sig.len() {
+        if text(i) != "#" || text(i + 1) != "[" {
+            i += 1;
+            continue;
+        }
+        let attr_start_byte = tokens[sig[i]].start;
+        // Find the matching `]` and check whether the attribute mentions a
+        // bare `test` path segment (covers #[test], #[cfg(test)],
+        // #[cfg(any(test, feature = "x"))]).
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut is_test_attr = false;
+        while j < sig.len() {
+            match text(j) {
+                "[" | "(" => depth += 1,
+                "]" | ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                "test" => is_test_attr = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        if !is_test_attr || j >= sig.len() {
+            i = j.max(i + 1);
+            continue;
+        }
+        // Skip any further attributes (#[cfg(test)] #[allow(…)] mod t {…}).
+        let mut k = j + 1;
+        while k + 1 < sig.len() && text(k) == "#" && text(k + 1) == "[" {
+            let mut d = 0usize;
+            let mut m = k + 1;
+            while m < sig.len() {
+                match text(m) {
+                    "[" | "(" => d += 1,
+                    "]" | ")" => {
+                        d -= 1;
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            k = m + 1;
+        }
+        // Consume the item: to its `{`-balanced end, or the first `;` seen
+        // before any brace opens (e.g. `#[cfg(test)] use foo;`).
+        let mut brace = 0usize;
+        let mut end_sig = None;
+        let mut m = k;
+        while m < sig.len() {
+            match text(m) {
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace == 0 {
+                        end_sig = Some(m);
+                        break;
+                    }
+                }
+                ";" if brace == 0 => {
+                    end_sig = Some(m);
+                    break;
+                }
+                _ => {}
+            }
+            m += 1;
+        }
+        match end_sig {
+            Some(e) => {
+                regions.push((attr_start_byte, tokens[sig[e]].end));
+                i = e + 1;
+            }
+            None => {
+                regions.push((attr_start_byte, src.len()));
+                break;
+            }
+        }
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules() {
+        let src = "fn prod() { x.unwrap(); }\n\
+                   #[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n\
+                   fn prod2() {}\n";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        let unwraps: Vec<bool> = (0..f.sig.len())
+            .filter(|&i| f.sig_text(i) == "unwrap")
+            .map(|i| f.in_test_code(i))
+            .collect();
+        assert_eq!(unwraps, [false, true]);
+        // prod2 after the module is back outside the region.
+        let prod2 = (0..f.sig.len())
+            .find(|&i| f.sig_text(i) == "prod2")
+            .unwrap();
+        assert!(!f.in_test_code(prod2));
+    }
+
+    #[test]
+    fn test_regions_cover_test_fns_and_stacked_attrs() {
+        let src = "#[test]\n#[should_panic]\nfn boom() { a.unwrap(); }\nfn keep() { b.unwrap(); }";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        let unwraps: Vec<bool> = (0..f.sig.len())
+            .filter(|&i| f.sig_text(i) == "unwrap")
+            .map(|i| f.in_test_code(i))
+            .collect();
+        assert_eq!(unwraps, [true, false]);
+    }
+
+    #[test]
+    fn cfg_any_test_counts_as_test() {
+        let src = "#[cfg(any(test, feature = \"slow\"))]\nmod helpers { fn h() { c.unwrap(); } }";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        let i = (0..f.sig.len())
+            .find(|&i| f.sig_text(i) == "unwrap")
+            .unwrap();
+        assert!(f.in_test_code(i));
+    }
+
+    #[test]
+    fn non_test_attrs_do_not_create_regions() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() { d.unwrap(); }";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        let i = (0..f.sig.len())
+            .find(|&i| f.sig_text(i) == "unwrap")
+            .unwrap();
+        assert!(!f.in_test_code(i));
+    }
+}

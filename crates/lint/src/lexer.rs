@@ -1,0 +1,511 @@
+//! A hand-rolled, lossless Rust lexer.
+//!
+//! The rules in this crate match against token streams, not raw text, so
+//! they cannot be fooled by the things that defeat `grep`: calls split
+//! across lines, string literals that merely *mention* a banned API, code
+//! commented out, raw strings containing `".lock().unwrap()"`, and so on.
+//!
+//! The lexer is lossless: every byte of the input is covered by exactly one
+//! token, and concatenating the token texts reconstructs the source
+//! bit-for-bit (the round-trip property the proptest in
+//! `tests/lexer_roundtrip.rs` exercises). It handles the parts of Rust's
+//! lexical grammar that matter for correctness here:
+//!
+//! - raw strings `r"…"` / `r#"…"#` with arbitrary hash depth (and `br…`),
+//! - nested block comments `/* /* … */ */`,
+//! - lifetimes vs char literals (`'a` in `<'a>` vs `'a'`),
+//! - numeric literals where `.` is consumed only when it starts a fraction
+//!   (`1..2` lexes as `1` `.` `.` `2`, not `1.` `.2`),
+//! - raw identifiers `r#match`.
+//!
+//! It deliberately does *not* build a syntax tree: rules pattern-match flat
+//! token sequences, which is robust, fast, and exactly as much parsing as a
+//! lint over our own codebase needs. The same lexer is the intended front
+//! half of the future `uaq_sql` tokenizer (ROADMAP item 1).
+
+/// What a token is; spans index into the original source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines, carriage returns.
+    Whitespace,
+    /// `// …` up to (not including) the newline.
+    LineComment,
+    /// `/* … */`, nesting respected; unterminated runs to EOF.
+    BlockComment,
+    /// Identifiers and keywords, including raw identifiers `r#match`.
+    Ident,
+    /// `'a`, `'static`, `'_` — an apostrophe not closing a char literal.
+    Lifetime,
+    /// Integer literal, any base, with suffix (`0xFF_u8`).
+    Int,
+    /// Float literal (`1.5`, `1e9`, `2.5e-3f64`).
+    Float,
+    /// `"…"` and `b"…"`.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br#"…"#`.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// A single punctuation byte (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One lexeme: kind plus the byte span and the 1-based line it starts on.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// A lexical problem worth reporting (unterminated string/comment). The
+/// lexer still produces a token covering the rest of the file so the
+/// lossless property holds.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// True for bytes that may start an identifier. Non-ASCII bytes are treated
+/// as identifier characters: the linter only needs to keep them attached to
+/// whatever token they appear in.
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic() || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+struct Cursor<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek(0)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn eat_while(&mut self, pred: impl Fn(u8) -> bool) {
+        while let Some(b) = self.peek(0) {
+            if !pred(b) {
+                break;
+            }
+            self.bump();
+        }
+    }
+}
+
+/// Lexes `src` into a lossless token stream plus any lexical errors.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<LexError>) {
+    let mut cur = Cursor {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut tokens = Vec::new();
+    let mut errors = Vec::new();
+    while cur.pos < cur.src.len() {
+        let start = cur.pos;
+        let line = cur.line;
+        let kind = next_kind(&mut cur, &mut errors);
+        debug_assert!(cur.pos > start, "lexer must always make progress");
+        tokens.push(Token {
+            kind,
+            start,
+            end: cur.pos,
+            line,
+        });
+    }
+    (tokens, errors)
+}
+
+fn next_kind(cur: &mut Cursor<'_>, errors: &mut Vec<LexError>) -> TokenKind {
+    let b = cur.peek(0).expect("next_kind called at EOF");
+    match b {
+        b' ' | b'\t' | b'\n' | b'\r' => {
+            cur.eat_while(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'));
+            TokenKind::Whitespace
+        }
+        b'/' if cur.peek(1) == Some(b'/') => {
+            cur.eat_while(|b| b != b'\n');
+            TokenKind::LineComment
+        }
+        b'/' if cur.peek(1) == Some(b'*') => block_comment(cur, errors),
+        b'r' | b'b' => prefixed_or_ident(cur),
+        b'\'' => char_or_lifetime(cur, errors),
+        b'"' => {
+            string(cur, errors);
+            TokenKind::Str
+        }
+        b if is_ident_start(b) => {
+            cur.eat_while(is_ident_continue);
+            TokenKind::Ident
+        }
+        b if b.is_ascii_digit() => number(cur),
+        _ => {
+            cur.bump();
+            TokenKind::Punct
+        }
+    }
+}
+
+fn block_comment(cur: &mut Cursor<'_>, errors: &mut Vec<LexError>) -> TokenKind {
+    let open_line = cur.line;
+    cur.bump(); // /
+    cur.bump(); // *
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                cur.bump();
+                cur.bump();
+                depth += 1;
+            }
+            (Some(b'*'), Some(b'/')) => {
+                cur.bump();
+                cur.bump();
+                depth -= 1;
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => {
+                errors.push(LexError {
+                    line: open_line,
+                    message: "unterminated block comment".into(),
+                });
+                break;
+            }
+        }
+    }
+    TokenKind::BlockComment
+}
+
+/// `r` and `b` may start raw strings, byte strings, byte chars, raw
+/// identifiers — or be plain identifiers.
+fn prefixed_or_ident(cur: &mut Cursor<'_>) -> TokenKind {
+    let b0 = cur.peek(0).expect("prefixed_or_ident at EOF");
+    // br"…" / br#"…"#
+    if b0 == b'b' && cur.peek(1) == Some(b'r') {
+        let mut hashes = 0;
+        while cur.peek(2 + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if cur.peek(2 + hashes) == Some(b'"') {
+            cur.bump();
+            cur.bump();
+            raw_string_body(cur, hashes);
+            return TokenKind::RawStr;
+        }
+    }
+    // b"…" and b'…'
+    if b0 == b'b' {
+        match cur.peek(1) {
+            Some(b'"') => {
+                cur.bump();
+                let mut errs = Vec::new();
+                string(cur, &mut errs);
+                return TokenKind::Str;
+            }
+            Some(b'\'') => {
+                cur.bump();
+                cur.bump(); // '
+                            // b'x' / b'\n' — byte chars cannot be lifetimes.
+                if cur.peek(0) == Some(b'\\') {
+                    cur.bump();
+                    cur.bump();
+                } else {
+                    cur.bump();
+                }
+                if cur.peek(0) == Some(b'\'') {
+                    cur.bump();
+                }
+                return TokenKind::Char;
+            }
+            _ => {}
+        }
+    }
+    // r"…" / r#"…"# / r#ident
+    if b0 == b'r' {
+        let mut hashes = 0;
+        while cur.peek(1 + hashes) == Some(b'#') {
+            hashes += 1;
+        }
+        if cur.peek(1 + hashes) == Some(b'"') {
+            cur.bump();
+            raw_string_body(cur, hashes);
+            return TokenKind::RawStr;
+        }
+        if hashes == 1 && cur.peek(2).is_some_and(is_ident_start) {
+            cur.bump(); // r
+            cur.bump(); // #
+            cur.eat_while(is_ident_continue);
+            return TokenKind::Ident;
+        }
+    }
+    cur.eat_while(is_ident_continue);
+    TokenKind::Ident
+}
+
+/// Consumes `#*"…"#*` after the `r`/`br` prefix has been eaten.
+fn raw_string_body(cur: &mut Cursor<'_>, hashes: usize) {
+    for _ in 0..hashes {
+        cur.bump(); // #
+    }
+    cur.bump(); // "
+    loop {
+        match cur.bump() {
+            None => break, // unterminated; covered to EOF
+            Some(b'"') => {
+                let mut seen = 0;
+                while seen < hashes && cur.peek(0) == Some(b'#') {
+                    cur.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// After a `'`: a char literal if a (possibly escaped) char is followed by a
+/// closing `'`, otherwise a lifetime. `'a'` is a char; `'a` in `<'a>` is a
+/// lifetime; `'\n'` is a char; `'_` is a lifetime.
+fn char_or_lifetime(cur: &mut Cursor<'_>, errors: &mut Vec<LexError>) -> TokenKind {
+    let line = cur.line;
+    cur.bump(); // '
+    if cur.peek(0) == Some(b'\\') {
+        // Escapes only occur in char literals. The escaped character is
+        // consumed unconditionally — `'\''` must not stop at its own quote.
+        cur.bump(); // backslash
+        cur.bump(); // escaped char
+        loop {
+            match cur.bump() {
+                Some(b'\'') | None => break,
+                Some(b'\\') => {
+                    cur.bump();
+                }
+                Some(_) => {}
+            }
+        }
+        return TokenKind::Char;
+    }
+    if cur.peek(0).is_some_and(is_ident_start) {
+        // Could be 'a' (char) or 'a / 'static (lifetime): scan the ident run
+        // and decide by whether a quote follows a single char.
+        let run_start = cur.pos;
+        cur.eat_while(is_ident_continue);
+        let run_len = cur.pos - run_start;
+        if run_len == 1 && cur.peek(0) == Some(b'\'') {
+            cur.bump();
+            return TokenKind::Char;
+        }
+        return TokenKind::Lifetime;
+    }
+    // '…' with a non-ident first char: ' ', '.', multibyte, etc.
+    if cur.bump().is_none() {
+        errors.push(LexError {
+            line,
+            message: "unterminated character literal".into(),
+        });
+        return TokenKind::Char;
+    }
+    // Multibyte chars span several bytes; eat to the closing quote.
+    while let Some(b) = cur.peek(0) {
+        if b == b'\'' {
+            cur.bump();
+            break;
+        }
+        if b == b'\n' {
+            break;
+        }
+        cur.bump();
+    }
+    TokenKind::Char
+}
+
+fn string(cur: &mut Cursor<'_>, errors: &mut Vec<LexError>) {
+    let line = cur.line;
+    cur.bump(); // "
+    loop {
+        match cur.bump() {
+            None => {
+                errors.push(LexError {
+                    line,
+                    message: "unterminated string literal".into(),
+                });
+                break;
+            }
+            Some(b'\\') => {
+                cur.bump();
+            }
+            Some(b'"') => break,
+            Some(_) => {}
+        }
+    }
+}
+
+fn number(cur: &mut Cursor<'_>) -> TokenKind {
+    let mut float = false;
+    if cur.peek(0) == Some(b'0')
+        && matches!(cur.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+    {
+        cur.bump();
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_alphanumeric() || b == b'_');
+        return TokenKind::Int;
+    }
+    cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    // A fraction only if `.` is followed by a digit: `1..2` and `1.map(…)`
+    // must leave the dot alone.
+    if cur.peek(0) == Some(b'.') && cur.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+        float = true;
+        cur.bump();
+        cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+    }
+    // Exponent: `1e9`, `2.5E-3`.
+    if matches!(cur.peek(0), Some(b'e' | b'E')) {
+        let sign = matches!(cur.peek(1), Some(b'+' | b'-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|b| b.is_ascii_digit()) {
+            float = true;
+            cur.bump();
+            if sign {
+                cur.bump();
+            }
+            cur.eat_while(|b| b.is_ascii_digit() || b == b'_');
+        }
+    }
+    // Type suffix (`u32`, `f64`) — also catches `1f32` making it a float.
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let suffix_start = cur.pos;
+        cur.eat_while(is_ident_continue);
+        if cur.src[suffix_start] == b'f' {
+            float = true;
+        }
+    }
+    if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        let (toks, errs) = lex(src);
+        assert!(errs.is_empty(), "unexpected lex errors: {errs:?}");
+        toks.iter()
+            .filter(|t| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    fn lossless(src: &str) {
+        let (toks, _) = lex(src);
+        let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let got = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(got.contains(&(TokenKind::Lifetime, "'a".into())));
+        assert!(got.contains(&(TokenKind::Char, "'x'".into())));
+        let got = kinds("let l: &'static str = \"s\"; let c = '\\n';");
+        assert!(got.contains(&(TokenKind::Lifetime, "'static".into())));
+        assert!(got.contains(&(TokenKind::Char, "'\\n'".into())));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_comments() {
+        let got = kinds("r#\"has \"quotes\" inside\"# br\"bytes\" r\"plain\"");
+        assert_eq!(got[0].0, TokenKind::RawStr);
+        assert_eq!(got[1].0, TokenKind::RawStr);
+        assert_eq!(got[2].0, TokenKind::RawStr);
+        lossless("/* outer /* inner */ still outer */ fn f() {}");
+        let (toks, errs) = lex("/* outer /* inner */ still outer */ x");
+        assert!(errs.is_empty());
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Ident);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let got = kinds("1..2");
+        let texts: Vec<&str> = got.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, ["1", ".", ".", "2"]);
+        let got = kinds("1.5e-3 0xFF_u8 1f64 7.max(2)");
+        assert_eq!(got[0], (TokenKind::Float, "1.5e-3".into()));
+        assert_eq!(got[1], (TokenKind::Int, "0xFF_u8".into()));
+        assert_eq!(got[2], (TokenKind::Float, "1f64".into()));
+        assert_eq!(got[3], (TokenKind::Int, "7".into()));
+        assert_eq!(got[4].1, ".");
+    }
+
+    #[test]
+    fn raw_identifiers_and_line_numbers() {
+        let got = kinds("r#match r#fn plain");
+        assert_eq!(got[0], (TokenKind::Ident, "r#match".into()));
+        assert_eq!(got[1], (TokenKind::Ident, "r#fn".into()));
+        let (toks, _) = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.line)
+            .collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn unterminated_inputs_are_lossless_with_errors() {
+        for src in ["\"never closed", "/* never closed", "'"] {
+            let (toks, errs) = lex(src);
+            assert!(!errs.is_empty(), "{src:?} should error");
+            let rebuilt: String = toks.iter().map(|t| t.text(src)).collect();
+            assert_eq!(rebuilt, src);
+        }
+    }
+
+    #[test]
+    fn banned_text_inside_literals_is_not_code() {
+        let src = r##"let s = "Instant::now()"; let r = r#".lock().unwrap()"#; // Instant::now()"##;
+        let got = kinds(src);
+        // No Ident token spells any banned name — they are all inside
+        // literals or comments.
+        assert!(!got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && (t == "Instant" || t == "lock")));
+    }
+}

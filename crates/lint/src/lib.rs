@@ -1,0 +1,151 @@
+//! uaq-lint: the workspace invariant linter.
+//!
+//! Replaces the `grep` gates that used to guard the repo's contracts in CI
+//! with tested, token-level analyses (see ROADMAP.md PR 10):
+//!
+//! - `determinism` — no wall-clock reads in the prediction crates;
+//! - `poison-safety` — no `.lock().unwrap()`-family calls in `uaq-service`
+//!   outside `src/sync.rs`, including let-bound lock results;
+//! - `panic-discipline` — audited unwrap/expect/index budget in the
+//!   prediction crates, justified in `lint-allowlist.txt`;
+//! - `alloc-hygiene` — no buffer copies in the executor's hot modules.
+//!
+//! Std-only on purpose: the linter gates the workspace's dependency
+//! discipline, so it must not import anything itself. The lexer in
+//! [`lexer`] is the intended front half of the ROADMAP item 1 SQL
+//! tokenizer.
+
+pub mod allowlist;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use allowlist::{Allowlist, Applied};
+use diag::{Diagnostic, RuleId, SourceFile};
+use rules::Rule;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// What to run: which rules are denied (checked) and which allowlist to
+/// excuse findings through.
+pub struct Config {
+    pub root: PathBuf,
+    pub deny: BTreeSet<RuleId>,
+    pub allowlist: Option<Allowlist>,
+}
+
+/// Outcome of a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Diagnostic>,
+    pub allowed: Vec<Diagnostic>,
+    /// Allowlist budget overruns and stale entries (also build failures).
+    pub allowlist_errors: Vec<String>,
+    /// Files that failed to lex cleanly, with the error (build failure:
+    /// a file the lexer cannot follow is a file the rules cannot audit).
+    pub lex_errors: Vec<String>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.allowlist_errors.is_empty() && self.lex_errors.is_empty()
+    }
+}
+
+/// Lints every `.rs` file under `root/crates` against the denied rules.
+pub fn run_workspace(cfg: &Config) -> std::io::Result<Report> {
+    let rules: Vec<Box<dyn Rule>> = rules::all_rules()
+        .into_iter()
+        .filter(|r| cfg.deny.contains(&r.id()))
+        .collect();
+    let mut files = Vec::new();
+    collect_rs_files(&cfg.root.join("crates"), &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    let mut diags = Vec::new();
+    for path in files {
+        let rel = match relative(&cfg.root, &path) {
+            Some(r) => r,
+            None => continue,
+        };
+        let active: Vec<&Box<dyn Rule>> = rules.iter().filter(|r| r.applies_to(&rel)).collect();
+        if active.is_empty() {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path)?;
+        let file = SourceFile::parse(rel.clone(), src);
+        report.files_scanned += 1;
+        for e in &file.lex_errors {
+            report
+                .lex_errors
+                .push(format!("{rel}:{}: {}", e.line, e.message));
+        }
+        for rule in active {
+            diags.extend(rule.check(&file));
+        }
+    }
+    diags.sort_by_key(|d| (d.file.clone(), d.line, d.rule));
+
+    let Applied {
+        violations,
+        allowed,
+        errors,
+    } = match &cfg.allowlist {
+        Some(al) => al.apply(diags),
+        None => Applied {
+            violations: diags,
+            ..Applied::default()
+        },
+    };
+    report.violations = violations;
+    report.allowed = allowed;
+    report.allowlist_errors = errors;
+    Ok(report)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative, '/'-separated path, or `None` if outside the root.
+fn relative(root: &Path, path: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    Some(s)
+}
+
+/// Loads the allowlist from its conventional location, if present.
+pub fn load_allowlist(root: &Path) -> Result<Option<Allowlist>, String> {
+    let path = root.join("lint-allowlist.txt");
+    if !path.exists() {
+        return Ok(None);
+    }
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Allowlist::parse(&text).map(Some)
+}

@@ -1,0 +1,149 @@
+//! The `uaq-lint` CLI.
+//!
+//! ```text
+//! cargo run -p uaq-lint -- --deny all                 # what CI runs
+//! cargo run -p uaq-lint -- --deny determinism         # one rule
+//! cargo run -p uaq-lint -- --deny all --allow panic-discipline
+//! cargo run -p uaq-lint -- --list-rules
+//! ```
+//!
+//! Exit codes: 0 clean (allowlisted findings are clean), 1 violations or
+//! allowlist errors, 2 usage errors.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use uaq_lint::diag::RuleId;
+use uaq_lint::{load_allowlist, run_workspace, Config};
+
+fn usage() -> &'static str {
+    "usage: uaq-lint [--root DIR] [--deny RULE|all]... [--allow RULE|all]... \
+     [--no-allowlist] [--list-rules]\n\
+     Rules default to `--deny all`. `--allow` subtracts from the denied set.\n\
+     Findings matching lint-allowlist.txt entries pass (within their ratchet)."
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut deny: BTreeSet<RuleId> = RuleId::ALL.into_iter().collect();
+    let mut explicit_deny: Option<BTreeSet<RuleId>> = None;
+    let mut use_allowlist = true;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                println!("uaq-lint rules:");
+                for r in RuleId::ALL {
+                    println!("  {:<17} {}", r.name(), r.description());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(d) => root = PathBuf::from(d),
+                None => {
+                    eprintln!("--root needs a directory\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--deny" => match args.next().as_deref() {
+                Some("all") => {
+                    explicit_deny
+                        .get_or_insert_with(BTreeSet::new)
+                        .extend(RuleId::ALL);
+                }
+                Some(name) => match RuleId::parse(name) {
+                    Some(r) => {
+                        explicit_deny.get_or_insert_with(BTreeSet::new).insert(r);
+                    }
+                    None => {
+                        eprintln!("unknown rule {name:?}\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("--deny needs a rule name or `all`\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--allow" => match args.next().as_deref() {
+                Some("all") => {
+                    deny.clear();
+                    if let Some(d) = &mut explicit_deny {
+                        d.clear();
+                    }
+                }
+                Some(name) => match RuleId::parse(name) {
+                    Some(r) => {
+                        deny.remove(&r);
+                        if let Some(d) = &mut explicit_deny {
+                            d.remove(&r);
+                        }
+                    }
+                    None => {
+                        eprintln!("unknown rule {name:?}\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("--allow needs a rule name or `all`\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-allowlist" => use_allowlist = false,
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // `--deny X` alone means "only X"; combined with later `--allow` the
+    // allows subtract (handled above as they arrive).
+    let deny = explicit_deny.unwrap_or(deny);
+
+    let allowlist = if use_allowlist {
+        match load_allowlist(&root) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        None
+    };
+
+    let cfg = Config {
+        root,
+        deny,
+        allowlist,
+    };
+    let report = match run_workspace(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{v}");
+    }
+    for e in &report.lex_errors {
+        println!("lex error: {e}");
+    }
+    for e in &report.allowlist_errors {
+        println!("{e}");
+    }
+    println!(
+        "uaq-lint: {} file(s) scanned, {} violation(s), {} allowlisted, {} allowlist error(s)",
+        report.files_scanned,
+        report.violations.len(),
+        report.allowed.len(),
+        report.allowlist_errors.len(),
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

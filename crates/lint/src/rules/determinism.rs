@@ -1,0 +1,167 @@
+//! Rule `determinism`: no wall-clock reads in the prediction crates.
+//!
+//! A cached prediction is only re-servable if the pipeline that produced it
+//! is a pure function of (plan, samples, catalog, hardware profile). A
+//! single `Instant::now()` smuggled into a cost formula silently breaks the
+//! bit-identical-replay contract that `uaq_telemetry`'s calibration and the
+//! service's cached-estimate tiers rely on. Timing is telemetry's job:
+//! `crates/telemetry/src/span.rs` is the one sanctioned clock owner.
+//!
+//! Unlike the `grep -rnE 'Instant::now|SystemTime::now'` gate this rule
+//! replaces, the token-stream match also catches:
+//! - aliased imports: `use std::time::Instant as Clock; … Clock::now()`,
+//! - calls split across lines or laundered through `use std::time::*`,
+//! - `UNIX_EPOCH`-based arithmetic that never names `SystemTime::now`,
+//!
+//! and it does *not* fire on mentions inside strings, comments, or test
+//! code — the three classic grep false positives.
+
+use super::Rule;
+use crate::diag::{Diagnostic, RuleId, SourceFile};
+use std::collections::BTreeSet;
+
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn id(&self) -> RuleId {
+        RuleId::Determinism
+    }
+
+    fn applies_to(&self, rel: &str) -> bool {
+        if rel == "crates/telemetry/src/span.rs" {
+            return false;
+        }
+        super::in_prediction_crates(rel) || rel.starts_with("crates/telemetry/src/")
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let clock_names = clock_names(file);
+        let n = file.sig.len();
+        for i in 0..n {
+            if file.in_test_code(i) {
+                continue;
+            }
+            let t = file.sig_text(i);
+            // `Name::now` where Name is a known clock type or an alias of one.
+            if clock_names.contains(t)
+                && i + 3 < n
+                && file.sig_text(i + 1) == ":"
+                && file.sig_text(i + 2) == ":"
+                && file.sig_text(i + 3) == "now"
+            {
+                out.push(file.diagnostic(
+                    self.id(),
+                    i,
+                    4,
+                    format!("wall-clock read `{t}::now` in a prediction crate"),
+                ));
+            }
+            // Epoch arithmetic is a wall-clock read even without `::now`.
+            if t == "UNIX_EPOCH" {
+                out.push(file.diagnostic(
+                    self.id(),
+                    i,
+                    1,
+                    "UNIX_EPOCH reference in a prediction crate".to_string(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// The type names that resolve to a clock in this file: the std names plus
+/// any aliases introduced by `use std::time::{Instant as X, …}`.
+fn clock_names(file: &SourceFile) -> BTreeSet<String> {
+    let mut names: BTreeSet<String> = ["Instant", "SystemTime"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let n = file.sig.len();
+    let mut i = 0;
+    while i + 4 < n {
+        // `use std :: time` — then scan the rest of the use item for
+        // `Instant as A` / `SystemTime as B`.
+        if file.sig_text(i) == "use"
+            && file.sig_text(i + 1) == "std"
+            && file.sig_text(i + 2) == ":"
+            && file.sig_text(i + 3) == ":"
+            && file.sig_text(i + 4) == "time"
+        {
+            let mut j = i + 5;
+            while j < n && file.sig_text(j) != ";" {
+                if (file.sig_text(j) == "Instant" || file.sig_text(j) == "SystemTime")
+                    && j + 2 < n
+                    && file.sig_text(j + 1) == "as"
+                {
+                    names.insert(file.sig_text(j + 2).to_string());
+                }
+                j += 1;
+            }
+            i = j;
+        }
+        i += 1;
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/engine/src/x.rs".into(), src.into());
+        Determinism.check(&f)
+    }
+
+    #[test]
+    fn catches_direct_and_multiline_calls() {
+        assert_eq!(run("fn f() { let t = Instant::now(); }").len(), 1);
+        assert_eq!(
+            run("fn f() { let t = std::time::Instant\n::\nnow(); }").len(),
+            1
+        );
+        assert_eq!(run("fn f() { let t = SystemTime::now(); }").len(), 1);
+    }
+
+    #[test]
+    fn catches_aliased_imports_the_grep_missed() {
+        let d = run("use std::time::Instant as Clock;\nfn f() { let t = Clock::now(); }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].snippet.contains("Clock"));
+        let d = run("use std::time::{Duration, SystemTime as Wall};\nfn f() { Wall::now(); }");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn catches_epoch_arithmetic() {
+        assert_eq!(
+            run(
+                "use std::time::UNIX_EPOCH;\nfn f(t: std::time::SystemTime) { \
+                 let _ = t.duration_since(UNIX_EPOCH); }"
+            )
+            .len(),
+            2 // the import mention and the use site
+        );
+    }
+
+    #[test]
+    fn ignores_strings_comments_and_tests() {
+        assert!(run("// Instant::now() would be wrong here\nfn f() {}").is_empty());
+        assert!(run("fn f() -> &'static str { \"Instant::now()\" }").is_empty());
+        assert!(
+            run("#[cfg(test)]\nmod t { use std::time::Instant; fn g() { Instant::now(); } }")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn scope_excludes_span_rs_and_non_prediction_crates() {
+        assert!(!Determinism.applies_to("crates/telemetry/src/span.rs"));
+        assert!(Determinism.applies_to("crates/telemetry/src/registry.rs"));
+        assert!(Determinism.applies_to("crates/cost/src/model.rs"));
+        assert!(!Determinism.applies_to("crates/service/src/service.rs"));
+        assert!(!Determinism.applies_to("crates/engine/tests/exec.rs"));
+    }
+}

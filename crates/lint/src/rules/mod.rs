@@ -1,0 +1,89 @@
+//! The rule set. Each rule owns its file scope (mirroring the contracts in
+//! ROADMAP.md) and a token-stream check over a parsed [`SourceFile`].
+
+mod alloc;
+mod determinism;
+mod panics;
+mod poison;
+
+use crate::diag::{Diagnostic, RuleId, SourceFile};
+
+pub use alloc::AllocHygiene;
+pub use determinism::Determinism;
+pub use panics::PanicDiscipline;
+pub use poison::PoisonSafety;
+
+/// The six crates whose outputs must be pure functions of their inputs —
+/// anything feeding a prediction that could be cached and bit-compared.
+pub const PREDICTION_CRATES: [&str; 6] = [
+    "crates/core/src/",
+    "crates/selest/src/",
+    "crates/engine/src/",
+    "crates/cost/src/",
+    "crates/stats/src/",
+    "crates/storage/src/",
+];
+
+pub trait Rule {
+    fn id(&self) -> RuleId;
+    /// Whether the rule audits this workspace-relative ('/'-separated) path.
+    fn applies_to(&self, rel: &str) -> bool;
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic>;
+}
+
+/// All rules, in the order they are listed by `--list-rules`.
+pub fn all_rules() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(Determinism),
+        Box::new(PoisonSafety),
+        Box::new(PanicDiscipline),
+        Box::new(AllocHygiene),
+    ]
+}
+
+fn in_prediction_crates(rel: &str) -> bool {
+    PREDICTION_CRATES.iter().any(|p| rel.starts_with(p))
+}
+
+/// Rust keywords that can directly precede `[` or be mistaken for a
+/// receiver; the slice-index heuristic must not treat them as expressions.
+pub(crate) fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "async"
+            | "await"
+            | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "type"
+            | "union"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
+}

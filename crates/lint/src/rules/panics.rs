@@ -1,0 +1,134 @@
+//! Rule `panic-discipline`: every potential panic site in non-test code of
+//! the prediction crates is either removed or justified.
+//!
+//! The service survives worker panics via `catch_unwind` + the degradation
+//! ladder, but each caught panic costs a served tier and pollutes the
+//! variance calibration with a synthetic tail latency. The prediction
+//! crates therefore keep an audited budget of panic sites: `unwrap()`,
+//! `expect(…)`, and direct slice indexing. Sites that are genuinely
+//! unreachable (checked invariants) live in `lint-allowlist.txt` with a
+//! one-line justification and a per-file ratchet count that must never
+//! grow; everything else is a CI failure.
+//!
+//! The slice-index check is a heuristic over token shapes: a `[` directly
+//! preceded by an expression tail (identifier, `)`, or `]`) is an index.
+//! Attributes (`#[…]`), macro invocations (`vec![…]`), array types and
+//! array literals do not match because their `[` follows `#`, `!`, `:`, an
+//! operator, or an opening bracket.
+
+use super::Rule;
+use crate::diag::{Diagnostic, RuleId, SourceFile};
+use crate::lexer::TokenKind;
+
+pub struct PanicDiscipline;
+
+impl Rule for PanicDiscipline {
+    fn id(&self) -> RuleId {
+        RuleId::PanicDiscipline
+    }
+
+    fn applies_to(&self, rel: &str) -> bool {
+        super::in_prediction_crates(rel)
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let n = file.sig.len();
+        for i in 0..n {
+            if file.in_test_code(i) {
+                continue;
+            }
+            let t = file.sig_text(i);
+            // `.unwrap()` / `.expect(`
+            if (t == "unwrap" || t == "expect")
+                && i >= 1
+                && file.sig_text(i - 1) == "."
+                && i + 1 < n
+                && file.sig_text(i + 1) == "("
+            {
+                let start = i.saturating_sub(2);
+                out.push(file.diagnostic(
+                    self.id(),
+                    start,
+                    (i + 2).min(n) - start,
+                    format!(".{t}(…) in a prediction crate — remove or justify in the allowlist"),
+                ));
+                continue;
+            }
+            // Slice indexing `expr[…]`.
+            if t == "[" && i >= 1 && is_expr_tail(file, i - 1) {
+                let start = i.saturating_sub(1);
+                out.push(file.diagnostic(
+                    self.id(),
+                    start,
+                    3,
+                    "direct index — can panic out of bounds; remove or justify in the allowlist"
+                        .to_string(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Whether significant token `i` can end an expression that a following `[`
+/// would index into.
+fn is_expr_tail(file: &SourceFile, i: usize) -> bool {
+    let t = file.sig_text(i);
+    match file.sig_kind(i) {
+        TokenKind::Ident => !super::is_keyword(t),
+        TokenKind::Punct => t == ")" || t == "]",
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/stats/src/x.rs".into(), src.into());
+        PanicDiscipline.check(&f)
+    }
+
+    #[test]
+    fn catches_unwrap_expect_and_indexing() {
+        assert_eq!(run("fn f(o: Option<u32>) -> u32 { o.unwrap() }").len(), 1);
+        assert_eq!(
+            run("fn f(o: Option<u32>) -> u32 { o.expect(\"set\") }").len(),
+            1
+        );
+        assert_eq!(run("fn f(v: &[u32]) -> u32 { v[0] }").len(), 1);
+        assert_eq!(
+            run("fn f(v: &[u32], i: usize) -> &[u32] { &v[i..] }").len(),
+            1
+        );
+        assert_eq!(run("fn f(m: &M) -> u32 { m.rows()[3] }").len(), 1);
+        assert_eq!(run("fn f(v: &[Vec<u32>]) -> u32 { v[0][1] }").len(), 2);
+    }
+
+    #[test]
+    fn macros_attrs_types_and_literals_are_not_indexing() {
+        assert!(run("fn f() -> Vec<u32> { vec![1, 2] }").is_empty());
+        assert!(run("#[derive(Debug)]\nstruct S;").is_empty());
+        assert!(run("fn f(x: [u32; 4]) -> [u32; 4] { x }").is_empty());
+        assert!(run("fn f() { let a = [1, 2, 3]; let _ = a.len(); }").is_empty());
+        assert!(run("fn f(v: &[u32]) -> Option<&u32> { v.get(0) }").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(run("#[cfg(test)]\nmod t { fn g(v: &[u32]) -> u32 { v[0].clone() } }").is_empty());
+        assert!(run("#[test]\nfn t() { Some(3).unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn scope_is_the_six_prediction_crates_src_only() {
+        for p in super::super::PREDICTION_CRATES {
+            assert!(PanicDiscipline.applies_to(&format!("{p}lib.rs")));
+        }
+        assert!(!PanicDiscipline.applies_to("crates/engine/tests/golden.rs"));
+        assert!(!PanicDiscipline.applies_to("crates/service/src/service.rs"));
+        assert!(!PanicDiscipline.applies_to("crates/workloads/src/tpch.rs"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Rule `poison-safety`: in `uaq-service`, lock poisoning is recovered, not
+//! unwrapped.
+//!
+//! A worker that panics while holding a mutex poisons it; if any other path
+//! then `.lock().unwrap()`s, one fault cascades into a service-wide outage
+//! — exactly the failure mode PR 6's degradation ladder exists to prevent.
+//! All lock acquisition goes through `crates/service/src/sync.rs`
+//! (`lock_recover`/`lock_recover_with`), which is the one module allowed to
+//! touch `PoisonError` machinery directly.
+//!
+//! The grep gate this replaces matched only the literal chain
+//! `.lock().unwrap()` on one line. The token rule also catches:
+//! - chains split across lines,
+//! - `.expect("…")` variants,
+//! - the let-bound form the grep famously missed:
+//!   `let g = m.lock(); … g.unwrap()`.
+
+use super::Rule;
+use crate::diag::{Diagnostic, RuleId, SourceFile};
+use std::collections::BTreeSet;
+
+pub struct PoisonSafety;
+
+impl Rule for PoisonSafety {
+    fn id(&self) -> RuleId {
+        RuleId::PoisonSafety
+    }
+
+    fn applies_to(&self, rel: &str) -> bool {
+        rel != "crates/service/src/sync.rs" && rel.starts_with("crates/service/")
+    }
+
+    fn check(&self, file: &SourceFile) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let n = file.sig.len();
+        // Pass 1: direct chains `.lock().unwrap()` / `.lock().expect(`, and
+        // collect idents bound to raw lock results: `let g = ….lock();`.
+        let mut bound: BTreeSet<String> = BTreeSet::new();
+        for i in 0..n {
+            if file.sig_text(i) != "lock" || i == 0 || file.sig_text(i - 1) != "." {
+                continue;
+            }
+            if i + 2 >= n || file.sig_text(i + 1) != "(" || file.sig_text(i + 2) != ")" {
+                continue;
+            }
+            // `.lock()` found; what happens to the result?
+            if i + 5 < n && file.sig_text(i + 3) == "." {
+                let method = file.sig_text(i + 4);
+                if (method == "unwrap" || method == "expect") && file.sig_text(i + 5) == "(" {
+                    out.push(file.diagnostic(
+                        self.id(),
+                        i - 1,
+                        6,
+                        format!(
+                            ".lock().{method}(…) outside sync.rs — use lock_recover \
+                             so a poisoned mutex degrades instead of cascading"
+                        ),
+                    ));
+                    continue;
+                }
+            }
+            // `let g = ….lock();` — remember g for pass 2. Only statements
+            // that *end* at the lock call are raw LockResults; anything like
+            // `.lock().map_err(…)` is already handling poisoning.
+            if i + 3 < n && file.sig_text(i + 3) == ";" {
+                if let Some(name) = binding_name(file, i) {
+                    bound.insert(name);
+                }
+            }
+        }
+        if bound.is_empty() {
+            return out;
+        }
+        // Pass 2: `g.unwrap()` / `g.expect(` on any let-bound lock result.
+        for i in 0..n {
+            let t = file.sig_text(i);
+            if (t == "unwrap" || t == "expect")
+                && i >= 2
+                && file.sig_text(i - 1) == "."
+                && bound.contains(file.sig_text(i - 2))
+                && i + 1 < n
+                && file.sig_text(i + 1) == "("
+            {
+                out.push(file.diagnostic(
+                    self.id(),
+                    i - 2,
+                    4,
+                    format!(
+                        "`{}` holds a raw lock result; unwrapping it outside sync.rs \
+                         turns poisoning into a panic",
+                        file.sig_text(i - 2)
+                    ),
+                ));
+            }
+        }
+        out.sort_by_key(|d| d.line);
+        out
+    }
+}
+
+/// For a `.lock()` ending a statement, walks back to the statement's `let`
+/// and returns the bound identifier, if the statement is a simple binding.
+fn binding_name(file: &SourceFile, lock_idx: usize) -> Option<String> {
+    // Scan back for `let`, stopping at the previous `;`/`{`/`}` so we never
+    // escape the statement.
+    let mut j = lock_idx;
+    while j > 0 {
+        j -= 1;
+        match file.sig_text(j) {
+            ";" | "{" | "}" => return None,
+            "let" => {
+                let mut k = j + 1;
+                if file.sig_text(k) == "mut" {
+                    k += 1;
+                }
+                let name = file.sig_text(k);
+                if name
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                {
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("crates/service/src/x.rs".into(), src.into());
+        PoisonSafety.check(&f)
+    }
+
+    #[test]
+    fn catches_direct_and_multiline_chains() {
+        assert_eq!(run("fn f(m: &M) { m.lock().unwrap(); }").len(), 1);
+        assert_eq!(
+            run("fn f(m: &M) { m.lock().expect(\"poisoned\"); }").len(),
+            1
+        );
+        assert_eq!(run("fn f(m: &M) { m.lock()\n    .unwrap(); }").len(), 1);
+    }
+
+    #[test]
+    fn catches_let_bound_guard_the_grep_missed() {
+        let d = run("fn f(m: &M) { let g = m.lock();\n let v = g.unwrap(); }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].snippet.contains("g.unwrap"));
+        assert_eq!(
+            run("fn f(m: &M) { let mut g = m.lock(); g.expect(\"p\"); }").len(),
+            1
+        );
+    }
+
+    #[test]
+    fn recovered_locks_are_clean() {
+        assert!(run("fn f(m: &M) { lock_recover(m); }").is_empty());
+        assert!(
+            run("fn f(m: &M) { m.lock().unwrap_or_else(PoisonError::into_inner); }").is_empty()
+        );
+        // A binding that immediately recovers is not a raw lock result.
+        assert!(
+            run("fn f(m: &M) { let g = m.lock().unwrap_or_else(E::into_inner); g.get(); }")
+                .is_empty()
+        );
+        // Unrelated unwraps on other bindings stay out of scope for this rule.
+        assert!(run("fn f(o: Option<u32>) { let x = o; x.unwrap(); }").is_empty());
+    }
+
+    #[test]
+    fn scope_is_service_minus_sync() {
+        assert!(!PoisonSafety.applies_to("crates/service/src/sync.rs"));
+        assert!(PoisonSafety.applies_to("crates/service/src/service.rs"));
+        assert!(PoisonSafety.applies_to("crates/service/tests/chaos.rs"));
+        assert!(!PoisonSafety.applies_to("crates/engine/src/exec.rs"));
+    }
+}

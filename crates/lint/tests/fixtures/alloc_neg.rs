@@ -1,0 +1,24 @@
+// Clean under `alloc-hygiene`: handle copies and borrows, no buffer copies.
+use std::sync::Arc;
+
+pub fn handle_bump(plan: &Arc<Vec<u32>>) -> Arc<Vec<u32>> {
+    plan.clone()
+}
+
+pub fn borrows(v: &[u32]) -> &[u32] {
+    &v[..]
+}
+
+pub fn maps_without_copying(v: &[u32]) -> Vec<u64> {
+    v.iter().map(|x| u64::from(*x) * 2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_copy() {
+        let col = vec![1u32, 2];
+        let copy = col.clone();
+        assert_eq!(copy, col.to_vec());
+    }
+}

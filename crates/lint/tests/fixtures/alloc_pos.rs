@@ -1,0 +1,21 @@
+// Seeded violations for the `alloc-hygiene` rule.
+
+pub fn copies_slice(v: &[u32]) -> Vec<u32> {
+    v.to_vec()
+}
+
+pub fn copies_behind_handle(outer: &std::sync::Arc<Vec<u32>>) -> Vec<u32> {
+    outer.as_ref().clone()
+}
+
+pub fn elementwise(v: &[String]) -> Vec<String> {
+    v.iter().cloned().collect()
+}
+
+pub fn clones_column(col_data: &Vec<u32>) -> Vec<u32> {
+    col_data.clone()
+}
+
+pub fn clones_provenance(prov_rows: &Vec<Vec<u32>>) -> Vec<Vec<u32>> {
+    prov_rows.clone()
+}

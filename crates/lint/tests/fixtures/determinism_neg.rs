@@ -1,0 +1,31 @@
+// Clean under the `determinism` rule: clocks only appear in strings,
+// comments, test code, and as non-`now` uses of time types.
+use std::time::Duration;
+
+/// Instant::now() in a doc comment is prose, not code.
+pub fn budget() -> Duration {
+    Duration::from_millis(5)
+}
+
+pub fn describe() -> &'static str {
+    "calls Instant::now() and SystemTime::now() — allegedly"
+}
+
+pub fn raw() -> &'static str {
+    r#"UNIX_EPOCH arithmetic lives in strings here"#
+}
+
+pub fn elapsed_of(d: Duration) -> u128 {
+    d.as_nanos()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_secs() < 1);
+    }
+}

@@ -1,0 +1,22 @@
+// Seeded violations for the `determinism` rule; lines matter to the golden
+// test in ../golden_rules.rs.
+use std::time::Instant as Clock;
+use std::time::{Duration, SystemTime as Wall};
+
+pub fn direct() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn multiline() -> SystemTime {
+    std::time::SystemTime::
+        now()
+}
+
+pub fn aliased() -> (Clock, Wall) {
+    (Clock::now(), Wall::now())
+}
+
+pub fn epoch(t: std::time::SystemTime) -> Duration {
+    t.duration_since(UNIX_EPOCH).unwrap_or_default()
+}

@@ -1,0 +1,42 @@
+// Clean under `panic-discipline`: fallible access stays fallible, and the
+// bracket heuristic must not fire on types, macros, attributes, patterns,
+// or array literals.
+#[derive(Debug, Default)]
+pub struct Buf {
+    data: [u64; 4],
+}
+
+pub fn get(v: &[u32]) -> Option<&u32> {
+    v.get(0)
+}
+
+pub fn first_or(v: &[u32], fallback: u32) -> u32 {
+    v.first().copied().unwrap_or(fallback)
+}
+
+pub fn build() -> Vec<u32> {
+    vec![1, 2, 3]
+}
+
+pub fn literal() -> [u8; 2] {
+    [0xAB, 0xCD]
+}
+
+pub fn pattern(v: &[u32]) -> u32 {
+    if let [a, b] = v {
+        a + b
+    } else {
+        0
+    }
+}
+
+pub fn typed(_x: &[u8], _y: Vec<[f64; 2]>) {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_index() {
+        let v = vec![1u32];
+        assert_eq!(v[0], Some(1).unwrap());
+    }
+}

@@ -1,0 +1,25 @@
+// Seeded violations for the `panic-discipline` rule.
+
+pub fn unwraps(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+pub fn expects(r: Result<u32, ()>) -> u32 {
+    r.expect("always ok")
+}
+
+pub fn indexes(v: &[u32]) -> u32 {
+    v[0]
+}
+
+pub fn slices(v: &[u32]) -> &[u32] {
+    &v[1..3]
+}
+
+pub fn chained(m: &[Vec<u32>]) -> u32 {
+    m[0][1]
+}
+
+pub fn through_call(v: &[u32]) -> u32 {
+    v.iter().collect::<Vec<_>>()[0].to_owned().to_owned()
+}

@@ -1,0 +1,27 @@
+// Clean under `poison-safety`: every acquisition recovers from poisoning.
+use std::sync::{Mutex, PoisonError};
+
+pub fn recovered(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn let_bound_recovered(m: &Mutex<u32>) -> u32 {
+    let guard = m.lock().unwrap_or_else(PoisonError::into_inner);
+    *guard
+}
+
+pub fn matched(m: &Mutex<u32>) -> u32 {
+    match m.lock() {
+        Ok(g) => *g,
+        Err(poisoned) => *poisoned.into_inner(),
+    }
+}
+
+pub fn unrelated_unwrap(o: Option<u32>) -> u32 {
+    // Not a lock result: poison-safety does not police general Options.
+    o.unwrap()
+}
+
+pub fn mentions() -> &'static str {
+    ".lock().unwrap() inside a string is documentation, not a bug"
+}

@@ -1,0 +1,25 @@
+// Seeded violations for the `poison-safety` rule.
+use std::sync::Mutex;
+
+pub fn direct(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+pub fn with_message(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("not poisoned")
+}
+
+pub fn multiline(m: &Mutex<u32>) -> u32 {
+    *m.lock()
+        .unwrap()
+}
+
+pub fn let_bound(m: &Mutex<u32>) -> u32 {
+    let guard = m.lock();
+    *guard.unwrap()
+}
+
+pub fn let_bound_expect(m: &Mutex<Vec<u32>>) -> usize {
+    let mut held = m.lock();
+    held.expect("fine").len()
+}

@@ -1,0 +1,111 @@
+//! Golden tests per lint rule: every seeded violation in the positive
+//! fixture is detected at its exact line, and the negative fixture — full
+//! of near-misses (strings, comments, macros, patterns, test code) — stays
+//! clean.
+
+use uaq_lint::diag::{RuleId, SourceFile};
+use uaq_lint::rules::all_rules;
+
+/// Runs one rule over fixture text as if it lived at `rel`, returning the
+/// sorted violation lines.
+fn lines(rule_id: RuleId, rel: &str, src: &str) -> Vec<u32> {
+    let rules = all_rules();
+    let rule = rules
+        .iter()
+        .find(|r| r.id() == rule_id)
+        .expect("rule registered");
+    assert!(
+        rule.applies_to(rel),
+        "fixture path {rel} must be in {rule_id}'s scope"
+    );
+    let f = SourceFile::parse(rel.to_string(), src.to_string());
+    assert!(f.lex_errors.is_empty(), "fixture must lex cleanly");
+    let mut lines: Vec<u32> = rule.check(&f).iter().map(|d| d.line).collect();
+    lines.sort_unstable();
+    lines
+}
+
+#[test]
+fn determinism_detects_every_seeded_violation() {
+    let got = lines(
+        RuleId::Determinism,
+        "crates/cost/src/fixture.rs",
+        include_str!("fixtures/determinism_pos.rs"),
+    );
+    // direct, multiline, two aliased calls, epoch arithmetic.
+    assert_eq!(got, [7, 12, 17, 17, 21]);
+}
+
+#[test]
+fn determinism_ignores_lookalikes() {
+    let got = lines(
+        RuleId::Determinism,
+        "crates/cost/src/fixture.rs",
+        include_str!("fixtures/determinism_neg.rs"),
+    );
+    assert_eq!(got, [] as [u32; 0]);
+}
+
+#[test]
+fn poison_safety_detects_every_seeded_violation() {
+    let got = lines(
+        RuleId::PoisonSafety,
+        "crates/service/src/fixture.rs",
+        include_str!("fixtures/poison_pos.rs"),
+    );
+    // direct, expect, multiline chain, and the two let-bound forms.
+    assert_eq!(got, [5, 9, 13, 19, 24]);
+}
+
+#[test]
+fn poison_safety_accepts_recovering_code() {
+    let got = lines(
+        RuleId::PoisonSafety,
+        "crates/service/src/fixture.rs",
+        include_str!("fixtures/poison_neg.rs"),
+    );
+    assert_eq!(got, [] as [u32; 0]);
+}
+
+#[test]
+fn panic_discipline_detects_every_seeded_violation() {
+    let got = lines(
+        RuleId::PanicDiscipline,
+        "crates/stats/src/fixture.rs",
+        include_str!("fixtures/panics_pos.rs"),
+    );
+    // unwrap, expect, index, range-slice, chained double index, index of a
+    // call result.
+    assert_eq!(got, [4, 8, 12, 16, 20, 20, 24]);
+}
+
+#[test]
+fn panic_discipline_ignores_types_macros_patterns_and_tests() {
+    let got = lines(
+        RuleId::PanicDiscipline,
+        "crates/stats/src/fixture.rs",
+        include_str!("fixtures/panics_neg.rs"),
+    );
+    assert_eq!(got, [] as [u32; 0]);
+}
+
+#[test]
+fn alloc_hygiene_detects_every_seeded_violation() {
+    let got = lines(
+        RuleId::AllocHygiene,
+        "crates/engine/src/exec.rs",
+        include_str!("fixtures/alloc_pos.rs"),
+    );
+    // to_vec, as_ref().clone, iter().cloned, and two hinted receivers.
+    assert_eq!(got, [4, 8, 12, 16, 20]);
+}
+
+#[test]
+fn alloc_hygiene_accepts_handle_copies() {
+    let got = lines(
+        RuleId::AllocHygiene,
+        "crates/engine/src/exec.rs",
+        include_str!("fixtures/alloc_neg.rs"),
+    );
+    assert_eq!(got, [] as [u32; 0]);
+}

@@ -1,0 +1,134 @@
+//! Property test: lexing an arbitrary generated token sequence is lossless
+//! (concatenating token texts reproduces the source byte-for-byte) and
+//! recovers exactly the kinds and texts that were generated.
+
+use proptest::prelude::*;
+use uaq_lint::lexer::{lex, TokenKind};
+
+/// SplitMix64 — deterministic expansion of the proptest-supplied seed into
+/// a token sequence.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[(self.next() % xs.len() as u64) as usize]
+    }
+}
+
+/// One random significant token: (expected kind, exact text).
+fn random_token(g: &mut Gen) -> (TokenKind, String) {
+    match g.next() % 9 {
+        0 => {
+            let t = *g.pick(&["foo", "bar2", "_x", "r", "b", "br", "r#match", "Instant"]);
+            (TokenKind::Ident, t.to_string())
+        }
+        1 => {
+            let t = *g.pick(&["'a", "'static", "'_", "'outer"]);
+            (TokenKind::Lifetime, t.to_string())
+        }
+        2 => {
+            let t = *g.pick(&["'x'", "'\\n'", "' '", "'\\''", "b'q'"]);
+            (TokenKind::Char, t.to_string())
+        }
+        3 => {
+            let t = *g.pick(&[
+                "\"hi\"",
+                "\"a\\\"b\"",
+                "\"\"",
+                "b\"bytes\"",
+                "\"no /* cmt */\"",
+            ]);
+            (TokenKind::Str, t.to_string())
+        }
+        4 => {
+            let t = *g.pick(&[
+                "r\"plain\"",
+                "r#\"has \"quotes\"\"#",
+                "r##\"one \"# deep\"##",
+                "br#\"bytes \" here\"#",
+                "r#\".lock().unwrap()\"#",
+            ]);
+            (TokenKind::RawStr, t.to_string())
+        }
+        5 => {
+            let t = *g.pick(&["0", "42", "0xFF_u8", "1_000", "0b1010", "7usize"]);
+            (TokenKind::Int, t.to_string())
+        }
+        6 => {
+            let t = *g.pick(&["1.5", "2.5e-3", "1f64", "0.0", "9e9", "3.25f32"]);
+            (TokenKind::Float, t.to_string())
+        }
+        7 => {
+            let t = *g.pick(&[
+                "+", "-", "*", "/", "=", "<", ">", ":", ";", ",", ".", "#", "!", "&", "|", "[",
+                "]", "(", ")", "{", "}",
+            ]);
+            (TokenKind::Punct, t.to_string())
+        }
+        _ => {
+            let t = *g.pick(&["'x'", "\"s\"", "0", "ident"]);
+            let kind = match *t.as_bytes().first().unwrap_or(&b'i') {
+                b'\'' => TokenKind::Char,
+                b'"' => TokenKind::Str,
+                b'0' => TokenKind::Int,
+                _ => TokenKind::Ident,
+            };
+            (kind, t.to_string())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lex_reconstructs_arbitrary_token_sequences(seed in 0u64..u64::MAX, len in 1usize..48) {
+        let mut g = Gen(seed);
+        let expected: Vec<(TokenKind, String)> = (0..len).map(|_| random_token(&mut g)).collect();
+        // Newline separators keep generated tokens from gluing together
+        // (`r` + `"s"` would otherwise form a raw string) and double as the
+        // whitespace/comment trivia the lexer must tile losslessly. Mix in
+        // comments as extra trivia between tokens.
+        let mut src = String::new();
+        for (i, (_, text)) in expected.iter().enumerate() {
+            if i > 0 {
+                match g.next() % 4 {
+                    0 => src.push_str("\n  \t\n"),
+                    1 => src.push_str(" // trailing note\n"),
+                    2 => src.push_str(" /* inline /* nested */ note */ "),
+                    _ => src.push('\n'),
+                }
+            }
+            src.push_str(text);
+        }
+        let (tokens, errors) = lex(&src);
+        prop_assert!(errors.is_empty(), "lex errors on {src:?}: {errors:?}");
+        // Lossless: the tokens tile the input exactly.
+        let rebuilt: String = tokens.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(&rebuilt, &src);
+        let mut offset = 0usize;
+        for t in &tokens {
+            prop_assert_eq!(t.start, offset, "gap or overlap at byte {}", offset);
+            offset = t.end;
+        }
+        prop_assert_eq!(offset, src.len());
+        // Recovered: significant tokens match the generated sequence.
+        let got: Vec<(TokenKind, String)> = tokens
+            .iter()
+            .filter(|t| !matches!(
+                t.kind,
+                TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+            ))
+            .map(|t| (t.kind, t.text(&src).to_string()))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -124,6 +124,11 @@ pub enum ServedTier {
     /// Never served: shed by overload control before reaching a worker.
     /// Always paired with [`Decision::Reject`] and a NaN `prob_in_time`.
     Shed,
+    /// The plan failed static validation at the service edge: the request
+    /// was answered with [`Decision::Reject`] and a typed
+    /// [`PredictResponse::plan_error`] diagnostic instead of ever reaching
+    /// the prediction pipeline. `prob_in_time` is NaN.
+    Invalid,
 }
 
 impl ServedTier {
@@ -134,6 +139,7 @@ impl ServedTier {
             ServedTier::MeanOnly => "mean-only",
             ServedTier::Static => "static",
             ServedTier::Shed => "shed",
+            ServedTier::Invalid => "invalid",
         }
     }
 }
@@ -162,6 +168,10 @@ pub struct PredictResponse {
     pub deferred_ms: f64,
     /// Which degradation-ladder rung served this response.
     pub tier: ServedTier,
+    /// The typed validation defect when `tier` is [`ServedTier::Invalid`];
+    /// `None` everywhere else. Deliberately *outside* the bit-deterministic
+    /// prediction fields — it is a diagnostic, not part of the prediction.
+    pub plan_error: Option<uaq_engine::PlanError>,
     /// Per-stage wall-clock breakdown of this request, captured only when
     /// [`ServiceConfig::record_spans`] is on — deliberately *outside* the
     /// bit-deterministic prediction fields. `None` with spans off and on
@@ -314,6 +324,9 @@ pub struct RobustnessStats {
     pub served_cached_estimates: u64,
     pub served_mean_only: u64,
     pub served_static: u64,
+    /// Requests rejected at the edge by plan validation (each got a
+    /// `Reject` response carrying the typed diagnostic).
+    pub served_invalid: u64,
 }
 
 /// The fault-handling counters, as [`uaq_telemetry::Counter`] handles
@@ -331,6 +344,7 @@ struct RobustnessCounters {
     served_cached_estimates: Counter,
     served_mean_only: Counter,
     served_static: Counter,
+    served_invalid: Counter,
 }
 
 impl RobustnessCounters {
@@ -346,6 +360,7 @@ impl RobustnessCounters {
             served_cached_estimates: tier(ServedTier::CachedEstimates),
             served_mean_only: tier(ServedTier::MeanOnly),
             served_static: tier(ServedTier::Static),
+            served_invalid: tier(ServedTier::Invalid),
         }
     }
 
@@ -356,6 +371,7 @@ impl RobustnessCounters {
             ServedTier::MeanOnly => &self.served_mean_only,
             ServedTier::Static => &self.served_static,
             ServedTier::Shed => &self.shed,
+            ServedTier::Invalid => &self.served_invalid,
         };
         counter.inc();
     }
@@ -370,6 +386,7 @@ impl RobustnessCounters {
             served_cached_estimates: self.served_cached_estimates.get(),
             served_mean_only: self.served_mean_only.get(),
             served_static: self.served_static.get(),
+            served_invalid: self.served_invalid.get(),
         }
     }
 }
@@ -501,6 +518,7 @@ impl Shared {
                 deferred_ms: waited_ms,
                 tier: d.tier,
                 stage_timings: d.stage_timings,
+                plan_error: None,
             });
         }
     }
@@ -599,6 +617,7 @@ impl Shared {
             deferred_ms: 0.0,
             tier,
             stage_timings: None,
+            plan_error: None,
         });
     }
 
@@ -1063,6 +1082,7 @@ fn supervised_serve(shared: &Shared, worker: usize, job: Job) -> bool {
                 deferred_ms: 0.0,
                 tier: ServedTier::Static,
                 stage_timings: None,
+                plan_error: None,
             });
             resume_unwind(payload)
         }
@@ -1196,6 +1216,33 @@ fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
         shared.observe_timings(&timings, tier, &job.request.plan);
         timings
     };
+    // Edge validation: a malformed plan earns a typed rejection here, not
+    // a panic inside a worker (the executor's own failure modes — unknown
+    // columns, duplicate join outputs, mixed-type ordering — would burn a
+    // `catch_unwind` per tier and still answer with an uninformative
+    // static-tier response). The verdict is interned on the plan keyed by
+    // the catalog+sample fingerprints, so re-submitting a warm `Arc<Plan>`
+    // costs one atomic load and a `u64` compare.
+    if let Err(e) =
+        uaq_engine::validate_cached_on_samples(&job.request.plan, &shared.catalog, &shared.samples)
+    {
+        shared.robustness.count_tier(ServedTier::Invalid);
+        let stage_timings = recorder.map(|r| harvest(r, ServedTier::Invalid));
+        let _ = job.reply.send(PredictResponse {
+            id: job.request.id,
+            prediction: Prediction::degraded(0.0, 0.0),
+            decision: Decision::Reject,
+            prob_in_time: f64::NAN,
+            worker,
+            service_seconds: t0.elapsed().as_secs_f64(),
+            attempts: 1,
+            deferred_ms: 0.0,
+            tier: ServedTier::Invalid,
+            stage_timings,
+            plan_error: Some(e),
+        });
+        return true;
+    }
     let (prediction, tier) = ladder_predict(shared, worker, &job.request.plan);
     // Mid-request kill probe: after the prediction, while the request is
     // still unanswered — the panic escapes to the supervisor, which owns
@@ -1216,6 +1263,7 @@ fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
             deferred_ms: 0.0,
             tier: ServedTier::Static,
             stage_timings,
+            plan_error: None,
         });
         return true;
     };
@@ -1256,6 +1304,7 @@ fn serve_job(shared: &Shared, worker: usize, job: Job) -> bool {
         deferred_ms: 0.0,
         tier,
         stage_timings,
+        plan_error: None,
     });
     true
 }
@@ -1306,6 +1355,32 @@ mod tests {
         assert_eq!(resp.prob_in_time, 1.0);
         assert_eq!(resp.prediction.mean_ms(), reference.mean_ms());
         assert_eq!(resp.prediction.var(), reference.var());
+        service.shutdown();
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected_at_the_edge_with_a_typed_diagnostic() {
+        let (predictor, catalog, samples, _) = setup();
+        let service =
+            PredictionService::start(predictor, catalog, samples, ServiceConfig::default());
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t", Pred::lt("ghost", Value::Int(5)));
+        let bad = Arc::new(b.build(s));
+        // Submit twice: the second hit exercises the interned verdict.
+        for _ in 0..2 {
+            let resp = service.predict_blocking(Arc::clone(&bad), Some(1e6));
+            assert_eq!(resp.tier, ServedTier::Invalid);
+            assert_eq!(resp.decision, Decision::Reject);
+            assert!(resp.prob_in_time.is_nan());
+            match resp.plan_error {
+                Some(uaq_engine::PlanError::UnknownColumn { ref column, .. }) => {
+                    assert_eq!(column, "ghost")
+                }
+                ref other => panic!("expected UnknownColumn, got {other:?}"),
+            }
+        }
+        let stats = service.robustness_stats();
+        assert_eq!(stats.served_invalid, 2);
         service.shutdown();
     }
 

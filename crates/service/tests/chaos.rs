@@ -25,7 +25,7 @@ use uaq_core::{Predictor, PredictorConfig};
 use uaq_cost::{calibrate, CalibrationConfig, HardwareProfile};
 use uaq_engine::{Plan, PlanBuilder, Pred};
 use uaq_service::{
-    silence_injected_panics, CacheConfig, FaultInjector, FaultPlan, PredictRequest,
+    silence_injected_panics, CacheConfig, Decision, FaultInjector, FaultPlan, PredictRequest,
     PredictionService, SeededFaultInjector, ServedTier, ServiceConfig, TenantClass, TenantId,
 };
 use uaq_stats::Rng;
@@ -405,5 +405,117 @@ fn shutdown_under_fire_answers_every_accepted_request() {
             "seed {seed}: tier counters must sum to responses even through \
              a shutdown drain"
         );
+    }
+}
+
+/// Malformed plans under fire: a stream mixing valid plans with every
+/// class of statically-invalid plan (unknown table, unknown column,
+/// string-vs-numeric ordering, duplicate join output columns) must keep
+/// the one-response contract — each malformed submission earns exactly
+/// one `Reject` on the `invalid` tier carrying a typed diagnostic, each
+/// valid one is served normally, and the tier counters still sum to the
+/// total even while the injector kills workers around the edge check.
+#[test]
+fn malformed_submissions_get_exactly_one_typed_rejection() {
+    silence_injected_panics();
+    let (predictor, catalog, samples) = setup();
+    let valid = plans();
+    let unknown_table = {
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("nosuch", Pred::True);
+        Arc::new(b.build(s))
+    };
+    let unknown_column = {
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t", Pred::lt("ghost", Value::Int(5)));
+        Arc::new(b.build(s))
+    };
+    let str_ordering = {
+        let mut b = PlanBuilder::new();
+        let s = b.seq_scan("t", Pred::lt("b", Value::str("zzz")));
+        Arc::new(b.build(s))
+    };
+    let dup_join = {
+        let mut b = PlanBuilder::new();
+        let l = b.seq_scan("t", Pred::True);
+        let r = b.seq_scan("t", Pred::True);
+        let j = b.hash_join(l, r, "a", "a");
+        Arc::new(b.build(j))
+    };
+    let malformed = [unknown_table, unknown_column, str_ordering, dup_join];
+    for seed in 300..316u64 {
+        let injector = Arc::new(SeededFaultInjector::new(seed, FaultPlan::chaos()));
+        let service = PredictionService::start_with_faults(
+            predictor.clone(),
+            Arc::clone(&catalog),
+            Arc::clone(&samples),
+            ServiceConfig {
+                workers: 3,
+                ..Default::default()
+            },
+            Arc::clone(&injector) as Arc<dyn FaultInjector>,
+        );
+        // Alternate valid and malformed so both paths interleave on the
+        // same workers within one schedule.
+        let n = 16u64;
+        let receivers: Vec<_> = (0..n)
+            .map(|i| {
+                let plan = if i % 2 == 0 {
+                    &valid[(i as usize / 2) % valid.len()]
+                } else {
+                    &malformed[(i as usize / 2) % malformed.len()]
+                };
+                service.submit(PredictRequest {
+                    id: i,
+                    plan: Arc::clone(plan),
+                    deadline_ms: Some(1e6),
+                    tenant: TenantId::default(),
+                })
+            })
+            .collect();
+        for (i, rx) in receivers.into_iter().enumerate() {
+            let resp = rx
+                .recv_timeout(Duration::from_secs(30))
+                .unwrap_or_else(|e| panic!("seed {seed}: request {i} lost ({e})"));
+            assert_eq!(resp.id, i as u64, "seed {seed}: id mixup");
+            assert!(
+                rx.try_recv().is_err(),
+                "seed {seed}: request {i} answered twice"
+            );
+            if i % 2 == 1 {
+                // A worker killed mid-request may answer a malformed plan
+                // from the supervisor's static fallback instead of the
+                // edge check; either way it is exactly one response, and
+                // an `Invalid` verdict always carries its diagnostic.
+                if resp.tier == ServedTier::Invalid {
+                    assert_eq!(resp.decision, Decision::Reject, "seed {seed}: req {i}");
+                    assert!(
+                        resp.plan_error.is_some(),
+                        "seed {seed}: invalid response must carry the typed defect"
+                    );
+                    assert!(resp.prob_in_time.is_nan(), "seed {seed}: req {i}");
+                } else {
+                    assert_eq!(
+                        resp.tier,
+                        ServedTier::Static,
+                        "seed {seed}: malformed request {i} served a prediction tier"
+                    );
+                }
+            } else {
+                assert_ne!(
+                    resp.tier,
+                    ServedTier::Invalid,
+                    "seed {seed}: valid request {i} rejected as invalid"
+                );
+                assert!(resp.plan_error.is_none(), "seed {seed}: req {i}");
+            }
+        }
+        let snap = service.telemetry();
+        assert_eq!(
+            snap.counter_total("uaq_requests_served_total"),
+            n,
+            "seed {seed}: tier counters must sum to responses"
+        );
+        service.shutdown();
     }
 }

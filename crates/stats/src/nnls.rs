@@ -89,7 +89,7 @@ fn solve_square(mut m: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     for col in 0..n {
         let (pivot_row, pivot_abs) = (col..n)
             .map(|r| (r, m[r][col].abs()))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())?;
+            .max_by(|a, b| a.1.total_cmp(&b.1))?;
         if pivot_abs < 1e-12 {
             return None;
         }
@@ -194,7 +194,7 @@ pub fn nnls(a: &Matrix, y: &[f64]) -> NnlsSolution {
 
         let candidate = (0..n)
             .filter(|&i| !in_passive[i])
-            .max_by(|&i, &j| w[i].partial_cmp(&w[j]).unwrap());
+            .max_by(|&i, &j| w[i].total_cmp(&w[j]));
         let Some(j) = candidate else { break };
         if w[j] <= tol {
             break;

@@ -259,6 +259,15 @@ impl SampleCatalog {
         self.samples.values().next().map_or(0, Vec::len)
     }
 
+    /// Whether any sample tables were drawn for `relation`. Empty base
+    /// relations are skipped at draw time, so a plan scanning one would
+    /// panic in [`Self::sample`] — validators check this first.
+    pub fn has_relation(&self, relation: &str) -> bool {
+        self.samples
+            .get(relation)
+            .is_some_and(|copies| !copies.is_empty())
+    }
+
     /// The `copy`-th independent sample of `relation` (falls back to copy 0
     /// if fewer copies exist than requested — the paper's multi-sample trick
     /// is an optimisation, not a requirement).
